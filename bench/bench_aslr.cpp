@@ -1,0 +1,102 @@
+// Experiment E7: ASLR ablation — attack reliability vs address-space
+// entropy.
+//
+// The paper's attacks assume the 2011-era testbed, where the attacker
+// knows the address of the function (arc injection) or stack buffer
+// (code injection) they redirect control to.  This experiment quantifies
+// what randomizing the simulated image does to that assumption: the
+// attacker observes one layout (their own copy of the binary), the
+// victim runs another seed, and arc injection only lands when the guess
+// matches the victim's text displacement.  Expected success rate is
+// 2^-entropy_bits; the measured rate should track it.
+#include <iomanip>
+#include <iostream>
+#include <random>
+
+#include "guard/protections.h"
+#include "memsim/stack.h"
+#include "objmodel/corpus.h"
+#include "placement/engine.h"
+
+namespace {
+
+using namespace pnlab;
+using guard::ControlTransfer;
+
+/// One victim run under ASLR: returns true when the attacker's guessed
+/// gate address actually redirected control into the gate.
+bool attack_once(unsigned entropy_bits, std::uint64_t victim_seed,
+                 std::uint64_t attacker_seed) {
+  // The attacker studies their own copy: same binary, different seed.
+  memsim::Memory attacker_view(memsim::MachineModel::ilp32(),
+                               memsim::AslrConfig{entropy_bits,
+                                                  attacker_seed});
+  attacker_view.add_text_symbol("main_continue");
+  const memsim::Address guessed_gate =
+      attacker_view.add_text_symbol("system_call_gate", true);
+
+  // The victim process.
+  memsim::Memory mem(memsim::MachineModel::ilp32(),
+                     memsim::AslrConfig{entropy_bits, victim_seed});
+  objmodel::TypeRegistry registry(mem);
+  objmodel::corpus::define_student_types(registry);
+  placement::PlacementEngine engine(registry);
+  memsim::CallStack stack(mem, memsim::FrameOptions{
+                                   .save_frame_pointer = true,
+                                   .use_canary = false});
+
+  const memsim::Address ret_to = mem.add_text_symbol("main_continue");
+  mem.add_text_symbol("system_call_gate", true);
+
+  memsim::Frame& frame = stack.push_frame("addStudent", ret_to);
+  const memsim::Address stud = stack.push_local("stud", 16);
+  auto gs = engine.place_object(stud, "GradStudent");
+  const memsim::Address ssn_base = stud + 16;
+  const memsim::Address ra = frame.return_address_slot;
+  if (ra >= ssn_base && (ra - ssn_base) % 4 == 0 && (ra - ssn_base) / 4 < 3) {
+    gs.write_int("ssn", static_cast<std::int32_t>(guessed_gate),
+                 (ra - ssn_base) / 4);
+  }
+  const memsim::ReturnResult r = stack.pop_frame();
+  const ControlTransfer ct =
+      guard::classify_control_transfer(mem, r.return_to, ret_to);
+  return ct.kind == ControlTransfer::Kind::ArcInjection && ct.privileged;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E7: arc-injection reliability vs ASLR entropy\n"
+            << "(attacker guesses the text base from an independent "
+               "layout observation)\n\n";
+  std::cout << std::left << std::setw(14) << "entropy bits" << std::right
+            << std::setw(10) << "trials" << std::setw(12) << "successes"
+            << std::setw(14) << "measured" << std::setw(14) << "expected"
+            << "\n"
+            << std::string(64, '-') << "\n";
+
+  std::mt19937_64 seeder(20110620);  // ICDCS 2011's opening day
+  for (unsigned bits : {0u, 2u, 4u, 6u, 8u, 10u}) {
+    const int trials = bits <= 4 ? 500 : 4000;
+    int successes = 0;
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t victim_seed = seeder();
+      const std::uint64_t attacker_seed = seeder();
+      if (attack_once(bits, victim_seed, attacker_seed)) ++successes;
+    }
+    const double measured =
+        static_cast<double>(successes) / static_cast<double>(trials);
+    const double expected = bits == 0 ? 1.0 : 1.0 / static_cast<double>(1u << bits);
+    std::cout << std::left << std::setw(14) << bits << std::right
+              << std::setw(10) << trials << std::setw(12) << successes
+              << std::setw(13) << std::fixed << std::setprecision(4)
+              << measured << std::setw(14) << expected << "\n";
+  }
+
+  std::cout << "\n(with 0 bits — the paper's testbed — the attack is "
+               "deterministic; every added bit\n of image entropy halves "
+               "the arc-injection success rate, motivating why the §5\n "
+               "source-level protections matter even alongside ASLR: a "
+               "lucky guess still wins)\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Experiment E6: denial of service via loop-bound corruption (§4.4).
+//
+// Series: the attacker-injected value for the local n vs the planned
+// request-loop iterations and the measured service-time amplification
+// (the loop body is timed at a small, bounded scale and extrapolated —
+// spinning 2^31 times in a bench would *be* the DoS).
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+
+#include "attacks/lab.h"
+#include "attacks/scenarios.h"
+
+namespace {
+
+using namespace pnlab;
+using attacks::AttackReport;
+
+/// Runs the §4.4 scenario with a specific injected bound and returns the
+/// corrupted n as the victim would read it.
+std::int32_t corrupted_loop_bound(std::int32_t injected) {
+  attacks::Lab lab(attacks::ProtectionConfig::none());
+  const memsim::Address ret_to = lab.mem.add_text_symbol("main_continue");
+  lab.call("serveRequest", ret_to);
+  const memsim::Address n_addr = lab.stack.push_local("n", 4);
+  lab.mem.write_i32(n_addr, 5);
+  const memsim::Address stud = lab.stack.push_local("stud", 16, 8);
+  auto gs = lab.engine.place_object(stud, "GradStudent");
+  const memsim::Address ssn_base = stud + 16;
+  gs.write_int("ssn", injected,
+               static_cast<std::size_t>((n_addr - ssn_base) / 4));
+  const std::int32_t n = lab.mem.read_i32(n_addr);
+  lab.stack.pop_frame();
+  return n;
+}
+
+/// Nanoseconds per simulated request-loop iteration, measured.
+double ns_per_iteration() {
+  using Clock = std::chrono::steady_clock;
+  volatile std::uint64_t sink = 0;
+  constexpr std::uint64_t kProbe = 2'000'000;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < kProbe; ++i) sink = sink + i;
+  const auto elapsed =
+      std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+  return elapsed / static_cast<double>(kProbe) + (sink == 1 ? 0.0 : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E6: DoS via loop-bound corruption (§4.4)\n"
+            << "honest bound n = 5 requests per batch\n\n";
+
+  const double ns = ns_per_iteration();
+  std::cout << "measured loop-body cost: " << std::fixed
+            << std::setprecision(2) << ns << " ns/iteration\n\n";
+
+  std::cout << std::left << std::setw(14) << "injected n" << std::right
+            << std::setw(16) << "loop runs" << std::setw(16)
+            << "amplification" << std::setw(20) << "est. batch time" << "\n"
+            << std::string(66, '-') << "\n";
+
+  for (std::int32_t injected :
+       {-1, 0, 5, 1000, 1000000, 0x7fffffff}) {
+    const std::int32_t n = corrupted_loop_bound(injected);
+    const std::int64_t planned = n > 0 ? n : 0;
+    const double amplification = static_cast<double>(planned) / 5.0;
+    const double seconds = static_cast<double>(planned) * ns / 1e9;
+    std::cout << std::left << std::setw(14) << injected << std::right
+              << std::setw(16) << planned << std::setw(15)
+              << std::setprecision(1) << amplification << "x"
+              << std::setw(18) << std::setprecision(3) << seconds << "s"
+              << "\n";
+  }
+
+  std::cout << "\n(n <= 0 starves the batch — requests are silently "
+               "dropped / auth checks skipped;\n huge n pins the worker: "
+               "both §4.4 outcomes from one 4-byte overwrite)\n\n";
+
+  // Protection view: bounds checking stops the corrupting placement.
+  const AttackReport protectedrun = attacks::scenario("dos_loop_corruption")
+                                        .run(attacks::ProtectionConfig::bounds());
+  std::cout << "under bounds checking: " << protectedrun.outcome_cell()
+            << "\n";
+  return 0;
+}

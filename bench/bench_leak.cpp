@@ -1,0 +1,83 @@
+// Experiment E4: memory-leak growth (Listing 23, §4.5).
+//
+// Series: iterations vs leaked bytes for the vulnerable release-through-
+// smaller-type loop, with the leak tracker's verdict, against the fixed
+// version (placement delete) and the native Arena discipline.
+#include <iomanip>
+#include <iostream>
+
+#include "guard/protections.h"
+#include "native/arena.h"
+#include "native/poc.h"
+#include "objmodel/corpus.h"
+#include "placement/engine.h"
+
+namespace {
+
+using namespace pnlab;
+
+placement::LeakStats run_listing23(std::size_t iterations,
+                                   bool use_placement_delete) {
+  memsim::Memory mem;
+  objmodel::TypeRegistry registry(mem);
+  objmodel::corpus::define_student_types(registry);
+  placement::PlacementEngine engine(registry);
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    // Reuse a handful of heap arenas round-robin so the simulated heap
+    // segment bounds the run, while the ledger still sees every cycle.
+    const memsim::Address arena = mem.allocate(
+        memsim::SegmentKind::Heap, 28, "gs");
+    engine.place_object(arena, "GradStudent");
+    engine.place_object(arena, "Student");
+    if (use_placement_delete) {
+      engine.destroy(arena);  // reclaims the full original size
+    } else {
+      engine.release_through(arena, "Student");  // Listing 23's bug
+    }
+    mem.release(arena);
+  }
+  return engine.leak_stats();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E4: memory-leak growth (Listing 23)\n"
+            << "leak per iteration = sizeof(GradStudent) - sizeof(Student) "
+               "= 12 bytes (ILP32 model)\n\n";
+
+  std::cout << std::left << std::setw(12) << "iterations" << std::right
+            << std::setw(16) << "leaked (buggy)" << std::setw(18)
+            << "leaked (fixed)" << std::setw(16) << "tracker" << "\n"
+            << std::string(62, '-') << "\n";
+
+  for (std::size_t iters : {10u, 100u, 1000u, 10000u}) {
+    const auto buggy = run_listing23(iters, /*use_placement_delete=*/false);
+    const auto fixed = run_listing23(iters, /*use_placement_delete=*/true);
+    std::cout << std::left << std::setw(12) << iters << std::right
+              << std::setw(16) << buggy.leaked_bytes << std::setw(18)
+              << fixed.leaked_bytes << std::setw(16)
+              << (buggy.leaked_bytes > 0 ? "OVER BUDGET" : "ok") << "\n";
+  }
+
+  // Native confirmation of the same arithmetic.
+  const auto native = native::poc::demonstrate_release_through_smaller_type(
+      100000);
+  std::cout << "\nnative sizes: sizeof(Student)=" << sizeof(native::poc::Student)
+            << " sizeof(GradStudent)=" << sizeof(native::poc::GradStudent)
+            << " -> " << native.bytes_lost_per_iteration
+            << " bytes lost/iteration, " << native.total_stranded
+            << " bytes stranded after " << native.iterations
+            << " iterations\n";
+
+  // The Arena discipline: destroy() reclaims everything.
+  native::Arena arena(1 << 16);
+  for (int i = 0; i < 100; ++i) {
+    auto* gs = arena.create<native::poc::GradStudent>();
+    arena.destroy(gs);
+  }
+  std::cout << "native Arena leaked bytes after 100 create/destroy cycles: "
+            << arena.leaked_bytes() << "\n";
+  return 0;
+}

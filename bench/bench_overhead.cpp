@@ -1,0 +1,207 @@
+// Experiment E2: protection overhead (google-benchmark).
+//
+// Measures what the §5 protections cost, both in the simulator (policy
+// check cost per placement) and natively (checked_placement_new and the
+// hardened Arena vs raw placement new), across object sizes.  Also the
+// two DESIGN.md ablations: whole-arena vs residue-only sanitization, and
+// canary on/off in the Arena.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "memsim/heap.h"
+#include "native/arena.h"
+#include "native/safe_placement.h"
+#include "objmodel/corpus.h"
+#include "placement/engine.h"
+
+namespace {
+
+using pnlab::memsim::Memory;
+using pnlab::memsim::SegmentKind;
+using pnlab::objmodel::TypeRegistry;
+using pnlab::placement::PlacementEngine;
+using pnlab::placement::PlacementPolicy;
+using pnlab::placement::SanitizeMode;
+
+// --- simulator-side: per-placement policy cost -----------------------
+
+struct SimFixture {
+  Memory mem;
+  TypeRegistry registry{mem};
+  PlacementEngine engine{registry};
+  pnlab::memsim::Address arena = 0;
+
+  explicit SimFixture(PlacementPolicy policy) {
+    pnlab::objmodel::corpus::define_student_types(registry);
+    engine.set_policy(policy);
+    arena = mem.allocate(SegmentKind::Heap, 4096, "pool");
+  }
+};
+
+void BM_SimPlacement(benchmark::State& state, PlacementPolicy policy) {
+  SimFixture fixture(policy);
+  for (auto _ : state) {
+    auto obj = fixture.engine.place_object(fixture.arena, "Student");
+    benchmark::DoNotOptimize(obj.address());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_SimArrayPlacement(benchmark::State& state, PlacementPolicy policy) {
+  SimFixture fixture(policy);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto addr = fixture.engine.place_array(fixture.arena, 1, size, "char[]");
+    benchmark::DoNotOptimize(addr);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+
+// --- native-side: real placement paths --------------------------------
+
+struct Payload64 {
+  char data[64];
+};
+
+void BM_NativeRawPlacement(benchmark::State& state) {
+  alignas(16) std::byte buf[sizeof(Payload64)];
+  for (auto _ : state) {
+    Payload64* p = ::new (static_cast<void*>(buf)) Payload64();
+    benchmark::DoNotOptimize(p);
+  }
+}
+
+void BM_NativeCheckedPlacement(benchmark::State& state) {
+  alignas(16) std::byte buf[sizeof(Payload64)];
+  for (auto _ : state) {
+    Payload64* p = pnlab::native::checked_placement_new<Payload64>(buf);
+    benchmark::DoNotOptimize(p);
+  }
+}
+
+void BM_NativeArrayRaw(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> buf(size);
+  for (auto _ : state) {
+    char* p = ::new (static_cast<void*>(buf.data())) char[1];
+    benchmark::DoNotOptimize(p);
+    benchmark::ClobberMemory();
+  }
+  (void)size;
+}
+
+void BM_NativeArrayChecked(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> buf(size);
+  for (auto _ : state) {
+    char* p = pnlab::native::checked_placement_array<char>(buf, size);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+
+void BM_ArenaCreateDestroy(benchmark::State& state) {
+  const bool canaries = state.range(0) != 0;
+  const bool sanitize = state.range(1) != 0;
+  pnlab::native::Arena arena(
+      1 << 20, pnlab::native::ArenaOptions{canaries, sanitize,
+                                           std::byte{0}});
+  std::size_t created = 0;
+  for (auto _ : state) {
+    Payload64* p = arena.create<Payload64>();
+    benchmark::DoNotOptimize(p);
+    arena.destroy(p);
+    // The bump arena reserves fresh space per create; recycle the pool
+    // outside the timed region before it fills.
+    if (++created % 8000 == 0) {
+      state.PauseTiming();
+      arena.release_all();
+      state.ResumeTiming();
+    }
+  }
+}
+
+void BM_MallocFreeBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    auto* p = new Payload64();
+    benchmark::DoNotOptimize(p);
+    delete p;
+  }
+}
+
+void BM_SimHeapMallocFree(benchmark::State& state) {
+  // The simulated free-list allocator (checksummed in-band headers).
+  Memory mem;
+  pnlab::memsim::HeapAllocator heap(mem, 1 << 18);
+  for (auto _ : state) {
+    const auto p = heap.malloc(64);
+    benchmark::DoNotOptimize(p);
+    heap.free(p);
+  }
+}
+
+// --- ablation: sanitize whole arena vs residue only -------------------
+
+void BM_SanitizeAblation(benchmark::State& state, SanitizeMode mode) {
+  SimFixture fixture(PlacementPolicy{.bounds_check = false,
+                                     .align_check = false,
+                                     .type_check = false,
+                                     .sanitize = mode});
+  const auto size = static_cast<std::size_t>(state.range(0));
+  // Alternate large/small placements so ResidueOnly always has a gap.
+  bool big = true;
+  for (auto _ : state) {
+    const std::size_t n = big ? size : size / 4;
+    auto addr = fixture.engine.place_array(fixture.arena, 1, n, "char[]");
+    benchmark::DoNotOptimize(addr);
+    big = !big;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SimPlacement, unchecked, PlacementPolicy::unchecked());
+BENCHMARK_CAPTURE(BM_SimPlacement, bounds,
+                  PlacementPolicy{.bounds_check = true,
+                                  .align_check = false,
+                                  .type_check = false,
+                                  .sanitize = SanitizeMode::None});
+BENCHMARK_CAPTURE(BM_SimPlacement, full_checked, PlacementPolicy::checked());
+
+BENCHMARK_CAPTURE(BM_SimArrayPlacement, unchecked,
+                  PlacementPolicy::unchecked())
+    ->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_SimArrayPlacement, bounds,
+                  PlacementPolicy{.bounds_check = true,
+                                  .align_check = false,
+                                  .type_check = false,
+                                  .sanitize = SanitizeMode::None})
+    ->Arg(16)->Arg(256)->Arg(4096);
+
+BENCHMARK(BM_NativeRawPlacement);
+BENCHMARK(BM_NativeCheckedPlacement);
+BENCHMARK(BM_NativeArrayRaw)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_NativeArrayChecked)->Arg(64)->Arg(1024)->Arg(65536);
+
+BENCHMARK(BM_ArenaCreateDestroy)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"canary", "sanitize"});
+BENCHMARK(BM_MallocFreeBaseline);
+BENCHMARK(BM_SimHeapMallocFree);
+
+BENCHMARK_CAPTURE(BM_SanitizeAblation, whole_arena, SanitizeMode::WholeArena)
+    ->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_SanitizeAblation, residue_only,
+                  SanitizeMode::ResidueOnly)
+    ->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_SanitizeAblation, none, SanitizeMode::None)
+    ->Arg(256)->Arg(4096);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// attack_lab: run any paper attack (or the whole corpus) in the simulated
+// process and watch what it corrupts.
+//
+//   ./examples/attack_lab                 # full matrix, all protections
+//   ./examples/attack_lab heap_overflow   # one scenario, verbose, all configs
+//   ./examples/attack_lab list            # scenario ids
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+
+using namespace pnlab;
+
+namespace {
+
+void print_verbose_row(const std::string& id) {
+  const auto& entry = attacks::scenario(id);
+  std::cout << entry.title << "  [" << entry.paper_ref << "]\n\n";
+  for (const auto& report : core::run_scenario_row(id)) {
+    std::cout << "protection=" << report.protection << " -> "
+              << report.outcome_cell() << "\n";
+    if (!report.detail.empty()) {
+      std::cout << "  " << report.detail << "\n";
+    }
+    for (const auto& [key, value] : report.observations) {
+      std::cout << "  " << key << " = " << value << "\n";
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg == "list") {
+      for (const auto& entry : attacks::all_scenarios()) {
+        std::cout << entry.id << "  (" << entry.paper_ref << ")\n";
+      }
+      return 0;
+    }
+    try {
+      print_verbose_row(arg);
+    } catch (const std::out_of_range& e) {
+      std::cerr << e.what() << "\nuse `attack_lab list` for scenario ids\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  const auto reports = core::run_matrix();
+  std::cout << core::format_matrix(reports) << "\n"
+            << core::format_summary(core::summarize(reports));
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/sema.h"
+
+namespace pnlab::analysis {
+
+bool AnalysisResult::has(const std::string& code) const {
+  return count(code) > 0;
+}
+
+std::size_t AnalysisResult::count(const std::string& code) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+std::size_t AnalysisResult::finding_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity != Severity::Info;
+                    }));
+}
+
+std::string AnalysisResult::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics) os << d.format() << "\n";
+  return os.str();
+}
+
+AnalysisResult analyze(const std::string& source,
+                       const AnalyzerOptions& options) {
+  const Program program = parse(source);
+  const TypeTable types(program);
+
+  AnalysisResult result;
+  result.functions_analyzed = program.functions.size();
+  result.classes_laid_out = program.classes.size();
+  for (const FuncDecl& fn : program.functions) {
+    for_each_stmt(*fn.body, [&](const Stmt& stmt) {
+      auto count_in = [&](const Expr& root) {
+        for_each_expr(root, [&](const Expr& e) {
+          if (e.kind == Expr::Kind::New && e.placement) {
+            ++result.placement_sites;
+          }
+        });
+      };
+      if (stmt.expr) count_in(*stmt.expr);
+      if (stmt.init) count_in(*stmt.init);
+    });
+  }
+
+  result.diagnostics = run_checkers(program, types, options.taint);
+  if (!options.include_info) {
+    std::erase_if(result.diagnostics, [](const Diagnostic& d) {
+      return d.severity == Severity::Info;
+    });
+  }
+  return result;
+}
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,39 @@
+// Public entry point of the static analyzer — the tool the paper's
+// conclusion announces as future work: "a tool for static analysis of
+// code and for detecting vulnerabilities due to placement new".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/checkers.h"
+#include "analysis/taint.h"
+
+namespace pnlab::analysis {
+
+struct AnalyzerOptions {
+  TaintOptions taint;
+  /// Drop Info-severity diagnostics (alignment advisories) from results.
+  bool include_info = true;
+};
+
+struct AnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t functions_analyzed = 0;
+  std::size_t classes_laid_out = 0;
+  std::size_t placement_sites = 0;
+
+  bool has(const std::string& code) const;
+  std::size_t count(const std::string& code) const;
+  /// Errors + warnings (info excluded) — the headline finding count.
+  std::size_t finding_count() const;
+  /// One line per diagnostic, ready to print.
+  std::string to_string() const;
+};
+
+/// Parses and analyzes PNC source.  Throws ParseError on malformed input.
+AnalysisResult analyze(const std::string& source,
+                       const AnalyzerOptions& options = {});
+
+}  // namespace pnlab::analysis

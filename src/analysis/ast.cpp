@@ -1,0 +1,103 @@
+#include "analysis/ast.h"
+
+#include <sstream>
+
+namespace pnlab::analysis {
+
+std::string TypeRef::display() const {
+  std::string out = tainted ? "tainted " + name : name;
+  out.append(static_cast<std::size_t>(pointer_depth), '*');
+  return out;
+}
+
+void for_each_expr(const Expr& expr,
+                   const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  if (expr.lhs) for_each_expr(*expr.lhs, fn);
+  if (expr.rhs) for_each_expr(*expr.rhs, fn);
+  if (expr.placement) for_each_expr(*expr.placement, fn);
+  if (expr.array_size) for_each_expr(*expr.array_size, fn);
+  for (const auto& arg : expr.args) for_each_expr(*arg, fn);
+}
+
+std::string to_source(const Expr& expr) {
+  std::ostringstream os;
+  switch (expr.kind) {
+    case Expr::Kind::IntLit:
+      os << expr.int_value;
+      break;
+    case Expr::Kind::FloatLit:
+      os << expr.float_value;
+      break;
+    case Expr::Kind::StringLit:
+      os << '"' << expr.text << '"';
+      break;
+    case Expr::Kind::BoolLit:
+      os << (expr.int_value ? "true" : "false");
+      break;
+    case Expr::Kind::NullLit:
+      os << "NULL";
+      break;
+    case Expr::Kind::Ident:
+      os << expr.text;
+      break;
+    case Expr::Kind::Unary:
+      if (expr.text == "++" || expr.text == "--") {
+        os << to_source(*expr.lhs) << expr.text;
+      } else {
+        os << expr.text << to_source(*expr.lhs);
+      }
+      break;
+    case Expr::Kind::Binary:
+      os << "(" << to_source(*expr.lhs) << " " << expr.text << " "
+         << to_source(*expr.rhs) << ")";
+      break;
+    case Expr::Kind::Call: {
+      os << expr.text << "(";
+      for (std::size_t i = 0; i < expr.args.size(); ++i) {
+        os << (i ? ", " : "") << to_source(*expr.args[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Expr::Kind::Member:
+      os << to_source(*expr.lhs) << (expr.arrow ? "->" : ".") << expr.text;
+      break;
+    case Expr::Kind::Index:
+      os << to_source(*expr.lhs) << "[" << to_source(*expr.rhs) << "]";
+      break;
+    case Expr::Kind::New:
+      os << "new ";
+      if (expr.placement) os << "(" << to_source(*expr.placement) << ") ";
+      os << expr.type.display();
+      if (expr.is_array) {
+        os << "[" << to_source(*expr.array_size) << "]";
+      } else {
+        os << "(";
+        for (std::size_t i = 0; i < expr.args.size(); ++i) {
+          os << (i ? ", " : "") << to_source(*expr.args[i]);
+        }
+        os << ")";
+      }
+      break;
+    case Expr::Kind::Sizeof:
+      os << "sizeof("
+         << (expr.type.name.empty() ? to_source(*expr.lhs)
+                                    : expr.type.display())
+         << ")";
+      break;
+  }
+  return os.str();
+}
+
+void for_each_stmt(const Stmt& stmt,
+                   const std::function<void(const Stmt&)>& fn) {
+  fn(stmt);
+  if (stmt.then_branch) for_each_stmt(*stmt.then_branch, fn);
+  if (stmt.else_branch) for_each_stmt(*stmt.else_branch, fn);
+  if (stmt.init_stmt) for_each_stmt(*stmt.init_stmt, fn);
+  if (stmt.body_stmt) for_each_stmt(*stmt.body_stmt, fn);
+  for (const auto& child : stmt.body) for_each_stmt(*child, fn);
+}
+
+}  // namespace pnlab::analysis

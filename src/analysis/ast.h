@@ -1,0 +1,153 @@
+// Abstract syntax tree for PNC (see token.h for the dialect).
+//
+// A deliberately flat representation: one Expr struct and one Stmt struct,
+// each tagged by Kind with only the relevant fields populated.  The
+// analyzer is the only consumer, and a flat AST keeps the checkers simple
+// to read next to the paper's listings.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pnlab::analysis {
+
+/// A (possibly pointer) reference to a named or builtin type.
+struct TypeRef {
+  std::string name;        ///< "int", "double", "char", "void", "bool",
+                           ///< or a class name
+  int pointer_depth = 0;   ///< number of '*'
+  bool tainted = false;    ///< declared with the `tainted` qualifier
+
+  bool is_pointer() const { return pointer_depth > 0; }
+  std::string display() const;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    IntLit,     ///< int_value
+    FloatLit,   ///< float_value
+    StringLit,  ///< text
+    BoolLit,    ///< int_value 0/1
+    NullLit,
+    Ident,      ///< text = variable name
+    Unary,      ///< text = op ("&", "*", "-", "!", "++", "--"); lhs
+    Binary,     ///< text = op; lhs, rhs  (includes "=" and ">>")
+    Call,       ///< text = callee name; args
+    Member,     ///< lhs . text  (arrow=true for ->)
+    Index,      ///< lhs [ rhs ]
+    New,        ///< placement (may be null), type, is_array,
+                ///< array_size (may be null), args (constructor)
+    Sizeof,     ///< type (when type.name non-empty) or lhs (expression)
+  };
+
+  Kind kind = Kind::IntLit;
+  int line = 0;
+  int col = 0;
+
+  long long int_value = 0;
+  double float_value = 0;
+  std::string text;
+
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;
+
+  // New / Sizeof
+  ExprPtr placement;   ///< the "(addr)" operand of placement new
+  TypeRef type;
+  bool is_array = false;
+  ExprPtr array_size;
+
+  bool arrow = false;  ///< Member: true for ->
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    Expr,     ///< expr
+    VarDecl,  ///< type name [array_size] = init
+    If,       ///< cond, then_branch, else_branch
+    While,    ///< cond, body_stmt
+    For,      ///< init_stmt, cond, step, body_stmt
+    Return,   ///< expr (may be null)
+    Block,    ///< body
+    CinRead,  ///< expr = the lvalue read into (taint source)
+    Delete,   ///< expr = operand
+    Empty,
+  };
+
+  Kind kind = Kind::Empty;
+  int line = 0;
+
+  ExprPtr expr;
+  TypeRef type;
+  std::string name;
+  ExprPtr array_size;
+  ExprPtr init;
+
+  ExprPtr cond;
+  ExprPtr step;
+  StmtPtr then_branch;
+  StmtPtr else_branch;
+  StmtPtr init_stmt;
+  StmtPtr body_stmt;
+  std::vector<StmtPtr> body;
+  int end_line = 0;  ///< for Block: the line of the closing brace
+};
+
+/// A data member of a PNC class.
+struct MemberDecl {
+  TypeRef type;
+  std::string name;
+  long long array_count = 1;
+  int line = 0;
+};
+
+struct ClassDecl {
+  std::string name;
+  std::string base;  ///< empty when no base class
+  std::vector<MemberDecl> members;
+  std::vector<std::string> virtual_functions;
+  int line = 0;
+};
+
+struct ParamDecl {
+  TypeRef type;
+  std::string name;
+};
+
+struct FuncDecl {
+  TypeRef return_type;
+  std::string name;
+  std::vector<ParamDecl> params;
+  StmtPtr body;  ///< always a Block
+  int line = 0;
+};
+
+struct Program {
+  std::vector<ClassDecl> classes;
+  std::vector<StmtPtr> globals;  ///< VarDecl statements
+  std::vector<FuncDecl> functions;
+};
+
+/// Parses PNC source into a Program; throws ParseError on bad input.
+Program parse(const std::string& source);
+
+/// Walks every statement in a block tree in source order, invoking @p fn.
+void for_each_stmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn);
+
+/// Walks every sub-expression of @p expr (including itself).
+void for_each_expr(const Expr& expr, const std::function<void(const Expr&)>& fn);
+
+/// Renders @p expr back to PNC source (used by the auto-fixer to build
+/// guard conditions).  Parenthesizes conservatively.
+std::string to_source(const Expr& expr);
+
+}  // namespace pnlab::analysis

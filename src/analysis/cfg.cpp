@@ -1,0 +1,114 @@
+#include "analysis/cfg.h"
+
+namespace pnlab::analysis {
+
+namespace {
+
+class CfgBuilder {
+ public:
+  Cfg build(const FuncDecl& function) {
+    cfg_.entry = new_block();
+    cfg_.exit = new_block();
+    current_ = cfg_.entry;
+    lower(*function.body);
+    if (current_ >= 0) edge(current_, cfg_.exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  int new_block() {
+    const int id = static_cast<int>(cfg_.blocks.size());
+    cfg_.blocks.push_back(BasicBlock{id, {}, {}, {}});
+    return id;
+  }
+
+  void edge(int from, int to) {
+    cfg_.blocks[static_cast<std::size_t>(from)].succs.push_back(to);
+    cfg_.blocks[static_cast<std::size_t>(to)].preds.push_back(from);
+  }
+
+  /// Appends a simple statement to the current block (starting a fresh
+  /// one if the previous path was terminated by a return).
+  void append(const Stmt* stmt) {
+    if (current_ < 0) current_ = new_block();  // unreachable code region
+    cfg_.blocks[static_cast<std::size_t>(current_)].stmts.push_back(stmt);
+  }
+
+  void lower(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::Block:
+        for (const auto& child : stmt.body) lower(*child);
+        return;
+      case Stmt::Kind::Empty:
+        return;
+      case Stmt::Kind::Return:
+        append(&stmt);
+        if (current_ >= 0) edge(current_, cfg_.exit);
+        current_ = -1;
+        return;
+      case Stmt::Kind::If: {
+        append(&stmt);  // the condition is evaluated here
+        const int cond_block = current_;
+        const int join = new_block();
+
+        current_ = new_block();
+        edge(cond_block, current_);
+        lower(*stmt.then_branch);
+        if (current_ >= 0) edge(current_, join);
+
+        if (stmt.else_branch) {
+          current_ = new_block();
+          edge(cond_block, current_);
+          lower(*stmt.else_branch);
+          if (current_ >= 0) edge(current_, join);
+        } else {
+          edge(cond_block, join);
+        }
+        current_ = join;
+        return;
+      }
+      case Stmt::Kind::While: {
+        const int head = new_block();
+        if (current_ >= 0) edge(current_, head);
+        cfg_.blocks[static_cast<std::size_t>(head)].stmts.push_back(&stmt);
+        const int after = new_block();
+        current_ = new_block();
+        edge(head, current_);
+        lower(*stmt.body_stmt);
+        if (current_ >= 0) edge(current_, head);
+        edge(head, after);
+        current_ = after;
+        return;
+      }
+      case Stmt::Kind::For: {
+        if (stmt.init_stmt) lower(*stmt.init_stmt);
+        const int head = new_block();
+        if (current_ >= 0) edge(current_, head);
+        cfg_.blocks[static_cast<std::size_t>(head)].stmts.push_back(&stmt);
+        const int after = new_block();
+        current_ = new_block();
+        edge(head, current_);
+        lower(*stmt.body_stmt);
+        if (current_ >= 0) edge(current_, head);  // step runs on the edge
+        edge(head, after);
+        current_ = after;
+        return;
+      }
+      default:
+        append(&stmt);
+        return;
+    }
+  }
+
+  Cfg cfg_;
+  int current_ = -1;
+};
+
+}  // namespace
+
+Cfg build_cfg(const FuncDecl& function) {
+  CfgBuilder builder;
+  return builder.build(function);
+}
+
+}  // namespace pnlab::analysis

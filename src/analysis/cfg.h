@@ -1,0 +1,34 @@
+// Control-flow graph over PNC function bodies.
+//
+// Blocks hold pointers to the simple statements they execute in order;
+// structured control flow (if/while/for) becomes edges.  The taint
+// analysis runs a forward may-dataflow over this graph.
+#pragma once
+
+#include <vector>
+
+#include "analysis/ast.h"
+
+namespace pnlab::analysis {
+
+struct BasicBlock {
+  int id = 0;
+  std::vector<const Stmt*> stmts;  ///< simple statements, in order
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  int entry = 0;
+  int exit = 0;
+
+  const BasicBlock& block(int id) const { return blocks[static_cast<std::size_t>(id)]; }
+};
+
+/// Builds the CFG of @p function.  Return statements edge to the exit
+/// block; loops get back edges; every block is reachable from entry by
+/// construction.
+Cfg build_cfg(const FuncDecl& function);
+
+}  // namespace pnlab::analysis

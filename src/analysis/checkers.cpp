@@ -1,0 +1,571 @@
+#include "analysis/checkers.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "analysis/cfg.h"
+
+namespace pnlab::analysis {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Info: return "info";
+  }
+  return "?";
+}
+
+std::string Diagnostic::format() const {
+  std::ostringstream os;
+  os << "line " << line << " [" << code << "/" << to_string(severity)
+     << "] in " << function << ": " << message;
+  return os.str();
+}
+
+namespace {
+
+/// A placement-new site found in a function body.
+struct PlacementSite {
+  const Expr* expr = nullptr;    ///< the New node (placement != null)
+  const Stmt* stmt = nullptr;    ///< enclosing simple statement
+  bool guarded = false;          ///< under an if(sizeof...) condition
+  std::string assigned_to;       ///< "st" for `T* st = new (..) ..`, if any
+};
+
+bool condition_is_size_guard(const Expr& cond) {
+  bool has_sizeof = false;
+  for_each_expr(cond, [&](const Expr& e) {
+    if (e.kind == Expr::Kind::Sizeof) has_sizeof = true;
+  });
+  return has_sizeof;
+}
+
+/// Collects placement sites with their guard context, walking the body in
+/// source order.
+class SiteCollector {
+ public:
+  std::vector<PlacementSite> collect(const Stmt& body) {
+    walk(body, /*guarded=*/false);
+    return std::move(sites_);
+  }
+
+ private:
+  void scan_stmt(const Stmt& stmt, bool guarded) {
+    auto scan_expr = [&](const Expr& root, const std::string& assigned) {
+      for_each_expr(root, [&](const Expr& e) {
+        if (e.kind == Expr::Kind::New && e.placement) {
+          sites_.push_back(PlacementSite{&e, &stmt, guarded, assigned});
+        }
+      });
+    };
+    switch (stmt.kind) {
+      case Stmt::Kind::VarDecl:
+        if (stmt.init) scan_expr(*stmt.init, stmt.name);
+        if (stmt.array_size) scan_expr(*stmt.array_size, "");
+        break;
+      case Stmt::Kind::Expr:
+        if (stmt.expr) {
+          std::string assigned;
+          if (stmt.expr->kind == Expr::Kind::Binary &&
+              stmt.expr->text == "=" &&
+              stmt.expr->lhs->kind == Expr::Kind::Ident) {
+            assigned = stmt.expr->lhs->text;
+          }
+          scan_expr(*stmt.expr, assigned);
+        }
+        break;
+      case Stmt::Kind::Return:
+        if (stmt.expr) scan_expr(*stmt.expr, "");
+        break;
+      default:
+        break;
+    }
+  }
+
+  void walk(const Stmt& stmt, bool guarded) {
+    switch (stmt.kind) {
+      case Stmt::Kind::Block:
+        for (const auto& child : stmt.body) walk(*child, guarded);
+        return;
+      case Stmt::Kind::If: {
+        const bool inner =
+            guarded || (stmt.cond && condition_is_size_guard(*stmt.cond));
+        walk(*stmt.then_branch, inner);
+        if (stmt.else_branch) walk(*stmt.else_branch, inner);
+        return;
+      }
+      case Stmt::Kind::While:
+        walk(*stmt.body_stmt, guarded);
+        return;
+      case Stmt::Kind::For:
+        if (stmt.init_stmt) walk(*stmt.init_stmt, guarded);
+        walk(*stmt.body_stmt, guarded);
+        return;
+      default:
+        scan_stmt(stmt, guarded);
+        return;
+    }
+  }
+
+  std::vector<PlacementSite> sites_;
+};
+
+/// Per-function checker pass.
+class FunctionChecker {
+ public:
+  FunctionChecker(const Program& program, const FuncDecl& function,
+                  const TypeTable& types, const TaintOptions& taint_options,
+                  const TaintMap& global_taint,
+                  std::vector<Diagnostic>& diagnostics)
+      : function_(function),
+        types_(types),
+        taint_options_(taint_options),
+        symbols_(program, function, types),
+        cfg_(build_cfg(function)),
+        taint_(analyze_taint(function, cfg_, symbols_, taint_options,
+                             global_taint)),
+        diagnostics_(diagnostics) {}
+
+  TaintMap exported_global_taint() const {
+    TaintMap globals;
+    for (const auto& [name, depth] : taint_.at_exit) {
+      const VarInfo* var = symbols_.find(name);
+      if (var != nullptr && var->is_global) globals[name] = depth;
+    }
+    return globals;
+  }
+
+  void run() {
+    const auto sites = SiteCollector().collect(*function_.body);
+    for (const PlacementSite& site : sites) {
+      check_bounds_and_taint(site);
+      check_alignment(site);
+    }
+    check_reuse_without_sanitize(sites);
+    check_missing_release(sites);
+  }
+
+ private:
+  void emit(const std::string& code, Severity severity, int line, int col,
+            const std::string& message) {
+    diagnostics_.push_back(
+        Diagnostic{code, severity, line, col, function_.name, message});
+  }
+
+  std::optional<std::size_t> placed_size(const Expr& site) const {
+    if (site.is_array) {
+      auto count = const_eval(*site.array_size, types_, &symbols_);
+      auto elem = types_.size_of(site.type);
+      if (count && elem && *count >= 0) {
+        return *elem * static_cast<std::size_t>(*count);
+      }
+      return std::nullopt;
+    }
+    return types_.size_of(site.type);
+  }
+
+  void check_bounds_and_taint(const PlacementSite& site) {
+    if (site.guarded) return;  // §5.1: programmer checks sizes here
+
+    const Expr& e = *site.expr;
+    const auto arena =
+        resolve_arena_size(*e.placement, symbols_, types_, function_);
+    const auto placed = placed_size(e);
+
+    // PN002/PN003: taint on the size expression of array placements.
+    if (e.is_array && e.array_size) {
+      const TaintMap* state = state_before(site.stmt);
+      if (state != nullptr) {
+        const int depth =
+            taint_of_expr(*e.array_size, *state, taint_options_);
+        if (depth == 1) {
+          emit("PN002", Severity::Error, e.line, e.col,
+               "placement-new array size is influenced directly by an "
+               "untrusted source");
+          return;
+        }
+        if (depth >= 2) {
+          emit("PN003", Severity::Error, e.line, e.col,
+               "placement-new array size is influenced by an untrusted "
+               "source through " + std::to_string(depth - 1) +
+                   " intermediate definition(s)");
+          return;
+        }
+      }
+    }
+
+    // PN001: both sizes statically known.
+    if (arena && placed) {
+      if (*placed > *arena) {
+        emit("PN001", Severity::Error, e.line, e.col,
+             "placing " + e.type.display() +
+                 (e.is_array ? "[]" : "") + " of " +
+                 std::to_string(*placed) + " bytes into an arena of only " +
+                 std::to_string(*arena) + " bytes");
+      }
+      return;
+    }
+
+    // PN004: bounds cannot be established.
+    emit("PN004", Severity::Warning, e.line, e.col,
+         "cannot establish the size of the placement target arena; "
+         "bounds are unverifiable");
+  }
+
+  void check_alignment(const PlacementSite& site) {
+    const Expr& e = *site.expr;
+    const auto placed_align = types_.align_of(e.type);
+    if (!placed_align || *placed_align <= 1) return;
+
+    // Target alignment: the natural alignment of the arena's element or
+    // object type, when resolvable.
+    const std::string root = target_root(*e.placement);
+    const VarInfo* var = root.empty() ? nullptr : symbols_.find(root);
+    if (var == nullptr) return;
+    const auto target_align = types_.align_of(
+        TypeRef{var->type.name, 0, false});
+    if (target_align && *target_align < *placed_align) {
+      emit("PN007", Severity::Info, e.line, e.col,
+           "placed type requires " + std::to_string(*placed_align) +
+               "-byte alignment but the target only guarantees " +
+               std::to_string(*target_align));
+    }
+  }
+
+  void check_reuse_without_sanitize(const std::vector<PlacementSite>& sites) {
+    // Source-order event scan per target root: a placement smaller than
+    // the arena's previous contents, with no memset in between, leaves
+    // readable residue (§4.3).
+    struct ArenaState {
+      std::size_t occupied = 0;  ///< bytes known to hold old data
+      bool sanitized_since = true;
+    };
+    std::map<std::string, ArenaState> arenas;
+
+    // Pre-scan: calls that fill a buffer (read/recv/strncpy/memcpy) mark
+    // it occupied; memset marks it sanitized.  Ordering relies on
+    // for_each_stmt's source-order walk shared with SiteCollector.
+    struct Event {
+      int line = 0;
+      enum class Kind { Fill, Sanitize, Place } kind;
+      std::string root;
+      std::size_t size = 0;
+      const Expr* site = nullptr;
+    };
+    std::vector<Event> events;
+
+    static const std::set<std::string> kFillCalls = {
+        "read", "recv", "strncpy", "memcpy", "read_file", "read_passwd",
+        "mmap_file", "store_into"};
+    for_each_stmt(*function_.body, [&](const Stmt& stmt) {
+      const Expr* call = nullptr;
+      if (stmt.kind == Stmt::Kind::Expr && stmt.expr &&
+          stmt.expr->kind == Expr::Kind::Call) {
+        call = stmt.expr.get();
+      }
+      if (call != nullptr && !call->args.empty()) {
+        const std::string root = target_root(*call->args[0]);
+        if (!root.empty()) {
+          if (call->text == "memset") {
+            events.push_back({call->line, Event::Kind::Sanitize, root, 0,
+                              nullptr});
+          } else if (kFillCalls.contains(call->text)) {
+            events.push_back({call->line, Event::Kind::Fill, root, 0,
+                              nullptr});
+          }
+        }
+      }
+    });
+    // Non-placement `new T()` bound to a pointer also fills its arena
+    // (Listing 22: the GradStudent's ssn[] is the residue a later,
+    // smaller placement exposes).
+    for_each_stmt(*function_.body, [&](const Stmt& stmt) {
+      const Expr* rhs = nullptr;
+      std::string root;
+      if (stmt.kind == Stmt::Kind::VarDecl && stmt.init) {
+        rhs = stmt.init.get();
+        root = stmt.name;
+      } else if (stmt.kind == Stmt::Kind::Expr && stmt.expr &&
+                 stmt.expr->kind == Expr::Kind::Binary &&
+                 stmt.expr->text == "=" &&
+                 stmt.expr->lhs->kind == Expr::Kind::Ident) {
+        rhs = stmt.expr->rhs.get();
+        root = stmt.expr->lhs->text;
+      }
+      if (rhs == nullptr || rhs->kind != Expr::Kind::New || rhs->placement) {
+        return;
+      }
+      std::size_t size = 0;
+      if (rhs->is_array) {
+        auto count = const_eval(*rhs->array_size, types_, &symbols_);
+        auto elem = types_.size_of(rhs->type);
+        if (count && elem && *count >= 0) {
+          size = *elem * static_cast<std::size_t>(*count);
+        }
+      } else {
+        size = types_.size_of(rhs->type).value_or(0);
+      }
+      if (size > 0) {
+        events.push_back({rhs->line, Event::Kind::Fill, root, size, nullptr});
+      }
+    });
+    for (const PlacementSite& site : sites) {
+      const std::string root = target_root(*site.expr->placement);
+      if (root.empty()) continue;
+      const auto size = placed_size(*site.expr);
+      events.push_back({site.expr->line, Event::Kind::Place, root,
+                        size.value_or(0), site.expr});
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.line < b.line;
+                     });
+
+    for (const Event& ev : events) {
+      ArenaState& st = arenas[ev.root];
+      switch (ev.kind) {
+        case Event::Kind::Fill: {
+          if (ev.size > 0) {
+            st.occupied = std::max(st.occupied, ev.size);
+          } else {
+            const VarInfo* var = symbols_.find(ev.root);
+            st.occupied = var != nullptr && var->byte_size ? *var->byte_size
+                                                           : SIZE_MAX;
+          }
+          st.sanitized_since = false;
+          break;
+        }
+        case Event::Kind::Sanitize:
+          st.occupied = 0;
+          st.sanitized_since = true;
+          break;
+        case Event::Kind::Place:
+          if (!st.sanitized_since && st.occupied > 0 &&
+              (ev.size == 0 || ev.size < st.occupied)) {
+            emit("PN005", Severity::Warning, ev.site->line, ev.site->col,
+                 "arena '" + ev.root +
+                     "' is reused without sanitization; bytes beyond the "
+                     "new object remain readable (information leak)");
+          }
+          st.occupied = std::max(st.occupied, ev.size);
+          st.sanitized_since = false;
+          break;
+      }
+    }
+  }
+
+  void check_missing_release(const std::vector<PlacementSite>& sites) {
+    // Placement results bound to a pointer should meet a destroy()/delete
+    // (the programmer-defined "placement delete" §5.1 recommends) in the
+    // same function, unless the pointer escapes via return.
+    std::set<std::string> released;
+    std::set<std::string> escaped;
+    for_each_stmt(*function_.body, [&](const Stmt& stmt) {
+      if (stmt.kind == Stmt::Kind::Delete && stmt.expr) {
+        const std::string root = target_root(*stmt.expr);
+        if (!root.empty()) released.insert(root);
+      }
+      if (stmt.kind == Stmt::Kind::Expr && stmt.expr &&
+          stmt.expr->kind == Expr::Kind::Call) {
+        if (stmt.expr->text == "destroy" && !stmt.expr->args.empty()) {
+          const std::string root = target_root(*stmt.expr->args[0]);
+          if (!root.empty()) released.insert(root);
+        }
+      }
+      if (stmt.kind == Stmt::Kind::Return && stmt.expr) {
+        const std::string root = target_root(*stmt.expr);
+        if (!root.empty()) escaped.insert(root);
+      }
+    });
+
+    for (const PlacementSite& site : sites) {
+      if (site.assigned_to.empty()) continue;
+      if (released.contains(site.assigned_to)) continue;
+      if (escaped.contains(site.assigned_to)) continue;
+      // Only heap arenas leak: a placement into a named object or array
+      // (&stud, mem_pool) — or into a member reached through a pointer
+      // (&mp->stud1) — reclaims with its owner.  The leak case is a
+      // plain pointer used as the arena handle (Listing 23's
+      // `new (stud) Student()`).
+      const Expr& target = *site.expr->placement;
+      if (target.kind != Expr::Kind::Ident) continue;
+      const VarInfo* root_var = symbols_.find(target.text);
+      if (root_var == nullptr || !root_var->type.is_pointer()) continue;
+      emit("PN006", Severity::Warning, site.expr->line, site.expr->col,
+           "placement-new result '" + site.assigned_to +
+               "' is never released with a placement delete/destroy; the "
+               "arena cannot be safely reclaimed (§4.5 memory leak)");
+    }
+  }
+
+  const TaintMap* state_before(const Stmt* stmt) const {
+    auto it = taint_.before.find(stmt);
+    return it == taint_.before.end() ? nullptr : &it->second;
+  }
+
+  const FuncDecl& function_;
+  const TypeTable& types_;
+  const TaintOptions& taint_options_;
+  SymbolTable symbols_;
+  Cfg cfg_;
+  TaintAnalysis taint_;
+  std::vector<Diagnostic>& diagnostics_;
+};
+
+/// Interprocedural taint: a helper whose *parameter* sizes a placement
+/// (`void place_n(int n) { new (pool) char[n]; }`) is vulnerable whenever
+/// any caller passes it a tainted argument (§3.3's inter-procedural data
+/// flow path).  Pass 1 summarizes which parameters reach placement sizes;
+/// pass 2 checks every call site's argument taint and reports at the
+/// placement.
+class InterproceduralTaint {
+ public:
+  InterproceduralTaint(const Program& program, const TypeTable& types,
+                       const TaintOptions& options)
+      : program_(program), types_(types), options_(options) {}
+
+  void run(std::vector<Diagnostic>& diagnostics) {
+    compute_summaries();
+    if (summaries_.empty()) return;
+    check_call_sites(diagnostics);
+  }
+
+ private:
+  struct Summary {
+    const FuncDecl* function = nullptr;
+    std::size_t param_index = 0;
+    int site_depth = 0;  ///< taint depth of the size expr when the param
+                         ///< alone is tainted at depth 1
+    int line = 0;
+    int col = 0;
+  };
+
+  void compute_summaries() {
+    for (const FuncDecl& fn : program_.functions) {
+      const SymbolTable symbols(program_, fn, types_);
+      const Cfg cfg = build_cfg(fn);
+      const auto sites = SiteCollector().collect(*fn.body);
+      for (std::size_t p = 0; p < fn.params.size(); ++p) {
+        if (fn.params[p].type.tainted) continue;  // local pass covers it
+        TaintMap seed{{fn.params[p].name, 1}};
+        const TaintAnalysis taint =
+            analyze_taint(fn, cfg, symbols, options_, seed);
+        for (const PlacementSite& site : sites) {
+          if (site.guarded || !site.expr->is_array ||
+              !site.expr->array_size) {
+            continue;
+          }
+          auto it = taint.before.find(site.stmt);
+          if (it == taint.before.end()) continue;
+          const int depth =
+              taint_of_expr(*site.expr->array_size, it->second, options_);
+          if (depth > 0) {
+            summaries_.push_back(Summary{&fn, p, depth, site.expr->line,
+                                         site.expr->col});
+          }
+        }
+      }
+    }
+  }
+
+  void check_call_sites(std::vector<Diagnostic>& diagnostics) {
+    for (const FuncDecl& caller : program_.functions) {
+      const SymbolTable symbols(program_, caller, types_);
+      const Cfg cfg = build_cfg(caller);
+      const TaintAnalysis taint =
+          analyze_taint(caller, cfg, symbols, options_);
+
+      for_each_stmt(*caller.body, [&](const Stmt& stmt) {
+        const TaintMap* state = nullptr;
+        if (auto it = taint.before.find(&stmt); it != taint.before.end()) {
+          state = &it->second;
+        }
+        if (state == nullptr) return;
+        auto scan = [&](const Expr& root) {
+          for_each_expr(root, [&](const Expr& e) {
+            if (e.kind != Expr::Kind::Call) return;
+            for (const Summary& s : summaries_) {
+              if (s.function->name != e.text ||
+                  s.param_index >= e.args.size()) {
+                continue;
+              }
+              const int arg_depth =
+                  taint_of_expr(*e.args[s.param_index], *state, options_);
+              if (arg_depth == 0) continue;
+              emit_once(diagnostics, s, caller.name, e.line);
+            }
+          });
+        };
+        if (stmt.expr) scan(*stmt.expr);
+        if (stmt.init) scan(*stmt.init);
+      });
+    }
+  }
+
+  void emit_once(std::vector<Diagnostic>& diagnostics, const Summary& s,
+                 const std::string& caller, int call_line) {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.line == s.line && d.function == s.function->name &&
+          (d.code == "PN002" || d.code == "PN003")) {
+        return;  // already reported for this site
+      }
+    }
+    diagnostics.push_back(Diagnostic{
+        "PN003", Severity::Error, s.line, s.col, s.function->name,
+        "placement-new array size is influenced by an untrusted source "
+        "through parameter '" +
+            s.function->params[s.param_index].name + "' (tainted call from " +
+            caller + " at line " + std::to_string(call_line) + ")"});
+  }
+
+  const Program& program_;
+  const TypeTable& types_;
+  const TaintOptions& options_;
+  std::vector<Summary> summaries_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> run_checkers(const Program& program,
+                                     const TypeTable& types,
+                                     const TaintOptions& taint_options) {
+  std::vector<Diagnostic> diagnostics;
+
+  // Interprocedural global taint: iterate to a fixpoint so a global
+  // corrupted in one function (Listing 14) poisons placements in another.
+  TaintMap global_taint;
+  for (int round = 0; round < 3; ++round) {
+    TaintMap next = global_taint;
+    for (const FuncDecl& fn : program.functions) {
+      FunctionChecker checker(program, fn, types, taint_options,
+                              global_taint, diagnostics);
+      const TaintMap exported = checker.exported_global_taint();
+      for (const auto& [name, depth] : exported) {
+        auto it = next.find(name);
+        if (it == next.end() || depth < it->second) next[name] = depth;
+      }
+      diagnostics.clear();  // only the final round's diagnostics count
+    }
+    if (next == global_taint) break;
+    global_taint = std::move(next);
+  }
+
+  diagnostics.clear();
+  for (const FuncDecl& fn : program.functions) {
+    FunctionChecker checker(program, fn, types, taint_options, global_taint,
+                            diagnostics);
+    checker.run();
+  }
+
+  InterproceduralTaint(program, types, taint_options).run(diagnostics);
+
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return diagnostics;
+}
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,45 @@
+// The placement-new vulnerability checkers (DESIGN.md §5):
+//
+//   PN001  placement larger than the statically-known target arena  (§3.1)
+//   PN002  tainted value directly sizes a placement                 (§3.2)
+//   PN003  tainted value sizes a placement through intermediates    (§3.3)
+//   PN004  target arena size not statically known                   (§5.1)
+//   PN005  arena reuse without sanitization (information leak)      (§4.3)
+//   PN006  placement new without matching release (memory leak)     (§4.5)
+//   PN007  placed type alignment exceeds the target's alignment     (§2.5)
+//
+// A placement lexically guarded by an `if` whose condition performs a
+// sizeof comparison is considered bounds-checked by the programmer and
+// PN001-PN004 are suppressed for it (§5.1 "correct coding").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ast.h"
+#include "analysis/sema.h"
+#include "analysis/taint.h"
+
+namespace pnlab::analysis {
+
+enum class Severity { Error, Warning, Info };
+
+const char* to_string(Severity severity);
+
+struct Diagnostic {
+  std::string code;  ///< "PN001".."PN007"
+  Severity severity = Severity::Warning;
+  int line = 0;
+  int col = 0;
+  std::string function;  ///< enclosing function, or "<global>"
+  std::string message;
+
+  std::string format() const;
+};
+
+/// Runs every checker over @p program.
+std::vector<Diagnostic> run_checkers(const Program& program,
+                                     const TypeTable& types,
+                                     const TaintOptions& taint_options);
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,386 @@
+#include "analysis/corpus.h"
+
+#include <stdexcept>
+
+namespace pnlab::analysis::corpus {
+
+namespace {
+
+// Shared class prelude matching the paper's running example (§2.2).
+constexpr const char* kStudentClasses = R"(
+class Student {
+  double gpa;
+  int year;
+  int semester;
+};
+class GradStudent : Student {
+  int ssn[3];
+};
+)";
+
+std::string with_prelude(const std::string& body) {
+  return std::string(kStudentClasses) + body;
+}
+
+std::vector<CorpusCase> build_corpus() {
+  std::vector<CorpusCase> cases;
+
+  cases.push_back({"listing04", "Listing 4, §3.1", with_prelude(R"(
+void addStudent() {
+  Student stud;
+  GradStudent* st = new (&stud) GradStudent();
+  cin >> st->ssn[0];
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing05", "Listing 5, §3.2", with_prelude(R"(
+char st_pool[80];
+void addNames() {
+  int n = 0;
+  cin >> n;
+  char* stnames = new (st_pool) char[n * 8];
+}
+)"),
+                   {"PN002"},
+                   false});
+
+  cases.push_back({"listing06", "Listing 6, §3.2", with_prelude(R"(
+void addStudent(tainted GradStudent* remoteobj) {
+  Student stud;
+  GradStudent* st = new (&stud) GradStudent(remoteobj);
+  int i = 0;
+  while (i < remoteobj->n) {
+    st->ssn[i] = remoteobj->ssn[i];
+    i = i + 1;
+  }
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing07", "Listing 7, §3.2", with_prelude(R"(
+void addStudent(tainted Student* remoteobj) {
+  Student stud;
+  Student* st = new (&stud) GradStudent(remoteobj);
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing08", "Listing 8, §3.3", with_prelude(R"(
+void addStudent(tainted int remote_count) {
+  int m = remote_count;
+  char pool[16];
+  char* buf = new (pool) char[m * 4];
+}
+)"),
+                   {"PN003"},
+                   false});
+
+  cases.push_back({"listing09", "Listing 9, §3.3", with_prelude(R"(
+class A {
+  int data[4];
+};
+class B : A {
+  int extra[4];
+};
+void build() {
+  A obj2;
+  B* grown = new (&obj2) B();
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing10", "Listing 10, §3.4", with_prelude(R"(
+class MobilePlayer {
+  Student stud1;
+  Student stud2;
+  int n;
+};
+void addStudentPlayer(MobilePlayer* mp, tainted Student* stptr) {
+  GradStudent* st = new (&mp->stud1) GradStudent(stptr);
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing11", "Listing 11, §3.5", with_prelude(R"(
+Student stud1;
+Student stud2;
+bool addStudent(bool isGradStudent) {
+  if (isGradStudent) {
+    GradStudent* st = new (&stud1) GradStudent();
+    cin >> st->ssn[0];
+    cin >> st->ssn[1];
+    cin >> st->ssn[2];
+  } else {
+    Student* st2 = new (&stud2) Student();
+  }
+  return true;
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing12", "Listing 12, §3.5.1", with_prelude(R"(
+void run() {
+  Student* stud = new Student();
+  char* name = new char[16];
+  GradStudent* st = new (stud) GradStudent();
+  cin >> st->ssn[0];
+  cin >> st->ssn[1];
+  cin >> st->ssn[2];
+  destroy(st);
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing13", "Listing 13, §3.6.1", with_prelude(R"(
+void addStudent(bool isGradStudent) {
+  Student stud;
+  if (isGradStudent) {
+    GradStudent* gs = new (&stud) GradStudent();
+    int i = 0;
+    int dssn = 0;
+    while (i < 3) {
+      cin >> dssn;
+      if (dssn > 0) {
+        gs->ssn[i] = dssn;
+      }
+      i = i + 1;
+    }
+  }
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing15", "Listing 15, §3.7.2", with_prelude(R"(
+void addStudent(bool isGradStudent) {
+  int n = 5;
+  Student stud;
+  if (isGradStudent) {
+    GradStudent* gs = new (&stud) GradStudent();
+    cin >> gs->ssn[0];
+    cin >> gs->ssn[1];
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    serve(i);
+  }
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing16", "Listing 16, §3.8.1", with_prelude(R"(
+void addStudent(bool isGradStudent) {
+  Student first;
+  Student stud;
+  if (isGradStudent) {
+    GradStudent* gs = new (&stud) GradStudent();
+    cin >> gs->ssn[0];
+    cin >> gs->ssn[1];
+  }
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"vptr", "§3.8.2", R"(
+class VStudent {
+  double gpa;
+  int year;
+  int semester;
+  virtual char* getInfo();
+};
+class VGradStudent : VStudent {
+  int ssn[3];
+  virtual char* getInfo();
+};
+void addStudent() {
+  VStudent stud;
+  VGradStudent* st = new (&stud) VGradStudent();
+  cin >> st->ssn[0];
+}
+)",
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing17", "Listing 17, §3.9", with_prelude(R"(
+void addStudent(bool isGradStudent) {
+  int createStudentAccount = 0;
+  Student stud;
+  if (isGradStudent) {
+    GradStudent* gs = new (&stud) GradStudent();
+    cin >> gs->ssn[0];
+  }
+}
+)"),
+                   {"PN001"},
+                   false});
+
+  cases.push_back({"listing19", "Listing 19, §4.1", with_prelude(R"(
+char mem_pool[32];
+void sortAndAddUname(tainted char* uname, bool isGrad) {
+  int n_unames = 0;
+  Student stud;
+  cin >> n_unames;
+  if (isGrad) {
+    GradStudent* st = new (&stud) GradStudent();
+    cin >> st->ssn[0];
+  }
+  char* buf = new (mem_pool) char[n_unames * 8];
+  strncpy(buf, uname, n_unames * 8);
+}
+)"),
+                   {"PN001", "PN002"},
+                   false});
+
+  cases.push_back({"listing21", "Listing 21, §4.3", R"(
+char mem_pool[64];
+void serve() {
+  read_file(mem_pool);
+  char* userdata = new (mem_pool) char[32];
+  store_into(userdata);
+}
+)",
+                   {"PN005"},
+                   false});
+
+  cases.push_back({"listing22", "Listing 22, §4.3", with_prelude(R"(
+void serve() {
+  GradStudent* gst = new GradStudent();
+  Student* st = new (gst) Student();
+  store_into(st);
+  destroy(st);
+}
+)"),
+                   {"PN005"},
+                   false});
+
+  cases.push_back({"listing23", "Listing 23, §4.5", with_prelude(R"(
+void addStudent(int n_students) {
+  for (int i = 0; i < n_students; i = i + 1) {
+    GradStudent* stud = new GradStudent();
+    Student* st = new (stud) Student();
+    stud = NULL;
+  }
+}
+)"),
+                   {"PN005", "PN006"},
+                   false});
+
+  cases.push_back({"interprocedural", "§3.3 (inter-procedural)", R"(
+char pool[16];
+void place_n(int n) {
+  char* b = new (pool) char[n];
+}
+void handler() {
+  int n = 0;
+  cin >> n;
+  place_n(n);
+}
+)",
+                   {"PN003"},
+                   false});
+
+  cases.push_back({"unknown_arena", "§5.1", with_prelude(R"(
+void place(char* p) {
+  GradStudent* st = new (p) GradStudent();
+  destroy(st);
+}
+)"),
+                   {"PN004"},
+                   false});
+
+  cases.push_back({"alignment", "§2.5 issue 4", with_prelude(R"(
+char pool[64];
+void place() {
+  Student* st = new (pool) Student();
+}
+)"),
+                   {"PN007"},
+                   false});
+
+  // --- Safe variants (§5.1 correct coding): expected clean. -----------
+
+  cases.push_back({"safe_guarded", "§5.1", with_prelude(R"(
+void addStudent() {
+  Student stud;
+  if (sizeof(GradStudent) <= sizeof(stud)) {
+    GradStudent* st = new (&stud) GradStudent();
+  }
+}
+)"),
+                   {},
+                   true});
+
+  cases.push_back({"safe_sanitized_reuse", "§5.1", R"(
+char pool[64];
+void reuse() {
+  read_file(pool);
+  memset(pool, 0, 64);
+  char* buf = new (pool) char[32];
+}
+)",
+                   {},
+                   true});
+
+  cases.push_back({"safe_same_size", "§2.2", R"(
+class Base {
+  int a;
+  int b;
+};
+class Derived : Base {
+};
+void f() {
+  Base b;
+  Derived* d = new (&b) Derived();
+}
+)",
+                   {},
+                   true});
+
+  cases.push_back({"safe_fitting_array", "§2.3", R"(
+char uname_buf[64];
+bool checkUname(tainted char* uname) {
+  char* buf = new (uname_buf) char[64];
+  strncpy(buf, uname, 64);
+  return true;
+}
+)",
+                   {},
+                   true});
+
+  cases.push_back({"safe_released", "§4.5", with_prelude(R"(
+void roundtrip() {
+  GradStudent* stud = new GradStudent();
+  GradStudent* st = new (stud) GradStudent();
+  destroy(st);
+}
+)"),
+                   {},
+                   true});
+
+  return cases;
+}
+
+}  // namespace
+
+const std::vector<CorpusCase>& analyzer_corpus() {
+  static const std::vector<CorpusCase> corpus = build_corpus();
+  return corpus;
+}
+
+const CorpusCase& corpus_case(const std::string& id) {
+  for (const CorpusCase& c : analyzer_corpus()) {
+    if (c.id == id) return c;
+  }
+  throw std::out_of_range("no corpus case named '" + id + "'");
+}
+
+}  // namespace pnlab::analysis::corpus

@@ -1,0 +1,29 @@
+// The analyzer's evaluation corpus: PNC translations of the paper's
+// listings (each expected to trigger specific checkers) plus safe
+// variants written per §5.1's "correct coding" rules (expected clean).
+// bench_analyzer (experiment E3) measures detection and false-positive
+// rates over this corpus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pnlab::analysis::corpus {
+
+struct CorpusCase {
+  std::string id;         ///< e.g. "listing04"
+  std::string paper_ref;  ///< e.g. "Listing 4, §3.1"
+  std::string source;     ///< PNC source text
+  /// Checker codes that must fire (each at least once).
+  std::vector<std::string> expected_codes;
+  /// True for safe variants: no Error/Warning diagnostics expected.
+  bool expect_clean = false;
+};
+
+/// All corpus cases, vulnerable listings first, then safe variants.
+const std::vector<CorpusCase>& analyzer_corpus();
+
+/// The case with the given id; throws std::out_of_range if unknown.
+const CorpusCase& corpus_case(const std::string& id);
+
+}  // namespace pnlab::analysis::corpus

@@ -1,0 +1,234 @@
+#include "analysis/fixer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "analysis/checkers.h"
+#include "analysis/sema.h"
+#include "analysis/taint.h"
+#include "analysis/token.h"
+
+namespace pnlab::analysis {
+
+namespace {
+
+/// What the fixer knows about one placement-new statement.
+struct SiteInfo {
+  int line = 0;
+  std::string function;
+  std::string root;         ///< target root variable ("stud", "mem_pool")
+  bool root_is_ident = false;  ///< target was `&ident` or `ident`
+  std::string type_name;    ///< placed class, or element type for arrays
+  bool is_array = false;
+  std::string count_source; ///< array count expression, rendered
+  std::string elem_size;    ///< element size as text, for byte guards
+  std::string assigned_to;  ///< pointer the result is bound to, if any
+};
+
+/// A queued textual edit.
+struct Edit {
+  enum class Kind { Wrap, InsertBefore };
+  int line = 0;  ///< 1-based target line
+  Kind kind = Kind::InsertBefore;
+  std::string text;  ///< guard condition (Wrap) or full statement text
+};
+
+std::size_t elem_size_of(const TypeRef& type, const TypeTable& types) {
+  return types.size_of(type).value_or(1);
+}
+
+/// Collects placement sites with enough naming context to write guards.
+std::vector<SiteInfo> collect_sites(const Program& program,
+                                    const TypeTable& types) {
+  std::vector<SiteInfo> sites;
+  for (const FuncDecl& fn : program.functions) {
+    for_each_stmt(*fn.body, [&](const Stmt& stmt) {
+      const Expr* root_expr = nullptr;
+      std::string assigned;
+      if (stmt.kind == Stmt::Kind::VarDecl && stmt.init) {
+        root_expr = stmt.init.get();
+        assigned = stmt.name;
+      } else if (stmt.kind == Stmt::Kind::Expr && stmt.expr) {
+        root_expr = stmt.expr.get();
+        if (stmt.expr->kind == Expr::Kind::Binary && stmt.expr->text == "=" &&
+            stmt.expr->lhs->kind == Expr::Kind::Ident) {
+          assigned = stmt.expr->lhs->text;
+        }
+      }
+      if (root_expr == nullptr) return;
+      for_each_expr(*root_expr, [&](const Expr& e) {
+        if (e.kind != Expr::Kind::New || !e.placement) return;
+        SiteInfo site;
+        site.line = stmt.line;
+        site.function = fn.name;
+        site.root = target_root(*e.placement);
+        site.root_is_ident =
+            e.placement->kind == Expr::Kind::Ident ||
+            (e.placement->kind == Expr::Kind::Unary &&
+             e.placement->text == "&" &&
+             e.placement->lhs->kind == Expr::Kind::Ident);
+        site.type_name = e.type.name;
+        site.is_array = e.is_array;
+        if (e.is_array && e.array_size) {
+          site.count_source = to_source(*e.array_size);
+          site.elem_size = std::to_string(elem_size_of(e.type, types));
+        }
+        site.assigned_to = assigned;
+        sites.push_back(std::move(site));
+      });
+    });
+  }
+  return sites;
+}
+
+std::string leading_whitespace(const std::string& line) {
+  const std::size_t n = line.find_first_not_of(" \t");
+  return n == std::string::npos ? "" : line.substr(0, n);
+}
+
+std::string trimmed(const std::string& line) {
+  const std::size_t n = line.find_first_not_of(" \t");
+  return n == std::string::npos ? "" : line.substr(n);
+}
+
+}  // namespace
+
+FixResult fix(const std::string& source) {
+  const Program program = parse(source);
+  const TypeTable types(program);
+  const std::vector<Diagnostic> diagnostics =
+      run_checkers(program, types, TaintOptions{});
+  const std::vector<SiteInfo> sites = collect_sites(program, types);
+
+  // Function name → line of its body's closing brace (PN006 insertions
+  // go just above it).
+  std::map<std::string, int> function_end;
+  for (const FuncDecl& fn : program.functions) {
+    function_end[fn.name] = fn.body->end_line;
+  }
+
+  auto site_at = [&](int line) -> const SiteInfo* {
+    for (const SiteInfo& s : sites) {
+      if (s.line == line) return &s;
+    }
+    return nullptr;
+  };
+
+  FixResult result;
+  std::vector<Edit> edits;
+
+  for (const Diagnostic& d : diagnostics) {
+    const SiteInfo* site = site_at(d.line);
+    AppliedFix fix_record;
+    fix_record.code = d.code;
+    fix_record.line = d.line;
+
+    if (d.code == "PN007") continue;  // advisory
+
+    if (site == nullptr) {
+      fix_record.applied = false;
+      fix_record.description = "no single-line placement site found";
+      result.manual_review_needed = true;
+      result.fixes.push_back(std::move(fix_record));
+      continue;
+    }
+
+    if (d.code == "PN005") {
+      edits.push_back(Edit{d.line, Edit::Kind::InsertBefore,
+                           "memset(" + site->root + ", 0, sizeof(" +
+                               site->root + "));"});
+      fix_record.description =
+          "sanitize arena '" + site->root + "' before reuse (§5.1)";
+      result.fixes.push_back(std::move(fix_record));
+      continue;
+    }
+
+    if (d.code == "PN006") {
+      auto it = function_end.find(site->function);
+      if (it != function_end.end() && !site->assigned_to.empty()) {
+        edits.push_back(Edit{it->second, Edit::Kind::InsertBefore,
+                             "destroy(" + site->assigned_to + ");"});
+        fix_record.description = "release '" + site->assigned_to +
+                                 "' with a placement delete (§4.5)";
+      } else {
+        fix_record.applied = false;
+        fix_record.description = "release point could not be determined";
+        result.manual_review_needed = true;
+      }
+      result.fixes.push_back(std::move(fix_record));
+      continue;
+    }
+
+    if (d.code == "PN001" || d.code == "PN002" || d.code == "PN003") {
+      if (site->root_is_ident && !site->root.empty()) {
+        std::string cond;
+        if (site->is_array) {
+          cond = "((" + site->count_source + ") * " + site->elem_size +
+                 " <= sizeof(" + site->root + "))";
+        } else {
+          cond = "(sizeof(" + site->type_name + ") <= sizeof(" + site->root +
+                 "))";
+        }
+        edits.push_back(Edit{d.line, Edit::Kind::Wrap, cond});
+        fix_record.description = "guard the placement with " + cond;
+      } else {
+        edits.push_back(Edit{d.line, Edit::Kind::InsertBefore,
+                             "// FIXME(pnlab " + d.code +
+                                 "): arena is not a named object; verify "
+                                 "bounds manually"});
+        fix_record.applied = false;
+        fix_record.description = "arena not nameable; FIXME inserted";
+        result.manual_review_needed = true;
+      }
+      result.fixes.push_back(std::move(fix_record));
+      continue;
+    }
+
+    // PN004: the §5.1 aliasing caveat — no safe automatic fix.
+    edits.push_back(Edit{d.line, Edit::Kind::InsertBefore,
+                         "// FIXME(pnlab PN004): arena size unknown "
+                         "(aliased/unsized pointer); establish bounds "
+                         "before placing"});
+    fix_record.applied = false;
+    fix_record.description = "arena size unknown; FIXME inserted";
+    result.manual_review_needed = true;
+    result.fixes.push_back(std::move(fix_record));
+  }
+
+  // Apply edits bottom-up; Wrap before InsertBefore on the same line so
+  // a memset lands above the (possibly newly guarded) statement.
+  std::stable_sort(edits.begin(), edits.end(),
+                   [](const Edit& a, const Edit& b) {
+                     if (a.line != b.line) return a.line > b.line;
+                     return a.kind == Edit::Kind::Wrap &&
+                            b.kind != Edit::Kind::Wrap;
+                   });
+
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(source);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+
+  for (const Edit& edit : edits) {
+    const std::size_t idx = static_cast<std::size_t>(edit.line - 1);
+    if (idx >= lines.size()) continue;
+    const std::string indent = leading_whitespace(lines[idx]);
+    if (edit.kind == Edit::Kind::Wrap) {
+      lines[idx] = indent + "if " + edit.text + " { " + trimmed(lines[idx]) +
+                   " }";
+    } else {
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(idx),
+                   indent + edit.text);
+    }
+  }
+
+  std::ostringstream out;
+  for (const std::string& line : lines) out << line << "\n";
+  result.fixed_source = out.str();
+  return result;
+}
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,51 @@
+// The automatic remediation pass the paper's conclusion promises:
+// "a tool for static analysis of code and for detecting vulnerabilities
+// due to placement new, and automatically addressing these
+// vulnerabilities" (§7).
+//
+// The fixer re-analyzes the program, and for each finding applies the
+// §5.1 "correct coding" transformation at the source level:
+//
+//   PN001/PN002/PN003 → wrap the placement statement in a sizeof guard
+//                       (`if (sizeof(T) <= sizeof(arena)) { ... }`, or a
+//                       computed byte-count guard for tainted arrays)
+//   PN005             → insert `memset(arena, 0, sizeof(arena));` before
+//                       the reusing placement
+//   PN006             → append `destroy(ptr);` at the end of the function
+//   PN004             → no safe automatic fix: a FIXME comment is
+//                       inserted (the §5.1 aliasing caveat — a human must
+//                       establish the arena size)
+//   PN007             → advisory only, left untouched
+//
+// Fixes are applied textually, line-based; each placement statement is
+// assumed to occupy a single source line (true of PNC style and of the
+// corpus).  fix() is idempotent on already-clean code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ast.h"
+
+namespace pnlab::analysis {
+
+/// One applied (or declined) remediation.
+struct AppliedFix {
+  std::string code;  ///< the checker this fix addresses ("PN001", ...)
+  int line = 0;      ///< original source line of the placement
+  std::string description;
+  bool applied = true;  ///< false for FIXME-only (PN004)
+};
+
+struct FixResult {
+  std::string fixed_source;
+  std::vector<AppliedFix> fixes;
+  /// True when at least one finding could not be automatically fixed.
+  bool manual_review_needed = false;
+};
+
+/// Analyzes @p source and returns a remediated version.
+/// Throws ParseError on malformed input.
+FixResult fix(const std::string& source);
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,290 @@
+#include <cctype>
+#include <map>
+
+#include "analysis/token.h"
+
+namespace pnlab::analysis {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer";
+    case TokenKind::FloatLiteral: return "float";
+    case TokenKind::StringLiteral: return "string";
+    case TokenKind::KwClass: return "'class'";
+    case TokenKind::KwVirtual: return "'virtual'";
+    case TokenKind::KwPublic: return "'public'";
+    case TokenKind::KwPrivate: return "'private'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwNew: return "'new'";
+    case TokenKind::KwDelete: return "'delete'";
+    case TokenKind::KwCin: return "'cin'";
+    case TokenKind::KwTainted: return "'tainted'";
+    case TokenKind::KwSizeof: return "'sizeof'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwDouble: return "'double'";
+    case TokenKind::KwChar: return "'char'";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwBool: return "'bool'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::KwNull: return "'NULL'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Arrow: return "'->'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::PipePipe: return "'||'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::PlusPlus: return "'++'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::MinusMinus: return "'--'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Eq: return "'=='";
+    case TokenKind::Ne: return "'!='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::Shr: return "'>>'";
+    case TokenKind::Not: return "'!'";
+    case TokenKind::EndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind>& keywords() {
+  static const std::map<std::string, TokenKind> kw = {
+      {"class", TokenKind::KwClass},     {"virtual", TokenKind::KwVirtual},
+      {"public", TokenKind::KwPublic},   {"private", TokenKind::KwPrivate},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},   {"new", TokenKind::KwNew},
+      {"delete", TokenKind::KwDelete},   {"cin", TokenKind::KwCin},
+      {"tainted", TokenKind::KwTainted}, {"sizeof", TokenKind::KwSizeof},
+      {"int", TokenKind::KwInt},         {"double", TokenKind::KwDouble},
+      {"char", TokenKind::KwChar},       {"void", TokenKind::KwVoid},
+      {"bool", TokenKind::KwBool},       {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},     {"NULL", TokenKind::KwNull},
+      {"nullptr", TokenKind::KwNull},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < source.size() ? source[i + off] : '\0';
+  };
+  auto push = [&](TokenKind kind, std::string text, int tline, int tcol) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tline;
+    t.col = tcol;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    // comments
+    if (c == '/' && peek(1) == '/') {
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance(2);
+      while (i < source.size() && !(peek() == '*' && peek(1) == '/')) {
+        advance();
+      }
+      if (i >= source.size()) throw ParseError(line, col, "unclosed comment");
+      advance(2);
+      continue;
+    }
+
+    const int tline = line;
+    const int tcol = col;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        word.push_back(peek());
+        advance();
+      }
+      auto it = keywords().find(word);
+      if (it != keywords().end()) {
+        push(it->second, word, tline, tcol);
+      } else {
+        push(TokenKind::Identifier, word, tline, tcol);
+      }
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_float = false;
+      bool hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
+      if (hex) {
+        num += "0x";
+        advance(2);
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+          num.push_back(peek());
+          advance();
+        }
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num.push_back(peek());
+          advance();
+        }
+        if (peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(peek(1)))) {
+          is_float = true;
+          num.push_back('.');
+          advance();
+          while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            num.push_back(peek());
+            advance();
+          }
+        }
+      }
+      Token t;
+      t.text = num;
+      t.line = tline;
+      t.col = tcol;
+      if (is_float) {
+        t.kind = TokenKind::FloatLiteral;
+        t.float_value = std::stod(num);
+      } else {
+        t.kind = TokenKind::IntLiteral;
+        t.int_value = std::stoll(num, nullptr, 0);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '"') {
+      advance();
+      std::string text;
+      while (i < source.size() && peek() != '"') {
+        if (peek() == '\\' && i + 1 < source.size()) {
+          advance();
+          switch (peek()) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case '0': text.push_back('\0'); break;
+            default: text.push_back(peek());
+          }
+          advance();
+          continue;
+        }
+        text.push_back(peek());
+        advance();
+      }
+      if (i >= source.size()) {
+        throw ParseError(tline, tcol, "unterminated string literal");
+      }
+      advance();  // closing quote
+      push(TokenKind::StringLiteral, text, tline, tcol);
+      continue;
+    }
+
+    auto two = [&](char a, char b, TokenKind kind) {
+      if (c == a && peek(1) == b) {
+        push(kind, std::string{a, b}, tline, tcol);
+        advance(2);
+        return true;
+      }
+      return false;
+    };
+
+    if (two('-', '>', TokenKind::Arrow)) continue;
+    if (two('&', '&', TokenKind::AmpAmp)) continue;
+    if (two('|', '|', TokenKind::PipePipe)) continue;
+    if (two('+', '+', TokenKind::PlusPlus)) continue;
+    if (two('-', '-', TokenKind::MinusMinus)) continue;
+    if (two('=', '=', TokenKind::Eq)) continue;
+    if (two('!', '=', TokenKind::Ne)) continue;
+    if (two('<', '=', TokenKind::Le)) continue;
+    if (two('>', '=', TokenKind::Ge)) continue;
+    if (two('>', '>', TokenKind::Shr)) continue;
+
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::LParen; break;
+      case ')': kind = TokenKind::RParen; break;
+      case '{': kind = TokenKind::LBrace; break;
+      case '}': kind = TokenKind::RBrace; break;
+      case '[': kind = TokenKind::LBracket; break;
+      case ']': kind = TokenKind::RBracket; break;
+      case ';': kind = TokenKind::Semicolon; break;
+      case ':': kind = TokenKind::Colon; break;
+      case ',': kind = TokenKind::Comma; break;
+      case '.': kind = TokenKind::Dot; break;
+      case '&': kind = TokenKind::Amp; break;
+      case '|': kind = TokenKind::Pipe; break;
+      case '*': kind = TokenKind::Star; break;
+      case '+': kind = TokenKind::Plus; break;
+      case '-': kind = TokenKind::Minus; break;
+      case '/': kind = TokenKind::Slash; break;
+      case '%': kind = TokenKind::Percent; break;
+      case '=': kind = TokenKind::Assign; break;
+      case '<': kind = TokenKind::Lt; break;
+      case '>': kind = TokenKind::Gt; break;
+      case '!': kind = TokenKind::Not; break;
+      default:
+        throw ParseError(tline, tcol,
+                         std::string("unexpected character '") + c + "'");
+    }
+    push(kind, std::string(1, c), tline, tcol);
+    advance();
+  }
+
+  Token eof;
+  eof.kind = TokenKind::EndOfFile;
+  eof.line = line;
+  eof.col = col;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,589 @@
+// Recursive-descent parser for PNC.
+#include <cassert>
+
+#include "analysis/ast.h"
+#include "analysis/token.h"
+
+namespace pnlab::analysis {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse_program() {
+    Program program;
+    while (!at(TokenKind::EndOfFile)) {
+      if (at(TokenKind::KwClass)) {
+        program.classes.push_back(parse_class());
+        continue;
+      }
+      // type name ...: function or global variable.
+      const std::size_t save = pos_;
+      TypeRef type = parse_type();
+      const Token name = expect(TokenKind::Identifier, "declaration name");
+      if (at(TokenKind::LParen)) {
+        pos_ = save;
+        program.functions.push_back(parse_function());
+      } else {
+        pos_ = save;
+        program.globals.push_back(parse_var_decl());
+      }
+      (void)type;
+    }
+    return program;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------
+  const Token& peek(std::size_t off = 0) const {
+    const std::size_t idx = pos_ + off;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  bool at(TokenKind kind, std::size_t off = 0) const {
+    return peek(off).kind == kind;
+  }
+  Token advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool accept(TokenKind kind) {
+    if (at(kind)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  Token expect(TokenKind kind, const std::string& what) {
+    if (!at(kind)) {
+      throw ParseError(peek().line, peek().col,
+                       "expected " + what + " (" + to_string(kind) +
+                           "), found '" + peek().text + "'");
+    }
+    return advance();
+  }
+
+  bool at_type_start(std::size_t off = 0) const {
+    switch (peek(off).kind) {
+      case TokenKind::KwTainted:
+      case TokenKind::KwInt:
+      case TokenKind::KwDouble:
+      case TokenKind::KwChar:
+      case TokenKind::KwVoid:
+      case TokenKind::KwBool:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Identifier-led declarations ("Student stud;", "GradStudent* st = ...")
+  /// need lookahead to distinguish from expression statements.
+  bool looks_like_decl() const {
+    if (at_type_start()) return true;
+    if (!at(TokenKind::Identifier)) return false;
+    std::size_t off = 1;
+    while (at(TokenKind::Star, off)) ++off;
+    return at(TokenKind::Identifier, off);
+  }
+
+  // --- declarations ---------------------------------------------------
+  TypeRef parse_type() {
+    TypeRef type;
+    if (accept(TokenKind::KwTainted)) type.tainted = true;
+    switch (peek().kind) {
+      case TokenKind::KwInt: type.name = "int"; advance(); break;
+      case TokenKind::KwDouble: type.name = "double"; advance(); break;
+      case TokenKind::KwChar: type.name = "char"; advance(); break;
+      case TokenKind::KwVoid: type.name = "void"; advance(); break;
+      case TokenKind::KwBool: type.name = "bool"; advance(); break;
+      case TokenKind::Identifier:
+        type.name = advance().text;
+        break;
+      default:
+        throw ParseError(peek().line, peek().col,
+                         "expected a type, found '" + peek().text + "'");
+    }
+    while (accept(TokenKind::Star)) ++type.pointer_depth;
+    return type;
+  }
+
+  ClassDecl parse_class() {
+    ClassDecl decl;
+    decl.line = peek().line;
+    expect(TokenKind::KwClass, "'class'");
+    decl.name = expect(TokenKind::Identifier, "class name").text;
+    if (accept(TokenKind::Colon)) {
+      accept(TokenKind::KwPublic);
+      accept(TokenKind::KwPrivate);
+      decl.base = expect(TokenKind::Identifier, "base class").text;
+    }
+    expect(TokenKind::LBrace, "'{'");
+    while (!at(TokenKind::RBrace)) {
+      if ((at(TokenKind::KwPublic) || at(TokenKind::KwPrivate)) &&
+          at(TokenKind::Colon, 1)) {
+        advance();
+        advance();
+        continue;
+      }
+      const bool is_virtual = accept(TokenKind::KwVirtual);
+      TypeRef type = parse_type();
+      const Token name = expect(TokenKind::Identifier, "member name");
+      if (at(TokenKind::LParen)) {
+        // Method declaration; only its virtual-ness affects layout.
+        advance();
+        int depth = 1;
+        while (depth > 0 && !at(TokenKind::EndOfFile)) {
+          if (at(TokenKind::LParen)) ++depth;
+          if (at(TokenKind::RParen)) --depth;
+          advance();
+        }
+        expect(TokenKind::Semicolon, "';' after method declaration");
+        if (is_virtual) decl.virtual_functions.push_back(name.text);
+        continue;
+      }
+      MemberDecl member;
+      member.type = type;
+      member.name = name.text;
+      member.line = name.line;
+      if (accept(TokenKind::LBracket)) {
+        member.array_count =
+            expect(TokenKind::IntLiteral, "array length").int_value;
+        expect(TokenKind::RBracket, "']'");
+      }
+      expect(TokenKind::Semicolon, "';' after member");
+      decl.members.push_back(std::move(member));
+    }
+    expect(TokenKind::RBrace, "'}'");
+    expect(TokenKind::Semicolon, "';' after class");
+    return decl;
+  }
+
+  FuncDecl parse_function() {
+    FuncDecl fn;
+    fn.line = peek().line;
+    fn.return_type = parse_type();
+    fn.name = expect(TokenKind::Identifier, "function name").text;
+    expect(TokenKind::LParen, "'('");
+    if (!at(TokenKind::RParen)) {
+      do {
+        ParamDecl param;
+        param.type = parse_type();
+        param.name = expect(TokenKind::Identifier, "parameter name").text;
+        fn.params.push_back(std::move(param));
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "')'");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  StmtPtr parse_var_decl() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::VarDecl;
+    stmt->line = peek().line;
+    stmt->type = parse_type();
+    stmt->name = expect(TokenKind::Identifier, "variable name").text;
+    if (accept(TokenKind::LBracket)) {
+      stmt->array_size = parse_expr();
+      expect(TokenKind::RBracket, "']'");
+    }
+    if (accept(TokenKind::Assign)) {
+      stmt->init = parse_expr();
+    }
+    expect(TokenKind::Semicolon, "';' after declaration");
+    return stmt;
+  }
+
+  // --- statements -----------------------------------------------------
+  StmtPtr parse_block() {
+    auto block = std::make_unique<Stmt>();
+    block->kind = Stmt::Kind::Block;
+    block->line = peek().line;
+    expect(TokenKind::LBrace, "'{'");
+    while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+      block->body.push_back(parse_stmt());
+    }
+    block->end_line = peek().line;
+    expect(TokenKind::RBrace, "'}'");
+    return block;
+  }
+
+  StmtPtr parse_stmt() {
+    const int line = peek().line;
+    if (at(TokenKind::LBrace)) return parse_block();
+    if (accept(TokenKind::Semicolon)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::Empty;
+      s->line = line;
+      return s;
+    }
+    if (at(TokenKind::KwIf)) return parse_if();
+    if (at(TokenKind::KwWhile)) return parse_while();
+    if (at(TokenKind::KwFor)) return parse_for();
+    if (accept(TokenKind::KwReturn)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::Return;
+      s->line = line;
+      if (!at(TokenKind::Semicolon)) s->expr = parse_expr();
+      expect(TokenKind::Semicolon, "';' after return");
+      return s;
+    }
+    if (at(TokenKind::KwCin)) return parse_cin();
+    if (accept(TokenKind::KwDelete)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::Kind::Delete;
+      s->line = line;
+      if (accept(TokenKind::LBracket)) expect(TokenKind::RBracket, "']'");
+      s->expr = parse_expr();
+      expect(TokenKind::Semicolon, "';' after delete");
+      return s;
+    }
+    if (looks_like_decl()) return parse_var_decl();
+
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::Expr;
+    s->line = line;
+    s->expr = parse_expr();
+    expect(TokenKind::Semicolon, "';' after expression");
+    return s;
+  }
+
+  StmtPtr parse_if() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::If;
+    s->line = peek().line;
+    expect(TokenKind::KwIf, "'if'");
+    expect(TokenKind::LParen, "'('");
+    s->cond = parse_expr();
+    expect(TokenKind::RParen, "')'");
+    s->then_branch = parse_stmt();
+    if (accept(TokenKind::KwElse)) s->else_branch = parse_stmt();
+    return s;
+  }
+
+  StmtPtr parse_while() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::While;
+    s->line = peek().line;
+    expect(TokenKind::KwWhile, "'while'");
+    expect(TokenKind::LParen, "'('");
+    s->cond = parse_expr();
+    expect(TokenKind::RParen, "')'");
+    s->body_stmt = parse_stmt();
+    return s;
+  }
+
+  StmtPtr parse_for() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::For;
+    s->line = peek().line;
+    expect(TokenKind::KwFor, "'for'");
+    expect(TokenKind::LParen, "'('");
+    if (at(TokenKind::Semicolon)) {
+      advance();
+    } else if (looks_like_decl()) {
+      s->init_stmt = parse_var_decl();  // consumes the ';'
+    } else {
+      auto init = std::make_unique<Stmt>();
+      init->kind = Stmt::Kind::Expr;
+      init->line = peek().line;
+      init->expr = parse_expr();
+      expect(TokenKind::Semicolon, "';' in for");
+      s->init_stmt = std::move(init);
+    }
+    if (!at(TokenKind::Semicolon)) s->cond = parse_expr();
+    expect(TokenKind::Semicolon, "';' in for");
+    if (!at(TokenKind::RParen)) s->step = parse_expr();
+    expect(TokenKind::RParen, "')'");
+    s->body_stmt = parse_stmt();
+    return s;
+  }
+
+  StmtPtr parse_cin() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::CinRead;
+    s->line = peek().line;
+    expect(TokenKind::KwCin, "'cin'");
+    expect(TokenKind::Shr, "'>>' after cin");
+    s->expr = parse_unary();  // the lvalue read into
+    // Chained reads desugar into a block of CinRead statements; for
+    // simplicity the extra targets become nested CinRead statements in
+    // `body`.
+    while (accept(TokenKind::Shr)) {
+      auto extra = std::make_unique<Stmt>();
+      extra->kind = Stmt::Kind::CinRead;
+      extra->line = s->line;
+      extra->expr = parse_unary();
+      s->body.push_back(std::move(extra));
+    }
+    expect(TokenKind::Semicolon, "';' after cin");
+    return s;
+  }
+
+  // --- expressions (precedence climbing) -------------------------------
+  ExprPtr parse_expr() { return parse_assignment(); }
+
+  ExprPtr parse_assignment() {
+    ExprPtr lhs = parse_or();
+    if (at(TokenKind::Assign)) {
+      const Token op = advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::Binary;
+      node->text = "=";
+      node->line = op.line;
+      node->col = op.col;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_assignment();
+      return node;
+    }
+    return lhs;
+  }
+
+  ExprPtr binary(ExprPtr lhs, const Token& op, ExprPtr rhs) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::Binary;
+    node->text = op.text;
+    node->line = op.line;
+    node->col = op.col;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at(TokenKind::PipePipe)) {
+      const Token op = advance();
+      lhs = binary(std::move(lhs), op, parse_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_equality();
+    while (at(TokenKind::AmpAmp)) {
+      const Token op = advance();
+      lhs = binary(std::move(lhs), op, parse_equality());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr lhs = parse_relational();
+    while (at(TokenKind::Eq) || at(TokenKind::Ne)) {
+      const Token op = advance();
+      lhs = binary(std::move(lhs), op, parse_relational());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr lhs = parse_additive();
+    while (at(TokenKind::Lt) || at(TokenKind::Gt) || at(TokenKind::Le) ||
+           at(TokenKind::Ge)) {
+      const Token op = advance();
+      lhs = binary(std::move(lhs), op, parse_additive());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+      const Token op = advance();
+      lhs = binary(std::move(lhs), op, parse_multiplicative());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (at(TokenKind::Star) || at(TokenKind::Slash) ||
+           at(TokenKind::Percent)) {
+      const Token op = advance();
+      lhs = binary(std::move(lhs), op, parse_unary());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::Amp) || at(TokenKind::Star) || at(TokenKind::Minus) ||
+        at(TokenKind::Not) || at(TokenKind::PlusPlus) ||
+        at(TokenKind::MinusMinus)) {
+      const Token op = advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::Unary;
+      node->text = op.text;
+      node->line = op.line;
+      node->col = op.col;
+      node->lhs = parse_unary();
+      return node;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr expr = parse_primary();
+    for (;;) {
+      if (accept(TokenKind::Dot) || (at(TokenKind::Arrow) && (advance(), true))) {
+        const bool arrow = tokens_[pos_ - 1].kind == TokenKind::Arrow;
+        const Token name = expect(TokenKind::Identifier, "member name");
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::Member;
+        node->text = name.text;
+        node->line = name.line;
+        node->col = name.col;
+        node->arrow = arrow;
+        node->lhs = std::move(expr);
+        expr = std::move(node);
+        continue;
+      }
+      if (at(TokenKind::LBracket)) {
+        const Token bracket = advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::Index;
+        node->line = bracket.line;
+        node->col = bracket.col;
+        node->lhs = std::move(expr);
+        node->rhs = parse_expr();
+        expect(TokenKind::RBracket, "']'");
+        expr = std::move(node);
+        continue;
+      }
+      if (at(TokenKind::LParen) && expr->kind == Expr::Kind::Ident) {
+        const Token paren = advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::Call;
+        node->text = expr->text;
+        node->line = paren.line;
+        node->col = paren.col;
+        if (!at(TokenKind::RParen)) {
+          do {
+            node->args.push_back(parse_expr());
+          } while (accept(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "')' after arguments");
+        expr = std::move(node);
+        continue;
+      }
+      if (at(TokenKind::PlusPlus) || at(TokenKind::MinusMinus)) {
+        const Token op = advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::Unary;
+        node->text = op.text;
+        node->line = op.line;
+        node->col = op.col;
+        node->lhs = std::move(expr);
+        expr = std::move(node);
+        continue;
+      }
+      break;
+    }
+    return expr;
+  }
+
+  ExprPtr parse_primary() {
+    const Token& tok = peek();
+    auto node = std::make_unique<Expr>();
+    node->line = tok.line;
+    node->col = tok.col;
+
+    switch (tok.kind) {
+      case TokenKind::IntLiteral:
+        node->kind = Expr::Kind::IntLit;
+        node->int_value = advance().int_value;
+        return node;
+      case TokenKind::FloatLiteral:
+        node->kind = Expr::Kind::FloatLit;
+        node->float_value = advance().float_value;
+        return node;
+      case TokenKind::StringLiteral:
+        node->kind = Expr::Kind::StringLit;
+        node->text = advance().text;
+        return node;
+      case TokenKind::KwTrue:
+      case TokenKind::KwFalse:
+        node->kind = Expr::Kind::BoolLit;
+        node->int_value = advance().kind == TokenKind::KwTrue ? 1 : 0;
+        return node;
+      case TokenKind::KwNull:
+        node->kind = Expr::Kind::NullLit;
+        advance();
+        return node;
+      case TokenKind::Identifier:
+        node->kind = Expr::Kind::Ident;
+        node->text = advance().text;
+        return node;
+      case TokenKind::LParen: {
+        advance();
+        ExprPtr inner = parse_expr();
+        expect(TokenKind::RParen, "')'");
+        return inner;
+      }
+      case TokenKind::KwNew:
+        return parse_new();
+      case TokenKind::KwSizeof:
+        return parse_sizeof();
+      default:
+        throw ParseError(tok.line, tok.col,
+                         "unexpected token '" + tok.text + "' in expression");
+    }
+  }
+
+  ExprPtr parse_new() {
+    const Token kw = expect(TokenKind::KwNew, "'new'");
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::New;
+    node->line = kw.line;
+    node->col = kw.col;
+    if (accept(TokenKind::LParen)) {
+      node->placement = parse_expr();
+      expect(TokenKind::RParen, "')' after placement address");
+    }
+    node->type = parse_type();
+    if (accept(TokenKind::LBracket)) {
+      node->is_array = true;
+      node->array_size = parse_expr();
+      expect(TokenKind::RBracket, "']'");
+    } else if (accept(TokenKind::LParen)) {
+      if (!at(TokenKind::RParen)) {
+        do {
+          node->args.push_back(parse_expr());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "')' after constructor arguments");
+    }
+    return node;
+  }
+
+  ExprPtr parse_sizeof() {
+    const Token kw = expect(TokenKind::KwSizeof, "'sizeof'");
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::Sizeof;
+    node->line = kw.line;
+    node->col = kw.col;
+    expect(TokenKind::LParen, "'(' after sizeof");
+    if (at_type_start() ||
+        (at(TokenKind::Identifier) &&
+         (at(TokenKind::RParen, 1) || at(TokenKind::Star, 1)))) {
+      // sizeof(TypeName) — sema resolves identifiers that are really
+      // variables back to their declared type.
+      node->type = parse_type();
+    } else {
+      node->lhs = parse_expr();
+    }
+    expect(TokenKind::RParen, "')' after sizeof");
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) {
+  Parser parser(tokenize(source));
+  return parser.parse_program();
+}
+
+}  // namespace pnlab::analysis

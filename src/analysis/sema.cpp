@@ -1,0 +1,344 @@
+#include "analysis/sema.h"
+
+#include <algorithm>
+
+#include "analysis/token.h"
+
+namespace pnlab::analysis {
+
+namespace {
+
+// ILP32 scalar model, matching the paper's testbed (and memsim defaults).
+constexpr std::size_t kIntSize = 4;
+constexpr std::size_t kDoubleSize = 8;
+constexpr std::size_t kDoubleAlign = 4;
+constexpr std::size_t kPointerSize = 4;
+
+std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+std::optional<std::size_t> scalar_size(const std::string& name) {
+  if (name == "int" || name == "bool") return kIntSize;
+  if (name == "double") return kDoubleSize;
+  if (name == "char") return std::size_t{1};
+  return std::nullopt;
+}
+
+std::optional<std::size_t> scalar_align(const std::string& name) {
+  if (name == "int" || name == "bool") return kIntSize;
+  if (name == "double") return kDoubleAlign;
+  if (name == "char") return std::size_t{1};
+  return std::nullopt;
+}
+
+}  // namespace
+
+TypeTable::TypeTable(const Program& program) {
+  for (const ClassDecl& decl : program.classes) {
+    ClassLayout layout;
+    layout.name = decl.name;
+    layout.base = decl.base;
+    layout.has_vptr = !decl.virtual_functions.empty();
+
+    std::size_t offset = 0;
+    if (!decl.base.empty()) {
+      auto it = classes_.find(decl.base);
+      if (it == classes_.end()) {
+        throw ParseError(decl.line, 1,
+                         "class " + decl.name + " derives from unknown base " +
+                             decl.base);
+      }
+      const ClassLayout& base = it->second;
+      layout.has_vptr = layout.has_vptr || base.has_vptr;
+      layout.align = base.align;
+      layout.fields = base.fields;
+      offset = base.size;
+      if (layout.has_vptr && !base.has_vptr) {
+        for (FieldInfo& f : layout.fields) f.offset += kPointerSize;
+        offset += kPointerSize;
+      }
+    } else if (layout.has_vptr) {
+      offset = kPointerSize;
+      layout.align = std::max(layout.align, kPointerSize);
+    }
+
+    for (const MemberDecl& member : decl.members) {
+      std::size_t elem_size;
+      std::size_t elem_align;
+      if (member.type.is_pointer()) {
+        elem_size = kPointerSize;
+        elem_align = kPointerSize;
+      } else if (auto s = scalar_size(member.type.name)) {
+        elem_size = *s;
+        elem_align = *scalar_align(member.type.name);
+      } else {
+        auto it = classes_.find(member.type.name);
+        if (it == classes_.end()) {
+          throw ParseError(member.line, 1,
+                           "member " + decl.name + "::" + member.name +
+                               " has unknown type " + member.type.name);
+        }
+        elem_size = it->second.size;
+        elem_align = it->second.align;
+      }
+      offset = align_up(offset, elem_align);
+      FieldInfo field;
+      field.name = member.name;
+      field.type_name = member.type.name;
+      field.offset = offset;
+      field.size = elem_size * static_cast<std::size_t>(member.array_count);
+      layout.fields.push_back(field);
+      offset += field.size;
+      layout.align = std::max(layout.align, elem_align);
+    }
+
+    layout.size = align_up(std::max<std::size_t>(offset, 1), layout.align);
+    classes_[decl.name] = std::move(layout);
+  }
+}
+
+bool TypeTable::is_class(const std::string& name) const {
+  return classes_.contains(name);
+}
+
+const ClassLayout& TypeTable::layout(const std::string& name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) {
+    throw std::out_of_range("unknown class " + name);
+  }
+  return it->second;
+}
+
+std::optional<std::size_t> TypeTable::size_of(const TypeRef& type) const {
+  if (type.is_pointer()) return kPointerSize;
+  if (auto s = scalar_size(type.name)) return s;
+  auto it = classes_.find(type.name);
+  if (it != classes_.end()) return it->second.size;
+  return std::nullopt;
+}
+
+std::optional<std::size_t> TypeTable::align_of(const TypeRef& type) const {
+  if (type.is_pointer()) return kPointerSize;
+  if (auto a = scalar_align(type.name)) return a;
+  auto it = classes_.find(type.name);
+  if (it != classes_.end()) return it->second.align;
+  return std::nullopt;
+}
+
+bool TypeTable::derives_from(const std::string& derived,
+                             const std::string& base) const {
+  std::string cur = derived;
+  while (!cur.empty()) {
+    if (cur == base) return true;
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) return false;
+    cur = it->second.base;
+  }
+  return false;
+}
+
+void SymbolTable::add_decl(const Stmt& decl, bool is_global,
+                           const TypeTable& types) {
+  if (decl.kind != Stmt::Kind::VarDecl) return;
+  VarInfo info;
+  info.name = decl.name;
+  info.type = decl.type;
+  info.is_global = is_global;
+  info.tainted_decl = decl.type.tainted;
+  info.init = decl.init.get();
+  info.line = decl.line;
+  if (decl.array_size) {
+    if (auto n = const_eval(*decl.array_size, types, nullptr)) {
+      if (auto elem = types.size_of(decl.type); elem && *n >= 0) {
+        info.byte_size = *elem * static_cast<std::size_t>(*n);
+      }
+    }
+    // A variable-length array keeps byte_size unset: statically unknown.
+  } else {
+    info.byte_size = types.size_of(decl.type);
+  }
+  vars_.push_back(std::move(info));
+}
+
+SymbolTable::SymbolTable(const Program& program, const FuncDecl& function,
+                         const TypeTable& types) {
+  for (const auto& global : program.globals) {
+    add_decl(*global, /*is_global=*/true, types);
+  }
+  for (const ParamDecl& param : function.params) {
+    VarInfo info;
+    info.name = param.name;
+    info.type = param.type;
+    info.is_param = true;
+    info.tainted_decl = param.type.tainted;
+    info.byte_size = types.size_of(param.type);
+    vars_.push_back(std::move(info));
+  }
+  for_each_stmt(*function.body, [&](const Stmt& stmt) {
+    add_decl(stmt, /*is_global=*/false, types);
+  });
+}
+
+const VarInfo* SymbolTable::find(const std::string& name) const {
+  for (const VarInfo& v : vars_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<long long> const_eval(const Expr& expr, const TypeTable& types,
+                                    const SymbolTable* symbols) {
+  switch (expr.kind) {
+    case Expr::Kind::IntLit:
+      return expr.int_value;
+    case Expr::Kind::BoolLit:
+      return expr.int_value;
+    case Expr::Kind::Sizeof: {
+      if (!expr.type.name.empty()) {
+        TypeRef type = expr.type;
+        // sizeof(x) where x is a variable parses as a type name; resolve
+        // it through the symbol table when one is available.
+        if (symbols != nullptr && !type.is_pointer()) {
+          if (const VarInfo* var = symbols->find(type.name)) {
+            if (var->byte_size) {
+              return static_cast<long long>(*var->byte_size);
+            }
+            return std::nullopt;
+          }
+        }
+        if (auto s = types.size_of(type)) return static_cast<long long>(*s);
+        return std::nullopt;
+      }
+      if (expr.lhs && expr.lhs->kind == Expr::Kind::Ident &&
+          symbols != nullptr) {
+        if (const VarInfo* var = symbols->find(expr.lhs->text);
+            var != nullptr && var->byte_size) {
+          return static_cast<long long>(*var->byte_size);
+        }
+      }
+      return std::nullopt;
+    }
+    case Expr::Kind::Unary:
+      if (expr.text == "-") {
+        if (auto v = const_eval(*expr.lhs, types, symbols)) return -*v;
+      }
+      return std::nullopt;
+    case Expr::Kind::Binary: {
+      if (expr.text == "=") return std::nullopt;
+      auto l = const_eval(*expr.lhs, types, symbols);
+      auto r = const_eval(*expr.rhs, types, symbols);
+      if (!l || !r) return std::nullopt;
+      if (expr.text == "+") return *l + *r;
+      if (expr.text == "-") return *l - *r;
+      if (expr.text == "*") return *l * *r;
+      if (expr.text == "/") return *r == 0 ? std::nullopt
+                                           : std::optional<long long>(*l / *r);
+      if (expr.text == "%") return *r == 0 ? std::nullopt
+                                           : std::optional<long long>(*l % *r);
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string target_root(const Expr& target) {
+  const Expr* e = &target;
+  while (true) {
+    switch (e->kind) {
+      case Expr::Kind::Ident:
+        return e->text;
+      case Expr::Kind::Unary:
+        if (e->text == "&" || e->text == "*") {
+          e = e->lhs.get();
+          continue;
+        }
+        return "";
+      case Expr::Kind::Member:
+      case Expr::Kind::Index:
+        e = e->lhs.get();
+        continue;
+      default:
+        return "";
+    }
+  }
+}
+
+std::optional<std::size_t> resolve_arena_size(const Expr& target,
+                                              const SymbolTable& symbols,
+                                              const TypeTable& types,
+                                              const FuncDecl& function) {
+  // &var → the full object size of var.
+  if (target.kind == Expr::Kind::Unary && target.text == "&" &&
+      target.lhs->kind == Expr::Kind::Ident) {
+    const VarInfo* var = symbols.find(target.lhs->text);
+    if (var != nullptr) return var->byte_size;
+    return std::nullopt;
+  }
+  // &obj.member / &obj->member: size of the member subobject.
+  if (target.kind == Expr::Kind::Unary && target.text == "&" &&
+      target.lhs->kind == Expr::Kind::Member) {
+    const Expr& member = *target.lhs;
+    const std::string root = target_root(member);
+    const VarInfo* var = symbols.find(root);
+    if (var != nullptr && types.is_class(var->type.name)) {
+      for (const FieldInfo& f : types.layout(var->type.name).fields) {
+        if (f.name == member.text) return f.size;
+      }
+    }
+    return std::nullopt;
+  }
+  if (target.kind != Expr::Kind::Ident) return std::nullopt;
+
+  const VarInfo* var = symbols.find(target.text);
+  if (var == nullptr) return std::nullopt;
+
+  // A named array (or object) used directly: its own size.
+  if (!var->type.is_pointer()) return var->byte_size;
+
+  // A pointer: find the definitions that reach it.  PNC keeps this
+  // deliberately simple — if the pointer has exactly one `new` assignment
+  // (or initializer) in the function and it is constant-sized, that is
+  // the arena; aliasing or reassignment makes it unknown (§5.1's point
+  // about why static analysis "may not always succeed").
+  std::optional<std::size_t> arena;
+  int definitions = 0;
+  auto consider_new = [&](const Expr& e) {
+    if (e.kind != Expr::Kind::New || e.placement) return;
+    ++definitions;
+    if (e.is_array) {
+      auto count = const_eval(*e.array_size, types, &symbols);
+      auto elem = types.size_of(e.type);
+      if (count && elem && *count >= 0) {
+        arena = *elem * static_cast<std::size_t>(*count);
+      } else {
+        arena = std::nullopt;
+      }
+    } else {
+      arena = types.size_of(e.type);
+    }
+  };
+
+  if (var->init != nullptr) consider_new(*var->init);
+  for_each_stmt(*function.body, [&](const Stmt& stmt) {
+    if (stmt.kind != Stmt::Kind::Expr || !stmt.expr) return;
+    const Expr& e = *stmt.expr;
+    if (e.kind == Expr::Kind::Binary && e.text == "=" &&
+        e.lhs->kind == Expr::Kind::Ident && e.lhs->text == var->name &&
+        e.rhs) {
+      consider_new(*e.rhs);
+      // A non-new assignment aliases the pointer to something we cannot
+      // size — except nulling it, which assigns no arena at all.
+      if (e.rhs->kind != Expr::Kind::New &&
+          e.rhs->kind != Expr::Kind::NullLit) {
+        ++definitions;
+      }
+    }
+  });
+
+  if (definitions == 1) return arena;
+  return std::nullopt;
+}
+
+}  // namespace pnlab::analysis

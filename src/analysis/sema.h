@@ -1,0 +1,105 @@
+// Semantic layer for PNC: class layout sizes (mirroring the objmodel
+// algorithm under the paper's ILP32 machine model), per-function symbol
+// tables, constant folding, and arena-size resolution for placement
+// targets — the "infer the buffer size even in cases when it is not
+// explicit" problem §5.1 discusses.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ast.h"
+
+namespace pnlab::analysis {
+
+/// One laid-out data member of a PNC class.
+struct FieldInfo {
+  std::string name;
+  std::string type_name;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+
+/// Computed layout of a PNC class (ILP32 model: int 4, double 8 with
+/// 4-byte alignment, pointer 4, vptr one pointer at offset 0).
+struct ClassLayout {
+  std::string name;
+  std::string base;
+  std::size_t size = 0;
+  std::size_t align = 1;
+  bool has_vptr = false;
+  std::vector<FieldInfo> fields;
+};
+
+/// Class layouts plus scalar sizing for the whole program.
+class TypeTable {
+ public:
+  /// Lays out every class in @p program (bases before derived classes,
+  /// in declaration order); throws ParseError on unknown base/member
+  /// types.
+  explicit TypeTable(const Program& program);
+
+  bool is_class(const std::string& name) const;
+  const ClassLayout& layout(const std::string& name) const;
+
+  /// Size in bytes of @p type; nullopt for void or unknown classes.
+  std::optional<std::size_t> size_of(const TypeRef& type) const;
+  std::optional<std::size_t> align_of(const TypeRef& type) const;
+
+  /// True if @p derived equals @p base or (transitively) inherits it.
+  bool derives_from(const std::string& derived, const std::string& base) const;
+
+ private:
+  std::map<std::string, ClassLayout> classes_;
+};
+
+/// What the analyzer knows about one declared variable.
+struct VarInfo {
+  std::string name;
+  TypeRef type;
+  bool is_global = false;
+  bool is_param = false;
+  bool tainted_decl = false;          ///< declared `tainted`
+  std::optional<std::size_t> byte_size;  ///< full object/array size if static
+  const Expr* init = nullptr;         ///< initializer, when present
+  int line = 0;
+};
+
+/// Symbols visible inside one function: its params and locals plus all
+/// globals.  PNC has no shadowing-sensitive scoping subtleties worth
+/// modeling; names are unique per function in the corpus.
+class SymbolTable {
+ public:
+  SymbolTable(const Program& program, const FuncDecl& function,
+              const TypeTable& types);
+
+  const VarInfo* find(const std::string& name) const;
+  const std::vector<VarInfo>& all() const { return vars_; }
+
+ private:
+  void add_decl(const Stmt& decl, bool is_global, const TypeTable& types);
+  std::vector<VarInfo> vars_;
+};
+
+/// Constant-folds @p expr (literals, + - * / %, sizeof with @p types);
+/// nullopt when not a compile-time constant.
+std::optional<long long> const_eval(const Expr& expr, const TypeTable& types,
+                                    const SymbolTable* symbols = nullptr);
+
+/// Resolves the byte size of the arena a placement targets:
+///   &var        → sizeof(var)
+///   arr         → sizeof(arr)     (named array)
+///   ptr         → size of the unique `new T[n]`/`new T` reaching it, if any
+/// nullopt means "not statically known" (PN004 territory).
+std::optional<std::size_t> resolve_arena_size(const Expr& target,
+                                              const SymbolTable& symbols,
+                                              const TypeTable& types,
+                                              const FuncDecl& function);
+
+/// The root variable a placement target refers to ("mem_pool" for
+/// `mem_pool`, "stud" for `&stud`, "p" for `p`); empty when unresolvable.
+std::string target_root(const Expr& target);
+
+}  // namespace pnlab::analysis

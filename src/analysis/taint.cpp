@@ -1,0 +1,180 @@
+#include "analysis/taint.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace pnlab::analysis {
+
+namespace {
+
+constexpr int kMaxDepth = 64;  // saturation guard for loops
+
+/// Joins @p src into @p dst (pointwise minimum depth); true if changed.
+bool join_into(TaintMap& dst, const TaintMap& src) {
+  bool changed = false;
+  for (const auto& [name, depth] : src) {
+    auto it = dst.find(name);
+    if (it == dst.end() || depth < it->second) {
+      dst[name] = depth;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+class Transfer {
+ public:
+  Transfer(const SymbolTable& symbols, const TaintOptions& options)
+      : symbols_(symbols), options_(options) {}
+
+  void apply(const Stmt& stmt, TaintMap& state) const {
+    switch (stmt.kind) {
+      case Stmt::Kind::CinRead: {
+        taint_lvalue(*stmt.expr, 1, state);
+        for (const auto& extra : stmt.body) {
+          taint_lvalue(*extra->expr, 1, state);
+        }
+        return;
+      }
+      case Stmt::Kind::VarDecl: {
+        if (stmt.type.tainted) {
+          state[stmt.name] = 1;
+          return;
+        }
+        if (stmt.init) {
+          assign(stmt.name, *stmt.init, state);
+        }
+        return;
+      }
+      case Stmt::Kind::Expr: {
+        if (stmt.expr && stmt.expr->kind == Expr::Kind::Binary &&
+            stmt.expr->text == "=") {
+          const Expr& lhs = *stmt.expr->lhs;
+          if (lhs.kind == Expr::Kind::Ident) {
+            assign(lhs.text, *stmt.expr->rhs, state);
+          } else {
+            // Writes through members/indices taint the root object
+            // conservatively.
+            const std::string root = target_root(lhs);
+            if (!root.empty()) {
+              const int depth = taint_of_expr(*stmt.expr->rhs, state,
+                                              options_);
+              if (depth > 0) {
+                const int next = std::min(depth + 1, kMaxDepth);
+                auto it = state.find(root);
+                if (it == state.end() || next < it->second) {
+                  state[root] = next;
+                }
+              }
+            }
+          }
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+ private:
+  void assign(const std::string& name, const Expr& rhs, TaintMap& state) const {
+    // Depth through tainted variables counts a hop; binding a source
+    // call's result (`n = recv()`) is the value's *first* name, not an
+    // intermediate definition, so it stays direct (depth 1).
+    int var_depth = 0;
+    bool source_call = false;
+    for_each_expr(rhs, [&](const Expr& e) {
+      if (e.kind == Expr::Kind::Ident) {
+        auto it = state.find(e.text);
+        if (it != state.end() &&
+            (var_depth == 0 || it->second < var_depth)) {
+          var_depth = it->second;
+        }
+      } else if (e.kind == Expr::Kind::Call &&
+                 options_.source_functions.contains(e.text)) {
+        source_call = true;
+      }
+    });
+    int depth = var_depth > 0 ? std::min(var_depth + 1, kMaxDepth) : 0;
+    if (source_call) depth = depth == 0 ? 1 : std::min(depth, 1);
+    if (depth > 0) {
+      state[name] = depth;
+    } else {
+      state.erase(name);  // overwritten with clean data
+    }
+  }
+
+  void taint_lvalue(const Expr& lvalue, int depth, TaintMap& state) const {
+    const std::string root = target_root(lvalue);
+    if (root.empty()) return;
+    auto it = state.find(root);
+    if (it == state.end() || depth < it->second) state[root] = depth;
+  }
+
+  const SymbolTable& symbols_;
+  const TaintOptions& options_;
+};
+
+}  // namespace
+
+int taint_of_expr(const Expr& expr, const TaintMap& state,
+                  const TaintOptions& options) {
+  int best = 0;
+  for_each_expr(expr, [&](const Expr& e) {
+    int depth = 0;
+    if (e.kind == Expr::Kind::Ident) {
+      auto it = state.find(e.text);
+      if (it != state.end()) depth = it->second;
+    } else if (e.kind == Expr::Kind::Call &&
+               options.source_functions.contains(e.text)) {
+      depth = 1;  // value straight off the wire
+    }
+    if (depth > 0 && (best == 0 || depth < best)) best = depth;
+  });
+  return best;
+}
+
+TaintAnalysis analyze_taint(const FuncDecl& /*function*/, const Cfg& cfg,
+                            const SymbolTable& symbols,
+                            const TaintOptions& options,
+                            const TaintMap& initial) {
+  TaintAnalysis result;
+  Transfer transfer(symbols, options);
+
+  TaintMap entry_state = initial;
+  for (const VarInfo& var : symbols.all()) {
+    if (var.tainted_decl) entry_state[var.name] = 1;
+  }
+
+  std::vector<TaintMap> in(cfg.blocks.size());
+  in[static_cast<std::size_t>(cfg.entry)] = entry_state;
+
+  std::deque<int> worklist = {cfg.entry};
+  std::vector<bool> queued(cfg.blocks.size(), false);
+  queued[static_cast<std::size_t>(cfg.entry)] = true;
+
+  while (!worklist.empty()) {
+    const int id = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<std::size_t>(id)] = false;
+
+    TaintMap state = in[static_cast<std::size_t>(id)];
+    for (const Stmt* stmt : cfg.block(id).stmts) {
+      // Record (joined) state before the statement for checker queries.
+      join_into(result.before[stmt], state);
+      transfer.apply(*stmt, state);
+    }
+    for (const int succ : cfg.block(id).succs) {
+      if (join_into(in[static_cast<std::size_t>(succ)], state) &&
+          !queued[static_cast<std::size_t>(succ)]) {
+        worklist.push_back(succ);
+        queued[static_cast<std::size_t>(succ)] = true;
+      }
+    }
+  }
+
+  result.at_exit = in[static_cast<std::size_t>(cfg.exit)];
+  return result;
+}
+
+}  // namespace pnlab::analysis

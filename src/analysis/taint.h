@@ -1,0 +1,54 @@
+// Taint dataflow over the CFG.
+//
+// Sources (depth 1):
+//  - `cin >> x`                       (user input, Listings 12-19)
+//  - parameters/globals declared `tainted`  (remote objects, §3.2)
+//  - calls to known external input functions (service.getNames etc.)
+//
+// Each assignment hop adds 1 to the depth.  The checkers classify a
+// tainted placement size as *direct* (PN002) when its minimum depth is 1
+// and *indirect* (PN003, §3.3) when every tainted path runs through at
+// least one intermediate definition (depth ≥ 2).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/ast.h"
+#include "analysis/cfg.h"
+#include "analysis/sema.h"
+
+namespace pnlab::analysis {
+
+/// Variable name → minimum assignment distance from a taint source.
+using TaintMap = std::map<std::string, int>;
+
+struct TaintOptions {
+  /// External calls whose return value (or out-argument) is tainted.
+  std::set<std::string> source_functions = {
+      "getNames", "recv", "readObject", "receive", "service_getNames",
+      "read_input"};
+};
+
+struct TaintAnalysis {
+  /// Taint state observed immediately *before* each simple statement.
+  std::map<const Stmt*, TaintMap> before;
+  /// State at function exit (used for interprocedural global taint).
+  TaintMap at_exit;
+};
+
+/// Runs the forward may-analysis for @p function.  @p initial seeds the
+/// entry state (tainted globals propagated across calls).
+TaintAnalysis analyze_taint(const FuncDecl& function, const Cfg& cfg,
+                            const SymbolTable& symbols,
+                            const TaintOptions& options,
+                            const TaintMap& initial = {});
+
+/// Minimum taint depth over all variables mentioned in @p expr, or 0 when
+/// the expression is untainted (depths are ≥ 1 for tainted values).
+int taint_of_expr(const Expr& expr, const TaintMap& state,
+                  const TaintOptions& options);
+
+}  // namespace pnlab::analysis

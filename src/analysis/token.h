@@ -1,0 +1,122 @@
+// Lexer for PNC, the mini-C++ dialect the static analyzer understands.
+//
+// PNC covers exactly the constructs the paper's listings use:
+//
+//   class GradStudent : Student { int ssn[3]; virtual char* getInfo(); };
+//   char mem_pool[64];
+//   void addStudent(tainted Student* remoteobj) {
+//     Student stud;
+//     GradStudent* st = new (&stud) GradStudent();
+//     cin >> st->ssn[0];
+//     char* buf = new (mem_pool) char[n * 8];
+//     memset(mem_pool, 0, 64);
+//     destroy(st);              // the programmer's "placement delete"
+//   }
+//
+// The `tainted` qualifier marks values that arrive from an untrusted
+// source (remote objects, §3.2); `cin >> x` is the canonical local taint
+// source.  `sizeof(T)`/`sizeof(expr)` appears in guarded (safe) variants.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pnlab::analysis {
+
+enum class TokenKind {
+  // literals / identifiers
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+  // keywords
+  KwClass,
+  KwVirtual,
+  KwPublic,
+  KwPrivate,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwNew,
+  KwDelete,
+  KwCin,
+  KwTainted,
+  KwSizeof,
+  KwInt,
+  KwDouble,
+  KwChar,
+  KwVoid,
+  KwBool,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  // punctuation / operators
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Colon,
+  Comma,
+  Dot,
+  Arrow,       // ->
+  Amp,         // &
+  AmpAmp,      // &&
+  Pipe,        // |
+  PipePipe,    // ||
+  Star,
+  Plus,
+  PlusPlus,
+  Minus,
+  MinusMinus,
+  Slash,
+  Percent,
+  Assign,      // =
+  Eq,          // ==
+  Ne,          // !=
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Shr,         // >> (cin extraction)
+  Not,         // !
+  EndOfFile,
+};
+
+const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;
+  long long int_value = 0;
+  double float_value = 0;
+  int line = 1;
+  int col = 1;
+};
+
+/// Thrown on malformed input (lexing or parsing).
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, int col, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + what),
+        line_(line),
+        col_(col) {}
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+/// Tokenizes PNC source; throws ParseError on malformed input.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,95 @@
+// Shared fixture for attack scenarios: a fresh simulated process wired to
+// the chosen protection configuration.
+#pragma once
+
+#include <optional>
+
+#include "attacks/report.h"
+#include "guard/protections.h"
+#include "memsim/heap.h"
+#include "memsim/stack.h"
+#include "objmodel/corpus.h"
+#include "placement/engine.h"
+
+namespace pnlab::attacks {
+
+/// A fresh victim process plus the protections of @p config.
+///
+/// Scenarios construct one Lab per run, so no state leaks across runs and
+/// layouts are deterministic.
+struct Lab {
+  explicit Lab(const ProtectionConfig& config,
+               memsim::MachineModel model = memsim::MachineModel::ilp32())
+      : config(config),
+        mem(model),
+        registry(mem),
+        engine(registry, config.policy),
+        stack(mem, config.frame) {
+    if (config.interceptor) {
+      interceptor.emplace(engine);
+    }
+    // The paper-era victim has an executable stack unless the NX
+    // protection is turned on.
+    mem.set_executable_stack(!config.nx_stack);
+    objmodel::corpus::define_student_types(registry);
+    objmodel::corpus::define_virtual_student_types(registry);
+    objmodel::corpus::define_mobile_player(registry);
+    objmodel::corpus::define_multiple_inheritance_types(registry);
+  }
+
+  /// Pushes a frame and mirrors it on the shadow stack if configured.
+  memsim::Frame& call(const std::string& function, memsim::Address ret) {
+    if (config.shadow_stack) shadow.on_call(ret);
+    return stack.push_frame(function, ret);
+  }
+
+  /// Pops a frame; fills in detection verdicts on @p report.
+  /// Returns the ReturnResult so scenarios can classify the transfer.
+  memsim::ReturnResult ret(AttackReport& report) {
+    memsim::ReturnResult r = stack.pop_frame();
+    const guard::CanaryVerdict verdict =
+        guard::judge_return(config.frame.use_canary, r);
+    if (verdict == guard::CanaryVerdict::SmashDetected) {
+      report.detected = true;
+      report.detail += " [StackGuard: canary smashed, program aborted]";
+    }
+    if (config.shadow_stack && !shadow.on_return(r.return_to)) {
+      report.detected = true;
+      report.detail += " [shadow stack: return-address mismatch]";
+    }
+    return r;
+  }
+
+  /// True when the libsafe-style interceptor flagged any placement.
+  bool interceptor_flagged() const {
+    return interceptor.has_value() && !interceptor->violations().empty();
+  }
+
+  /// Applies the interceptor's (detect-only) verdict to @p report.
+  void apply_interceptor(AttackReport& report) {
+    if (interceptor_flagged()) {
+      report.detected = true;
+      report.detail += " [interceptor: placement bounds violation logged]";
+    }
+  }
+
+  /// Standard epilogue for scenarios whose placement was refused by the
+  /// §5.1 preventive policy.
+  static void rejected(AttackReport& report,
+                       const placement::PlacementRejected& e) {
+    report.prevented = true;
+    report.succeeded = false;
+    report.detail = std::string("placement rejected (") +
+                    placement::to_string(e.reason()) + "): " + e.what();
+  }
+
+  ProtectionConfig config;
+  memsim::Memory mem;
+  objmodel::TypeRegistry registry;
+  placement::PlacementEngine engine;
+  memsim::CallStack stack;
+  guard::ShadowStack shadow;
+  std::optional<guard::PlacementInterceptor> interceptor;
+};
+
+}  // namespace pnlab::attacks

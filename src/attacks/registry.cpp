@@ -1,0 +1,86 @@
+#include <stdexcept>
+
+#include "attacks/scenarios.h"
+
+namespace pnlab::attacks {
+
+const std::vector<ScenarioEntry>& all_scenarios() {
+  static const std::vector<ScenarioEntry> scenarios = {
+      {"construction_overflow", "Listing 4, §3.1",
+       "Object overflow via construction", construction_overflow},
+      {"scalar_target_overflow", "§2.5 issue 1",
+       "Placement at a scalar variable's address", scalar_target_overflow},
+      {"remote_array_count", "Listing 5, §3.2",
+       "Tainted array count from a remote service", remote_array_count},
+      {"copy_loop_overflow", "Listing 6, §3.2",
+       "Member-copy loop driven by remote count", copy_loop_overflow},
+      {"copy_ctor_overflow", "Listing 7, §3.2",
+       "Copy-constructor deep copy overflow", copy_ctor_overflow},
+      {"serialized_object_overflow", "§3.2 (wire)",
+       "Serialized remote object overflows the arena",
+       serialized_object_overflow},
+      {"serialized_count_overflow", "Listing 6, §3.2 (wire)",
+       "Wire-claimed element count overruns the member array",
+       serialized_count_overflow},
+      {"indirect_construction", "Listing 8, §3.3",
+       "Indirectly tainted placement size", indirect_construction},
+      {"aggregate_copy_overflow", "Listing 9, §3.3",
+       "Aggregate component growth overflow", aggregate_copy_overflow},
+      {"internal_overflow", "Listing 10, §3.4",
+       "Internal overflow of sibling members", internal_overflow},
+      {"bss_adjacent_object", "Listing 11, §3.5",
+       "Data/bss overflow onto the adjacent object", bss_adjacent_object},
+      {"heap_overflow", "Listing 12, §3.5.1",
+       "Heap overflow onto the name buffer", heap_overflow},
+      {"heap_metadata_corruption", "§3.5.1 / ref [7]",
+       "Allocator metadata corrupted via object overflow",
+       heap_metadata_corruption},
+      {"stack_return_address", "Listing 13, §3.6.1",
+       "Naive return-address smash", stack_return_address},
+      {"canary_bypass", "§3.6.1/§5.2",
+       "Selective overwrite bypassing StackGuard", canary_bypass},
+      {"arc_injection", "§3.6.2", "Arc injection (return-to-libc)",
+       arc_injection},
+      {"code_injection", "§3.6.2", "Code injection into the stack",
+       code_injection},
+      {"bss_variable_overwrite", "Listing 14, §3.7.1",
+       "Global variable overwrite", bss_variable_overwrite},
+      {"stack_local_overwrite", "Listing 15, §3.7.2",
+       "Stack local overwrite (alignment-aware)", stack_local_overwrite},
+      {"member_variable_overwrite", "Listing 16, §3.8.1",
+       "Member variable overwrite", member_variable_overwrite},
+      {"vptr_subterfuge_bss", "§3.8.2",
+       "Vptr subterfuge via data/bss overflow", vptr_subterfuge_bss},
+      {"vptr_subterfuge_stack", "§3.8.2",
+       "Vptr subterfuge via stack overflow", vptr_subterfuge_stack},
+      {"vptr_subterfuge_multiple_inheritance", "§3.8.2 (MI)",
+       "Interior vptr subterfuge under multiple inheritance",
+       vptr_subterfuge_multiple_inheritance},
+      {"function_pointer_subterfuge", "Listing 17, §3.9",
+       "Function pointer subterfuge", function_pointer_subterfuge},
+      {"variable_pointer_subterfuge", "Listing 18, §3.10",
+       "Variable pointer subterfuge", variable_pointer_subterfuge},
+      {"two_step_stack_array", "Listing 19, §4.1",
+       "Two-step stack array overflow", two_step_stack_array},
+      {"two_step_bss_array", "Listing 20, §4.2",
+       "Two-step bss array overflow", two_step_bss_array},
+      {"info_leak_array", "Listing 21, §4.3",
+       "Information leak via array residue", info_leak_array},
+      {"info_leak_object", "Listing 22, §4.3",
+       "Information leak via object residue", info_leak_object},
+      {"dos_loop_corruption", "§4.4", "DoS via loop-bound corruption",
+       dos_loop_corruption},
+      {"memory_leak", "Listing 23, §4.5",
+       "Memory leak via missing placement delete", memory_leak},
+  };
+  return scenarios;
+}
+
+const ScenarioEntry& scenario(const std::string& id) {
+  for (const auto& entry : all_scenarios()) {
+    if (entry.id == id) return entry;
+  }
+  throw std::out_of_range("no scenario named '" + id + "'");
+}
+
+}  // namespace pnlab::attacks

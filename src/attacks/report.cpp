@@ -1,0 +1,85 @@
+#include "attacks/report.h"
+
+namespace pnlab::attacks {
+
+void AttackReport::observe(const std::string& key, std::uint64_t value) {
+  observations[key] = std::to_string(value);
+}
+
+std::string AttackReport::outcome_cell() const {
+  if (prevented) return "PREVENTED";
+  if (detected && !succeeded) return "DETECTED";
+  if (detected && succeeded) return "SUCCEEDED*";  // detected but not stopped
+  if (succeeded) return "SUCCEEDED";
+  return "FAILED";
+}
+
+ProtectionConfig ProtectionConfig::none() {
+  ProtectionConfig c;
+  c.name = "none";
+  c.frame = {.save_frame_pointer = true, .use_canary = false};
+  return c;
+}
+
+ProtectionConfig ProtectionConfig::canary() {
+  ProtectionConfig c;
+  c.name = "canary";
+  c.frame = {.save_frame_pointer = true, .use_canary = true};
+  return c;
+}
+
+ProtectionConfig ProtectionConfig::shadow() {
+  ProtectionConfig c = canary();
+  c.name = "shadow";
+  c.shadow_stack = true;
+  return c;
+}
+
+ProtectionConfig ProtectionConfig::bounds() {
+  ProtectionConfig c = none();
+  c.name = "bounds";
+  c.policy = placement::PlacementPolicy{.bounds_check = true,
+                                        .align_check = true,
+                                        .type_check = true};
+  return c;
+}
+
+ProtectionConfig ProtectionConfig::sanitize() {
+  ProtectionConfig c = none();
+  c.name = "sanitize";
+  c.policy.sanitize = placement::SanitizeMode::WholeArena;
+  return c;
+}
+
+ProtectionConfig ProtectionConfig::intercept() {
+  ProtectionConfig c = none();
+  c.name = "intercept";
+  c.interceptor = true;
+  return c;
+}
+
+ProtectionConfig ProtectionConfig::nx() {
+  ProtectionConfig c = none();
+  c.name = "nx";
+  c.nx_stack = true;
+  return c;
+}
+
+ProtectionConfig ProtectionConfig::full() {
+  ProtectionConfig c;
+  c.name = "full";
+  c.frame = {.save_frame_pointer = true, .use_canary = true};
+  c.policy = placement::PlacementPolicy::checked();
+  c.shadow_stack = true;
+  c.interceptor = true;
+  c.nx_stack = true;
+  c.leak_tracking = true;
+  return c;
+}
+
+std::vector<ProtectionConfig> ProtectionConfig::all() {
+  return {none(),   canary(),    shadow(), bounds(),
+          sanitize(), intercept(), nx(),     full()};
+}
+
+}  // namespace pnlab::attacks

@@ -1,0 +1,80 @@
+// Attack scenario reporting and protection configurations.
+//
+// Every paper listing is reproduced as a scenario: a function that builds
+// the victim program state in a fresh simulated process, runs the attack
+// under a chosen protection configuration, and reports what happened.
+// The E1 benchmark sweeps all scenarios across all configurations.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "memsim/stack.h"
+#include "placement/engine.h"
+
+namespace pnlab::attacks {
+
+/// Outcome of one scenario run.
+///
+/// Scoring convention (strongest protection outcome first):
+///  - prevented: the corrupting write never happened (policy rejection,
+///    NX fault before the goal) — §5.1 preventive protections.
+///  - detected:  corruption happened but a monitor saw it (canary abort,
+///    shadow-stack mismatch, interceptor flag) — §5.2 detective
+///    protections.  A canary abort also stops exploitation, so
+///    `succeeded` is false for it; a passive interceptor detects while
+///    the attack still succeeds.
+///  - succeeded: the attacker goal was achieved.
+struct AttackReport {
+  std::string id;         ///< stable scenario id, e.g. "stack_return_address"
+  std::string paper_ref;  ///< e.g. "Listing 13, §3.6.1"
+  std::string title;
+  std::string protection;  ///< configuration name the run used
+  bool succeeded = false;
+  bool detected = false;
+  bool prevented = false;
+  std::string detail;  ///< one-line narrative of what happened
+  /// Key facts for tests and benches (addresses, values, byte counts).
+  std::map<std::string, std::string> observations;
+
+  void observe(const std::string& key, const std::string& value) {
+    observations[key] = value;
+  }
+  void observe(const std::string& key, std::uint64_t value);
+  /// "SUCCEEDED" / "DETECTED" / "PREVENTED" / "FAILED" summary cell.
+  std::string outcome_cell() const;
+};
+
+/// A named bundle of protections to run a scenario under.
+struct ProtectionConfig {
+  std::string name;
+  memsim::FrameOptions frame;  ///< canary / saved-FP shape for victim frames
+  placement::PlacementPolicy policy;  ///< §5.1 preventive checks
+  bool shadow_stack = false;   ///< §5.2 return-address stack
+  bool interceptor = false;    ///< §5.2 libsafe-style dynamic detection
+  bool nx_stack = false;       ///< non-executable stack (paper-era default:
+                               ///< off; gcc 4.4/Ubuntu 10.04 predates
+                               ///< universal NX enforcement in the corpus)
+  bool leak_tracking = false;  ///< audit the §4.5 ledger
+
+  /// The paper's vulnerable baseline: gcc with no protections.
+  static ProtectionConfig none();
+  /// StackGuard as shipped by gcc (§5.2 experiment): canary + saved FP.
+  static ProtectionConfig canary();
+  /// Canary plus shadow return-address stack (§5.2 remedy).
+  static ProtectionConfig shadow();
+  /// §5.1 correct-coding bounds/align/type checks (preventive).
+  static ProtectionConfig bounds();
+  /// Sanitize-on-reuse only (info-leak defence).
+  static ProtectionConfig sanitize();
+  /// Libsafe-style dynamic interception (detect-only, legacy software).
+  static ProtectionConfig intercept();
+  /// NX stack only (blocks code injection, nothing else).
+  static ProtectionConfig nx();
+  /// Everything on.
+  static ProtectionConfig full();
+  /// All configurations, in the order E1 reports them.
+  static std::vector<ProtectionConfig> all();
+};
+
+}  // namespace pnlab::attacks

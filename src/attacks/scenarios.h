@@ -1,0 +1,73 @@
+// All attack scenarios from the paper, one function per listing/section.
+//
+// Every scenario builds a fresh victim process (Lab), mounts the attack
+// under the given protection configuration, and reports the outcome.  See
+// DESIGN.md §4 for the scenario-to-listing map.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attacks/report.h"
+
+namespace pnlab::attacks {
+
+// --- §3 object overflows (scenarios_object.cpp)
+AttackReport construction_overflow(const ProtectionConfig&);    // L4
+AttackReport scalar_target_overflow(const ProtectionConfig&);   // §2.5(1)
+AttackReport remote_array_count(const ProtectionConfig&);       // L5
+AttackReport copy_loop_overflow(const ProtectionConfig&);       // L6
+AttackReport copy_ctor_overflow(const ProtectionConfig&);       // L7
+AttackReport indirect_construction(const ProtectionConfig&);    // L8
+AttackReport aggregate_copy_overflow(const ProtectionConfig&);  // L9
+AttackReport internal_overflow(const ProtectionConfig&);        // L10
+AttackReport bss_adjacent_object(const ProtectionConfig&);      // L11
+AttackReport heap_overflow(const ProtectionConfig&);            // L12
+AttackReport heap_metadata_corruption(const ProtectionConfig&); // §3.5.1/[7]
+AttackReport bss_variable_overwrite(const ProtectionConfig&);   // L14
+
+// --- §3.6/§3.7/§4.4 stack attacks (scenarios_stack.cpp)
+AttackReport stack_return_address(const ProtectionConfig&);     // L13
+AttackReport canary_bypass(const ProtectionConfig&);            // §3.6.1/§5.2
+AttackReport arc_injection(const ProtectionConfig&);            // §3.6.2
+AttackReport code_injection(const ProtectionConfig&);           // §3.6.2
+AttackReport stack_local_overwrite(const ProtectionConfig&);    // L15
+AttackReport member_variable_overwrite(const ProtectionConfig&);// L16
+AttackReport dos_loop_corruption(const ProtectionConfig&);      // §4.4
+
+// --- §3.8-§3.10 subterfuge (scenarios_subterfuge.cpp)
+AttackReport vptr_subterfuge_bss(const ProtectionConfig&);      // §3.8.2
+AttackReport vptr_subterfuge_stack(const ProtectionConfig&);    // §3.8.2
+AttackReport vptr_subterfuge_multiple_inheritance(const ProtectionConfig&);  // §3.8.2 (MI)
+AttackReport function_pointer_subterfuge(const ProtectionConfig&);  // L17
+AttackReport variable_pointer_subterfuge(const ProtectionConfig&);  // L18
+
+// --- §4 two-step array overflows (scenarios_array.cpp)
+AttackReport two_step_stack_array(const ProtectionConfig&);     // L19
+AttackReport two_step_bss_array(const ProtectionConfig&);       // L20
+
+// --- §3.2 over a real wire (scenarios_serde.cpp)
+AttackReport serialized_object_overflow(const ProtectionConfig&);   // §3.2
+AttackReport serialized_count_overflow(const ProtectionConfig&);    // L6 wire
+
+// --- §4.3/§4.5 leaks (scenarios_leak.cpp)
+AttackReport info_leak_array(const ProtectionConfig&);          // L21
+AttackReport info_leak_object(const ProtectionConfig&);         // L22
+AttackReport memory_leak(const ProtectionConfig&);              // L23
+
+/// Registry entry for the E1 matrix and the attack_lab example.
+struct ScenarioEntry {
+  std::string id;
+  std::string paper_ref;
+  std::string title;
+  std::function<AttackReport(const ProtectionConfig&)> run;
+};
+
+/// All scenarios in paper order.
+const std::vector<ScenarioEntry>& all_scenarios();
+
+/// Looks up a scenario by id; throws std::out_of_range if unknown.
+const ScenarioEntry& scenario(const std::string& id);
+
+}  // namespace pnlab::attacks

@@ -1,0 +1,187 @@
+// §4 two-step array overflows (Listings 19-20): step one corrupts the
+// buffer-size variable through an object overflow; step two is a
+// perfectly ordinary strncpy that is now catastrophically oversized.
+#include "attacks/lab.h"
+#include "attacks/scenarios.h"
+
+namespace pnlab::attacks {
+
+using guard::ControlTransfer;
+using guard::classify_control_transfer;
+using memsim::Address;
+using memsim::SegmentKind;
+using placement::PlacementRejected;
+
+namespace {
+
+AttackReport make_report(const std::string& id, const std::string& paper_ref,
+                         const std::string& title,
+                         const ProtectionConfig& config) {
+  AttackReport r;
+  r.id = id;
+  r.paper_ref = paper_ref;
+  r.title = title;
+  r.protection = config.name;
+  return r;
+}
+
+constexpr std::size_t kUnameSlot = 8;  // UNAME_SIZE + 1
+constexpr int kNStudents = 4;          // pool holds 4 user names
+
+/// Crafts the step-two payload: 'A' filler with @p inject written
+/// little-endian at @p offset (when a target is given).
+std::vector<std::byte> craft_payload(std::size_t total, std::size_t offset,
+                                     std::uint32_t inject) {
+  std::vector<std::byte> payload(total, std::byte{'A'});
+  for (std::size_t i = 0; i < 4 && offset + i < total; ++i) {
+    payload[offset + i] =
+        static_cast<std::byte>((inject >> (8 * i)) & 0xff);
+  }
+  return payload;
+}
+
+}  // namespace
+
+AttackReport two_step_stack_array(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "two_step_stack_array", "Listing 19, §4.1",
+      "Two-step stack overflow: corrupt n_unames, then strncpy smashes the "
+      "frame",
+      config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  const Address gate = lab.mem.add_text_symbol("system_call_gate",
+                                               /*privileged=*/true);
+
+  memsim::Frame& frame = lab.call("sortAndAddUname", ret_to);
+  // char mem_pool[n_students*(UNAME_SIZE+1)]; int n_unames; Student stud;
+  const Address mem_pool =
+      lab.stack.push_local("mem_pool", kNStudents * kUnameSlot);
+  const Address n_unames = lab.stack.push_local("n_unames", 4);
+  lab.mem.write_i32(n_unames, kNStudents);  // honest cin input
+  // if (n_unames > n_students) return;  — passes with the honest value.
+  const Address stud = lab.stack.push_local("stud", 16);
+
+  // Step 1: the isGrad block places a GradStudent over stud; ssn[0]
+  // aliases n_unames.  The attacker needs the strncpy length to just
+  // cover the return address.
+  const std::size_t needed =
+      frame.return_address_slot + lab.mem.model().pointer_size - mem_pool;
+  const std::int32_t evil_count =
+      static_cast<std::int32_t>((needed + kUnameSlot - 1) / kUnameSlot);
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    const Address ssn_base = stud + 16;
+    if (n_unames >= ssn_base && (n_unames - ssn_base) % 4 == 0 &&
+        (n_unames - ssn_base) / 4 < 3) {
+      gs.write_int("ssn", evil_count,
+                   static_cast<std::size_t>((n_unames - ssn_base) / 4));
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  // Step 2: the program re-reads n_unames and does exactly what Listing
+  // 19 shows — "perfectly secure when we ignore the object overflow".
+  const std::size_t copy_len =
+      static_cast<std::size_t>(lab.mem.read_i32(n_unames)) * kUnameSlot;
+  report.observe("corrupted_n_unames",
+                 static_cast<std::uint64_t>(lab.mem.read_i32(n_unames)));
+  report.observe("copy_bytes", copy_len);
+  try {
+    const Address buf = lab.engine.place_array(mem_pool, 1, copy_len,
+                                               "char[n_unames*8]");
+    const auto payload =
+        craft_payload(copy_len, frame.return_address_slot - mem_pool,
+                      static_cast<std::uint32_t>(gate));
+    placement::sim_strncpy(lab.mem, buf, payload, copy_len);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  memsim::ReturnResult r = lab.ret(report);
+  if (report.detected && (config.shadow_stack ||
+                          (config.frame.use_canary && !r.canary_intact))) {
+    report.succeeded = false;
+    return report;
+  }
+  const ControlTransfer ct =
+      classify_control_transfer(lab.mem, r.return_to, ret_to);
+  report.succeeded = ct.kind == ControlTransfer::Kind::ArcInjection;
+  if (report.succeeded) {
+    report.detail = "strncpy of " + std::to_string(copy_len) +
+                    " bytes overran the 32-byte pool and redirected the "
+                    "return into " + ct.symbol + report.detail;
+  }
+  return report;
+}
+
+AttackReport two_step_bss_array(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "two_step_bss_array", "Listing 20, §4.2",
+      "Two-step bss overflow: the oversized strncpy tramples globals",
+      config);
+  Lab lab(config);
+
+  // char mem_pool[32]; int n_staff;  — globals, declaration order.
+  const Address mem_pool =
+      lab.mem.allocate(SegmentKind::Bss, kNStudents * kUnameSlot, "mem_pool");
+  const Address n_staff = lab.mem.allocate(SegmentKind::Bss, 4, "n_staff");
+  lab.mem.write_i32(n_staff, 12);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  lab.call("sortAndAddUname", ret_to);
+  const Address n_unames = lab.stack.push_local("n_unames", 4);
+  lab.mem.write_i32(n_unames, kNStudents);
+  const Address stud = lab.stack.push_local("stud", 16);
+
+  // Step 1: corrupt n_unames via the object overflow.
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    const Address ssn_base = stud + 16;
+    if (n_unames >= ssn_base && (n_unames - ssn_base) % 4 == 0 &&
+        (n_unames - ssn_base) / 4 < 3) {
+      gs.write_int("ssn", kNStudents + 2,
+                   static_cast<std::size_t>((n_unames - ssn_base) / 4));
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  // Step 2: the strncpy into the global pool, now 16 bytes oversized.
+  const std::size_t copy_len =
+      static_cast<std::size_t>(lab.mem.read_i32(n_unames)) * kUnameSlot;
+  try {
+    const Address buf =
+        lab.engine.place_array(mem_pool, 1, copy_len, "char[n_unames*8]");
+    const auto payload = craft_payload(
+        copy_len, n_staff - mem_pool, 0x7fffffff);
+    placement::sim_strncpy(lab.mem, buf, payload, copy_len);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  lab.ret(report);
+  report.succeeded = lab.mem.read_i32(n_staff) == 0x7fffffff;
+  report.observe("n_staff_after",
+                 static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(lab.mem.read_i32(n_staff))));
+  if (report.succeeded) {
+    report.detail = "the bss pool overflowed into n_staff, rewriting it to "
+                    "0x7fffffff" + report.detail;
+  }
+  return report;
+}
+
+}  // namespace pnlab::attacks

@@ -1,0 +1,170 @@
+// §4.3 information leaks (Listings 21-22) and §4.5 memory leaks
+// (Listing 23).
+#include "attacks/lab.h"
+#include "attacks/scenarios.h"
+
+namespace pnlab::attacks {
+
+using memsim::Address;
+using memsim::SegmentKind;
+using placement::PlacementRejected;
+
+namespace {
+
+AttackReport make_report(const std::string& id, const std::string& paper_ref,
+                         const std::string& title,
+                         const ProtectionConfig& config) {
+  AttackReport r;
+  r.id = id;
+  r.paper_ref = paper_ref;
+  r.title = title;
+  r.protection = config.name;
+  return r;
+}
+
+}  // namespace
+
+AttackReport info_leak_array(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "info_leak_array", "Listing 21, §4.3",
+      "Password-file residue leaks past a short user string", config);
+  Lab lab(config);
+
+  constexpr std::size_t kPoolSize = 64;
+  constexpr std::size_t kMaxUserdata = 32;
+  const Address mem_pool =
+      lab.mem.allocate(SegmentKind::Bss, kPoolSize, "mem_pool");
+
+  // mmap/read a password file into mem_pool.
+  const std::string passwd =
+      "root:x:0:0:s3cr3t-hash!/root:/bin/sh\nalice:hunter2-hash:1000:";
+  lab.mem.write_bytes(mem_pool, placement::to_bytes(passwd.substr(0, kPoolSize)));
+
+  try {
+    // userdata = new (mem_pool) char[MAX_USERDATA];
+    const Address userdata =
+        lab.engine.place_array(mem_pool, 1, kMaxUserdata, "char[MAX]");
+    // The user supplies a *short* string — 6 bytes plus terminator.
+    placement::sim_strncpy(lab.mem, userdata, placement::to_bytes("guest"),
+                           6);
+    // store(userdata) persists MAX_USERDATA bytes starting at userdata.
+    const auto stored = lab.mem.read_bytes(userdata, kMaxUserdata);
+    std::size_t leaked = 0;
+    std::string leaked_text;
+    for (std::size_t i = 6; i < kMaxUserdata; ++i) {
+      const char c = static_cast<char>(stored[i]);
+      if (c != 0) {
+        ++leaked;
+        leaked_text.push_back(c);
+      }
+    }
+    report.succeeded = leaked > 0;
+    report.observe("leaked_bytes", leaked);
+    report.observe("leaked_text", leaked_text);
+    if (report.succeeded) {
+      report.detail = "store() captured " + std::to_string(leaked) +
+                      " bytes of the password file ('" +
+                      leaked_text.substr(0, 16) + "...')";
+    } else if (config.policy.sanitize != placement::SanitizeMode::None) {
+      report.prevented = true;
+      report.detail = "sanitize-on-reuse scrubbed the arena before the "
+                      "user buffer was placed";
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  return report;
+}
+
+AttackReport info_leak_object(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "info_leak_object", "Listing 22, §4.3",
+      "SSN residue survives a smaller placement over the arena", config);
+  Lab lab(config);
+
+  // gst = new GradStudent(); — contains the SSN.
+  const Address gst = lab.mem.allocate(SegmentKind::Heap, 28, "gst");
+  try {
+    auto grad = lab.engine.place_object(gst, "GradStudent");
+    grad.write_double("gpa", 3.7);
+    grad.write_int("ssn", 123, 0);
+    grad.write_int("ssn", 45, 1);
+    grad.write_int("ssn", 6789, 2);
+
+    // Student *st = new (gst) Student(); — does not clean the SSN.
+    auto st = lab.engine.place_object(gst, "Student");
+    st.write_double("gpa", 2.0);
+    st.write_int("year", 2011);
+    st.write_int("semester", 1);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  // store(st) persists the arena; bytes beyond sizeof(Student) are the
+  // old GradStudent's ssn[] unless sanitized.
+  const std::int32_t ssn0 = lab.mem.read_i32(gst + 16);
+  const std::int32_t ssn1 = lab.mem.read_i32(gst + 20);
+  const std::int32_t ssn2 = lab.mem.read_i32(gst + 24);
+  report.succeeded = ssn0 == 123 && ssn1 == 45 && ssn2 == 6789;
+  report.observe("residue_ssn0", static_cast<std::uint64_t>(ssn0));
+  if (report.succeeded) {
+    report.detail = "the SSN (123-45-6789) remained readable after the "
+                    "Student was placed over the GradStudent arena";
+  } else if (config.policy.sanitize != placement::SanitizeMode::None) {
+    report.prevented = true;
+    report.detail = "sanitize-on-reuse scrubbed the ssn[] residue";
+  }
+
+  lab.apply_interceptor(report);
+  return report;
+}
+
+AttackReport memory_leak(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "memory_leak", "Listing 23, §4.5",
+      "Placement without placement-delete leaks Δsize per iteration",
+      config);
+  Lab lab(config);
+
+  constexpr int kIterations = 100;
+  try {
+    for (int i = 0; i < kIterations; ++i) {
+      // *stud = new GradStudent();
+      const Address arena = lab.mem.allocate(
+          SegmentKind::Heap, 28, "gs_" + std::to_string(i));
+      lab.engine.place_object(arena, "GradStudent");
+      // Student st = new (stud) Student(); ... free memory of st.
+      lab.engine.place_object(arena, "Student");
+      lab.engine.release_through(arena, "Student");
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  const placement::LeakStats stats = lab.engine.leak_stats();
+  report.succeeded = stats.leaked_bytes ==
+                     static_cast<std::size_t>(kIterations) * 12;
+  report.observe("iterations", static_cast<std::uint64_t>(kIterations));
+  report.observe("leaked_bytes", stats.leaked_bytes);
+  report.observe("leak_per_iteration", 12);
+
+  if (config.leak_tracking) {
+    guard::LeakTracker tracker(lab.engine, /*budget=*/0);
+    if (tracker.over_budget()) {
+      report.detected = true;
+      report.detail = tracker.report();
+    }
+  }
+  if (report.succeeded && report.detail.empty()) {
+    report.detail = "each iteration stranded sizeof(GradStudent) - "
+                    "sizeof(Student) = 12 bytes";
+  }
+  return report;
+}
+
+}  // namespace pnlab::attacks

@@ -1,0 +1,532 @@
+// §3 object-overflow scenarios: construction, remote/serialized objects,
+// copy loops, copy constructors, indirect construction, internal
+// overflows, and the data/bss/heap overwrites of Listings 4-12/14.
+#include <string>
+
+#include "attacks/lab.h"
+#include "attacks/scenarios.h"
+#include "memsim/heap.h"
+
+namespace pnlab::attacks {
+
+using memsim::Address;
+using memsim::SegmentKind;
+using placement::PlacementRejected;
+
+namespace {
+
+AttackReport make_report(const std::string& id, const std::string& paper_ref,
+                         const std::string& title,
+                         const ProtectionConfig& config) {
+  AttackReport r;
+  r.id = id;
+  r.paper_ref = paper_ref;
+  r.title = title;
+  r.protection = config.name;
+  return r;
+}
+
+}  // namespace
+
+AttackReport construction_overflow(const ProtectionConfig& config) {
+  AttackReport report =
+      make_report("construction_overflow", "Listing 4, §3.1",
+                  "Object overflow via construction", config);
+  Lab lab(config);
+
+  // Victim state: `Student stud;` in bss followed by another variable.
+  const Address stud = lab.mem.allocate(SegmentKind::Bss, 16, "stud");
+  const Address victim = lab.mem.allocate(SegmentKind::Bss, 4, "adjacent");
+  lab.mem.write_i32(victim, 777);
+  lab.mem.add_watchpoint(victim, 4, "adjacent");
+
+  try {
+    // GradStudent *st = new (&stud) GradStudent(gpa, yr, sem);
+    auto st = lab.engine.place_object(stud, "GradStudent");
+    st.write_double("gpa", 4.0);
+    st.write_int("year", 2009);
+    st.write_int("semester", 1);
+    // st->setSSN(...) with attacker-chosen input.
+    st.write_int("ssn", 0x41414141, 0);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  report.succeeded = lab.mem.read_i32(victim) != 777;
+  report.observe("adjacent_value_after",
+                 static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(lab.mem.read_i32(victim))));
+  report.observe("overflow_bytes", 28 - 16);
+  if (report.succeeded) {
+    report.detail = "ssn[0] of the placed GradStudent overwrote the "
+                    "variable adjacent to stud" + report.detail;
+  }
+  return report;
+}
+
+AttackReport scalar_target_overflow(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "scalar_target_overflow", "§2.5 issue 1",
+      "`char c; int* b = new (&c) int;` — any address is accepted",
+      config);
+  Lab lab(config);
+
+  // char c; followed by three more chars the int write will trample.
+  const Address c = lab.mem.allocate(SegmentKind::Bss, 1, "c");
+  const Address neighbors = lab.mem.allocate(SegmentKind::Bss, 3,
+                                             "neighbors", 1);
+  lab.mem.write_u8(neighbors, 0x11);
+  lab.mem.write_u8(neighbors + 1, 0x22);
+  lab.mem.write_u8(neighbors + 2, 0x33);
+
+  try {
+    const Address b = lab.engine.place_array(c, 4, 1, "int");
+    lab.mem.write_i32(b, 0x41424344);  // *b = ...
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  report.succeeded = lab.mem.read_u8(neighbors) != 0x11;
+  report.observe("bytes_trampled", 3);
+  if (report.succeeded) {
+    report.detail = "the int placed at a char's address overwrote the "
+                    "three bytes beyond it" + report.detail;
+  }
+  return report;
+}
+
+AttackReport remote_array_count(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "remote_array_count", "Listing 5, §3.2",
+      "Object overflow via tainted array count from a remote service",
+      config);
+  Lab lab(config);
+
+  // A memory pool sized for 10 "string" records of 8 bytes each, followed
+  // by an unrelated heap allocation.
+  constexpr std::size_t kStringSize = 8;
+  constexpr std::size_t kPoolEntries = 10;
+  const Address pool = lab.mem.allocate(SegmentKind::Heap,
+                                        kPoolEntries * kStringSize, "st_pool");
+  const Address victim = lab.mem.allocate(SegmentKind::Heap, 8, "heap_obj");
+  lab.mem.write_u64(victim, 0x1111111111111111ull);
+
+  // service.getNames() returns a maliciously long list: n = 16.
+  const std::size_t tainted_n = 16;
+  try {
+    // string[] stnames = new (st) string[n];
+    lab.engine.place_array(pool, kStringSize, tainted_n, "string[]");
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  // Populating the entries writes past the pool into the adjacent object.
+  for (std::size_t i = 0; i < tainted_n; ++i) {
+    lab.mem.write_u64(pool + i * kStringSize, 0x4141414141414141ull);
+  }
+
+  lab.apply_interceptor(report);
+  report.succeeded = lab.mem.read_u64(victim) == 0x4141414141414141ull;
+  report.observe("pool_bytes", kPoolEntries * kStringSize);
+  report.observe("placed_bytes", tainted_n * kStringSize);
+  if (report.succeeded) {
+    report.detail = "tainted element count placed a larger array over the "
+                    "pool; population overwrote adjacent heap data" +
+                    report.detail;
+  }
+  return report;
+}
+
+AttackReport copy_loop_overflow(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "copy_loop_overflow", "Listing 6, §3.2",
+      "Member-copy loop driven by a remote object's count", config);
+  Lab lab(config);
+
+  // Remote (attacker-controlled) GradStudent with a claimed entry count
+  // much larger than the real member array.
+  const Address remote =
+      lab.mem.allocate(SegmentKind::Heap, 64, "remoteobj");
+  const int remote_n = 8;  // claims 8 entries; ssn[] holds 3
+  for (int i = 0; i < remote_n; ++i) {
+    lab.mem.write_i32(remote + 16 + 4 * static_cast<Address>(i),
+                      0x42420000 + i);
+  }
+
+  const Address stud = lab.mem.allocate(SegmentKind::Bss, 16, "stud");
+  const Address victim = lab.mem.allocate(SegmentKind::Bss, 16, "neighbors");
+  lab.mem.add_watchpoint(victim, 16, "neighbors");
+
+  try {
+    auto st = lab.engine.place_object(stud, "GradStudent");
+    // while (++i < remoteobj->n) *(st->field + i) = *(remote->field + i);
+    for (int i = 0; i < remote_n; ++i) {
+      const Address dst = st.member_address("ssn", static_cast<std::size_t>(i));
+      lab.mem.write_i32(dst,
+                        lab.mem.read_i32(remote + 16 + 4 * static_cast<Address>(i)));
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const auto hits = lab.mem.drain_watch_hits();
+  report.succeeded = !hits.empty();
+  report.observe("writes_past_arena", hits.size());
+  report.observe("copied_entries", static_cast<std::uint64_t>(remote_n));
+  if (report.succeeded) {
+    report.detail = "copy loop bounded by the remote object's count wrote "
+                    "past the arena" + report.detail;
+  }
+  return report;
+}
+
+AttackReport copy_ctor_overflow(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "copy_ctor_overflow", "Listing 7, §3.2",
+      "Deep-copy constructor of a received object overflows the arena",
+      config);
+  Lab lab(config);
+
+  // The serialized/remote GradStudent the victim deserializes.
+  const Address remote = lab.mem.allocate(SegmentKind::Heap, 28, "remoteobj");
+  objmodel::Object remote_obj(lab.registry, remote,
+                              lab.registry.get("GradStudent"));
+  remote_obj.write_double("gpa", 3.2);
+  remote_obj.write_int("year", 2010);
+  remote_obj.write_int("semester", 2);
+  remote_obj.write_int("ssn", 0x53534E30, 0);
+  remote_obj.write_int("ssn", 0x53534E31, 1);
+  remote_obj.write_int("ssn", 0x53534E32, 2);
+
+  const Address stud = lab.mem.allocate(SegmentKind::Bss, 16, "stud");
+  const Address victim = lab.mem.allocate(SegmentKind::Bss, 12, "adjacent");
+  lab.mem.add_watchpoint(victim, 12, "adjacent");
+
+  try {
+    // Student *st = new (&stud) GradStudent(remoteobj);  (deep copy)
+    auto st = lab.engine.place_object(stud, "GradStudent");
+    st.write_double("gpa", remote_obj.read_double("gpa"));
+    st.write_int("year", remote_obj.read_int("year"));
+    st.write_int("semester", remote_obj.read_int("semester"));
+    for (std::size_t i = 0; i < 3; ++i) {
+      st.write_int("ssn", remote_obj.read_int("ssn", i), i);
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  report.succeeded = lab.mem.read_i32(victim) == 0x53534E30;
+  report.observe("leak_source", "remote ssn[] copied past arena");
+  if (report.succeeded) {
+    report.detail = "the copy constructor's deep copy wrote the remote "
+                    "object's ssn[] past the Student arena" + report.detail;
+  }
+  return report;
+}
+
+AttackReport indirect_construction(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "indirect_construction", "Listing 8, §3.3",
+      "Remote object indirectly sizes the placed instance", config);
+  Lab lab(config);
+
+  // Step 1 of the taint path: remoteobj -> obj2 (an intermediate copy on
+  // the heap) carrying the attacker's element count.
+  const Address remote = lab.mem.allocate(SegmentKind::Heap, 8, "remoteobj");
+  lab.mem.write_i32(remote, 9);  // attacker-chosen count
+  const Address obj2 = lab.mem.allocate(SegmentKind::Heap, 8, "obj2");
+  lab.mem.write_i32(obj2, lab.mem.read_i32(remote));  // Someclass(remoteobj)
+
+  // Step 2: obj2's count drives a placement into stud's 16-byte arena.
+  const Address stud = lab.mem.allocate(SegmentKind::Bss, 16, "stud");
+  const Address victim = lab.mem.allocate(SegmentKind::Bss, 24, "adjacent");
+  lab.mem.add_watchpoint(victim, 24, "adjacent");
+
+  const int n = lab.mem.read_i32(obj2);
+  try {
+    lab.engine.place_array(stud, 4, static_cast<std::size_t>(n), "int[]");
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+  for (int i = 0; i < n; ++i) {
+    lab.mem.write_i32(stud + 4 * static_cast<Address>(i), 0x43434343);
+  }
+
+  lab.apply_interceptor(report);
+  report.succeeded = !lab.mem.drain_watch_hits().empty();
+  report.observe("taint_path_length", 2);
+  if (report.succeeded) {
+    report.detail = "count flowed remoteobj -> obj2 -> placement size; the "
+                    "36-byte placement overflowed the 16-byte arena" +
+                    report.detail;
+  }
+  return report;
+}
+
+AttackReport aggregate_copy_overflow(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "aggregate_copy_overflow", "Listing 9, §3.3",
+      "Aggregate component grew beyond the expected class size", config);
+  Lab lab(config);
+
+  // A obj2 = B(): B is larger than A.  The Student(A) constructor copies
+  // sizeof(B) bytes into an arena sized for A.
+  lab.registry.define(objmodel::ClassSpec{
+      "A", "", {objmodel::MemberSpec::of_int("data", 4)}, {}, {}});
+  lab.registry.define(objmodel::ClassSpec{
+      "B", "A", {objmodel::MemberSpec::of_int("extra", 4)}, {}, {}});
+
+  const Address obj2 = lab.mem.allocate(SegmentKind::Heap, 32, "obj2(B)");
+  for (int i = 0; i < 8; ++i) {
+    lab.mem.write_i32(obj2 + 4 * static_cast<Address>(i), 0x44440000 + i);
+  }
+
+  const Address stud = lab.mem.allocate(SegmentKind::Bss, 16, "stud");
+  const Address victim = lab.mem.allocate(SegmentKind::Bss, 16, "adjacent");
+  lab.mem.add_watchpoint(victim, 16, "adjacent");
+
+  try {
+    // Student *st = new (&stud) Student(obj2); — the copy constructor
+    // copies the full aggregate (sizeof(B) == 32 bytes).
+    lab.engine.place_object(stud, "B");
+    const auto bytes = lab.mem.read_bytes(obj2, 32);
+    lab.mem.write_bytes(stud, bytes);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  report.succeeded = !lab.mem.drain_watch_hits().empty() &&
+                     lab.mem.read_i32(victim) == 0x44440004;
+  if (report.succeeded) {
+    report.detail = "copy of the grown aggregate spilled 16 bytes past the "
+                    "arena" + report.detail;
+  }
+  return report;
+}
+
+AttackReport internal_overflow(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "internal_overflow", "Listing 10, §3.4",
+      "Internal overflow corrupts sibling members of the same object",
+      config);
+  Lab lab(config);
+
+  // MobilePlayer { Student stud1, stud2; int n; } on the heap.
+  const Address mp_addr =
+      lab.mem.allocate(SegmentKind::Heap, 36, "MobilePlayer");
+  objmodel::Object mp(lab.registry, mp_addr, lab.registry.get("MobilePlayer"));
+  objmodel::Object stud2 = mp.member_object("stud2");
+  stud2.write_double("gpa", 3.5);
+  stud2.write_int("year", 2007);
+  mp.write_int("n", 2);
+
+  // Record what lies *outside* the object to show the overflow is internal.
+  const Address outside = lab.mem.allocate(SegmentKind::Heap, 4, "outside");
+  lab.mem.write_i32(outside, 555);
+
+  // The arena handed to placement new is stud1 — 16 bytes inside a
+  // 36-byte object.
+  const Address stud1 = mp.member_address("stud1");
+  lab.mem.record_allocation(stud1, 16, SegmentKind::Heap,
+                            "MobilePlayer::stud1");
+  try {
+    auto st = lab.engine.place_object(stud1, "GradStudent");
+    st.write_int("ssn", 0x45454545, 0);  // lands on stud2.gpa low word
+    st.write_int("ssn", 0x46464646, 1);  // stud2.gpa high word
+    st.write_int("ssn", 1999, 2);        // stud2.year
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const bool stud2_corrupted = stud2.read_int("year") == 1999;
+  const bool outside_untouched = lab.mem.read_i32(outside) == 555;
+  report.succeeded = stud2_corrupted;
+  report.observe("stud2_year_after",
+                 static_cast<std::uint64_t>(stud2.read_int("year")));
+  report.observe("external_memory_untouched", outside_untouched ? 1 : 0);
+  if (report.succeeded) {
+    report.detail = "GradStudent placed at stud1 rewrote stud2's members "
+                    "without touching memory outside the object" +
+                    report.detail;
+  }
+  return report;
+}
+
+AttackReport bss_adjacent_object(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "bss_adjacent_object", "Listing 11, §3.5",
+      "Data/bss overflow: stud1's ssn[] rewrites stud2.gpa", config);
+  Lab lab(config);
+
+  // Student stud1, stud2; adjacent in bss, declaration order.
+  const Address stud1 = lab.mem.allocate(SegmentKind::Bss, 16, "stud1");
+  const Address stud2 = lab.mem.allocate(SegmentKind::Bss, 16, "stud2");
+
+  // addStudent(false): stud2 constructed as a Student with honest input.
+  try {
+    auto s2 = lab.engine.place_object(stud2, "Student");
+    s2.write_double("gpa", 3.8);
+    s2.write_int("year", 2009);
+    s2.write_int("semester", 1);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+  const double gpa_before = lab.mem.read_f64(stud2);
+
+  // addStudent(true): stud1 becomes a GradStudent; ssn[] from user input.
+  try {
+    auto st = lab.engine.place_object(stud1, "GradStudent");
+    st.write_int("ssn", 0x40100000, 0);  // these two ints form an
+    st.write_int("ssn", 0x40240000, 1);  // attacker-chosen double
+    st.write_int("ssn", 7, 2);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const double gpa_after = lab.mem.read_f64(stud2);
+  report.succeeded = gpa_after != gpa_before;
+  report.observe("gpa_before", std::to_string(gpa_before));
+  report.observe("gpa_after", std::to_string(gpa_after));
+  if (report.succeeded) {
+    report.detail = "attack overwrote 'gpa' of stud2 exactly as Listing 11 "
+                    "describes" + report.detail;
+  }
+  return report;
+}
+
+AttackReport heap_overflow(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "heap_overflow", "Listing 12, §3.5.1",
+      "Heap overflow: ssn[] rewrites the adjacent name buffer", config);
+  Lab lab(config);
+
+  // Heap layout per the listing: the Student arena, then name[16].
+  const Address stud = lab.mem.allocate(SegmentKind::Heap, 16, "stud");
+  const Address name = lab.mem.allocate(SegmentKind::Heap, 16, "name");
+  placement::sim_strncpy(lab.mem, name,
+                         placement::to_bytes("abcdefghijklmno"), 16);
+  const auto before = lab.mem.read_bytes(name, 16);
+
+  try {
+    auto st = lab.engine.place_object(stud, "GradStudent");
+    // cin >> st->ssn[0..2]
+    st.write_int("ssn", 0x58585858, 0);  // "XXXX"
+    st.write_int("ssn", 0x59595959, 1);  // "YYYY"
+    st.write_int("ssn", 0x5A5A5A5A, 2);  // "ZZZZ"
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const auto after = lab.mem.read_bytes(name, 16);
+  report.succeeded = before != after && lab.mem.read_u8(name) == 'X';
+  std::string shown;
+  for (std::size_t i = 0; i < 12; ++i) {
+    shown.push_back(static_cast<char>(lab.mem.read_u8(name + i)));
+  }
+  report.observe("name_after", shown);
+  if (report.succeeded) {
+    report.detail = "'Before Attack: abcdefghijklmno' became '" + shown +
+                    "...' on the heap" + report.detail;
+  }
+  return report;
+}
+
+AttackReport heap_metadata_corruption(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "heap_metadata_corruption", "§3.5.1 / ref [7]",
+      "Object overflow tramples the next heap chunk's allocator metadata",
+      config);
+  Lab lab(config);
+
+  // A real free-list heap: chunk headers live in simulated memory right
+  // after each payload — exactly what the ssn[] overflow reaches.
+  memsim::HeapAllocator heap(lab.mem);
+  const Address stud = heap.malloc(16);  // Student-sized payload
+  const Address other = heap.malloc(16);
+
+  try {
+    auto st = lab.engine.place_object(stud, "GradStudent");
+    // ssn[0..1] land on the next chunk's {size|flags, checksum} header.
+    st.write_int("ssn", 0x41414141, 0);
+    st.write_int("ssn", 0x42424242, 1);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const auto corruptions = heap.integrity_check();
+  report.succeeded = !corruptions.empty();
+  report.observe("corrupted_chunks", corruptions.size());
+  if (report.succeeded) {
+    report.observe("reason", corruptions[0].reason);
+    // The profit: the program's next ordinary heap operation walks the
+    // attacker-controlled header.
+    bool free_exploded = false;
+    try {
+      heap.free(other);
+    } catch (const std::logic_error&) {
+      free_exploded = true;
+    }
+    report.observe("free_walked_into_it", free_exploded ? 1 : 0);
+    report.detail = "ssn[] rewrote the adjacent chunk header; the heap is "
+                    "now attacker-shaped (" + corruptions[0].reason + ")" +
+                    report.detail;
+  }
+  return report;
+}
+
+AttackReport bss_variable_overwrite(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "bss_variable_overwrite", "Listing 14, §3.7.1",
+      "Data/bss variable noOfStudents overwritten via object overflow",
+      config);
+  Lab lab(config);
+
+  // Student stud1; int noOfStudents = 0; adjacent in bss.
+  const Address stud1 = lab.mem.allocate(SegmentKind::Bss, 16, "stud1");
+  const Address no_of_students =
+      lab.mem.allocate(SegmentKind::Bss, 4, "noOfStudents");
+  lab.mem.write_i32(no_of_students, 0);
+
+  try {
+    auto st = lab.engine.place_object(stud1, "GradStudent");
+    st.write_int("ssn", 1000000, 0);  // lands on noOfStudents
+    st.write_int("ssn", 2, 1);
+    st.write_int("ssn", 3, 2);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  report.succeeded = lab.mem.read_i32(no_of_students) == 1000000;
+  report.observe("noOfStudents_after",
+                 static_cast<std::uint64_t>(lab.mem.read_i32(no_of_students)));
+  if (report.succeeded) {
+    report.detail = "ssn[0] set noOfStudents to an attacker-chosen value, "
+                    "priming the §4.4 DoS" + report.detail;
+  }
+  return report;
+}
+
+}  // namespace pnlab::attacks

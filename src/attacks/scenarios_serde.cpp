@@ -1,0 +1,106 @@
+// §3.2 over a real wire: the serialized/remote-object overflows, using
+// the serde substrate end to end (attacker crafts bytes, victim
+// deserializes them into a pre-allocated arena).
+#include "attacks/lab.h"
+#include "attacks/scenarios.h"
+#include "serde/serde.h"
+
+namespace pnlab::attacks {
+
+using memsim::Address;
+using memsim::SegmentKind;
+using placement::PlacementRejected;
+
+AttackReport serialized_object_overflow(const ProtectionConfig& config) {
+  AttackReport report;
+  report.id = "serialized_object_overflow";
+  report.paper_ref = "§3.2 (wire)";
+  report.title = "Received serialized GradStudent overflows a Student arena";
+  report.protection = config.name;
+
+  Lab lab(config);
+
+  // The victim keeps a Student-sized deserialization arena; the next
+  // global is the collateral.
+  const Address arena = lab.mem.allocate(SegmentKind::Bss, 16, "stud");
+  const Address victim = lab.mem.allocate(SegmentKind::Bss, 12, "adjacent");
+  lab.mem.add_watchpoint(victim, 12, "adjacent");
+
+  // The attacker's message: a well-formed GradStudent whose ssn carries
+  // chosen values.  The victim trusts the protocol (§3.2) and places
+  // whatever class the wire names.
+  const auto message = serde::craft_grad_student_message(
+      4.0, 2009, 1, {0x41414141, 0x42424242, 0x43434343});
+
+  try {
+    const serde::DeserializeResult r =
+        serde::deserialize_into(lab.engine, arena, message);
+    report.observe("wire_class", r.wire_class);
+    report.observe("fields_written", r.fields_written);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  report.succeeded = lab.mem.read_i32(victim) == 0x41414141;
+  if (report.succeeded) {
+    report.detail = "the deserializer placed the wire-named class into the "
+                    "smaller arena; its ssn[] landed on the adjacent "
+                    "global" + report.detail;
+  }
+  return report;
+}
+
+AttackReport serialized_count_overflow(const ProtectionConfig& config) {
+  AttackReport report;
+  report.id = "serialized_count_overflow";
+  report.paper_ref = "Listing 6, §3.2 (wire)";
+  report.title = "Wire-claimed element count drives the copy loop past the "
+                 "member array";
+  report.protection = config.name;
+
+  Lab lab(config);
+
+  // This time the arena is GradStudent-sized — the placement itself is
+  // legal — but the message claims EIGHT ssn entries for int ssn[3].
+  const Address arena = lab.mem.allocate(SegmentKind::Heap, 28, "grad");
+  const Address victim = lab.mem.allocate(SegmentKind::Heap, 20, "heap_obj");
+  lab.mem.add_watchpoint(victim, 20, "heap_obj");
+
+  const auto message = serde::craft_grad_student_message(
+      3.0, 2010, 2,
+      {1, 2, 3, 0x45454545, 0x45454545, 0x45454545, 0x45454545, 0x45454545});
+
+  serde::DeserializeOptions options;
+  // The bounds-checking victim also clamps wire counts (§5.1 correct
+  // coding extends to the copy loop, not just the placement).
+  options.clamp_counts = config.policy.bounds_check;
+
+  try {
+    const serde::DeserializeResult r =
+        serde::deserialize_into(lab.engine, arena, message, options);
+    report.observe("elements_clamped", r.elements_clamped);
+    if (r.elements_clamped > 0) {
+      report.prevented = true;
+      report.detail = "the victim clamped " +
+                      std::to_string(r.elements_clamped) +
+                      " wire elements to the declared ssn[3]";
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const auto hits = lab.mem.drain_watch_hits();
+  report.succeeded = !hits.empty();
+  report.observe("writes_past_arena", hits.size());
+  if (report.succeeded) {
+    report.detail = "the deserializer wrote all 8 wire-claimed ssn "
+                    "elements, 5 of them beyond the object" + report.detail;
+  }
+  return report;
+}
+
+}  // namespace pnlab::attacks

@@ -1,0 +1,394 @@
+// §3.6/§3.7/§4.4 stack scenarios: return-address overwrite and the
+// StackGuard bypass (Listing 13), arc and code injection (§3.6.2), local
+// variable and member overwrites (Listings 15-16), and DoS via loop-bound
+// corruption (§4.4).
+#include <algorithm>
+
+#include "attacks/lab.h"
+#include "attacks/scenarios.h"
+
+namespace pnlab::attacks {
+
+using guard::ControlTransfer;
+using guard::classify_control_transfer;
+using memsim::Address;
+using memsim::SegmentKind;
+using placement::PlacementRejected;
+
+namespace {
+
+AttackReport make_report(const std::string& id, const std::string& paper_ref,
+                         const std::string& title,
+                         const ProtectionConfig& config) {
+  AttackReport r;
+  r.id = id;
+  r.paper_ref = paper_ref;
+  r.title = title;
+  r.protection = config.name;
+  return r;
+}
+
+/// Which ssn index lands on @p slot, given ssn starts at @p ssn_base.
+/// Returns -1 when the slot is not reachable through ssn[0..2].
+int ssn_index_for(Address ssn_base, Address slot) {
+  if (slot < ssn_base) return -1;
+  const Address delta = slot - ssn_base;
+  if (delta % 4 != 0) return -1;
+  const Address index = delta / 4;
+  return index < 3 ? static_cast<int>(index) : -1;
+}
+
+}  // namespace
+
+AttackReport stack_return_address(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "stack_return_address", "Listing 13, §3.6.1",
+      "Naive stack smash: every ssn[] write lands upward from stud",
+      config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  const Address gate = lab.mem.add_text_symbol("system_call_gate",
+                                               /*privileged=*/true);
+
+  memsim::Frame& frame = lab.call("addStudent", ret_to);
+  const Address stud = lab.stack.push_local("stud", 16);
+
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    // The Listing 13 loop with all-positive input: the naive attacker
+    // writes every ssn slot with the target address, smashing whatever is
+    // in the way (canary included).
+    for (std::size_t i = 0; i < 3; ++i) {
+      gs.write_int("ssn", static_cast<std::int32_t>(gate), i);
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  report.observe("ra_slot", frame.return_address_slot);
+  report.observe("ssn_base", stud + 16);
+
+  memsim::ReturnResult r = lab.ret(report);
+  if (report.detected && config.frame.use_canary && !r.canary_intact) {
+    // __stack_chk_fail aborts before the corrupted return is consumed.
+    report.succeeded = false;
+    return report;
+  }
+  const ControlTransfer ct =
+      classify_control_transfer(lab.mem, r.return_to, ret_to);
+  report.succeeded = ct.kind == ControlTransfer::Kind::ArcInjection;
+  report.observe("control_transfer", to_string(ct.kind));
+  if (report.succeeded) {
+    report.detail = "return address redirected to " + ct.symbol +
+                    report.detail;
+  }
+  return report;
+}
+
+AttackReport canary_bypass(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "canary_bypass", "§3.6.1/§5.2",
+      "Selective overwrite: skip the canary, hit only the return address",
+      config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  const Address gate = lab.mem.add_text_symbol("system_call_gate",
+                                               /*privileged=*/true);
+
+  memsim::Frame& frame = lab.call("addStudent", ret_to);
+  const Address stud = lab.stack.push_local("stud", 16);
+
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    // §5.2's experiment: supply non-positive values for the iterations
+    // whose slots must stay intact (the victim's `if (dssn > 0)` skips
+    // the write), and the target address for the slot that aliases the
+    // return address.
+    const int ra_index = ssn_index_for(stud + 16, frame.return_address_slot);
+    if (ra_index < 0) {
+      report.detail = "return address not reachable through ssn[]";
+      lab.stack.pop_frame();
+      return report;
+    }
+    for (int i = 0; i < 3; ++i) {
+      const std::int32_t dssn =
+          i == ra_index ? static_cast<std::int32_t>(gate) : -1;
+      if (dssn > 0) gs.write_int("ssn", dssn, static_cast<std::size_t>(i));
+    }
+    report.observe("ra_index", static_cast<std::uint64_t>(ra_index));
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  memsim::ReturnResult r = lab.ret(report);
+  report.observe("canary_intact", r.canary_intact ? 1 : 0);
+  if (report.detected && config.shadow_stack) {
+    report.succeeded = false;  // shadow stack aborts the tampered return
+    return report;
+  }
+  const ControlTransfer ct =
+      classify_control_transfer(lab.mem, r.return_to, ret_to);
+  report.succeeded = ct.kind == ControlTransfer::Kind::ArcInjection;
+  if (report.succeeded && config.frame.use_canary) {
+    report.detail = "StackGuard bypassed: canary intact yet control "
+                    "redirected to " + ct.symbol + report.detail;
+  } else if (report.succeeded) {
+    report.detail = "return address selectively overwritten" + report.detail;
+  }
+  return report;
+}
+
+AttackReport arc_injection(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "arc_injection", "§3.6.2",
+      "Arc injection (return-to-libc) into a privileged function", config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  const Address priv = lab.mem.add_text_symbol("privileged_syscall",
+                                               /*privileged=*/true);
+
+  memsim::Frame& frame = lab.call("addStudent", ret_to);
+  const Address stud = lab.stack.push_local("stud", 16);
+
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    const int ra_index = ssn_index_for(stud + 16, frame.return_address_slot);
+    if (ra_index >= 0) {
+      gs.write_int("ssn", static_cast<std::int32_t>(priv),
+                   static_cast<std::size_t>(ra_index));
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  memsim::ReturnResult r = lab.ret(report);
+  if (report.detected && (config.shadow_stack ||
+                          (config.frame.use_canary && !r.canary_intact))) {
+    report.succeeded = false;
+    return report;
+  }
+  const ControlTransfer ct =
+      classify_control_transfer(lab.mem, r.return_to, ret_to);
+  report.succeeded =
+      ct.kind == ControlTransfer::Kind::ArcInjection && ct.privileged;
+  report.observe("landed_on", ct.symbol.empty() ? "-" : ct.symbol);
+  if (report.succeeded) {
+    report.detail = "function returned into " + ct.symbol +
+                    " running in privileged mode" + report.detail;
+  }
+  return report;
+}
+
+AttackReport code_injection(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "code_injection", "§3.6.2",
+      "Code injection: shellcode in locals, return into the stack", config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+
+  memsim::Frame& frame = lab.call("addStudent", ret_to);
+  const Address stud = lab.stack.push_local("stud", 16);
+
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    // "the size of all local variables ... is enough to inject shell
+    // code": the attacker's payload fills stud's bytes...
+    lab.mem.fill(stud, 16, std::byte{0xCC});  // stand-in shellcode
+    // ...and the slot aliasing the return address gets stud's address.
+    const int ra_index = ssn_index_for(stud + 16, frame.return_address_slot);
+    if (ra_index >= 0) {
+      gs.write_int("ssn", static_cast<std::int32_t>(stud),
+                   static_cast<std::size_t>(ra_index));
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  memsim::ReturnResult r = lab.ret(report);
+  if (report.detected && (config.shadow_stack ||
+                          (config.frame.use_canary && !r.canary_intact))) {
+    report.succeeded = false;
+    return report;
+  }
+  const ControlTransfer ct =
+      classify_control_transfer(lab.mem, r.return_to, ret_to);
+  report.observe("control_transfer", to_string(ct.kind));
+  report.succeeded = ct.kind == ControlTransfer::Kind::CodeInjection;
+  if (ct.kind == ControlTransfer::Kind::Fault && config.nx_stack &&
+      r.return_address_tampered) {
+    report.prevented = true;
+    report.detail = "NX stack: return into stack memory faulted" +
+                    report.detail;
+  } else if (report.succeeded) {
+    report.detail = "control transferred into injected stack bytes" +
+                    report.detail;
+  }
+  return report;
+}
+
+AttackReport stack_local_overwrite(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "stack_local_overwrite", "Listing 15, §3.7.2",
+      "Local variable n overwritten through the placed object", config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  lab.call("addStudent", ret_to);
+
+  // int n = 5; Student stud;  (8-aligned, reproducing the paper's padding
+  // observation where it arises).
+  const Address n_addr = lab.stack.push_local("n", 4);
+  lab.mem.write_i32(n_addr, 5);
+  const Address stud = lab.stack.push_local("stud", 16, /*align=*/8);
+
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    const Address ssn_base = stud + 16;
+    const int n_index = ssn_index_for(ssn_base, n_addr);
+    if (n_index < 0) {
+      report.detail = "local n not reachable through ssn[]";
+      lab.stack.pop_frame();
+      return report;
+    }
+    // Alignment note (§3.7.2): when stud is 8-aligned below a word-aligned
+    // n, ssn[0] lands in padding and ssn[n_index] on n itself.
+    for (int i = 0; i < n_index; ++i) {
+      gs.write_int("ssn", 1111, static_cast<std::size_t>(i));  // padding
+    }
+    gs.write_int("ssn", 0x7fffffff, static_cast<std::size_t>(n_index));
+    report.observe("n_index", static_cast<std::uint64_t>(n_index));
+    report.observe("padding_bytes",
+                   static_cast<std::uint64_t>(n_addr - (stud + 16)));
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const std::int32_t n_after = lab.mem.read_i32(n_addr);
+  memsim::ReturnResult r = lab.ret(report);
+  (void)r;
+  report.succeeded = n_after != 5;
+  report.observe("n_after", static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(n_after)));
+  if (report.succeeded) {
+    report.detail = "loop bound n rewritten from 5 to 0x7fffffff without "
+                    "touching the return address" + report.detail;
+  }
+  return report;
+}
+
+AttackReport member_variable_overwrite(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "member_variable_overwrite", "Listing 16, §3.8.1",
+      "Member variable first.gpa overwritten via stack object overflow",
+      config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  lab.call("addStudent", ret_to);
+
+  // Student first = Student(3.9, 2008, 2); Student stud;
+  const Address first = lab.stack.push_local("first", 16);
+  objmodel::Object first_obj(lab.registry, first,
+                             lab.registry.get("Student"));
+  first_obj.write_double("gpa", 3.9);
+  first_obj.write_int("year", 2008);
+  first_obj.write_int("semester", 2);
+  const Address stud = lab.stack.push_local("stud", 16);
+
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    const Address ssn_base = stud + 16;
+    const int gpa_index = ssn_index_for(ssn_base, first);  // gpa @ offset 0
+    if (gpa_index < 0 || gpa_index > 1) {
+      report.detail = "first.gpa not reachable through ssn[]";
+      lab.stack.pop_frame();
+      return report;
+    }
+    // cin >> gs->ssn[0]; cin >> gs->ssn[1];  — together they form an
+    // attacker-chosen double over first.gpa.
+    gs.write_int("ssn", 0, static_cast<std::size_t>(gpa_index));
+    gs.write_int("ssn", 0x40590000,  // 100.0 as the high word
+                 static_cast<std::size_t>(gpa_index + 1));
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const double gpa_after = first_obj.read_double("gpa");
+  lab.ret(report);
+  report.succeeded = gpa_after == 100.0;
+  report.observe("gpa_after", std::to_string(gpa_after));
+  if (report.succeeded) {
+    report.detail = "first.gpa rewritten from 3.9 to 100.0" + report.detail;
+  }
+  return report;
+}
+
+AttackReport dos_loop_corruption(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "dos_loop_corruption", "§4.4",
+      "DoS: loop bound corrupted to starve or spin the server", config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  lab.call("serveRequest", ret_to);
+
+  const Address n_addr = lab.stack.push_local("n", 4);
+  lab.mem.write_i32(n_addr, 5);
+  const Address stud = lab.stack.push_local("stud", 16, /*align=*/8);
+
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    const int n_index = ssn_index_for(stud + 16, n_addr);
+    if (n_index < 0) {
+      report.detail = "loop bound not reachable";
+      lab.stack.pop_frame();
+      return report;
+    }
+    gs.write_int("ssn", 0x7fffffff, static_cast<std::size_t>(n_index));
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const std::int32_t n = lab.mem.read_i32(n_addr);
+  lab.ret(report);
+
+  // The victim's `for (int i = 0; i < n; i++) serve();` — we compute the
+  // planned iteration count rather than spinning.
+  const std::int64_t planned = std::max<std::int64_t>(0, n);
+  report.succeeded = planned != 5;
+  report.observe("planned_iterations", static_cast<std::uint64_t>(planned));
+  report.observe("amplification_factor",
+                 static_cast<std::uint64_t>(planned / 5));
+  if (report.succeeded) {
+    report.detail = "request loop will spin ~429M times instead of 5, "
+                    "starving other requests" + report.detail;
+  }
+  return report;
+}
+
+}  // namespace pnlab::attacks

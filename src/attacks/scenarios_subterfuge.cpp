@@ -1,0 +1,299 @@
+// §3.8-§3.10 subterfuge scenarios: virtual-table-pointer, function-pointer
+// and variable-pointer subversion.
+#include "attacks/lab.h"
+#include "attacks/scenarios.h"
+
+namespace pnlab::attacks {
+
+using guard::ControlTransfer;
+using guard::classify_control_transfer;
+using memsim::Address;
+using memsim::SegmentKind;
+using objmodel::DispatchResult;
+using placement::PlacementRejected;
+
+namespace {
+
+AttackReport make_report(const std::string& id, const std::string& paper_ref,
+                         const std::string& title,
+                         const ProtectionConfig& config) {
+  AttackReport r;
+  r.id = id;
+  r.paper_ref = paper_ref;
+  r.title = title;
+  r.protection = config.name;
+  return r;
+}
+
+}  // namespace
+
+AttackReport vptr_subterfuge_bss(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "vptr_subterfuge_bss", "§3.8.2 (via Listing 11)",
+      "Vtable pointer of the adjacent bss object overwritten", config);
+  Lab lab(config);
+
+  // VStudent stud1, stud2; adjacent in bss (20 bytes each with the vptr).
+  const Address stud1 = lab.mem.allocate(SegmentKind::Bss, 20, "stud1");
+  const Address stud2 = lab.mem.allocate(SegmentKind::Bss, 20, "stud2");
+
+  objmodel::Object s2(lab.registry, stud2, lab.registry.get("VStudent"));
+  try {
+    auto placed = lab.engine.place_object(stud2, "VStudent");
+    placed.write_double("gpa", 3.8);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  // The attacker forges a vtable in attacker-reachable memory whose slot 0
+  // holds a function of their choosing.
+  const Address gate = lab.mem.add_text_symbol("privileged_syscall",
+                                               /*privileged=*/true);
+  const Address fake_vtable =
+      lab.mem.allocate(SegmentKind::Bss, 4, "attacker_buffer");
+  lab.mem.write_ptr(fake_vtable, gate);
+
+  try {
+    // VGradStudent placed over stud1; ssn[0] (offset 20) lands exactly on
+    // stud2's vptr (offset 0 of the adjacent object).
+    auto st = lab.engine.place_object(stud1, "VGradStudent");
+    st.write_int("ssn", static_cast<std::int32_t>(fake_vtable), 0);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  // The victim later invokes stud2->getInfo().
+  const DispatchResult dr = s2.virtual_call("getInfo");
+  report.succeeded = dr.outcome == DispatchResult::Outcome::Hijacked;
+  report.observe("dispatch_outcome",
+                 dr.outcome == DispatchResult::Outcome::Hijacked
+                     ? "hijacked"
+                     : (dr.outcome == DispatchResult::Outcome::Crash
+                            ? "crash"
+                            : "dispatched"));
+  report.observe("landed_on", dr.symbol.empty() ? "-" : dr.symbol);
+  if (report.succeeded) {
+    report.detail = "virtual call on stud2 dispatched through the forged "
+                    "vtable into " + dr.symbol + report.detail;
+  }
+  return report;
+}
+
+AttackReport vptr_subterfuge_stack(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "vptr_subterfuge_stack", "§3.8.2 (via Listing 16)",
+      "Vtable pointer of a stack object overwritten", config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  lab.call("addStudent", ret_to);
+
+  // VStudent first; VStudent stud;  (20 bytes each)
+  const Address first = lab.stack.push_local("first", 20);
+  objmodel::Object first_obj(lab.registry, first,
+                             lab.registry.get("VStudent"));
+  first_obj.install_vptr();
+  first_obj.write_double("gpa", 3.9);
+  const Address stud = lab.stack.push_local("stud", 20);
+
+  const Address gate = lab.mem.add_text_symbol("privileged_syscall",
+                                               /*privileged=*/true);
+  const Address fake_vtable =
+      lab.mem.allocate(SegmentKind::Bss, 4, "attacker_buffer");
+  lab.mem.write_ptr(fake_vtable, gate);
+
+  try {
+    auto gs = lab.engine.place_object(stud, "VGradStudent");
+    // ssn starts at stud+20; first.__vptr sits at first+0.  Compute which
+    // index aliases it (0 when the locals pack contiguously).
+    const Address ssn_base = stud + 20;
+    if (first >= ssn_base && (first - ssn_base) % 4 == 0 &&
+        (first - ssn_base) / 4 < 3) {
+      gs.write_int("ssn", static_cast<std::int32_t>(fake_vtable),
+                   static_cast<std::size_t>((first - ssn_base) / 4));
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const DispatchResult dr = first_obj.virtual_call("getInfo");
+  lab.ret(report);
+  report.succeeded = dr.outcome == DispatchResult::Outcome::Hijacked;
+  report.observe("landed_on", dr.symbol.empty() ? "-" : dr.symbol);
+  if (report.succeeded) {
+    report.detail = "first.__vptr redirected; getInfo() dispatched into " +
+                    dr.symbol + report.detail;
+  }
+  return report;
+}
+
+AttackReport vptr_subterfuge_multiple_inheritance(
+    const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "vptr_subterfuge_multiple_inheritance", "§3.8.2 (MI)",
+      "Interior (secondary-base) vtable pointer overwritten selectively",
+      config);
+  Lab lab(config);
+
+  // Victim: SecuredStudent : VStudent + secondary Logger — two vptrs,
+  // one at offset 0, one interior at the Logger subobject.
+  const auto& secured = lab.registry.get("SecuredStudent");
+  const Address arena = lab.mem.allocate(SegmentKind::Bss, 20, "stud1");
+  const Address victim =
+      lab.mem.allocate(SegmentKind::Bss, secured.size, "secured");
+  objmodel::Object victim_obj(lab.registry, victim, secured);
+  try {
+    lab.engine.place_object(victim, "SecuredStudent");
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  const Address gate = lab.mem.add_text_symbol("privileged_syscall",
+                                               /*privileged=*/true);
+  const Address fake_vtable =
+      lab.mem.allocate(SegmentKind::Bss, 4, "attacker_buffer");
+  lab.mem.write_ptr(fake_vtable, gate);
+
+  try {
+    // EvilRoster's entries[] reaches past the 20-byte arena into the
+    // victim.  The attacker writes ONLY the slot aliasing the interior
+    // Logger vptr, leaving the primary vptr (and any integrity check on
+    // it) intact.
+    auto roster = lab.engine.place_object(arena, "EvilRoster");
+    const Address entries = roster.member_address("entries", 0);
+    const Address interior_vptr =
+        victim + secured.secondary_base("Logger").offset;
+    if (interior_vptr >= entries && (interior_vptr - entries) % 4 == 0) {
+      roster.write_int(
+          "entries", static_cast<std::int32_t>(fake_vtable),
+          static_cast<std::size_t>((interior_vptr - entries) / 4));
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  const DispatchResult primary = victim_obj.virtual_call("getInfo");
+  const DispatchResult secondary =
+      victim_obj.secondary_base_view("Logger").virtual_call("log");
+  report.succeeded =
+      primary.outcome == DispatchResult::Outcome::Dispatched &&
+      secondary.outcome == DispatchResult::Outcome::Hijacked;
+  report.observe("primary_dispatch",
+                 primary.outcome == DispatchResult::Outcome::Dispatched
+                     ? "intact"
+                     : "corrupted");
+  report.observe("secondary_landed_on",
+                 secondary.symbol.empty() ? "-" : secondary.symbol);
+  if (report.succeeded) {
+    report.detail = "the primary vptr verifies clean while Logger::log() "
+                    "dispatches into " + secondary.symbol +
+                    " — multiple inheritance multiplies the §3.8.2 targets" +
+                    report.detail;
+  }
+  return report;
+}
+
+AttackReport function_pointer_subterfuge(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "function_pointer_subterfuge", "Listing 17, §3.9",
+      "NULL function pointer redirected and invoked", config);
+  Lab lab(config);
+
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  const Address evil = lab.mem.add_text_symbol("attacker_chosen_fn");
+  lab.call("addStudent", ret_to);
+
+  // bool (*createStudentAccount)(char*) = NULL; Student stud;
+  const Address fnptr = lab.stack.push_local("createStudentAccount", 4);
+  lab.mem.write_ptr(fnptr, 0);
+  const Address stud = lab.stack.push_local("stud", 16);
+
+  try {
+    auto gs = lab.engine.place_object(stud, "GradStudent");
+    const Address ssn_base = stud + 16;
+    if (fnptr >= ssn_base && (fnptr - ssn_base) % 4 == 0 &&
+        (fnptr - ssn_base) / 4 < 3) {
+      gs.write_int("ssn", static_cast<std::int32_t>(evil),
+                   static_cast<std::size_t>((fnptr - ssn_base) / 4));
+    }
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    lab.stack.pop_frame();
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  // if (createStudentAccount != NULL) createStudentAccount(...);
+  const Address target = lab.mem.read_ptr(fnptr);
+  bool invoked_attacker = false;
+  std::string landed = "-";
+  if (target != 0) {
+    const ControlTransfer ct =
+        classify_control_transfer(lab.mem, target, /*original=*/0);
+    invoked_attacker = ct.kind == ControlTransfer::Kind::ArcInjection;
+    landed = ct.symbol;
+  }
+  lab.ret(report);
+  report.succeeded = invoked_attacker;
+  report.observe("landed_on", landed);
+  if (report.succeeded) {
+    report.detail = "the NULL guard passed (pointer now non-null) and the "
+                    "program invoked " + landed +
+                    ", a function never meant to run here" + report.detail;
+  }
+  return report;
+}
+
+AttackReport variable_pointer_subterfuge(const ProtectionConfig& config) {
+  AttackReport report = make_report(
+      "variable_pointer_subterfuge", "Listing 18, §3.10",
+      "char* name redirected; a later write lands at the attacker's address",
+      config);
+  Lab lab(config);
+
+  // Student stud; char *name;  adjacent globals; name points at heap[16].
+  const Address stud = lab.mem.allocate(SegmentKind::Bss, 16, "stud");
+  const Address name_ptr = lab.mem.allocate(SegmentKind::Bss, 4, "name");
+  const Address buf = lab.mem.allocate(SegmentKind::Heap, 16, "name_buf");
+  lab.mem.write_ptr(name_ptr, buf);
+
+  // The asset the attacker ultimately wants to flip.
+  const Address admin_flag = lab.mem.allocate(SegmentKind::Bss, 4,
+                                              "admin_flag");
+  lab.mem.write_i32(admin_flag, 0);
+
+  try {
+    auto st = lab.engine.place_object(stud, "GradStudent");
+    // cin >> st->ssn[0]; — overwrites the pointer `name` itself.
+    st.write_int("ssn", static_cast<std::int32_t>(admin_flag), 0);
+  } catch (const PlacementRejected& e) {
+    Lab::rejected(report, e);
+    return report;
+  }
+
+  lab.apply_interceptor(report);
+  // The program later writes user-controlled data "through name".
+  const Address redirected = lab.mem.read_ptr(name_ptr);
+  lab.mem.write_i32(redirected, 1);  // strcpy(name, userdata) in effect
+
+  report.succeeded = lab.mem.read_i32(admin_flag) == 1;
+  report.observe("name_points_to",
+                 redirected == admin_flag ? "admin_flag" : "elsewhere");
+  if (report.succeeded) {
+    report.detail = "name was redirected from its heap buffer onto "
+                    "admin_flag; the next user write set it to 1" +
+                    report.detail;
+  }
+  return report;
+}
+
+}  // namespace pnlab::attacks

@@ -1,0 +1,108 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace pnlab::core {
+
+std::vector<AttackReport> run_matrix(
+    const std::vector<ProtectionConfig>& configs) {
+  std::vector<AttackReport> reports;
+  reports.reserve(attacks::all_scenarios().size() * configs.size());
+  for (const auto& entry : attacks::all_scenarios()) {
+    for (const auto& config : configs) {
+      reports.push_back(entry.run(config));
+    }
+  }
+  return reports;
+}
+
+std::vector<AttackReport> run_scenario_row(
+    const std::string& scenario_id,
+    const std::vector<ProtectionConfig>& configs) {
+  std::vector<AttackReport> reports;
+  const auto& entry = attacks::scenario(scenario_id);
+  for (const auto& config : configs) {
+    reports.push_back(entry.run(config));
+  }
+  return reports;
+}
+
+std::vector<ProtectionSummary> summarize(
+    const std::vector<AttackReport>& reports) {
+  std::vector<ProtectionSummary> out;
+  auto find = [&](const std::string& name) -> ProtectionSummary& {
+    for (auto& s : out) {
+      if (s.protection == name) return s;
+    }
+    out.push_back(ProtectionSummary{name, 0, 0, 0, 0});
+    return out.back();
+  };
+  for (const AttackReport& r : reports) {
+    ProtectionSummary& s = find(r.protection);
+    if (r.prevented || (r.detected && !r.succeeded)) {
+      ++s.stopped;
+    } else if (r.detected && r.succeeded) {
+      ++s.detected_only;
+    } else if (r.succeeded) {
+      ++s.succeeded;
+    } else {
+      ++s.failed;
+    }
+  }
+  return out;
+}
+
+std::string format_matrix(const std::vector<AttackReport>& reports) {
+  // Preserve first-seen order for rows and columns.
+  std::vector<std::string> rows;
+  std::vector<std::string> cols;
+  std::map<std::pair<std::string, std::string>, std::string> cells;
+  for (const AttackReport& r : reports) {
+    if (std::find(rows.begin(), rows.end(), r.id) == rows.end()) {
+      rows.push_back(r.id);
+    }
+    if (std::find(cols.begin(), cols.end(), r.protection) == cols.end()) {
+      cols.push_back(r.protection);
+    }
+    cells[{r.id, r.protection}] = r.outcome_cell();
+  }
+
+  std::size_t row_width = 8;
+  for (const auto& row : rows) row_width = std::max(row_width, row.size());
+  constexpr std::size_t kCell = 11;
+
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(row_width + 2)) << "scenario";
+  for (const auto& col : cols) {
+    os << std::setw(kCell) << col;
+  }
+  os << "\n" << std::string(row_width + 2 + kCell * cols.size(), '-') << "\n";
+  for (const auto& row : rows) {
+    os << std::setw(static_cast<int>(row_width + 2)) << row;
+    for (const auto& col : cols) {
+      auto it = cells.find({row, col});
+      os << std::setw(kCell) << (it == cells.end() ? "-" : it->second);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string format_summary(const std::vector<ProtectionSummary>& summaries) {
+  std::ostringstream os;
+  os << std::left << std::setw(12) << "protection" << std::right
+     << std::setw(11) << "succeeded" << std::setw(15) << "detected-only"
+     << std::setw(10) << "stopped" << std::setw(9) << "failed" << "\n"
+     << std::string(57, '-') << "\n";
+  for (const auto& s : summaries) {
+    os << std::left << std::setw(12) << s.protection << std::right
+       << std::setw(11) << s.succeeded << std::setw(15) << s.detected_only
+       << std::setw(10) << s.stopped << std::setw(9) << s.failed << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pnlab::core

@@ -1,0 +1,44 @@
+// Experiment runner: sweeps the attack corpus across protection
+// configurations (experiment E1) and formats the result tables shared by
+// the attack_lab example and the benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/scenarios.h"
+
+namespace pnlab::core {
+
+using attacks::AttackReport;
+using attacks::ProtectionConfig;
+
+/// Runs every scenario under every configuration (row-major by scenario).
+std::vector<AttackReport> run_matrix(
+    const std::vector<ProtectionConfig>& configs = ProtectionConfig::all());
+
+/// Runs one scenario across all configurations.
+std::vector<AttackReport> run_scenario_row(
+    const std::string& scenario_id,
+    const std::vector<ProtectionConfig>& configs = ProtectionConfig::all());
+
+/// Per-protection aggregate of an E1 sweep.
+struct ProtectionSummary {
+  std::string protection;
+  std::size_t succeeded = 0;      ///< attacker goal achieved (silently)
+  std::size_t detected_only = 0;  ///< detected but not stopped
+  std::size_t stopped = 0;        ///< prevented, or detected-and-aborted
+  std::size_t failed = 0;         ///< attack failed on its own
+};
+
+std::vector<ProtectionSummary> summarize(
+    const std::vector<AttackReport>& reports);
+
+/// The E1 matrix as a fixed-width text table: one row per scenario, one
+/// column per protection, cells SUCCEEDED/SUCCEEDED*/DETECTED/PREVENTED.
+std::string format_matrix(const std::vector<AttackReport>& reports);
+
+/// The per-protection summary table.
+std::string format_summary(const std::vector<ProtectionSummary>& summaries);
+
+}  // namespace pnlab::core

@@ -1,0 +1,125 @@
+#include "guard/protections.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pnlab::guard {
+
+const char* to_string(CanaryVerdict verdict) {
+  switch (verdict) {
+    case CanaryVerdict::NotProtected:
+      return "not-protected";
+    case CanaryVerdict::Clean:
+      return "clean";
+    case CanaryVerdict::SmashDetected:
+      return "smash-detected";
+    case CanaryVerdict::Bypassed:
+      return "bypassed";
+  }
+  return "?";
+}
+
+CanaryVerdict judge_return(bool frame_had_canary,
+                           const memsim::ReturnResult& result) {
+  if (!frame_had_canary) return CanaryVerdict::NotProtected;
+  if (!result.canary_intact) return CanaryVerdict::SmashDetected;
+  if (result.return_address_tampered) return CanaryVerdict::Bypassed;
+  return CanaryVerdict::Clean;
+}
+
+CanaryVerdict judge_return(const memsim::Frame& frame,
+                           const memsim::ReturnResult& result) {
+  return judge_return(frame.options.use_canary, result);
+}
+
+void ShadowStack::on_call(Address return_address) {
+  shadow_.push_back(return_address);
+}
+
+bool ShadowStack::on_return(Address observed) {
+  if (shadow_.empty()) {
+    throw std::logic_error("shadow stack underflow");
+  }
+  const Address expected = shadow_.back();
+  shadow_.pop_back();
+  if (observed != expected) {
+    ++mismatches_;
+    return false;
+  }
+  return true;
+}
+
+PlacementInterceptor::PlacementInterceptor(placement::PlacementEngine& engine,
+                                           bool flag_unknown_arena)
+    : flag_unknown_arena_(flag_unknown_arena) {
+  engine.add_observer([this](const placement::PlacementEvent& event) {
+    ++seen_;
+    if (event.overflowed_arena) {
+      violations_.push_back({event, "bounds-exceeded"});
+    } else if (flag_unknown_arena_ && event.arena_size == 0) {
+      violations_.push_back({event, "unknown-arena"});
+    }
+  });
+}
+
+void PlacementInterceptor::clear() {
+  seen_ = 0;
+  violations_.clear();
+}
+
+const char* to_string(ControlTransfer::Kind kind) {
+  switch (kind) {
+    case ControlTransfer::Kind::NormalReturn:
+      return "normal-return";
+    case ControlTransfer::Kind::ArcInjection:
+      return "arc-injection";
+    case ControlTransfer::Kind::CodeInjection:
+      return "code-injection";
+    case ControlTransfer::Kind::Fault:
+      return "fault";
+  }
+  return "?";
+}
+
+ControlTransfer classify_control_transfer(const Memory& mem, Address target,
+                                          Address original_return) {
+  ControlTransfer ct;
+  ct.target = target;
+  if (target == original_return) {
+    ct.kind = ControlTransfer::Kind::NormalReturn;
+    return ct;
+  }
+  if (const memsim::TextSymbol* sym = mem.text_symbol_at(target)) {
+    ct.kind = ControlTransfer::Kind::ArcInjection;
+    ct.symbol = sym->name;
+    ct.privileged = sym->privileged;
+    return ct;
+  }
+  if (mem.segment_of(target) == memsim::SegmentKind::Stack &&
+      mem.is_executable(target)) {
+    ct.kind = ControlTransfer::Kind::CodeInjection;
+    return ct;
+  }
+  ct.kind = ControlTransfer::Kind::Fault;
+  return ct;
+}
+
+std::string LeakTracker::report() const {
+  const placement::LeakStats s = stats();
+  std::ostringstream os;
+  os << "leak audit: live=" << s.live_placements
+     << " leaked_bytes=" << s.leaked_bytes
+     << " reclaimed_bytes=" << s.reclaimed_bytes
+     << (over_budget() ? " [OVER BUDGET]" : "");
+  return os.str();
+}
+
+void scrub_allocation(Memory& mem, Address addr, std::byte value) {
+  const memsim::Allocation* alloc = mem.find_allocation(addr);
+  if (alloc == nullptr) {
+    throw std::invalid_argument("scrub target has no allocation record");
+  }
+  mem.fill(alloc->addr, alloc->size, value);
+}
+
+}  // namespace pnlab::guard

@@ -1,0 +1,143 @@
+// Protections against placement-new attacks (§5 of the paper).
+//
+// Each protection is modeled with the *detection boundary* the paper
+// ascribes to it:
+//
+//  - StackGuard canaries detect a smashed canary at function return, but
+//    NOT a selective overwrite that skips the canary word (§5.2's
+//    experiment — "We succeeded, and StackGuard could not detect it").
+//  - A shadow return-address stack (§5.2, [27][20]) detects any return-
+//    address tamper, including the canary bypass.
+//  - A libsafe/libverify-style interceptor (§5.2) observes every dynamic
+//    placement-new invocation and flags bounds violations against the
+//    allocation map — detection without source changes.
+//  - The bounds/align/type/sanitize *preventive* checks live in
+//    placement::PlacementPolicy (§5.1 "correct coding"); here we add the
+//    leak tracker that audits the §4.5 ledger.
+//  - classify_control_transfer() is the monitor's view of where control
+//    lands after a (possibly corrupted) return: normal return, arc
+//    injection into text, code injection into an executable stack, or a
+//    fault on NX memory.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memsim/stack.h"
+#include "placement/engine.h"
+
+namespace pnlab::guard {
+
+using memsim::Address;
+using memsim::Memory;
+
+/// StackGuard's verdict on one function return.
+enum class CanaryVerdict {
+  NotProtected,   ///< frame had no canary
+  Clean,          ///< canary intact, return address unchanged
+  SmashDetected,  ///< canary modified → __stack_chk_fail (program abort)
+  Bypassed,       ///< return address tampered but canary intact: the §5.2
+                  ///< selective-overwrite bypass StackGuard cannot see
+};
+
+const char* to_string(CanaryVerdict verdict);
+
+/// Applies StackGuard semantics to a simulated return.
+CanaryVerdict judge_return(const memsim::Frame& frame_options_source,
+                           const memsim::ReturnResult& result);
+/// Convenience overload when only the ReturnResult is available; a frame
+/// without a canary yields NotProtected.
+CanaryVerdict judge_return(bool frame_had_canary,
+                           const memsim::ReturnResult& result);
+
+/// Shadow return-address stack (§5.2): an out-of-band copy of every
+/// pushed return address, compared at return time.
+class ShadowStack {
+ public:
+  void on_call(Address return_address);
+  /// Returns true if @p observed matches the shadow copy; pops either way.
+  bool on_return(Address observed);
+  std::size_t depth() const { return shadow_.size(); }
+  std::size_t mismatches() const { return mismatches_; }
+
+ private:
+  std::vector<Address> shadow_;
+  std::size_t mismatches_ = 0;
+};
+
+/// One violation observed by the interceptor.
+struct InterceptedViolation {
+  placement::PlacementEvent event;
+  std::string reason;  // "bounds-exceeded" or "unknown-arena"
+};
+
+/// Libsafe-style dynamic interceptor: registers as a PlacementEngine
+/// observer and *records* violations without preventing them (legacy-code
+/// deployment: no recompilation, no behavioural change).
+class PlacementInterceptor {
+ public:
+  /// @p flag_unknown_arena: §5.2 notes bounds checking "may not be as
+  /// easy here because placement new just operates on an address"; when
+  /// true, placements whose target has no allocation record are flagged
+  /// too (conservative), when false they pass silently (permissive).
+  explicit PlacementInterceptor(placement::PlacementEngine& engine,
+                                bool flag_unknown_arena = false);
+
+  const std::vector<InterceptedViolation>& violations() const {
+    return violations_;
+  }
+  std::size_t placements_seen() const { return seen_; }
+  void clear();
+
+ private:
+  bool flag_unknown_arena_;
+  std::size_t seen_ = 0;
+  std::vector<InterceptedViolation> violations_;
+};
+
+/// Where control landed after a return/indirect call consumed a possibly
+/// corrupted code address.
+struct ControlTransfer {
+  enum class Kind {
+    NormalReturn,   ///< target equals the original return address
+    ArcInjection,   ///< target is a text symbol (return-to-libc, §3.6.2)
+    CodeInjection,  ///< target is stack memory marked executable (§3.6.2)
+    Fault,          ///< target unmapped or non-executable (NX stops it)
+  };
+
+  Kind kind = Kind::Fault;
+  Address target = 0;
+  std::string symbol;       ///< resolved text symbol, if any
+  bool privileged = false;  ///< the symbol makes privileged system calls
+};
+
+const char* to_string(ControlTransfer::Kind kind);
+
+ControlTransfer classify_control_transfer(const Memory& mem, Address target,
+                                          Address original_return);
+
+/// Audits the placement ledger for §4.5 leaks and enforces a budget, the
+/// way a custom-allocator debug layer would.
+class LeakTracker {
+ public:
+  explicit LeakTracker(placement::PlacementEngine& engine,
+                       std::size_t leak_budget_bytes = 0)
+      : engine_(&engine), budget_(leak_budget_bytes) {}
+
+  placement::LeakStats stats() const { return engine_->leak_stats(); }
+  bool over_budget() const { return stats().leaked_bytes > budget_; }
+  /// Human-readable audit line for reports.
+  std::string report() const;
+
+ private:
+  placement::PlacementEngine* engine_;
+  std::size_t budget_;
+};
+
+/// Scrubs an entire allocation to a uniform pattern (§5.1 "Information
+/// Leaks": memset before handing memory to a new owner).
+void scrub_allocation(Memory& mem, Address addr, std::byte value = std::byte{0});
+
+}  // namespace pnlab::guard

@@ -1,0 +1,929 @@
+#include "interp/interp.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/sema.h"
+#include "analysis/token.h"
+
+namespace pnlab::interp {
+
+using analysis::Expr;
+using analysis::FuncDecl;
+using analysis::Stmt;
+using analysis::TypeRef;
+
+Value Value::of_int(std::int64_t v) {
+  Value out;
+  out.kind = Kind::Int;
+  out.i = v;
+  out.type = TypeRef{"int", 0, false};
+  return out;
+}
+
+Value Value::of_double(double v) {
+  Value out;
+  out.kind = Kind::Double;
+  out.d = v;
+  out.type = TypeRef{"double", 0, false};
+  return out;
+}
+
+Value Value::of_bool(bool v) {
+  Value out;
+  out.kind = Kind::Bool;
+  out.i = v ? 1 : 0;
+  out.type = TypeRef{"bool", 0, false};
+  return out;
+}
+
+Value Value::of_pointer(Address addr, TypeRef pointee) {
+  Value out;
+  out.kind = Kind::Pointer;
+  out.ptr = addr;
+  pointee.pointer_depth += 1;
+  out.type = std::move(pointee);
+  return out;
+}
+
+std::int64_t Value::as_int() const {
+  switch (kind) {
+    case Kind::Int:
+    case Kind::Bool:
+      return i;
+    case Kind::Double:
+      return static_cast<std::int64_t>(d);
+    case Kind::Pointer:
+      return static_cast<std::int64_t>(ptr);
+    case Kind::Void:
+      return 0;
+  }
+  return 0;
+}
+
+double Value::as_double() const {
+  return kind == Kind::Double ? d : static_cast<double>(as_int());
+}
+
+bool Value::truthy() const { return as_int() != 0; }
+
+const char* to_string(Termination termination) {
+  switch (termination) {
+    case Termination::Normal: return "normal";
+    case Termination::MemoryFault: return "memory-fault";
+    case Termination::PlacementRejected: return "placement-rejected";
+    case Termination::CanaryAbort: return "canary-abort";
+    case Termination::ShadowStackAbort: return "shadow-stack-abort";
+    case Termination::StepLimit: return "step-limit";
+    case Termination::RuntimeError: return "runtime-error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Thrown by `return` statements.
+struct ReturnSignal {
+  Value value;
+};
+
+/// Thrown to end the whole run.
+struct AbortSignal {
+  Termination termination;
+  std::string detail;
+};
+
+}  // namespace
+
+class Interpreter::Impl {
+ public:
+  Impl(const std::string& source, RunOptions options)
+      : options_(std::move(options)),
+        program_(analysis::parse(source)),
+        mem_(options_.model),
+        registry_(mem_),
+        engine_(registry_, options_.policy),
+        stack_(mem_, options_.frame) {
+    mem_.set_executable_stack(options_.executable_stack);
+    load_classes();
+    load_functions();
+    allocate_globals();
+    call_site_ = mem_.add_text_symbol("__caller");
+  }
+
+  RunResult run() {
+    RunResult result;
+    cin_pos_ = 0;
+    steps_ = 0;
+    output_.clear();
+    final_transfer_ = guard::ControlTransfer{};
+
+    const FuncDecl* entry = find_function(options_.entry);
+    if (entry == nullptr) {
+      result.termination = Termination::RuntimeError;
+      result.detail = "no entry function '" + options_.entry + "'";
+      return result;
+    }
+
+    try {
+      std::vector<Value> args;
+      for (std::size_t p = 0; p < entry->params.size(); ++p) {
+        args.push_back(Value::of_int(p < options_.entry_args.size()
+                                         ? options_.entry_args[p]
+                                         : 0));
+      }
+      result.return_value = call_function(*entry, std::move(args));
+      result.termination = Termination::Normal;
+    } catch (const AbortSignal& abort) {
+      result.termination = abort.termination;
+      result.detail = abort.detail;
+    } catch (const memsim::MemoryFault& fault) {
+      result.termination = Termination::MemoryFault;
+      result.detail = fault.what();
+    } catch (const placement::PlacementRejected& rejected) {
+      result.termination = Termination::PlacementRejected;
+      result.detail = rejected.what();
+    } catch (const std::exception& e) {
+      result.termination = Termination::RuntimeError;
+      result.detail = e.what();
+    }
+
+    result.steps = steps_;
+    result.output = output_;
+    result.leaks = engine_.leak_stats();
+    result.final_transfer = final_transfer_;
+    return result;
+  }
+
+  memsim::Memory& memory() { return mem_; }
+  placement::PlacementEngine& engine() { return engine_; }
+
+  Address global_address(const std::string& name) const {
+    auto it = globals_.find(name);
+    if (it == globals_.end()) {
+      throw std::out_of_range("no global named '" + name + "'");
+    }
+    return it->second.addr;
+  }
+
+  void watch_global(const std::string& name) {
+    const auto& slot = globals_.at(name);
+    mem_.add_watchpoint(slot.addr, slot.size, name);
+  }
+
+ private:
+  struct Slot {
+    Address addr = 0;
+    TypeRef type;
+    std::size_t size = 0;
+    bool is_array = false;
+  };
+
+  struct Env {
+    std::map<std::string, Slot> vars;
+  };
+
+  // --- program loading -------------------------------------------------
+
+  void load_classes() {
+    for (const analysis::ClassDecl& decl : program_.classes) {
+      objmodel::ClassSpec spec;
+      spec.name = decl.name;
+      spec.base = decl.base;
+      for (const analysis::MemberDecl& m : decl.members) {
+        objmodel::MemberSpec member;
+        member.name = m.name;
+        member.count = static_cast<std::size_t>(m.array_count);
+        if (m.type.is_pointer()) {
+          member.kind = objmodel::MemberSpec::Kind::Pointer;
+        } else if (m.type.name == "int" || m.type.name == "bool") {
+          member.kind = objmodel::MemberSpec::Kind::Int;
+        } else if (m.type.name == "double") {
+          member.kind = objmodel::MemberSpec::Kind::Double;
+        } else if (m.type.name == "char") {
+          member.kind = objmodel::MemberSpec::Kind::Char;
+        } else {
+          member.kind = objmodel::MemberSpec::Kind::ClassType;
+          member.class_name = m.type.name;
+        }
+        spec.members.push_back(std::move(member));
+      }
+      spec.virtual_functions = decl.virtual_functions;
+      registry_.define(spec);
+    }
+  }
+
+  void load_functions() {
+    for (const FuncDecl& fn : program_.functions) {
+      function_symbols_[fn.name] = mem_.add_text_symbol(fn.name);
+    }
+  }
+
+  void allocate_globals() {
+    for (const auto& stmt : program_.globals) {
+      Slot slot;
+      slot.type = stmt->type;
+      slot.is_array = stmt->array_size != nullptr;
+      std::size_t elem = size_of(stmt->type);
+      std::size_t count = 1;
+      if (stmt->array_size) {
+        // Global array extents must be compile-time constants.
+        analysis::TypeTable types(program_);
+        count = static_cast<std::size_t>(
+            analysis::const_eval(*stmt->array_size, types, nullptr)
+                .value_or(1));
+      }
+      slot.size = elem * count;
+      slot.addr = mem_.allocate(memsim::SegmentKind::Bss, slot.size,
+                                stmt->name, align_of(stmt->type));
+      globals_[stmt->name] = slot;
+    }
+    // Initializers run before entry (constants only, like static init).
+    for (const auto& stmt : program_.globals) {
+      if (stmt->init) {
+        Env empty;
+        store(lvalue_of_slot(globals_.at(stmt->name)), eval(*stmt->init, empty));
+      }
+    }
+  }
+
+  const FuncDecl* find_function(const std::string& name) const {
+    for (const FuncDecl& fn : program_.functions) {
+      if (fn.name == name) return &fn;
+    }
+    return nullptr;
+  }
+
+  // --- sizing ---------------------------------------------------------
+
+  std::size_t size_of(const TypeRef& type) const {
+    const auto& m = mem_.model();
+    if (type.is_pointer()) return m.pointer_size;
+    if (type.name == "int" || type.name == "bool") return m.int_size;
+    if (type.name == "double") return m.double_size;
+    if (type.name == "char") return 1;
+    if (type.name == "void") return 0;
+    return registry_.get(type.name).size;
+  }
+
+  std::size_t align_of(const TypeRef& type) const {
+    const auto& m = mem_.model();
+    if (type.is_pointer()) return m.pointer_size;
+    if (type.name == "int" || type.name == "bool") return m.int_size;
+    if (type.name == "double") return m.double_align;
+    if (type.name == "char") return 1;
+    if (registry_.contains(type.name)) return registry_.get(type.name).align;
+    return m.word_align;
+  }
+
+  // --- execution -------------------------------------------------------
+
+  void step() {
+    if (++steps_ > options_.max_steps) {
+      throw AbortSignal{Termination::StepLimit,
+                        "exceeded " + std::to_string(options_.max_steps) +
+                            " steps"};
+    }
+  }
+
+  Value call_function(const FuncDecl& fn, std::vector<Value> args) {
+    if (options_.shadow_stack) shadow_.on_call(call_site_);
+    memsim::Frame& frame = stack_.push_frame(fn.name, call_site_);
+    const bool had_canary = frame.options.use_canary;
+    const bool is_entry = stack_.depth() == 1;
+
+    Env env;
+    for (std::size_t p = 0; p < fn.params.size(); ++p) {
+      const analysis::ParamDecl& param = fn.params[p];
+      Slot slot;
+      slot.type = param.type;
+      slot.size = size_of(param.type);
+      slot.addr = stack_.push_local(param.name, slot.size,
+                                    align_of(param.type));
+      env.vars[param.name] = slot;
+      if (p < args.size()) store(lvalue_of_slot(slot), args[p]);
+    }
+
+    Value return_value;
+    try {
+      exec_stmt(*fn.body, env);
+    } catch (ReturnSignal& signal) {
+      return_value = std::move(signal.value);
+    }
+
+    const memsim::ReturnResult rr = stack_.pop_frame();
+    const guard::CanaryVerdict verdict = guard::judge_return(had_canary, rr);
+    if (verdict == guard::CanaryVerdict::SmashDetected) {
+      throw AbortSignal{Termination::CanaryAbort,
+                        "__stack_chk_fail in " + fn.name};
+    }
+    if (options_.shadow_stack && !shadow_.on_return(rr.return_to)) {
+      throw AbortSignal{Termination::ShadowStackAbort,
+                        "return-address mismatch in " + fn.name};
+    }
+    if (is_entry) {
+      final_transfer_ =
+          guard::classify_control_transfer(mem_, rr.return_to, call_site_);
+    }
+    return return_value;
+  }
+
+  void exec_stmt(const Stmt& stmt, Env& env) {
+    step();
+    switch (stmt.kind) {
+      case Stmt::Kind::Block:
+        for (const auto& child : stmt.body) exec_stmt(*child, env);
+        return;
+      case Stmt::Kind::Empty:
+        return;
+      case Stmt::Kind::VarDecl:
+        exec_var_decl(stmt, env);
+        return;
+      case Stmt::Kind::Expr:
+        eval(*stmt.expr, env);
+        return;
+      case Stmt::Kind::CinRead: {
+        read_cin_into(*stmt.expr, env);
+        for (const auto& extra : stmt.body) read_cin_into(*extra->expr, env);
+        return;
+      }
+      case Stmt::Kind::If:
+        if (eval(*stmt.cond, env).truthy()) {
+          exec_stmt(*stmt.then_branch, env);
+        } else if (stmt.else_branch) {
+          exec_stmt(*stmt.else_branch, env);
+        }
+        return;
+      case Stmt::Kind::While:
+        while (eval(*stmt.cond, env).truthy()) {
+          step();
+          exec_stmt(*stmt.body_stmt, env);
+        }
+        return;
+      case Stmt::Kind::For: {
+        if (stmt.init_stmt) exec_stmt(*stmt.init_stmt, env);
+        while (stmt.cond == nullptr || eval(*stmt.cond, env).truthy()) {
+          step();
+          exec_stmt(*stmt.body_stmt, env);
+          if (stmt.step) eval(*stmt.step, env);
+        }
+        return;
+      }
+      case Stmt::Kind::Return: {
+        ReturnSignal signal;
+        if (stmt.expr) signal.value = eval(*stmt.expr, env);
+        throw signal;
+      }
+      case Stmt::Kind::Delete: {
+        const Value target = eval(*stmt.expr, env);
+        if (engine_.record_at(target.ptr) != nullptr) {
+          engine_.destroy(target.ptr);
+        }
+        return;
+      }
+    }
+  }
+
+  void exec_var_decl(const Stmt& stmt, Env& env) {
+    Slot slot;
+    slot.type = stmt.type;
+    slot.is_array = stmt.array_size != nullptr;
+    const std::size_t elem = size_of(stmt.type);
+    std::size_t count = 1;
+    if (stmt.array_size) {
+      count = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, eval(*stmt.array_size, env).as_int()));
+    }
+    slot.size = elem * count;
+    slot.addr = stack_.push_local(stmt.name, std::max<std::size_t>(1, slot.size),
+                                  align_of(stmt.type));
+    env.vars[stmt.name] = slot;
+    if (stmt.init) {
+      store(lvalue_of_slot(slot), eval(*stmt.init, env));
+    }
+  }
+
+  void read_cin_into(const Expr& target, Env& env) {
+    const std::int64_t raw =
+        cin_pos_ < options_.cin_values.size()
+            ? options_.cin_values[cin_pos_++]
+            : 0;
+    const LValue lv = lvalue(target, env);
+    if (lv.type.name == "double" && !lv.type.is_pointer()) {
+      store(lv, Value::of_double(static_cast<double>(raw)));
+    } else {
+      store(lv, Value::of_int(raw));
+    }
+  }
+
+  // --- lvalues and memory access ----------------------------------------
+
+  struct LValue {
+    Address addr = 0;
+    TypeRef type;
+    std::size_t size = 0;     ///< full slot size (for arrays)
+    bool is_array = false;
+  };
+
+  static LValue lvalue_of_slot(const Slot& slot) {
+    return LValue{slot.addr, slot.type, slot.size, slot.is_array};
+  }
+
+  const Slot* find_slot(const std::string& name, Env& env) {
+    auto it = env.vars.find(name);
+    if (it != env.vars.end()) return &it->second;
+    auto git = globals_.find(name);
+    if (git != globals_.end()) return &git->second;
+    return nullptr;
+  }
+
+  LValue lvalue(const Expr& expr, Env& env) {
+    switch (expr.kind) {
+      case Expr::Kind::Ident: {
+        const Slot* slot = find_slot(expr.text, env);
+        if (slot == nullptr) {
+          throw std::runtime_error("unknown variable '" + expr.text + "'");
+        }
+        return lvalue_of_slot(*slot);
+      }
+      case Expr::Kind::Unary:
+        if (expr.text == "*") {
+          const Value v = eval(*expr.lhs, env);
+          TypeRef pointee = v.type;
+          if (pointee.pointer_depth > 0) --pointee.pointer_depth;
+          return LValue{v.ptr, pointee, size_of(pointee), false};
+        }
+        break;
+      case Expr::Kind::Member: {
+        Address base = 0;
+        std::string class_name;
+        if (expr.arrow) {
+          const Value v = eval(*expr.lhs, env);
+          base = v.ptr;
+          class_name = v.type.name;
+        } else {
+          const LValue lv = lvalue(*expr.lhs, env);
+          base = lv.addr;
+          class_name = lv.type.name;
+        }
+        if (!registry_.contains(class_name)) {
+          throw std::runtime_error("member access on non-class '" +
+                                   class_name + "'");
+        }
+        const objmodel::MemberLayout& m =
+            registry_.get(class_name).member(expr.text);
+        TypeRef type;
+        switch (m.spec.kind) {
+          case objmodel::MemberSpec::Kind::Int:
+            type = TypeRef{"int", 0, false};
+            break;
+          case objmodel::MemberSpec::Kind::Double:
+            type = TypeRef{"double", 0, false};
+            break;
+          case objmodel::MemberSpec::Kind::Char:
+            type = TypeRef{"char", 0, false};
+            break;
+          case objmodel::MemberSpec::Kind::Pointer:
+            type = TypeRef{"char", 1, false};
+            break;
+          case objmodel::MemberSpec::Kind::ClassType:
+            type = TypeRef{m.spec.class_name, 0, false};
+            break;
+        }
+        return LValue{base + m.offset, type, m.size, m.spec.count > 1};
+      }
+      case Expr::Kind::Index: {
+        // Base is either a named array (addr = its storage) or a pointer
+        // (addr = its value).
+        LValue base;
+        if (expr.lhs->kind == Expr::Kind::Ident ||
+            expr.lhs->kind == Expr::Kind::Member) {
+          base = lvalue(*expr.lhs, env);
+          if (base.type.is_pointer() && !base.is_array) {
+            const Value v = load(base);
+            TypeRef pointee = v.type;
+            if (pointee.pointer_depth > 0) --pointee.pointer_depth;
+            base = LValue{v.ptr, pointee, 0, false};
+          }
+        } else {
+          const Value v = eval(*expr.lhs, env);
+          TypeRef pointee = v.type;
+          if (pointee.pointer_depth > 0) --pointee.pointer_depth;
+          base = LValue{v.ptr, pointee, 0, false};
+        }
+        const std::int64_t index = eval(*expr.rhs, env).as_int();
+        TypeRef elem = base.type;
+        const std::size_t esize = size_of(elem);
+        return LValue{base.addr + static_cast<Address>(index) * esize, elem,
+                      esize, false};
+      }
+      default:
+        break;
+    }
+    throw std::runtime_error("expression is not an lvalue");
+  }
+
+  Value load(const LValue& lv) {
+    if (lv.type.is_pointer()) {
+      TypeRef pointee = lv.type;
+      --pointee.pointer_depth;
+      return Value::of_pointer(mem_.read_ptr(lv.addr), pointee);
+    }
+    if (lv.type.name == "double") return Value::of_double(mem_.read_f64(lv.addr));
+    if (lv.type.name == "char") {
+      return Value::of_int(mem_.read_u8(lv.addr));
+    }
+    if (lv.type.name == "int" || lv.type.name == "bool") {
+      return Value::of_int(mem_.read_i32(lv.addr));
+    }
+    // Class-typed lvalue used as a value decays to its address.
+    return Value::of_pointer(lv.addr, lv.type);
+  }
+
+  void store(const LValue& lv, const Value& v) {
+    if (lv.type.is_pointer()) {
+      mem_.write_ptr(lv.addr, v.kind == Value::Kind::Pointer
+                                  ? v.ptr
+                                  : static_cast<Address>(v.as_int()));
+      return;
+    }
+    if (lv.type.name == "double") {
+      mem_.write_f64(lv.addr, v.as_double());
+      return;
+    }
+    if (lv.type.name == "char") {
+      mem_.write_u8(lv.addr, static_cast<std::uint8_t>(v.as_int()));
+      return;
+    }
+    if (lv.type.name == "int" || lv.type.name == "bool") {
+      mem_.write_i32(lv.addr, static_cast<std::int32_t>(v.as_int()));
+      return;
+    }
+    throw std::runtime_error("cannot store into class-typed lvalue");
+  }
+
+  // --- expressions -------------------------------------------------------
+
+  Value eval(const Expr& expr, Env& env) {
+    switch (expr.kind) {
+      case Expr::Kind::IntLit:
+        return Value::of_int(expr.int_value);
+      case Expr::Kind::FloatLit:
+        return Value::of_double(expr.float_value);
+      case Expr::Kind::BoolLit:
+        return Value::of_bool(expr.int_value != 0);
+      case Expr::Kind::NullLit:
+        return Value::of_pointer(0, TypeRef{"void", 0, false});
+      case Expr::Kind::StringLit: {
+        // Materialize the literal in bss, NUL-terminated.
+        const Address addr = mem_.allocate(
+            memsim::SegmentKind::Bss, expr.text.size() + 1, "strlit");
+        for (std::size_t i = 0; i < expr.text.size(); ++i) {
+          mem_.write_u8(addr + i, static_cast<std::uint8_t>(expr.text[i]));
+        }
+        mem_.write_u8(addr + expr.text.size(), 0);
+        return Value::of_pointer(addr, TypeRef{"char", 0, false});
+      }
+      case Expr::Kind::Ident: {
+        const Slot* slot = find_slot(expr.text, env);
+        if (slot == nullptr) {
+          throw std::runtime_error("unknown variable '" + expr.text + "'");
+        }
+        if (slot->is_array) {
+          // Array-to-pointer decay.
+          return Value::of_pointer(slot->addr, slot->type);
+        }
+        return load(lvalue_of_slot(*slot));
+      }
+      case Expr::Kind::Unary:
+        return eval_unary(expr, env);
+      case Expr::Kind::Binary:
+        return eval_binary(expr, env);
+      case Expr::Kind::Member:
+      case Expr::Kind::Index:
+        return load(lvalue(expr, env));
+      case Expr::Kind::Call:
+        return eval_call(expr, env);
+      case Expr::Kind::New:
+        return eval_new(expr, env);
+      case Expr::Kind::Sizeof:
+        return eval_sizeof(expr, env);
+    }
+    throw std::runtime_error("unhandled expression kind");
+  }
+
+  Value eval_unary(const Expr& expr, Env& env) {
+    if (expr.text == "&") {
+      const LValue lv = lvalue(*expr.lhs, env);
+      return Value::of_pointer(lv.addr, lv.type);
+    }
+    if (expr.text == "*") {
+      return load(lvalue(expr, env));
+    }
+    if (expr.text == "-") {
+      const Value v = eval(*expr.lhs, env);
+      return v.kind == Value::Kind::Double ? Value::of_double(-v.d)
+                                           : Value::of_int(-v.as_int());
+    }
+    if (expr.text == "!") {
+      return Value::of_bool(!eval(*expr.lhs, env).truthy());
+    }
+    if (expr.text == "++" || expr.text == "--") {
+      const LValue lv = lvalue(*expr.lhs, env);
+      const std::int64_t delta = expr.text == "++" ? 1 : -1;
+      Value v = load(lv);
+      if (v.kind == Value::Kind::Double) {
+        v.d += static_cast<double>(delta);
+      } else if (v.kind == Value::Kind::Pointer) {
+        TypeRef pointee = v.type;
+        --pointee.pointer_depth;
+        v.ptr += static_cast<Address>(delta) * size_of(pointee);
+      } else {
+        v.i += delta;
+      }
+      store(lv, v);
+      return v;
+    }
+    throw std::runtime_error("unhandled unary operator " + expr.text);
+  }
+
+  Value eval_binary(const Expr& expr, Env& env) {
+    const std::string& op = expr.text;
+    if (op == "=") {
+      const Value v = eval(*expr.rhs, env);
+      store(lvalue(*expr.lhs, env), v);
+      return v;
+    }
+    if (op == "&&") {
+      return Value::of_bool(eval(*expr.lhs, env).truthy() &&
+                            eval(*expr.rhs, env).truthy());
+    }
+    if (op == "||") {
+      return Value::of_bool(eval(*expr.lhs, env).truthy() ||
+                            eval(*expr.rhs, env).truthy());
+    }
+
+    const Value a = eval(*expr.lhs, env);
+    const Value b = eval(*expr.rhs, env);
+
+    // Pointer arithmetic: ptr ± int scales by the pointee size.
+    if (a.kind == Value::Kind::Pointer && (op == "+" || op == "-") &&
+        b.kind != Value::Kind::Pointer) {
+      TypeRef pointee = a.type;
+      --pointee.pointer_depth;
+      const Address delta =
+          static_cast<Address>(b.as_int()) * size_of(pointee);
+      Value out = a;
+      out.ptr = op == "+" ? a.ptr + delta : a.ptr - delta;
+      return out;
+    }
+
+    const bool use_double =
+        a.kind == Value::Kind::Double || b.kind == Value::Kind::Double;
+    if (op == "+" || op == "-" || op == "*" || op == "/" || op == "%") {
+      if (use_double && op != "%") {
+        const double x = a.as_double();
+        const double y = b.as_double();
+        if (op == "+") return Value::of_double(x + y);
+        if (op == "-") return Value::of_double(x - y);
+        if (op == "*") return Value::of_double(x * y);
+        if (y == 0) throw std::runtime_error("division by zero");
+        return Value::of_double(x / y);
+      }
+      const std::int64_t x = a.as_int();
+      const std::int64_t y = b.as_int();
+      if (op == "+") return Value::of_int(x + y);
+      if (op == "-") return Value::of_int(x - y);
+      if (op == "*") return Value::of_int(x * y);
+      if (y == 0) throw std::runtime_error("division by zero");
+      return Value::of_int(op == "/" ? x / y : x % y);
+    }
+
+    if (use_double) {
+      const double x = a.as_double();
+      const double y = b.as_double();
+      if (op == "<") return Value::of_bool(x < y);
+      if (op == ">") return Value::of_bool(x > y);
+      if (op == "<=") return Value::of_bool(x <= y);
+      if (op == ">=") return Value::of_bool(x >= y);
+      if (op == "==") return Value::of_bool(x == y);
+      if (op == "!=") return Value::of_bool(x != y);
+    } else {
+      const std::int64_t x = a.as_int();
+      const std::int64_t y = b.as_int();
+      if (op == "<") return Value::of_bool(x < y);
+      if (op == ">") return Value::of_bool(x > y);
+      if (op == "<=") return Value::of_bool(x <= y);
+      if (op == ">=") return Value::of_bool(x >= y);
+      if (op == "==") return Value::of_bool(x == y);
+      if (op == "!=") return Value::of_bool(x != y);
+    }
+    throw std::runtime_error("unhandled binary operator " + op);
+  }
+
+  Value eval_call(const Expr& expr, Env& env) {
+    if (auto builtin = call_builtin(expr, env)) return *builtin;
+    if (const FuncDecl* fn = find_function(expr.text)) {
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const auto& arg : expr.args) args.push_back(eval(*arg, env));
+      return call_function(*fn, std::move(args));
+    }
+    // Unknown external call: evaluate args for effect, return 0 — like
+    // linking against a stub library.
+    for (const auto& arg : expr.args) eval(*arg, env);
+    return Value::of_int(0);
+  }
+
+  std::optional<Value> call_builtin(const Expr& expr, Env& env) {
+    const std::string& name = expr.text;
+    auto arg = [&](std::size_t i) { return eval(*expr.args.at(i), env); };
+
+    if (name == "memset" && expr.args.size() == 3) {
+      const Value dst = arg(0);
+      const Value val = arg(1);
+      const Value n = arg(2);
+      mem_.fill(dst.ptr, static_cast<std::size_t>(n.as_int()),
+                static_cast<std::byte>(val.as_int() & 0xff));
+      return Value::of_int(0);
+    }
+    if (name == "strncpy" && expr.args.size() == 3) {
+      const Value dst = arg(0);
+      const Value src = arg(1);
+      const std::size_t n = static_cast<std::size_t>(arg(2).as_int());
+      // Real strncpy: copy through the first NUL, zero-pad to n.
+      bool terminated = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint8_t byte = 0;
+        if (!terminated) {
+          byte = mem_.read_u8(src.ptr + i);
+          if (byte == 0) terminated = true;
+        }
+        mem_.write_u8(dst.ptr + i, byte);
+      }
+      return dst;
+    }
+    if (name == "destroy" && expr.args.size() == 1) {
+      const Value p = arg(0);
+      if (engine_.record_at(p.ptr) != nullptr) engine_.destroy(p.ptr);
+      return Value::of_int(0);
+    }
+    if (name == "print") {
+      std::ostringstream os;
+      for (std::size_t i = 0; i < expr.args.size(); ++i) {
+        const Value v = arg(i);
+        if (i) os << " ";
+        switch (v.kind) {
+          case Value::Kind::Double: os << v.d; break;
+          case Value::Kind::Pointer: os << "0x" << std::hex << v.ptr; break;
+          default: os << v.as_int();
+        }
+      }
+      output_.push_back(os.str());
+      return Value::of_int(0);
+    }
+    if ((name == "store" || name == "store_into") && expr.args.size() == 1) {
+      // Persist the readable window starting at the pointer: whatever is
+      // in the containing allocation from here to its end — the §4.3
+      // observation point.
+      const Value p = arg(0);
+      std::string window;
+      if (const memsim::Allocation* alloc = mem_.find_allocation(p.ptr)) {
+        const std::size_t len = alloc->addr + alloc->size - p.ptr;
+        for (std::size_t i = 0; i < len; ++i) {
+          const char c = static_cast<char>(mem_.read_u8(p.ptr + i));
+          window.push_back(
+              (c >= 0x20 && c < 0x7f) ? c : (c == 0 ? '.' : '?'));
+        }
+      }
+      output_.push_back("store: " + window);
+      return Value::of_int(0);
+    }
+    if ((name == "read_file" || name == "read_passwd") &&
+        expr.args.size() == 1) {
+      const Value p = arg(0);
+      static const std::string kPasswd =
+          "root:x:0:0:s3cr3t!/root:/bin/sh alice:hunter2:1000: ";
+      if (const memsim::Allocation* alloc = mem_.find_allocation(p.ptr)) {
+        const std::size_t len = alloc->addr + alloc->size - p.ptr;
+        for (std::size_t i = 0; i < len; ++i) {
+          mem_.write_u8(p.ptr + i, static_cast<std::uint8_t>(
+                                       kPasswd[i % kPasswd.size()]));
+        }
+      }
+      return Value::of_int(0);
+    }
+    return std::nullopt;
+  }
+
+  Value eval_new(const Expr& expr, Env& env) {
+    const bool is_class = registry_.contains(expr.type.name);
+    const std::size_t elem = size_of(expr.type);
+    std::size_t count = 1;
+    if (expr.is_array) {
+      count = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, eval(*expr.array_size, env).as_int()));
+    }
+
+    Address target = 0;
+    if (expr.placement) {
+      const Value v = eval(*expr.placement, env);
+      target = v.kind == Value::Kind::Pointer
+                   ? v.ptr
+                   : static_cast<Address>(v.as_int());
+    } else {
+      target = mem_.allocate(
+          memsim::SegmentKind::Heap,
+          std::max<std::size_t>(1, elem * std::max<std::size_t>(1, count)),
+          "new:" + expr.type.name);
+    }
+
+    if (expr.is_array) {
+      engine_.place_array(target, elem, count, expr.type.display() + "[]");
+      return Value::of_pointer(target, expr.type);
+    }
+    if (is_class) {
+      engine_.place_object(target, expr.type.name);
+      // Constructor arguments initialize leading members in declaration
+      // order (the corpus constructors follow this convention).
+      const objmodel::ClassInfo& cls = registry_.get(expr.type.name);
+      objmodel::Object obj(registry_, target, cls);
+      for (std::size_t i = 0;
+           i < expr.args.size() && i < cls.members.size(); ++i) {
+        const Value v = eval(*expr.args[i], env);
+        const auto& m = cls.members[i];
+        switch (m.spec.kind) {
+          case objmodel::MemberSpec::Kind::Int:
+            obj.write_int(m.spec.name,
+                          static_cast<std::int32_t>(v.as_int()));
+            break;
+          case objmodel::MemberSpec::Kind::Double:
+            obj.write_double(m.spec.name, v.as_double());
+            break;
+          default:
+            break;  // pointer/char/class ctor args not used by the corpus
+        }
+      }
+      return Value::of_pointer(target, expr.type);
+    }
+    // Scalar non-array placement: `new (&c) int`.
+    engine_.place_array(target, elem, 1, expr.type.display());
+    return Value::of_pointer(target, expr.type);
+  }
+
+  Value eval_sizeof(const Expr& expr, Env& env) {
+    if (!expr.type.name.empty()) {
+      if (expr.type.is_pointer()) {
+        return Value::of_int(
+            static_cast<std::int64_t>(mem_.model().pointer_size));
+      }
+      // A variable spelled like a type: prefer the variable.
+      if (const Slot* slot = find_slot(expr.type.name, env)) {
+        return Value::of_int(static_cast<std::int64_t>(slot->size));
+      }
+      return Value::of_int(static_cast<std::int64_t>(size_of(expr.type)));
+    }
+    if (expr.lhs && expr.lhs->kind == Expr::Kind::Ident) {
+      if (const Slot* slot = find_slot(expr.lhs->text, env)) {
+        return Value::of_int(static_cast<std::int64_t>(slot->size));
+      }
+    }
+    throw std::runtime_error("sizeof of unknown operand");
+  }
+
+  RunOptions options_;
+  analysis::Program program_;
+  memsim::Memory mem_;
+  objmodel::TypeRegistry registry_;
+  placement::PlacementEngine engine_;
+  memsim::CallStack stack_;
+  guard::ShadowStack shadow_;
+  std::map<std::string, Slot> globals_;
+  std::map<std::string, Address> function_symbols_;
+  Address call_site_ = 0;
+  std::size_t cin_pos_ = 0;
+  std::uint64_t steps_ = 0;
+  std::vector<std::string> output_;
+  guard::ControlTransfer final_transfer_;
+};
+
+Interpreter::Interpreter(const std::string& source, RunOptions options)
+    : impl_(std::make_unique<Impl>(source, std::move(options))) {}
+
+Interpreter::~Interpreter() = default;
+
+RunResult Interpreter::run() { return impl_->run(); }
+
+memsim::Memory& Interpreter::memory() { return impl_->memory(); }
+
+placement::PlacementEngine& Interpreter::engine() { return impl_->engine(); }
+
+Address Interpreter::global_address(const std::string& name) const {
+  return impl_->global_address(name);
+}
+
+void Interpreter::watch_global(const std::string& name) {
+  impl_->watch_global(name);
+}
+
+}  // namespace pnlab::interp

@@ -1,0 +1,124 @@
+// PNC interpreter: executes analyzer-language programs on the simulated
+// process image.
+//
+// This is the dynamic half of the paper's future-work tool: the same
+// source the static analyzer checks (src/analysis) actually *runs* here —
+// globals land in simulated bss, locals in simulated stack frames (with
+// the configured canary/FP shape), `new (addr) T` goes through the
+// placement engine under the configured policy, and `cin >>` consumes a
+// scripted input stream (the attacker).  Every paper listing can thus be
+// executed and its corruption observed live:
+//
+//   Interpreter interp(source, options);
+//   RunResult r = interp.run();
+//   // r.termination tells you whether the program ran, crashed on a
+//   // memory fault, was aborted by StackGuard, was stopped by a checked
+//   // placement, or hit the step limit (the §4.4 DoS observable).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ast.h"
+#include "guard/protections.h"
+#include "memsim/stack.h"
+#include "objmodel/types.h"
+#include "placement/engine.h"
+
+namespace pnlab::interp {
+
+using memsim::Address;
+
+/// A runtime value.
+struct Value {
+  enum class Kind { Void, Int, Double, Bool, Pointer };
+
+  Kind kind = Kind::Void;
+  std::int64_t i = 0;
+  double d = 0;
+  Address ptr = 0;
+  /// Static type carried along (pointee class for pointers).
+  analysis::TypeRef type;
+
+  static Value of_int(std::int64_t v);
+  static Value of_double(double v);
+  static Value of_bool(bool v);
+  static Value of_pointer(Address addr, analysis::TypeRef pointee);
+
+  std::int64_t as_int() const;
+  double as_double() const;
+  bool truthy() const;
+};
+
+/// How to run the program (the victim's build flags + the attacker).
+struct RunOptions {
+  /// Values consumed by `cin >>`, in order; exhausted reads yield 0.
+  std::vector<std::int64_t> cin_values;
+  memsim::FrameOptions frame;  ///< canary / saved-FP shape
+  placement::PlacementPolicy policy;  ///< placement-new checking
+  bool executable_stack = true;  ///< paper-era default
+  bool shadow_stack = false;     ///< §5.2 return-address stack
+  std::string entry = "main";
+  /// Integer arguments passed to the entry function (missing ones are 0).
+  std::vector<std::int64_t> entry_args;
+  std::uint64_t max_steps = 1'000'000;  ///< DoS guard (and observable)
+  memsim::MachineModel model = memsim::MachineModel::ilp32();
+};
+
+/// Why (and how) the run ended.
+enum class Termination {
+  Normal,             ///< entry function returned cleanly
+  MemoryFault,        ///< simulated SIGSEGV
+  PlacementRejected,  ///< checked placement refused (§5.1 prevention)
+  CanaryAbort,        ///< __stack_chk_fail (§5.2 detection)
+  ShadowStackAbort,   ///< return-address stack mismatch (§5.2 remedy)
+  StepLimit,          ///< exceeded max_steps — the §4.4 DoS signature
+  RuntimeError,       ///< interpreter-level error (bad program)
+};
+
+const char* to_string(Termination termination);
+
+struct RunResult {
+  Termination termination = Termination::Normal;
+  std::string detail;
+  Value return_value;
+  std::uint64_t steps = 0;
+  std::vector<std::string> output;  ///< print()/store() builtin lines
+  placement::LeakStats leaks;
+  /// Where control went when the entry frame returned (tamper-aware).
+  guard::ControlTransfer final_transfer;
+};
+
+/// Loads a PNC program into a fresh simulated process and runs it.
+class Interpreter {
+ public:
+  /// Parses @p source and lays out classes/globals.  Throws
+  /// analysis::ParseError on bad source.
+  Interpreter(const std::string& source, RunOptions options = {});
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  /// Executes the entry function.  Runs once; subsequent calls rerun the
+  /// entry against the mutated image (rarely useful, but defined).
+  RunResult run();
+
+  /// Probing hooks for tests and benches.
+  memsim::Memory& memory();
+  placement::PlacementEngine& engine();
+  /// Address of a global variable; throws std::out_of_range.
+  Address global_address(const std::string& name) const;
+  /// Adds a write watchpoint over a global (label = name).
+  void watch_global(const std::string& name);
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pnlab::interp

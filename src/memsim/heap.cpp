@@ -1,0 +1,157 @@
+#include "memsim/heap.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pnlab::memsim {
+
+namespace {
+
+std::size_t align8(std::size_t v) { return (v + 7) & ~std::size_t{7}; }
+
+std::string hex(Address a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+}  // namespace
+
+HeapAllocator::HeapAllocator(Memory& mem, std::size_t pool_size)
+    : mem_(mem), pool_size_(align8(pool_size)) {
+  base_ = mem_.allocate(SegmentKind::Heap, pool_size_, "heap_pool", 8);
+  // The bookkeeping allocation is ours now; individual payloads get
+  // their own records so arena bounds match what malloc handed out.
+  mem_.remove_allocation(base_);
+  write_header(base_, static_cast<std::uint32_t>(pool_size_),
+               /*in_use=*/false);
+}
+
+std::uint32_t HeapAllocator::read_sizeflags(Address chunk) const {
+  return mem_.read_u32(chunk);
+}
+
+std::uint32_t HeapAllocator::read_check(Address chunk) const {
+  return mem_.read_u32(chunk + 4);
+}
+
+void HeapAllocator::write_header(Address chunk, std::uint32_t size,
+                                 bool in_use) {
+  const std::uint32_t sizeflags = size | (in_use ? kInUse : 0);
+  mem_.write_u32(chunk, sizeflags);
+  mem_.write_u32(chunk + 4, sizeflags ^ kCheckSeed);
+}
+
+bool HeapAllocator::header_valid(Address chunk) const {
+  const std::uint32_t sizeflags = read_sizeflags(chunk);
+  if ((read_check(chunk) ^ kCheckSeed) != sizeflags) return false;
+  const std::size_t size = sizeflags & ~std::uint32_t{7};
+  return size >= kHeaderSize && chunk + size <= base_ + pool_size_;
+}
+
+std::size_t HeapAllocator::chunk_size(Address chunk) const {
+  return read_sizeflags(chunk) & ~std::uint32_t{7};
+}
+
+bool HeapAllocator::chunk_in_use(Address chunk) const {
+  return (read_sizeflags(chunk) & kInUse) != 0;
+}
+
+Address HeapAllocator::malloc(std::size_t size) {
+  const std::size_t need = align8(std::max<std::size_t>(size, 1)) + kHeaderSize;
+
+  Address chunk = base_;
+  while (chunk < base_ + pool_size_) {
+    if (!header_valid(chunk)) {
+      throw std::logic_error("heap walk hit corrupted header at " +
+                             hex(chunk));
+    }
+    const std::size_t csize = chunk_size(chunk);
+    if (!chunk_in_use(chunk) && csize >= need) {
+      // Split when the remainder can hold another chunk.
+      if (csize - need >= kMinChunk) {
+        write_header(chunk + need, static_cast<std::uint32_t>(csize - need),
+                     /*in_use=*/false);
+        write_header(chunk, static_cast<std::uint32_t>(need),
+                     /*in_use=*/true);
+      } else {
+        write_header(chunk, static_cast<std::uint32_t>(csize),
+                     /*in_use=*/true);
+      }
+      ++mallocs_;
+      const Address payload = chunk + kHeaderSize;
+      mem_.record_allocation(payload, size, SegmentKind::Heap,
+                             "heap:" + hex(payload));
+      return payload;
+    }
+    chunk += csize;
+  }
+  throw MemoryFault(base_, size, "heap pool exhausted");
+}
+
+void HeapAllocator::free(Address payload) {
+  const Address chunk = payload - kHeaderSize;
+  if (chunk < base_ || chunk >= base_ + pool_size_) {
+    throw std::logic_error("free of pointer outside the heap pool");
+  }
+  if (!header_valid(chunk)) {
+    throw std::logic_error(
+        "free() walked into corrupted chunk metadata at " + hex(chunk) +
+        " — the classic heap-overflow pivot");
+  }
+  if (!chunk_in_use(chunk)) {
+    throw std::logic_error("double free of " + hex(payload));
+  }
+
+  std::size_t csize = chunk_size(chunk);
+  // Coalesce forward with a free, intact successor.
+  const Address next = chunk + csize;
+  if (next < base_ + pool_size_ && header_valid(next) &&
+      !chunk_in_use(next)) {
+    csize += chunk_size(next);
+  }
+  write_header(chunk, static_cast<std::uint32_t>(csize), /*in_use=*/false);
+  mem_.remove_allocation(payload);
+  ++frees_;
+}
+
+std::vector<HeapAllocator::Corruption> HeapAllocator::integrity_check()
+    const {
+  std::vector<Corruption> out;
+  Address chunk = base_;
+  while (chunk < base_ + pool_size_) {
+    const std::uint32_t sizeflags = read_sizeflags(chunk);
+    if ((read_check(chunk) ^ kCheckSeed) != sizeflags) {
+      out.push_back({chunk, "header checksum mismatch"});
+      return out;  // cannot trust the size to continue the walk
+    }
+    const std::size_t csize = sizeflags & ~std::uint32_t{7};
+    if (csize < kHeaderSize || chunk + csize > base_ + pool_size_) {
+      out.push_back({chunk, "chunk size out of range"});
+      return out;
+    }
+    chunk += csize;
+  }
+  return out;
+}
+
+HeapAllocator::Stats HeapAllocator::stats() const {
+  Stats s;
+  s.pool_size = pool_size_;
+  s.mallocs = mallocs_;
+  s.frees = frees_;
+  Address chunk = base_;
+  while (chunk < base_ + pool_size_ && header_valid(chunk)) {
+    const std::size_t csize = chunk_size(chunk);
+    ++s.chunks;
+    if (chunk_in_use(chunk)) {
+      s.in_use_bytes += csize - kHeaderSize;
+    } else {
+      s.free_bytes += csize - kHeaderSize;
+    }
+    chunk += csize;
+  }
+  return s;
+}
+
+}  // namespace pnlab::memsim

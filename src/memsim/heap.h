@@ -1,0 +1,89 @@
+// First-fit free-list heap allocator with in-band metadata.
+//
+// The bump allocation Memory::allocate() provides is fine for laying out
+// victims, but the paper's §3.5.1 points further: a heap overflow "can
+// make the program more vulnerable to attacks that can be carried out
+// using heap overflows" — the classic allocator-metadata attacks of its
+// reference [7] (Conover, w00w00).  This allocator keeps its chunk
+// headers INSIDE simulated memory, directly after each payload's
+// predecessor, so a placement-new object overflow tramples the next
+// chunk's header exactly as it would in a real dlmalloc-style heap.
+// integrity_check() is the defender's view; free() on a corrupted chunk
+// is the attacker's profit.
+//
+// Chunk layout (8-byte aligned):
+//   [ u32 size|flags ][ u32 check ][ payload ... ]
+// where `size` counts the whole chunk (header + payload), flag bit 0 is
+// in-use, and `check` must equal (size|flags) ^ kCheckSeed — a cheap
+// header checksum that detects exactly the single-field tampering heap
+// exploits perform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "memsim/memory.h"
+
+namespace pnlab::memsim {
+
+class HeapAllocator {
+ public:
+  /// Carves a pool of @p pool_size bytes out of @p mem's heap segment.
+  explicit HeapAllocator(Memory& mem, std::size_t pool_size = 64 * 1024);
+
+  /// Allocates @p size payload bytes (8-aligned); returns the payload
+  /// address.  Registers the payload in the Memory allocation map so
+  /// bounds-checked placement sees the true arena.  Throws MemoryFault
+  /// when the pool is exhausted.
+  Address malloc(std::size_t size);
+
+  /// Frees a payload pointer.  Throws std::logic_error on a pointer that
+  /// is not a live payload (including double frees) and on a chunk whose
+  /// header fails the checksum — the moment a real allocator would walk
+  /// corrupted metadata.
+  void free(Address payload);
+
+  /// One corrupted chunk found by a heap walk.
+  struct Corruption {
+    Address chunk = 0;
+    std::string reason;
+  };
+
+  /// Walks the whole pool validating sizes and checksums.
+  std::vector<Corruption> integrity_check() const;
+
+  struct Stats {
+    std::size_t pool_size = 0;
+    std::size_t in_use_bytes = 0;  ///< live payload bytes
+    std::size_t free_bytes = 0;    ///< reusable payload bytes
+    std::size_t chunks = 0;
+    std::size_t mallocs = 0;
+    std::size_t frees = 0;
+  };
+  Stats stats() const;
+
+  Address pool_base() const { return base_; }
+  std::size_t header_size() const { return kHeaderSize; }
+
+ private:
+  static constexpr std::size_t kHeaderSize = 8;
+  static constexpr std::size_t kMinChunk = 24;  // header + 16 payload
+  static constexpr std::uint32_t kInUse = 1;
+  static constexpr std::uint32_t kCheckSeed = 0x48454150;  // "HEAP"
+
+  std::uint32_t read_sizeflags(Address chunk) const;
+  std::uint32_t read_check(Address chunk) const;
+  void write_header(Address chunk, std::uint32_t size, bool in_use);
+  bool header_valid(Address chunk) const;
+  std::size_t chunk_size(Address chunk) const;
+  bool chunk_in_use(Address chunk) const;
+
+  Memory& mem_;
+  Address base_ = 0;
+  std::size_t pool_size_ = 0;
+  std::size_t mallocs_ = 0;
+  std::size_t frees_ = 0;
+};
+
+}  // namespace pnlab::memsim

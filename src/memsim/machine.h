@@ -1,0 +1,50 @@
+// Machine model parameters for the simulated process image.
+//
+// The paper demonstrates its attacks on Ubuntu 10.04 / gcc 4.4.3 (32-bit
+// x86), where pointers, ints and the StackGuard canary are all 4 bytes.
+// All layout arithmetic in the simulator is parameterized on this model so
+// the same scenarios can also be run under an LP64 model.
+#pragma once
+
+#include <cstddef>
+
+namespace pnlab::memsim {
+
+/// Sizes and alignments of the simulated target machine.
+///
+/// Only little-endian targets are modeled (matching the paper's x86
+/// testbed); multi-byte values are stored least-significant byte first.
+struct MachineModel {
+  std::size_t pointer_size = 4;  ///< sizeof(void*) and of a return address
+  std::size_t int_size = 4;      ///< sizeof(int)
+  std::size_t double_size = 8;   ///< sizeof(double)
+  std::size_t double_align = 4;  ///< i386 System V ABI aligns double to 4
+  std::size_t word_align = 4;    ///< default stack-slot alignment
+  std::size_t canary_size = 4;   ///< StackGuard canary width (one word)
+
+  /// The paper's model: 32-bit Ubuntu Linux, gcc 4.4.3.
+  static constexpr MachineModel ilp32() { return MachineModel{}; }
+
+  /// A modern 64-bit Linux model, for layout-sensitivity experiments.
+  static constexpr MachineModel lp64() {
+    return MachineModel{.pointer_size = 8,
+                        .int_size = 4,
+                        .double_size = 8,
+                        .double_align = 8,
+                        .word_align = 8,
+                        .canary_size = 8};
+  }
+};
+
+/// Rounds @p value up to the next multiple of @p align (align must be a
+/// power of two greater than zero).
+constexpr std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+/// Rounds @p value down to a multiple of @p align.
+constexpr std::size_t align_down(std::size_t value, std::size_t align) {
+  return value & ~(align - 1);
+}
+
+}  // namespace pnlab::memsim

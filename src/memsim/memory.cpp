@@ -1,0 +1,429 @@
+#include "memsim/memory.h"
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <sstream>
+
+namespace pnlab::memsim {
+
+namespace {
+
+constexpr Address kTextBase = 0x08048000;
+constexpr Address kDataBase = 0x08090000;
+constexpr Address kBssBase = 0x080d0000;
+constexpr Address kHeapBase = 0x20000000;
+constexpr Address kStackLimit = 0xbff00000;  // lowest stack address
+constexpr Address kStackTop = 0xbfff0000;    // initial stack pointer
+constexpr Address kPageSize = 0x1000;
+
+constexpr std::size_t kSmallSegmentSize = 256 * 1024;
+constexpr std::size_t kHeapSize = 1024 * 1024;
+
+std::string hex(Address addr) {
+  std::ostringstream os;
+  os << "0x" << std::hex << addr;
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::Text:
+      return "text";
+    case SegmentKind::Data:
+      return "data";
+    case SegmentKind::Bss:
+      return "bss";
+    case SegmentKind::Heap:
+      return "heap";
+    case SegmentKind::Stack:
+      return "stack";
+  }
+  return "?";
+}
+
+MemoryFault::MemoryFault(Address addr, std::size_t size,
+                         const std::string& what)
+    : std::runtime_error("memory fault at " + hex(addr) + " size " +
+                         std::to_string(size) + ": " + what),
+      addr_(addr),
+      size_(size) {}
+
+Memory::Memory(MachineModel model, AslrConfig aslr) : model_(model) {
+  // Page-granular per-region displacements (image, heap, stack).  The
+  // stack shifts *down* so its top stays below the canonical ceiling.
+  Address image_delta = 0;
+  Address heap_delta = 0;
+  Address stack_delta = 0;
+  if (aslr.entropy_bits > 0) {
+    const unsigned bits = std::min(aslr.entropy_bits, 16u);
+    std::mt19937_64 rng(aslr.seed);
+    const Address mask = (Address{1} << bits) - 1;
+    image_delta = (rng() & mask) * kPageSize;
+    heap_delta = (rng() & mask) * kPageSize;
+    stack_delta = (rng() & mask) * kPageSize;
+  }
+
+  auto make_segment = [](SegmentKind kind, Address base, std::size_t size,
+                         bool writable, bool executable) {
+    Segment seg;
+    seg.kind = kind;
+    seg.base = base;
+    seg.bytes.assign(size, std::byte{0});
+    seg.writable = writable;
+    seg.executable = executable;
+    seg.bump = base;
+    return seg;
+  };
+  segments_.push_back(make_segment(SegmentKind::Text, kTextBase + image_delta,
+                                   kSmallSegmentSize, false, true));
+  segments_.push_back(
+      make_segment(SegmentKind::Data, kDataBase + image_delta,
+                   kSmallSegmentSize, true, false));
+  segments_.push_back(
+      make_segment(SegmentKind::Bss, kBssBase + image_delta,
+                   kSmallSegmentSize, true, false));
+  segments_.push_back(make_segment(SegmentKind::Heap, kHeapBase + heap_delta,
+                                   kHeapSize, true, false));
+
+  Segment stack;
+  stack.kind = SegmentKind::Stack;
+  stack.base = kStackLimit - stack_delta;
+  stack.bytes.assign(kStackTop - kStackLimit, std::byte{0});
+  stack.writable = true;
+  stack.executable = false;
+  segments_.push_back(std::move(stack));
+
+  // Leave headroom above the first frame (environment, argv, caller
+  // frames live there in a real process) so contiguous smashes that run
+  // past the return address land on stack bytes, not a segment fault.
+  stack_pointer_ = kStackTop - stack_delta - 0x1000;
+  text_bump_ = kTextBase + image_delta;
+}
+
+Memory::Segment* Memory::segment_for(Address addr, std::size_t size) {
+  for (auto& seg : segments_) {
+    if (seg.contains(addr, size)) return &seg;
+  }
+  return nullptr;
+}
+
+const Memory::Segment* Memory::segment_for(Address addr,
+                                           std::size_t size) const {
+  for (const auto& seg : segments_) {
+    if (seg.contains(addr, size)) return &seg;
+  }
+  return nullptr;
+}
+
+std::byte* Memory::data_at(Address addr, std::size_t size, bool for_write) {
+  Segment* seg = segment_for(addr, size);
+  if (seg == nullptr) {
+    throw MemoryFault(addr, size, "access outside all mapped segments");
+  }
+  if (for_write && !seg->writable) {
+    throw MemoryFault(addr, size,
+                      std::string("write to read-only segment ") +
+                          to_string(seg->kind));
+  }
+  return seg->bytes.data() + (addr - seg->base);
+}
+
+const std::byte* Memory::data_at(Address addr, std::size_t size) const {
+  const Segment* seg = segment_for(addr, size);
+  if (seg == nullptr) {
+    throw MemoryFault(addr, size, "access outside all mapped segments");
+  }
+  return seg->bytes.data() + (addr - seg->base);
+}
+
+void Memory::note_write(Address addr, std::size_t size) {
+  bytes_written_ += size;
+  if (log_enabled_) {
+    access_log_.push_back(AccessRecord{true, addr, size});
+  }
+  for (const auto& wp : watchpoints_) {
+    const bool overlaps = addr < wp.addr + wp.size && wp.addr < addr + size;
+    if (overlaps) {
+      watch_hits_.push_back(WatchHit{wp.label, wp.addr, addr, size});
+    }
+  }
+}
+
+void Memory::write_bytes(Address addr, std::span<const std::byte> bytes) {
+  if (bytes.empty()) return;
+  std::byte* dst = data_at(addr, bytes.size(), /*for_write=*/true);
+  std::memcpy(dst, bytes.data(), bytes.size());
+  note_write(addr, bytes.size());
+}
+
+std::vector<std::byte> Memory::read_bytes(Address addr,
+                                          std::size_t size) const {
+  std::vector<std::byte> out(size);
+  if (size == 0) return out;
+  const std::byte* src = data_at(addr, size);
+  std::memcpy(out.data(), src, size);
+  if (log_enabled_) {
+    access_log_.push_back(AccessRecord{false, addr, size});
+  }
+  return out;
+}
+
+namespace {
+
+template <typename T>
+void encode_le(std::byte* dst, T value, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    dst[i] = static_cast<std::byte>((value >> (8 * i)) & 0xff);
+  }
+}
+
+template <typename T>
+T decode_le(const std::byte* src, std::size_t size) {
+  T value = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    value |= static_cast<T>(std::to_integer<std::uint8_t>(src[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void Memory::write_u8(Address addr, std::uint8_t v) {
+  std::byte b{v};
+  write_bytes(addr, std::span(&b, 1));
+}
+
+void Memory::write_u16(Address addr, std::uint16_t v) {
+  std::byte buf[2];
+  encode_le(buf, v, 2);
+  write_bytes(addr, buf);
+}
+
+void Memory::write_u32(Address addr, std::uint32_t v) {
+  std::byte buf[4];
+  encode_le(buf, v, 4);
+  write_bytes(addr, buf);
+}
+
+void Memory::write_u64(Address addr, std::uint64_t v) {
+  std::byte buf[8];
+  encode_le(buf, v, 8);
+  write_bytes(addr, buf);
+}
+
+void Memory::write_i32(Address addr, std::int32_t v) {
+  write_u32(addr, static_cast<std::uint32_t>(v));
+}
+
+void Memory::write_f64(Address addr, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(addr, bits);
+}
+
+void Memory::write_ptr(Address addr, Address v) {
+  std::byte buf[8];
+  encode_le(buf, v, model_.pointer_size);
+  write_bytes(addr, std::span(buf, model_.pointer_size));
+}
+
+std::uint8_t Memory::read_u8(Address addr) const {
+  return std::to_integer<std::uint8_t>(*data_at(addr, 1));
+}
+
+std::uint16_t Memory::read_u16(Address addr) const {
+  return decode_le<std::uint16_t>(data_at(addr, 2), 2);
+}
+
+std::uint32_t Memory::read_u32(Address addr) const {
+  return decode_le<std::uint32_t>(data_at(addr, 4), 4);
+}
+
+std::uint64_t Memory::read_u64(Address addr) const {
+  return decode_le<std::uint64_t>(data_at(addr, 8), 8);
+}
+
+std::int32_t Memory::read_i32(Address addr) const {
+  return static_cast<std::int32_t>(read_u32(addr));
+}
+
+double Memory::read_f64(Address addr) const {
+  std::uint64_t bits = read_u64(addr);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Address Memory::read_ptr(Address addr) const {
+  return decode_le<Address>(data_at(addr, model_.pointer_size),
+                            model_.pointer_size);
+}
+
+void Memory::fill(Address addr, std::size_t size, std::byte value) {
+  if (size == 0) return;
+  std::byte* dst = data_at(addr, size, /*for_write=*/true);
+  std::memset(dst, std::to_integer<int>(value), size);
+  note_write(addr, size);
+}
+
+std::optional<SegmentKind> Memory::segment_of(Address addr,
+                                              std::size_t size) const {
+  const Segment* seg = segment_for(addr, size);
+  if (seg == nullptr) return std::nullopt;
+  return seg->kind;
+}
+
+Address Memory::segment_base(SegmentKind kind) const {
+  for (const auto& seg : segments_) {
+    if (seg.kind == kind) return seg.base;
+  }
+  return 0;
+}
+
+Address Memory::segment_end(SegmentKind kind) const {
+  for (const auto& seg : segments_) {
+    if (seg.kind == kind) return seg.base + seg.bytes.size();
+  }
+  return 0;
+}
+
+bool Memory::is_executable(Address addr) const {
+  const Segment* seg = segment_for(addr, 1);
+  if (seg == nullptr) return false;
+  if (seg->kind == SegmentKind::Stack) return executable_stack_;
+  return seg->executable;
+}
+
+void Memory::set_executable_stack(bool executable) {
+  executable_stack_ = executable;
+}
+
+Address Memory::allocate(SegmentKind segment, std::size_t size,
+                         const std::string& label, std::size_t align) {
+  if (segment == SegmentKind::Stack || segment == SegmentKind::Text) {
+    throw std::invalid_argument(
+        "allocate() supports data/bss/heap; use CallStack for stack frames "
+        "and add_text_symbol for text");
+  }
+  if (align == 0) align = model_.word_align;
+  for (auto& seg : segments_) {
+    if (seg.kind != segment) continue;
+    Address addr = align_up(seg.bump, align);
+    if (addr + size > seg.base + seg.bytes.size()) {
+      throw MemoryFault(addr, size, "segment exhausted");
+    }
+    seg.bump = addr + size;
+    Allocation alloc{addr, size, segment, label, /*live=*/true};
+    allocations_[addr] = alloc;
+    // Bss is zero-initialized by the loader; data/heap get a recognizable
+    // "uninitialized" pattern so residue is visible in info-leak tests.
+    const std::byte pattern =
+        segment == SegmentKind::Bss ? std::byte{0} : std::byte{0xCD};
+    std::memset(seg.bytes.data() + (addr - seg.base),
+                std::to_integer<int>(pattern), size);
+    return addr;
+  }
+  throw std::invalid_argument("unknown segment");
+}
+
+void Memory::release(Address addr) {
+  auto it = allocations_.find(addr);
+  if (it == allocations_.end()) {
+    throw std::invalid_argument("release of unknown allocation at " +
+                                hex(addr));
+  }
+  it->second.live = false;
+}
+
+void Memory::record_allocation(Address addr, std::size_t size,
+                               SegmentKind segment,
+                               const std::string& label) {
+  allocations_[addr] = Allocation{addr, size, segment, label, /*live=*/true};
+}
+
+void Memory::remove_allocation(Address addr) { allocations_.erase(addr); }
+
+const Allocation* Memory::find_allocation(Address addr) const {
+  auto it = allocations_.upper_bound(addr);
+  if (it == allocations_.begin()) return nullptr;
+  --it;
+  const Allocation& alloc = it->second;
+  if (alloc.live && addr >= alloc.addr && addr < alloc.addr + alloc.size) {
+    return &alloc;
+  }
+  return nullptr;
+}
+
+const Allocation* Memory::allocation_at(Address addr) const {
+  auto it = allocations_.find(addr);
+  return it == allocations_.end() ? nullptr : &it->second;
+}
+
+std::vector<Allocation> Memory::allocations() const {
+  std::vector<Allocation> out;
+  out.reserve(allocations_.size());
+  for (const auto& [addr, alloc] : allocations_) out.push_back(alloc);
+  return out;
+}
+
+void Memory::set_stack_pointer(Address sp) {
+  if (!segment_for(sp - 1, 1) && sp != kStackTop) {
+    throw MemoryFault(sp, 0, "stack pointer outside stack segment");
+  }
+  stack_pointer_ = sp;
+}
+
+Address Memory::add_text_symbol(const std::string& name, bool privileged,
+                                std::size_t size) {
+  const Address text_base = segment_base(SegmentKind::Text);
+  Address addr = align_up(
+      text_bump_ == text_base ? text_base + 0x100 : text_bump_, 16);
+  if (addr + size > segment_end(SegmentKind::Text)) {
+    throw MemoryFault(addr, size, "text segment exhausted");
+  }
+  text_bump_ = addr + size;
+  text_symbols_.push_back(TextSymbol{addr, size, name, privileged});
+  return addr;
+}
+
+const TextSymbol* Memory::text_symbol_at(Address addr) const {
+  for (const auto& sym : text_symbols_) {
+    if (addr >= sym.addr && addr < sym.addr + sym.size) return &sym;
+  }
+  return nullptr;
+}
+
+const TextSymbol* Memory::find_text_symbol(const std::string& name) const {
+  for (const auto& sym : text_symbols_) {
+    if (sym.name == name) return &sym;
+  }
+  return nullptr;
+}
+
+void Memory::add_watchpoint(Address addr, std::size_t size,
+                            const std::string& label) {
+  watchpoints_.push_back(Watchpoint{addr, size, label});
+}
+
+std::vector<WatchHit> Memory::drain_watch_hits() {
+  std::vector<WatchHit> out;
+  out.swap(watch_hits_);
+  return out;
+}
+
+void Memory::clear_watchpoints() {
+  watchpoints_.clear();
+  watch_hits_.clear();
+}
+
+std::vector<AccessRecord> Memory::drain_access_log() {
+  std::vector<AccessRecord> out;
+  out.swap(access_log_);
+  return out;
+}
+
+}  // namespace pnlab::memsim

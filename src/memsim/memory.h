@@ -1,0 +1,236 @@
+// Simulated process memory image.
+//
+// The simulator gives every attack in the paper a deterministic, observable
+// stage: a little-endian byte store divided into the classical ELF segments
+// (text, data, bss, heap, stack).  Raw reads and writes are checked only
+// against *segment* bounds — not against allocation bounds — because that
+// is precisely the vulnerability the paper studies: `operator new(size_t,
+// void*)` performs no bounds checking, so an object placed into a too-small
+// arena silently overwrites whatever lies beyond it.  Allocation metadata
+// is kept purely as bookkeeping so that protections (guard/) and tests can
+// *detect* overflows that the raw memory model happily permits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "memsim/machine.h"
+
+namespace pnlab::memsim {
+
+using Address = std::uint64_t;
+
+/// The classical ELF process segments the paper's attacks target.
+enum class SegmentKind { Text, Data, Bss, Heap, Stack };
+
+/// Human-readable segment name ("text", "data", ...).
+const char* to_string(SegmentKind kind);
+
+/// Thrown when an access falls outside every mapped segment (the simulated
+/// equivalent of SIGSEGV) or violates a segment permission (e.g. writing
+/// into text, executing a non-executable page).
+class MemoryFault : public std::runtime_error {
+ public:
+  MemoryFault(Address addr, std::size_t size, const std::string& what);
+  Address address() const { return addr_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  Address addr_;
+  std::size_t size_;
+};
+
+/// A live (or released) allocation record: pure bookkeeping, never enforced
+/// by the raw access path.
+struct Allocation {
+  Address addr = 0;
+  std::size_t size = 0;
+  SegmentKind segment = SegmentKind::Heap;
+  std::string label;
+  bool live = true;
+};
+
+/// A named entry point in the text segment ("function").  Arc-injection
+/// and vptr-subterfuge scenarios resolve corrupted code addresses against
+/// this table to decide where control "lands".
+struct TextSymbol {
+  Address addr = 0;
+  std::size_t size = 0;
+  std::string name;
+  bool privileged = false;  ///< e.g. makes a system call in privileged mode
+};
+
+/// One watchpoint hit: some write touched a watched byte range.
+struct WatchHit {
+  std::string label;
+  Address watch_addr = 0;
+  Address write_addr = 0;
+  std::size_t write_size = 0;
+};
+
+/// One entry of the (optional) access log.
+struct AccessRecord {
+  bool is_write = false;
+  Address addr = 0;
+  std::size_t size = 0;
+};
+
+/// Address-space layout randomization for the simulated image.
+///
+/// With @p entropy_bits > 0, the image (text/data/bss), the heap, and the
+/// stack each get an independent page-granular displacement drawn from
+/// [0, 2^entropy_bits) pages, seeded deterministically — so ASLR runs are
+/// randomized *across* seeds but reproducible per seed (experiment E7).
+struct AslrConfig {
+  unsigned entropy_bits = 0;  ///< 0 disables ASLR (the paper's testbed)
+  std::uint64_t seed = 0;
+};
+
+/// The simulated process image.
+///
+/// Segment map (ILP32 defaults, loosely modeled on a 32-bit Linux ELF
+/// image; bases shift under AslrConfig):
+///   text  [0x08048000, +256 KiB)   read/execute
+///   data  [0x08090000, +256 KiB)   read/write
+///   bss   [0x080d0000, +256 KiB)   read/write, zero-initialized
+///   heap  [0x20000000, +1 MiB)     read/write, grows up
+///   stack (0xbff00000, 0xbfff0000] read/write, grows down
+class Memory {
+ public:
+  explicit Memory(MachineModel model = MachineModel::ilp32(),
+                  AslrConfig aslr = {});
+
+  const MachineModel& model() const { return model_; }
+
+  // --- Raw byte access (segment-checked only; this is the attack surface).
+  void write_bytes(Address addr, std::span<const std::byte> bytes);
+  std::vector<std::byte> read_bytes(Address addr, std::size_t size) const;
+
+  // --- Typed little-endian accessors.
+  void write_u8(Address addr, std::uint8_t v);
+  void write_u16(Address addr, std::uint16_t v);
+  void write_u32(Address addr, std::uint32_t v);
+  void write_u64(Address addr, std::uint64_t v);
+  void write_i32(Address addr, std::int32_t v);
+  void write_f64(Address addr, double v);
+  /// Writes a pointer-sized value (model().pointer_size bytes).
+  void write_ptr(Address addr, Address v);
+
+  std::uint8_t read_u8(Address addr) const;
+  std::uint16_t read_u16(Address addr) const;
+  std::uint32_t read_u32(Address addr) const;
+  std::uint64_t read_u64(Address addr) const;
+  std::int32_t read_i32(Address addr) const;
+  double read_f64(Address addr) const;
+  Address read_ptr(Address addr) const;
+
+  /// Fills [addr, addr+size) with @p value.
+  void fill(Address addr, std::size_t size, std::byte value);
+
+  // --- Segment queries.
+  /// Returns the segment containing [addr, addr+size), or nullopt.
+  std::optional<SegmentKind> segment_of(Address addr,
+                                        std::size_t size = 1) const;
+  Address segment_base(SegmentKind kind) const;
+  Address segment_end(SegmentKind kind) const;  ///< one past the last byte
+  /// True if @p addr lies in an executable segment (text, or stack when
+  /// executable_stack(true) has been set — the pre-NX world of the paper).
+  bool is_executable(Address addr) const;
+  /// Toggles the executable-stack bit (NX off/on).  Defaults to false:
+  /// code injection into the stack faults unless explicitly enabled.
+  void set_executable_stack(bool executable);
+
+  // --- Allocation bookkeeping (static data, bss and heap).
+  /// Reserves @p size bytes in @p segment and records an Allocation.
+  /// Bss allocations are zero-filled; data/heap are filled with 0xCD so
+  /// that "uninitialized" reads are recognizable in tests.
+  Address allocate(SegmentKind segment, std::size_t size,
+                   const std::string& label, std::size_t align = 0);
+  /// Marks the allocation starting at @p addr as released.  The bytes are
+  /// left untouched — exactly the residue §4.3's information leaks read.
+  void release(Address addr);
+  /// The live allocation whose range contains @p addr, or nullptr.
+  const Allocation* find_allocation(Address addr) const;
+  /// The allocation that *starts* at @p addr (live or released).
+  const Allocation* allocation_at(Address addr) const;
+  std::vector<Allocation> allocations() const;
+
+  /// Records an allocation created outside allocate() — stack locals
+  /// (CallStack) and arena sub-allocations use this so bounds checks and
+  /// diagnostics can see them.
+  void record_allocation(Address addr, std::size_t size, SegmentKind segment,
+                         const std::string& label);
+  /// Removes a record entirely (frame pop); release() merely marks dead.
+  void remove_allocation(Address addr);
+
+  // --- Stack pointer management (used by CallStack).
+  Address stack_pointer() const { return stack_pointer_; }
+  void set_stack_pointer(Address sp);
+
+  // --- Text symbols.
+  Address add_text_symbol(const std::string& name, bool privileged = false,
+                          std::size_t size = 16);
+  const TextSymbol* text_symbol_at(Address addr) const;
+  const TextSymbol* find_text_symbol(const std::string& name) const;
+
+  // --- Watchpoints & access log (observation plumbing for tests/benches).
+  /// Registers a write watchpoint over [addr, addr+size).
+  void add_watchpoint(Address addr, std::size_t size, const std::string& label);
+  /// Returns and clears all accumulated watchpoint hits.
+  std::vector<WatchHit> drain_watch_hits();
+  void clear_watchpoints();
+
+  void set_access_log_enabled(bool enabled) { log_enabled_ = enabled; }
+  std::vector<AccessRecord> drain_access_log();
+
+  /// Total bytes written since construction (E2/E6 instrumentation).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  struct Segment {
+    SegmentKind kind;
+    Address base = 0;
+    std::vector<std::byte> bytes;
+    bool writable = true;
+    bool executable = false;
+    Address bump = 0;  ///< next free address for allocate()
+
+    bool contains(Address addr, std::size_t size) const {
+      return addr >= base && size <= bytes.size() &&
+             addr - base <= bytes.size() - size;
+    }
+  };
+
+  struct Watchpoint {
+    Address addr = 0;
+    std::size_t size = 0;
+    std::string label;
+  };
+
+  Segment* segment_for(Address addr, std::size_t size);
+  const Segment* segment_for(Address addr, std::size_t size) const;
+  std::byte* data_at(Address addr, std::size_t size, bool for_write);
+  const std::byte* data_at(Address addr, std::size_t size) const;
+  void note_write(Address addr, std::size_t size);
+
+  MachineModel model_;
+  std::vector<Segment> segments_;
+  std::map<Address, Allocation> allocations_;
+  std::vector<TextSymbol> text_symbols_;
+  std::vector<Watchpoint> watchpoints_;
+  std::vector<WatchHit> watch_hits_;
+  mutable std::vector<AccessRecord> access_log_;  // reads are logged too
+  Address stack_pointer_ = 0;
+  Address text_bump_ = 0;
+  bool log_enabled_ = false;
+  bool executable_stack_ = false;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace pnlab::memsim

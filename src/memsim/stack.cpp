@@ -1,0 +1,105 @@
+#include "memsim/stack.h"
+
+#include <stdexcept>
+
+namespace pnlab::memsim {
+
+Address Frame::local(const std::string& name) const {
+  for (const auto& l : locals) {
+    if (l.name == name) return l.addr;
+  }
+  throw std::out_of_range("no local named '" + name + "' in frame " +
+                          function);
+}
+
+CallStack::CallStack(Memory& mem, FrameOptions defaults)
+    : mem_(mem), defaults_(defaults) {}
+
+Frame& CallStack::push_frame(const std::string& function,
+                             Address return_address,
+                             std::optional<FrameOptions> options) {
+  const MachineModel& m = mem_.model();
+  Frame frame;
+  frame.function = function;
+  frame.options = options.value_or(defaults_);
+  frame.frame_top = mem_.stack_pointer();
+  frame.original_return_address = return_address;
+
+  Address sp = frame.frame_top;
+
+  sp -= m.pointer_size;
+  frame.return_address_slot = sp;
+  mem_.write_ptr(sp, return_address);
+
+  if (frame.options.save_frame_pointer) {
+    sp -= m.pointer_size;
+    frame.saved_fp_slot = sp;
+    // The caller's frame pointer; for the outermost frame this is the
+    // original stack top.
+    const Address caller_fp =
+        frames_.empty() ? frame.frame_top : frames_.back().frame_top;
+    mem_.write_ptr(sp, caller_fp);
+  }
+
+  if (frame.options.use_canary) {
+    sp -= m.canary_size;
+    frame.canary_slot = sp;
+    frame.canary_value = next_canary_++;
+    mem_.write_ptr(sp, frame.canary_value);
+  }
+
+  mem_.set_stack_pointer(sp);
+  frames_.push_back(frame);
+  return frames_.back();
+}
+
+Address CallStack::push_local(const std::string& name, std::size_t size,
+                              std::size_t align) {
+  if (frames_.empty()) {
+    throw std::logic_error("push_local with no active frame");
+  }
+  if (align == 0) align = mem_.model().word_align;
+  Address sp = mem_.stack_pointer();
+  sp -= size;
+  sp = align_down(sp, align);
+  mem_.set_stack_pointer(sp);
+  Frame& frame = frames_.back();
+  frame.locals.push_back(Local{name, sp, size});
+  mem_.record_allocation(sp, size, SegmentKind::Stack,
+                         frame.function + "::" + name);
+  return sp;
+}
+
+Frame& CallStack::current() {
+  if (frames_.empty()) throw std::logic_error("no active frame");
+  return frames_.back();
+}
+
+const Frame& CallStack::current() const {
+  if (frames_.empty()) throw std::logic_error("no active frame");
+  return frames_.back();
+}
+
+ReturnResult CallStack::pop_frame() {
+  if (frames_.empty()) throw std::logic_error("pop_frame with no frame");
+  const Frame frame = frames_.back();
+
+  ReturnResult result;
+  result.original_return_address = frame.original_return_address;
+  result.return_to = mem_.read_ptr(frame.return_address_slot);
+  result.return_address_tampered =
+      result.return_to != frame.original_return_address;
+  if (frame.options.use_canary) {
+    result.canary_intact =
+        mem_.read_ptr(frame.canary_slot) == frame.canary_value;
+  }
+
+  for (const auto& local : frame.locals) {
+    mem_.remove_allocation(local.addr);
+  }
+  mem_.set_stack_pointer(frame.frame_top);
+  frames_.pop_back();
+  return result;
+}
+
+}  // namespace pnlab::memsim

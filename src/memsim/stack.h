@@ -1,0 +1,95 @@
+// Simulated call stack.
+//
+// Frames are laid out the way the paper's gcc 4.4.3 / i386 testbed lays
+// them out (§3.6.1): from high to low addresses,
+//
+//     [ return address ][ saved FP? ][ canary? ][ locals ... ]
+//
+// so a local object that overflows upward first hits the canary (if any),
+// then the saved frame pointer (if any), then the return address — giving
+// exactly the paper's table of "which ssn[k] overwrites the return
+// address" for the three frame shapes.  pop_frame() re-reads the return
+// address and canary from simulated memory, so corruption between call and
+// return is observed just as the hardware would observe it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memsim/memory.h"
+
+namespace pnlab::memsim {
+
+/// Per-frame layout options (compiler flags, in effect).
+struct FrameOptions {
+  bool save_frame_pointer = true;  ///< -fno-omit-frame-pointer
+  bool use_canary = false;         ///< -fstack-protector (StackGuard)
+};
+
+/// A named local variable slot within a frame.
+struct Local {
+  std::string name;
+  Address addr = 0;
+  std::size_t size = 0;
+};
+
+/// One activation record.
+struct Frame {
+  std::string function;
+  FrameOptions options;
+  Address frame_top = 0;            ///< stack pointer at call (just above RA)
+  Address return_address_slot = 0;
+  Address saved_fp_slot = 0;        ///< 0 when the FP is not saved
+  Address canary_slot = 0;          ///< 0 when no canary
+  Address canary_value = 0;
+  Address original_return_address = 0;
+  std::vector<Local> locals;
+
+  /// Address of a named local; throws std::out_of_range if absent.
+  Address local(const std::string& name) const;
+};
+
+/// Outcome of a simulated function return.
+struct ReturnResult {
+  Address return_to = 0;      ///< value read from the RA slot at return time
+  bool canary_intact = true;  ///< StackGuard check (true when no canary)
+  bool return_address_tampered = false;
+  Address original_return_address = 0;
+};
+
+/// Manages simulated frames on a Memory's stack segment.
+class CallStack {
+ public:
+  explicit CallStack(Memory& mem, FrameOptions defaults = {});
+
+  /// Pushes a frame for @p function returning to @p return_address.
+  /// @p options overrides the default frame shape for this frame only.
+  Frame& push_frame(const std::string& function, Address return_address,
+                    std::optional<FrameOptions> options = std::nullopt);
+
+  /// Reserves a local in the current frame; returns its address.  Locals
+  /// are allocated downward in push order, each aligned to @p align
+  /// (defaults to the machine word alignment).  Also records an
+  /// allocation-style label for diagnostics.
+  Address push_local(const std::string& name, std::size_t size,
+                     std::size_t align = 0);
+
+  Frame& current();
+  const Frame& current() const;
+  std::size_t depth() const { return frames_.size(); }
+
+  /// Simulates the function epilogue: reads the (possibly corrupted)
+  /// return address back from memory, verifies the canary if present, and
+  /// pops the frame restoring the stack pointer.
+  ReturnResult pop_frame();
+
+ private:
+  Memory& mem_;
+  FrameOptions defaults_;
+  std::vector<Frame> frames_;
+  std::uint32_t next_canary_ = 0xC0DE0001;  // deterministic per-frame values
+};
+
+}  // namespace pnlab::memsim

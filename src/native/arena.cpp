@@ -1,0 +1,134 @@
+#include "native/arena.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pnlab::native {
+
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t capacity, ArenaOptions options)
+    : options_(options), buffer_(capacity, options.fill_pattern) {}
+
+std::span<std::byte> Arena::allocate(std::size_t size, std::size_t align) {
+  if (size == 0) {
+    throw std::invalid_argument("zero-sized arena allocation");
+  }
+  const std::size_t guard = options_.use_canaries ? kCanarySize : 0;
+
+  // Layout: [front canary][payload (aligned)][back canary]
+  std::size_t payload_offset = align_up(bump_ + guard, align);
+  const std::size_t end = payload_offset + size + guard;
+  if (end > buffer_.size()) {
+    throw placement_error(
+        placement_errc::insufficient_space,
+        "arena exhausted: need " + std::to_string(end - bump_) +
+            " bytes, have " + std::to_string(buffer_.size() - bump_));
+  }
+
+  Block block{payload_offset, size, /*live=*/true};
+  if (options_.use_canaries) write_canaries(block);
+  bump_ = end;
+  ++total_allocations_;
+  live_by_offset_[payload_offset] = blocks_.size();
+  blocks_.push_back(block);
+  return {buffer_.data() + payload_offset, size};
+}
+
+void Arena::write_canaries(const Block& block) {
+  std::uint64_t canary = kCanary;
+  std::memcpy(buffer_.data() + block.payload_offset - kCanarySize, &canary,
+              kCanarySize);
+  std::memcpy(buffer_.data() + block.payload_offset + block.payload_size,
+              &canary, kCanarySize);
+}
+
+bool Arena::canaries_intact(const Block& block) const {
+  if (!options_.use_canaries) return true;
+  std::uint64_t front = 0;
+  std::uint64_t back = 0;
+  std::memcpy(&front, buffer_.data() + block.payload_offset - kCanarySize,
+              kCanarySize);
+  std::memcpy(&back,
+              buffer_.data() + block.payload_offset + block.payload_size,
+              kCanarySize);
+  return front == kCanary && back == kCanary;
+}
+
+Arena::Block* Arena::find_block(std::byte* payload) {
+  if (payload < buffer_.data() ||
+      payload >= buffer_.data() + buffer_.size()) {
+    return nullptr;
+  }
+  const auto offset = static_cast<std::size_t>(payload - buffer_.data());
+  auto it = live_by_offset_.find(offset);
+  if (it == live_by_offset_.end()) return nullptr;
+  return &blocks_[it->second];
+}
+
+void Arena::release(std::byte* payload) {
+  Block* block = find_block(payload);
+  if (block == nullptr) {
+    throw std::logic_error("release of a pointer not allocated here");
+  }
+  if (!canaries_intact(*block)) ++canary_violations_;
+  block->live = false;
+  live_by_offset_.erase(block->payload_offset);
+  if (options_.sanitize_on_release) {
+    std::memset(buffer_.data() + block->payload_offset,
+                std::to_integer<int>(options_.fill_pattern),
+                block->payload_size);
+  }
+}
+
+std::size_t Arena::check() {
+  std::size_t violations = 0;
+  for (const Block& block : blocks_) {
+    if (block.live && !canaries_intact(block)) ++violations;
+  }
+  canary_violations_ += violations;
+  return violations;
+}
+
+std::size_t Arena::release_all() {
+  const std::size_t violations = check();
+  blocks_.clear();
+  live_by_offset_.clear();
+  bump_ = 0;
+  if (options_.sanitize_on_release) {
+    std::memset(buffer_.data(), std::to_integer<int>(options_.fill_pattern),
+                buffer_.size());
+  }
+  return violations;
+}
+
+ArenaStats Arena::stats() const {
+  ArenaStats s;
+  s.capacity = buffer_.size();
+  s.bytes_reserved = bump_;
+  s.total_allocations = total_allocations_;
+  s.canary_violations = canary_violations_;
+  for (const Block& block : blocks_) {
+    if (block.live) {
+      ++s.live_blocks;
+      s.bytes_in_use += block.payload_size;
+    }
+  }
+  return s;
+}
+
+std::size_t Arena::leaked_bytes() const {
+  std::size_t leaked = 0;
+  for (const Block& block : blocks_) {
+    if (block.live) leaked += block.payload_size;
+  }
+  return leaked;
+}
+
+}  // namespace pnlab::native

@@ -1,0 +1,77 @@
+#include "native/poc.h"
+
+#include <cstring>
+#include <new>
+#include <vector>
+
+namespace pnlab::native::poc {
+
+OverflowReport demonstrate_object_overflow() {
+  OverflowReport report;
+  report.arena_size = sizeof(Student);
+  report.object_size = sizeof(GradStudent);
+
+  // One owned buffer: [ Student-sized arena | sentinel region ].  All
+  // bytes belong to this vector, so writing and reading any of them is
+  // well-defined; the "overflow" is overflow of the *arena*, exactly as
+  // in the paper.
+  std::vector<std::byte> buffer(sizeof(Student) + 64,
+                                std::byte{0xEE});  // sentinel pattern
+
+  GradStudent* gs = ::new (static_cast<void*>(buffer.data())) GradStudent();
+  gs->ssn[0] = 0x41414141;
+  gs->ssn[1] = 0x42424242;
+  gs->ssn[2] = 0x43434343;
+
+  for (std::size_t i = sizeof(Student); i < buffer.size(); ++i) {
+    if (buffer[i] != std::byte{0xEE}) {
+      ++report.bytes_past_arena;
+    }
+  }
+  report.corrupted_neighbor = report.bytes_past_arena > 0;
+  gs->~GradStudent();
+  return report;
+}
+
+ResidueReport demonstrate_residue(std::size_t buffer_size,
+                                  std::size_t user_bytes,
+                                  bool sanitize_first) {
+  ResidueReport report;
+  report.buffer_size = buffer_size;
+  report.user_bytes = user_bytes;
+
+  std::vector<std::byte> pool(buffer_size, std::byte{'S'});  // "secret"
+  if (sanitize_first) {
+    std::memset(pool.data(), 0, pool.size());
+  }
+
+  // char *userdata = new (mem_pool) char[user_bytes];
+  char* userdata = ::new (static_cast<void*>(pool.data())) char[user_bytes];
+  std::memset(userdata, 'u', user_bytes);
+
+  // store(userdata) persists the whole window; count secret residue.
+  for (std::size_t i = user_bytes; i < buffer_size; ++i) {
+    if (pool[i] == std::byte{'S'}) ++report.residue_readable;
+  }
+  return report;
+}
+
+LeakReport demonstrate_release_through_smaller_type(std::size_t iterations) {
+  LeakReport report;
+  report.iterations = iterations;
+  report.bytes_lost_per_iteration = sizeof(GradStudent) - sizeof(Student);
+
+  // Model the accounting, not the crash: each iteration allocates a
+  // GradStudent-sized arena but the program's bookkeeping (releasing
+  // "through" Student) only ever credits sizeof(Student) back.
+  std::size_t reclaimed = 0;
+  std::size_t allocated = 0;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    allocated += sizeof(GradStudent);
+    reclaimed += sizeof(Student);
+  }
+  report.total_stranded = allocated - reclaimed;
+  return report;
+}
+
+}  // namespace pnlab::native::poc

@@ -1,0 +1,55 @@
+// Native proofs-of-concept: the paper's effects demonstrated in real
+// C++, confined to buffers this process owns so every observation is
+// well-defined.  (The full attack catalogue — return addresses, vptrs,
+// canaries — runs in the simulator; see src/attacks.  These PoCs show
+// the raw language behaviour is exactly what the paper says it is.)
+#pragma once
+
+#include <cstddef>
+
+namespace pnlab::native::poc {
+
+/// The paper's running-example types, as real C++ (§2.2).
+struct Student {
+  double gpa = 0.0;
+  int year = 0;
+  int semester = 0;
+};
+
+struct GradStudent : Student {
+  int ssn[3] = {0, 0, 0};
+};
+
+/// Placement of a GradStudent into a Student-sized prefix of an owned
+/// buffer: the ssn[] bytes land beyond sizeof(Student) — the object
+/// overflow of §3.1, observed byte-for-byte.
+struct OverflowReport {
+  std::size_t arena_size = 0;      ///< sizeof(Student)
+  std::size_t object_size = 0;     ///< sizeof(GradStudent)
+  std::size_t bytes_past_arena = 0;  ///< bytes modified beyond the arena
+  bool corrupted_neighbor = false;   ///< sentinel after the arena changed
+};
+OverflowReport demonstrate_object_overflow();
+
+/// Listing 21's information leak: a buffer holds secret data, a smaller
+/// "user" buffer is placed over it, and the residue past the user bytes
+/// is still readable — unless sanitized first.
+struct ResidueReport {
+  std::size_t buffer_size = 0;
+  std::size_t user_bytes = 0;
+  std::size_t residue_readable = 0;  ///< secret bytes still present
+};
+ResidueReport demonstrate_residue(std::size_t buffer_size,
+                                  std::size_t user_bytes,
+                                  bool sanitize_first);
+
+/// Listing 23's leak arithmetic in real C++: repeatedly "free through"
+/// the smaller type and report stranded bytes per iteration.
+struct LeakReport {
+  std::size_t iterations = 0;
+  std::size_t bytes_lost_per_iteration = 0;
+  std::size_t total_stranded = 0;
+};
+LeakReport demonstrate_release_through_smaller_type(std::size_t iterations);
+
+}  // namespace pnlab::native::poc

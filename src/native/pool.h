@@ -1,0 +1,95 @@
+// Fixed-slot typed object pool on top of checked placement.
+//
+// The §2.2 pattern — "place an instance of a subclass into memory
+// pre-allocated for the superclass" — done safely: every slot is sized
+// and aligned for the *largest* type the pool is declared for, acquire()
+// is checked at compile time, and released slots are scrubbed before
+// reuse so no residue crosses tenants (§4.3).
+#pragma once
+
+#include <bitset>
+#include <cstddef>
+#include <new>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "native/safe_placement.h"
+
+namespace pnlab::native {
+
+/// A pool of N slots, each able to hold any U with sizeof(U) <= SlotSize
+/// and alignof(U) <= SlotAlign.
+template <std::size_t SlotSize, std::size_t SlotAlign = alignof(std::max_align_t)>
+class SlottedPool {
+  static_assert(SlotAlign <= alignof(std::max_align_t),
+                "slot alignment cannot exceed heap alignment");
+  static_assert(SlotSize % SlotAlign == 0,
+                "slot size must be a multiple of the slot alignment so "
+                "every slot base stays aligned");
+
+ public:
+  explicit SlottedPool(std::size_t slots)
+      : storage_(slots * SlotSize), used_(slots, false) {}
+
+  std::size_t capacity() const { return used_.size(); }
+  std::size_t in_use() const {
+    std::size_t n = 0;
+    for (bool u : used_) n += u ? 1 : 0;
+    return n;
+  }
+
+  /// Constructs a U in a free slot; compile-time size/align enforcement.
+  template <typename U, typename... Args>
+  U* acquire(Args&&... args) {
+    static_assert(sizeof(U) <= SlotSize,
+                  "type too large for this pool's slots — the exact bug "
+                  "the paper exploits, rejected at compile time");
+    static_assert(alignof(U) <= SlotAlign, "over-aligned type for slot");
+    for (std::size_t i = 0; i < used_.size(); ++i) {
+      if (!used_[i]) {
+        used_[i] = true;
+        return checked_placement_new<U>(slot(i),
+                                        std::forward<Args>(args)...);
+      }
+    }
+    throw placement_error(placement_errc::insufficient_space,
+                          "pool exhausted");
+  }
+
+  /// Destroys @p object and scrubs its slot.
+  template <typename U>
+  void release(U* object) {
+    if (object == nullptr) return;
+    const std::size_t i = index_of(reinterpret_cast<std::byte*>(object));
+    object->~U();
+    sanitize(slot(i));
+    used_[i] = false;
+  }
+
+ private:
+  std::span<std::byte> slot(std::size_t i) {
+    return {storage_.data() + i * SlotSize, SlotSize};
+  }
+
+  std::size_t index_of(std::byte* p) {
+    if (p < storage_.data() ||
+        p >= storage_.data() + storage_.size()) {
+      throw std::logic_error("pointer does not belong to this pool");
+    }
+    const auto offset = static_cast<std::size_t>(p - storage_.data());
+    if (offset % SlotSize != 0) {
+      throw std::logic_error("pointer is not a slot base");
+    }
+    const std::size_t i = offset / SlotSize;
+    if (!used_[i]) throw std::logic_error("double release of pool slot");
+    return i;
+  }
+
+  // vector data is max_align-aligned by the allocator; together with the
+  // SlotSize % SlotAlign == 0 invariant every slot base stays aligned.
+  std::vector<std::byte> storage_;
+  std::vector<bool> used_;
+};
+
+}  // namespace pnlab::native

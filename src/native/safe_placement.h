@@ -1,0 +1,165 @@
+// Safe placement-new for real C++ programs.
+//
+// This is the library a codebase adopts to keep using placement new
+// (memory pools, deserialization, allocation-free hot paths — the §2.1
+// use cases) without the vulnerability class the paper demonstrates:
+//
+//   std::byte buf[64];
+//   auto* s = pnlab::native::checked_placement_new<Student>(buf, 3.9, 2008);
+//
+// performs the §5.1 checks the raw expression skips: the target span must
+// be large enough and correctly aligned, or placement_error is thrown —
+// no silent object overflow.  scoped_placement<T> adds RAII destruction
+// (C++ has no "placement delete"; §4.5's leaks come from forgetting the
+// manual destructor call).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <typeinfo>
+#include <utility>
+
+namespace pnlab::native {
+
+/// Why a checked placement was refused.
+enum class placement_errc {
+  insufficient_space,  ///< sizeof(T) (or the array) exceeds the target span
+  misaligned,          ///< target address violates alignof(T)
+  null_target,
+};
+
+/// Thrown by the checked placement functions.
+class placement_error : public std::runtime_error {
+ public:
+  placement_error(placement_errc code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  placement_errc code() const { return code_; }
+
+ private:
+  placement_errc code_;
+};
+
+namespace detail {
+
+inline void check_target(std::span<std::byte> target, std::size_t size,
+                         std::size_t align, const char* type_name) {
+  if (target.data() == nullptr) {
+    throw placement_error(placement_errc::null_target,
+                          "placement target is null");
+  }
+  if (target.size() < size) {
+    throw placement_error(
+        placement_errc::insufficient_space,
+        std::string("placing ") + type_name + " of " + std::to_string(size) +
+            " bytes into a span of " + std::to_string(target.size()) +
+            " bytes");
+  }
+  const auto addr = reinterpret_cast<std::uintptr_t>(target.data());
+  if (align > 1 && addr % align != 0) {
+    throw placement_error(placement_errc::misaligned,
+                          std::string("target address not aligned to ") +
+                              std::to_string(align) + " for " + type_name);
+  }
+}
+
+}  // namespace detail
+
+/// `new (buf) T(args...)` with the §5.1 bounds and alignment checks.
+/// Returns the constructed object; throws placement_error instead of
+/// overflowing.
+template <typename T, typename... Args>
+T* checked_placement_new(std::span<std::byte> target, Args&&... args) {
+  detail::check_target(target, sizeof(T), alignof(T), typeid(T).name());
+  return ::new (static_cast<void*>(target.data()))
+      T(std::forward<Args>(args)...);
+}
+
+/// `new (buf) T[count]` for trivially-destructible element types.
+/// Value-initializes every element (so no §4.3 residue is readable
+/// through the new array).
+template <typename T>
+T* checked_placement_array(std::span<std::byte> target, std::size_t count) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "array placement supports trivially destructible elements");
+  detail::check_target(target, sizeof(T) * count, alignof(T),
+                       typeid(T).name());
+  T* first = reinterpret_cast<T*>(target.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    ::new (static_cast<void*>(first + i)) T();
+  }
+  return first;
+}
+
+/// Scrubs a span before reuse (§5.1 "Information Leaks": sanitize the
+/// whole arena, not just the gap you think matters).
+inline void sanitize(std::span<std::byte> arena,
+                     std::byte value = std::byte{0}) {
+  if (!arena.empty()) {
+    std::memset(arena.data(), std::to_integer<int>(value), arena.size());
+  }
+}
+
+/// RAII placement: constructs T into the span on acquisition, runs ~T()
+/// on scope exit, and optionally sanitizes the arena afterwards — the
+/// "placement delete" discipline §5.1 recommends, made automatic.
+template <typename T>
+class scoped_placement {
+ public:
+  template <typename... Args>
+  explicit scoped_placement(std::span<std::byte> arena, Args&&... args)
+      : arena_(arena),
+        object_(checked_placement_new<T>(arena,
+                                         std::forward<Args>(args)...)) {}
+
+  scoped_placement(const scoped_placement&) = delete;
+  scoped_placement& operator=(const scoped_placement&) = delete;
+
+  scoped_placement(scoped_placement&& other) noexcept
+      : arena_(other.arena_),
+        object_(std::exchange(other.object_, nullptr)),
+        sanitize_on_destroy_(other.sanitize_on_destroy_) {}
+
+  scoped_placement& operator=(scoped_placement&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      arena_ = other.arena_;
+      object_ = std::exchange(other.object_, nullptr);
+      sanitize_on_destroy_ = other.sanitize_on_destroy_;
+    }
+    return *this;
+  }
+
+  ~scoped_placement() { destroy(); }
+
+  T* get() const { return object_; }
+  T* operator->() const { return object_; }
+  T& operator*() const { return *object_; }
+
+  /// Scrub the arena after destruction (stops §4.3 residue leaks).
+  void set_sanitize_on_destroy(bool on) { sanitize_on_destroy_ = on; }
+
+  /// Destroys the object early; the wrapper becomes empty.
+  void reset() { destroy(); }
+  bool empty() const { return object_ == nullptr; }
+
+ private:
+  void destroy() {
+    if (object_ != nullptr) {
+      object_->~T();
+      object_ = nullptr;
+      if (sanitize_on_destroy_) sanitize(arena_);
+    }
+  }
+
+  std::span<std::byte> arena_;
+  T* object_ = nullptr;
+  bool sanitize_on_destroy_ = false;
+};
+
+}  // namespace pnlab::native

@@ -1,0 +1,58 @@
+#include "objmodel/corpus.h"
+
+namespace pnlab::objmodel::corpus {
+
+void define_student_types(TypeRegistry& registry) {
+  registry.define(ClassSpec{"Student",
+                            "",
+                            {MemberSpec::of_double("gpa"),
+                             MemberSpec::of_int("year"),
+                             MemberSpec::of_int("semester")},
+                            {}, {}});
+  registry.define(
+      ClassSpec{"GradStudent", "Student", {MemberSpec::of_int("ssn", 3)}, {}, {}});
+}
+
+void define_virtual_student_types(TypeRegistry& registry) {
+  registry.define(ClassSpec{"VStudent",
+                            "",
+                            {MemberSpec::of_double("gpa"),
+                             MemberSpec::of_int("year"),
+                             MemberSpec::of_int("semester")},
+                            {"getInfo"},
+                            {}});
+  registry.define(ClassSpec{"VGradStudent",
+                            "VStudent",
+                            {MemberSpec::of_int("ssn", 3)},
+                            {"getInfo"},
+                            {}});
+}
+
+void define_multiple_inheritance_types(TypeRegistry& registry) {
+  registry.define(ClassSpec{"Logger",
+                            "",
+                            {MemberSpec::of_int("level")},
+                            {"log"},
+                            {}});
+  registry.define(ClassSpec{"SecuredStudent",
+                            "VStudent",
+                            {},
+                            {},
+                            /*secondary_bases=*/{"Logger"}});
+  registry.define(ClassSpec{"EvilRoster",
+                            "VStudent",
+                            {MemberSpec::of_int("entries", 8)},
+                            {},
+                            {}});
+}
+
+void define_mobile_player(TypeRegistry& registry) {
+  registry.define(ClassSpec{"MobilePlayer",
+                            "",
+                            {MemberSpec::of_class("stud1", "Student"),
+                             MemberSpec::of_class("stud2", "Student"),
+                             MemberSpec::of_int("n")},
+                            {}, {}});
+}
+
+}  // namespace pnlab::objmodel::corpus

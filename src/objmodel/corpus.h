@@ -1,0 +1,35 @@
+// The paper's running-example class corpus (§2.2, Listings 1-23).
+//
+//   class Student      { double gpa; int year, semester; };
+//   class GradStudent : Student { int ssn[3]; };
+//   class MobilePlayer { Student stud1, stud2; int n; };   (Listing 10)
+//
+// Variants with a `virtual char* getInfo()` (§3.8.2) carry a vptr at
+// offset 0.  Under the paper's ILP32 model: sizeof(Student) == 16,
+// sizeof(GradStudent) == 28 (20/32 with vptr), so placing a GradStudent
+// into a Student arena overflows by exactly sizeof(int ssn[3]) == 12
+// attacker-controlled bytes.
+#pragma once
+
+#include "objmodel/types.h"
+
+namespace pnlab::objmodel::corpus {
+
+/// Defines Student / GradStudent (non-virtual) in @p registry.
+void define_student_types(TypeRegistry& registry);
+
+/// Defines VStudent / VGradStudent, identical but with virtual getInfo().
+void define_virtual_student_types(TypeRegistry& registry);
+
+/// Defines MobilePlayer { Student stud1, stud2; int n; } (Listing 10).
+/// Requires define_student_types() to have run.
+void define_mobile_player(TypeRegistry& registry);
+
+/// Defines the §3.8.2 multiple-inheritance corpus: Logger (polymorphic),
+/// SecuredStudent : VStudent + secondary Logger (two vptrs), and
+/// EvilRoster : VStudent with a large trailing array (the overflow
+/// vehicle that can reach an interior vptr).  Requires
+/// define_virtual_student_types() to have run.
+void define_multiple_inheritance_types(TypeRegistry& registry);
+
+}  // namespace pnlab::objmodel::corpus

@@ -1,0 +1,166 @@
+#include "objmodel/object.h"
+
+#include <stdexcept>
+
+namespace pnlab::objmodel {
+
+Object::Object(TypeRegistry& registry, Address addr, const ClassInfo& cls)
+    : registry_(&registry), addr_(addr), cls_(&cls) {}
+
+void Object::install_vptr() {
+  if (cls_->has_vptr) {
+    registry_->memory().write_ptr(addr_, cls_->vtable_addr);
+  }
+  // Each polymorphic secondary base gets its own interior vptr (§3.8.2:
+  // "in case of multiple inheritance, there are more than one vtable
+  // pointers in a given instance").
+  for (const SecondaryBase& sb : cls_->secondary_bases) {
+    if (sb.has_vptr) {
+      registry_->memory().write_ptr(
+          addr_ + sb.offset, registry_->get(sb.class_name).vtable_addr);
+    }
+  }
+}
+
+Address Object::read_vptr() const {
+  if (!cls_->has_vptr) {
+    throw std::logic_error("class " + cls_->name + " has no vptr");
+  }
+  return registry_->memory().read_ptr(addr_);
+}
+
+void Object::write_vptr(Address value) {
+  registry_->memory().write_ptr(addr_, value);
+}
+
+Address Object::member_address(const std::string& name,
+                               std::size_t index) const {
+  const MemberLayout& m = cls_->member(name);
+  if (index >= m.spec.count) {
+    // Deliberately *allowed*: indexing past a member array is exactly how
+    // the paper's listings overflow (e.g. Listing 6's courseid copy loop).
+    // The address is still computed; the write lands wherever it lands.
+  }
+  return addr_ + m.offset + index * m.elem_size;
+}
+
+void Object::check_member(const MemberLayout& m, MemberSpec::Kind kind,
+                          std::size_t /*index*/) const {
+  if (m.spec.kind != kind) {
+    throw std::logic_error("member " + cls_->name + "::" + m.spec.name +
+                           " accessed with wrong type");
+  }
+}
+
+std::int32_t Object::read_int(const std::string& name,
+                              std::size_t index) const {
+  check_member(cls_->member(name), MemberSpec::Kind::Int, index);
+  return registry_->memory().read_i32(member_address(name, index));
+}
+
+void Object::write_int(const std::string& name, std::int32_t v,
+                       std::size_t index) {
+  check_member(cls_->member(name), MemberSpec::Kind::Int, index);
+  registry_->memory().write_i32(member_address(name, index), v);
+}
+
+double Object::read_double(const std::string& name) const {
+  check_member(cls_->member(name), MemberSpec::Kind::Double, 0);
+  return registry_->memory().read_f64(member_address(name));
+}
+
+void Object::write_double(const std::string& name, double v) {
+  check_member(cls_->member(name), MemberSpec::Kind::Double, 0);
+  registry_->memory().write_f64(member_address(name), v);
+}
+
+Address Object::read_pointer(const std::string& name) const {
+  check_member(cls_->member(name), MemberSpec::Kind::Pointer, 0);
+  return registry_->memory().read_ptr(member_address(name));
+}
+
+void Object::write_pointer(const std::string& name, Address v) {
+  check_member(cls_->member(name), MemberSpec::Kind::Pointer, 0);
+  registry_->memory().write_ptr(member_address(name), v);
+}
+
+std::uint8_t Object::read_char(const std::string& name,
+                               std::size_t index) const {
+  check_member(cls_->member(name), MemberSpec::Kind::Char, index);
+  return registry_->memory().read_u8(member_address(name, index));
+}
+
+void Object::write_char(const std::string& name, std::uint8_t v,
+                        std::size_t index) {
+  check_member(cls_->member(name), MemberSpec::Kind::Char, index);
+  registry_->memory().write_u8(member_address(name, index), v);
+}
+
+Object Object::member_object(const std::string& name) const {
+  const MemberLayout& m = cls_->member(name);
+  if (m.spec.kind != MemberSpec::Kind::ClassType) {
+    throw std::logic_error("member " + name + " is not of class type");
+  }
+  return Object(*registry_, addr_ + m.offset,
+                registry_->get(m.spec.class_name));
+}
+
+Object Object::secondary_base_view(const std::string& base_name) const {
+  const SecondaryBase& sb = cls_->secondary_base(base_name);
+  return Object(*registry_, addr_ + sb.offset,
+                registry_->get(sb.class_name));
+}
+
+DispatchResult Object::virtual_call(const std::string& function) const {
+  Memory& mem = registry_->memory();
+  DispatchResult result;
+
+  const int index = cls_->vtable_index(function);
+  if (index < 0) {
+    throw std::logic_error("function " + function + " is not virtual in " +
+                           cls_->name);
+  }
+
+  Address vptr = 0;
+  try {
+    vptr = mem.read_ptr(addr_);
+  } catch (const memsim::MemoryFault&) {
+    result.outcome = DispatchResult::Outcome::Crash;
+    result.detail = "object memory unmapped";
+    return result;
+  }
+
+  const std::size_t ptr = mem.model().pointer_size;
+  Address slot_value = 0;
+  try {
+    slot_value = mem.read_ptr(vptr + static_cast<Address>(index) * ptr);
+  } catch (const memsim::MemoryFault&) {
+    result.outcome = DispatchResult::Outcome::Crash;
+    result.detail = "vptr points outside mapped memory";
+    return result;
+  }
+
+  result.target = slot_value;
+  const memsim::TextSymbol* sym = mem.text_symbol_at(slot_value);
+  if (sym != nullptr) {
+    result.symbol = sym->name;
+    result.outcome = registry_->class_by_vtable(vptr) != nullptr
+                         ? DispatchResult::Outcome::Dispatched
+                         : DispatchResult::Outcome::Hijacked;
+    result.detail = registry_->class_by_vtable(vptr) != nullptr
+                        ? "legitimate dispatch"
+                        : "forged vtable redirected dispatch";
+    return result;
+  }
+
+  if (mem.is_executable(slot_value)) {
+    result.outcome = DispatchResult::Outcome::Hijacked;
+    result.detail = "control transferred to attacker-chosen code address";
+  } else {
+    result.outcome = DispatchResult::Outcome::Crash;
+    result.detail = "call target not executable";
+  }
+  return result;
+}
+
+}  // namespace pnlab::objmodel

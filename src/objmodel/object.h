@@ -1,0 +1,80 @@
+// A typed view of a class instance living in simulated memory, plus the
+// virtual-dispatch machinery that vptr-subterfuge attacks subvert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "objmodel/types.h"
+
+namespace pnlab::objmodel {
+
+/// Result of a simulated virtual call.
+struct DispatchResult {
+  enum class Outcome {
+    Dispatched,     ///< landed on a legitimate vtable implementation
+    Hijacked,       ///< vptr pointed at memory forged by the attacker
+    Crash,          ///< vptr or slot pointed at unmapped/non-code memory
+  };
+
+  Outcome outcome = Outcome::Crash;
+  Address target = 0;       ///< function address control transferred to
+  std::string symbol;       ///< resolved text symbol, if any
+  std::string detail;
+};
+
+/// Non-owning typed view over an instance at a fixed address.
+///
+/// All reads and writes go through the Memory byte store, so the view
+/// faithfully observes corruption performed by other code (that is the
+/// whole point of the simulator).
+class Object {
+ public:
+  Object(TypeRegistry& registry, Address addr, const ClassInfo& cls);
+
+  Address address() const { return addr_; }
+  const ClassInfo& cls() const { return *cls_; }
+
+  /// Installs the class vtable pointer (what the compiler-emitted
+  /// constructor prologue does).  No-op for classes without virtuals.
+  void install_vptr();
+  Address read_vptr() const;
+  void write_vptr(Address value);  ///< attacker primitive
+
+  Address member_address(const std::string& name, std::size_t index = 0) const;
+
+  std::int32_t read_int(const std::string& name, std::size_t index = 0) const;
+  void write_int(const std::string& name, std::int32_t v,
+                 std::size_t index = 0);
+  double read_double(const std::string& name) const;
+  void write_double(const std::string& name, double v);
+  Address read_pointer(const std::string& name) const;
+  void write_pointer(const std::string& name, Address v);
+  std::uint8_t read_char(const std::string& name, std::size_t index = 0) const;
+  void write_char(const std::string& name, std::uint8_t v,
+                  std::size_t index = 0);
+
+  /// An Object view of an embedded class-type member.
+  Object member_object(const std::string& name) const;
+
+  /// An Object view of a secondary (non-primary) base subobject — the
+  /// §3.8.2 multiple-inheritance case.  Virtual calls through this view
+  /// dispatch via the *interior* vptr at the subobject offset.
+  Object secondary_base_view(const std::string& base_name) const;
+
+  /// Simulates `obj->fn()`: loads the vptr from memory, indexes the slot,
+  /// loads the function pointer, and resolves where control lands.  A
+  /// corrupted vptr yields Hijacked (if it lands on readable memory whose
+  /// "slot" resolves to executable bytes the attacker chose) or Crash.
+  DispatchResult virtual_call(const std::string& function) const;
+
+ private:
+  void check_member(const MemberLayout& m, MemberSpec::Kind kind,
+                    std::size_t index) const;
+
+  TypeRegistry* registry_;
+  Address addr_;
+  const ClassInfo* cls_;
+};
+
+}  // namespace pnlab::objmodel

@@ -1,0 +1,220 @@
+#include "objmodel/types.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnlab::objmodel {
+
+using memsim::align_up;
+
+const MemberLayout& ClassInfo::member(const std::string& member_name) const {
+  for (const auto& m : members) {
+    if (m.spec.name == member_name) return m;
+  }
+  throw std::out_of_range("class " + name + " has no member '" + member_name +
+                          "'");
+}
+
+bool ClassInfo::has_member(const std::string& member_name) const {
+  return std::any_of(members.begin(), members.end(), [&](const auto& m) {
+    return m.spec.name == member_name;
+  });
+}
+
+const SecondaryBase& ClassInfo::secondary_base(
+    const std::string& base_name) const {
+  for (const auto& sb : secondary_bases) {
+    if (sb.class_name == base_name) return sb;
+  }
+  throw std::out_of_range("class " + name + " has no secondary base " +
+                          base_name);
+}
+
+int ClassInfo::vtable_index(const std::string& function) const {
+  for (std::size_t i = 0; i < vtable.size(); ++i) {
+    if (vtable[i].function == function) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TypeRegistry::TypeRegistry(Memory& mem) : mem_(mem) {}
+
+std::size_t TypeRegistry::scalar_size(MemberSpec::Kind kind) const {
+  const auto& m = mem_.model();
+  switch (kind) {
+    case MemberSpec::Kind::Int:
+      return m.int_size;
+    case MemberSpec::Kind::Double:
+      return m.double_size;
+    case MemberSpec::Kind::Char:
+      return 1;
+    case MemberSpec::Kind::Pointer:
+      return m.pointer_size;
+    case MemberSpec::Kind::ClassType:
+      throw std::logic_error("scalar_size on class-type member");
+  }
+  return 0;
+}
+
+std::size_t TypeRegistry::scalar_align(MemberSpec::Kind kind) const {
+  const auto& m = mem_.model();
+  switch (kind) {
+    case MemberSpec::Kind::Int:
+      return m.int_size;
+    case MemberSpec::Kind::Double:
+      return m.double_align;
+    case MemberSpec::Kind::Char:
+      return 1;
+    case MemberSpec::Kind::Pointer:
+      return m.pointer_size;
+    case MemberSpec::Kind::ClassType:
+      throw std::logic_error("scalar_align on class-type member");
+  }
+  return 1;
+}
+
+const ClassInfo& TypeRegistry::define(const ClassSpec& spec) {
+  if (classes_.contains(spec.name)) {
+    throw std::invalid_argument("class '" + spec.name + "' already defined");
+  }
+
+  ClassInfo info;
+  info.name = spec.name;
+  info.base = spec.base;
+
+  const ClassInfo* base = nullptr;
+  if (!spec.base.empty()) {
+    base = &get(spec.base);
+    info.vtable = base->vtable;  // inherit, then override below
+    info.has_vptr = base->has_vptr;
+    info.align = base->align;
+  }
+  if (!spec.virtual_functions.empty()) info.has_vptr = true;
+
+  const std::size_t ptr = mem_.model().pointer_size;
+  std::size_t offset = 0;
+
+  if (info.has_vptr) {
+    offset = ptr;
+    info.align = std::max(info.align, ptr);
+  }
+
+  // Base-class members, re-based after the (possibly newly introduced)
+  // vptr.  When the base already had a vptr its members keep their
+  // offsets; when this class introduces one, base members shift up.
+  if (base != nullptr) {
+    const std::size_t shift =
+        (info.has_vptr && !base->has_vptr) ? ptr : 0;
+    for (MemberLayout m : base->members) {
+      m.offset += shift;
+      info.members.push_back(std::move(m));
+    }
+    // Derived members start after the full base subobject (including its
+    // tail padding), matching the non-POD Itanium layout gcc 4.4 used for
+    // classes with constructors as in the paper's corpus.
+    offset = base->size + shift;
+  }
+
+  // Secondary base subobjects follow the primary-base part, each keeping
+  // its own layout (and interior vptr) intact; their members are exposed
+  // with "Base::member" qualified names to avoid collisions.
+  for (const std::string& sec_name : spec.secondary_bases) {
+    const ClassInfo& sec = get(sec_name);
+    offset = align_up(offset, sec.align);
+    SecondaryBase sb{sec_name, offset, sec.has_vptr};
+    for (MemberLayout m : sec.members) {
+      m.offset += offset;
+      m.spec.name = sec_name + "::" + m.spec.name;
+      info.members.push_back(std::move(m));
+    }
+    info.secondary_bases.push_back(sb);
+    offset += sec.size;
+    info.align = std::max(info.align, sec.align);
+  }
+
+  for (const auto& ms : spec.members) {
+    MemberLayout layout;
+    layout.spec = ms;
+    layout.declared_in = spec.name;
+    if (ms.kind == MemberSpec::Kind::ClassType) {
+      const ClassInfo& embedded = get(ms.class_name);
+      layout.elem_size = embedded.size;
+      layout.align = embedded.align;
+    } else {
+      layout.elem_size = scalar_size(ms.kind);
+      layout.align = scalar_align(ms.kind);
+    }
+    layout.size = layout.elem_size * ms.count;
+    offset = align_up(offset, layout.align);
+    layout.offset = offset;
+    offset += layout.size;
+    info.align = std::max(info.align, layout.align);
+    info.members.push_back(std::move(layout));
+  }
+
+  if (info.align == 0) info.align = 1;
+  info.size = align_up(std::max<std::size_t>(offset, 1), info.align);
+
+  // Apply overrides and append newly declared virtuals.
+  for (const auto& fn : spec.virtual_functions) {
+    const Address impl =
+        mem_.add_text_symbol(spec.name + "::" + fn, /*privileged=*/false);
+    bool overridden = false;
+    for (auto& entry : info.vtable) {
+      if (entry.function == fn) {
+        entry.implemented_in = spec.name;
+        entry.impl_addr = impl;
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) {
+      info.vtable.push_back(VTableEntry{fn, spec.name, impl});
+    }
+  }
+
+  // Emit the vtable into the data segment.
+  if (info.has_vptr) {
+    const std::size_t bytes = std::max<std::size_t>(1, info.vtable.size()) *
+                              mem_.model().pointer_size;
+    info.vtable_addr = mem_.allocate(memsim::SegmentKind::Data, bytes,
+                                     "vtable:" + spec.name, ptr);
+    for (std::size_t i = 0; i < info.vtable.size(); ++i) {
+      mem_.write_ptr(info.vtable_addr + i * ptr, info.vtable[i].impl_addr);
+    }
+    vtable_index_[info.vtable_addr] = spec.name;
+  }
+
+  auto [it, inserted] = classes_.emplace(spec.name, std::move(info));
+  return it->second;
+}
+
+const ClassInfo& TypeRegistry::get(const std::string& name) const {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) {
+    throw std::out_of_range("class '" + name + "' is not defined");
+  }
+  return it->second;
+}
+
+bool TypeRegistry::contains(const std::string& name) const {
+  return classes_.contains(name);
+}
+
+const ClassInfo* TypeRegistry::class_by_vtable(Address addr) const {
+  auto it = vtable_index_.find(addr);
+  if (it == vtable_index_.end()) return nullptr;
+  return &classes_.at(it->second);
+}
+
+bool TypeRegistry::derives_from(const std::string& derived,
+                                const std::string& base) const {
+  std::string cur = derived;
+  while (!cur.empty()) {
+    if (cur == base) return true;
+    cur = get(cur).base;
+  }
+  return false;
+}
+
+}  // namespace pnlab::objmodel

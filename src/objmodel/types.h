@@ -1,0 +1,146 @@
+// Simulated C++ object model: class layouts and virtual tables.
+//
+// Layout follows a simplified Itanium C++ ABI, parameterized on the
+// machine model: a class with (inherited or own) virtual functions carries
+// a vptr as its first word; base-class members precede derived-class
+// members; each member is placed at the next offset aligned for its type;
+// the class size is padded to its alignment.  Virtual tables are emitted
+// into the simulated data segment and each virtual function body gets a
+// text-segment symbol, so that virtual dispatch — and its subversion via
+// vptr overwrite (§3.8.2) — happens entirely through simulated memory.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "memsim/memory.h"
+
+namespace pnlab::objmodel {
+
+using memsim::Address;
+using memsim::Memory;
+
+/// A data member declaration.
+struct MemberSpec {
+  enum class Kind { Int, Double, Char, Pointer, ClassType };
+
+  std::string name;
+  Kind kind = Kind::Int;
+  std::size_t count = 1;   ///< >1 declares an array member, e.g. int ssn[3]
+  std::string class_name;  ///< for Kind::ClassType: the embedded class
+
+  static MemberSpec of_int(std::string name, std::size_t count = 1) {
+    return {std::move(name), Kind::Int, count, {}};
+  }
+  static MemberSpec of_double(std::string name) {
+    return {std::move(name), Kind::Double, 1, {}};
+  }
+  static MemberSpec of_char(std::string name, std::size_t count = 1) {
+    return {std::move(name), Kind::Char, count, {}};
+  }
+  static MemberSpec of_pointer(std::string name) {
+    return {std::move(name), Kind::Pointer, 1, {}};
+  }
+  static MemberSpec of_class(std::string name, std::string class_name) {
+    return {std::move(name), Kind::ClassType, 1, std::move(class_name)};
+  }
+};
+
+/// A class declaration to be laid out by the registry.
+struct ClassSpec {
+  std::string name;
+  std::string base;  ///< empty for no base class; the *primary* base
+  std::vector<MemberSpec> members;
+  /// Virtual functions this class declares or overrides.  Introducing any
+  /// (directly or via the base) adds the vptr at offset 0.
+  std::vector<std::string> virtual_functions;
+  /// Additional (non-primary) bases — §3.8.2's multiple-inheritance case.
+  /// Each polymorphic secondary base contributes its own interior vptr,
+  /// giving overflows extra control-flow targets.
+  std::vector<std::string> secondary_bases;
+};
+
+/// A non-primary base subobject inside a laid-out class.
+struct SecondaryBase {
+  std::string class_name;
+  std::size_t offset = 0;  ///< subobject offset (its vptr, if any, is here)
+  bool has_vptr = false;
+};
+
+/// A laid-out member: spec plus computed offset/size/alignment.
+struct MemberLayout {
+  MemberSpec spec;
+  std::size_t offset = 0;
+  std::size_t size = 0;       ///< total size (element size * count)
+  std::size_t align = 0;
+  std::size_t elem_size = 0;  ///< size of one element
+  std::string declared_in;    ///< class that declared this member
+};
+
+/// One virtual-table slot.
+struct VTableEntry {
+  std::string function;        ///< e.g. "getInfo"
+  std::string implemented_in;  ///< class providing the implementation
+  Address impl_addr = 0;       ///< text symbol of the implementation
+};
+
+/// A fully laid-out class.
+struct ClassInfo {
+  std::string name;
+  std::string base;
+  std::size_t size = 0;
+  std::size_t align = 0;
+  bool has_vptr = false;
+  Address vtable_addr = 0;  ///< data-segment address of the emitted vtable
+  std::vector<MemberLayout> members;  ///< base members first, then own
+  std::vector<VTableEntry> vtable;
+  /// Secondary base subobjects, in declaration order.  Simplification vs
+  /// full Itanium: a secondary vptr points at the base class's own
+  /// vtable (no thunked derived overrides through the secondary view);
+  /// the attack surface — an interior vptr an overflow can redirect —
+  /// is modeled exactly.
+  std::vector<SecondaryBase> secondary_bases;
+  /// The subobject record for @p base; throws std::out_of_range.
+  const SecondaryBase& secondary_base(const std::string& base) const;
+
+  /// Layout of the named member; throws std::out_of_range if absent.
+  const MemberLayout& member(const std::string& name) const;
+  bool has_member(const std::string& name) const;
+  /// Index of @p function in the vtable; -1 if not virtual here.
+  int vtable_index(const std::string& function) const;
+};
+
+/// Owns class layouts and emits their vtables into simulated memory.
+class TypeRegistry {
+ public:
+  explicit TypeRegistry(Memory& mem);
+
+  /// Lays out @p spec (base must already be defined), emits its vtable
+  /// (if any) into the data segment, and returns the stored ClassInfo.
+  const ClassInfo& define(const ClassSpec& spec);
+
+  const ClassInfo& get(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  /// The class whose vtable lives at @p addr, or nullptr — this is how
+  /// virtual dispatch decides whether a (possibly corrupted) vptr still
+  /// points at a legitimate vtable.
+  const ClassInfo* class_by_vtable(Address addr) const;
+
+  /// True if @p derived is @p base or inherits from it.
+  bool derives_from(const std::string& derived, const std::string& base) const;
+
+  Memory& memory() { return mem_; }
+
+ private:
+  std::size_t scalar_size(MemberSpec::Kind kind) const;
+  std::size_t scalar_align(MemberSpec::Kind kind) const;
+
+  Memory& mem_;
+  std::map<std::string, ClassInfo> classes_;
+  std::map<Address, std::string> vtable_index_;
+};
+
+}  // namespace pnlab::objmodel

@@ -1,0 +1,239 @@
+#include "placement/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pnlab::placement {
+
+namespace {
+
+std::string hex(Address addr) {
+  std::ostringstream os;
+  os << "0x" << std::hex << addr;
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::BoundsExceeded:
+      return "bounds-exceeded";
+    case RejectReason::UnknownArena:
+      return "unknown-arena";
+    case RejectReason::Misaligned:
+      return "misaligned";
+    case RejectReason::TypeMismatch:
+      return "type-mismatch";
+    case RejectReason::NullAddress:
+      return "null-address";
+  }
+  return "?";
+}
+
+PlacementEngine::PlacementEngine(objmodel::TypeRegistry& registry,
+                                 PlacementPolicy policy)
+    : registry_(&registry), policy_(policy) {}
+
+Memory& PlacementEngine::memory() { return registry_->memory(); }
+
+void PlacementEngine::check_and_record(PlacementEvent& event,
+                                       std::size_t align,
+                                       const std::string& placed_class) {
+  Memory& mem = memory();
+
+  if (event.addr == 0) {
+    ++rejected_;
+    throw PlacementRejected(RejectReason::NullAddress,
+                            "placement new at null address");
+  }
+
+  const memsim::Allocation* arena = mem.find_allocation(event.addr);
+  if (arena != nullptr) {
+    event.arena_size = arena->addr + arena->size - event.addr;
+    event.arena_label = arena->label;
+    event.overflowed_arena = event.size > event.arena_size;
+  }
+
+  if (policy_.bounds_check) {
+    if (arena == nullptr) {
+      ++rejected_;
+      throw PlacementRejected(
+          RejectReason::UnknownArena,
+          "bounds check required but no allocation record covers " +
+              hex(event.addr));
+    }
+    if (event.overflowed_arena) {
+      ++rejected_;
+      throw PlacementRejected(
+          RejectReason::BoundsExceeded,
+          "placing " + event.type + " (" + std::to_string(event.size) +
+              " bytes) into arena '" + arena->label + "' with only " +
+              std::to_string(event.arena_size) + " bytes available");
+    }
+  }
+
+  if (policy_.align_check && align > 1 && event.addr % align != 0) {
+    ++rejected_;
+    throw PlacementRejected(RejectReason::Misaligned,
+                            "address " + hex(event.addr) +
+                                " not aligned to " + std::to_string(align));
+  }
+
+  if (policy_.type_check && !placed_class.empty()) {
+    // If a live object placement already occupies this exact address,
+    // require the new class to be the same type or a subtype of it —
+    // the superclass-arena-reuse discipline §2.2 assumes.
+    auto it = records_.find(event.addr);
+    if (it != records_.end() && it->second.live &&
+        !it->second.event.is_array && !it->second.event.type.empty() &&
+        registry_->contains(it->second.event.type)) {
+      // Either direction along an inheritance chain is the sanctioned
+      // memory-reuse idiom (§2.2 subtype-over-supertype; Listing 22
+      // supertype-over-subtype); unrelated classes are §2.5 issue 3.
+      const std::string& occupant = it->second.event.type;
+      if (!registry_->derives_from(placed_class, occupant) &&
+          !registry_->derives_from(occupant, placed_class)) {
+        ++rejected_;
+        throw PlacementRejected(
+            RejectReason::TypeMismatch,
+            "placing " + placed_class + " over incompatible occupant " +
+                occupant);
+      }
+    }
+  }
+
+  sanitize(event);
+
+  // Supersede any previous placement record at this address: the arena is
+  // being reused, but stays accountable for the largest object that ever
+  // occupied it (Listing 23's leak arithmetic).
+  std::size_t original = event.size;
+  if (auto it = records_.find(event.addr); it != records_.end()) {
+    original = std::max(original, it->second.original_size);
+  }
+  records_[event.addr] =
+      PlacementRecord{event, /*live=*/true, 0, original};
+  for (const auto& observer : observers_) observer(event);
+}
+
+void PlacementEngine::sanitize(const PlacementEvent& event) {
+  if (policy_.sanitize == SanitizeMode::None) return;
+  Memory& mem = memory();
+
+  if (policy_.sanitize == SanitizeMode::WholeArena) {
+    const std::size_t extent =
+        event.arena_size > 0 ? event.arena_size : event.size;
+    mem.fill(event.addr, extent, std::byte{0});
+    return;
+  }
+
+  // ResidueOnly: zero just the gap between the new occupant's end and the
+  // previous occupant's end.  §5.1 explains why this is error-prone (it
+  // misses interior padding bytes); bench_infoleak quantifies it.
+  auto it = records_.find(event.addr);
+  if (it == records_.end()) return;
+  const std::size_t old_size = it->second.event.size;
+  if (old_size > event.size) {
+    mem.fill(event.addr + event.size, old_size - event.size, std::byte{0});
+  }
+}
+
+objmodel::Object PlacementEngine::place_object(Address addr,
+                                               const std::string& cls) {
+  const objmodel::ClassInfo& info = registry_->get(cls);
+
+  PlacementEvent event;
+  event.addr = addr;
+  event.size = info.size;
+  event.type = cls;
+  check_and_record(event, policy_.align_check ? info.align : 1, cls);
+
+  objmodel::Object obj(*registry_, addr, info);
+  obj.install_vptr();
+  return obj;
+}
+
+Address PlacementEngine::place_array(Address addr, std::size_t elem_size,
+                                     std::size_t count,
+                                     const std::string& label) {
+  PlacementEvent event;
+  event.addr = addr;
+  event.size = elem_size * count;
+  event.type = label;
+  event.is_array = true;
+  event.count = count;
+  check_and_record(event, 1, "");
+  return addr;
+}
+
+void PlacementEngine::destroy(Address addr) {
+  auto it = records_.find(addr);
+  if (it == records_.end()) {
+    throw std::invalid_argument("no placement at " + hex(addr));
+  }
+  it->second.live = false;
+  it->second.reclaimed = it->second.original_size;
+}
+
+void PlacementEngine::release_through(Address addr, const std::string& cls) {
+  auto it = records_.find(addr);
+  if (it == records_.end()) {
+    throw std::invalid_argument("no placement at " + hex(addr));
+  }
+  const std::size_t through = registry_->get(cls).size;
+  it->second.live = false;
+  it->second.reclaimed =
+      std::min(it->second.original_size,
+               std::max(it->second.reclaimed, through));
+}
+
+const PlacementRecord* PlacementEngine::record_at(Address addr) const {
+  auto it = records_.find(addr);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<PlacementRecord> PlacementEngine::records() const {
+  std::vector<PlacementRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [addr, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+LeakStats PlacementEngine::leak_stats() const {
+  LeakStats stats;
+  for (const auto& [addr, rec] : records_) {
+    if (rec.live) {
+      ++stats.live_placements;
+      stats.live_bytes += rec.original_size;
+      continue;
+    }
+    stats.reclaimed_bytes += rec.reclaimed;
+    if (rec.reclaimed < rec.original_size) {
+      stats.leaked_bytes += rec.original_size - rec.reclaimed;
+    }
+  }
+  return stats;
+}
+
+void PlacementEngine::reset_ledger() { records_.clear(); }
+
+void PlacementEngine::add_observer(PlacementObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+void sim_strncpy(Memory& mem, Address dst, std::span<const std::byte> src,
+                 std::size_t n) {
+  const std::size_t copy = std::min(n, src.size());
+  if (copy > 0) mem.write_bytes(dst, src.subspan(0, copy));
+  if (n > copy) mem.fill(dst + copy, n - copy, std::byte{0});
+}
+
+std::vector<std::byte> to_bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::transform(s.begin(), s.end(), out.begin(),
+                 [](char c) { return static_cast<std::byte>(c); });
+  return out;
+}
+
+}  // namespace pnlab::placement

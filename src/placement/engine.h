@@ -1,0 +1,182 @@
+// The placement-new engine: the paper's core semantics.
+//
+// `new (addr) T(...)` in standard C++ is `operator new(size_t, void* p)
+// { return p; }` — no bounds, type, or alignment checking (§2.5).  The
+// engine reproduces exactly that in Unchecked mode: an object or array of
+// any size is "placed" at any mapped address and the constructor's writes
+// land wherever layout arithmetic puts them.  Checked modes implement the
+// §5.1 protections: size/bounds checking against the arena's recorded
+// allocation, alignment checking, type-compatibility checking, and
+// sanitize-on-reuse (whole-arena or residue-only, the ablation §5.1
+// warns about).  A leak ledger implements §4.5's placement-delete
+// accounting.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "objmodel/object.h"
+#include "objmodel/types.h"
+
+namespace pnlab::placement {
+
+using memsim::Address;
+using memsim::Memory;
+
+/// How (and whether) reused arena memory is scrubbed before placement.
+enum class SanitizeMode {
+  None,         ///< standard C++: residue stays (the §4.3 leak)
+  WholeArena,   ///< memset the full arena before placing
+  ResidueOnly,  ///< zero only [new end, old occupant end) — the "tempting
+                ///< optimization" §5.1 cautions against
+};
+
+/// Checks applied at each placement.
+struct PlacementPolicy {
+  bool bounds_check = false;  ///< placed size must fit the target arena
+  bool align_check = false;   ///< target must satisfy the type's alignment
+  bool type_check = false;    ///< placed class must be compatible with the
+                              ///< arena's current occupant class (if any)
+  SanitizeMode sanitize = SanitizeMode::None;
+
+  /// Standard C++ semantics — the vulnerability under study.
+  static PlacementPolicy unchecked() { return {}; }
+  /// Every §5.1 protection enabled.
+  static PlacementPolicy checked() {
+    return {.bounds_check = true,
+            .align_check = true,
+            .type_check = true,
+            .sanitize = SanitizeMode::WholeArena};
+  }
+};
+
+/// Why a checked placement was refused.
+enum class RejectReason {
+  BoundsExceeded,
+  UnknownArena,  ///< bounds required but target has no allocation record
+  Misaligned,
+  TypeMismatch,
+  NullAddress,
+};
+
+const char* to_string(RejectReason reason);
+
+/// Thrown by checked placements; unchecked mode never throws this.
+class PlacementRejected : public std::runtime_error {
+ public:
+  PlacementRejected(RejectReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  RejectReason reason() const { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
+
+/// A completed (or attempted) placement, for observers and the ledger.
+struct PlacementEvent {
+  Address addr = 0;
+  std::size_t size = 0;
+  std::string type;  ///< class name, or "char[]"-style label for arrays
+  bool is_array = false;
+  std::size_t count = 1;
+  std::size_t arena_size = 0;  ///< 0 when the arena is unknown
+  bool overflowed_arena = false;
+  std::string arena_label;
+};
+
+/// A live placement tracked by the leak ledger.
+struct PlacementRecord {
+  PlacementEvent event;
+  bool live = true;
+  std::size_t reclaimed = 0;  ///< bytes released via release_through()
+  /// Largest size ever placed at this address: re-placing a smaller
+  /// object over a bigger one (Listing 23) must not shrink what the
+  /// eventual release is accountable for.
+  std::size_t original_size = 0;
+};
+
+/// Aggregate §4.5 leak accounting.
+struct LeakStats {
+  std::size_t live_placements = 0;
+  std::size_t live_bytes = 0;     ///< original bytes held by live records —
+                                  ///< stranded if all references are lost
+  std::size_t leaked_bytes = 0;   ///< released but under-reclaimed
+  std::size_t reclaimed_bytes = 0;
+};
+
+/// Passive observer of placements (the libsafe-style interceptor in
+/// guard/ registers one of these: detect without preventing).
+using PlacementObserver = std::function<void(const PlacementEvent&)>;
+
+/// Simulated placement-new over a TypeRegistry's Memory.
+class PlacementEngine {
+ public:
+  explicit PlacementEngine(objmodel::TypeRegistry& registry,
+                           PlacementPolicy policy = PlacementPolicy::unchecked());
+
+  PlacementPolicy& policy() { return policy_; }
+  const PlacementPolicy& policy() const { return policy_; }
+  void set_policy(PlacementPolicy policy) { policy_ = policy; }
+
+  objmodel::TypeRegistry& registry() { return *registry_; }
+  Memory& memory();
+
+  /// `new (addr) Cls` — places an object of @p cls at @p addr.  Installs
+  /// the vptr (if the class has one) exactly as a compiler-emitted
+  /// constructor prologue would; member initialization is done by the
+  /// caller through the returned Object (that is the "constructor body",
+  /// whose writes are the attack's overflow).
+  objmodel::Object place_object(Address addr, const std::string& cls);
+
+  /// `new (addr) char[count]`-style array placement.  Returns @p addr.
+  /// @p elem_size in bytes (1 for char).
+  Address place_array(Address addr, std::size_t elem_size, std::size_t count,
+                      const std::string& label);
+
+  /// Placement-delete: marks the placement starting at @p addr dead and
+  /// reclaims its full size.
+  void destroy(Address addr);
+
+  /// Listing 23's buggy pattern: the arena is released *through* a
+  /// smaller type, reclaiming only sizeof(cls) of it.
+  void release_through(Address addr, const std::string& cls);
+
+  const PlacementRecord* record_at(Address addr) const;
+  std::vector<PlacementRecord> records() const;
+  LeakStats leak_stats() const;
+  void reset_ledger();
+
+  void add_observer(PlacementObserver observer);
+
+  /// Number of placements rejected by the policy since construction.
+  std::size_t rejected_count() const { return rejected_; }
+
+ private:
+  /// Runs policy checks; fills event.arena_* and overflow flags.
+  void check_and_record(PlacementEvent& event, std::size_t align,
+                        const std::string& placed_class);
+  void sanitize(const PlacementEvent& event);
+
+  objmodel::TypeRegistry* registry_;
+  PlacementPolicy policy_;
+  std::map<Address, PlacementRecord> records_;
+  std::vector<PlacementObserver> observers_;
+  std::size_t rejected_ = 0;
+};
+
+/// Simulated strncpy(dst, src, n): copies min(n, src.size()) bytes then
+/// zero-pads to exactly n bytes, faithfully writing past any arena end —
+/// the second step of the §4 two-step array attacks.
+void sim_strncpy(Memory& mem, Address dst, std::span<const std::byte> src,
+                 std::size_t n);
+
+/// Convenience: string payload to bytes (no terminator appended).
+std::vector<std::byte> to_bytes(const std::string& s);
+
+}  // namespace pnlab::placement

@@ -1,0 +1,171 @@
+#include "serde/serde.h"
+
+#include <stdexcept>
+
+namespace pnlab::serde {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x424F4E50;  // "PNOB"
+
+using objmodel::MemberSpec;
+
+std::uint8_t kind_code(MemberSpec::Kind kind) {
+  switch (kind) {
+    case MemberSpec::Kind::Int: return 1;
+    case MemberSpec::Kind::Double: return 2;
+    case MemberSpec::Kind::Char: return 3;
+    case MemberSpec::Kind::Pointer: return 4;
+    case MemberSpec::Kind::ClassType: return 5;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize(const objmodel::Object& object) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.str(object.cls().name);
+
+  // Only directly-serializable members (scalars and their arrays).
+  std::vector<const objmodel::MemberLayout*> fields;
+  for (const auto& m : object.cls().members) {
+    if (m.spec.kind != MemberSpec::Kind::ClassType) fields.push_back(&m);
+  }
+  w.u32(static_cast<std::uint32_t>(fields.size()));
+
+  for (const auto* m : fields) {
+    w.str(m->spec.name);
+    w.u8(kind_code(m->spec.kind));
+    w.u32(static_cast<std::uint32_t>(m->spec.count));
+    for (std::size_t i = 0; i < m->spec.count; ++i) {
+      switch (m->spec.kind) {
+        case MemberSpec::Kind::Int:
+          w.u32(static_cast<std::uint32_t>(object.read_int(m->spec.name, i)));
+          break;
+        case MemberSpec::Kind::Double:
+          w.f64(object.read_double(m->spec.name));
+          break;
+        case MemberSpec::Kind::Char:
+          w.u8(object.read_char(m->spec.name, i));
+          break;
+        case MemberSpec::Kind::Pointer:
+          w.u32(static_cast<std::uint32_t>(
+              object.read_pointer(m->spec.name)));
+          break;
+        case MemberSpec::Kind::ClassType:
+          break;  // filtered above
+      }
+    }
+  }
+  return w.take();
+}
+
+DeserializeResult deserialize_into(placement::PlacementEngine& engine,
+                                   Address arena,
+                                   std::span<const std::byte> message,
+                                   const DeserializeOptions& options) {
+  ByteReader r(message);
+  if (r.u32() != kMagic) throw WireError("bad magic");
+  const std::string wire_class = r.str();
+
+  if (!options.expected_class.empty() &&
+      !engine.registry().derives_from(wire_class, options.expected_class)) {
+    throw std::invalid_argument("wire object of class " + wire_class +
+                                " is not a " + options.expected_class);
+  }
+  if (!engine.registry().contains(wire_class)) {
+    throw WireError("unknown wire class " + wire_class);
+  }
+
+  // The victim's move: place whatever the wire says, where told to.
+  DeserializeResult result{wire_class, engine.place_object(arena, wire_class),
+                           0, 0};
+  objmodel::Object& obj = result.object;
+  const objmodel::ClassInfo& cls = obj.cls();
+
+  const std::uint32_t field_count = r.u32();
+  for (std::uint32_t f = 0; f < field_count; ++f) {
+    const std::string name = r.str();
+    const std::uint8_t kind = r.u8();
+    const std::uint32_t wire_count = r.u32();
+    if (!cls.has_member(name)) {
+      throw WireError("wire field '" + name + "' not a member of " +
+                      wire_class);
+    }
+    const objmodel::MemberLayout& member = cls.member(name);
+    if (kind != kind_code(member.spec.kind)) {
+      throw WireError("wire field '" + name + "' has wrong kind");
+    }
+    // Listing 6: `while (++i < remoteobj->n)` — the element count comes
+    // from the wire.  Careless victims write every claimed element.
+    std::uint32_t write_count = wire_count;
+    if (options.clamp_counts &&
+        wire_count > static_cast<std::uint32_t>(member.spec.count)) {
+      write_count = static_cast<std::uint32_t>(member.spec.count);
+    }
+    for (std::uint32_t i = 0; i < wire_count; ++i) {
+      const bool write = i < write_count;
+      switch (member.spec.kind) {
+        case MemberSpec::Kind::Int: {
+          const auto v = static_cast<std::int32_t>(r.u32());
+          if (write) obj.write_int(name, v, i);
+          break;
+        }
+        case MemberSpec::Kind::Double: {
+          const double v = r.f64();
+          if (write) obj.write_double(name, v);
+          break;
+        }
+        case MemberSpec::Kind::Char: {
+          const std::uint8_t v = r.u8();
+          if (write) obj.write_char(name, v, i);
+          break;
+        }
+        case MemberSpec::Kind::Pointer: {
+          const auto v = static_cast<Address>(r.u32());
+          if (write) obj.write_pointer(name, v);
+          break;
+        }
+        case MemberSpec::Kind::ClassType:
+          throw WireError("class-type fields are not wire-serializable");
+      }
+      if (!write) ++result.elements_clamped;
+    }
+    ++result.fields_written;
+  }
+  return result;
+}
+
+std::vector<std::byte> craft_grad_student_message(
+    double gpa, int year, int semester, const std::vector<int>& ssn) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.str("GradStudent");
+  w.u32(4);  // gpa, year, semester, ssn
+
+  w.str("gpa");
+  w.u8(kind_code(MemberSpec::Kind::Double));
+  w.u32(1);
+  w.f64(gpa);
+
+  w.str("year");
+  w.u8(kind_code(MemberSpec::Kind::Int));
+  w.u32(1);
+  w.u32(static_cast<std::uint32_t>(year));
+
+  w.str("semester");
+  w.u8(kind_code(MemberSpec::Kind::Int));
+  w.u32(1);
+  w.u32(static_cast<std::uint32_t>(semester));
+
+  w.str("ssn");
+  w.u8(kind_code(MemberSpec::Kind::Int));
+  w.u32(static_cast<std::uint32_t>(ssn.size()));
+  for (int v : ssn) w.u32(static_cast<std::uint32_t>(v));
+
+  return w.take();
+}
+
+}  // namespace pnlab::serde

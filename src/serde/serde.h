@@ -1,0 +1,67 @@
+// Object serialization over the simulated object model — the §2.1(4)
+// use case ("de-serialize serialized objects and place [them] at the
+// memory arena of an object constructed previously") and the §3.2 attack
+// vector.
+//
+// Message layout:
+//   u32 magic 'PNOB' | str class_name | u32 field_count |
+//     field := str member_name | u8 kind | u32 count | payload...
+//
+// deserialize_into() does exactly what the paper's victim does: trusts
+// the *wire's* class name, places an instance of it at the given arena
+// through the PlacementEngine (so the engine's policy decides whether an
+// oversized remote object is an overflow or a rejection), then writes
+// every field the wire claims — including array elements beyond the
+// member's declared count, the Listing 6 copy-loop hole, unless
+// `clamp_counts` is set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "objmodel/object.h"
+#include "placement/engine.h"
+#include "serde/wire.h"
+
+namespace pnlab::serde {
+
+using memsim::Address;
+
+/// Serializes the object's class name and every member into a message.
+std::vector<std::byte> serialize(const objmodel::Object& object);
+
+/// Deserialization behaviour knobs — the victim's level of care.
+struct DeserializeOptions {
+  /// Clamp wire-claimed array counts to the member's declared count
+  /// (defends the Listing 6 copy loop).  Off = the paper's victim.
+  bool clamp_counts = false;
+  /// Require the wire class to equal @p expected_class (or derive from
+  /// it).  Off = trust the protocol, §3.2's "trust on the protocol".
+  std::string expected_class;  ///< empty = accept anything
+};
+
+/// Result of a deserialization.
+struct DeserializeResult {
+  std::string wire_class;
+  objmodel::Object object;
+  std::size_t fields_written = 0;
+  std::size_t elements_clamped = 0;
+};
+
+/// Places the wire-described object at @p arena via @p engine and
+/// populates its members from the message.  Throws WireError on
+/// malformed bytes, placement::PlacementRejected when the engine's
+/// policy refuses, std::invalid_argument when expected_class is set and
+/// violated.
+DeserializeResult deserialize_into(placement::PlacementEngine& engine,
+                                   Address arena,
+                                   std::span<const std::byte> message,
+                                   const DeserializeOptions& options = {});
+
+/// Crafts a malicious GradStudent message with chosen ssn values — the
+/// §3.2 attacker's payload generator (used by scenarios and benches).
+std::vector<std::byte> craft_grad_student_message(double gpa, int year,
+                                                  int semester,
+                                                  const std::vector<int>& ssn);
+
+}  // namespace pnlab::serde

@@ -1,0 +1,115 @@
+#include "serde/wire.h"
+
+#include <cstring>
+
+namespace pnlab::serde {
+
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::byte>& buf, T value, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    buf.push_back(static_cast<std::byte>((value >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+void ByteWriter::u8(std::uint8_t v) { append_le(buffer_, v, 1); }
+void ByteWriter::u16(std::uint16_t v) { append_le(buffer_, v, 2); }
+void ByteWriter::u32(std::uint32_t v) { append_le(buffer_, v, 4); }
+void ByteWriter::u64(std::uint64_t v) { append_le(buffer_, v, 8); }
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  if (s.size() > 0xffff) throw WireError("string too long for u16 prefix");
+  u16(static_cast<std::uint16_t>(s.size()));
+  for (char c : s) buffer_.push_back(static_cast<std::byte>(c));
+}
+
+void ByteWriter::bytes(std::span<const std::byte> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw WireError("truncated message: need " + std::to_string(n) +
+                    " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return std::to_integer<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(std::to_integer<std::uint8_t>(
+             data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(
+             data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(
+             data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint16_t len = u16();
+  need(len);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(data_[pos_ + i]));
+  }
+  pos_ += len;
+  return s;
+}
+
+std::vector<std::byte> ByteReader::bytes(std::size_t n) {
+  need(n);
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace pnlab::serde

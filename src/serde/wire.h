@@ -1,0 +1,67 @@
+// Bounds-checked little-endian wire encoding primitives.
+//
+// The §3.2 attacks arrive as *serialized objects* (JSON/AJAX in the
+// paper's framing).  This module is the byte-level substrate: a writer
+// the "remote side" uses to craft messages (honest or malicious) and a
+// reader whose every access is length-checked — the transport layer is
+// not the vulnerable component; the placement of the decoded object is.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pnlab::serde {
+
+/// Thrown on truncated or malformed wire data.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends little-endian values to a byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// Length-prefixed (u16) string.
+  void str(const std::string& s);
+  void bytes(std::span<const std::byte> data);
+
+  const std::vector<std::byte>& data() const { return buffer_; }
+  std::vector<std::byte> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Sequential length-checked reader over a byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<std::byte> bytes(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pnlab::serde

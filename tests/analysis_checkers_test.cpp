@@ -1,0 +1,398 @@
+// Tests for the taint dataflow and the PN001-PN007 checkers, including
+// the full analyzer corpus sweep (each listing translation must trigger
+// its expected checkers; each safe variant must come back clean).
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/corpus.h"
+
+namespace pnlab::analysis {
+namespace {
+
+AnalysisResult run(const std::string& source) { return analyze(source); }
+
+// --- taint classification -------------------------------------------
+
+TEST(TaintTest, CinIsDirectSource) {
+  const auto r = run(R"(
+char pool[16];
+void f() {
+  int n = 0;
+  cin >> n;
+  char* b = new (pool) char[n];
+}
+)");
+  EXPECT_TRUE(r.has("PN002")) << r.to_string();
+  EXPECT_FALSE(r.has("PN003"));
+}
+
+TEST(TaintTest, TaintedParamIsDirectSource) {
+  const auto r = run(R"(
+char pool[16];
+void f(tainted int n) {
+  char* b = new (pool) char[n];
+}
+)");
+  EXPECT_TRUE(r.has("PN002")) << r.to_string();
+}
+
+TEST(TaintTest, SourceFunctionCallIsDirect) {
+  const auto r = run(R"(
+char pool[16];
+void f() {
+  int n = recv();
+  char* b = new (pool) char[n];
+}
+)");
+  EXPECT_TRUE(r.has("PN002")) << r.to_string();
+}
+
+TEST(TaintTest, OneIntermediateHopIsIndirect) {
+  const auto r = run(R"(
+char pool[16];
+void f(tainted int remote) {
+  int m = remote;
+  char* b = new (pool) char[m];
+}
+)");
+  EXPECT_TRUE(r.has("PN003")) << r.to_string();
+  EXPECT_FALSE(r.has("PN002"));
+}
+
+TEST(TaintTest, TwoHopsStillIndirect) {
+  const auto r = run(R"(
+char pool[16];
+void f(tainted int remote) {
+  int m = remote;
+  int k = m + 1;
+  char* b = new (pool) char[k];
+}
+)");
+  EXPECT_TRUE(r.has("PN003")) << r.to_string();
+}
+
+TEST(TaintTest, OverwritingWithCleanValueKillsTaint) {
+  const auto r = run(R"(
+char pool[16];
+void f(tainted int remote) {
+  int m = remote;
+  m = 8;
+  char* b = new (pool) char[m];
+}
+)");
+  EXPECT_FALSE(r.has("PN002")) << r.to_string();
+  EXPECT_FALSE(r.has("PN003")) << r.to_string();
+}
+
+TEST(TaintTest, TaintJoinsAcrossBranches) {
+  const auto r = run(R"(
+char pool[16];
+void f(tainted int remote, bool c) {
+  int m = 4;
+  if (c) {
+    m = remote;
+  }
+  char* b = new (pool) char[m];
+}
+)");
+  EXPECT_TRUE(r.has("PN003")) << r.to_string();
+}
+
+TEST(TaintTest, TaintFlowsThroughLoops) {
+  const auto r = run(R"(
+char pool[16];
+void f(tainted int remote, int k) {
+  int m = 2;
+  while (k > 0) {
+    m = remote;
+    k = k - 1;
+  }
+  char* b = new (pool) char[m];
+}
+)");
+  EXPECT_TRUE(r.has("PN003")) << r.to_string();
+}
+
+TEST(TaintTest, GlobalTaintPropagatesAcrossFunctions) {
+  const auto r = run(R"(
+char pool[16];
+int g_count = 0;
+void producer(tainted int remote) {
+  g_count = remote;
+}
+void consumer() {
+  char* b = new (pool) char[g_count];
+}
+)");
+  EXPECT_TRUE(r.has("PN003")) << r.to_string();
+}
+
+TEST(TaintTest, InterproceduralParameterFlowIsCaught) {
+  // §3.3's inter-procedural path: the tainted count crosses a call.
+  const auto r = run(R"(
+char pool[16];
+void place_n(int n) {
+  char* b = new (pool) char[n];
+}
+void handler() {
+  int n = 0;
+  cin >> n;
+  place_n(n);
+}
+)");
+  EXPECT_TRUE(r.has("PN003")) << r.to_string();
+  // The finding points at the placement inside the helper.
+  bool anchored_in_helper = false;
+  for (const auto& d : r.diagnostics) {
+    if (d.code == "PN003" && d.function == "place_n") {
+      anchored_in_helper = true;
+      EXPECT_NE(d.message.find("handler"), std::string::npos)
+          << "names the tainted caller";
+    }
+  }
+  EXPECT_TRUE(anchored_in_helper) << r.to_string();
+}
+
+TEST(TaintTest, CleanCallersDoNotTriggerInterproceduralFinding) {
+  const auto r = run(R"(
+char pool[16];
+void place_n(int n) {
+  char* b = new (pool) char[n];
+}
+void handler() {
+  place_n(8);
+}
+)");
+  EXPECT_FALSE(r.has("PN003")) << r.to_string();
+  EXPECT_FALSE(r.has("PN002")) << r.to_string();
+}
+
+TEST(TaintTest, InterproceduralRespectsSizeofGuards) {
+  const auto r = run(R"(
+char pool[16];
+void place_n(int n) {
+  if (n <= sizeof(pool)) {
+    char* b = new (pool) char[n];
+  }
+}
+void handler() {
+  int n = 0;
+  cin >> n;
+  place_n(n);
+}
+)");
+  EXPECT_FALSE(r.has("PN003")) << "guarded helper is §5.1-correct:\n"
+                               << r.to_string();
+}
+
+// --- individual checkers ----------------------------------------------
+
+TEST(CheckerTest, Pn001ObjectIntoSmallerObject) {
+  const auto r = run(R"(
+class Student { double gpa; int year; int semester; };
+class GradStudent : Student { int ssn[3]; };
+void f() {
+  Student stud;
+  GradStudent* st = new (&stud) GradStudent();
+}
+)");
+  ASSERT_TRUE(r.has("PN001")) << r.to_string();
+  EXPECT_EQ(r.diagnostics[0].severity, Severity::Error);
+  EXPECT_NE(r.diagnostics[0].message.find("28"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("16"), std::string::npos);
+}
+
+TEST(CheckerTest, Pn001ArrayIntoSmallerPool) {
+  const auto r = run(R"(
+char pool[16];
+void f() {
+  char* b = new (pool) char[32];
+}
+)");
+  EXPECT_TRUE(r.has("PN001")) << r.to_string();
+}
+
+TEST(CheckerTest, FittingPlacementIsClean) {
+  const auto r = run(R"(
+class Student { double gpa; int year; int semester; };
+char pool[64];
+void f() {
+  Student* st = new (pool) Student();
+  char* b = new (pool) char[64];
+}
+)");
+  EXPECT_FALSE(r.has("PN001")) << r.to_string();
+  EXPECT_FALSE(r.has("PN004"));
+}
+
+TEST(CheckerTest, Pn004UnknownArena) {
+  const auto r = run(R"(
+void f(char* p) {
+  int* x = new (p) int;
+}
+)");
+  EXPECT_TRUE(r.has("PN004")) << r.to_string();
+}
+
+TEST(CheckerTest, SizeofGuardSuppressesBoundsFindings) {
+  const auto r = run(R"(
+class Student { double gpa; int year; int semester; };
+class GradStudent : Student { int ssn[3]; };
+void f() {
+  Student stud;
+  if (sizeof(GradStudent) <= sizeof(stud)) {
+    GradStudent* st = new (&stud) GradStudent();
+  }
+}
+)");
+  EXPECT_EQ(r.finding_count(), 0u) << r.to_string();
+}
+
+TEST(CheckerTest, Pn005ReuseAfterFillWithoutMemset) {
+  const auto r = run(R"(
+char pool[64];
+void f() {
+  read_file(pool);
+  char* b = new (pool) char[16];
+}
+)");
+  EXPECT_TRUE(r.has("PN005")) << r.to_string();
+}
+
+TEST(CheckerTest, MemsetBetweenSuppressesPn005) {
+  const auto r = run(R"(
+char pool[64];
+void f() {
+  read_file(pool);
+  memset(pool, 0, 64);
+  char* b = new (pool) char[16];
+}
+)");
+  EXPECT_FALSE(r.has("PN005")) << r.to_string();
+}
+
+TEST(CheckerTest, Pn005SmallerObjectOverBiggerOne) {
+  const auto r = run(R"(
+class Student { double gpa; int year; int semester; };
+class GradStudent : Student { int ssn[3]; };
+void f() {
+  GradStudent* g = new GradStudent();
+  Student* s = new (g) Student();
+  destroy(s);
+}
+)");
+  EXPECT_TRUE(r.has("PN005")) << r.to_string();
+}
+
+TEST(CheckerTest, Pn006PlacementIntoHeapArenaNeverReleased) {
+  const auto r = run(R"(
+class Student { double gpa; int year; int semester; };
+void f() {
+  Student* arena = new Student();
+  Student* st = new (arena) Student();
+}
+)");
+  EXPECT_TRUE(r.has("PN006")) << r.to_string();
+}
+
+TEST(CheckerTest, DestroyOrDeleteSuppressesPn006) {
+  const auto destroyed = run(R"(
+class Student { double gpa; int year; int semester; };
+void f() {
+  Student* arena = new Student();
+  Student* st = new (arena) Student();
+  destroy(st);
+}
+)");
+  EXPECT_FALSE(destroyed.has("PN006")) << destroyed.to_string();
+  const auto deleted = run(R"(
+class Student { double gpa; int year; int semester; };
+void f() {
+  Student* arena = new Student();
+  Student* st = new (arena) Student();
+  delete st;
+}
+)");
+  EXPECT_FALSE(deleted.has("PN006")) << deleted.to_string();
+}
+
+TEST(CheckerTest, EscapeViaReturnSuppressesPn006) {
+  const auto r = run(R"(
+class Student { double gpa; int year; int semester; };
+Student* f() {
+  Student* arena = new Student();
+  Student* st = new (arena) Student();
+  return st;
+}
+)");
+  EXPECT_FALSE(r.has("PN006")) << r.to_string();
+}
+
+TEST(CheckerTest, Pn007AlignmentAdvisory) {
+  const auto r = run(R"(
+class Student { double gpa; int year; int semester; };
+char pool[64];
+void f() {
+  Student* st = new (pool) Student();
+}
+)");
+  ASSERT_TRUE(r.has("PN007")) << r.to_string();
+  EXPECT_EQ(r.finding_count(), 0u) << "PN007 is informational";
+  const AnalyzerOptions no_info{.taint = {}, .include_info = false};
+  EXPECT_FALSE(analyze(R"(
+class Student { double gpa; int year; int semester; };
+char pool[64];
+void f() { Student* st = new (pool) Student(); }
+)",
+                       no_info)
+                   .has("PN007"));
+}
+
+TEST(CheckerTest, StatsAreCounted) {
+  const auto r = run(R"(
+class Student { double gpa; int year; int semester; };
+class GradStudent : Student { int ssn[3]; };
+void a() { Student stud; GradStudent* st = new (&stud) GradStudent(); }
+void b() { int x = 0; }
+)");
+  EXPECT_EQ(r.functions_analyzed, 2u);
+  EXPECT_EQ(r.classes_laid_out, 2u);
+  EXPECT_EQ(r.placement_sites, 1u);
+}
+
+// --- the corpus sweep (E3's substance) --------------------------------
+
+class CorpusSweep
+    : public ::testing::TestWithParam<analysis::corpus::CorpusCase> {};
+
+TEST_P(CorpusSweep, ExpectedCheckersFire) {
+  const auto& c = GetParam();
+  const AnalysisResult r = analyze(c.source);
+  if (c.expect_clean) {
+    EXPECT_EQ(r.finding_count(), 0u)
+        << c.id << " expected clean but got:\n"
+        << r.to_string();
+  } else {
+    for (const std::string& code : c.expected_codes) {
+      EXPECT_TRUE(r.has(code))
+          << c.id << " (" << c.paper_ref << ") expected " << code
+          << " but got:\n"
+          << r.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, CorpusSweep,
+    ::testing::ValuesIn(analysis::corpus::analyzer_corpus()),
+    [](const auto& info) { return info.param.id; });
+
+TEST(CorpusTest, LookupAndShape) {
+  EXPECT_GE(analysis::corpus::analyzer_corpus().size(), 24u);
+  EXPECT_EQ(analysis::corpus::corpus_case("listing04").paper_ref,
+            "Listing 4, §3.1");
+  EXPECT_THROW(analysis::corpus::corpus_case("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pnlab::analysis

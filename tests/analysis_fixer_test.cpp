@@ -1,0 +1,171 @@
+// Tests for the §7 auto-fixer: each corpus listing is remediated and the
+// fixed source re-analyzed — fixable findings must disappear, unfixable
+// ones must carry a FIXME and the manual-review flag.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/corpus.h"
+#include "analysis/fixer.h"
+
+namespace pnlab::analysis {
+namespace {
+
+TEST(FixerTest, WrapsOversizedPlacementInSizeofGuard) {
+  const std::string source = R"(
+class Student { double gpa; int year; int semester; };
+class GradStudent : Student { int ssn[3]; };
+void addStudent() {
+  Student stud;
+  GradStudent* st = new (&stud) GradStudent();
+}
+)";
+  const FixResult r = fix(source);
+  ASSERT_EQ(r.fixes.size(), 1u);
+  EXPECT_EQ(r.fixes[0].code, "PN001");
+  EXPECT_TRUE(r.fixes[0].applied);
+  EXPECT_NE(r.fixed_source.find("if (sizeof(GradStudent) <= sizeof(stud))"),
+            std::string::npos);
+  EXPECT_EQ(analyze(r.fixed_source).finding_count(), 0u)
+      << analyze(r.fixed_source).to_string();
+}
+
+TEST(FixerTest, GuardsTaintedArrayWithByteCount) {
+  const std::string source = R"(
+char st_pool[80];
+void addNames() {
+  int n = 0;
+  cin >> n;
+  char* stnames = new (st_pool) char[n * 8];
+}
+)";
+  const FixResult r = fix(source);
+  ASSERT_EQ(r.fixes.size(), 1u);
+  EXPECT_EQ(r.fixes[0].code, "PN002");
+  EXPECT_NE(r.fixed_source.find("sizeof(st_pool)"), std::string::npos);
+  EXPECT_EQ(analyze(r.fixed_source).finding_count(), 0u)
+      << analyze(r.fixed_source).to_string();
+}
+
+TEST(FixerTest, InsertsMemsetBeforeLeakyReuse) {
+  const std::string source = R"(
+char mem_pool[64];
+void serve() {
+  read_file(mem_pool);
+  char* userdata = new (mem_pool) char[32];
+  store_into(userdata);
+}
+)";
+  const FixResult r = fix(source);
+  ASSERT_EQ(r.fixes.size(), 1u);
+  EXPECT_EQ(r.fixes[0].code, "PN005");
+  EXPECT_NE(r.fixed_source.find("memset(mem_pool, 0, sizeof(mem_pool));"),
+            std::string::npos);
+  // The memset must precede the placement.
+  EXPECT_LT(r.fixed_source.find("memset(mem_pool"),
+            r.fixed_source.find("new (mem_pool)"));
+  EXPECT_EQ(analyze(r.fixed_source).finding_count(), 0u)
+      << analyze(r.fixed_source).to_string();
+}
+
+TEST(FixerTest, AppendsDestroyForLeakedPlacement) {
+  const std::string source = R"(
+class Student { double gpa; int year; int semester; };
+void build() {
+  Student* arena = new Student();
+  Student* st = new (arena) Student();
+}
+)";
+  const FixResult r = fix(source);
+  ASSERT_EQ(r.fixes.size(), 1u);
+  EXPECT_EQ(r.fixes[0].code, "PN006");
+  EXPECT_NE(r.fixed_source.find("destroy(st);"), std::string::npos);
+  EXPECT_EQ(analyze(r.fixed_source).finding_count(), 0u)
+      << analyze(r.fixed_source).to_string();
+}
+
+TEST(FixerTest, UnknownArenaGetsFixmeNotAGuess) {
+  const std::string source = R"(
+class Student { double gpa; int year; int semester; };
+void place(char* p) {
+  Student* st = new (p) Student();
+  destroy(st);
+}
+)";
+  const FixResult r = fix(source);
+  ASSERT_EQ(r.fixes.size(), 1u);
+  EXPECT_EQ(r.fixes[0].code, "PN004");
+  EXPECT_FALSE(r.fixes[0].applied);
+  EXPECT_TRUE(r.manual_review_needed);
+  EXPECT_NE(r.fixed_source.find("FIXME(pnlab PN004)"), std::string::npos);
+}
+
+TEST(FixerTest, CleanSourceIsUntouched) {
+  const std::string source = R"(
+class Student { double gpa; int year; int semester; };
+void f() {
+  Student stud;
+  Student* st = new (&stud) Student();
+}
+)";
+  const FixResult r = fix(source);
+  EXPECT_TRUE(r.fixes.empty());
+  EXPECT_FALSE(r.manual_review_needed);
+  EXPECT_NE(r.fixed_source.find("new (&stud) Student()"),
+            std::string::npos);
+}
+
+TEST(FixerTest, FixIsIdempotent) {
+  const std::string source = corpus::corpus_case("listing04").source;
+  const FixResult once = fix(source);
+  const FixResult twice = fix(once.fixed_source);
+  EXPECT_TRUE(twice.fixes.empty());
+  EXPECT_EQ(twice.fixed_source, once.fixed_source);
+}
+
+class FixerCorpusSweep
+    : public ::testing::TestWithParam<corpus::CorpusCase> {};
+
+TEST_P(FixerCorpusSweep, FixedSourceHasNoFixableFindings) {
+  const auto& c = GetParam();
+  const FixResult r = fix(c.source);
+  const AnalysisResult after = analyze(r.fixed_source);
+  if (!r.manual_review_needed) {
+    EXPECT_EQ(after.finding_count(), 0u)
+        << c.id << " still has findings after fixing:\n"
+        << after.to_string() << "\nfixed source:\n"
+        << r.fixed_source;
+  } else {
+    // Unfixable findings must at least not multiply.
+    EXPECT_LE(after.finding_count(), analyze(c.source).finding_count())
+        << c.id;
+    EXPECT_NE(r.fixed_source.find("FIXME"), std::string::npos) << c.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, FixerCorpusSweep,
+    ::testing::ValuesIn(corpus::analyzer_corpus()),
+    [](const auto& info) { return info.param.id; });
+
+TEST(AstPrinterTest, RoundTripsRepresentativeExpressions) {
+  // to_source() output must re-parse to the same rendering.
+  const std::string source = R"(
+char pool[64];
+void f(int n) {
+  char* a = new (pool) char[n * 8];
+  int x = sizeof(pool) + 3;
+}
+)";
+  const Program p = parse(source);
+  const std::string a = to_source(*p.functions[0].body->body[0]->init);
+  EXPECT_EQ(a, "new (pool) char[(n * 8)]");
+  const std::string x = to_source(*p.functions[0].body->body[1]->init);
+  EXPECT_EQ(x, "(sizeof(pool) + 3)");
+  // Re-parse the rendered placement inside a tiny program.
+  const Program again =
+      parse("char pool[64];\nvoid g(int n) { char* a = " + a + "; }");
+  EXPECT_EQ(to_source(*again.functions[0].body->body[0]->init), a);
+}
+
+}  // namespace
+}  // namespace pnlab::analysis

@@ -1,0 +1,290 @@
+// Unit tests for the analyzer front end: lexer, parser, type table,
+// constant folding, arena resolution, and the CFG builder.
+#include <gtest/gtest.h>
+
+#include "analysis/ast.h"
+#include "analysis/cfg.h"
+#include "analysis/sema.h"
+#include "analysis/token.h"
+
+namespace pnlab::analysis {
+namespace {
+
+TEST(LexerTest, TokenizesRepresentativeSource) {
+  const auto tokens = tokenize("GradStudent* st = new (&stud) GradStudent();");
+  ASSERT_GE(tokens.size(), 12u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[0].text, "GradStudent");
+  EXPECT_EQ(tokens[1].kind, TokenKind::Star);
+  EXPECT_EQ(tokens[4].kind, TokenKind::KwNew);
+  EXPECT_EQ(tokens.back().kind, TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, NumbersAndComments) {
+  const auto tokens = tokenize(
+      "// line comment\n"
+      "/* block\n comment */ 42 0x1f 3.5");
+  ASSERT_EQ(tokens.size(), 4u);  // three literals + EOF
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, 31);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 3.5);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  const auto tokens = tokenize("a\nb\n  c");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].col, 3);
+}
+
+TEST(LexerTest, OperatorsIncludingShrAndArrow) {
+  const auto tokens = tokenize("cin >> x; p->m; a && b;");
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwCin);
+  EXPECT_EQ(tokens[1].kind, TokenKind::Shr);
+  EXPECT_EQ(tokens[5].kind, TokenKind::Arrow);
+  EXPECT_EQ(tokens[9].kind, TokenKind::AmpAmp);
+}
+
+TEST(LexerTest, RejectsMalformedInput) {
+  EXPECT_THROW(tokenize("@"), ParseError);
+  EXPECT_THROW(tokenize("\"unterminated"), ParseError);
+  EXPECT_THROW(tokenize("/* unclosed"), ParseError);
+}
+
+TEST(ParserTest, ClassWithBaseAndVirtuals) {
+  const Program p = parse(R"(
+class Student {
+ public:
+  double gpa;
+ private:
+  int year;
+  virtual char* getInfo();
+};
+class GradStudent : public Student {
+  int ssn[3];
+};
+)");
+  ASSERT_EQ(p.classes.size(), 2u);
+  EXPECT_EQ(p.classes[0].name, "Student");
+  EXPECT_EQ(p.classes[0].members.size(), 2u);
+  ASSERT_EQ(p.classes[0].virtual_functions.size(), 1u);
+  EXPECT_EQ(p.classes[0].virtual_functions[0], "getInfo");
+  EXPECT_EQ(p.classes[1].base, "Student");
+  EXPECT_EQ(p.classes[1].members[0].array_count, 3);
+}
+
+TEST(ParserTest, PlacementNewForms) {
+  const Program p = parse(R"(
+char pool[64];
+void f(int n) {
+  char* a = new (pool) char[n * 8];
+  int* b = new (&pool) int;
+  int* c = new int[4];
+}
+)");
+  ASSERT_EQ(p.functions.size(), 1u);
+  const auto& body = p.functions[0].body->body;
+  ASSERT_EQ(body.size(), 3u);
+  const Expr& a = *body[0]->init;
+  EXPECT_EQ(a.kind, Expr::Kind::New);
+  ASSERT_NE(a.placement, nullptr);
+  EXPECT_TRUE(a.is_array);
+  EXPECT_EQ(a.type.name, "char");
+  const Expr& c = *body[2]->init;
+  EXPECT_EQ(c.placement, nullptr);
+  EXPECT_TRUE(c.is_array);
+}
+
+TEST(ParserTest, ControlFlowAndCinChains) {
+  const Program p = parse(R"(
+void f() {
+  int x = 0;
+  cin >> x;
+  if (x > 0) { x = 1; } else { x = 2; }
+  while (x < 10) { x = x + 1; }
+  for (int i = 0; i < 3; i = i + 1) { x = x + i; }
+  return;
+}
+)");
+  const auto& body = p.functions[0].body->body;
+  ASSERT_EQ(body.size(), 6u);
+  EXPECT_EQ(body[1]->kind, Stmt::Kind::CinRead);
+  EXPECT_EQ(body[2]->kind, Stmt::Kind::If);
+  EXPECT_NE(body[2]->else_branch, nullptr);
+  EXPECT_EQ(body[3]->kind, Stmt::Kind::While);
+  EXPECT_EQ(body[4]->kind, Stmt::Kind::For);
+  EXPECT_EQ(body[5]->kind, Stmt::Kind::Return);
+}
+
+TEST(ParserTest, SizeofTypeAndExpression) {
+  const Program p = parse(R"(
+class S { int a; };
+void f() {
+  S s;
+  int x = sizeof(S);
+  int y = sizeof(s);
+}
+)");
+  const auto& body = p.functions[0].body->body;
+  EXPECT_EQ(body[1]->init->kind, Expr::Kind::Sizeof);
+  EXPECT_EQ(body[1]->init->type.name, "S");
+  EXPECT_EQ(body[2]->init->type.name, "s");  // resolved by sema later
+}
+
+TEST(ParserTest, TaintedQualifier) {
+  const Program p = parse("void f(tainted int n) { tainted int g = n; }");
+  EXPECT_TRUE(p.functions[0].params[0].type.tainted);
+  EXPECT_TRUE(p.functions[0].body->body[0]->type.tainted);
+}
+
+TEST(ParserTest, SyntaxErrorsAreReported) {
+  EXPECT_THROW(parse("class {"), ParseError);
+  EXPECT_THROW(parse("void f() { int ; }"), ParseError);
+  EXPECT_THROW(parse("void f() { x = ; }"), ParseError);
+}
+
+TEST(TypeTableTest, LayoutMatchesObjModel) {
+  const Program p = parse(R"(
+class Student { double gpa; int year; int semester; };
+class GradStudent : Student { int ssn[3]; };
+class VStudent { double gpa; int year; int semester; virtual char* g(); };
+class VGradStudent : VStudent { int ssn[3]; virtual char* g(); };
+)");
+  const TypeTable types(p);
+  EXPECT_EQ(types.layout("Student").size, 16u);
+  EXPECT_EQ(types.layout("GradStudent").size, 28u);
+  EXPECT_EQ(types.layout("VStudent").size, 20u);
+  EXPECT_TRUE(types.layout("VStudent").has_vptr);
+  EXPECT_EQ(types.layout("VGradStudent").size, 32u);
+  EXPECT_EQ(types.layout("GradStudent").fields.back().offset, 16u);
+  EXPECT_TRUE(types.derives_from("GradStudent", "Student"));
+  EXPECT_FALSE(types.derives_from("Student", "GradStudent"));
+}
+
+TEST(TypeTableTest, UnknownBaseThrows) {
+  EXPECT_THROW(TypeTable(parse("class D : Missing { int x; };")),
+               ParseError);
+}
+
+TEST(SemaTest, ConstEvalFoldsArithmeticAndSizeof) {
+  const Program p = parse(R"(
+class S { int a; int b; };
+char pool[4 * 8];
+void f() { char* b = new (pool) char[2 * sizeof(S)]; }
+)");
+  const TypeTable types(p);
+  const SymbolTable symbols(p, p.functions[0], types);
+  const VarInfo* pool = symbols.find("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->byte_size, 32u);
+  const Expr& site = *p.functions[0].body->body[0]->init;
+  EXPECT_EQ(const_eval(*site.array_size, types, &symbols), 16);
+}
+
+TEST(SemaTest, ArenaResolution) {
+  const Program p = parse(R"(
+class Student { double gpa; int year; int semester; };
+char pool[40];
+void f(char* unknown) {
+  Student stud;
+  Student* heap = new Student();
+  char* a = new (pool) char[8];
+  char* b = new (&stud) char[8];
+  char* c = new (heap) char[8];
+  char* d = new (unknown) char[8];
+}
+)");
+  const TypeTable types(p);
+  const FuncDecl& fn = p.functions[0];
+  const SymbolTable symbols(p, fn, types);
+  auto site = [&](std::size_t i) -> const Expr& {
+    return *fn.body->body[i]->init->placement;
+  };
+  EXPECT_EQ(resolve_arena_size(site(2), symbols, types, fn), 40u);
+  EXPECT_EQ(resolve_arena_size(site(3), symbols, types, fn), 16u);
+  EXPECT_EQ(resolve_arena_size(site(4), symbols, types, fn), 16u);
+  EXPECT_EQ(resolve_arena_size(site(5), symbols, types, fn), std::nullopt);
+}
+
+TEST(SemaTest, ReassignedPointerArenaUnknown) {
+  const Program p = parse(R"(
+void f(char* q) {
+  char* p = new char[16];
+  p = q;
+  char* b = new (p) char[8];
+}
+)");
+  const TypeTable types(p);
+  const SymbolTable symbols(p, p.functions[0], types);
+  const Expr& target = *p.functions[0].body->body[2]->init->placement;
+  EXPECT_EQ(resolve_arena_size(target, symbols, types, p.functions[0]),
+            std::nullopt)
+      << "aliasing makes the arena unverifiable (§5.1)";
+}
+
+TEST(SemaTest, TargetRootUnwrapsAddressMemberIndex) {
+  const Program p = parse("void f() { int x = 0; }");
+  auto expr_of = [](const std::string& src) {
+    // The argument expression of the sink call.
+    return parse("void g() { sink(" + src + "); }");
+  };
+  Program prog = expr_of("&mp");
+  const Expr& call = *prog.functions[0].body->body[0]->expr;
+  EXPECT_EQ(target_root(*call.args[0]), "mp");
+  (void)p;
+}
+
+TEST(CfgTest, StraightLineIsTwoBlocksPlusExit) {
+  const Program p = parse("void f() { int x = 0; x = 1; }");
+  const Cfg cfg = build_cfg(p.functions[0]);
+  EXPECT_EQ(cfg.block(cfg.entry).stmts.size(), 2u);
+  ASSERT_EQ(cfg.block(cfg.entry).succs.size(), 1u);
+  EXPECT_EQ(cfg.block(cfg.entry).succs[0], cfg.exit);
+}
+
+TEST(CfgTest, IfElseDiamond) {
+  const Program p = parse(
+      "void f(int c) { if (c > 0) { int a = 1; } else { int b = 2; } "
+      "int d = 3; }");
+  const Cfg cfg = build_cfg(p.functions[0]);
+  // entry(cond) → then, else; both → join → exit.
+  const auto& entry = cfg.block(cfg.entry);
+  ASSERT_EQ(entry.succs.size(), 2u);
+  const int join = cfg.block(entry.succs[0]).succs[0];
+  EXPECT_EQ(cfg.block(entry.succs[1]).succs[0], join);
+  EXPECT_EQ(cfg.block(join).stmts.size(), 1u);
+}
+
+TEST(CfgTest, WhileHasBackEdge) {
+  const Program p = parse("void f(int n) { while (n > 0) { n = n - 1; } }");
+  const Cfg cfg = build_cfg(p.functions[0]);
+  bool has_back_edge = false;
+  for (const auto& block : cfg.blocks) {
+    for (int succ : block.succs) {
+      if (succ < block.id) has_back_edge = true;
+    }
+  }
+  EXPECT_TRUE(has_back_edge);
+}
+
+TEST(CfgTest, ReturnEdgesToExit) {
+  const Program p = parse(
+      "void f(int c) { if (c > 0) { return; } int x = 1; }");
+  const Cfg cfg = build_cfg(p.functions[0]);
+  // The return statement's block must edge straight to exit.
+  bool return_to_exit = false;
+  for (const auto& block : cfg.blocks) {
+    for (const Stmt* stmt : block.stmts) {
+      if (stmt->kind == Stmt::Kind::Return) {
+        for (int succ : block.succs) {
+          if (succ == cfg.exit) return_to_exit = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(return_to_exit);
+}
+
+}  // namespace
+}  // namespace pnlab::analysis

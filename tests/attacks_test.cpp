@@ -1,0 +1,281 @@
+// Integration tests over the attack corpus: every scenario succeeds on the
+// unprotected baseline (the paper's demonstrations), is prevented by the
+// §5.1 bounds policy where the paper says bounds checking is the remedy,
+// and the §5.2 StackGuard-bypass result reproduces exactly.
+#include "attacks/scenarios.h"
+
+#include <gtest/gtest.h>
+
+namespace pnlab::attacks {
+namespace {
+
+AttackReport run(const std::string& id, const ProtectionConfig& config) {
+  return scenario(id).run(config);
+}
+
+// ---------------------------------------------------------------------
+// The paper's central demonstration: everything succeeds unprotected.
+
+class UnprotectedSuccess : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(UnprotectedSuccess, AttackSucceedsWithNoProtection) {
+  const AttackReport r = run(GetParam(), ProtectionConfig::none());
+  EXPECT_TRUE(r.succeeded) << r.id << ": " << r.detail;
+  EXPECT_FALSE(r.prevented);
+  EXPECT_FALSE(r.detected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, UnprotectedSuccess,
+    ::testing::Values(
+        "construction_overflow", "scalar_target_overflow",
+        "remote_array_count", "copy_loop_overflow",
+        "copy_ctor_overflow", "serialized_object_overflow",
+        "serialized_count_overflow", "indirect_construction",
+        "aggregate_copy_overflow", "internal_overflow", "bss_adjacent_object",
+        "heap_overflow", "heap_metadata_corruption", "stack_return_address",
+        "canary_bypass",
+        "arc_injection", "code_injection", "bss_variable_overwrite",
+        "stack_local_overwrite", "member_variable_overwrite",
+        "vptr_subterfuge_bss", "vptr_subterfuge_stack",
+        "vptr_subterfuge_multiple_inheritance",
+        "function_pointer_subterfuge", "variable_pointer_subterfuge",
+        "two_step_stack_array", "two_step_bss_array", "info_leak_array",
+        "info_leak_object", "dos_loop_corruption", "memory_leak"),
+    [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// §5.1 bounds checking prevents every overflow-based attack at the source.
+
+class BoundsPrevents : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BoundsPrevents, PlacementRejected) {
+  const AttackReport r = run(GetParam(), ProtectionConfig::bounds());
+  EXPECT_TRUE(r.prevented) << r.id << ": " << r.detail;
+  EXPECT_FALSE(r.succeeded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverflowScenarios, BoundsPrevents,
+    ::testing::Values(
+        "construction_overflow", "remote_array_count", "copy_loop_overflow",
+        "copy_ctor_overflow", "indirect_construction",
+        "aggregate_copy_overflow", "internal_overflow", "bss_adjacent_object",
+        "heap_overflow", "stack_return_address", "canary_bypass",
+        "arc_injection", "code_injection", "bss_variable_overwrite",
+        "stack_local_overwrite", "member_variable_overwrite",
+        "vptr_subterfuge_bss", "vptr_subterfuge_stack",
+        "vptr_subterfuge_multiple_inheritance",
+        "function_pointer_subterfuge", "variable_pointer_subterfuge",
+        "two_step_stack_array", "two_step_bss_array",
+        "serialized_object_overflow", "serialized_count_overflow"),
+    [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// The libsafe-style interceptor detects (but does not stop) overflows.
+
+class InterceptorDetects : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InterceptorDetects, ViolationLoggedAttackStillSucceeds) {
+  const AttackReport r = run(GetParam(), ProtectionConfig::intercept());
+  EXPECT_TRUE(r.detected) << r.id << ": " << r.detail;
+  EXPECT_TRUE(r.succeeded) << "detection is passive";
+  EXPECT_EQ(r.outcome_cell(), "SUCCEEDED*");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverflowScenarios, InterceptorDetects,
+    ::testing::Values("construction_overflow", "bss_adjacent_object",
+                      "heap_overflow", "canary_bypass",
+                      "vptr_subterfuge_bss", "two_step_stack_array",
+                      "variable_pointer_subterfuge"),
+    [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// The §5.2 StackGuard experiment, exactly as the paper reports it.
+
+TEST(StackGuardExperiment, NaiveSmashIsDetectedByCanary) {
+  const AttackReport r =
+      run("stack_return_address", ProtectionConfig::canary());
+  EXPECT_TRUE(r.detected) << r.detail;
+  EXPECT_FALSE(r.succeeded) << "__stack_chk_fail aborts before the return";
+}
+
+TEST(StackGuardExperiment, SelectiveOverwriteBypassesCanary) {
+  // "We succeeded, and StackGuard could not detect it."
+  const AttackReport r = run("canary_bypass", ProtectionConfig::canary());
+  EXPECT_TRUE(r.succeeded) << r.detail;
+  EXPECT_FALSE(r.detected);
+  EXPECT_EQ(r.observations.at("canary_intact"), "1");
+  EXPECT_EQ(r.observations.at("ra_index"), "2")
+      << "with canary+FP the paper says ssn[2] overwrites the return "
+         "address";
+}
+
+TEST(StackGuardExperiment, RaIndexMatchesPaperPerFrameShape) {
+  // No canary, FP saved → ssn[1]; canary+FP → ssn[2].
+  const AttackReport none = run("canary_bypass", ProtectionConfig::none());
+  EXPECT_EQ(none.observations.at("ra_index"), "1");
+  const AttackReport can = run("canary_bypass", ProtectionConfig::canary());
+  EXPECT_EQ(can.observations.at("ra_index"), "2");
+}
+
+TEST(StackGuardExperiment, ShadowStackCatchesTheBypass) {
+  const AttackReport r = run("canary_bypass", ProtectionConfig::shadow());
+  EXPECT_TRUE(r.detected) << r.detail;
+  EXPECT_FALSE(r.succeeded);
+}
+
+TEST(StackGuardExperiment, CanaryIsBlindToNonStackAttacks) {
+  // Canaries protect return addresses only; the data/bss/heap attacks and
+  // local-variable overwrites sail through.
+  for (const auto* id :
+       {"bss_adjacent_object", "heap_overflow", "bss_variable_overwrite",
+        "stack_local_overwrite", "member_variable_overwrite",
+        "info_leak_object", "dos_loop_corruption"}) {
+    const AttackReport r = run(id, ProtectionConfig::canary());
+    EXPECT_TRUE(r.succeeded) << id << ": " << r.detail;
+    EXPECT_FALSE(r.detected) << id;
+  }
+}
+
+// ---------------------------------------------------------------------
+// NX, sanitize, and full-stack behaviour.
+
+TEST(NxStack, BlocksCodeInjectionOnly) {
+  const AttackReport ci = run("code_injection", ProtectionConfig::nx());
+  EXPECT_TRUE(ci.prevented) << ci.detail;
+  EXPECT_FALSE(ci.succeeded);
+  // Arc injection returns into text — NX does not help (paper §3.6.2).
+  const AttackReport arc = run("arc_injection", ProtectionConfig::nx());
+  EXPECT_TRUE(arc.succeeded) << arc.detail;
+}
+
+TEST(CodeInjection, SucceedsOnExecutableStack) {
+  const AttackReport r = run("code_injection", ProtectionConfig::none());
+  EXPECT_TRUE(r.succeeded) << r.detail;
+  EXPECT_EQ(r.observations.at("control_transfer"), "code-injection");
+}
+
+TEST(Sanitize, StopsInformationLeaks) {
+  for (const auto* id : {"info_leak_array", "info_leak_object"}) {
+    const AttackReport r = run(id, ProtectionConfig::sanitize());
+    EXPECT_TRUE(r.prevented) << id << ": " << r.detail;
+    EXPECT_FALSE(r.succeeded) << id;
+  }
+}
+
+TEST(Sanitize, DoesNotStopOverflows) {
+  // Scrubbing reused memory says nothing about writes *past* the arena.
+  const AttackReport r =
+      run("bss_adjacent_object", ProtectionConfig::sanitize());
+  EXPECT_TRUE(r.succeeded) << r.detail;
+}
+
+TEST(BoundsChecking, DoesNotStopLeakScenarios) {
+  // The info-leak placements fit their arenas; bounds checking passes
+  // them (§5.1 treats sanitization as a separate protection).
+  const AttackReport info = run("info_leak_array", ProtectionConfig::bounds());
+  EXPECT_TRUE(info.succeeded) << info.detail;
+  const AttackReport leak = run("memory_leak", ProtectionConfig::bounds());
+  EXPECT_TRUE(leak.succeeded) << leak.detail;
+}
+
+TEST(LeakTracking, FullConfigDetectsMemoryLeak) {
+  const AttackReport r = run("memory_leak", ProtectionConfig::full());
+  EXPECT_TRUE(r.detected) << r.detail;
+}
+
+TEST(FullProtection, PreventsOrDetectsEverything) {
+  for (const auto& entry : all_scenarios()) {
+    const AttackReport r = entry.run(ProtectionConfig::full());
+    EXPECT_FALSE(r.succeeded && !r.detected)
+        << entry.id << " succeeded silently under full protection: "
+        << r.detail;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Scenario-specific observations match the paper's narratives.
+
+TEST(ScenarioDetail, HeapOverflowRewritesName) {
+  const AttackReport r = run("heap_overflow", ProtectionConfig::none());
+  EXPECT_EQ(r.observations.at("name_after"), "XXXXYYYYZZZZ");
+}
+
+TEST(ScenarioDetail, InternalOverflowStaysInsideObject) {
+  const AttackReport r = run("internal_overflow", ProtectionConfig::none());
+  EXPECT_EQ(r.observations.at("external_memory_untouched"), "1");
+  EXPECT_EQ(r.observations.at("stud2_year_after"), "1999");
+}
+
+TEST(ScenarioDetail, StackLocalOverwriteSeesAlignmentPadding) {
+  // §3.7.2's alignment observation: with FP saved and an 8-aligned stud,
+  // ssn[0] lands in padding and ssn[1] on n.
+  const AttackReport r =
+      run("stack_local_overwrite", ProtectionConfig::none());
+  EXPECT_EQ(r.observations.at("n_index"), "1");
+  EXPECT_EQ(r.observations.at("padding_bytes"), "4");
+  EXPECT_EQ(r.observations.at("n_after"), "2147483647");
+}
+
+TEST(ScenarioDetail, DosAmplification) {
+  const AttackReport r = run("dos_loop_corruption", ProtectionConfig::none());
+  EXPECT_EQ(r.observations.at("planned_iterations"), "2147483647");
+}
+
+TEST(ScenarioDetail, MemoryLeakArithmetic) {
+  const AttackReport r = run("memory_leak", ProtectionConfig::none());
+  EXPECT_EQ(r.observations.at("leaked_bytes"), "1200");
+  EXPECT_EQ(r.observations.at("leak_per_iteration"), "12");
+}
+
+TEST(ScenarioDetail, InfoLeakCapturesPasswordBytes) {
+  const AttackReport r = run("info_leak_array", ProtectionConfig::none());
+  EXPECT_GT(std::stoul(r.observations.at("leaked_bytes")), 20u);
+}
+
+TEST(ScenarioDetail, MultipleInheritanceLeavesPrimaryVptrIntact) {
+  // §3.8.2's MI remark: the interior vptr is a second, independent
+  // target — here hijacked while the primary vptr verifies clean.
+  const AttackReport r = run("vptr_subterfuge_multiple_inheritance",
+                             ProtectionConfig::none());
+  EXPECT_EQ(r.observations.at("primary_dispatch"), "intact");
+  EXPECT_EQ(r.observations.at("secondary_landed_on"), "privileged_syscall");
+}
+
+TEST(ScenarioDetail, FunctionPointerNullGuardBypassed) {
+  const AttackReport r =
+      run("function_pointer_subterfuge", ProtectionConfig::none());
+  EXPECT_EQ(r.observations.at("landed_on"), "attacker_chosen_fn");
+}
+
+TEST(ScenarioDetail, VariablePointerRedirectedToAdminFlag) {
+  const AttackReport r =
+      run("variable_pointer_subterfuge", ProtectionConfig::none());
+  EXPECT_EQ(r.observations.at("name_points_to"), "admin_flag");
+}
+
+TEST(ScenarioRegistry, AllEntriesRunnableAndUnique) {
+  const auto& entries = all_scenarios();
+  EXPECT_EQ(entries.size(), 31u);
+  for (const auto& e : entries) {
+    EXPECT_FALSE(e.paper_ref.empty()) << e.id;
+    EXPECT_FALSE(e.title.empty()) << e.id;
+  }
+  EXPECT_THROW(scenario("nonexistent"), std::out_of_range);
+  EXPECT_EQ(scenario("heap_overflow").paper_ref, "Listing 12, §3.5.1");
+}
+
+TEST(ScenarioReports, ProtectionNameAndOutcomeCellFilled) {
+  const AttackReport r =
+      run("construction_overflow", ProtectionConfig::canary());
+  EXPECT_EQ(r.protection, "canary");
+  EXPECT_EQ(r.outcome_cell(), "SUCCEEDED");
+  const AttackReport p =
+      run("construction_overflow", ProtectionConfig::bounds());
+  EXPECT_EQ(p.outcome_cell(), "PREVENTED");
+}
+
+}  // namespace
+}  // namespace pnlab::attacks

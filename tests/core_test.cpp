@@ -1,0 +1,81 @@
+// Tests for the experiment runner: matrix sweeps, summaries, formatting.
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace pnlab::core {
+namespace {
+
+TEST(ExperimentTest, MatrixCoversEveryScenarioAndConfig) {
+  const auto configs = ProtectionConfig::all();
+  const auto reports = run_matrix(configs);
+  EXPECT_EQ(reports.size(),
+            attacks::all_scenarios().size() * configs.size());
+  // Row-major: the first |configs| entries are the first scenario.
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(reports[i].id, attacks::all_scenarios()[0].id);
+    EXPECT_EQ(reports[i].protection, configs[i].name);
+  }
+}
+
+TEST(ExperimentTest, ScenarioRowRunsRequestedConfigsOnly) {
+  const auto row = run_scenario_row(
+      "heap_overflow", {ProtectionConfig::none(), ProtectionConfig::bounds()});
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_TRUE(row[0].succeeded);
+  EXPECT_TRUE(row[1].prevented);
+  EXPECT_THROW(run_scenario_row("nope"), std::out_of_range);
+}
+
+TEST(ExperimentTest, SummaryBucketsAreDisjointAndComplete) {
+  const auto reports = run_matrix();
+  const auto summaries = summarize(reports);
+  ASSERT_EQ(summaries.size(), ProtectionConfig::all().size());
+  const std::size_t scenarios = attacks::all_scenarios().size();
+  for (const auto& s : summaries) {
+    EXPECT_EQ(s.succeeded + s.detected_only + s.stopped + s.failed,
+              scenarios)
+        << s.protection;
+  }
+}
+
+TEST(ExperimentTest, HeadlineNumbersMatchThePaper) {
+  const auto summaries = summarize(run_matrix());
+  auto find = [&](const std::string& name) {
+    for (const auto& s : summaries) {
+      if (s.protection == name) return s;
+    }
+    ADD_FAILURE() << "missing summary " << name;
+    return ProtectionSummary{};
+  };
+  const std::size_t scenarios = attacks::all_scenarios().size();
+
+  EXPECT_EQ(find("none").succeeded, scenarios)
+      << "every attack succeeds unprotected";
+  EXPECT_EQ(find("none").stopped, 0u);
+  EXPECT_EQ(find("full").succeeded, 0u)
+      << "nothing succeeds silently under full protection";
+  EXPECT_GT(find("bounds").stopped, find("canary").stopped)
+      << "§5.1 prevention beats StackGuard across the corpus";
+  EXPECT_GT(find("intercept").detected_only, 20u)
+      << "libsafe-style interception detects but does not stop";
+}
+
+TEST(ExperimentTest, MatrixFormattingContainsRowsAndColumns) {
+  const auto reports =
+      run_scenario_row("canary_bypass", {ProtectionConfig::none(),
+                                         ProtectionConfig::canary(),
+                                         ProtectionConfig::shadow()});
+  const std::string table = format_matrix(reports);
+  EXPECT_NE(table.find("canary_bypass"), std::string::npos);
+  EXPECT_NE(table.find("shadow"), std::string::npos);
+  EXPECT_NE(table.find("SUCCEEDED"), std::string::npos);
+  EXPECT_NE(table.find("DETECTED"), std::string::npos);
+
+  const std::string summary = format_summary(summarize(reports));
+  EXPECT_NE(summary.find("protection"), std::string::npos);
+  EXPECT_NE(summary.find("none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnlab::core

@@ -1,0 +1,201 @@
+// Edge cases across modules: empty/zero-size operations, operator corner
+// cases in the interpreter, parser diagnostics, and printer round trips.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/token.h"
+#include "interp/interp.h"
+#include "memsim/memory.h"
+#include "placement/engine.h"
+
+namespace pnlab {
+namespace {
+
+using memsim::Memory;
+using memsim::SegmentKind;
+
+TEST(MemsimEdgeTest, EmptyAndZeroSizeOperations) {
+  Memory mem;
+  const auto a = mem.allocate(SegmentKind::Heap, 8, "a");
+  EXPECT_NO_THROW(mem.write_bytes(a, {}));
+  EXPECT_TRUE(mem.read_bytes(a, 0).empty());
+  EXPECT_NO_THROW(mem.fill(a, 0, std::byte{1}));
+  EXPECT_EQ(mem.read_u8(a), 0xCD) << "zero-size fill touched nothing";
+}
+
+TEST(MemsimEdgeTest, RecordAndRemoveAllocationRoundTrip) {
+  Memory mem;
+  mem.record_allocation(mem.segment_base(SegmentKind::Bss) + 0x100, 32,
+                        SegmentKind::Bss, "external");
+  ASSERT_NE(mem.find_allocation(mem.segment_base(SegmentKind::Bss) + 0x110),
+            nullptr);
+  mem.remove_allocation(mem.segment_base(SegmentKind::Bss) + 0x100);
+  EXPECT_EQ(mem.find_allocation(mem.segment_base(SegmentKind::Bss) + 0x110),
+            nullptr);
+  EXPECT_NO_THROW(mem.remove_allocation(0x1234)) << "idempotent";
+}
+
+TEST(MemsimEdgeTest, ReleaseOfUnknownAllocationThrows) {
+  Memory mem;
+  EXPECT_THROW(mem.release(0x1234), std::invalid_argument);
+}
+
+TEST(InterpEdgeTest, UnsupportedSyntaxRejectedAtParseTime) {
+  // The ternary operator is not part of PNC: construction throws.
+  EXPECT_THROW(
+      interp::Interpreter("int main() { int a = 1; return a ? 2 : 3; }"),
+      analysis::ParseError);
+}
+
+TEST(InterpEdgeTest, ShortCircuitSkipsCalls) {
+  interp::Interpreter interp(R"(
+int side_effects = 0;
+int bump() {
+  side_effects = side_effects + 1;
+  return 1;
+}
+int main() {
+  bool u = false && bump() > 0;
+  bool v = true || bump() > 0;
+  if (u || !v) { return -1; }
+  return 17 % 5;
+}
+)");
+  const auto r = interp.run();
+  ASSERT_EQ(r.termination, interp::Termination::Normal) << r.detail;
+  EXPECT_EQ(r.return_value.as_int(), 2);
+  EXPECT_EQ(interp.memory().read_i32(interp.global_address("side_effects")),
+            0);
+}
+
+TEST(InterpEdgeTest, PointerArithmeticScalesByElement) {
+  const std::string source = R"(
+int arr[4];
+int main() {
+  int* p = arr;
+  *(p + 2) = 55;
+  return arr[2];
+}
+)";
+  interp::Interpreter interp(source);
+  const auto r = interp.run();
+  ASSERT_EQ(r.termination, interp::Termination::Normal) << r.detail;
+  EXPECT_EQ(r.return_value.as_int(), 55);
+}
+
+TEST(InterpEdgeTest, DivisionByZeroIsRuntimeError) {
+  const auto r = interp::Interpreter("int main() { int z = 0; return 5 / z; }")
+                     .run();
+  EXPECT_EQ(r.termination, interp::Termination::RuntimeError);
+}
+
+TEST(InterpEdgeTest, IncrementDecrementOperators) {
+  const auto r = interp::Interpreter(R"(
+int main() {
+  int i = 5;
+  ++i;
+  i++;
+  --i;
+  return i;
+}
+)")
+                     .run();
+  ASSERT_EQ(r.termination, interp::Termination::Normal) << r.detail;
+  EXPECT_EQ(r.return_value.as_int(), 6);
+}
+
+TEST(InterpEdgeTest, CharStoresTruncateToByte) {
+  const auto r = interp::Interpreter(R"(
+char buf[4];
+int main() {
+  buf[0] = 321;
+  return buf[0];
+}
+)")
+                     .run();
+  EXPECT_EQ(r.return_value.as_int(), 321 & 0xff);
+}
+
+TEST(InterpEdgeTest, WhileWithoutProgressHitsStepLimit) {
+  interp::RunOptions options;
+  options.max_steps = 5000;
+  const auto r =
+      interp::Interpreter("int main() { while (true) { } return 0; }",
+                          options)
+          .run();
+  EXPECT_EQ(r.termination, interp::Termination::StepLimit);
+}
+
+TEST(AnalysisEdgeTest, ParseErrorCarriesLocation) {
+  try {
+    analysis::parse("void f() {\n  int = 5;\n}");
+    FAIL() << "expected ParseError";
+  } catch (const analysis::ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(AnalysisEdgeTest, PlacementViaHeapPointerArenaKnown) {
+  const auto r = analysis::analyze(R"(
+class Student { double gpa; int year; int semester; };
+class GradStudent : Student { int ssn[3]; };
+void f() {
+  char* pool = new char[20];
+  GradStudent* g = new (pool) GradStudent();
+  destroy(g);
+}
+)");
+  EXPECT_TRUE(r.has("PN001")) << "28 into a 20-byte heap arena:\n"
+                              << r.to_string();
+}
+
+TEST(AnalysisEdgeTest, GuardInsideLoopStillSuppresses) {
+  const auto r = analysis::analyze(R"(
+char pool[64];
+void f(tainted int n) {
+  while (n > 0) {
+    if (n * 4 <= sizeof(pool)) {
+      char* b = new (pool) char[n * 4];
+    }
+    n = n - 1;
+  }
+}
+)");
+  EXPECT_EQ(r.finding_count(), 0u) << r.to_string();
+}
+
+TEST(AnalysisEdgeTest, PrinterHandlesUnaryMemberIndexChains) {
+  const analysis::Program p = analysis::parse(
+      "void f(int* q) { sink(&q[2], -q[0], !true); }");
+  const auto& call = *p.functions[0].body->body[0]->expr;
+  EXPECT_EQ(analysis::to_source(*call.args[0]), "&q[2]");
+  EXPECT_EQ(analysis::to_source(*call.args[1]), "-q[0]");
+  EXPECT_EQ(analysis::to_source(*call.args[2]), "!true");
+}
+
+TEST(PlacementEdgeTest, ZeroCountArrayPlacement) {
+  Memory mem;
+  objmodel::TypeRegistry registry(mem);
+  placement::PlacementEngine engine(registry);
+  const auto pool = mem.allocate(SegmentKind::Heap, 16, "pool");
+  EXPECT_NO_THROW(engine.place_array(pool, 1, 0, "char[]"));
+  const auto* rec = engine.record_at(pool);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->event.size, 0u);
+  EXPECT_FALSE(rec->event.overflowed_arena);
+}
+
+TEST(PlacementEdgeTest, ExactFitIsNotAnOverflow) {
+  Memory mem;
+  objmodel::TypeRegistry registry(mem);
+  placement::PlacementEngine engine(
+      registry, placement::PlacementPolicy{.bounds_check = true});
+  const auto pool = mem.allocate(SegmentKind::Heap, 64, "pool");
+  EXPECT_NO_THROW(engine.place_array(pool, 1, 64, "char[]"));
+  EXPECT_THROW(engine.place_array(pool, 1, 65, "char[]"),
+               placement::PlacementRejected);
+}
+
+}  // namespace
+}  // namespace pnlab

@@ -1,0 +1,194 @@
+// Unit tests for the guard protections: canary verdicts (including the
+// §5.2 bypass blind spot), shadow stack, libsafe-style interceptor,
+// control-transfer classification, leak tracker and scrubbing.
+#include "guard/protections.h"
+
+#include <gtest/gtest.h>
+
+#include "objmodel/corpus.h"
+
+namespace pnlab::guard {
+namespace {
+
+using memsim::Address;
+using memsim::CallStack;
+using memsim::FrameOptions;
+using memsim::Memory;
+using memsim::SegmentKind;
+
+TEST(CanaryVerdictTest, CleanReturn) {
+  memsim::ReturnResult r;
+  r.canary_intact = true;
+  r.return_address_tampered = false;
+  EXPECT_EQ(judge_return(true, r), CanaryVerdict::Clean);
+  EXPECT_EQ(judge_return(false, r), CanaryVerdict::NotProtected);
+}
+
+TEST(CanaryVerdictTest, SmashDetected) {
+  memsim::ReturnResult r;
+  r.canary_intact = false;
+  r.return_address_tampered = true;
+  EXPECT_EQ(judge_return(true, r), CanaryVerdict::SmashDetected);
+}
+
+TEST(CanaryVerdictTest, BypassIsStackGuardsBlindSpot) {
+  // §5.2: return address tampered, canary intact → StackGuard sees
+  // nothing wrong, but the verdict enum names the condition.
+  memsim::ReturnResult r;
+  r.canary_intact = true;
+  r.return_address_tampered = true;
+  EXPECT_EQ(judge_return(true, r), CanaryVerdict::Bypassed);
+  EXPECT_EQ(judge_return(false, r), CanaryVerdict::NotProtected);
+}
+
+TEST(CanaryVerdictTest, FrameOverloadUsesFrameOptions) {
+  Memory mem;
+  CallStack stack(mem, FrameOptions{.use_canary = true});
+  memsim::Frame& f = stack.push_frame("f", 0x08048000);
+  mem.write_u32(f.canary_slot, 0xBAD);
+  memsim::ReturnResult r = stack.pop_frame();
+  EXPECT_EQ(judge_return(f, r), CanaryVerdict::SmashDetected);
+}
+
+TEST(ShadowStackTest, MatchingReturnsPass) {
+  ShadowStack shadow;
+  shadow.on_call(0x1000);
+  shadow.on_call(0x2000);
+  EXPECT_TRUE(shadow.on_return(0x2000));
+  EXPECT_TRUE(shadow.on_return(0x1000));
+  EXPECT_EQ(shadow.mismatches(), 0u);
+}
+
+TEST(ShadowStackTest, TamperedReturnCaught) {
+  ShadowStack shadow;
+  shadow.on_call(0x1000);
+  EXPECT_FALSE(shadow.on_return(0x41414141));
+  EXPECT_EQ(shadow.mismatches(), 1u);
+}
+
+TEST(ShadowStackTest, UnderflowThrows) {
+  ShadowStack shadow;
+  EXPECT_THROW(shadow.on_return(0x1000), std::logic_error);
+}
+
+class InterceptorTest : public ::testing::Test {
+ protected:
+  InterceptorTest() { objmodel::corpus::define_student_types(registry); }
+  Memory mem;
+  objmodel::TypeRegistry registry{mem};
+  placement::PlacementEngine engine{registry};
+};
+
+TEST_F(InterceptorTest, FlagsOverflowWithoutPreventing) {
+  PlacementInterceptor interceptor(engine);
+  const Address arena = mem.allocate(SegmentKind::Bss, 16, "stud");
+  EXPECT_NO_THROW(engine.place_object(arena, "GradStudent"));
+  ASSERT_EQ(interceptor.violations().size(), 1u);
+  EXPECT_EQ(interceptor.violations()[0].reason, "bounds-exceeded");
+  EXPECT_EQ(interceptor.violations()[0].event.arena_label, "stud");
+  EXPECT_EQ(interceptor.placements_seen(), 1u);
+}
+
+TEST_F(InterceptorTest, SilentOnFittingPlacement) {
+  PlacementInterceptor interceptor(engine);
+  const Address arena = mem.allocate(SegmentKind::Heap, 64, "pool");
+  engine.place_object(arena, "Student");
+  EXPECT_TRUE(interceptor.violations().empty());
+  EXPECT_EQ(interceptor.placements_seen(), 1u);
+}
+
+TEST_F(InterceptorTest, UnknownArenaFlaggedOnlyWhenConservative) {
+  const Address somewhere = mem.segment_base(SegmentKind::Bss) + 0x9000;
+  {
+    PlacementInterceptor permissive(engine);
+    engine.place_object(somewhere, "Student");
+    EXPECT_TRUE(permissive.violations().empty());
+  }
+  placement::PlacementEngine engine2{registry};
+  PlacementInterceptor conservative(engine2, /*flag_unknown_arena=*/true);
+  engine2.place_object(somewhere + 64, "Student");
+  ASSERT_EQ(conservative.violations().size(), 1u);
+  EXPECT_EQ(conservative.violations()[0].reason, "unknown-arena");
+}
+
+TEST_F(InterceptorTest, ClearResets) {
+  PlacementInterceptor interceptor(engine);
+  const Address arena = mem.allocate(SegmentKind::Bss, 16, "stud");
+  engine.place_object(arena, "GradStudent");
+  interceptor.clear();
+  EXPECT_TRUE(interceptor.violations().empty());
+  EXPECT_EQ(interceptor.placements_seen(), 0u);
+}
+
+TEST(ControlTransferTest, NormalReturn) {
+  Memory mem;
+  const Address ret = mem.add_text_symbol("caller");
+  const ControlTransfer ct = classify_control_transfer(mem, ret, ret);
+  EXPECT_EQ(ct.kind, ControlTransfer::Kind::NormalReturn);
+}
+
+TEST(ControlTransferTest, ArcInjectionResolvesSymbolAndPrivilege) {
+  Memory mem;
+  const Address ret = mem.add_text_symbol("caller");
+  const Address gate = mem.add_text_symbol("gate", /*privileged=*/true);
+  const ControlTransfer ct = classify_control_transfer(mem, gate, ret);
+  EXPECT_EQ(ct.kind, ControlTransfer::Kind::ArcInjection);
+  EXPECT_EQ(ct.symbol, "gate");
+  EXPECT_TRUE(ct.privileged);
+}
+
+TEST(ControlTransferTest, StackTargetDependsOnNx) {
+  Memory mem;
+  const Address ret = mem.add_text_symbol("caller");
+  const Address stack_addr = mem.stack_pointer() - 64;
+  EXPECT_EQ(classify_control_transfer(mem, stack_addr, ret).kind,
+            ControlTransfer::Kind::Fault)
+      << "NX stack: return into stack faults";
+  mem.set_executable_stack(true);
+  EXPECT_EQ(classify_control_transfer(mem, stack_addr, ret).kind,
+            ControlTransfer::Kind::CodeInjection);
+}
+
+TEST(ControlTransferTest, UnmappedTargetFaults) {
+  Memory mem;
+  EXPECT_EQ(classify_control_transfer(mem, 0x1234, 0x5678).kind,
+            ControlTransfer::Kind::Fault);
+}
+
+TEST(ControlTransferTest, DataTargetFaults) {
+  Memory mem;
+  const Address d = mem.allocate(SegmentKind::Data, 16, "d");
+  EXPECT_EQ(classify_control_transfer(mem, d, 0).kind,
+            ControlTransfer::Kind::Fault);
+}
+
+TEST_F(InterceptorTest, LeakTrackerBudgets) {
+  const Address arena = mem.allocate(SegmentKind::Heap, 28, "gs");
+  engine.place_object(arena, "GradStudent");
+  engine.release_through(arena, "Student");
+  LeakTracker strict(engine, /*budget=*/0);
+  LeakTracker lenient(engine, /*budget=*/64);
+  EXPECT_TRUE(strict.over_budget());
+  EXPECT_FALSE(lenient.over_budget());
+  EXPECT_NE(strict.report().find("leaked_bytes=12"), std::string::npos);
+  EXPECT_NE(strict.report().find("OVER BUDGET"), std::string::npos);
+  EXPECT_EQ(lenient.report().find("OVER BUDGET"), std::string::npos);
+}
+
+TEST(ScrubTest, ScrubsWholeAllocation) {
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Heap, 32, "buf");
+  mem.fill(a, 32, std::byte{'S'});
+  scrub_allocation(mem, a + 10);  // any interior address works
+  EXPECT_EQ(mem.read_u8(a), 0);
+  EXPECT_EQ(mem.read_u8(a + 31), 0);
+}
+
+TEST(ScrubTest, UnknownTargetThrows) {
+  Memory mem;
+  EXPECT_THROW(scrub_allocation(mem, mem.segment_base(SegmentKind::Bss)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnlab::guard

@@ -1,0 +1,452 @@
+// Tests for the PNC interpreter: language semantics on the simulated
+// image, then the paper's listings *executed* — the dynamic counterpart
+// of the static-analyzer corpus.
+#include <gtest/gtest.h>
+
+#include "interp/interp.h"
+
+namespace pnlab::interp {
+namespace {
+
+RunResult run_src(const std::string& source, RunOptions options = {}) {
+  Interpreter interp(source, std::move(options));
+  return interp.run();
+}
+
+// ---------------------------------------------------------------------
+// Language semantics.
+
+TEST(InterpTest, ArithmeticAndReturn) {
+  const RunResult r = run_src(R"(
+int main() {
+  int a = 6;
+  int b = 7;
+  return a * b + 1 - 1;
+}
+)");
+  EXPECT_EQ(r.termination, Termination::Normal);
+  EXPECT_EQ(r.return_value.as_int(), 42);
+}
+
+TEST(InterpTest, ControlFlowAndLoops) {
+  const RunResult r = run_src(R"(
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) {
+      sum = sum + i;
+    }
+  }
+  int k = 3;
+  while (k > 0) {
+    sum = sum + 100;
+    k = k - 1;
+  }
+  return sum;
+}
+)");
+  EXPECT_EQ(r.return_value.as_int(), 20 + 300);
+}
+
+TEST(InterpTest, FunctionsAndRecursion) {
+  const RunResult r = run_src(R"(
+int fact(int n) {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+int main() {
+  return fact(6);
+}
+)");
+  EXPECT_EQ(r.return_value.as_int(), 720);
+}
+
+TEST(InterpTest, GlobalsAndCinScript) {
+  const std::string source = R"(
+int g_first = 0;
+int g_second = 0;
+void main() {
+  cin >> g_first;
+  cin >> g_second;
+}
+)";
+  RunOptions options;
+  options.cin_values = {41, 42};
+  Interpreter interp(source, options);
+  const RunResult r = interp.run();
+  EXPECT_EQ(r.termination, Termination::Normal);
+  EXPECT_EQ(interp.memory().read_i32(interp.global_address("g_first")), 41);
+  EXPECT_EQ(interp.memory().read_i32(interp.global_address("g_second")), 42);
+}
+
+TEST(InterpTest, ClassMembersAndPointers) {
+  const RunResult r = run_src(R"(
+class Student { double gpa; int year; int semester; };
+int main() {
+  Student stud;
+  Student* p = &stud;
+  p->gpa = 3.5;
+  stud.year = 2011;
+  p->semester = stud.year - 2000;
+  return p->semester + stud.year;
+}
+)");
+  EXPECT_EQ(r.return_value.as_int(), 11 + 2011);
+}
+
+TEST(InterpTest, ArraysIndexingAndVla) {
+  const RunResult r = run_src(R"(
+int main() {
+  int fixed[4];
+  fixed[0] = 5;
+  fixed[3] = 7;
+  int n = 3;
+  char vla[n * 2];
+  vla[5] = 9;
+  return fixed[0] + fixed[3] + vla[5];
+}
+)");
+  EXPECT_EQ(r.return_value.as_int(), 21);
+}
+
+TEST(InterpTest, StrncpyThroughSimulatedMemory) {
+  const RunResult r = run_src(R"(
+char buf[16];
+int main() {
+  strncpy(buf, "hi", 8);
+  return buf[0] + buf[1] + buf[2];
+}
+)");
+  EXPECT_EQ(r.return_value.as_int(), 'h' + 'i' + 0)
+      << "copies through the NUL then zero-pads";
+}
+
+TEST(InterpTest, PrintAndSizeof) {
+  const RunResult r = run_src(R"(
+class Student { double gpa; int year; int semester; };
+int main() {
+  Student stud;
+  print(sizeof(Student), sizeof(stud));
+  return sizeof(Student);
+}
+)");
+  EXPECT_EQ(r.return_value.as_int(), 16);
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], "16 16");
+}
+
+TEST(InterpTest, HeapNewAndDelete) {
+  const RunResult r = run_src(R"(
+class Student { double gpa; int year; int semester; };
+int main() {
+  Student* s = new Student(3.5, 2011, 1);
+  int y = s->year;
+  delete s;
+  return y;
+}
+)");
+  EXPECT_EQ(r.termination, Termination::Normal) << r.detail;
+  EXPECT_EQ(r.return_value.as_int(), 2011);
+  EXPECT_EQ(r.leaks.leaked_bytes, 0u);
+}
+
+TEST(InterpTest, UnknownEntryIsRuntimeError) {
+  RunOptions options;
+  options.entry = "nonexistent";
+  const RunResult r = run_src("int main() { return 0; }", options);
+  EXPECT_EQ(r.termination, Termination::RuntimeError);
+}
+
+TEST(InterpTest, OutOfSegmentAccessIsMemoryFault) {
+  const RunResult r = run_src(R"(
+int main() {
+  int* p = NULL;
+  return *p;
+}
+)");
+  EXPECT_EQ(r.termination, Termination::MemoryFault);
+}
+
+// ---------------------------------------------------------------------
+// The paper's listings, executed.
+
+constexpr const char* kClasses = R"(
+class Student { double gpa; int year; int semester; };
+class GradStudent : Student { int ssn[3]; };
+)";
+
+TEST(InterpAttackTest, Listing11BssOverflowCorruptsAdjacentGlobal) {
+  const std::string source = std::string(kClasses) + R"(
+Student stud1;
+Student stud2;
+void main() {
+  Student* honest = new (&stud2) Student(3.8, 2009, 1);
+  GradStudent* st = new (&stud1) GradStudent(4.0, 2009, 1);
+  cin >> st->ssn[0];
+  cin >> st->ssn[1];
+  cin >> st->ssn[2];
+}
+)";
+  RunOptions options;
+  options.cin_values = {0x41414141, 0x42424242, 7};
+  Interpreter interp(source, options);
+  const RunResult r = interp.run();
+  ASSERT_EQ(r.termination, Termination::Normal) << r.detail;
+  // stud2.gpa's low word now holds ssn[0]'s value.
+  const double gpa =
+      interp.memory().read_f64(interp.global_address("stud2"));
+  EXPECT_NE(gpa, 3.8) << "Listing 11: 'overwrites gpa of stud2'";
+}
+
+// The Listing 13 victim, entry-friendly (parameters would sit between
+// stud and the frame slots and shift the paper's ssn↔slot aliasing).
+constexpr const char* kListing13Body = R"(
+void addStudent() {
+  Student stud;
+  GradStudent* gs = new (&stud) GradStudent();
+  int i = 0;
+  int dssn = 0;
+  while (i < 3) {
+    cin >> dssn;
+    if (dssn > 0) {
+      gs->ssn[i] = dssn;
+    }
+    i = i + 1;
+  }
+}
+)";
+
+TEST(InterpAttackTest, Listing13NaiveSmashFaultsOrIsCaught) {
+  const std::string source = std::string(kClasses) + kListing13Body;
+  // Unprotected victim, naive all-positive input: the saved FP and the
+  // return address both get clobbered; control lands on unmapped bytes.
+  RunOptions as_entry;
+  as_entry.entry = "addStudent";
+  as_entry.cin_values = {1111, 0x41414141, 2222};
+  {
+    Interpreter interp(source, as_entry);
+    const RunResult r = interp.run();
+    EXPECT_EQ(r.termination, Termination::Normal) << r.detail;
+    EXPECT_EQ(r.final_transfer.kind, guard::ControlTransfer::Kind::Fault)
+        << "return address 0x41414141 points at unmapped memory";
+  }
+
+  // StackGuard victim: the canary word sits at ssn[0]; the naive write
+  // smashes it and the run aborts.
+  RunOptions guarded = as_entry;
+  guarded.frame.use_canary = true;
+  {
+    Interpreter interp(source, guarded);
+    const RunResult r = interp.run();
+    EXPECT_EQ(r.termination, Termination::CanaryAbort) << r.detail;
+  }
+}
+
+TEST(InterpAttackTest, Listing13SelectiveBypassDefeatsCanary) {
+  const std::string source = std::string(kClasses) + kListing13Body;
+  // §5.2: non-positive for the canary and FP slots, target for the RA.
+  RunOptions options;
+  options.entry = "addStudent";
+  options.frame.use_canary = true;
+  options.cin_values = {-1, -1, 0x41414141};
+  {
+    Interpreter interp(source, options);
+    const RunResult r = interp.run();
+    EXPECT_EQ(r.termination, Termination::Normal)
+        << "StackGuard saw nothing: " << r.detail;
+    EXPECT_NE(r.final_transfer.kind,
+              guard::ControlTransfer::Kind::NormalReturn)
+        << "yet control did not return to the caller";
+  }
+  // The §5.2 remedy: a shadow return-address stack catches it.
+  options.shadow_stack = true;
+  {
+    Interpreter interp(source, options);
+    const RunResult r = interp.run();
+    EXPECT_EQ(r.termination, Termination::ShadowStackAbort) << r.detail;
+  }
+}
+
+TEST(InterpAttackTest, CheckedPlacementStopsTheListingAtTheSource) {
+  const std::string source = std::string(kClasses) + R"(
+void main() {
+  Student stud;
+  GradStudent* st = new (&stud) GradStudent();
+}
+)";
+  RunOptions options;
+  options.policy = placement::PlacementPolicy{.bounds_check = true};
+  const RunResult r = run_src(source, options);
+  EXPECT_EQ(r.termination, Termination::PlacementRejected);
+  EXPECT_NE(r.detail.find("28"), std::string::npos);
+}
+
+TEST(InterpAttackTest, DosLoopCorruptionHitsStepLimit) {
+  const std::string source = std::string(kClasses) + R"(
+void serveBatch(bool doAttack) {
+  int n = 5;
+  Student stud;
+  if (doAttack) {
+    GradStudent* gs = new (&stud) GradStudent();
+    cin >> gs->ssn[0];
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    serve(i);
+  }
+}
+)";
+  // In this frame (param + n above stud) ssn[0] aliases n directly.
+  RunOptions honest;
+  honest.entry = "serveBatch";
+  honest.entry_args = {0};  // no attack block: n stays 5
+  honest.max_steps = 100000;
+  {
+    const RunResult r = run_src(source, honest);
+    EXPECT_EQ(r.termination, Termination::Normal) << r.detail;
+    EXPECT_LT(r.steps, 1000u);
+  }
+  RunOptions attacked = honest;
+  attacked.entry_args = {1};
+  attacked.cin_values = {0x7fffffff};
+  {
+    const RunResult r = run_src(source, attacked);
+    EXPECT_EQ(r.termination, Termination::StepLimit)
+        << "the corrupted loop bound pins the worker: " << r.detail;
+    EXPECT_GE(r.steps, 100000u);
+  }
+}
+
+TEST(InterpAttackTest, Listing12HeapOverflowRewritesName) {
+  const std::string source = std::string(kClasses) + R"(
+void main() {
+  Student* stud = new Student();
+  char* name = new char[16];
+  strncpy(name, "abcdefghijklmno", 16);
+  GradStudent* st = new (stud) GradStudent();
+  print(name[0]);
+  cin >> st->ssn[0];
+  cin >> st->ssn[1];
+  cin >> st->ssn[2];
+  print(name[0]);
+}
+)";
+  RunOptions options;
+  // 'XXXX' 'YYYY' 'ZZZZ' as little-endian ints.
+  options.cin_values = {0x58585858, 0x59595959, 0x5A5A5A5A};
+  const RunResult r = run_src(source, options);
+  ASSERT_EQ(r.termination, Termination::Normal) << r.detail;
+  ASSERT_EQ(r.output.size(), 2u);
+  EXPECT_EQ(r.output[0], std::to_string('a')) << "Before Attack: abcdef...";
+  EXPECT_EQ(r.output[1], std::to_string('X')) << "After Attack: XXXXYYYY...";
+}
+
+TEST(InterpAttackTest, Listing21InfoLeakVisibleInStoredOutput) {
+  const std::string source = R"(
+char mem_pool[64];
+void main() {
+  read_file(mem_pool);
+  char* userdata = new (mem_pool) char[48];
+  strncpy(userdata, "guest", 6);
+  store(userdata);
+}
+)";
+  const RunResult r = run_src(source);
+  ASSERT_EQ(r.termination, Termination::Normal) << r.detail;
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_NE(r.output[0].find("guest"), std::string::npos);
+  EXPECT_NE(r.output[0].find("s3cr3t"), std::string::npos)
+      << "password residue leaked through store(): " << r.output[0];
+
+  // The §5.1 fix, in source: memset before reuse.
+  const std::string fixed = R"(
+char mem_pool[64];
+void main() {
+  read_file(mem_pool);
+  memset(mem_pool, 0, 64);
+  char* userdata = new (mem_pool) char[48];
+  strncpy(userdata, "guest", 6);
+  store(userdata);
+}
+)";
+  const RunResult f = run_src(fixed);
+  EXPECT_EQ(f.output[0].find("s3cr3t"), std::string::npos)
+      << "sanitized pool leaks nothing: " << f.output[0];
+}
+
+TEST(InterpAttackTest, Listing23LeakAccumulatesPerIteration) {
+  const std::string source = std::string(kClasses) + R"(
+void main() {
+  for (int i = 0; i < 100; i = i + 1) {
+    GradStudent* stud = new GradStudent();
+    Student* st = new (stud) Student();
+    stud = NULL;
+  }
+}
+)";
+  const RunResult r = run_src(source);
+  ASSERT_EQ(r.termination, Termination::Normal) << r.detail;
+  EXPECT_EQ(r.leaks.live_bytes, 100u * 28u)
+      << "every arena is stranded live: nulling the pointer released "
+         "nothing";
+  EXPECT_EQ(r.leaks.live_placements, 100u);
+
+  const std::string with_destroy = std::string(kClasses) + R"(
+void main() {
+  for (int i = 0; i < 100; i = i + 1) {
+    GradStudent* stud = new GradStudent();
+    Student* st = new (stud) Student();
+    destroy(st);
+  }
+}
+)";
+  const RunResult d = run_src(with_destroy);
+  EXPECT_EQ(d.leaks.leaked_bytes, 0u);
+  EXPECT_EQ(d.leaks.live_bytes, 0u);
+}
+
+TEST(InterpAttackTest, SizeofGuardInSourceDefendsAtRuntime) {
+  // The fixer's output pattern: the guard makes the dangerous placement
+  // unreachable, so even the unchecked engine never overflows.
+  const std::string source = std::string(kClasses) + R"(
+Student stud1;
+int sentinel = 777;
+void main() {
+  if (sizeof(GradStudent) <= sizeof(stud1)) {
+    GradStudent* st = new (&stud1) GradStudent();
+    cin >> st->ssn[0];
+  }
+}
+)";
+  RunOptions options;
+  options.cin_values = {0x41414141};
+  Interpreter interp(source, options);
+  const RunResult r = interp.run();
+  EXPECT_EQ(r.termination, Termination::Normal);
+  EXPECT_EQ(interp.memory().read_i32(interp.global_address("sentinel")),
+            777)
+      << "guarded placement never executed";
+}
+
+TEST(InterpAttackTest, WatchpointSeesTheOverflowingWrite) {
+  const std::string source = std::string(kClasses) + R"(
+Student stud1;
+int noOfStudents = 0;
+void main() {
+  GradStudent* st = new (&stud1) GradStudent();
+  cin >> st->ssn[0];
+}
+)";
+  RunOptions options;
+  options.cin_values = {1000000};
+  Interpreter interp(source, options);
+  interp.watch_global("noOfStudents");
+  const RunResult r = interp.run();
+  ASSERT_EQ(r.termination, Termination::Normal) << r.detail;
+  EXPECT_FALSE(interp.memory().drain_watch_hits().empty());
+  EXPECT_EQ(interp.memory().read_i32(interp.global_address("noOfStudents")),
+            1000000)
+      << "Listing 14 dynamically";
+}
+
+}  // namespace
+}  // namespace pnlab::interp

@@ -1,0 +1,160 @@
+// LP64 model integration tests: the paper's attacks on a 64-bit image.
+//
+// The paper's testbed is 32-bit, where one int-sized ssn[] write fully
+// controls a return address or pointer.  Under LP64 the layout arithmetic
+// shifts (GradStudent grows to 32 bytes, pointers to 8) and a single
+// 4-byte write only controls *half* a code pointer — these tests pin down
+// exactly how each attack generalizes.
+#include <gtest/gtest.h>
+
+#include "guard/protections.h"
+#include "memsim/stack.h"
+#include "objmodel/corpus.h"
+#include "placement/engine.h"
+
+namespace pnlab {
+namespace {
+
+using memsim::Address;
+using memsim::CallStack;
+using memsim::FrameOptions;
+using memsim::MachineModel;
+using memsim::Memory;
+using memsim::SegmentKind;
+
+struct Lp64Lab {
+  Memory mem{MachineModel::lp64()};
+  objmodel::TypeRegistry registry{mem};
+  placement::PlacementEngine engine{registry};
+
+  Lp64Lab() {
+    objmodel::corpus::define_student_types(registry);
+    objmodel::corpus::define_virtual_student_types(registry);
+  }
+};
+
+TEST(Lp64AttackTest, ObjectOverflowStillLandsPastArena) {
+  Lp64Lab lab;
+  // LP64: Student 16 (8-aligned), GradStudent 16+12 → padded to 32.
+  const Address stud = lab.mem.allocate(SegmentKind::Bss, 16, "stud", 8);
+  const Address victim = lab.mem.allocate(SegmentKind::Bss, 16, "victim", 8);
+  ASSERT_EQ(victim, stud + 16);
+
+  auto st = lab.engine.place_object(stud, "GradStudent");
+  st.write_int("ssn", 0x41414141, 0);
+  EXPECT_EQ(lab.mem.read_i32(victim), 0x41414141)
+      << "ssn still starts exactly at the end of the Student subobject";
+}
+
+TEST(Lp64AttackTest, OverflowExtentGrowsWithTailPadding) {
+  Lp64Lab lab;
+  const auto& grad = lab.registry.get("GradStudent");
+  const auto& student = lab.registry.get("Student");
+  EXPECT_EQ(grad.size - student.size, 16u)
+      << "LP64 leaks 16 bytes past the arena (12 ssn + 4 tail padding), "
+         "vs 12 under ILP32";
+}
+
+TEST(Lp64AttackTest, SingleIntWriteOnlyControlsHalfTheReturnAddress) {
+  Lp64Lab lab;
+  CallStack stack(lab.mem, FrameOptions{.save_frame_pointer = true,
+                                        .use_canary = false});
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  memsim::Frame& frame = stack.push_frame("addStudent", ret_to);
+  const Address stud = stack.push_local("stud", 16, 8);
+
+  auto gs = lab.engine.place_object(stud, "GradStudent");
+  // ssn[] spans [stud+16, stud+28); the 8-byte saved FP sits at
+  // stud+16 and the RA at stud+24 in this frame — ssn[2] reaches only
+  // the LOW half of the return address.
+  const Address ssn2 = gs.member_address("ssn", 2);
+  ASSERT_EQ(ssn2, frame.return_address_slot)
+      << "ssn[2] aliases the low word of the RA";
+  gs.write_int("ssn", 0x41414141, 2);
+
+  const memsim::ReturnResult r = stack.pop_frame();
+  EXPECT_TRUE(r.return_address_tampered);
+  EXPECT_EQ(r.return_to & 0xffffffffull, 0x41414141ull);
+  EXPECT_EQ(r.return_to >> 32, ret_to >> 32)
+      << "high half keeps the original value: LP64 partial-pointer "
+         "overwrite, a real-world technique against nearby code";
+}
+
+TEST(Lp64AttackTest, PartialOverwriteCanStillReachNearbyText) {
+  // Redirecting within the same 4 GiB region: overwrite only the low
+  // word with another text symbol's low word.
+  Lp64Lab lab;
+  CallStack stack(lab.mem, FrameOptions{.save_frame_pointer = true});
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  const Address gate = lab.mem.add_text_symbol("system_call_gate", true);
+  ASSERT_EQ(ret_to >> 32, gate >> 32) << "same 4 GiB region";
+
+  memsim::Frame& frame = stack.push_frame("addStudent", ret_to);
+  const Address stud = stack.push_local("stud", 16, 8);
+  auto gs = lab.engine.place_object(stud, "GradStudent");
+  if (gs.member_address("ssn", 2) == frame.return_address_slot) {
+    gs.write_int("ssn", static_cast<std::int32_t>(gate & 0xffffffff), 2);
+  }
+  const memsim::ReturnResult r = stack.pop_frame();
+  const guard::ControlTransfer ct =
+      guard::classify_control_transfer(lab.mem, r.return_to, ret_to);
+  EXPECT_EQ(ct.kind, guard::ControlTransfer::Kind::ArcInjection);
+  EXPECT_EQ(ct.symbol, "system_call_gate");
+}
+
+TEST(Lp64AttackTest, CanaryIsEightBytesAndStillBypassable) {
+  Lp64Lab lab;
+  CallStack stack(lab.mem, FrameOptions{.save_frame_pointer = true,
+                                        .use_canary = true});
+  const Address ret_to = lab.mem.add_text_symbol("main_continue");
+  memsim::Frame& frame = stack.push_frame("addStudent", ret_to);
+  const Address stud = stack.push_local("stud", 16, 8);
+
+  // Frame downward: RA(8) FP(8) canary(8) stud(16).
+  EXPECT_EQ(frame.canary_slot, frame.return_address_slot - 16);
+  auto gs = lab.engine.place_object(stud, "GradStudent");
+  const Address ssn0 = gs.member_address("ssn", 0);
+  EXPECT_EQ(ssn0, frame.canary_slot)
+      << "ssn[0] starts on the canary; a selective attacker skips it";
+
+  // Selective write: skip ssn[0] and ssn[1] (canary), hit FP low word
+  // via ssn[2].
+  gs.write_int("ssn", 0x42424242, 2);
+  const memsim::ReturnResult r = stack.pop_frame();
+  EXPECT_TRUE(r.canary_intact) << "canary untouched";
+  EXPECT_FALSE(r.return_address_tampered)
+      << "ssn[3] would be needed for the RA: the LP64 frame pushes the "
+         "target further out but the bypass survives";
+}
+
+TEST(Lp64AttackTest, VirtualLayoutsShiftByPointerSize) {
+  Lp64Lab lab;
+  const auto& vs = lab.registry.get("VStudent");
+  const auto& vg = lab.registry.get("VGradStudent");
+  EXPECT_EQ(vs.member("gpa").offset, 8u) << "vptr is 8 bytes in LP64";
+  EXPECT_EQ(vs.size, 24u);
+  EXPECT_EQ(vg.member("ssn").offset, 24u);
+  EXPECT_EQ(vg.size, 40u);
+
+  // The vptr subterfuge works identically, with 8-byte pointers.
+  const Address a = lab.mem.allocate(SegmentKind::Bss, 64, "vstud", 8);
+  auto obj = lab.engine.place_object(a, "VStudent");
+  const Address evil = lab.mem.add_text_symbol("evil");
+  const Address fake = lab.mem.allocate(SegmentKind::Bss, 8, "fake", 8);
+  lab.mem.write_ptr(fake, evil);
+  obj.write_vptr(fake);
+  EXPECT_EQ(obj.virtual_call("getInfo").outcome,
+            objmodel::DispatchResult::Outcome::Hijacked);
+}
+
+TEST(Lp64AttackTest, LeakArithmeticUsesLp64Sizes) {
+  Lp64Lab lab;
+  const Address arena = lab.mem.allocate(SegmentKind::Heap, 32, "gs");
+  lab.engine.place_object(arena, "GradStudent");
+  lab.engine.release_through(arena, "Student");
+  EXPECT_EQ(lab.engine.leak_stats().leaked_bytes, 16u)
+      << "32 - 16: the Listing 23 leak is larger on LP64";
+}
+
+}  // namespace
+}  // namespace pnlab

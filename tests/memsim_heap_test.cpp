@@ -1,0 +1,136 @@
+// Tests for the free-list heap allocator: allocation mechanics, split /
+// coalesce / reuse, the allocation-map bridge, and — the reason it
+// exists — metadata corruption by overflowing writes.
+#include "memsim/heap.h"
+
+#include <gtest/gtest.h>
+
+namespace pnlab::memsim {
+namespace {
+
+TEST(HeapAllocatorTest, MallocReturnsAlignedDisjointPayloads) {
+  Memory mem;
+  HeapAllocator heap(mem);
+  const Address a = heap.malloc(16);
+  const Address b = heap.malloc(40);
+  const Address c = heap.malloc(8);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_EQ(c % 8, 0u);
+  EXPECT_GE(b, a + 16 + heap.header_size());
+  EXPECT_GE(c, b + 40 + heap.header_size());
+  EXPECT_TRUE(heap.integrity_check().empty());
+}
+
+TEST(HeapAllocatorTest, PayloadsAppearInAllocationMap) {
+  Memory mem;
+  HeapAllocator heap(mem);
+  const Address a = heap.malloc(16);
+  const Allocation* alloc = mem.find_allocation(a + 8);
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_EQ(alloc->addr, a);
+  EXPECT_EQ(alloc->size, 16u);
+  heap.free(a);
+  EXPECT_EQ(mem.find_allocation(a), nullptr);
+}
+
+TEST(HeapAllocatorTest, FreeEnablesFirstFitReuse) {
+  Memory mem;
+  HeapAllocator heap(mem);
+  const Address a = heap.malloc(32);
+  heap.malloc(32);  // keeps the pool from collapsing back
+  heap.free(a);
+  const Address c = heap.malloc(24);
+  EXPECT_EQ(c, a) << "first fit reuses the freed chunk";
+}
+
+TEST(HeapAllocatorTest, CoalescingMergesAdjacentFreeChunks) {
+  Memory mem;
+  HeapAllocator heap(mem);
+  const Address a = heap.malloc(16);
+  const Address b = heap.malloc(16);
+  heap.malloc(16);  // guard chunk
+  heap.free(b);
+  heap.free(a);  // forward-coalesces with b
+  // A request bigger than either original payload fits the merged chunk.
+  const Address d = heap.malloc(32);
+  EXPECT_EQ(d, a);
+  EXPECT_TRUE(heap.integrity_check().empty());
+}
+
+TEST(HeapAllocatorTest, StatsTrackUsage) {
+  Memory mem;
+  HeapAllocator heap(mem, 4096);
+  const Address a = heap.malloc(100);
+  auto s = heap.stats();
+  EXPECT_EQ(s.mallocs, 1u);
+  EXPECT_GE(s.in_use_bytes, 100u);
+  heap.free(a);
+  s = heap.stats();
+  EXPECT_EQ(s.frees, 1u);
+  EXPECT_EQ(s.in_use_bytes, 0u);
+  EXPECT_EQ(s.pool_size, 4096u);
+}
+
+TEST(HeapAllocatorTest, ExhaustionFaults) {
+  Memory mem;
+  HeapAllocator heap(mem, 256);
+  EXPECT_THROW(heap.malloc(1024), MemoryFault);
+}
+
+TEST(HeapAllocatorTest, DoubleFreeAndForeignPointerDetected) {
+  Memory mem;
+  HeapAllocator heap(mem);
+  const Address a = heap.malloc(16);
+  heap.free(a);
+  EXPECT_THROW(heap.free(a), std::logic_error);
+  EXPECT_THROW(heap.free(0x1234), std::logic_error);
+}
+
+TEST(HeapAllocatorTest, OverflowIntoNextHeaderIsDetected) {
+  Memory mem;
+  HeapAllocator heap(mem);
+  const Address a = heap.malloc(16);
+  heap.malloc(16);
+  // Write 20 bytes into a 16-byte payload: the last 4 land on the next
+  // chunk's size field.
+  mem.fill(a, 20, std::byte{0x41});
+  const auto corruptions = heap.integrity_check();
+  ASSERT_EQ(corruptions.size(), 1u);
+  EXPECT_EQ(corruptions[0].reason, "header checksum mismatch");
+}
+
+TEST(HeapAllocatorTest, FreeingThroughCorruptedMetadataThrows) {
+  Memory mem;
+  HeapAllocator heap(mem);
+  const Address a = heap.malloc(16);
+  const Address b = heap.malloc(16);
+  mem.fill(a, 24, std::byte{0x41});  // trash b's entire header
+  EXPECT_THROW(heap.free(b), std::logic_error)
+      << "the allocator refuses to walk attacker-controlled metadata";
+  // And the next malloc, which must walk past it, refuses too.
+  EXPECT_THROW(heap.malloc(8), std::logic_error);
+}
+
+TEST(HeapAllocatorTest, IntactHeapSurvivesManyCycles) {
+  Memory mem;
+  HeapAllocator heap(mem, 8192);
+  std::vector<Address> live;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      live.push_back(heap.malloc(static_cast<std::size_t>(8 + 8 * i)));
+    }
+    for (std::size_t i = 0; i < live.size(); i += 2) {
+      heap.free(live[i]);
+    }
+    std::vector<Address> kept;
+    for (std::size_t i = 1; i < live.size(); i += 2) kept.push_back(live[i]);
+    live = kept;
+    ASSERT_TRUE(heap.integrity_check().empty()) << "round " << round;
+  }
+  for (Address a : live) heap.free(a);
+  EXPECT_EQ(heap.stats().in_use_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace pnlab::memsim

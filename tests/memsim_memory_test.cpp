@@ -1,0 +1,245 @@
+// Unit tests for the simulated process memory (segments, typed access,
+// allocation bookkeeping, watchpoints, fault model).
+#include "memsim/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace pnlab::memsim {
+namespace {
+
+TEST(MemoryTest, SegmentGeometryIsDisjointAndOrdered) {
+  Memory mem;
+  EXPECT_LT(mem.segment_end(SegmentKind::Text),
+            mem.segment_base(SegmentKind::Data) + 1);
+  EXPECT_LE(mem.segment_end(SegmentKind::Data),
+            mem.segment_base(SegmentKind::Bss));
+  EXPECT_LE(mem.segment_end(SegmentKind::Bss),
+            mem.segment_base(SegmentKind::Heap));
+  EXPECT_LE(mem.segment_end(SegmentKind::Heap),
+            mem.segment_base(SegmentKind::Stack));
+}
+
+TEST(MemoryTest, TypedRoundTrips) {
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Heap, 64, "scratch");
+  mem.write_u8(a, 0xAB);
+  EXPECT_EQ(mem.read_u8(a), 0xAB);
+  mem.write_u16(a + 2, 0xBEEF);
+  EXPECT_EQ(mem.read_u16(a + 2), 0xBEEF);
+  mem.write_u32(a + 4, 0xDEADBEEF);
+  EXPECT_EQ(mem.read_u32(a + 4), 0xDEADBEEFu);
+  mem.write_u64(a + 8, 0x0123456789ABCDEFull);
+  EXPECT_EQ(mem.read_u64(a + 8), 0x0123456789ABCDEFull);
+  mem.write_i32(a + 16, -42);
+  EXPECT_EQ(mem.read_i32(a + 16), -42);
+  mem.write_f64(a + 24, 3.875);
+  EXPECT_DOUBLE_EQ(mem.read_f64(a + 24), 3.875);
+}
+
+TEST(MemoryTest, LittleEndianByteOrder) {
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Heap, 8, "le");
+  mem.write_u32(a, 0x11223344);
+  EXPECT_EQ(mem.read_u8(a), 0x44);
+  EXPECT_EQ(mem.read_u8(a + 3), 0x11);
+}
+
+TEST(MemoryTest, PointerWidthFollowsMachineModel) {
+  Memory m32{MachineModel::ilp32()};
+  Memory m64{MachineModel::lp64()};
+  const Address a32 = m32.allocate(SegmentKind::Heap, 16, "p");
+  const Address a64 = m64.allocate(SegmentKind::Heap, 16, "p");
+
+  m32.fill(a32, 16, std::byte{0xFF});
+  m32.write_ptr(a32, 0x08048123);
+  EXPECT_EQ(m32.read_u8(a32 + 4), 0xFF) << "ILP32 pointer is 4 bytes";
+
+  m64.fill(a64, 16, std::byte{0xFF});
+  m64.write_ptr(a64, 0x08048123);
+  EXPECT_EQ(m64.read_u8(a64 + 4), 0x00) << "LP64 pointer is 8 bytes";
+  EXPECT_EQ(m64.read_ptr(a64), 0x08048123u);
+}
+
+TEST(MemoryTest, AccessOutsideSegmentsFaults) {
+  Memory mem;
+  EXPECT_THROW(mem.read_u32(0x1000), MemoryFault);
+  EXPECT_THROW(mem.write_u32(0x1000, 1), MemoryFault);
+  // A straddling access that starts inside a segment but runs off its end
+  // also faults.
+  const Address end = mem.segment_end(SegmentKind::Heap);
+  EXPECT_THROW(mem.write_u64(end - 4, 1), MemoryFault);
+}
+
+TEST(MemoryTest, TextSegmentIsNotWritable) {
+  Memory mem;
+  const Address fn = mem.add_text_symbol("main");
+  EXPECT_THROW(mem.write_u32(fn, 0x90909090), MemoryFault);
+  EXPECT_NO_THROW(mem.read_u32(fn));
+}
+
+TEST(MemoryTest, WritesWithinSegmentButOutsideAllocationSucceed) {
+  // The core property the paper exploits: allocation records do not
+  // protect anything; only segment bounds fault.
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Bss, 16, "small");
+  EXPECT_NO_THROW(mem.write_u32(a + 16, 0x41414141));
+  EXPECT_NO_THROW(mem.write_u32(a + 64, 0x41414141));
+}
+
+TEST(MemoryTest, BssZeroInitializedHeapPatterned) {
+  Memory mem;
+  const Address b = mem.allocate(SegmentKind::Bss, 8, "zeroed");
+  EXPECT_EQ(mem.read_u64(b), 0u);
+  const Address h = mem.allocate(SegmentKind::Heap, 8, "patterned");
+  EXPECT_EQ(mem.read_u8(h), 0xCD);
+}
+
+TEST(MemoryTest, AdjacentAllocationsAreContiguousModuloAlignment) {
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Bss, 16, "a", 4);
+  const Address b = mem.allocate(SegmentKind::Bss, 16, "b", 4);
+  EXPECT_EQ(b, a + 16) << "same-alignment allocations pack contiguously";
+}
+
+TEST(MemoryTest, FindAllocationCoversInteriorNotEnd) {
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Heap, 32, "arena");
+  ASSERT_NE(mem.find_allocation(a), nullptr);
+  ASSERT_NE(mem.find_allocation(a + 31), nullptr);
+  EXPECT_EQ(mem.find_allocation(a + 31)->label, "arena");
+  EXPECT_EQ(mem.find_allocation(a + 32), nullptr);
+}
+
+TEST(MemoryTest, ReleaseKeepsBytesIntact) {
+  // §4.3: releasing memory does not scrub it — that residue is the leak.
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Heap, 16, "secret");
+  mem.write_u32(a, 0x53533131);
+  mem.release(a);
+  EXPECT_EQ(mem.read_u32(a), 0x53533131u);
+  EXPECT_EQ(mem.find_allocation(a), nullptr) << "no longer live";
+  ASSERT_NE(mem.allocation_at(a), nullptr);
+  EXPECT_FALSE(mem.allocation_at(a)->live);
+}
+
+TEST(MemoryTest, WatchpointsReportOverlappingWrites) {
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Bss, 32, "victim");
+  mem.add_watchpoint(a + 8, 4, "victim.field");
+  mem.write_u32(a, 1);  // below the watch: no hit
+  mem.write_u32(a + 8, 2);
+  mem.write_u64(a + 4, 3);  // straddles the watch: hit
+  auto hits = mem.drain_watch_hits();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].label, "victim.field");
+  EXPECT_EQ(hits[1].write_addr, a + 4);
+  EXPECT_TRUE(mem.drain_watch_hits().empty()) << "drain clears";
+}
+
+TEST(MemoryTest, TextSymbolsResolveByAddressAndName) {
+  Memory mem;
+  const Address f1 = mem.add_text_symbol("checkUname");
+  const Address f2 = mem.add_text_symbol("system_call", /*privileged=*/true);
+  ASSERT_NE(mem.text_symbol_at(f1), nullptr);
+  EXPECT_EQ(mem.text_symbol_at(f1)->name, "checkUname");
+  EXPECT_TRUE(mem.text_symbol_at(f2)->privileged);
+  ASSERT_NE(mem.find_text_symbol("system_call"), nullptr);
+  EXPECT_EQ(mem.find_text_symbol("system_call")->addr, f2);
+  EXPECT_EQ(mem.find_text_symbol("nope"), nullptr);
+  EXPECT_NE(f1, f2);
+}
+
+TEST(MemoryTest, ExecutableStackToggle) {
+  Memory mem;
+  const Address sp = mem.stack_pointer() - 64;
+  EXPECT_FALSE(mem.is_executable(sp)) << "NX stack by default";
+  mem.set_executable_stack(true);
+  EXPECT_TRUE(mem.is_executable(sp));
+  EXPECT_TRUE(mem.is_executable(mem.add_text_symbol("f")));
+  EXPECT_FALSE(mem.is_executable(mem.segment_base(SegmentKind::Heap)));
+}
+
+TEST(MemoryTest, FillAndBytesWrittenAccounting) {
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Heap, 64, "buf");
+  const auto before = mem.bytes_written();
+  mem.fill(a, 64, std::byte{0x41});
+  EXPECT_EQ(mem.bytes_written() - before, 64u);
+  EXPECT_EQ(mem.read_u8(a + 63), 0x41);
+}
+
+TEST(MemoryTest, AccessLogRecordsWrites) {
+  Memory mem;
+  const Address a = mem.allocate(SegmentKind::Heap, 16, "buf");
+  mem.set_access_log_enabled(true);
+  mem.write_u32(a, 7);
+  auto log = mem.drain_access_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log[0].is_write);
+  EXPECT_EQ(log[0].addr, a);
+  EXPECT_EQ(log[0].size, 4u);
+}
+
+TEST(MemoryTest, AslrDisabledByDefault) {
+  Memory a;
+  Memory b;
+  EXPECT_EQ(a.segment_base(SegmentKind::Text),
+            b.segment_base(SegmentKind::Text));
+  EXPECT_EQ(a.stack_pointer(), b.stack_pointer());
+}
+
+TEST(MemoryTest, AslrIsDeterministicPerSeed) {
+  const AslrConfig cfg{12, 42};
+  Memory a(MachineModel::ilp32(), cfg);
+  Memory b(MachineModel::ilp32(), cfg);
+  EXPECT_EQ(a.segment_base(SegmentKind::Text),
+            b.segment_base(SegmentKind::Text));
+  EXPECT_EQ(a.segment_base(SegmentKind::Heap),
+            b.segment_base(SegmentKind::Heap));
+  EXPECT_EQ(a.stack_pointer(), b.stack_pointer());
+}
+
+TEST(MemoryTest, AslrSeedsShiftSegmentsPageAligned) {
+  Memory base;
+  Memory shifted(MachineModel::ilp32(), AslrConfig{12, 7});
+  const Address delta = shifted.segment_base(SegmentKind::Text) -
+                        base.segment_base(SegmentKind::Text);
+  EXPECT_EQ(delta % 0x1000, 0u) << "page-granular displacement";
+  // Image segments shift together (PIE-style).
+  EXPECT_EQ(shifted.segment_base(SegmentKind::Bss) -
+                base.segment_base(SegmentKind::Bss),
+            delta);
+  // Different seeds give different layouts (with 12 bits, a collision
+  // across two fixed seeds would be a 1/4096 fluke — these are chosen
+  // not to collide).
+  Memory other(MachineModel::ilp32(), AslrConfig{12, 8});
+  EXPECT_NE(other.segment_base(SegmentKind::Text),
+            shifted.segment_base(SegmentKind::Text));
+}
+
+TEST(MemoryTest, AslrKeepsMachineryWorking) {
+  Memory mem(MachineModel::ilp32(), AslrConfig{16, 99});
+  const Address a = mem.allocate(SegmentKind::Heap, 32, "buf");
+  mem.write_u32(a, 0xFEEDFACE);
+  EXPECT_EQ(mem.read_u32(a), 0xFEEDFACEu);
+  const Address fn = mem.add_text_symbol("f");
+  EXPECT_EQ(mem.text_symbol_at(fn)->name, "f");
+  EXPECT_EQ(mem.segment_of(fn), SegmentKind::Text);
+}
+
+TEST(MemoryTest, SegmentExhaustionFaults) {
+  Memory mem;
+  EXPECT_THROW(mem.allocate(SegmentKind::Bss, 10 * 1024 * 1024, "huge"),
+               MemoryFault);
+}
+
+TEST(MemoryTest, StackAllocationViaAllocateIsRejected) {
+  Memory mem;
+  EXPECT_THROW(mem.allocate(SegmentKind::Stack, 16, "nope"),
+               std::invalid_argument);
+  EXPECT_THROW(mem.allocate(SegmentKind::Text, 16, "nope"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pnlab::memsim

@@ -1,0 +1,156 @@
+// Unit tests for the simulated call stack: frame layout (the §3.6.1
+// arithmetic every stack attack depends on), canary verification, and
+// local bookkeeping.
+#include "memsim/stack.h"
+
+#include <gtest/gtest.h>
+
+namespace pnlab::memsim {
+namespace {
+
+TEST(CallStackTest, FrameSlotsDescendInPaperOrder) {
+  Memory mem;
+  CallStack stack(mem, FrameOptions{.save_frame_pointer = true,
+                                    .use_canary = true});
+  const Address ra = 0x08048111;
+  Frame& f = stack.push_frame("addStudent", ra);
+
+  // [RA][saved FP][canary] downward, each one word in ILP32.
+  EXPECT_EQ(f.saved_fp_slot, f.return_address_slot - 4);
+  EXPECT_EQ(f.canary_slot, f.saved_fp_slot - 4);
+  EXPECT_EQ(mem.read_ptr(f.return_address_slot), ra);
+  EXPECT_EQ(mem.read_ptr(f.canary_slot), f.canary_value);
+}
+
+TEST(CallStackTest, MinimalFrameHasNoFpNoCanary) {
+  Memory mem;
+  CallStack stack(mem, FrameOptions{.save_frame_pointer = false,
+                                    .use_canary = false});
+  Frame& f = stack.push_frame("f", 0x08048000);
+  EXPECT_EQ(f.saved_fp_slot, 0u);
+  EXPECT_EQ(f.canary_slot, 0u);
+  EXPECT_EQ(mem.stack_pointer(), f.return_address_slot);
+}
+
+TEST(CallStackTest, LocalsAllocateDownwardAligned) {
+  Memory mem;
+  CallStack stack(mem);
+  stack.push_frame("f", 0x08048000);
+  const Address n = stack.push_local("n", 4);
+  const Address stud = stack.push_local("stud", 16);
+  EXPECT_LT(stud, n) << "later locals sit below earlier ones";
+  EXPECT_EQ(stud % 4, 0u);
+  EXPECT_EQ(stack.current().local("n"), n);
+  EXPECT_EQ(stack.current().local("stud"), stud);
+  EXPECT_THROW(stack.current().local("missing"), std::out_of_range);
+}
+
+TEST(CallStackTest, LocalAlignmentEightCreatesPaddingGap) {
+  // Listing 15's "alignment issues": with the FP saved, a 4-byte local n
+  // lands at an address ≡ 4 (mod 8); a following 8-aligned 16-byte object
+  // then leaves a 4-byte padding gap just below n, so the object's
+  // ssn[0] hits padding and ssn[1] hits n.
+  Memory mem;
+  CallStack stack(mem, FrameOptions{.save_frame_pointer = true});
+  stack.push_frame("addStudent", 0x08048000);
+  const Address n = stack.push_local("n", 4);
+  ASSERT_EQ(n % 8, 4u) << "precondition for the paper's observed layout";
+  const Address stud = stack.push_local("stud", 16, /*align=*/8);
+  EXPECT_EQ(stud % 8, 0u);
+  EXPECT_EQ(n - (stud + 16), 4u) << "4 bytes of padding between stud and n";
+}
+
+TEST(CallStackTest, StackLocalsAppearInAllocationMap) {
+  Memory mem;
+  CallStack stack(mem);
+  stack.push_frame("f", 0x08048000);
+  const Address stud = stack.push_local("stud", 16);
+  const Allocation* alloc = mem.find_allocation(stud + 8);
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_EQ(alloc->label, "f::stud");
+  EXPECT_EQ(alloc->size, 16u);
+  stack.pop_frame();
+  EXPECT_EQ(mem.find_allocation(stud), nullptr) << "removed at frame pop";
+}
+
+TEST(CallStackTest, CleanReturnRestoresStackPointer) {
+  Memory mem;
+  CallStack stack(mem);
+  const Address top = mem.stack_pointer();
+  stack.push_frame("f", 0xAAAA1111);
+  stack.push_local("x", 64);
+  ReturnResult r = stack.pop_frame();
+  EXPECT_EQ(r.return_to, 0xAAAA1111u);
+  EXPECT_FALSE(r.return_address_tampered);
+  EXPECT_TRUE(r.canary_intact);
+  EXPECT_EQ(mem.stack_pointer(), top);
+}
+
+TEST(CallStackTest, TamperedReturnAddressIsObservedAtReturn) {
+  Memory mem;
+  CallStack stack(mem, FrameOptions{.save_frame_pointer = false});
+  Frame& f = stack.push_frame("f", 0x08048100);
+  mem.write_ptr(f.return_address_slot, 0x41414141);
+  ReturnResult r = stack.pop_frame();
+  EXPECT_TRUE(r.return_address_tampered);
+  EXPECT_EQ(r.return_to, 0x41414141u);
+  EXPECT_EQ(r.original_return_address, 0x08048100u);
+}
+
+TEST(CallStackTest, SmashedCanaryIsDetected) {
+  Memory mem;
+  CallStack stack(mem, FrameOptions{.use_canary = true});
+  Frame& f = stack.push_frame("f", 0x08048100);
+  mem.write_u32(f.canary_slot, 0x41414141);
+  ReturnResult r = stack.pop_frame();
+  EXPECT_FALSE(r.canary_intact);
+}
+
+TEST(CallStackTest, CanaryValuesDifferAcrossFrames) {
+  Memory mem;
+  CallStack stack(mem, FrameOptions{.use_canary = true});
+  Frame& f1 = stack.push_frame("a", 1);
+  const Address c1 = f1.canary_value;
+  stack.push_frame("b", 2);
+  EXPECT_NE(stack.current().canary_value, c1);
+}
+
+TEST(CallStackTest, NestedFramesPopInOrder) {
+  Memory mem;
+  CallStack stack(mem);
+  stack.push_frame("outer", 0x08048010);
+  stack.push_local("a", 8);
+  stack.push_frame("inner", 0x08048020);
+  EXPECT_EQ(stack.depth(), 2u);
+  EXPECT_EQ(stack.pop_frame().return_to, 0x08048020u);
+  EXPECT_EQ(stack.current().function, "outer");
+  EXPECT_EQ(stack.pop_frame().return_to, 0x08048010u);
+  EXPECT_THROW(stack.pop_frame(), std::logic_error);
+}
+
+TEST(CallStackTest, PushLocalWithoutFrameThrows) {
+  Memory mem;
+  CallStack stack(mem);
+  EXPECT_THROW(stack.push_local("x", 4), std::logic_error);
+}
+
+TEST(CallStackTest, PerFrameOptionOverride) {
+  Memory mem;
+  CallStack stack(mem, FrameOptions{.use_canary = false});
+  Frame& f = stack.push_frame(
+      "guarded", 1, FrameOptions{.save_frame_pointer = true,
+                                 .use_canary = true});
+  EXPECT_NE(f.canary_slot, 0u);
+}
+
+TEST(CallStackTest, Lp64FrameUsesEightByteSlots) {
+  Memory mem{MachineModel::lp64()};
+  CallStack stack(mem, FrameOptions{.save_frame_pointer = true,
+                                    .use_canary = true});
+  Frame& f = stack.push_frame("f", 0x08048111);
+  EXPECT_EQ(f.saved_fp_slot, f.return_address_slot - 8);
+  EXPECT_EQ(f.canary_slot, f.saved_fp_slot - 8);
+}
+
+}  // namespace
+}  // namespace pnlab::memsim

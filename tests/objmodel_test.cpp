@@ -1,0 +1,251 @@
+// Unit tests for the object model: layout arithmetic (the sizes the
+// paper's overflow offsets depend on), vtable emission, member access and
+// virtual dispatch.
+#include "objmodel/corpus.h"
+#include "objmodel/object.h"
+#include "objmodel/types.h"
+
+#include <gtest/gtest.h>
+
+namespace pnlab::objmodel {
+namespace {
+
+using memsim::Memory;
+using memsim::SegmentKind;
+
+class ObjModelTest : public ::testing::Test {
+ protected:
+  Memory mem;
+  TypeRegistry registry{mem};
+};
+
+TEST_F(ObjModelTest, StudentLayoutMatchesPaperModel) {
+  corpus::define_student_types(registry);
+  const ClassInfo& student = registry.get("Student");
+  // ILP32 i386: double gpa @0 (8 bytes, 4-aligned), int year @8,
+  // int semester @12 → 16 bytes total.
+  EXPECT_EQ(student.size, 16u);
+  EXPECT_EQ(student.member("gpa").offset, 0u);
+  EXPECT_EQ(student.member("year").offset, 8u);
+  EXPECT_EQ(student.member("semester").offset, 12u);
+  EXPECT_FALSE(student.has_vptr);
+}
+
+TEST_F(ObjModelTest, GradStudentAddsSsnAfterBaseSubobject) {
+  corpus::define_student_types(registry);
+  const ClassInfo& grad = registry.get("GradStudent");
+  EXPECT_EQ(grad.size, 28u);  // 16 base + int ssn[3]
+  const MemberLayout& ssn = grad.member("ssn");
+  EXPECT_EQ(ssn.offset, 16u);
+  EXPECT_EQ(ssn.size, 12u);
+  EXPECT_EQ(ssn.elem_size, 4u);
+  // The overflow the whole paper rides on:
+  EXPECT_GT(grad.size, registry.get("Student").size);
+  EXPECT_EQ(grad.size - registry.get("Student").size, 12u);
+  // Inherited members keep their offsets.
+  EXPECT_EQ(grad.member("gpa").offset, 0u);
+  EXPECT_EQ(grad.member("gpa").declared_in, "Student");
+}
+
+TEST_F(ObjModelTest, VirtualVariantsCarryVptrAtOffsetZero) {
+  corpus::define_virtual_student_types(registry);
+  const ClassInfo& vs = registry.get("VStudent");
+  const ClassInfo& vg = registry.get("VGradStudent");
+  EXPECT_TRUE(vs.has_vptr);
+  // §3.8.2: "the memory location at the 0'th offset contains *__vptr";
+  // all members shift up by one pointer.
+  EXPECT_EQ(vs.member("gpa").offset, 4u);
+  EXPECT_EQ(vs.size, 20u);
+  EXPECT_EQ(vg.member("ssn").offset, 20u);
+  EXPECT_EQ(vg.size, 32u);
+  EXPECT_NE(vs.vtable_addr, 0u);
+  EXPECT_NE(vg.vtable_addr, vs.vtable_addr);
+}
+
+TEST_F(ObjModelTest, VtableOverrideReplacesImplementation) {
+  corpus::define_virtual_student_types(registry);
+  const ClassInfo& vs = registry.get("VStudent");
+  const ClassInfo& vg = registry.get("VGradStudent");
+  ASSERT_EQ(vs.vtable.size(), 1u);
+  ASSERT_EQ(vg.vtable.size(), 1u);
+  EXPECT_EQ(vs.vtable[0].implemented_in, "VStudent");
+  EXPECT_EQ(vg.vtable[0].implemented_in, "VGradStudent");
+  EXPECT_NE(vs.vtable[0].impl_addr, vg.vtable[0].impl_addr);
+  EXPECT_EQ(vg.vtable_index("getInfo"), 0);
+  EXPECT_EQ(vg.vtable_index("nope"), -1);
+}
+
+TEST_F(ObjModelTest, VtableEmittedIntoDataSegment) {
+  corpus::define_virtual_student_types(registry);
+  const ClassInfo& vs = registry.get("VStudent");
+  EXPECT_EQ(mem.segment_of(vs.vtable_addr), SegmentKind::Data);
+  EXPECT_EQ(mem.read_ptr(vs.vtable_addr), vs.vtable[0].impl_addr);
+  EXPECT_EQ(registry.class_by_vtable(vs.vtable_addr), &vs);
+  EXPECT_EQ(registry.class_by_vtable(0x1234), nullptr);
+}
+
+TEST_F(ObjModelTest, MobilePlayerEmbedsTwoStudents) {
+  corpus::define_student_types(registry);
+  corpus::define_mobile_player(registry);
+  const ClassInfo& mp = registry.get("MobilePlayer");
+  EXPECT_EQ(mp.member("stud1").offset, 0u);
+  EXPECT_EQ(mp.member("stud2").offset, 16u);
+  EXPECT_EQ(mp.member("n").offset, 32u);
+  EXPECT_EQ(mp.size, 36u);
+}
+
+TEST_F(ObjModelTest, DerivesFromWalksTheChain) {
+  corpus::define_student_types(registry);
+  EXPECT_TRUE(registry.derives_from("GradStudent", "Student"));
+  EXPECT_TRUE(registry.derives_from("Student", "Student"));
+  EXPECT_FALSE(registry.derives_from("Student", "GradStudent"));
+}
+
+TEST_F(ObjModelTest, DuplicateOrUnknownClassThrows) {
+  corpus::define_student_types(registry);
+  EXPECT_THROW(corpus::define_student_types(registry), std::invalid_argument);
+  EXPECT_THROW(registry.get("Nope"), std::out_of_range);
+  EXPECT_FALSE(registry.contains("Nope"));
+}
+
+TEST_F(ObjModelTest, MemberReadWriteRoundTrip) {
+  corpus::define_student_types(registry);
+  const Address a = mem.allocate(SegmentKind::Bss, 32, "stud");
+  Object stud(registry, a, registry.get("Student"));
+  stud.write_double("gpa", 3.9);
+  stud.write_int("year", 2008);
+  stud.write_int("semester", 2);
+  EXPECT_DOUBLE_EQ(stud.read_double("gpa"), 3.9);
+  EXPECT_EQ(stud.read_int("year"), 2008);
+  EXPECT_EQ(stud.read_int("semester"), 2);
+  EXPECT_THROW(stud.read_int("gpa"), std::logic_error) << "type-checked view";
+}
+
+TEST_F(ObjModelTest, ArrayMemberIndexingPastEndComputesAddress) {
+  // Listing 6 relies on indexing past a member array being *permitted* at
+  // the memory level; the view computes the address without clamping.
+  corpus::define_student_types(registry);
+  const Address a = mem.allocate(SegmentKind::Bss, 64, "grad");
+  Object grad(registry, a, registry.get("GradStudent"));
+  EXPECT_EQ(grad.member_address("ssn", 0), a + 16);
+  EXPECT_EQ(grad.member_address("ssn", 5), a + 16 + 20);
+}
+
+TEST_F(ObjModelTest, MemberObjectViewsEmbeddedInstance) {
+  corpus::define_student_types(registry);
+  corpus::define_mobile_player(registry);
+  const Address a = mem.allocate(SegmentKind::Bss, 64, "mp");
+  Object mp(registry, a, registry.get("MobilePlayer"));
+  Object stud2 = mp.member_object("stud2");
+  EXPECT_EQ(stud2.address(), a + 16);
+  stud2.write_double("gpa", 2.5);
+  EXPECT_DOUBLE_EQ(mem.read_f64(a + 16), 2.5);
+  EXPECT_THROW(mp.member_object("n"), std::logic_error);
+}
+
+TEST_F(ObjModelTest, VirtualCallDispatchesThroughMemory) {
+  corpus::define_virtual_student_types(registry);
+  const Address a = mem.allocate(SegmentKind::Bss, 64, "vstud");
+  Object obj(registry, a, registry.get("VGradStudent"));
+  obj.install_vptr();
+  DispatchResult r = obj.virtual_call("getInfo");
+  EXPECT_EQ(r.outcome, DispatchResult::Outcome::Dispatched);
+  EXPECT_EQ(r.symbol, "VGradStudent::getInfo");
+}
+
+TEST_F(ObjModelTest, CorruptedVptrCrashesOrHijacks) {
+  corpus::define_virtual_student_types(registry);
+  const Address a = mem.allocate(SegmentKind::Bss, 64, "vstud");
+  Object obj(registry, a, registry.get("VStudent"));
+  obj.install_vptr();
+
+  // Garbage vptr → unmapped read → crash.
+  obj.write_vptr(0x1234);
+  EXPECT_EQ(obj.virtual_call("getInfo").outcome,
+            DispatchResult::Outcome::Crash);
+
+  // Forged vtable in attacker-controlled bss → hijack.
+  const Address evil_fn = mem.add_text_symbol("evil");
+  const Address fake_vtable = mem.allocate(SegmentKind::Bss, 8, "fake");
+  mem.write_ptr(fake_vtable, evil_fn);
+  obj.write_vptr(fake_vtable);
+  DispatchResult r = obj.virtual_call("getInfo");
+  EXPECT_EQ(r.outcome, DispatchResult::Outcome::Hijacked);
+  EXPECT_EQ(r.symbol, "evil");
+}
+
+TEST_F(ObjModelTest, NonVirtualCallOnNonVirtualClassThrows) {
+  corpus::define_student_types(registry);
+  const Address a = mem.allocate(SegmentKind::Bss, 32, "stud");
+  Object stud(registry, a, registry.get("Student"));
+  EXPECT_THROW(stud.virtual_call("getInfo"), std::logic_error);
+  EXPECT_THROW(stud.read_vptr(), std::logic_error);
+}
+
+TEST_F(ObjModelTest, MultipleInheritanceLaysOutSecondaryBases) {
+  corpus::define_virtual_student_types(registry);
+  corpus::define_multiple_inheritance_types(registry);
+  const ClassInfo& secured = registry.get("SecuredStudent");
+  // VStudent part (vptr + gpa + year + semester = 20) then the Logger
+  // subobject (its own vptr + level = 8).
+  const SecondaryBase& logger = secured.secondary_base("Logger");
+  EXPECT_EQ(logger.offset, 20u);
+  EXPECT_TRUE(logger.has_vptr);
+  EXPECT_EQ(secured.size, 28u);
+  EXPECT_EQ(secured.member("Logger::level").offset, 24u);
+  EXPECT_THROW(secured.secondary_base("Nope"), std::out_of_range);
+}
+
+TEST_F(ObjModelTest, MultipleInheritanceInstallsTwoVptrs) {
+  corpus::define_virtual_student_types(registry);
+  corpus::define_multiple_inheritance_types(registry);
+  const ClassInfo& secured = registry.get("SecuredStudent");
+  const Address a = mem.allocate(SegmentKind::Bss, 64, "sec");
+  Object obj(registry, a, secured);
+  obj.install_vptr();
+  EXPECT_EQ(mem.read_ptr(a), secured.vtable_addr)
+      << "primary vptr points at the class's own emitted vtable";
+  ASSERT_EQ(secured.vtable.size(), 1u);
+  EXPECT_EQ(secured.vtable[0].implemented_in, "VStudent")
+      << "getInfo inherited, not overridden";
+  EXPECT_EQ(mem.read_ptr(a + 20), registry.get("Logger").vtable_addr)
+      << "interior vptr at the Logger subobject";
+}
+
+TEST_F(ObjModelTest, SecondaryBaseViewDispatchesIndependently) {
+  corpus::define_virtual_student_types(registry);
+  corpus::define_multiple_inheritance_types(registry);
+  const Address a = mem.allocate(SegmentKind::Bss, 64, "sec");
+  Object obj(registry, a, registry.get("SecuredStudent"));
+  obj.install_vptr();
+
+  Object logger = obj.secondary_base_view("Logger");
+  EXPECT_EQ(logger.address(), a + 20);
+  EXPECT_EQ(logger.virtual_call("log").symbol, "Logger::log");
+
+  // Corrupting ONLY the interior vptr hijacks the secondary dispatch
+  // while the primary stays clean.
+  const Address evil = mem.add_text_symbol("evil");
+  const Address fake = mem.allocate(SegmentKind::Bss, 8, "fake");
+  mem.write_ptr(fake, evil);
+  mem.write_ptr(a + 20, fake);
+  EXPECT_EQ(obj.virtual_call("getInfo").outcome,
+            DispatchResult::Outcome::Dispatched);
+  EXPECT_EQ(logger.virtual_call("log").outcome,
+            DispatchResult::Outcome::Hijacked);
+}
+
+TEST_F(ObjModelTest, Lp64LayoutsGrow) {
+  Memory mem64{memsim::MachineModel::lp64()};
+  TypeRegistry reg64{mem64};
+  corpus::define_student_types(reg64);
+  const ClassInfo& student = reg64.get("Student");
+  // LP64: double 8-aligned @0, ints @8/@12 → still 16; GradStudent pads
+  // ssn to the 8-byte class alignment: 16 + 12 → 32 (tail padding).
+  EXPECT_EQ(student.size, 16u);
+  EXPECT_EQ(student.align, 8u);
+  EXPECT_EQ(reg64.get("GradStudent").size, 32u);
+}
+
+}  // namespace
+}  // namespace pnlab::objmodel

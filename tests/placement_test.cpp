@@ -1,0 +1,228 @@
+// Unit tests for the placement engine: unchecked semantics (the paper's
+// §2.5 issues 1-5), checked-policy rejections (§5.1), sanitize modes and
+// the leak ledger (§4.5).
+#include "placement/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "objmodel/corpus.h"
+
+namespace pnlab::placement {
+namespace {
+
+using memsim::Memory;
+using memsim::SegmentKind;
+using objmodel::TypeRegistry;
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest() {
+    objmodel::corpus::define_student_types(registry);
+    objmodel::corpus::define_virtual_student_types(registry);
+  }
+
+  Memory mem;
+  TypeRegistry registry{mem};
+  PlacementEngine engine{registry};
+};
+
+TEST_F(PlacementTest, UncheckedPlacementAnywhereSucceeds) {
+  // §2.5 issue 1: any address allocated to the process can be used.
+  const Address small = mem.allocate(SegmentKind::Bss, 1, "char c");
+  EXPECT_NO_THROW(engine.place_object(small, "GradStudent"));
+}
+
+TEST_F(PlacementTest, UncheckedOverflowWritesBeyondArena) {
+  const Address arena = mem.allocate(SegmentKind::Bss, 16, "stud");
+  const Address next = mem.allocate(SegmentKind::Bss, 16, "victim");
+  ASSERT_EQ(next, arena + 16);
+  mem.add_watchpoint(next, 16, "victim");
+
+  auto grad = engine.place_object(arena, "GradStudent");
+  grad.write_int("ssn", 0x41414141, 0);  // lands at arena+16 == victim
+  auto hits = mem.drain_watch_hits();
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].label, "victim");
+  EXPECT_EQ(mem.read_i32(next), 0x41414141);
+}
+
+TEST_F(PlacementTest, EventRecordsArenaAndOverflowFlag) {
+  const Address arena = mem.allocate(SegmentKind::Bss, 16, "stud");
+  PlacementEvent seen;
+  engine.add_observer([&](const PlacementEvent& e) { seen = e; });
+  engine.place_object(arena, "GradStudent");
+  EXPECT_EQ(seen.size, 28u);
+  EXPECT_EQ(seen.arena_size, 16u);
+  EXPECT_EQ(seen.arena_label, "stud");
+  EXPECT_TRUE(seen.overflowed_arena);
+}
+
+TEST_F(PlacementTest, PlacementIntoLargerArenaDoesNotOverflow) {
+  const Address arena = mem.allocate(SegmentKind::Heap, 64, "pool");
+  PlacementEvent seen;
+  engine.add_observer([&](const PlacementEvent& e) { seen = e; });
+  engine.place_object(arena, "Student");
+  EXPECT_FALSE(seen.overflowed_arena);
+}
+
+TEST_F(PlacementTest, MidArenaPlacementComputesRemainingBytes) {
+  const Address arena = mem.allocate(SegmentKind::Heap, 64, "pool");
+  PlacementEvent seen;
+  engine.add_observer([&](const PlacementEvent& e) { seen = e; });
+  engine.place_array(arena + 40, 1, 30, "char[]");
+  EXPECT_EQ(seen.arena_size, 24u);
+  EXPECT_TRUE(seen.overflowed_arena);
+}
+
+TEST_F(PlacementTest, BoundsCheckRejectsOversizedObject) {
+  engine.set_policy(PlacementPolicy{.bounds_check = true});
+  const Address arena = mem.allocate(SegmentKind::Bss, 16, "stud");
+  EXPECT_NO_THROW(engine.place_object(arena, "Student"));
+  try {
+    engine.place_object(arena, "GradStudent");
+    FAIL() << "expected rejection";
+  } catch (const PlacementRejected& e) {
+    EXPECT_EQ(e.reason(), RejectReason::BoundsExceeded);
+  }
+  EXPECT_EQ(engine.rejected_count(), 1u);
+}
+
+TEST_F(PlacementTest, BoundsCheckRejectsUnknownArena) {
+  engine.set_policy(PlacementPolicy{.bounds_check = true});
+  // An address inside a segment but belonging to no recorded allocation:
+  // §5.1's point that sizes are not always inferable — the checked policy
+  // refuses rather than guesses.
+  const Address somewhere = mem.segment_base(SegmentKind::Bss) + 0x8000;
+  try {
+    engine.place_object(somewhere, "Student");
+    FAIL() << "expected rejection";
+  } catch (const PlacementRejected& e) {
+    EXPECT_EQ(e.reason(), RejectReason::UnknownArena);
+  }
+}
+
+TEST_F(PlacementTest, NullAddressAlwaysRejected) {
+  EXPECT_THROW(engine.place_object(0, "Student"), PlacementRejected);
+}
+
+TEST_F(PlacementTest, AlignCheckRejectsMisalignedDouble) {
+  engine.set_policy(PlacementPolicy{.align_check = true});
+  const Address arena = mem.allocate(SegmentKind::Heap, 64, "pool", 8);
+  EXPECT_NO_THROW(engine.place_object(arena, "Student"));
+  try {
+    engine.place_object(arena + 2, "Student");
+    FAIL() << "expected rejection";
+  } catch (const PlacementRejected& e) {
+    EXPECT_EQ(e.reason(), RejectReason::Misaligned);
+  }
+}
+
+TEST_F(PlacementTest, TypeCheckAllowsSubtypeRejectsUnrelated) {
+  engine.set_policy(PlacementPolicy{.type_check = true});
+  const Address arena = mem.allocate(SegmentKind::Heap, 64, "pool");
+  engine.place_object(arena, "Student");
+  // Subtype over supertype: the §2.2 idiom — allowed by the type check
+  // (bounds are a separate policy).
+  EXPECT_NO_THROW(engine.place_object(arena, "GradStudent"));
+  engine.place_object(arena, "Student");
+  EXPECT_THROW(engine.place_object(arena, "VStudent"), PlacementRejected);
+}
+
+TEST_F(PlacementTest, ArrayPlacementTracksCount) {
+  const Address pool = mem.allocate(SegmentKind::Heap, 100, "mem_pool");
+  engine.place_array(pool, 1, 64, "char[]");
+  const PlacementRecord* rec = engine.record_at(pool);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->event.is_array);
+  EXPECT_EQ(rec->event.count, 64u);
+  EXPECT_EQ(rec->event.size, 64u);
+}
+
+TEST_F(PlacementTest, SanitizeWholeArenaScrubsResidue) {
+  engine.set_policy(PlacementPolicy{.sanitize = SanitizeMode::WholeArena});
+  const Address pool = mem.allocate(SegmentKind::Heap, 32, "pool");
+  mem.fill(pool, 32, std::byte{'S'});  // "secret" residue
+  engine.place_array(pool, 1, 8, "char[]");
+  EXPECT_EQ(mem.read_u8(pool + 8), 0) << "residue scrubbed";
+  EXPECT_EQ(mem.read_u8(pool + 31), 0);
+}
+
+TEST_F(PlacementTest, SanitizeResidueOnlyScrubsGapOnly) {
+  engine.set_policy(PlacementPolicy{.sanitize = SanitizeMode::ResidueOnly});
+  const Address pool = mem.allocate(SegmentKind::Heap, 64, "pool");
+  mem.fill(pool, 64, std::byte{'S'});
+  engine.place_array(pool, 1, 32, "char[]");  // old occupant: 32 bytes
+  engine.place_array(pool, 1, 8, "char[]");   // new: 8 → gap [8,32) zeroed
+  EXPECT_EQ(mem.read_u8(pool + 8), 0);
+  EXPECT_EQ(mem.read_u8(pool + 31), 0);
+  EXPECT_EQ(mem.read_u8(pool + 32), 'S') << "beyond old occupant untouched";
+}
+
+TEST_F(PlacementTest, NoSanitizeLeavesResidue) {
+  const Address pool = mem.allocate(SegmentKind::Heap, 32, "pool");
+  mem.fill(pool, 32, std::byte{'S'});
+  engine.place_array(pool, 1, 8, "char[]");
+  EXPECT_EQ(mem.read_u8(pool + 8), 'S') << "the §4.3 information leak";
+}
+
+TEST_F(PlacementTest, DestroyReclaimsFullSize) {
+  const Address a = mem.allocate(SegmentKind::Heap, 64, "obj");
+  engine.place_object(a, "GradStudent");
+  engine.destroy(a);
+  LeakStats stats = engine.leak_stats();
+  EXPECT_EQ(stats.leaked_bytes, 0u);
+  EXPECT_EQ(stats.reclaimed_bytes, 28u);
+  EXPECT_EQ(stats.live_placements, 0u);
+}
+
+TEST_F(PlacementTest, ReleaseThroughSmallerTypeLeaks) {
+  // Listing 23: allocate GradStudent, free through Student → 12 bytes
+  // leak per arena.
+  const Address a = mem.allocate(SegmentKind::Heap, 64, "obj");
+  engine.place_object(a, "GradStudent");
+  engine.release_through(a, "Student");
+  LeakStats stats = engine.leak_stats();
+  EXPECT_EQ(stats.leaked_bytes, 12u);
+  EXPECT_EQ(stats.reclaimed_bytes, 16u);
+}
+
+TEST_F(PlacementTest, LiveUndestroyedPlacementCountsAsLive) {
+  const Address a = mem.allocate(SegmentKind::Heap, 64, "obj");
+  engine.place_object(a, "Student");
+  EXPECT_EQ(engine.leak_stats().live_placements, 1u);
+  engine.reset_ledger();
+  EXPECT_EQ(engine.leak_stats().live_placements, 0u);
+}
+
+TEST_F(PlacementTest, DestroyUnknownPlacementThrows) {
+  EXPECT_THROW(engine.destroy(0x1234), std::invalid_argument);
+  EXPECT_THROW(engine.release_through(0x1234, "Student"),
+               std::invalid_argument);
+}
+
+TEST_F(PlacementTest, VptrInstalledOnVirtualPlacement) {
+  const Address a = mem.allocate(SegmentKind::Bss, 64, "vstud");
+  auto obj = engine.place_object(a, "VGradStudent");
+  EXPECT_EQ(obj.read_vptr(), registry.get("VGradStudent").vtable_addr);
+}
+
+TEST_F(PlacementTest, SimStrncpyCopiesAndPads) {
+  const Address buf = mem.allocate(SegmentKind::Heap, 32, "buf");
+  mem.fill(buf, 32, std::byte{0xEE});
+  auto payload = to_bytes("hello");
+  sim_strncpy(mem, buf, payload, 8);
+  EXPECT_EQ(mem.read_u8(buf + 4), 'o');
+  EXPECT_EQ(mem.read_u8(buf + 5), 0) << "zero padding";
+  EXPECT_EQ(mem.read_u8(buf + 7), 0);
+  EXPECT_EQ(mem.read_u8(buf + 8), 0xEE) << "stops at n";
+}
+
+TEST_F(PlacementTest, SimStrncpyTruncatesAtN) {
+  const Address buf = mem.allocate(SegmentKind::Heap, 32, "buf");
+  auto payload = to_bytes("toolongpayload");
+  sim_strncpy(mem, buf, payload, 4);
+  EXPECT_EQ(mem.read_u8(buf + 3), 'l');
+}
+
+}  // namespace
+}  // namespace pnlab::placement

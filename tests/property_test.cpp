@@ -1,0 +1,262 @@
+// Property-based tests: randomized (seeded, deterministic) sweeps over
+// the layout engine, the placement ledger, the arena, and the wire codec,
+// checking the invariants the rest of the system leans on.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "native/arena.h"
+#include "objmodel/corpus.h"
+#include "placement/engine.h"
+#include "serde/serde.h"
+
+namespace pnlab {
+namespace {
+
+using memsim::Address;
+using memsim::MachineModel;
+using memsim::Memory;
+using memsim::SegmentKind;
+using objmodel::ClassSpec;
+using objmodel::MemberSpec;
+using objmodel::TypeRegistry;
+
+// ---------------------------------------------------------------------
+// Layout invariants over random class definitions.
+
+class LayoutProperty : public ::testing::TestWithParam<unsigned> {};
+
+MemberSpec random_member(std::mt19937& rng, int index) {
+  const char* names[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  MemberSpec m;
+  m.name = std::string(names[index % 8]) + std::to_string(index);
+  switch (rng() % 4) {
+    case 0: m.kind = MemberSpec::Kind::Int; break;
+    case 1: m.kind = MemberSpec::Kind::Double; break;
+    case 2: m.kind = MemberSpec::Kind::Char; break;
+    default: m.kind = MemberSpec::Kind::Pointer; break;
+  }
+  m.count = 1 + rng() % 5;
+  return m;
+}
+
+TEST_P(LayoutProperty, RandomClassesSatisfyLayoutInvariants) {
+  std::mt19937 rng(GetParam());
+  for (const MachineModel& model :
+       {MachineModel::ilp32(), MachineModel::lp64()}) {
+    Memory mem(model);
+    TypeRegistry registry(mem);
+
+    // A random base class, a random derived class, optionally virtual.
+    ClassSpec base;
+    base.name = "Base";
+    const int base_members = 1 + static_cast<int>(rng() % 5);
+    for (int i = 0; i < base_members; ++i) {
+      base.members.push_back(random_member(rng, i));
+    }
+    if (rng() % 2) base.virtual_functions.push_back("vf");
+    registry.define(base);
+
+    ClassSpec derived;
+    derived.name = "Derived";
+    derived.base = "Base";
+    const int derived_members = 1 + static_cast<int>(rng() % 5);
+    for (int i = 0; i < derived_members; ++i) {
+      derived.members.push_back(random_member(rng, 100 + i));
+    }
+    registry.define(derived);
+
+    for (const auto* cls : {&registry.get("Base"), &registry.get("Derived")}) {
+      // Size is a positive multiple of alignment.
+      ASSERT_GT(cls->size, 0u);
+      EXPECT_EQ(cls->size % cls->align, 0u) << cls->name;
+      std::size_t prev_end = cls->has_vptr ? model.pointer_size : 0;
+      for (const auto& m : cls->members) {
+        EXPECT_EQ(m.offset % m.align, 0u)
+            << cls->name << "::" << m.spec.name << " misaligned";
+        EXPECT_GE(m.offset, prev_end)
+            << cls->name << "::" << m.spec.name << " overlaps predecessor";
+        prev_end = m.offset + m.size;
+        EXPECT_LE(prev_end, cls->size) << "member escapes the object";
+      }
+    }
+
+    // Derived strictly contains Base's members at unchanged relative
+    // order, and is at least as large.
+    const auto& b = registry.get("Base");
+    const auto& d = registry.get("Derived");
+    EXPECT_GE(d.size, b.size);
+    for (std::size_t i = 0; i < b.members.size(); ++i) {
+      EXPECT_EQ(d.members[i].spec.name, b.members[i].spec.name);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutProperty,
+                         ::testing::Range(1u, 21u));  // 20 random classes
+
+// ---------------------------------------------------------------------
+// Placement-event arithmetic over random arenas and sizes.
+
+class PlacementProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PlacementProperty, OverflowFlagMatchesArithmetic) {
+  std::mt19937 rng(GetParam() * 7919);
+  Memory mem;
+  TypeRegistry registry(mem);
+  placement::PlacementEngine engine(registry);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t arena_size = 1 + rng() % 256;
+    const std::size_t placed = 1 + rng() % 256;
+    const Address arena = mem.allocate(SegmentKind::Heap, arena_size, "a");
+
+    placement::PlacementEvent seen;
+    bool fired = false;
+    engine.add_observer([&](const placement::PlacementEvent& e) {
+      seen = e;
+      fired = true;
+    });
+    engine.place_array(arena, 1, placed, "char[]");
+    ASSERT_TRUE(fired);
+    EXPECT_EQ(seen.arena_size, arena_size);
+    EXPECT_EQ(seen.overflowed_arena, placed > arena_size)
+        << "placed=" << placed << " arena=" << arena_size;
+    // Observers accumulate; replace for the next trial.
+    engine = placement::PlacementEngine(registry);
+  }
+}
+
+TEST_P(PlacementProperty, BoundsPolicyAcceptsIffItFits) {
+  std::mt19937 rng(GetParam() * 104729);
+  Memory mem;
+  TypeRegistry registry(mem);
+  placement::PlacementEngine engine(
+      registry, placement::PlacementPolicy{.bounds_check = true});
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t arena_size = 1 + rng() % 128;
+    const std::size_t placed = 1 + rng() % 128;
+    const Address arena = mem.allocate(SegmentKind::Heap, arena_size, "a");
+    if (placed <= arena_size) {
+      EXPECT_NO_THROW(engine.place_array(arena, 1, placed, "char[]"));
+    } else {
+      EXPECT_THROW(engine.place_array(arena, 1, placed, "char[]"),
+                   placement::PlacementRejected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementProperty, ::testing::Range(1u, 6u));
+
+// ---------------------------------------------------------------------
+// Arena fuzz: random create/destroy interleavings keep every invariant.
+
+class ArenaProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ArenaProperty, RandomLifecyclesPreserveInvariants) {
+  std::mt19937 rng(GetParam() * 31337);
+  native::Arena arena(1 << 16);
+
+  std::vector<std::span<std::byte>> live;
+  std::size_t live_bytes = 0;
+  for (int op = 0; op < 300; ++op) {
+    if (live.empty() || rng() % 3 != 0) {
+      const std::size_t size = 1 + rng() % 200;
+      try {
+        auto block = arena.allocate(size, 8);
+        // Fill the payload completely — must never trip a canary.
+        std::memset(block.data(), static_cast<int>(rng() & 0xff),
+                    block.size());
+        live.push_back(block);
+        live_bytes += size;
+      } catch (const native::placement_error&) {
+        break;  // pool exhausted: acceptable terminal state
+      }
+    } else {
+      const std::size_t pick = rng() % live.size();
+      live_bytes -= live[pick].size();
+      arena.release(live[pick].data());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    EXPECT_EQ(arena.check(), 0u) << "payload-only writes tripped a canary";
+    EXPECT_EQ(arena.stats().bytes_in_use, live_bytes);
+    EXPECT_EQ(arena.leaked_bytes(), live_bytes);
+  }
+
+  // Blocks must be pairwise disjoint.
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    for (std::size_t j = i + 1; j < live.size(); ++j) {
+      const bool disjoint =
+          live[i].data() + live[i].size() <= live[j].data() ||
+          live[j].data() + live[j].size() <= live[i].data();
+      EXPECT_TRUE(disjoint);
+    }
+  }
+  EXPECT_EQ(arena.release_all(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaProperty, ::testing::Range(1u, 9u));
+
+// ---------------------------------------------------------------------
+// Wire codec: random objects round-trip exactly.
+
+class SerdeProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SerdeProperty, RandomGradStudentsRoundTrip) {
+  std::mt19937 rng(GetParam() * 65537);
+  Memory mem;
+  TypeRegistry registry(mem);
+  objmodel::corpus::define_student_types(registry);
+  placement::PlacementEngine engine(registry);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const Address src = mem.allocate(SegmentKind::Heap, 28, "src");
+    auto obj = engine.place_object(src, "GradStudent");
+    const double gpa = static_cast<double>(rng() % 400) / 100.0;
+    const int year = 1990 + static_cast<int>(rng() % 30);
+    const int s0 = static_cast<int>(rng());
+    obj.write_double("gpa", gpa);
+    obj.write_int("year", year);
+    obj.write_int("semester", static_cast<int>(rng() % 8));
+    obj.write_int("ssn", s0, 0);
+    obj.write_int("ssn", static_cast<int>(rng()), 1);
+    obj.write_int("ssn", static_cast<int>(rng()), 2);
+
+    const auto message = serde::serialize(obj);
+    const Address dst = mem.allocate(SegmentKind::Heap, 28, "dst");
+    const auto result = serde::deserialize_into(engine, dst, message);
+
+    EXPECT_DOUBLE_EQ(result.object.read_double("gpa"), gpa);
+    EXPECT_EQ(result.object.read_int("year"), year);
+    EXPECT_EQ(result.object.read_int("ssn", 0), s0);
+    // Byte-identical object images.
+    EXPECT_EQ(mem.read_bytes(src, 28), mem.read_bytes(dst, 28));
+  }
+}
+
+TEST_P(SerdeProperty, TruncationAtAnyPointThrowsNeverCrashes) {
+  std::mt19937 rng(GetParam() * 2654435761u);
+  Memory mem;
+  TypeRegistry registry(mem);
+  objmodel::corpus::define_student_types(registry);
+  placement::PlacementEngine engine(registry);
+
+  const auto full =
+      serde::craft_grad_student_message(3.5, 2011, 1, {11, 22, 33});
+  const Address dst = mem.allocate(SegmentKind::Heap, 28, "dst");
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t cut = rng() % full.size();  // strictly truncated
+    std::vector<std::byte> chopped(full.begin(),
+                                   full.begin() +
+                                       static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(serde::deserialize_into(engine, dst, chopped),
+                 serde::WireError)
+        << "cut at " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdeProperty, ::testing::Range(1u, 6u));
+
+}  // namespace
+}  // namespace pnlab

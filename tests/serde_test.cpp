@@ -1,0 +1,182 @@
+// Tests for the wire/serde substrate: byte-level round trips, truncation
+// handling, object round trips, the careless-victim overflow paths, and
+// the careful-victim defences.
+#include <gtest/gtest.h>
+
+#include "objmodel/corpus.h"
+#include "serde/serde.h"
+
+namespace pnlab::serde {
+namespace {
+
+using memsim::Memory;
+using memsim::SegmentKind;
+using objmodel::TypeRegistry;
+using placement::PlacementEngine;
+using placement::PlacementPolicy;
+using placement::PlacementRejected;
+
+TEST(WireTest, ScalarRoundTrips) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(2.71828);
+  w.str("hello");
+  const auto data = w.take();
+
+  ByteReader r(data);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), 2.71828);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireTest, TruncatedReadsThrow) {
+  ByteWriter w;
+  w.u16(300);
+  const auto data = w.take();
+  ByteReader r(data);
+  EXPECT_THROW(r.u32(), WireError);
+  ByteReader r2(data);
+  EXPECT_THROW(r2.str(), WireError) << "claims 300 chars, has none";
+}
+
+TEST(WireTest, BytesRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::byte> payload = {std::byte{1}, std::byte{2},
+                                          std::byte{3}};
+  w.bytes(payload);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.bytes(3), payload);
+  EXPECT_THROW(r.bytes(1), WireError);
+}
+
+class SerdeTest : public ::testing::Test {
+ protected:
+  SerdeTest() {
+    objmodel::corpus::define_student_types(registry);
+  }
+
+  Memory mem;
+  TypeRegistry registry{mem};
+  PlacementEngine engine{registry};
+};
+
+TEST_F(SerdeTest, ObjectRoundTrip) {
+  const auto arena = mem.allocate(SegmentKind::Heap, 28, "src");
+  auto grad = engine.place_object(arena, "GradStudent");
+  grad.write_double("gpa", 3.6);
+  grad.write_int("year", 2010);
+  grad.write_int("semester", 2);
+  grad.write_int("ssn", 123, 0);
+  grad.write_int("ssn", 45, 1);
+  grad.write_int("ssn", 6789, 2);
+
+  const auto message = serialize(grad);
+
+  const auto dst = mem.allocate(SegmentKind::Heap, 28, "dst");
+  const DeserializeResult r = deserialize_into(engine, dst, message);
+  EXPECT_EQ(r.wire_class, "GradStudent");
+  EXPECT_EQ(r.fields_written, 4u);
+  EXPECT_DOUBLE_EQ(r.object.read_double("gpa"), 3.6);
+  EXPECT_EQ(r.object.read_int("year"), 2010);
+  EXPECT_EQ(r.object.read_int("ssn", 2), 6789);
+}
+
+TEST_F(SerdeTest, BadMagicAndUnknownClassRejected) {
+  const auto dst = mem.allocate(SegmentKind::Heap, 28, "dst");
+  std::vector<std::byte> junk(16, std::byte{0});
+  EXPECT_THROW(deserialize_into(engine, dst, junk), WireError);
+
+  ByteWriter w;
+  w.u32(0x424F4E50);
+  w.str("Nonexistent");
+  w.u32(0);
+  EXPECT_THROW(deserialize_into(engine, dst, w.data()), WireError);
+}
+
+TEST_F(SerdeTest, WireFieldMismatchRejected) {
+  ByteWriter w;
+  w.u32(0x424F4E50);
+  w.str("Student");
+  w.u32(1);
+  w.str("no_such_member");
+  w.u8(1);
+  w.u32(1);
+  w.u32(7);
+  const auto dst = mem.allocate(SegmentKind::Heap, 16, "dst");
+  EXPECT_THROW(deserialize_into(engine, dst, w.data()), WireError);
+}
+
+TEST_F(SerdeTest, CarelessVictimWritesAllWireElements) {
+  // Listing 6 over the wire: 8 claimed ssn entries for int ssn[3].
+  const auto arena = mem.allocate(SegmentKind::Heap, 28, "grad");
+  const auto neighbor = mem.allocate(SegmentKind::Heap, 20, "neighbor");
+  mem.add_watchpoint(neighbor, 20, "neighbor");
+  const auto message = craft_grad_student_message(
+      3.0, 2010, 2, {1, 2, 3, 0x45, 0x45, 0x45, 0x45, 0x45});
+  deserialize_into(engine, arena, message);
+  EXPECT_FALSE(mem.drain_watch_hits().empty())
+      << "elements 3..7 landed past the object";
+}
+
+TEST_F(SerdeTest, ClampingVictimStopsTheCountOverflow) {
+  const auto arena = mem.allocate(SegmentKind::Heap, 28, "grad");
+  const auto neighbor = mem.allocate(SegmentKind::Heap, 20, "neighbor");
+  mem.add_watchpoint(neighbor, 20, "neighbor");
+  const auto message = craft_grad_student_message(
+      3.0, 2010, 2, {1, 2, 3, 0x45, 0x45, 0x45, 0x45, 0x45});
+  DeserializeOptions options;
+  options.clamp_counts = true;
+  const DeserializeResult r =
+      deserialize_into(engine, arena, message, options);
+  EXPECT_EQ(r.elements_clamped, 5u);
+  EXPECT_TRUE(mem.drain_watch_hits().empty());
+  EXPECT_EQ(r.object.read_int("ssn", 2), 3) << "declared elements written";
+}
+
+TEST_F(SerdeTest, ExpectedClassGateRejectsUnrelatedWireClass) {
+  const auto dst = mem.allocate(SegmentKind::Heap, 28, "dst");
+  const auto message = craft_grad_student_message(3.0, 2010, 2, {1, 2, 3});
+  DeserializeOptions options;
+  options.expected_class = "GradStudent";
+  EXPECT_NO_THROW(deserialize_into(engine, dst, message, options));
+
+  DeserializeOptions strict;
+  strict.expected_class = "MobilePlayer";
+  objmodel::corpus::define_mobile_player(registry);
+  EXPECT_THROW(deserialize_into(engine, dst, message, strict),
+               std::invalid_argument);
+}
+
+TEST_F(SerdeTest, SubtypeSatisfiesExpectedSuperclass) {
+  // §2.2's idiom: a GradStudent wire object is an acceptable Student —
+  // the *size* check is the placement policy's job, not the type gate's.
+  const auto dst = mem.allocate(SegmentKind::Heap, 28, "dst");
+  const auto message = craft_grad_student_message(3.0, 2010, 2, {1, 2, 3});
+  DeserializeOptions options;
+  options.expected_class = "Student";
+  EXPECT_NO_THROW(deserialize_into(engine, dst, message, options));
+}
+
+TEST_F(SerdeTest, CheckedEngineRejectsOversizedWireObject) {
+  engine.set_policy(PlacementPolicy{.bounds_check = true});
+  const auto small = mem.allocate(SegmentKind::Bss, 16, "stud");
+  const auto message = craft_grad_student_message(3.0, 2010, 2, {1, 2, 3});
+  EXPECT_THROW(deserialize_into(engine, small, message), PlacementRejected);
+}
+
+TEST_F(SerdeTest, TruncatedMessageLeavesNoHalfWrittenFieldsUnnoticed) {
+  const auto arena = mem.allocate(SegmentKind::Heap, 28, "grad");
+  auto message = craft_grad_student_message(3.0, 2010, 2, {1, 2, 3});
+  message.resize(message.size() - 6);  // chop mid-ssn
+  EXPECT_THROW(deserialize_into(engine, arena, message), WireError);
+}
+
+}  // namespace
+}  // namespace pnlab::serde
