@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aslr.dir/bench_aslr.cpp.o"
+  "CMakeFiles/bench_aslr.dir/bench_aslr.cpp.o.d"
+  "bench_aslr"
+  "bench_aslr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aslr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_infoleak.dir/bench_infoleak.cpp.o"
+  "CMakeFiles/bench_infoleak.dir/bench_infoleak.cpp.o.d"
+  "bench_infoleak"
+  "bench_infoleak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_infoleak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leak.dir/bench_leak.cpp.o"
+  "CMakeFiles/bench_leak.dir/bench_leak.cpp.o.d"
+  "bench_leak"
+  "bench_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_cli.dir/analyzer_cli.cpp.o"
+  "CMakeFiles/analyzer_cli.dir/analyzer_cli.cpp.o.d"
+  "analyzer_cli"
+  "analyzer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

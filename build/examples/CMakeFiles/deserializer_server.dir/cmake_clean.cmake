@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deserializer_server.dir/deserializer_server.cpp.o"
+  "CMakeFiles/deserializer_server.dir/deserializer_server.cpp.o.d"
+  "deserializer_server"
+  "deserializer_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deserializer_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

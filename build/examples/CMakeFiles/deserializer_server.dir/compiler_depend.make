@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deserializer_server.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnc_run.dir/pnc_run.cpp.o"
+  "CMakeFiles/pnc_run.dir/pnc_run.cpp.o.d"
+  "pnc_run"
+  "pnc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/analyzer.cpp.o.d"
+  "/root/repo/src/analysis/ast.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/ast.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/ast.cpp.o.d"
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/checkers.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/checkers.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/checkers.cpp.o.d"
+  "/root/repo/src/analysis/corpus.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/corpus.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/corpus.cpp.o.d"
+  "/root/repo/src/analysis/fixer.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/fixer.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/fixer.cpp.o.d"
+  "/root/repo/src/analysis/lexer.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/lexer.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/lexer.cpp.o.d"
+  "/root/repo/src/analysis/parser.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/parser.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/parser.cpp.o.d"
+  "/root/repo/src/analysis/sema.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/sema.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/sema.cpp.o.d"
+  "/root/repo/src/analysis/taint.cpp" "src/analysis/CMakeFiles/pnlab_analysis.dir/taint.cpp.o" "gcc" "src/analysis/CMakeFiles/pnlab_analysis.dir/taint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_analysis.dir/analyzer.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/analyzer.cpp.o.d"
+  "CMakeFiles/pnlab_analysis.dir/ast.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/ast.cpp.o.d"
+  "CMakeFiles/pnlab_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/pnlab_analysis.dir/checkers.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/checkers.cpp.o.d"
+  "CMakeFiles/pnlab_analysis.dir/corpus.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/corpus.cpp.o.d"
+  "CMakeFiles/pnlab_analysis.dir/fixer.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/fixer.cpp.o.d"
+  "CMakeFiles/pnlab_analysis.dir/lexer.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/lexer.cpp.o.d"
+  "CMakeFiles/pnlab_analysis.dir/parser.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/parser.cpp.o.d"
+  "CMakeFiles/pnlab_analysis.dir/sema.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/sema.cpp.o.d"
+  "CMakeFiles/pnlab_analysis.dir/taint.cpp.o"
+  "CMakeFiles/pnlab_analysis.dir/taint.cpp.o.d"
+  "libpnlab_analysis.a"
+  "libpnlab_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

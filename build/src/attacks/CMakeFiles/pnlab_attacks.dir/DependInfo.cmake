@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/registry.cpp" "src/attacks/CMakeFiles/pnlab_attacks.dir/registry.cpp.o" "gcc" "src/attacks/CMakeFiles/pnlab_attacks.dir/registry.cpp.o.d"
+  "/root/repo/src/attacks/report.cpp" "src/attacks/CMakeFiles/pnlab_attacks.dir/report.cpp.o" "gcc" "src/attacks/CMakeFiles/pnlab_attacks.dir/report.cpp.o.d"
+  "/root/repo/src/attacks/scenarios_array.cpp" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_array.cpp.o" "gcc" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_array.cpp.o.d"
+  "/root/repo/src/attacks/scenarios_leak.cpp" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_leak.cpp.o" "gcc" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_leak.cpp.o.d"
+  "/root/repo/src/attacks/scenarios_object.cpp" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_object.cpp.o" "gcc" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_object.cpp.o.d"
+  "/root/repo/src/attacks/scenarios_serde.cpp" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_serde.cpp.o" "gcc" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_serde.cpp.o.d"
+  "/root/repo/src/attacks/scenarios_stack.cpp" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_stack.cpp.o" "gcc" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_stack.cpp.o.d"
+  "/root/repo/src/attacks/scenarios_subterfuge.cpp" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_subterfuge.cpp.o" "gcc" "src/attacks/CMakeFiles/pnlab_attacks.dir/scenarios_subterfuge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/pnlab_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/guard/CMakeFiles/pnlab_guard.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/pnlab_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/objmodel/CMakeFiles/pnlab_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pnlab_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_attacks.dir/registry.cpp.o"
+  "CMakeFiles/pnlab_attacks.dir/registry.cpp.o.d"
+  "CMakeFiles/pnlab_attacks.dir/report.cpp.o"
+  "CMakeFiles/pnlab_attacks.dir/report.cpp.o.d"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_array.cpp.o"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_array.cpp.o.d"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_leak.cpp.o"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_leak.cpp.o.d"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_object.cpp.o"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_object.cpp.o.d"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_serde.cpp.o"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_serde.cpp.o.d"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_stack.cpp.o"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_stack.cpp.o.d"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_subterfuge.cpp.o"
+  "CMakeFiles/pnlab_attacks.dir/scenarios_subterfuge.cpp.o.d"
+  "libpnlab_attacks.a"
+  "libpnlab_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

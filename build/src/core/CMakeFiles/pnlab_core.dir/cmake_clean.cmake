@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_core.dir/experiment.cpp.o"
+  "CMakeFiles/pnlab_core.dir/experiment.cpp.o.d"
+  "libpnlab_core.a"
+  "libpnlab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

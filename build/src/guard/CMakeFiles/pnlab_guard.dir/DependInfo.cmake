@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guard/protections.cpp" "src/guard/CMakeFiles/pnlab_guard.dir/protections.cpp.o" "gcc" "src/guard/CMakeFiles/pnlab_guard.dir/protections.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/pnlab_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/objmodel/CMakeFiles/pnlab_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pnlab_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

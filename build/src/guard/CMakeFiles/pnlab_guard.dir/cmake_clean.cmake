@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_guard.dir/protections.cpp.o"
+  "CMakeFiles/pnlab_guard.dir/protections.cpp.o.d"
+  "libpnlab_guard.a"
+  "libpnlab_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_interp.dir/interp.cpp.o"
+  "CMakeFiles/pnlab_interp.dir/interp.cpp.o.d"
+  "libpnlab_interp.a"
+  "libpnlab_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

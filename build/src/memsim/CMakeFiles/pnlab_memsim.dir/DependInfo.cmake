@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/heap.cpp" "src/memsim/CMakeFiles/pnlab_memsim.dir/heap.cpp.o" "gcc" "src/memsim/CMakeFiles/pnlab_memsim.dir/heap.cpp.o.d"
+  "/root/repo/src/memsim/memory.cpp" "src/memsim/CMakeFiles/pnlab_memsim.dir/memory.cpp.o" "gcc" "src/memsim/CMakeFiles/pnlab_memsim.dir/memory.cpp.o.d"
+  "/root/repo/src/memsim/stack.cpp" "src/memsim/CMakeFiles/pnlab_memsim.dir/stack.cpp.o" "gcc" "src/memsim/CMakeFiles/pnlab_memsim.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_memsim.dir/heap.cpp.o"
+  "CMakeFiles/pnlab_memsim.dir/heap.cpp.o.d"
+  "CMakeFiles/pnlab_memsim.dir/memory.cpp.o"
+  "CMakeFiles/pnlab_memsim.dir/memory.cpp.o.d"
+  "CMakeFiles/pnlab_memsim.dir/stack.cpp.o"
+  "CMakeFiles/pnlab_memsim.dir/stack.cpp.o.d"
+  "libpnlab_memsim.a"
+  "libpnlab_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpnlab_memsim.a"
+)

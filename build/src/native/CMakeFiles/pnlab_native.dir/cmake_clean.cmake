@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_native.dir/arena.cpp.o"
+  "CMakeFiles/pnlab_native.dir/arena.cpp.o.d"
+  "CMakeFiles/pnlab_native.dir/poc.cpp.o"
+  "CMakeFiles/pnlab_native.dir/poc.cpp.o.d"
+  "libpnlab_native.a"
+  "libpnlab_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objmodel/corpus.cpp" "src/objmodel/CMakeFiles/pnlab_objmodel.dir/corpus.cpp.o" "gcc" "src/objmodel/CMakeFiles/pnlab_objmodel.dir/corpus.cpp.o.d"
+  "/root/repo/src/objmodel/object.cpp" "src/objmodel/CMakeFiles/pnlab_objmodel.dir/object.cpp.o" "gcc" "src/objmodel/CMakeFiles/pnlab_objmodel.dir/object.cpp.o.d"
+  "/root/repo/src/objmodel/types.cpp" "src/objmodel/CMakeFiles/pnlab_objmodel.dir/types.cpp.o" "gcc" "src/objmodel/CMakeFiles/pnlab_objmodel.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/pnlab_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

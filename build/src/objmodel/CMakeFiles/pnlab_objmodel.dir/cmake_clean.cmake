@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_objmodel.dir/corpus.cpp.o"
+  "CMakeFiles/pnlab_objmodel.dir/corpus.cpp.o.d"
+  "CMakeFiles/pnlab_objmodel.dir/object.cpp.o"
+  "CMakeFiles/pnlab_objmodel.dir/object.cpp.o.d"
+  "CMakeFiles/pnlab_objmodel.dir/types.cpp.o"
+  "CMakeFiles/pnlab_objmodel.dir/types.cpp.o.d"
+  "libpnlab_objmodel.a"
+  "libpnlab_objmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_objmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

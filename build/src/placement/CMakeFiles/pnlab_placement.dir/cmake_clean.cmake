@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_placement.dir/engine.cpp.o"
+  "CMakeFiles/pnlab_placement.dir/engine.cpp.o.d"
+  "libpnlab_placement.a"
+  "libpnlab_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnlab_serde.dir/serde.cpp.o"
+  "CMakeFiles/pnlab_serde.dir/serde.cpp.o.d"
+  "CMakeFiles/pnlab_serde.dir/wire.cpp.o"
+  "CMakeFiles/pnlab_serde.dir/wire.cpp.o.d"
+  "libpnlab_serde.a"
+  "libpnlab_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnlab_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

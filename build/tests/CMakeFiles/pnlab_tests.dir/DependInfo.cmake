@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_checkers_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/analysis_checkers_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/analysis_checkers_test.cpp.o.d"
+  "/root/repo/tests/analysis_fixer_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/analysis_fixer_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/analysis_fixer_test.cpp.o.d"
+  "/root/repo/tests/analysis_frontend_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/analysis_frontend_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/analysis_frontend_test.cpp.o.d"
+  "/root/repo/tests/attacks_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/attacks_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/attacks_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/guard_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/guard_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/guard_test.cpp.o.d"
+  "/root/repo/tests/interp_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/interp_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/lp64_integration_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/lp64_integration_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/lp64_integration_test.cpp.o.d"
+  "/root/repo/tests/memsim_heap_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/memsim_heap_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/memsim_heap_test.cpp.o.d"
+  "/root/repo/tests/memsim_memory_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/memsim_memory_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/memsim_memory_test.cpp.o.d"
+  "/root/repo/tests/memsim_stack_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/memsim_stack_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/memsim_stack_test.cpp.o.d"
+  "/root/repo/tests/native_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/native_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/native_test.cpp.o.d"
+  "/root/repo/tests/objmodel_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/objmodel_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/objmodel_test.cpp.o.d"
+  "/root/repo/tests/placement_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/placement_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/placement_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/serde_test.cpp" "tests/CMakeFiles/pnlab_tests.dir/serde_test.cpp.o" "gcc" "tests/CMakeFiles/pnlab_tests.dir/serde_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pnlab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/pnlab_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pnlab_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/pnlab_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/pnlab_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/pnlab_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/guard/CMakeFiles/pnlab_guard.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/pnlab_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/objmodel/CMakeFiles/pnlab_objmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/pnlab_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
