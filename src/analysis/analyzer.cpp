@@ -1,11 +1,19 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "analysis/sema.h"
 
 namespace pnlab::analysis {
+
+PhaseTimings& PhaseTimings::operator+=(const PhaseTimings& other) {
+  parse_s += other.parse_s;
+  sema_s += other.sema_s;
+  check_s += other.check_s;
+  return *this;
+}
 
 bool AnalysisResult::has(const std::string& code) const {
   return count(code) > 0;
@@ -32,9 +40,19 @@ std::string AnalysisResult::to_string() const {
 }
 
 AnalysisResult analyze(const std::string& source,
-                       const AnalyzerOptions& options) {
+                       const AnalyzerOptions& options, PhaseTimings* timings) {
+  using Clock = std::chrono::steady_clock;
+  auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  auto t0 = Clock::now();
   const Program program = parse(source);
+  if (timings) timings->parse_s = seconds_since(t0);
+
+  t0 = Clock::now();
   const TypeTable types(program);
+  if (timings) timings->sema_s = seconds_since(t0);
 
   AnalysisResult result;
   result.functions_analyzed = program.functions.size();
@@ -53,7 +71,9 @@ AnalysisResult analyze(const std::string& source,
     });
   }
 
+  t0 = Clock::now();
   result.diagnostics = run_checkers(program, types, options.taint);
+  if (timings) timings->check_s = seconds_since(t0);
   if (!options.include_info) {
     std::erase_if(result.diagnostics, [](const Diagnostic& d) {
       return d.severity == Severity::Info;

@@ -14,8 +14,19 @@ namespace pnlab::analysis {
 
 struct AnalyzerOptions {
   TaintOptions taint;
-  /// Drop Info-severity diagnostics (alignment advisories) from results.
+  /// Keep Info-severity diagnostics (alignment advisories) in results;
+  /// set to false to drop them.
   bool include_info = true;
+};
+
+/// Wall-clock seconds spent in each analyzer phase of one analyze() call.
+struct PhaseTimings {
+  double parse_s = 0;  ///< lexing + parsing
+  double sema_s = 0;   ///< type table construction
+  double check_s = 0;  ///< checkers (incl. taint dataflow)
+
+  double total_s() const { return parse_s + sema_s + check_s; }
+  PhaseTimings& operator+=(const PhaseTimings& other);
 };
 
 struct AnalysisResult {
@@ -33,7 +44,9 @@ struct AnalysisResult {
 };
 
 /// Parses and analyzes PNC source.  Throws ParseError on malformed input.
+/// When @p timings is non-null, per-phase wall times are written to it.
 AnalysisResult analyze(const std::string& source,
-                       const AnalyzerOptions& options = {});
+                       const AnalyzerOptions& options = {},
+                       PhaseTimings* timings = nullptr);
 
 }  // namespace pnlab::analysis

@@ -1,0 +1,372 @@
+#include "analysis/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "analysis/token.h"
+
+namespace pnlab::analysis {
+
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;  // FNV prime
+  }
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+
+const AnalysisResult* ResultCache::find(const std::string& source) {
+  const std::uint64_t key = fnv1a(source);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.source != source) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  // Entries are never mutated or evicted, so the pointer stays valid for
+  // the cache's lifetime even after the lock is dropped.
+  return &it->second.result;
+}
+
+void ResultCache::insert(const std::string& source,
+                         const AnalysisResult& result) {
+  const std::uint64_t key = fnv1a(source);
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.try_emplace(key, Entry{source, result});
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = {};
+}
+
+// ---------------------------------------------------------------------------
+// BatchStats
+
+double BatchStats::files_per_sec() const {
+  if (wall_s <= 0) return 0;
+  return static_cast<double>(files) / wall_s;
+}
+
+std::string BatchStats::to_string() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "batch: " << files << " file(s), " << findings << " finding(s), "
+     << parse_errors << " parse error(s)\n";
+  os << "run:   " << wall_s << " s wall on " << threads << " thread(s) ("
+     << std::setprecision(1) << files_per_sec() << " files/s)\n";
+  os << std::setprecision(3);
+  os << "phase: parse " << phase_totals.parse_s << " s, sema "
+     << phase_totals.sema_s << " s, checkers " << phase_totals.check_s
+     << " s (summed across files)\n";
+  os << "cache: " << cache.hits << " hit(s), " << cache.misses
+     << " miss(es)\n";
+  return os.str();
+}
+
+std::size_t BatchResult::finding_count() const { return stats.findings; }
+
+// ---------------------------------------------------------------------------
+// BatchDriver
+
+BatchDriver::BatchDriver(DriverOptions options) : options_(options) {}
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
+  using Clock = std::chrono::steady_clock;
+  const auto run_start = Clock::now();
+  const CacheStats cache_before = cache_.stats();
+
+  BatchResult batch;
+  batch.files.resize(files.size());
+
+  // Fixed-size pool over an atomic work index: each worker claims the
+  // next unanalyzed file.  Results land in the slot matching the input
+  // index, so nothing below depends on completion order.
+  const std::size_t thread_count =
+      std::min(resolve_threads(options_.threads),
+               std::max<std::size_t>(files.size(), 1));
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i; (i = next.fetch_add(1)) < files.size();) {
+      FileReport& report = batch.files[i];
+      report.file = files[i].name;
+      if (options_.use_cache) {
+        if (const AnalysisResult* cached = cache_.find(files[i].source)) {
+          report.result = *cached;
+          report.cache_hit = true;
+          continue;
+        }
+      }
+      try {
+        report.result =
+            analyze(files[i].source, options_.analyzer, &report.timings);
+        if (options_.use_cache) cache_.insert(files[i].source, report.result);
+      } catch (const ParseError& e) {
+        report.ok = false;
+        report.error = e.what();
+      } catch (const std::exception& e) {
+        report.ok = false;
+        report.error = std::string("internal error: ") + e.what();
+      }
+    }
+  };
+
+  if (thread_count <= 1 || files.size() <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (std::size_t t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic aggregation: files by name (input order breaks ties so
+  // duplicate names keep a stable order), findings by source position.
+  std::stable_sort(batch.files.begin(), batch.files.end(),
+                   [](const FileReport& a, const FileReport& b) {
+                     return a.file < b.file;
+                   });
+  for (const FileReport& report : batch.files) {
+    for (const Diagnostic& d : report.result.diagnostics) {
+      batch.findings.push_back({report.file, d});
+    }
+  }
+  std::sort(batch.findings.begin(), batch.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.diag.line, a.diag.col, a.diag.code,
+                              a.diag.message) <
+                     std::tie(b.file, b.diag.line, b.diag.col, b.diag.code,
+                              b.diag.message);
+            });
+
+  BatchStats& stats = batch.stats;
+  stats.files = files.size();
+  stats.threads = thread_count;
+  for (const FileReport& report : batch.files) {
+    if (!report.ok) ++stats.parse_errors;
+    stats.findings += report.result.finding_count();
+    stats.phase_totals += report.timings;
+  }
+  const CacheStats cache_after = cache_.stats();
+  stats.cache.hits = cache_after.hits - cache_before.hits;
+  stats.cache.misses = cache_after.misses - cache_before.misses;
+  stats.wall_s =
+      std::chrono::duration<double>(Clock::now() - run_start).count();
+  return batch;
+}
+
+BatchResult BatchDriver::run_directory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("not a directory: " + dir);
+  }
+  std::vector<SourceFile> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".pnc") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    if (!in) throw std::runtime_error("cannot open " + entry.path().string());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back({entry.path().string(), buf.str()});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.name < b.name;
+            });
+  return run(files);
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering.  Hand-rolled on purpose: deterministic key order and
+// formatting, no third-party dependency.
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string quote(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Info: return "info";
+  }
+  return "warning";
+}
+
+/// SARIF reportingDescriptor text for each checker (DESIGN.md §5).
+struct RuleInfo {
+  const char* id;
+  const char* text;
+};
+constexpr RuleInfo kRules[] = {
+    {"PN001", "placement larger than the statically-known target arena"},
+    {"PN002", "tainted value directly sizes a placement"},
+    {"PN003", "tainted value sizes a placement through intermediates"},
+    {"PN004", "target arena size not statically known"},
+    {"PN005", "arena reuse without sanitization (information leak)"},
+    {"PN006", "placement new without matching release (memory leak)"},
+    {"PN007", "placed type alignment exceeds the target's alignment"},
+};
+
+}  // namespace
+
+std::string to_json(const BatchResult& batch) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"pnc_analyze\",\n";
+  os << "  \"summary\": {\n";
+  os << "    \"files\": " << batch.stats.files << ",\n";
+  os << "    \"findings\": " << batch.stats.findings << ",\n";
+  os << "    \"parse_errors\": " << batch.stats.parse_errors << "\n";
+  os << "  },\n";
+
+  os << "  \"files\": [";
+  for (std::size_t i = 0; i < batch.files.size(); ++i) {
+    const FileReport& f = batch.files[i];
+    os << (i ? "," : "") << "\n    {";
+    os << "\"file\": " << quote(f.file) << ", ";
+    os << "\"ok\": " << (f.ok ? "true" : "false") << ", ";
+    if (!f.ok) os << "\"error\": " << quote(f.error) << ", ";
+    os << "\"diagnostics\": " << f.result.diagnostics.size() << ", ";
+    os << "\"findings\": " << f.result.finding_count() << ", ";
+    os << "\"placement_sites\": " << f.result.placement_sites << "}";
+  }
+  os << "\n  ],\n";
+
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < batch.findings.size(); ++i) {
+    const Finding& f = batch.findings[i];
+    os << (i ? "," : "") << "\n    {";
+    os << "\"file\": " << quote(f.file) << ", ";
+    os << "\"code\": " << quote(f.diag.code) << ", ";
+    os << "\"severity\": " << quote(severity_name(f.diag.severity)) << ", ";
+    os << "\"line\": " << f.diag.line << ", ";
+    os << "\"col\": " << f.diag.col << ", ";
+    os << "\"function\": " << quote(f.diag.function) << ", ";
+    os << "\"message\": " << quote(f.diag.message) << "}";
+  }
+  os << "\n  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_sarif(const BatchResult& batch) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  os << "  \"version\": \"2.1.0\",\n";
+  os << "  \"runs\": [\n    {\n";
+
+  os << "      \"tool\": {\n        \"driver\": {\n";
+  os << "          \"name\": \"pnc_analyze\",\n";
+  os << "          \"informationUri\": "
+        "\"https://doi.org/10.1109/ICDCS.2011.63\",\n";
+  os << "          \"rules\": [";
+  for (std::size_t i = 0; i < std::size(kRules); ++i) {
+    os << (i ? "," : "") << "\n            {\"id\": " << quote(kRules[i].id)
+       << ", \"shortDescription\": {\"text\": " << quote(kRules[i].text)
+       << "}}";
+  }
+  os << "\n          ]\n        }\n      },\n";
+
+  // Parse failures surface as execution notifications, not results.
+  os << "      \"invocations\": [\n        {";
+  os << "\"executionSuccessful\": "
+     << (batch.has_parse_errors() ? "false" : "true");
+  os << ", \"toolExecutionNotifications\": [";
+  bool first = true;
+  for (const FileReport& f : batch.files) {
+    if (f.ok) continue;
+    os << (first ? "" : ",") << "\n          {\"level\": \"error\", ";
+    os << "\"message\": {\"text\": " << quote(f.error) << "}, ";
+    os << "\"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": "
+       << quote(f.file) << "}}}]}";
+    first = false;
+  }
+  os << (first ? "" : "\n        ") << "]}\n      ],\n";
+
+  os << "      \"results\": [";
+  for (std::size_t i = 0; i < batch.findings.size(); ++i) {
+    const Finding& f = batch.findings[i];
+    const char* level = f.diag.severity == Severity::Error     ? "error"
+                        : f.diag.severity == Severity::Warning ? "warning"
+                                                               : "note";
+    os << (i ? "," : "") << "\n        {";
+    os << "\"ruleId\": " << quote(f.diag.code) << ", ";
+    os << "\"level\": \"" << level << "\", ";
+    os << "\"message\": {\"text\": " << quote(f.diag.message) << "}, ";
+    os << "\"locations\": [{\"physicalLocation\": {"
+       << "\"artifactLocation\": {\"uri\": " << quote(f.file) << "}, "
+       << "\"region\": {\"startLine\": " << std::max(f.diag.line, 1)
+       << ", \"startColumn\": " << std::max(f.diag.col, 1) << "}}}]}";
+  }
+  os << (batch.findings.empty() ? "" : "\n      ") << "]\n";
+  os << "    }\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace pnlab::analysis

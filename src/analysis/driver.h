@@ -1,0 +1,155 @@
+// Parallel batch-analysis driver — the analyzer as a service.
+//
+// pnlab::analysis::analyze handles one source string; real deployments
+// (the ROADMAP north-star, the whole-program scans of arXiv:1412.5400)
+// scan whole trees.  BatchDriver takes N named sources (or a directory
+// of .pnc files), fans them out over a fixed-size thread pool, and
+// aggregates per-file results into a BatchResult whose ordering is
+// deterministic — sorted by (file, line, col) — so the output is
+// byte-identical for any thread count.  A ParseError in one file
+// becomes a per-file error record, never aborts the batch.
+//
+// Layered on top:
+//   * a content-hash (FNV-1a 64) memoization cache with hit/miss
+//     counters, so re-analyzing unchanged sources is a lookup;
+//   * per-run observability (wall time, per-phase totals, files/sec,
+//     cache stats) rendered by BatchStats::to_string();
+//   * JSON and SARIF 2.1.0 serializers so findings feed CI directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/analyzer.h"
+
+namespace pnlab::analysis {
+
+/// One named input to a batch run.
+struct SourceFile {
+  std::string name;    ///< path or label, used in diagnostics and reports
+  std::string source;  ///< PNC source text
+};
+
+/// 64-bit FNV-1a content hash — the cache key.
+std::uint64_t fnv1a(std::string_view data);
+
+/// Hit/miss counters for the memoization cache, snapshotted per run.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t lookups() const { return hits + misses; }
+};
+
+/// Memoizes AnalysisResults by source content hash.  Thread-safe; a
+/// (vanishingly unlikely) FNV collision is caught by comparing the
+/// stored source, so a hit is always correct.
+class ResultCache {
+ public:
+  /// Returns the cached result for @p source, or nullptr on miss.
+  const AnalysisResult* find(const std::string& source);
+  /// Stores a copy of @p result keyed by @p source's hash.
+  void insert(const std::string& source, const AnalysisResult& result);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string source;  ///< collision guard
+    AnalysisResult result;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Entry> entries_;
+  CacheStats stats_;
+};
+
+/// Per-file outcome inside a batch.
+struct FileReport {
+  std::string file;
+  AnalysisResult result;  ///< empty when !ok
+  bool ok = true;         ///< false: the file failed to parse
+  std::string error;      ///< ParseError message when !ok
+  bool cache_hit = false;
+  PhaseTimings timings;   ///< zeros on cache hits
+};
+
+/// One diagnostic attributed to its file — the flattened, sorted view.
+struct Finding {
+  std::string file;
+  Diagnostic diag;
+};
+
+/// Observability for one BatchDriver::run call.
+struct BatchStats {
+  std::size_t files = 0;
+  std::size_t parse_errors = 0;
+  std::size_t findings = 0;  ///< errors + warnings across the batch
+  std::size_t threads = 1;
+  double wall_s = 0;          ///< end-to-end wall time of the run
+  PhaseTimings phase_totals;  ///< summed across files (cpu, not wall)
+  CacheStats cache;           ///< delta for this run
+
+  double files_per_sec() const;
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Aggregated outcome of a batch run.  `files` is sorted by file name,
+/// `findings` by (file, line, col, code, message) — both independent of
+/// thread schedule.
+struct BatchResult {
+  std::vector<FileReport> files;
+  std::vector<Finding> findings;
+  BatchStats stats;
+
+  /// Errors + warnings (info excluded) — the headline count.
+  std::size_t finding_count() const;
+  bool has_parse_errors() const { return stats.parse_errors > 0; }
+};
+
+struct DriverOptions {
+  /// Worker threads; 0 means hardware_concurrency (min 1).
+  std::size_t threads = 0;
+  AnalyzerOptions analyzer;
+  /// Memoize results by content hash across run() calls.
+  bool use_cache = true;
+};
+
+/// The batch service.  One instance owns one cache; run() may be called
+/// repeatedly (warm runs hit the cache).  run() itself is not
+/// re-entrant — use one driver per concurrent batch.
+class BatchDriver {
+ public:
+  explicit BatchDriver(DriverOptions options = {});
+
+  /// Analyzes every file on the pool and aggregates deterministically.
+  BatchResult run(const std::vector<SourceFile>& files);
+  /// Loads every `.pnc` file under @p dir (sorted, non-recursive) and
+  /// runs it.  Throws std::runtime_error if @p dir is not a directory.
+  BatchResult run_directory(const std::string& dir);
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  DriverOptions options_;
+  ResultCache cache_;
+};
+
+/// The batch as a deterministic JSON document (2-space indent, stable
+/// key order) — summary, per-file records, flattened findings.
+std::string to_json(const BatchResult& batch);
+
+/// The batch as a SARIF 2.1.0 log: one run, PN001–PN007 as rules,
+/// findings as results, parse errors as tool configuration
+/// notifications.  Severity maps Error→error, Warning→warning,
+/// Info→note.
+std::string to_sarif(const BatchResult& batch);
+
+}  // namespace pnlab::analysis

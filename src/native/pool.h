@@ -57,12 +57,21 @@ class SlottedPool {
                           "pool exhausted");
   }
 
-  /// Destroys @p object and scrubs its slot.
+  /// Destroys @p object and scrubs its slot.  The slot is scrubbed and
+  /// freed even when ~U() throws — otherwise a throwing destructor
+  /// would leak the slot forever (and leave its residue readable by the
+  /// next tenant, the §4.3 leak this pool exists to prevent).
   template <typename U>
   void release(U* object) {
     if (object == nullptr) return;
     const std::size_t i = index_of(reinterpret_cast<std::byte*>(object));
-    object->~U();
+    try {
+      object->~U();
+    } catch (...) {
+      sanitize(slot(i));
+      used_[i] = false;
+      throw;
+    }
     sanitize(slot(i));
     used_[i] = false;
   }

@@ -103,6 +103,11 @@ std::string ByteReader::str() {
   return s;
 }
 
+void ByteReader::skip(std::size_t n) {
+  need(n);
+  pos_ += n;
+}
+
 std::vector<std::byte> ByteReader::bytes(std::size_t n) {
   need(n);
   std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),

@@ -53,6 +53,9 @@ class ByteReader {
   double f64();
   std::string str();
   std::vector<std::byte> bytes(std::size_t n);
+  /// Advances past @p n bytes without materializing them; throws
+  /// WireError when fewer than @p n remain.
+  void skip(std::size_t n);
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool at_end() const { return pos_ == data_.size(); }

@@ -1,0 +1,206 @@
+// Tests for the parallel batch driver: deterministic aggregation across
+// thread counts, content-hash memoization, per-file parse-error
+// isolation, directory loading, and the JSON/SARIF serializers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/driver.h"
+
+namespace pnlab::analysis {
+namespace {
+
+std::vector<SourceFile> corpus_files() {
+  std::vector<SourceFile> files;
+  for (const auto& c : corpus::analyzer_corpus()) {
+    files.push_back({c.id + ".pnc", c.source});
+  }
+  return files;
+}
+
+BatchResult run_with_threads(std::size_t threads, bool use_cache = false) {
+  DriverOptions options;
+  options.threads = threads;
+  options.use_cache = use_cache;
+  BatchDriver driver(options);
+  return driver.run(corpus_files());
+}
+
+TEST(Fnv1aTest, MatchesReferenceVectors) {
+  // Published FNV-1a 64 test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(BatchDriverTest, MatchesSingleFileAnalyzer) {
+  const BatchResult batch = run_with_threads(1);
+  ASSERT_EQ(batch.files.size(), corpus::analyzer_corpus().size());
+  std::size_t findings = 0;
+  for (const auto& c : corpus::analyzer_corpus()) {
+    findings += analyze(c.source).finding_count();
+  }
+  EXPECT_EQ(batch.finding_count(), findings);
+  EXPECT_EQ(batch.stats.parse_errors, 0u);
+  EXPECT_GT(batch.stats.wall_s, 0.0);
+  EXPECT_GT(batch.stats.phase_totals.total_s(), 0.0);
+}
+
+// The determinism property the whole driver is built around: the
+// aggregated output is byte-identical for any thread count.
+TEST(BatchDriverTest, OutputIdenticalAcrossThreadCounts) {
+  const std::string json1 = to_json(run_with_threads(1));
+  const std::string json2 = to_json(run_with_threads(2));
+  const std::string json8 = to_json(run_with_threads(8));
+  EXPECT_EQ(json1, json2);
+  EXPECT_EQ(json1, json8);
+
+  const std::string sarif1 = to_sarif(run_with_threads(1));
+  const std::string sarif8 = to_sarif(run_with_threads(8));
+  EXPECT_EQ(sarif1, sarif8);
+}
+
+TEST(BatchDriverTest, FindingsSortedByFileLineCol) {
+  const BatchResult batch = run_with_threads(4);
+  for (std::size_t i = 1; i < batch.findings.size(); ++i) {
+    const Finding& a = batch.findings[i - 1];
+    const Finding& b = batch.findings[i];
+    EXPECT_LE(std::tie(a.file, a.diag.line, a.diag.col),
+              std::tie(b.file, b.diag.line, b.diag.col));
+  }
+  for (std::size_t i = 1; i < batch.files.size(); ++i) {
+    EXPECT_LE(batch.files[i - 1].file, batch.files[i].file);
+  }
+}
+
+TEST(BatchDriverTest, CacheWarmRunIdenticalToCold) {
+  DriverOptions options;
+  options.threads = 4;
+  BatchDriver driver(options);
+
+  const BatchResult cold = driver.run(corpus_files());
+  EXPECT_EQ(cold.stats.cache.hits, 0u);
+  EXPECT_EQ(cold.stats.cache.misses, corpus_files().size());
+
+  const BatchResult warm = driver.run(corpus_files());
+  EXPECT_EQ(warm.stats.cache.hits, corpus_files().size());
+  EXPECT_EQ(warm.stats.cache.misses, 0u);
+  for (const FileReport& f : warm.files) EXPECT_TRUE(f.cache_hit);
+
+  // A cache hit must reproduce the cold run's diagnostics exactly.
+  EXPECT_EQ(to_json(warm), to_json(cold));
+
+  driver.clear_cache();
+  const BatchResult recold = driver.run(corpus_files());
+  EXPECT_EQ(recold.stats.cache.hits, 0u);
+}
+
+TEST(BatchDriverTest, ParseErrorIsIsolatedPerFile) {
+  std::vector<SourceFile> files = corpus_files();
+  files.push_back({"broken.pnc", "class {"});
+  files.push_back({"also_broken.pnc", "void f() { @ }"});
+
+  DriverOptions options;
+  options.threads = 4;
+  BatchDriver driver(options);
+  const BatchResult batch = driver.run(files);
+
+  ASSERT_EQ(batch.files.size(), files.size());
+  EXPECT_EQ(batch.stats.parse_errors, 2u);
+  EXPECT_TRUE(batch.has_parse_errors());
+  std::size_t analyzed_ok = 0;
+  for (const FileReport& f : batch.files) {
+    if (f.file == "broken.pnc" || f.file == "also_broken.pnc") {
+      EXPECT_FALSE(f.ok);
+      EXPECT_FALSE(f.error.empty());
+    } else {
+      EXPECT_TRUE(f.ok);
+      ++analyzed_ok;
+    }
+  }
+  EXPECT_EQ(analyzed_ok, corpus_files().size());
+  // The good files' findings are unaffected by the bad neighbours.
+  EXPECT_EQ(batch.finding_count(), run_with_threads(1).finding_count());
+}
+
+TEST(BatchDriverTest, RunDirectoryLoadsPncFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "pnlab_driver_test_corpus";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream(dir / "vuln.pnc")
+        << corpus::corpus_case("listing04").source;
+    std::ofstream(dir / "clean.pnc")
+        << corpus::corpus_case("safe_same_size").source;
+    std::ofstream(dir / "ignored.txt") << "not pnc";
+  }
+
+  BatchDriver driver;
+  const BatchResult batch = driver.run_directory(dir.string());
+  fs::remove_all(dir);
+
+  ASSERT_EQ(batch.files.size(), 2u);  // .txt excluded
+  EXPECT_GT(batch.finding_count(), 0u);  // listing04 fires PN001
+
+  EXPECT_THROW(driver.run_directory((dir / "missing").string()),
+               std::runtime_error);
+}
+
+TEST(BatchSerializationTest, JsonEscapesAndStructure) {
+  BatchDriver driver;
+  const BatchResult batch =
+      driver.run({{"weird \"name\"\n.pnc", "class {"}});
+  const std::string json = to_json(batch);
+  EXPECT_NE(json.find("\"weird \\\"name\\\"\\n.pnc\""), std::string::npos);
+  EXPECT_NE(json.find("\"parse_errors\": 1"), std::string::npos);
+
+  // Structural sanity: balanced braces/brackets outside strings.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(BatchSerializationTest, SarifHasRequiredShape) {
+  BatchDriver driver;
+  std::vector<SourceFile> files = corpus_files();
+  files.push_back({"broken.pnc", "class {"});
+  const std::string sarif = to_sarif(driver.run(files));
+
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"pnc_analyze\""), std::string::npos);
+  // Every checker is declared as a rule; findings reference rule ids.
+  for (const char* rule :
+       {"PN001", "PN002", "PN003", "PN004", "PN005", "PN006", "PN007"}) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule) + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(sarif.find("\"ruleId\": \"PN001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  // The parse error surfaces as an unsuccessful invocation notification.
+  EXPECT_NE(sarif.find("\"executionSuccessful\": false"), std::string::npos);
+  EXPECT_NE(sarif.find("toolExecutionNotifications"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnlab::analysis

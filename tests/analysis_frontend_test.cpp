@@ -2,6 +2,7 @@
 // constant folding, arena resolution, and the CFG builder.
 #include <gtest/gtest.h>
 
+#include "analysis/analyzer.h"
 #include "analysis/ast.h"
 #include "analysis/cfg.h"
 #include "analysis/sema.h"
@@ -233,6 +234,32 @@ TEST(SemaTest, TargetRootUnwrapsAddressMemberIndex) {
   const Expr& call = *prog.functions[0].body->body[0]->expr;
   EXPECT_EQ(target_root(*call.args[0]), "mp");
   (void)p;
+}
+
+// include_info semantics: true KEEPS Info-severity advisories, false
+// drops them (the header comment used to claim the opposite).
+// `new (char-array) int` trips only PN007, the alignment advisory.
+TEST(AnalyzerOptionsTest, IncludeInfoKeepsAndDropsAdvisories) {
+  const std::string src =
+      "char pool[64];\n"
+      "void f() { int* p = new (pool) int; sink(p); }\n";
+
+  AnalyzerOptions keep;
+  keep.include_info = true;
+  const AnalysisResult with_info = analyze(src, keep);
+  EXPECT_GE(with_info.count("PN007"), 1u);
+
+  AnalyzerOptions drop;
+  drop.include_info = false;
+  const AnalysisResult without_info = analyze(src, drop);
+  EXPECT_EQ(without_info.count("PN007"), 0u);
+  for (const Diagnostic& d : without_info.diagnostics) {
+    EXPECT_NE(d.severity, Severity::Info) << d.format();
+  }
+  // Only Info-severity advisories differ between the two settings.
+  EXPECT_EQ(with_info.finding_count(), without_info.finding_count());
+  EXPECT_EQ(with_info.diagnostics.size(),
+            without_info.diagnostics.size() + with_info.count("PN007"));
 }
 
 TEST(CfgTest, StraightLineIsTwoBlocksPlusExit) {

@@ -205,6 +205,27 @@ TEST(SlottedPoolTest, ExhaustionAndErrors) {
   EXPECT_THROW(pool.release(&loose), std::logic_error);
 }
 
+struct ThrowingDtor {
+  std::uint32_t residue = 0xDEADBEEF;
+  ~ThrowingDtor() noexcept(false) { throw std::runtime_error("dtor threw"); }
+};
+
+// Regression: release() used to run `~U(); sanitize; used_[i]=false;`
+// straight-line, so a throwing destructor leaked the slot permanently
+// (and skipped the scrub).  The slot must be freed and scrubbed even
+// when the destructor throws.
+TEST(SlottedPoolTest, ThrowingDestructorDoesNotLeakSlot) {
+  SlottedPool<16, 8> pool(1);
+  auto* t = pool.acquire<ThrowingDtor>();
+  EXPECT_THROW(pool.release(t), std::runtime_error);
+  EXPECT_EQ(pool.in_use(), 0u) << "throwing destructor leaked the slot";
+  // The single slot is reusable and carries no residue from the old
+  // tenant — the §4.3 guarantee must survive the throw.
+  auto* fresh = pool.acquire<std::uint32_t>();
+  EXPECT_EQ(*fresh, 0u);
+  pool.release(fresh);
+}
+
 TEST(NativePocTest, ObjectOverflowIsRealInRawCpp) {
   const auto report = poc::demonstrate_object_overflow();
   EXPECT_GT(report.object_size, report.arena_size);

@@ -56,6 +56,52 @@ TEST(WireTest, BytesRoundTrip) {
   EXPECT_THROW(r.bytes(1), WireError);
 }
 
+TEST(WireTest, SkipAdvancesAndBoundsChecks) {
+  ByteWriter w;
+  w.u32(0x11111111);
+  w.str("ignored header");
+  w.u8(0x42);
+  const auto data = w.take();
+
+  ByteReader r(data);
+  r.skip(4);                 // past the u32
+  r.skip(2 + 14);            // past the length-prefixed string
+  EXPECT_EQ(r.u8(), 0x42);   // lands exactly on the payload byte
+  EXPECT_TRUE(r.at_end());
+  EXPECT_THROW(r.skip(1), WireError);
+}
+
+// The driver-facing wire-format fuzz: a well-formed message truncated at
+// every possible length must throw WireError from whichever accessor
+// (including skip) crosses the cut — never read out of bounds or loop.
+TEST(WireTest, TruncationFuzzEveryPrefixThrows) {
+  ByteWriter w;
+  w.u16(0xCAFE);
+  w.str("placement");
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(3.14159);
+  w.str("new");
+  const auto full = w.take();
+
+  auto decode = [](ByteReader& r) {
+    r.u16();
+    r.skip(2 + 9);  // skip the first length-prefixed string wholesale
+    r.u64();
+    r.f64();
+    (void)r.str();
+  };
+
+  {
+    ByteReader r(full);
+    decode(r);
+    EXPECT_TRUE(r.at_end());
+  }
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    ByteReader r(std::span<const std::byte>(full.data(), cut));
+    EXPECT_THROW(decode(r), WireError) << "prefix of " << cut << " bytes";
+  }
+}
+
 class SerdeTest : public ::testing::Test {
  protected:
   SerdeTest() {

@@ -1,0 +1,140 @@
+// pnc_analyze: batch static analysis of PNC sources for CI.
+//
+//   pnc_analyze [options] file.pnc [file2.pnc ...]   # named files
+//   pnc_analyze [options] --dir path/                # every .pnc in a dir
+//   pnc_analyze [options] corpus                     # built-in corpus
+//
+// Options:
+//   --format=text|json|sarif   output format (default text)
+//   --threads=N                worker threads (default: hardware)
+//   --no-cache                 disable the content-hash result cache
+//   --no-info                  drop Info-severity advisories
+//   --stats                    print run statistics to stderr
+//
+// Exit status: 0 clean, 1 when the batch has findings or parse errors,
+// 2 on usage/IO errors — so `pnc_analyze --format=sarif src/` gates a
+// CI job directly.
+#include <cstring>
+#include <iostream>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/driver.h"
+
+using namespace pnlab::analysis;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--format=text|json|sarif] [--threads=N] [--no-cache]"
+               " [--no-info] [--stats] <file.pnc... | --dir DIR | corpus>\n";
+  return 2;
+}
+
+void print_text(const BatchResult& batch) {
+  for (const FileReport& f : batch.files) {
+    if (!f.ok) {
+      std::cout << f.file << ": parse error: " << f.error << "\n";
+    }
+  }
+  for (const Finding& f : batch.findings) {
+    std::cout << f.file << ": " << f.diag.format() << "\n";
+  }
+  std::cout << batch.stats.files << " file(s), " << batch.finding_count()
+            << " finding(s), " << batch.stats.parse_errors
+            << " parse error(s)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string dir;
+  bool want_stats = false;
+  bool want_corpus = false;
+  DriverOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        return usage(argv[0]);
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      try {
+        options.threads = std::stoul(arg.substr(10));
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+    } else if (arg == "--no-info") {
+      options.analyzer.include_info = false;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = arg.substr(6);
+    } else if (arg == "--dir") {
+      if (++i >= argc) return usage(argv[0]);
+      dir = argv[i];
+    } else if (arg == "corpus") {
+      want_corpus = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (static_cast<int>(want_corpus) + static_cast<int>(!dir.empty()) +
+          static_cast<int>(!paths.empty()) !=
+      1) {
+    return usage(argv[0]);
+  }
+
+  BatchDriver driver(options);
+  BatchResult batch;
+  try {
+    if (want_corpus) {
+      std::vector<SourceFile> files;
+      for (const auto& c : corpus::analyzer_corpus()) {
+        files.push_back({c.id + ".pnc", c.source});
+      }
+      batch = driver.run(files);
+    } else if (!dir.empty()) {
+      batch = driver.run_directory(dir);
+    } else {
+      std::vector<SourceFile> files;
+      for (const std::string& path : paths) {
+        std::ifstream in(path);
+        if (!in) {
+          std::cerr << "cannot open " << path << "\n";
+          return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        files.push_back({path, buf.str()});
+      }
+      batch = driver.run(files);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  if (format == "json") {
+    std::cout << to_json(batch);
+  } else if (format == "sarif") {
+    std::cout << to_sarif(batch);
+  } else {
+    print_text(batch);
+  }
+  if (want_stats) std::cerr << batch.stats.to_string();
+
+  return (batch.finding_count() > 0 || batch.has_parse_errors()) ? 1 : 0;
+}
