@@ -7,6 +7,7 @@
 // throughput at 1/2/4/8 worker threads (cache off, so every file does
 // full parse+sema+checkers work), then the content-hash cache's warm-run
 // speedup at a fixed thread count.
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
@@ -50,6 +51,7 @@ int main() {
 
   double base_files_per_sec = 0;
   double speedup_at_4 = 0;
+  std::vector<std::pair<std::size_t, double>> files_per_sec_by_threads;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     DriverOptions options;
     options.threads = threads;
@@ -63,6 +65,7 @@ int main() {
       if (again.stats.wall_s < batch.stats.wall_s) batch = std::move(again);
     }
     const double fps = batch.stats.files_per_sec();
+    files_per_sec_by_threads.emplace_back(threads, fps);
     if (threads == 1) base_files_per_sec = fps;
     const double speedup = base_files_per_sec > 0 ? fps / base_files_per_sec : 0;
     if (threads == 4) speedup_at_4 = speedup;
@@ -90,6 +93,25 @@ int main() {
             << "x\n";
   std::cout << "warm findings identical to cold: "
             << (to_json(warm) == to_json(cold) ? "yes" : "NO") << "\n";
+
+  // Machine-readable results for CI trend lines.
+  {
+    std::ofstream json("BENCH_driver.json");
+    json << std::fixed << std::setprecision(3) << "{\n"
+         << "  \"bench\": \"driver\",\n"
+         << "  \"files\": " << tree.size() << ",\n"
+         << "  \"files_per_s\": {";
+    for (std::size_t i = 0; i < files_per_sec_by_threads.size(); ++i) {
+      json << (i ? ", " : "") << "\"" << files_per_sec_by_threads[i].first
+           << "\": " << files_per_sec_by_threads[i].second;
+    }
+    json << "},\n"
+         << "  \"cache_cold_s\": " << cold.stats.wall_s << ",\n"
+         << "  \"cache_warm_s\": " << warm.stats.wall_s << ",\n"
+         << "  \"cache_evictions\": " << warm.stats.cache.evictions << "\n"
+         << "}\n";
+  }
+  std::cout << "Wrote BENCH_driver.json\n";
 
   // CI-style self-check: parallelism must actually pay — but only where
   // the hardware can deliver it (a 1-core box legitimately shows ~1.0x).

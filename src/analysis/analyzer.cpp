@@ -39,15 +39,21 @@ std::string AnalysisResult::to_string() const {
   return os.str();
 }
 
-AnalysisResult analyze(const std::string& source,
-                       const AnalyzerOptions& options, PhaseTimings* timings) {
+AnalysisResult analyze(std::string_view source, const AnalyzerOptions& options,
+                       PhaseTimings* timings, AstContext* ast) {
   using Clock = std::chrono::steady_clock;
   auto seconds_since = [](Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
   };
 
+  // One-shot callers get a reusable thread-local context so repeated
+  // analyze() calls still hit a warm arena.
+  static thread_local AstContext tls_ctx;
+  AstContext& ctx = ast != nullptr ? *ast : tls_ctx;
+  ctx.reset();
+
   auto t0 = Clock::now();
-  const Program program = parse(source);
+  const Program program = parse(source, ctx);
   if (timings) timings->parse_s = seconds_since(t0);
 
   t0 = Clock::now();
@@ -70,6 +76,9 @@ AnalysisResult analyze(const std::string& source,
       if (stmt.init) count_in(*stmt.init);
     });
   }
+
+  result.ast_nodes = ctx.arena().stats().nodes;
+  result.ast_arena_bytes = ctx.arena().stats().bytes;
 
   t0 = Clock::now();
   result.diagnostics = run_checkers(program, types, options.taint);

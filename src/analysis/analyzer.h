@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/checkers.h"
@@ -34,6 +35,10 @@ struct AnalysisResult {
   std::size_t functions_analyzed = 0;
   std::size_t classes_laid_out = 0;
   std::size_t placement_sites = 0;
+  /// Frontend allocation profile for this file: AST nodes created in and
+  /// bytes bumped from the work item's arena (0 for cache hits).
+  std::size_t ast_nodes = 0;
+  std::size_t ast_arena_bytes = 0;
 
   bool has(const std::string& code) const;
   std::size_t count(const std::string& code) const;
@@ -45,8 +50,14 @@ struct AnalysisResult {
 
 /// Parses and analyzes PNC source.  Throws ParseError on malformed input.
 /// When @p timings is non-null, per-phase wall times are written to it.
-AnalysisResult analyze(const std::string& source,
+/// When @p ast is non-null, the caller's context holds the AST (it is
+/// reset first, and its arena is reused across calls — the batch driver
+/// passes one per worker thread); otherwise a thread-local context is
+/// used.  Either way the AST does not outlive the call: AnalysisResult
+/// owns plain strings only.
+AnalysisResult analyze(std::string_view source,
                        const AnalyzerOptions& options = {},
-                       PhaseTimings* timings = nullptr);
+                       PhaseTimings* timings = nullptr,
+                       AstContext* ast = nullptr);
 
 }  // namespace pnlab::analysis

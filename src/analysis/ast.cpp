@@ -5,19 +5,10 @@
 namespace pnlab::analysis {
 
 std::string TypeRef::display() const {
-  std::string out = tainted ? "tainted " + name : name;
+  std::string out = tainted ? "tainted " : "";
+  out += name;
   out.append(static_cast<std::size_t>(pointer_depth), '*');
   return out;
-}
-
-void for_each_expr(const Expr& expr,
-                   const std::function<void(const Expr&)>& fn) {
-  fn(expr);
-  if (expr.lhs) for_each_expr(*expr.lhs, fn);
-  if (expr.rhs) for_each_expr(*expr.rhs, fn);
-  if (expr.placement) for_each_expr(*expr.placement, fn);
-  if (expr.array_size) for_each_expr(*expr.array_size, fn);
-  for (const auto& arg : expr.args) for_each_expr(*arg, fn);
 }
 
 std::string to_source(const Expr& expr) {
@@ -88,16 +79,6 @@ std::string to_source(const Expr& expr) {
       break;
   }
   return os.str();
-}
-
-void for_each_stmt(const Stmt& stmt,
-                   const std::function<void(const Stmt&)>& fn) {
-  fn(stmt);
-  if (stmt.then_branch) for_each_stmt(*stmt.then_branch, fn);
-  if (stmt.else_branch) for_each_stmt(*stmt.else_branch, fn);
-  if (stmt.init_stmt) for_each_stmt(*stmt.init_stmt, fn);
-  if (stmt.body_stmt) for_each_stmt(*stmt.body_stmt, fn);
-  for (const auto& child : stmt.body) for_each_stmt(*child, fn);
 }
 
 }  // namespace pnlab::analysis

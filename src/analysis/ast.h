@@ -4,18 +4,30 @@
 // each tagged by Kind with only the relevant fields populated.  The
 // analyzer is the only consumer, and a flat AST keeps the checkers simple
 // to read next to the paper's listings.
+//
+// Ownership: every node lives in an AstContext's arena (ast_arena.h) and
+// is referenced by raw pointer; child lists are arena-allocated pointer
+// arrays (NodeList).  Names and literals are std::string_views into the
+// source buffer or the context's intern table.  Nothing here owns
+// anything — the AstContext does, and it must outlive the Program.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
+
+#include "analysis/ast_arena.h"
 
 namespace pnlab::analysis {
 
 /// A (possibly pointer) reference to a named or builtin type.
 struct TypeRef {
-  std::string name;        ///< "int", "double", "char", "void", "bool",
+  std::string_view name;   ///< "int", "double", "char", "void", "bool",
                            ///< or a class name
   int pointer_depth = 0;   ///< number of '*'
   bool tainted = false;    ///< declared with the `tainted` qualifier
@@ -24,8 +36,25 @@ struct TypeRef {
   std::string display() const;
 };
 
+/// Immutable arena-backed list of child-node pointers.  Iterates as T*.
+template <typename T>
+struct NodeList {
+  T* const* items = nullptr;
+  std::uint32_t count = 0;
+
+  T* const* begin() const { return items; }
+  T* const* end() const { return items + count; }
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  T* operator[](std::size_t i) const { return items[i]; }
+  T* at(std::size_t i) const {
+    if (i >= count) throw std::out_of_range("NodeList::at");
+    return items[i];
+  }
+};
+
 struct Expr;
-using ExprPtr = std::unique_ptr<Expr>;
+using ExprList = NodeList<Expr>;
 
 struct Expr {
   enum class Kind {
@@ -51,23 +80,25 @@ struct Expr {
 
   long long int_value = 0;
   double float_value = 0;
-  std::string text;
+  std::string_view text;
 
-  ExprPtr lhs;
-  ExprPtr rhs;
-  std::vector<ExprPtr> args;
+  Expr* lhs = nullptr;
+  Expr* rhs = nullptr;
+  ExprList args;
 
   // New / Sizeof
-  ExprPtr placement;   ///< the "(addr)" operand of placement new
+  Expr* placement = nullptr;  ///< the "(addr)" operand of placement new
   TypeRef type;
   bool is_array = false;
-  ExprPtr array_size;
+  Expr* array_size = nullptr;
 
   bool arrow = false;  ///< Member: true for ->
 };
+static_assert(std::is_trivially_destructible_v<Expr>,
+              "Expr lives in AstArena; reset() never runs destructors");
 
 struct Stmt;
-using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = NodeList<Stmt>;
 
 struct Stmt {
   enum class Kind {
@@ -86,65 +117,98 @@ struct Stmt {
   Kind kind = Kind::Empty;
   int line = 0;
 
-  ExprPtr expr;
+  Expr* expr = nullptr;
   TypeRef type;
-  std::string name;
-  ExprPtr array_size;
-  ExprPtr init;
+  std::string_view name;
+  Expr* array_size = nullptr;
+  Expr* init = nullptr;
 
-  ExprPtr cond;
-  ExprPtr step;
-  StmtPtr then_branch;
-  StmtPtr else_branch;
-  StmtPtr init_stmt;
-  StmtPtr body_stmt;
-  std::vector<StmtPtr> body;
+  Expr* cond = nullptr;
+  Expr* step = nullptr;
+  Stmt* then_branch = nullptr;
+  Stmt* else_branch = nullptr;
+  Stmt* init_stmt = nullptr;
+  Stmt* body_stmt = nullptr;
+  StmtList body;
   int end_line = 0;  ///< for Block: the line of the closing brace
 };
+static_assert(std::is_trivially_destructible_v<Stmt>,
+              "Stmt lives in AstArena; reset() never runs destructors");
 
 /// A data member of a PNC class.
 struct MemberDecl {
   TypeRef type;
-  std::string name;
+  std::string_view name;
   long long array_count = 1;
   int line = 0;
 };
 
 struct ClassDecl {
-  std::string name;
-  std::string base;  ///< empty when no base class
+  std::string_view name;
+  std::string_view base;  ///< empty when no base class
   std::vector<MemberDecl> members;
-  std::vector<std::string> virtual_functions;
+  std::vector<std::string_view> virtual_functions;
   int line = 0;
 };
 
 struct ParamDecl {
   TypeRef type;
-  std::string name;
+  std::string_view name;
 };
 
 struct FuncDecl {
   TypeRef return_type;
-  std::string name;
+  std::string_view name;
   std::vector<ParamDecl> params;
-  StmtPtr body;  ///< always a Block
+  Stmt* body = nullptr;  ///< always a Block
   int line = 0;
 };
 
 struct Program {
   std::vector<ClassDecl> classes;
-  std::vector<StmtPtr> globals;  ///< VarDecl statements
+  std::vector<Stmt*> globals;  ///< VarDecl statements
   std::vector<FuncDecl> functions;
 };
 
-/// Parses PNC source into a Program; throws ParseError on bad input.
-Program parse(const std::string& source);
+/// Parses PNC source into a Program whose nodes live in @p ctx; throws
+/// ParseError on bad input.  @p source and @p ctx must outlive the
+/// returned Program (the driver scopes both per work item).  parse() does
+/// not reset @p ctx — callers reusing a context between files do that.
+Program parse(std::string_view source, AstContext& ctx);
+
+/// A standalone parse that owns its storage: the source text is pinned
+/// into the context's arena, so the unit is self-contained and safe to
+/// move around.  Convenience for tests and one-shot tools; the batch
+/// driver manages contexts explicitly instead.
+struct ParsedUnit {
+  std::unique_ptr<AstContext> ctx;
+  Program program;
+};
+ParsedUnit parse_unit(std::string_view source);
 
 /// Walks every statement in a block tree in source order, invoking @p fn.
-void for_each_stmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn);
+/// Templated (rather than std::function) so the per-node callback inlines;
+/// the checkers walk every function body several times per file.
+template <typename F>
+void for_each_stmt(const Stmt& stmt, const F& fn) {
+  fn(stmt);
+  if (stmt.then_branch) for_each_stmt(*stmt.then_branch, fn);
+  if (stmt.else_branch) for_each_stmt(*stmt.else_branch, fn);
+  if (stmt.init_stmt) for_each_stmt(*stmt.init_stmt, fn);
+  if (stmt.body_stmt) for_each_stmt(*stmt.body_stmt, fn);
+  for (const auto& child : stmt.body) for_each_stmt(*child, fn);
+}
 
 /// Walks every sub-expression of @p expr (including itself).
-void for_each_expr(const Expr& expr, const std::function<void(const Expr&)>& fn);
+template <typename F>
+void for_each_expr(const Expr& expr, const F& fn) {
+  fn(expr);
+  if (expr.lhs) for_each_expr(*expr.lhs, fn);
+  if (expr.rhs) for_each_expr(*expr.rhs, fn);
+  if (expr.placement) for_each_expr(*expr.placement, fn);
+  if (expr.array_size) for_each_expr(*expr.array_size, fn);
+  for (const auto& arg : expr.args) for_each_expr(*arg, fn);
+}
 
 /// Renders @p expr back to PNC source (used by the auto-fixer to build
 /// guard conditions).  Parenthesizes conservatively.

@@ -1,0 +1,74 @@
+#include "analysis/ast_arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pnlab::analysis {
+
+AstArena::AstArena(std::size_t chunk_bytes)
+    : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 64)) {}
+
+std::span<std::byte> AstArena::bump(std::size_t size, std::size_t align) {
+  stats_.bytes += size;
+  while (active_ < chunks_.size()) {
+    Chunk& chunk = chunks_[active_];
+    const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    const std::size_t misalign = (base + chunk.used) % align;
+    const std::size_t aligned = chunk.used + (misalign ? align - misalign : 0);
+    if (aligned + size <= chunk.size) {
+      chunk.used = aligned + size;
+      return {chunk.data.get() + aligned, size};
+    }
+    ++active_;  // this chunk is (effectively) full; try the next one
+  }
+  Chunk& chunk = grow(size + align);
+  const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+  const std::size_t misalign = base % align;
+  const std::size_t aligned = misalign ? align - misalign : 0;
+  chunk.used = aligned + size;
+  return {chunk.data.get() + aligned, size};
+}
+
+AstArena::Chunk& AstArena::grow(std::size_t min_size) {
+  Chunk chunk;
+  chunk.size = std::max(chunk_bytes_, min_size);
+  chunk.data = std::make_unique<std::byte[]>(chunk.size);
+  chunks_.push_back(std::move(chunk));
+  active_ = chunks_.size() - 1;
+  stats_.chunks = chunks_.size();
+  return chunks_.back();
+}
+
+void AstArena::reset() {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  active_ = 0;
+  stats_.nodes = 0;
+  stats_.bytes = 0;
+  ++stats_.resets;
+}
+
+std::size_t AstArena::capacity() const {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+std::string_view StringInterner::intern(std::string_view s) {
+  if (s.empty()) return {};
+  if (auto it = views_.find(s); it != views_.end()) {
+    ++dedup_hits_;
+    return *it;
+  }
+  std::span<char> storage = arena_.allocate_array<char>(s.size());
+  std::memcpy(storage.data(), s.data(), s.size());
+  std::string_view view{storage.data(), storage.size()};
+  views_.insert(view);
+  return view;
+}
+
+void StringInterner::reset() {
+  views_.clear();
+  dedup_hits_ = 0;
+}
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,158 @@
+// Arena-backed storage for the analyzer frontend.
+//
+// The frontend used to heap-allocate every AST node behind a
+// std::unique_ptr and copy every identifier into a std::string — dozens
+// of mallocs per statement on the hot path the driver fans out over
+// worker threads.  Fittingly for a placement-new lab, the fix is our own
+// checked-placement machinery: AstArena is a bump-pointer arena whose
+// create<T>() routes through pnlab::native::checked_placement_new, so
+// every node construction gets the §5.1 bounds/alignment checks the
+// paper's vulnerable pools skip, at bump-pointer cost.
+//
+// Lifetime rules (see DESIGN.md "AST ownership"):
+//   * One AstContext owns every Expr/Stmt node and interned string of one
+//     translation unit.  The arena outlives the analysis of that unit.
+//   * AST string_views point into the caller's source buffer or the
+//     intern table; neither view outlives the work item.
+//   * Nodes are trivially destructible (enforced at compile time), so
+//     reset() is a pointer rewind — worker threads reuse one context per
+//     thread instead of reallocating per file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <type_traits>
+#include <unordered_set>
+#include <vector>
+
+#include "native/safe_placement.h"
+
+namespace pnlab::analysis {
+
+/// Counters for one arena since its last reset (plus lifetime totals).
+struct AstArenaStats {
+  std::size_t nodes = 0;          ///< create<T>() calls since reset
+  std::size_t bytes = 0;          ///< bytes bumped since reset (incl. arrays)
+  std::size_t chunks = 0;         ///< chunks currently owned (reused on reset)
+  std::size_t resets = 0;         ///< lifetime reset() count
+  std::size_t lifetime_nodes = 0; ///< create<T>() calls since construction
+};
+
+/// Chunked bump-pointer arena for trivially-destructible frontend nodes.
+///
+/// Thread-compatibility: external synchronization required — the intended
+/// use is one arena per worker thread (BatchDriver) or one per call
+/// (analyze()).  Exhausting a chunk appends another; reset() rewinds all
+/// chunks without releasing them.
+class AstArena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{256} * 1024;
+
+  explicit AstArena(std::size_t chunk_bytes = kDefaultChunkBytes);
+
+  AstArena(const AstArena&) = delete;
+  AstArena& operator=(const AstArena&) = delete;
+
+  /// Constructs a T in the arena via checked placement new.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena nodes are reclaimed by reset(), never destroyed");
+    std::span<std::byte> block = bump(sizeof(T), alignof(T));
+    ++stats_.nodes;
+    ++stats_.lifetime_nodes;
+    return native::checked_placement_new<T>(block,
+                                            std::forward<Args>(args)...);
+  }
+
+  /// Uninitialized array storage for @p count elements of T (child-node
+  /// pointer lists, interned characters).  Counts as bytes, not nodes.
+  template <typename T>
+  std::span<T> allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    if (count == 0) return {};
+    std::span<std::byte> block = bump(sizeof(T) * count, alignof(T));
+    return {reinterpret_cast<T*>(block.data()), count};
+  }
+
+  /// Rewinds every chunk; capacity is retained for the next file.
+  void reset();
+
+  const AstArenaStats& stats() const { return stats_; }
+  /// Total bytes of chunk capacity currently owned.
+  std::size_t capacity() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::span<std::byte> bump(std::size_t size, std::size_t align);
+  Chunk& grow(std::size_t min_size);
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< index of the chunk currently bumped
+  AstArenaStats stats_;
+};
+
+/// Deduplicating string storage on top of an AstArena.  Interned views
+/// stay valid until the owning arena is reset; reset() must be called
+/// before the arena's (AstContext::reset orders this correctly).
+class StringInterner {
+ public:
+  explicit StringInterner(AstArena& arena) : arena_(arena) {}
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns a stable view equal to @p s, copying it into the arena the
+  /// first time this content is seen.
+  std::string_view intern(std::string_view s);
+
+  /// Distinct strings currently held.
+  std::size_t size() const { return views_.size(); }
+  /// intern() calls serviced without a copy since the last reset.
+  std::size_t dedup_hits() const { return dedup_hits_; }
+
+  /// Forgets every view (they are about to dangle on arena reset).
+  void reset();
+
+ private:
+  AstArena& arena_;
+  std::unordered_set<std::string_view> views_;
+  std::size_t dedup_hits_ = 0;
+};
+
+/// Everything one translation unit's AST hangs off: node arena + intern
+/// table.  One per worker thread (reset between files) or per parse call.
+class AstContext {
+ public:
+  AstContext() : strings_(arena_) {}
+
+  AstArena& arena() { return arena_; }
+  StringInterner& strings() { return strings_; }
+  const AstArena& arena() const { return arena_; }
+
+  /// Copies @p s into the intern table so views into it survive the
+  /// caller's buffer (used when the caller cannot pin the source).
+  std::string_view pin(std::string_view s) { return strings_.intern(s); }
+
+  /// Prepares for the next file: interner first (its views die with the
+  /// arena), then the arena rewind.
+  void reset() {
+    strings_.reset();
+    arena_.reset();
+  }
+
+ private:
+  AstArena arena_;
+  StringInterner strings_;
+};
+
+}  // namespace pnlab::analysis

@@ -31,7 +31,7 @@ struct PlacementSite {
   const Expr* expr = nullptr;    ///< the New node (placement != null)
   const Stmt* stmt = nullptr;    ///< enclosing simple statement
   bool guarded = false;          ///< under an if(sizeof...) condition
-  std::string assigned_to;       ///< "st" for `T* st = new (..) ..`, if any
+  std::string_view assigned_to;  ///< "st" for `T* st = new (..) ..`, if any
 };
 
 bool condition_is_size_guard(const Expr& cond) {
@@ -53,7 +53,7 @@ class SiteCollector {
 
  private:
   void scan_stmt(const Stmt& stmt, bool guarded) {
-    auto scan_expr = [&](const Expr& root, const std::string& assigned) {
+    auto scan_expr = [&](const Expr& root, std::string_view assigned) {
       for_each_expr(root, [&](const Expr& e) {
         if (e.kind == Expr::Kind::New && e.placement) {
           sites_.push_back(PlacementSite{&e, &stmt, guarded, assigned});
@@ -63,11 +63,11 @@ class SiteCollector {
     switch (stmt.kind) {
       case Stmt::Kind::VarDecl:
         if (stmt.init) scan_expr(*stmt.init, stmt.name);
-        if (stmt.array_size) scan_expr(*stmt.array_size, "");
+        if (stmt.array_size) scan_expr(*stmt.array_size, {});
         break;
       case Stmt::Kind::Expr:
         if (stmt.expr) {
-          std::string assigned;
+          std::string_view assigned;
           if (stmt.expr->kind == Expr::Kind::Binary &&
               stmt.expr->text == "=" &&
               stmt.expr->lhs->kind == Expr::Kind::Ident) {
@@ -77,7 +77,7 @@ class SiteCollector {
         }
         break;
       case Stmt::Kind::Return:
-        if (stmt.expr) scan_expr(*stmt.expr, "");
+        if (stmt.expr) scan_expr(*stmt.expr, {});
         break;
       default:
         break;
@@ -150,8 +150,8 @@ class FunctionChecker {
  private:
   void emit(const std::string& code, Severity severity, int line, int col,
             const std::string& message) {
-    diagnostics_.push_back(
-        Diagnostic{code, severity, line, col, function_.name, message});
+    diagnostics_.push_back(Diagnostic{code, severity, line, col,
+                                      std::string(function_.name), message});
   }
 
   std::optional<std::size_t> placed_size(const Expr& site) const {
@@ -221,7 +221,7 @@ class FunctionChecker {
 
     // Target alignment: the natural alignment of the arena's element or
     // object type, when resolvable.
-    const std::string root = target_root(*e.placement);
+    const std::string_view root = target_root(*e.placement);
     const VarInfo* var = root.empty() ? nullptr : symbols_.find(root);
     if (var == nullptr) return;
     const auto target_align = types_.align_of(
@@ -242,7 +242,7 @@ class FunctionChecker {
       std::size_t occupied = 0;  ///< bytes known to hold old data
       bool sanitized_since = true;
     };
-    std::map<std::string, ArenaState> arenas;
+    std::map<std::string_view, ArenaState> arenas;
 
     // Pre-scan: calls that fill a buffer (read/recv/strncpy/memcpy) mark
     // it occupied; memset marks it sanitized.  Ordering relies on
@@ -250,23 +250,23 @@ class FunctionChecker {
     struct Event {
       int line = 0;
       enum class Kind { Fill, Sanitize, Place } kind;
-      std::string root;
+      std::string_view root;
       std::size_t size = 0;
       const Expr* site = nullptr;
     };
     std::vector<Event> events;
 
-    static const std::set<std::string> kFillCalls = {
+    static const std::set<std::string_view> kFillCalls = {
         "read", "recv", "strncpy", "memcpy", "read_file", "read_passwd",
         "mmap_file", "store_into"};
     for_each_stmt(*function_.body, [&](const Stmt& stmt) {
       const Expr* call = nullptr;
       if (stmt.kind == Stmt::Kind::Expr && stmt.expr &&
           stmt.expr->kind == Expr::Kind::Call) {
-        call = stmt.expr.get();
+        call = stmt.expr;
       }
       if (call != nullptr && !call->args.empty()) {
-        const std::string root = target_root(*call->args[0]);
+        const std::string_view root = target_root(*call->args[0]);
         if (!root.empty()) {
           if (call->text == "memset") {
             events.push_back({call->line, Event::Kind::Sanitize, root, 0,
@@ -283,15 +283,15 @@ class FunctionChecker {
     // smaller placement exposes).
     for_each_stmt(*function_.body, [&](const Stmt& stmt) {
       const Expr* rhs = nullptr;
-      std::string root;
+      std::string_view root;
       if (stmt.kind == Stmt::Kind::VarDecl && stmt.init) {
-        rhs = stmt.init.get();
+        rhs = stmt.init;
         root = stmt.name;
       } else if (stmt.kind == Stmt::Kind::Expr && stmt.expr &&
                  stmt.expr->kind == Expr::Kind::Binary &&
                  stmt.expr->text == "=" &&
                  stmt.expr->lhs->kind == Expr::Kind::Ident) {
-        rhs = stmt.expr->rhs.get();
+        rhs = stmt.expr->rhs;
         root = stmt.expr->lhs->text;
       }
       if (rhs == nullptr || rhs->kind != Expr::Kind::New || rhs->placement) {
@@ -312,7 +312,7 @@ class FunctionChecker {
       }
     });
     for (const PlacementSite& site : sites) {
-      const std::string root = target_root(*site.expr->placement);
+      const std::string_view root = target_root(*site.expr->placement);
       if (root.empty()) continue;
       const auto size = placed_size(*site.expr);
       events.push_back({site.expr->line, Event::Kind::Place, root,
@@ -345,7 +345,7 @@ class FunctionChecker {
           if (!st.sanitized_since && st.occupied > 0 &&
               (ev.size == 0 || ev.size < st.occupied)) {
             emit("PN005", Severity::Warning, ev.site->line, ev.site->col,
-                 "arena '" + ev.root +
+                 "arena '" + std::string(ev.root) +
                      "' is reused without sanitization; bytes beyond the "
                      "new object remain readable (information leak)");
           }
@@ -360,22 +360,22 @@ class FunctionChecker {
     // Placement results bound to a pointer should meet a destroy()/delete
     // (the programmer-defined "placement delete" §5.1 recommends) in the
     // same function, unless the pointer escapes via return.
-    std::set<std::string> released;
-    std::set<std::string> escaped;
+    std::set<std::string_view> released;
+    std::set<std::string_view> escaped;
     for_each_stmt(*function_.body, [&](const Stmt& stmt) {
       if (stmt.kind == Stmt::Kind::Delete && stmt.expr) {
-        const std::string root = target_root(*stmt.expr);
+        const std::string_view root = target_root(*stmt.expr);
         if (!root.empty()) released.insert(root);
       }
       if (stmt.kind == Stmt::Kind::Expr && stmt.expr &&
           stmt.expr->kind == Expr::Kind::Call) {
         if (stmt.expr->text == "destroy" && !stmt.expr->args.empty()) {
-          const std::string root = target_root(*stmt.expr->args[0]);
+          const std::string_view root = target_root(*stmt.expr->args[0]);
           if (!root.empty()) released.insert(root);
         }
       }
       if (stmt.kind == Stmt::Kind::Return && stmt.expr) {
-        const std::string root = target_root(*stmt.expr);
+        const std::string_view root = target_root(*stmt.expr);
         if (!root.empty()) escaped.insert(root);
       }
     });
@@ -394,7 +394,7 @@ class FunctionChecker {
       const VarInfo* root_var = symbols_.find(target.text);
       if (root_var == nullptr || !root_var->type.is_pointer()) continue;
       emit("PN006", Severity::Warning, site.expr->line, site.expr->col,
-           "placement-new result '" + site.assigned_to +
+           "placement-new result '" + std::string(site.assigned_to) +
                "' is never released with a placement delete/destroy; the "
                "arena cannot be safely reclaimed (§4.5 memory leak)");
     }
@@ -505,7 +505,7 @@ class InterproceduralTaint {
   }
 
   void emit_once(std::vector<Diagnostic>& diagnostics, const Summary& s,
-                 const std::string& caller, int call_line) {
+                 std::string_view caller, int call_line) {
     for (const Diagnostic& d : diagnostics) {
       if (d.line == s.line && d.function == s.function->name &&
           (d.code == "PN002" || d.code == "PN003")) {
@@ -513,11 +513,13 @@ class InterproceduralTaint {
       }
     }
     diagnostics.push_back(Diagnostic{
-        "PN003", Severity::Error, s.line, s.col, s.function->name,
+        "PN003", Severity::Error, s.line, s.col,
+        std::string(s.function->name),
         "placement-new array size is influenced by an untrusted source "
         "through parameter '" +
-            s.function->params[s.param_index].name + "' (tainted call from " +
-            caller + " at line " + std::to_string(call_line) + ")"});
+            std::string(s.function->params[s.param_index].name) +
+            "' (tainted call from " + std::string(caller) + " at line " +
+            std::to_string(call_line) + ")"});
   }
 
   const Program& program_;

@@ -12,6 +12,7 @@
 #include <thread>
 #include <tuple>
 
+#include "analysis/ast_arena.h"
 #include "analysis/token.h"
 
 namespace pnlab::analysis {
@@ -28,25 +29,46 @@ std::uint64_t fnv1a(std::string_view data) {
 // ---------------------------------------------------------------------------
 // ResultCache
 
-const AnalysisResult* ResultCache::find(const std::string& source) {
+std::optional<AnalysisResult> ResultCache::find(const std::string& source) {
   const std::uint64_t key = fnv1a(source);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end() || it->second.source != source) {
     ++stats_.misses;
-    return nullptr;
+    return std::nullopt;
   }
   ++stats_.hits;
-  // Entries are never mutated or evicted, so the pointer stays valid for
-  // the cache's lifetime even after the lock is dropped.
-  return &it->second.result;
+  it->second.last_used = ++tick_;
+  // Copied under the lock: eviction may destroy the entry once it drops.
+  return it->second.result;
 }
 
 void ResultCache::insert(const std::string& source,
                          const AnalysisResult& result) {
   const std::uint64_t key = fnv1a(source);
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_.try_emplace(key, Entry{source, result});
+  auto [it, inserted] = entries_.try_emplace(key, Entry{source, result, 0});
+  it->second.last_used = ++tick_;
+  if (inserted && max_entries_ > 0 && entries_.size() > max_entries_) {
+    evict_lru_locked();
+  }
+}
+
+void ResultCache::set_max_entries(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_entries_ = max_entries;
+  while (max_entries_ > 0 && entries_.size() > max_entries_) {
+    evict_lru_locked();
+  }
+}
+
+void ResultCache::evict_lru_locked() {
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.last_used < victim->second.last_used) victim = it;
+  }
+  entries_.erase(victim);
+  ++stats_.evictions;
 }
 
 CacheStats ResultCache::stats() const {
@@ -85,7 +107,16 @@ std::string BatchStats::to_string() const {
      << phase_totals.sema_s << " s, checkers " << phase_totals.check_s
      << " s (summed across files)\n";
   os << "cache: " << cache.hits << " hit(s), " << cache.misses
-     << " miss(es)\n";
+     << " miss(es), " << cache.evictions << " eviction(s)\n";
+  os << "arena: " << ast_nodes << " AST node(s), " << ast_arena_bytes
+     << " byte(s) bump-allocated";
+  if (files > cache.hits && files > parse_errors) {
+    const std::size_t analyzed = files - cache.hits - parse_errors;
+    if (analyzed > 0) {
+      os << " (" << ast_nodes / analyzed << " node(s)/file)";
+    }
+  }
+  os << "\n";
   return os.str();
 }
 
@@ -94,7 +125,9 @@ std::size_t BatchResult::finding_count() const { return stats.findings; }
 // ---------------------------------------------------------------------------
 // BatchDriver
 
-BatchDriver::BatchDriver(DriverOptions options) : options_(options) {}
+BatchDriver::BatchDriver(DriverOptions options) : options_(options) {
+  cache_.set_max_entries(options_.cache_max_entries);
+}
 
 namespace {
 
@@ -122,19 +155,24 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
                std::max<std::size_t>(files.size(), 1));
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    // One arena-backed AST context per worker, reset between files: the
+    // whole point of the arena frontend is that a thread's chunks are
+    // reused for every file it claims.
+    AstContext ast;
     for (std::size_t i; (i = next.fetch_add(1)) < files.size();) {
       FileReport& report = batch.files[i];
       report.file = files[i].name;
       if (options_.use_cache) {
-        if (const AnalysisResult* cached = cache_.find(files[i].source)) {
-          report.result = *cached;
+        if (std::optional<AnalysisResult> cached =
+                cache_.find(files[i].source)) {
+          report.result = *std::move(cached);
           report.cache_hit = true;
           continue;
         }
       }
       try {
         report.result =
-            analyze(files[i].source, options_.analyzer, &report.timings);
+            analyze(files[i].source, options_.analyzer, &report.timings, &ast);
         if (options_.use_cache) cache_.insert(files[i].source, report.result);
       } catch (const ParseError& e) {
         report.ok = false;
@@ -181,10 +219,15 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
     if (!report.ok) ++stats.parse_errors;
     stats.findings += report.result.finding_count();
     stats.phase_totals += report.timings;
+    if (report.ok && !report.cache_hit) {
+      stats.ast_nodes += report.result.ast_nodes;
+      stats.ast_arena_bytes += report.result.ast_arena_bytes;
+    }
   }
   const CacheStats cache_after = cache_.stats();
   stats.cache.hits = cache_after.hits - cache_before.hits;
   stats.cache.misses = cache_after.misses - cache_before.misses;
+  stats.cache.evictions = cache_after.evictions - cache_before.evictions;
   stats.wall_s =
       std::chrono::duration<double>(Clock::now() - run_start).count();
   return batch;

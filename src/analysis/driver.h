@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,22 +39,35 @@ struct SourceFile {
 /// 64-bit FNV-1a content hash — the cache key.
 std::uint64_t fnv1a(std::string_view data);
 
-/// Hit/miss counters for the memoization cache, snapshotted per run.
+/// Hit/miss/eviction counters for the memoization cache, snapshotted per
+/// run.
 struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t evictions = 0;  ///< entries displaced by the max-entries cap
   std::size_t lookups() const { return hits + misses; }
 };
 
 /// Memoizes AnalysisResults by source content hash.  Thread-safe; a
 /// (vanishingly unlikely) FNV collision is caught by comparing the
-/// stored source, so a hit is always correct.
+/// stored source, so a hit is always correct.  Bounded: once
+/// max_entries is reached, inserting a new key evicts the least
+/// recently used entry (LRU-ish: a last-used tick per entry, linear
+/// scan on eviction — eviction is rare, lookups stay O(log n)).
 class ResultCache {
  public:
-  /// Returns the cached result for @p source, or nullptr on miss.
-  const AnalysisResult* find(const std::string& source);
-  /// Stores a copy of @p result keyed by @p source's hash.
+  static constexpr std::size_t kDefaultMaxEntries = 4096;
+
+  /// Returns a copy of the cached result for @p source on a hit.  A copy,
+  /// not a pointer: eviction may destroy the entry at any time.
+  std::optional<AnalysisResult> find(const std::string& source);
+  /// Stores a copy of @p result keyed by @p source's hash, evicting the
+  /// least recently used entry when the cap is exceeded.
   void insert(const std::string& source, const AnalysisResult& result);
+
+  /// Caps the entry count; 0 means unbounded.  Trims immediately if the
+  /// cache already holds more.
+  void set_max_entries(std::size_t max_entries);
 
   CacheStats stats() const;
   std::size_t size() const;
@@ -63,10 +77,15 @@ class ResultCache {
   struct Entry {
     std::string source;  ///< collision guard
     AnalysisResult result;
+    std::uint64_t last_used = 0;  ///< tick of last find/insert
   };
+  void evict_lru_locked();
+
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Entry> entries_;
   CacheStats stats_;
+  std::size_t max_entries_ = kDefaultMaxEntries;
+  std::uint64_t tick_ = 0;
 };
 
 /// Per-file outcome inside a batch.
@@ -94,6 +113,11 @@ struct BatchStats {
   double wall_s = 0;          ///< end-to-end wall time of the run
   PhaseTimings phase_totals;  ///< summed across files (cpu, not wall)
   CacheStats cache;           ///< delta for this run
+  /// Frontend allocation profile summed over files analyzed this run
+  /// (cache hits and parse errors excluded): arena-backed AST nodes and
+  /// bytes.  With the arena these are bump allocations, not mallocs.
+  std::size_t ast_nodes = 0;
+  std::size_t ast_arena_bytes = 0;
 
   double files_per_sec() const;
   /// Multi-line human-readable rendering.
@@ -119,6 +143,8 @@ struct DriverOptions {
   AnalyzerOptions analyzer;
   /// Memoize results by content hash across run() calls.
   bool use_cache = true;
+  /// Result-cache entry cap (0 = unbounded); see ResultCache.
+  std::size_t cache_max_entries = ResultCache::kDefaultMaxEntries;
 };
 
 /// The batch service.  One instance owns one cache; run() may be called

@@ -45,12 +45,12 @@ std::vector<SiteInfo> collect_sites(const Program& program,
   for (const FuncDecl& fn : program.functions) {
     for_each_stmt(*fn.body, [&](const Stmt& stmt) {
       const Expr* root_expr = nullptr;
-      std::string assigned;
+      std::string_view assigned;
       if (stmt.kind == Stmt::Kind::VarDecl && stmt.init) {
-        root_expr = stmt.init.get();
+        root_expr = stmt.init;
         assigned = stmt.name;
       } else if (stmt.kind == Stmt::Kind::Expr && stmt.expr) {
-        root_expr = stmt.expr.get();
+        root_expr = stmt.expr;
         if (stmt.expr->kind == Expr::Kind::Binary && stmt.expr->text == "=" &&
             stmt.expr->lhs->kind == Expr::Kind::Ident) {
           assigned = stmt.expr->lhs->text;
@@ -61,20 +61,20 @@ std::vector<SiteInfo> collect_sites(const Program& program,
         if (e.kind != Expr::Kind::New || !e.placement) return;
         SiteInfo site;
         site.line = stmt.line;
-        site.function = fn.name;
-        site.root = target_root(*e.placement);
+        site.function = std::string(fn.name);
+        site.root = std::string(target_root(*e.placement));
         site.root_is_ident =
             e.placement->kind == Expr::Kind::Ident ||
             (e.placement->kind == Expr::Kind::Unary &&
              e.placement->text == "&" &&
              e.placement->lhs->kind == Expr::Kind::Ident);
-        site.type_name = e.type.name;
+        site.type_name = std::string(e.type.name);
         site.is_array = e.is_array;
         if (e.is_array && e.array_size) {
           site.count_source = to_source(*e.array_size);
           site.elem_size = std::to_string(elem_size_of(e.type, types));
         }
-        site.assigned_to = assigned;
+        site.assigned_to = std::string(assigned);
         sites.push_back(std::move(site));
       });
     });
@@ -95,7 +95,10 @@ std::string trimmed(const std::string& line) {
 }  // namespace
 
 FixResult fix(const std::string& source) {
-  const Program program = parse(source);
+  // The fixer's AST is local to this call; SiteInfo/FixResult carry owned
+  // strings only, so nothing outlives the context.
+  AstContext ast;
+  const Program program = parse(source, ast);
   const TypeTable types(program);
   const std::vector<Diagnostic> diagnostics =
       run_checkers(program, types, TaintOptions{});
@@ -103,9 +106,9 @@ FixResult fix(const std::string& source) {
 
   // Function name → line of its body's closing brace (PN006 insertions
   // go just above it).
-  std::map<std::string, int> function_end;
+  std::map<std::string, int, std::less<>> function_end;
   for (const FuncDecl& fn : program.functions) {
-    function_end[fn.name] = fn.body->end_line;
+    function_end.insert_or_assign(std::string(fn.name), fn.body->end_line);
   }
 
   auto site_at = [&](int line) -> const SiteInfo* {

@@ -1,6 +1,8 @@
 #include <cctype>
-#include <map>
+#include <charconv>
+#include <string>
 
+#include "analysis/ast_arena.h"
 #include "analysis/token.h"
 
 namespace pnlab::analysis {
@@ -71,28 +73,74 @@ const char* to_string(TokenKind kind) {
 
 namespace {
 
-const std::map<std::string, TokenKind>& keywords() {
-  static const std::map<std::string, TokenKind> kw = {
-      {"class", TokenKind::KwClass},     {"virtual", TokenKind::KwVirtual},
-      {"public", TokenKind::KwPublic},   {"private", TokenKind::KwPrivate},
-      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
-      {"while", TokenKind::KwWhile},     {"for", TokenKind::KwFor},
-      {"return", TokenKind::KwReturn},   {"new", TokenKind::KwNew},
-      {"delete", TokenKind::KwDelete},   {"cin", TokenKind::KwCin},
-      {"tainted", TokenKind::KwTainted}, {"sizeof", TokenKind::KwSizeof},
-      {"int", TokenKind::KwInt},         {"double", TokenKind::KwDouble},
-      {"char", TokenKind::KwChar},       {"void", TokenKind::KwVoid},
-      {"bool", TokenKind::KwBool},       {"true", TokenKind::KwTrue},
-      {"false", TokenKind::KwFalse},     {"NULL", TokenKind::KwNull},
-      {"nullptr", TokenKind::KwNull},
-  };
-  return kw;
+// Branchy keyword probe instead of a map lookup: PNC has 23 keywords and
+// the lexer classifies every identifier, so this sits on the hot path.
+TokenKind keyword_or_identifier(std::string_view w) {
+  switch (w.front()) {
+    case 'b':
+      if (w == "bool") return TokenKind::KwBool;
+      break;
+    case 'c':
+      if (w == "char") return TokenKind::KwChar;
+      if (w == "cin") return TokenKind::KwCin;
+      if (w == "class") return TokenKind::KwClass;
+      break;
+    case 'd':
+      if (w == "delete") return TokenKind::KwDelete;
+      if (w == "double") return TokenKind::KwDouble;
+      break;
+    case 'e':
+      if (w == "else") return TokenKind::KwElse;
+      break;
+    case 'f':
+      if (w == "for") return TokenKind::KwFor;
+      if (w == "false") return TokenKind::KwFalse;
+      break;
+    case 'i':
+      if (w == "if") return TokenKind::KwIf;
+      if (w == "int") return TokenKind::KwInt;
+      break;
+    case 'n':
+      if (w == "new") return TokenKind::KwNew;
+      if (w == "nullptr") return TokenKind::KwNull;
+      break;
+    case 'N':
+      if (w == "NULL") return TokenKind::KwNull;
+      break;
+    case 'p':
+      if (w == "public") return TokenKind::KwPublic;
+      if (w == "private") return TokenKind::KwPrivate;
+      break;
+    case 'r':
+      if (w == "return") return TokenKind::KwReturn;
+      break;
+    case 's':
+      if (w == "sizeof") return TokenKind::KwSizeof;
+      break;
+    case 't':
+      if (w == "tainted") return TokenKind::KwTainted;
+      if (w == "true") return TokenKind::KwTrue;
+      break;
+    case 'v':
+      if (w == "void") return TokenKind::KwVoid;
+      if (w == "virtual") return TokenKind::KwVirtual;
+      break;
+    case 'w':
+      if (w == "while") return TokenKind::KwWhile;
+      break;
+    default:
+      break;
+  }
+  return TokenKind::Identifier;
 }
 
 }  // namespace
 
-std::vector<Token> tokenize(const std::string& source) {
+std::vector<Token> tokenize(std::string_view source, AstContext& ctx) {
   std::vector<Token> tokens;
+  // Dense sources run about one token per 6 bytes; reserving up front
+  // keeps the vector from reallocating mid-file.
+  tokens.reserve(source.size() / 6 + 16);
   std::size_t i = 0;
   int line = 1;
   int col = 1;
@@ -111,13 +159,14 @@ std::vector<Token> tokenize(const std::string& source) {
   auto peek = [&](std::size_t off = 0) -> char {
     return i + off < source.size() ? source[i + off] : '\0';
   };
-  auto push = [&](TokenKind kind, std::string text, int tline, int tcol) {
+  auto push = [&](TokenKind kind, std::string_view text, int tline,
+                  int tcol) {
     Token t;
     t.kind = kind;
-    t.text = std::move(text);
+    t.text = text;
     t.line = tline;
     t.col = tcol;
-    tokens.push_back(std::move(t));
+    tokens.push_back(t);
   };
 
   while (i < source.size()) {
@@ -143,85 +192,96 @@ std::vector<Token> tokenize(const std::string& source) {
 
     const int tline = line;
     const int tcol = col;
+    const std::size_t start = i;
 
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::string word;
       while (std::isalnum(static_cast<unsigned char>(peek())) ||
              peek() == '_') {
-        word.push_back(peek());
         advance();
       }
-      auto it = keywords().find(word);
-      if (it != keywords().end()) {
-        push(it->second, word, tline, tcol);
-      } else {
-        push(TokenKind::Identifier, word, tline, tcol);
-      }
+      const std::string_view word = source.substr(start, i - start);
+      push(keyword_or_identifier(word), word, tline, tcol);
       continue;
     }
 
     if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::string num;
       bool is_float = false;
-      bool hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
+      const bool hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
       if (hex) {
-        num += "0x";
         advance(2);
-        while (std::isxdigit(static_cast<unsigned char>(peek()))) {
-          num.push_back(peek());
-          advance();
-        }
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) advance();
       } else {
-        while (std::isdigit(static_cast<unsigned char>(peek()))) {
-          num.push_back(peek());
-          advance();
-        }
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
         if (peek() == '.' &&
             std::isdigit(static_cast<unsigned char>(peek(1)))) {
           is_float = true;
-          num.push_back('.');
           advance();
-          while (std::isdigit(static_cast<unsigned char>(peek()))) {
-            num.push_back(peek());
-            advance();
-          }
+          while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
         }
       }
+      const std::string_view num = source.substr(start, i - start);
       Token t;
       t.text = num;
       t.line = tline;
       t.col = tcol;
       if (is_float) {
         t.kind = TokenKind::FloatLiteral;
-        t.float_value = std::stod(num);
+        std::from_chars(num.data(), num.data() + num.size(), t.float_value);
       } else {
         t.kind = TokenKind::IntLiteral;
-        t.int_value = std::stoll(num, nullptr, 0);
+        // Match strtoll's base-0 rules: 0x.. is hex, other leading zeros
+        // are octal, everything else decimal.
+        const char* first = num.data();
+        const char* last = num.data() + num.size();
+        int base = 10;
+        if (hex) {
+          first += 2;
+          base = 16;
+        } else if (num.size() > 1 && num.front() == '0') {
+          base = 8;
+        }
+        std::from_chars(first, last, t.int_value, base);
       }
-      tokens.push_back(std::move(t));
+      tokens.push_back(t);
       continue;
     }
 
     if (c == '"') {
       advance();
-      std::string text;
+      const std::size_t body = i;
+      bool has_escape = false;
       while (i < source.size() && peek() != '"') {
         if (peek() == '\\' && i + 1 < source.size()) {
+          has_escape = true;
           advance();
-          switch (peek()) {
-            case 'n': text.push_back('\n'); break;
-            case 't': text.push_back('\t'); break;
-            case '0': text.push_back('\0'); break;
-            default: text.push_back(peek());
-          }
-          advance();
-          continue;
         }
-        text.push_back(peek());
         advance();
       }
       if (i >= source.size()) {
         throw ParseError(tline, tcol, "unterminated string literal");
+      }
+      std::string_view text;
+      if (!has_escape) {
+        // Common case: the literal's value IS the source bytes between
+        // the quotes — no copy at all.
+        text = source.substr(body, i - body);
+      } else {
+        std::string unescaped;
+        unescaped.reserve(i - body);
+        for (std::size_t k = body; k < i; ++k) {
+          if (source[k] == '\\' && k + 1 < i) {
+            ++k;
+            switch (source[k]) {
+              case 'n': unescaped.push_back('\n'); break;
+              case 't': unescaped.push_back('\t'); break;
+              case '0': unescaped.push_back('\0'); break;
+              default: unescaped.push_back(source[k]);
+            }
+          } else {
+            unescaped.push_back(source[k]);
+          }
+        }
+        text = ctx.strings().intern(unescaped);
       }
       advance();  // closing quote
       push(TokenKind::StringLiteral, text, tline, tcol);
@@ -230,7 +290,7 @@ std::vector<Token> tokenize(const std::string& source) {
 
     auto two = [&](char a, char b, TokenKind kind) {
       if (c == a && peek(1) == b) {
-        push(kind, std::string{a, b}, tline, tcol);
+        push(kind, source.substr(start, 2), tline, tcol);
         advance(2);
         return true;
       }
@@ -275,7 +335,7 @@ std::vector<Token> tokenize(const std::string& source) {
         throw ParseError(tline, tcol,
                          std::string("unexpected character '") + c + "'");
     }
-    push(kind, std::string(1, c), tline, tcol);
+    push(kind, source.substr(start, 1), tline, tcol);
     advance();
   }
 

@@ -1,4 +1,10 @@
 // Recursive-descent parser for PNC.
+//
+// Every node is bump-allocated from the caller's AstContext; child lists
+// are built in reusable scratch vectors and sealed into arena-backed
+// pointer arrays once their length is known, so steady-state parsing
+// performs no heap allocation per node.
+#include <algorithm>
 #include <cassert>
 
 #include "analysis/ast.h"
@@ -10,7 +16,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, AstContext& ctx)
+      : tokens_(std::move(tokens)), ctx_(ctx) {}
 
   Program parse_program() {
     Program program;
@@ -31,6 +38,7 @@ class Parser {
         program.globals.push_back(parse_var_decl());
       }
       (void)type;
+      (void)name;
     }
     return program;
   }
@@ -56,9 +64,41 @@ class Parser {
     if (!at(kind)) {
       throw ParseError(peek().line, peek().col,
                        "expected " + what + " (" + to_string(kind) +
-                           "), found '" + peek().text + "'");
+                           "), found '" + std::string(peek().text) + "'");
     }
     return advance();
+  }
+
+  // --- arena helpers --------------------------------------------------
+  Expr* new_expr() { return ctx_.arena().create<Expr>(); }
+  Stmt* new_stmt() { return ctx_.arena().create<Stmt>(); }
+
+  /// Seals scratch entries pushed after @p mark into an arena array.
+  ExprList finish_expr_list(std::size_t mark) {
+    ExprList list;
+    const std::size_t n = expr_scratch_.size() - mark;
+    if (n > 0) {
+      std::span<Expr*> out = ctx_.arena().allocate_array<Expr*>(n);
+      std::copy(expr_scratch_.begin() + static_cast<std::ptrdiff_t>(mark),
+                expr_scratch_.end(), out.begin());
+      list.items = out.data();
+      list.count = static_cast<std::uint32_t>(n);
+    }
+    expr_scratch_.resize(mark);
+    return list;
+  }
+  StmtList finish_stmt_list(std::size_t mark) {
+    StmtList list;
+    const std::size_t n = stmt_scratch_.size() - mark;
+    if (n > 0) {
+      std::span<Stmt*> out = ctx_.arena().allocate_array<Stmt*>(n);
+      std::copy(stmt_scratch_.begin() + static_cast<std::ptrdiff_t>(mark),
+                stmt_scratch_.end(), out.begin());
+      list.items = out.data();
+      list.count = static_cast<std::uint32_t>(n);
+    }
+    stmt_scratch_.resize(mark);
+    return list;
   }
 
   bool at_type_start(std::size_t off = 0) const {
@@ -100,7 +140,8 @@ class Parser {
         break;
       default:
         throw ParseError(peek().line, peek().col,
-                         "expected a type, found '" + peek().text + "'");
+                         "expected a type, found '" +
+                             std::string(peek().text) + "'");
     }
     while (accept(TokenKind::Star)) ++type.pointer_depth;
     return type;
@@ -150,7 +191,7 @@ class Parser {
         expect(TokenKind::RBracket, "']'");
       }
       expect(TokenKind::Semicolon, "';' after member");
-      decl.members.push_back(std::move(member));
+      decl.members.push_back(member);
     }
     expect(TokenKind::RBrace, "'}'");
     expect(TokenKind::Semicolon, "';' after class");
@@ -168,7 +209,7 @@ class Parser {
         ParamDecl param;
         param.type = parse_type();
         param.name = expect(TokenKind::Identifier, "parameter name").text;
-        fn.params.push_back(std::move(param));
+        fn.params.push_back(param);
       } while (accept(TokenKind::Comma));
     }
     expect(TokenKind::RParen, "')'");
@@ -176,8 +217,8 @@ class Parser {
     return fn;
   }
 
-  StmtPtr parse_var_decl() {
-    auto stmt = std::make_unique<Stmt>();
+  Stmt* parse_var_decl() {
+    Stmt* stmt = new_stmt();
     stmt->kind = Stmt::Kind::VarDecl;
     stmt->line = peek().line;
     stmt->type = parse_type();
@@ -194,24 +235,26 @@ class Parser {
   }
 
   // --- statements -----------------------------------------------------
-  StmtPtr parse_block() {
-    auto block = std::make_unique<Stmt>();
+  Stmt* parse_block() {
+    Stmt* block = new_stmt();
     block->kind = Stmt::Kind::Block;
     block->line = peek().line;
     expect(TokenKind::LBrace, "'{'");
+    const std::size_t mark = stmt_scratch_.size();
     while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
-      block->body.push_back(parse_stmt());
+      stmt_scratch_.push_back(parse_stmt());
     }
+    block->body = finish_stmt_list(mark);
     block->end_line = peek().line;
     expect(TokenKind::RBrace, "'}'");
     return block;
   }
 
-  StmtPtr parse_stmt() {
+  Stmt* parse_stmt() {
     const int line = peek().line;
     if (at(TokenKind::LBrace)) return parse_block();
     if (accept(TokenKind::Semicolon)) {
-      auto s = std::make_unique<Stmt>();
+      Stmt* s = new_stmt();
       s->kind = Stmt::Kind::Empty;
       s->line = line;
       return s;
@@ -220,7 +263,7 @@ class Parser {
     if (at(TokenKind::KwWhile)) return parse_while();
     if (at(TokenKind::KwFor)) return parse_for();
     if (accept(TokenKind::KwReturn)) {
-      auto s = std::make_unique<Stmt>();
+      Stmt* s = new_stmt();
       s->kind = Stmt::Kind::Return;
       s->line = line;
       if (!at(TokenKind::Semicolon)) s->expr = parse_expr();
@@ -229,7 +272,7 @@ class Parser {
     }
     if (at(TokenKind::KwCin)) return parse_cin();
     if (accept(TokenKind::KwDelete)) {
-      auto s = std::make_unique<Stmt>();
+      Stmt* s = new_stmt();
       s->kind = Stmt::Kind::Delete;
       s->line = line;
       if (accept(TokenKind::LBracket)) expect(TokenKind::RBracket, "']'");
@@ -239,7 +282,7 @@ class Parser {
     }
     if (looks_like_decl()) return parse_var_decl();
 
-    auto s = std::make_unique<Stmt>();
+    Stmt* s = new_stmt();
     s->kind = Stmt::Kind::Expr;
     s->line = line;
     s->expr = parse_expr();
@@ -247,8 +290,8 @@ class Parser {
     return s;
   }
 
-  StmtPtr parse_if() {
-    auto s = std::make_unique<Stmt>();
+  Stmt* parse_if() {
+    Stmt* s = new_stmt();
     s->kind = Stmt::Kind::If;
     s->line = peek().line;
     expect(TokenKind::KwIf, "'if'");
@@ -260,8 +303,8 @@ class Parser {
     return s;
   }
 
-  StmtPtr parse_while() {
-    auto s = std::make_unique<Stmt>();
+  Stmt* parse_while() {
+    Stmt* s = new_stmt();
     s->kind = Stmt::Kind::While;
     s->line = peek().line;
     expect(TokenKind::KwWhile, "'while'");
@@ -272,8 +315,8 @@ class Parser {
     return s;
   }
 
-  StmtPtr parse_for() {
-    auto s = std::make_unique<Stmt>();
+  Stmt* parse_for() {
+    Stmt* s = new_stmt();
     s->kind = Stmt::Kind::For;
     s->line = peek().line;
     expect(TokenKind::KwFor, "'for'");
@@ -283,12 +326,12 @@ class Parser {
     } else if (looks_like_decl()) {
       s->init_stmt = parse_var_decl();  // consumes the ';'
     } else {
-      auto init = std::make_unique<Stmt>();
+      Stmt* init = new_stmt();
       init->kind = Stmt::Kind::Expr;
       init->line = peek().line;
       init->expr = parse_expr();
       expect(TokenKind::Semicolon, "';' in for");
-      s->init_stmt = std::move(init);
+      s->init_stmt = init;
     }
     if (!at(TokenKind::Semicolon)) s->cond = parse_expr();
     expect(TokenKind::Semicolon, "';' in for");
@@ -298,8 +341,8 @@ class Parser {
     return s;
   }
 
-  StmtPtr parse_cin() {
-    auto s = std::make_unique<Stmt>();
+  Stmt* parse_cin() {
+    Stmt* s = new_stmt();
     s->kind = Stmt::Kind::CinRead;
     s->line = peek().line;
     expect(TokenKind::KwCin, "'cin'");
@@ -308,109 +351,111 @@ class Parser {
     // Chained reads desugar into a block of CinRead statements; for
     // simplicity the extra targets become nested CinRead statements in
     // `body`.
+    const std::size_t mark = stmt_scratch_.size();
     while (accept(TokenKind::Shr)) {
-      auto extra = std::make_unique<Stmt>();
+      Stmt* extra = new_stmt();
       extra->kind = Stmt::Kind::CinRead;
       extra->line = s->line;
       extra->expr = parse_unary();
-      s->body.push_back(std::move(extra));
+      stmt_scratch_.push_back(extra);
     }
+    s->body = finish_stmt_list(mark);
     expect(TokenKind::Semicolon, "';' after cin");
     return s;
   }
 
   // --- expressions (precedence climbing) -------------------------------
-  ExprPtr parse_expr() { return parse_assignment(); }
+  Expr* parse_expr() { return parse_assignment(); }
 
-  ExprPtr parse_assignment() {
-    ExprPtr lhs = parse_or();
+  Expr* parse_assignment() {
+    Expr* lhs = parse_or();
     if (at(TokenKind::Assign)) {
       const Token op = advance();
-      auto node = std::make_unique<Expr>();
+      Expr* node = new_expr();
       node->kind = Expr::Kind::Binary;
       node->text = "=";
       node->line = op.line;
       node->col = op.col;
-      node->lhs = std::move(lhs);
+      node->lhs = lhs;
       node->rhs = parse_assignment();
       return node;
     }
     return lhs;
   }
 
-  ExprPtr binary(ExprPtr lhs, const Token& op, ExprPtr rhs) {
-    auto node = std::make_unique<Expr>();
+  Expr* binary(Expr* lhs, const Token& op, Expr* rhs) {
+    Expr* node = new_expr();
     node->kind = Expr::Kind::Binary;
     node->text = op.text;
     node->line = op.line;
     node->col = op.col;
-    node->lhs = std::move(lhs);
-    node->rhs = std::move(rhs);
+    node->lhs = lhs;
+    node->rhs = rhs;
     return node;
   }
 
-  ExprPtr parse_or() {
-    ExprPtr lhs = parse_and();
+  Expr* parse_or() {
+    Expr* lhs = parse_and();
     while (at(TokenKind::PipePipe)) {
       const Token op = advance();
-      lhs = binary(std::move(lhs), op, parse_and());
+      lhs = binary(lhs, op, parse_and());
     }
     return lhs;
   }
 
-  ExprPtr parse_and() {
-    ExprPtr lhs = parse_equality();
+  Expr* parse_and() {
+    Expr* lhs = parse_equality();
     while (at(TokenKind::AmpAmp)) {
       const Token op = advance();
-      lhs = binary(std::move(lhs), op, parse_equality());
+      lhs = binary(lhs, op, parse_equality());
     }
     return lhs;
   }
 
-  ExprPtr parse_equality() {
-    ExprPtr lhs = parse_relational();
+  Expr* parse_equality() {
+    Expr* lhs = parse_relational();
     while (at(TokenKind::Eq) || at(TokenKind::Ne)) {
       const Token op = advance();
-      lhs = binary(std::move(lhs), op, parse_relational());
+      lhs = binary(lhs, op, parse_relational());
     }
     return lhs;
   }
 
-  ExprPtr parse_relational() {
-    ExprPtr lhs = parse_additive();
+  Expr* parse_relational() {
+    Expr* lhs = parse_additive();
     while (at(TokenKind::Lt) || at(TokenKind::Gt) || at(TokenKind::Le) ||
            at(TokenKind::Ge)) {
       const Token op = advance();
-      lhs = binary(std::move(lhs), op, parse_additive());
+      lhs = binary(lhs, op, parse_additive());
     }
     return lhs;
   }
 
-  ExprPtr parse_additive() {
-    ExprPtr lhs = parse_multiplicative();
+  Expr* parse_additive() {
+    Expr* lhs = parse_multiplicative();
     while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
       const Token op = advance();
-      lhs = binary(std::move(lhs), op, parse_multiplicative());
+      lhs = binary(lhs, op, parse_multiplicative());
     }
     return lhs;
   }
 
-  ExprPtr parse_multiplicative() {
-    ExprPtr lhs = parse_unary();
+  Expr* parse_multiplicative() {
+    Expr* lhs = parse_unary();
     while (at(TokenKind::Star) || at(TokenKind::Slash) ||
            at(TokenKind::Percent)) {
       const Token op = advance();
-      lhs = binary(std::move(lhs), op, parse_unary());
+      lhs = binary(lhs, op, parse_unary());
     }
     return lhs;
   }
 
-  ExprPtr parse_unary() {
+  Expr* parse_unary() {
     if (at(TokenKind::Amp) || at(TokenKind::Star) || at(TokenKind::Minus) ||
         at(TokenKind::Not) || at(TokenKind::PlusPlus) ||
         at(TokenKind::MinusMinus)) {
       const Token op = advance();
-      auto node = std::make_unique<Expr>();
+      Expr* node = new_expr();
       node->kind = Expr::Kind::Unary;
       node->text = op.text;
       node->line = op.line;
@@ -421,59 +466,61 @@ class Parser {
     return parse_postfix();
   }
 
-  ExprPtr parse_postfix() {
-    ExprPtr expr = parse_primary();
+  Expr* parse_postfix() {
+    Expr* expr = parse_primary();
     for (;;) {
       if (accept(TokenKind::Dot) || (at(TokenKind::Arrow) && (advance(), true))) {
         const bool arrow = tokens_[pos_ - 1].kind == TokenKind::Arrow;
         const Token name = expect(TokenKind::Identifier, "member name");
-        auto node = std::make_unique<Expr>();
+        Expr* node = new_expr();
         node->kind = Expr::Kind::Member;
         node->text = name.text;
         node->line = name.line;
         node->col = name.col;
         node->arrow = arrow;
-        node->lhs = std::move(expr);
-        expr = std::move(node);
+        node->lhs = expr;
+        expr = node;
         continue;
       }
       if (at(TokenKind::LBracket)) {
         const Token bracket = advance();
-        auto node = std::make_unique<Expr>();
+        Expr* node = new_expr();
         node->kind = Expr::Kind::Index;
         node->line = bracket.line;
         node->col = bracket.col;
-        node->lhs = std::move(expr);
+        node->lhs = expr;
         node->rhs = parse_expr();
         expect(TokenKind::RBracket, "']'");
-        expr = std::move(node);
+        expr = node;
         continue;
       }
       if (at(TokenKind::LParen) && expr->kind == Expr::Kind::Ident) {
         const Token paren = advance();
-        auto node = std::make_unique<Expr>();
+        Expr* node = new_expr();
         node->kind = Expr::Kind::Call;
         node->text = expr->text;
         node->line = paren.line;
         node->col = paren.col;
+        const std::size_t mark = expr_scratch_.size();
         if (!at(TokenKind::RParen)) {
           do {
-            node->args.push_back(parse_expr());
+            expr_scratch_.push_back(parse_expr());
           } while (accept(TokenKind::Comma));
         }
+        node->args = finish_expr_list(mark);
         expect(TokenKind::RParen, "')' after arguments");
-        expr = std::move(node);
+        expr = node;
         continue;
       }
       if (at(TokenKind::PlusPlus) || at(TokenKind::MinusMinus)) {
         const Token op = advance();
-        auto node = std::make_unique<Expr>();
+        Expr* node = new_expr();
         node->kind = Expr::Kind::Unary;
         node->text = op.text;
         node->line = op.line;
         node->col = op.col;
-        node->lhs = std::move(expr);
-        expr = std::move(node);
+        node->lhs = expr;
+        expr = node;
         continue;
       }
       break;
@@ -481,12 +528,26 @@ class Parser {
     return expr;
   }
 
-  ExprPtr parse_primary() {
+  Expr* parse_primary() {
     const Token& tok = peek();
-    auto node = std::make_unique<Expr>();
+    switch (tok.kind) {
+      case TokenKind::LParen: {
+        advance();
+        Expr* inner = parse_expr();
+        expect(TokenKind::RParen, "')'");
+        return inner;
+      }
+      case TokenKind::KwNew:
+        return parse_new();
+      case TokenKind::KwSizeof:
+        return parse_sizeof();
+      default:
+        break;
+    }
+
+    Expr* node = new_expr();
     node->line = tok.line;
     node->col = tok.col;
-
     switch (tok.kind) {
       case TokenKind::IntLiteral:
         node->kind = Expr::Kind::IntLit;
@@ -513,25 +574,16 @@ class Parser {
         node->kind = Expr::Kind::Ident;
         node->text = advance().text;
         return node;
-      case TokenKind::LParen: {
-        advance();
-        ExprPtr inner = parse_expr();
-        expect(TokenKind::RParen, "')'");
-        return inner;
-      }
-      case TokenKind::KwNew:
-        return parse_new();
-      case TokenKind::KwSizeof:
-        return parse_sizeof();
       default:
         throw ParseError(tok.line, tok.col,
-                         "unexpected token '" + tok.text + "' in expression");
+                         "unexpected token '" + std::string(tok.text) +
+                             "' in expression");
     }
   }
 
-  ExprPtr parse_new() {
+  Expr* parse_new() {
     const Token kw = expect(TokenKind::KwNew, "'new'");
-    auto node = std::make_unique<Expr>();
+    Expr* node = new_expr();
     node->kind = Expr::Kind::New;
     node->line = kw.line;
     node->col = kw.col;
@@ -545,19 +597,21 @@ class Parser {
       node->array_size = parse_expr();
       expect(TokenKind::RBracket, "']'");
     } else if (accept(TokenKind::LParen)) {
+      const std::size_t mark = expr_scratch_.size();
       if (!at(TokenKind::RParen)) {
         do {
-          node->args.push_back(parse_expr());
+          expr_scratch_.push_back(parse_expr());
         } while (accept(TokenKind::Comma));
       }
+      node->args = finish_expr_list(mark);
       expect(TokenKind::RParen, "')' after constructor arguments");
     }
     return node;
   }
 
-  ExprPtr parse_sizeof() {
+  Expr* parse_sizeof() {
     const Token kw = expect(TokenKind::KwSizeof, "'sizeof'");
-    auto node = std::make_unique<Expr>();
+    Expr* node = new_expr();
     node->kind = Expr::Kind::Sizeof;
     node->line = kw.line;
     node->col = kw.col;
@@ -576,14 +630,27 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  AstContext& ctx_;
   std::size_t pos_ = 0;
+  std::vector<Expr*> expr_scratch_;
+  std::vector<Stmt*> stmt_scratch_;
 };
 
 }  // namespace
 
-Program parse(const std::string& source) {
-  Parser parser(tokenize(source));
+Program parse(std::string_view source, AstContext& ctx) {
+  Parser parser(tokenize(source, ctx), ctx);
   return parser.parse_program();
+}
+
+ParsedUnit parse_unit(std::string_view source) {
+  ParsedUnit unit;
+  unit.ctx = std::make_unique<AstContext>();
+  // Pin a copy of the source into the arena so the unit does not depend
+  // on the caller's (possibly temporary) buffer.
+  const std::string_view pinned = unit.ctx->pin(source);
+  unit.program = parse(pinned, *unit.ctx);
+  return unit;
 }
 
 }  // namespace pnlab::analysis

@@ -18,14 +18,14 @@ std::size_t align_up(std::size_t v, std::size_t a) {
   return (v + a - 1) & ~(a - 1);
 }
 
-std::optional<std::size_t> scalar_size(const std::string& name) {
+std::optional<std::size_t> scalar_size(std::string_view name) {
   if (name == "int" || name == "bool") return kIntSize;
   if (name == "double") return kDoubleSize;
   if (name == "char") return std::size_t{1};
   return std::nullopt;
 }
 
-std::optional<std::size_t> scalar_align(const std::string& name) {
+std::optional<std::size_t> scalar_align(std::string_view name) {
   if (name == "int" || name == "bool") return kIntSize;
   if (name == "double") return kDoubleAlign;
   if (name == "char") return std::size_t{1};
@@ -46,8 +46,9 @@ TypeTable::TypeTable(const Program& program) {
       auto it = classes_.find(decl.base);
       if (it == classes_.end()) {
         throw ParseError(decl.line, 1,
-                         "class " + decl.name + " derives from unknown base " +
-                             decl.base);
+                         "class " + std::string(decl.name) +
+                             " derives from unknown base " +
+                             std::string(decl.base));
       }
       const ClassLayout& base = it->second;
       layout.has_vptr = layout.has_vptr || base.has_vptr;
@@ -76,8 +77,10 @@ TypeTable::TypeTable(const Program& program) {
         auto it = classes_.find(member.type.name);
         if (it == classes_.end()) {
           throw ParseError(member.line, 1,
-                           "member " + decl.name + "::" + member.name +
-                               " has unknown type " + member.type.name);
+                           "member " + std::string(decl.name) +
+                               "::" + std::string(member.name) +
+                               " has unknown type " +
+                               std::string(member.type.name));
         }
         elem_size = it->second.size;
         elem_align = it->second.align;
@@ -98,14 +101,14 @@ TypeTable::TypeTable(const Program& program) {
   }
 }
 
-bool TypeTable::is_class(const std::string& name) const {
+bool TypeTable::is_class(std::string_view name) const {
   return classes_.contains(name);
 }
 
-const ClassLayout& TypeTable::layout(const std::string& name) const {
+const ClassLayout& TypeTable::layout(std::string_view name) const {
   auto it = classes_.find(name);
   if (it == classes_.end()) {
-    throw std::out_of_range("unknown class " + name);
+    throw std::out_of_range("unknown class " + std::string(name));
   }
   return it->second;
 }
@@ -126,9 +129,9 @@ std::optional<std::size_t> TypeTable::align_of(const TypeRef& type) const {
   return std::nullopt;
 }
 
-bool TypeTable::derives_from(const std::string& derived,
-                             const std::string& base) const {
-  std::string cur = derived;
+bool TypeTable::derives_from(std::string_view derived,
+                             std::string_view base) const {
+  std::string_view cur = derived;
   while (!cur.empty()) {
     if (cur == base) return true;
     auto it = classes_.find(cur);
@@ -146,7 +149,7 @@ void SymbolTable::add_decl(const Stmt& decl, bool is_global,
   info.type = decl.type;
   info.is_global = is_global;
   info.tainted_decl = decl.type.tainted;
-  info.init = decl.init.get();
+  info.init = decl.init;
   info.line = decl.line;
   if (decl.array_size) {
     if (auto n = const_eval(*decl.array_size, types, nullptr)) {
@@ -180,7 +183,7 @@ SymbolTable::SymbolTable(const Program& program, const FuncDecl& function,
   });
 }
 
-const VarInfo* SymbolTable::find(const std::string& name) const {
+const VarInfo* SymbolTable::find(std::string_view name) const {
   for (const VarInfo& v : vars_) {
     if (v.name == name) return &v;
   }
@@ -243,7 +246,7 @@ std::optional<long long> const_eval(const Expr& expr, const TypeTable& types,
   }
 }
 
-std::string target_root(const Expr& target) {
+std::string_view target_root(const Expr& target) {
   const Expr* e = &target;
   while (true) {
     switch (e->kind) {
@@ -251,16 +254,16 @@ std::string target_root(const Expr& target) {
         return e->text;
       case Expr::Kind::Unary:
         if (e->text == "&" || e->text == "*") {
-          e = e->lhs.get();
+          e = e->lhs;
           continue;
         }
-        return "";
+        return {};
       case Expr::Kind::Member:
       case Expr::Kind::Index:
-        e = e->lhs.get();
+        e = e->lhs;
         continue;
       default:
-        return "";
+        return {};
     }
   }
 }
@@ -280,7 +283,7 @@ std::optional<std::size_t> resolve_arena_size(const Expr& target,
   if (target.kind == Expr::Kind::Unary && target.text == "&" &&
       target.lhs->kind == Expr::Kind::Member) {
     const Expr& member = *target.lhs;
-    const std::string root = target_root(member);
+    const std::string_view root = target_root(member);
     const VarInfo* var = symbols.find(root);
     if (var != nullptr && types.is_class(var->type.name)) {
       for (const FieldInfo& f : types.layout(var->type.name).fields) {

@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/ast.h"
@@ -16,8 +17,8 @@ namespace pnlab::analysis {
 
 /// One laid-out data member of a PNC class.
 struct FieldInfo {
-  std::string name;
-  std::string type_name;
+  std::string_view name;
+  std::string_view type_name;
   std::size_t offset = 0;
   std::size_t size = 0;
 };
@@ -25,8 +26,8 @@ struct FieldInfo {
 /// Computed layout of a PNC class (ILP32 model: int 4, double 8 with
 /// 4-byte alignment, pointer 4, vptr one pointer at offset 0).
 struct ClassLayout {
-  std::string name;
-  std::string base;
+  std::string_view name;
+  std::string_view base;
   std::size_t size = 0;
   std::size_t align = 1;
   bool has_vptr = false;
@@ -41,23 +42,23 @@ class TypeTable {
   /// types.
   explicit TypeTable(const Program& program);
 
-  bool is_class(const std::string& name) const;
-  const ClassLayout& layout(const std::string& name) const;
+  bool is_class(std::string_view name) const;
+  const ClassLayout& layout(std::string_view name) const;
 
   /// Size in bytes of @p type; nullopt for void or unknown classes.
   std::optional<std::size_t> size_of(const TypeRef& type) const;
   std::optional<std::size_t> align_of(const TypeRef& type) const;
 
   /// True if @p derived equals @p base or (transitively) inherits it.
-  bool derives_from(const std::string& derived, const std::string& base) const;
+  bool derives_from(std::string_view derived, std::string_view base) const;
 
  private:
-  std::map<std::string, ClassLayout> classes_;
+  std::map<std::string_view, ClassLayout> classes_;
 };
 
 /// What the analyzer knows about one declared variable.
 struct VarInfo {
-  std::string name;
+  std::string_view name;
   TypeRef type;
   bool is_global = false;
   bool is_param = false;
@@ -75,7 +76,7 @@ class SymbolTable {
   SymbolTable(const Program& program, const FuncDecl& function,
               const TypeTable& types);
 
-  const VarInfo* find(const std::string& name) const;
+  const VarInfo* find(std::string_view name) const;
   const std::vector<VarInfo>& all() const { return vars_; }
 
  private:
@@ -100,6 +101,6 @@ std::optional<std::size_t> resolve_arena_size(const Expr& target,
 
 /// The root variable a placement target refers to ("mem_pool" for
 /// `mem_pool`, "stud" for `&stud`, "p" for `p`); empty when unresolvable.
-std::string target_root(const Expr& target);
+std::string_view target_root(const Expr& target);
 
 }  // namespace pnlab::analysis

@@ -55,7 +55,7 @@ class Transfer {
           } else {
             // Writes through members/indices taint the root object
             // conservatively.
-            const std::string root = target_root(lhs);
+            const std::string_view root = target_root(lhs);
             if (!root.empty()) {
               const int depth = taint_of_expr(*stmt.expr->rhs, state,
                                               options_);
@@ -77,7 +77,7 @@ class Transfer {
   }
 
  private:
-  void assign(const std::string& name, const Expr& rhs, TaintMap& state) const {
+  void assign(std::string_view name, const Expr& rhs, TaintMap& state) const {
     // Depth through tainted variables counts a hop; binding a source
     // call's result (`n = recv()`) is the value's *first* name, not an
     // intermediate definition, so it stays direct (depth 1).
@@ -105,7 +105,7 @@ class Transfer {
   }
 
   void taint_lvalue(const Expr& lvalue, int depth, TaintMap& state) const {
-    const std::string root = target_root(lvalue);
+    const std::string_view root = target_root(lvalue);
     if (root.empty()) return;
     auto it = state.find(root);
     if (it == state.end() || depth < it->second) state[root] = depth;

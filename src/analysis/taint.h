@@ -14,6 +14,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/ast.h"
@@ -23,11 +24,14 @@
 namespace pnlab::analysis {
 
 /// Variable name → minimum assignment distance from a taint source.
-using TaintMap = std::map<std::string, int>;
+/// Keys view into the analyzed unit's source buffer / intern table, so a
+/// TaintMap is only meaningful while that unit's AstContext is alive.
+using TaintMap = std::map<std::string_view, int>;
 
 struct TaintOptions {
   /// External calls whose return value (or out-argument) is tainted.
-  std::set<std::string> source_functions = {
+  /// std::less<> enables lookup by the AST's string_views without a copy.
+  std::set<std::string, std::less<>> source_functions = {
       "getNames", "recv", "readObject", "receive", "service_getNames",
       "read_input"};
 };

@@ -16,14 +16,23 @@
 // The `tainted` qualifier marks values that arrive from an untrusted
 // source (remote objects, §3.2); `cin >> x` is the canonical local taint
 // source.  `sizeof(T)`/`sizeof(expr)` appears in guarded (safe) variants.
+//
+// Tokens are zero-copy: Token::text is a std::string_view into the
+// caller's source buffer, except string literals containing escape
+// sequences, whose unescaped form is interned in the AstContext.  Tokens
+// therefore must not outlive the source buffer or the context's arena.
 #pragma once
 
 #include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace pnlab::analysis {
+
+class AstContext;
 
 enum class TokenKind {
   // literals / identifiers
@@ -93,12 +102,13 @@ const char* to_string(TokenKind kind);
 
 struct Token {
   TokenKind kind = TokenKind::EndOfFile;
-  std::string text;
+  std::string_view text;
   long long int_value = 0;
   double float_value = 0;
   int line = 1;
   int col = 1;
 };
+static_assert(std::is_trivially_copyable_v<Token>);
 
 /// Thrown on malformed input (lexing or parsing).
 class ParseError : public std::runtime_error {
@@ -116,7 +126,9 @@ class ParseError : public std::runtime_error {
   int col_;
 };
 
-/// Tokenizes PNC source; throws ParseError on malformed input.
-std::vector<Token> tokenize(const std::string& source);
+/// Tokenizes PNC source; throws ParseError on malformed input.  Token
+/// text views into @p source (or @p ctx's intern table for escaped
+/// string literals), so @p source and @p ctx must outlive the tokens.
+std::vector<Token> tokenize(std::string_view source, AstContext& ctx);
 
 }  // namespace pnlab::analysis

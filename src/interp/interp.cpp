@@ -99,7 +99,8 @@ class Interpreter::Impl {
  public:
   Impl(const std::string& source, RunOptions options)
       : options_(std::move(options)),
-        program_(analysis::parse(source)),
+        source_(source),
+        program_(analysis::parse(source_, ast_)),
         mem_(options_.model),
         registry_(mem_),
         engine_(registry_, options_.policy),
@@ -180,7 +181,8 @@ class Interpreter::Impl {
   };
 
   struct Env {
-    std::map<std::string, Slot> vars;
+    // Keys are AST name views; program_ outlives every environment.
+    std::map<std::string_view, Slot> vars;
   };
 
   // --- program loading -------------------------------------------------
@@ -208,14 +210,15 @@ class Interpreter::Impl {
         }
         spec.members.push_back(std::move(member));
       }
-      spec.virtual_functions = decl.virtual_functions;
+      spec.virtual_functions.assign(decl.virtual_functions.begin(),
+                                    decl.virtual_functions.end());
       registry_.define(spec);
     }
   }
 
   void load_functions() {
     for (const FuncDecl& fn : program_.functions) {
-      function_symbols_[fn.name] = mem_.add_text_symbol(fn.name);
+      function_symbols_[fn.name] = mem_.add_text_symbol(std::string(fn.name));
     }
   }
 
@@ -235,7 +238,7 @@ class Interpreter::Impl {
       }
       slot.size = elem * count;
       slot.addr = mem_.allocate(memsim::SegmentKind::Bss, slot.size,
-                                stmt->name, align_of(stmt->type));
+                                std::string(stmt->name), align_of(stmt->type));
       globals_[stmt->name] = slot;
     }
     // Initializers run before entry (constants only, like static init).
@@ -247,7 +250,7 @@ class Interpreter::Impl {
     }
   }
 
-  const FuncDecl* find_function(const std::string& name) const {
+  const FuncDecl* find_function(std::string_view name) const {
     for (const FuncDecl& fn : program_.functions) {
       if (fn.name == name) return &fn;
     }
@@ -263,7 +266,7 @@ class Interpreter::Impl {
     if (type.name == "double") return m.double_size;
     if (type.name == "char") return 1;
     if (type.name == "void") return 0;
-    return registry_.get(type.name).size;
+    return registry_.get(std::string(type.name)).size;
   }
 
   std::size_t align_of(const TypeRef& type) const {
@@ -272,7 +275,8 @@ class Interpreter::Impl {
     if (type.name == "int" || type.name == "bool") return m.int_size;
     if (type.name == "double") return m.double_align;
     if (type.name == "char") return 1;
-    if (registry_.contains(type.name)) return registry_.get(type.name).align;
+    const std::string cls(type.name);
+    if (registry_.contains(cls)) return registry_.get(cls).align;
     return m.word_align;
   }
 
@@ -288,7 +292,7 @@ class Interpreter::Impl {
 
   Value call_function(const FuncDecl& fn, std::vector<Value> args) {
     if (options_.shadow_stack) shadow_.on_call(call_site_);
-    memsim::Frame& frame = stack_.push_frame(fn.name, call_site_);
+    memsim::Frame& frame = stack_.push_frame(std::string(fn.name), call_site_);
     const bool had_canary = frame.options.use_canary;
     const bool is_entry = stack_.depth() == 1;
 
@@ -298,7 +302,7 @@ class Interpreter::Impl {
       Slot slot;
       slot.type = param.type;
       slot.size = size_of(param.type);
-      slot.addr = stack_.push_local(param.name, slot.size,
+      slot.addr = stack_.push_local(std::string(param.name), slot.size,
                                     align_of(param.type));
       env.vars[param.name] = slot;
       if (p < args.size()) store(lvalue_of_slot(slot), args[p]);
@@ -315,11 +319,11 @@ class Interpreter::Impl {
     const guard::CanaryVerdict verdict = guard::judge_return(had_canary, rr);
     if (verdict == guard::CanaryVerdict::SmashDetected) {
       throw AbortSignal{Termination::CanaryAbort,
-                        "__stack_chk_fail in " + fn.name};
+                        "__stack_chk_fail in " + std::string(fn.name)};
     }
     if (options_.shadow_stack && !shadow_.on_return(rr.return_to)) {
       throw AbortSignal{Termination::ShadowStackAbort,
-                        "return-address mismatch in " + fn.name};
+                        "return-address mismatch in " + std::string(fn.name)};
     }
     if (is_entry) {
       final_transfer_ =
@@ -395,7 +399,8 @@ class Interpreter::Impl {
           std::max<std::int64_t>(0, eval(*stmt.array_size, env).as_int()));
     }
     slot.size = elem * count;
-    slot.addr = stack_.push_local(stmt.name, std::max<std::size_t>(1, slot.size),
+    slot.addr = stack_.push_local(std::string(stmt.name),
+                                  std::max<std::size_t>(1, slot.size),
                                   align_of(stmt.type));
     env.vars[stmt.name] = slot;
     if (stmt.init) {
@@ -429,7 +434,7 @@ class Interpreter::Impl {
     return LValue{slot.addr, slot.type, slot.size, slot.is_array};
   }
 
-  const Slot* find_slot(const std::string& name, Env& env) {
+  const Slot* find_slot(std::string_view name, Env& env) {
     auto it = env.vars.find(name);
     if (it != env.vars.end()) return &it->second;
     auto git = globals_.find(name);
@@ -442,7 +447,8 @@ class Interpreter::Impl {
       case Expr::Kind::Ident: {
         const Slot* slot = find_slot(expr.text, env);
         if (slot == nullptr) {
-          throw std::runtime_error("unknown variable '" + expr.text + "'");
+          throw std::runtime_error("unknown variable '" +
+                                   std::string(expr.text) + "'");
         }
         return lvalue_of_slot(*slot);
       }
@@ -471,7 +477,7 @@ class Interpreter::Impl {
                                    class_name + "'");
         }
         const objmodel::MemberLayout& m =
-            registry_.get(class_name).member(expr.text);
+            registry_.get(class_name).member(std::string(expr.text));
         TypeRef type;
         switch (m.spec.kind) {
           case objmodel::MemberSpec::Kind::Int:
@@ -587,7 +593,8 @@ class Interpreter::Impl {
       case Expr::Kind::Ident: {
         const Slot* slot = find_slot(expr.text, env);
         if (slot == nullptr) {
-          throw std::runtime_error("unknown variable '" + expr.text + "'");
+          throw std::runtime_error("unknown variable '" +
+                                   std::string(expr.text) + "'");
         }
         if (slot->is_array) {
           // Array-to-pointer decay.
@@ -644,11 +651,12 @@ class Interpreter::Impl {
       store(lv, v);
       return v;
     }
-    throw std::runtime_error("unhandled unary operator " + expr.text);
+    throw std::runtime_error("unhandled unary operator " +
+                             std::string(expr.text));
   }
 
   Value eval_binary(const Expr& expr, Env& env) {
-    const std::string& op = expr.text;
+    const std::string_view op = expr.text;
     if (op == "=") {
       const Value v = eval(*expr.rhs, env);
       store(lvalue(*expr.lhs, env), v);
@@ -718,7 +726,7 @@ class Interpreter::Impl {
       if (op == "==") return Value::of_bool(x == y);
       if (op == "!=") return Value::of_bool(x != y);
     }
-    throw std::runtime_error("unhandled binary operator " + op);
+    throw std::runtime_error("unhandled binary operator " + std::string(op));
   }
 
   Value eval_call(const Expr& expr, Env& env) {
@@ -736,7 +744,7 @@ class Interpreter::Impl {
   }
 
   std::optional<Value> call_builtin(const Expr& expr, Env& env) {
-    const std::string& name = expr.text;
+    const std::string_view name = expr.text;
     auto arg = [&](std::size_t i) { return eval(*expr.args.at(i), env); };
 
     if (name == "memset" && expr.args.size() == 3) {
@@ -817,7 +825,8 @@ class Interpreter::Impl {
   }
 
   Value eval_new(const Expr& expr, Env& env) {
-    const bool is_class = registry_.contains(expr.type.name);
+    const std::string type_name(expr.type.name);
+    const bool is_class = registry_.contains(type_name);
     const std::size_t elem = size_of(expr.type);
     std::size_t count = 1;
     if (expr.is_array) {
@@ -835,7 +844,7 @@ class Interpreter::Impl {
       target = mem_.allocate(
           memsim::SegmentKind::Heap,
           std::max<std::size_t>(1, elem * std::max<std::size_t>(1, count)),
-          "new:" + expr.type.name);
+          "new:" + type_name);
     }
 
     if (expr.is_array) {
@@ -843,10 +852,10 @@ class Interpreter::Impl {
       return Value::of_pointer(target, expr.type);
     }
     if (is_class) {
-      engine_.place_object(target, expr.type.name);
+      engine_.place_object(target, type_name);
       // Constructor arguments initialize leading members in declaration
       // order (the corpus constructors follow this convention).
-      const objmodel::ClassInfo& cls = registry_.get(expr.type.name);
+      const objmodel::ClassInfo& cls = registry_.get(type_name);
       objmodel::Object obj(registry_, target, cls);
       for (std::size_t i = 0;
            i < expr.args.size() && i < cls.members.size(); ++i) {
@@ -892,14 +901,18 @@ class Interpreter::Impl {
   }
 
   RunOptions options_;
+  // The AST views into source_ and lives in ast_'s arena; both must be
+  // declared (and therefore initialized) before program_.
+  std::string source_;
+  analysis::AstContext ast_;
   analysis::Program program_;
   memsim::Memory mem_;
   objmodel::TypeRegistry registry_;
   placement::PlacementEngine engine_;
   memsim::CallStack stack_;
   guard::ShadowStack shadow_;
-  std::map<std::string, Slot> globals_;
-  std::map<std::string, Address> function_symbols_;
+  std::map<std::string_view, Slot> globals_;
+  std::map<std::string_view, Address> function_symbols_;
   Address call_site_ = 0;
   std::size_t cin_pos_ = 0;
   std::uint64_t steps_ = 0;

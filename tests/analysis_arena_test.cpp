@@ -1,0 +1,187 @@
+// Tests for the arena-backed frontend: bump-allocator reuse across
+// files, string-interner view stability, and a regression sweep pinning
+// the arena frontend's diagnostics to the analyzer corpus.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/ast.h"
+#include "analysis/ast_arena.h"
+#include "analysis/corpus.h"
+#include "analysis/driver.h"
+
+namespace pnlab::analysis {
+namespace {
+
+TEST(AstArenaTest, CreateAlignsAndCounts) {
+  AstArena arena;
+  struct Wide {
+    double d;
+    char c;
+  };
+  char* a = arena.create<char>('x');
+  Wide* w = arena.create<Wide>();
+  char* b = arena.create<char>('y');
+  EXPECT_EQ(*a, 'x');
+  EXPECT_EQ(*b, 'y');
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % alignof(Wide), 0u);
+  EXPECT_EQ(arena.stats().nodes, 3u);
+  EXPECT_GE(arena.stats().bytes, 2 * sizeof(char) + sizeof(Wide));
+  EXPECT_EQ(arena.stats().chunks, 1u);
+}
+
+TEST(AstArenaTest, GrowsPastChunkAndServesOversizeBlocks) {
+  AstArena arena(128);  // tiny chunks to force growth
+  for (int i = 0; i < 64; ++i) arena.create<std::uint64_t>(i);
+  EXPECT_GT(arena.stats().chunks, 1u);
+  // A single block bigger than the chunk size still works.
+  std::span<char> big = arena.allocate_array<char>(1024);
+  EXPECT_EQ(big.size(), 1024u);
+}
+
+TEST(AstArenaTest, ResetRewindsWithoutFreeing) {
+  AstArena arena(256);
+  for (int i = 0; i < 200; ++i) arena.create<std::uint64_t>(i);
+  const std::size_t grown_capacity = arena.capacity();
+  const std::size_t grown_chunks = arena.stats().chunks;
+  ASSERT_GT(grown_capacity, 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.stats().nodes, 0u);
+  EXPECT_EQ(arena.stats().bytes, 0u);
+  EXPECT_EQ(arena.stats().resets, 1u);
+  // Chunks are retained: a same-shaped second file allocates into the
+  // warm chunks without touching the heap.
+  EXPECT_EQ(arena.capacity(), grown_capacity);
+  for (int i = 0; i < 200; ++i) arena.create<std::uint64_t>(i);
+  EXPECT_EQ(arena.stats().chunks, grown_chunks);
+  EXPECT_EQ(arena.capacity(), grown_capacity);
+}
+
+TEST(StringInternerTest, DedupesAndReportsHits) {
+  AstArena arena;
+  StringInterner interner(arena);
+  const std::string_view a = interner.intern("mem_pool");
+  const std::string_view b = interner.intern("mem_pool");
+  const std::string_view c = interner.intern("other");
+  EXPECT_EQ(a, "mem_pool");
+  EXPECT_EQ(a.data(), b.data()) << "equal strings share one arena copy";
+  EXPECT_NE(a.data(), c.data());
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.dedup_hits(), 1u);
+}
+
+TEST(StringInternerTest, ViewsStableWhileSourceBufferDies) {
+  AstContext ctx;
+  std::string_view pinned;
+  {
+    // The original buffer dies at the end of this scope; the interned
+    // view must keep working because the bytes live in the arena.
+    std::string transient = "GradStudent_";
+    transient += std::to_string(12345);
+    pinned = ctx.pin(transient);
+  }
+  std::string filler(512, 'z');  // reuse the freed allocation, hopefully
+  EXPECT_EQ(pinned, "GradStudent_12345");
+}
+
+TEST(AstContextTest, ResetClearsInternerBeforeArena) {
+  AstContext ctx;
+  const std::string_view first = ctx.pin("alpha");
+  EXPECT_EQ(first, "alpha");
+  ctx.reset();
+  EXPECT_EQ(ctx.strings().size(), 0u);
+  EXPECT_EQ(ctx.arena().stats().nodes, 0u);
+  // Re-interning after reset produces a fresh (valid) view.
+  const std::string_view second = ctx.pin("alpha");
+  EXPECT_EQ(second, "alpha");
+}
+
+TEST(AstContextTest, ParseReusesWarmChunksAcrossFiles) {
+  AstContext ctx;
+  const char* source =
+      "class Student { double gpa; int year; };\n"
+      "char pool[64];\n"
+      "void f(tainted int n) { char* b = new (pool) char[n * 8]; }\n";
+  Program first = parse(source, ctx);
+  ASSERT_EQ(first.functions.size(), 1u);
+  const std::size_t nodes_per_file = ctx.arena().stats().nodes;
+  const std::size_t capacity = ctx.arena().capacity();
+  ASSERT_GT(nodes_per_file, 0u);
+
+  // Ten more files through the same context: node count stays per-file
+  // (reset rewinds) and no further chunk growth happens.
+  for (int i = 0; i < 10; ++i) {
+    ctx.reset();
+    Program again = parse(source, ctx);
+    ASSERT_EQ(again.functions.size(), 1u);
+    EXPECT_EQ(ctx.arena().stats().nodes, nodes_per_file);
+  }
+  EXPECT_EQ(ctx.arena().capacity(), capacity);
+  EXPECT_EQ(ctx.arena().stats().lifetime_nodes, 11 * nodes_per_file);
+}
+
+TEST(ParsedUnitTest, OwnsItsSourceCopy) {
+  ParsedUnit unit = [] {
+    std::string transient =
+        "void f() { sink(\"literal with \\n escape\"); }";
+    return parse_unit(transient);
+  }();  // transient is gone; the unit pinned its own copy
+  ASSERT_EQ(unit.program.functions.size(), 1u);
+  const Expr& call = *unit.program.functions[0].body->body[0]->expr;
+  EXPECT_EQ(call.text, "sink");
+  EXPECT_EQ(call.args.at(0)->text, "literal with \n escape");
+  EXPECT_THROW(call.args.at(1), std::out_of_range);
+}
+
+// The refactor's ground truth: diagnostics over the full corpus must be
+// exactly what they were with the unique_ptr/std::string frontend, and
+// identical whether the context is fresh or reused across files.
+TEST(ArenaRegressionTest, CorpusDiagnosticsIdenticalUnderContextReuse) {
+  AstContext reused;
+  for (const auto& c : corpus::analyzer_corpus()) {
+    AstContext fresh;
+    const AnalysisResult a = analyze(c.source, {}, nullptr, &fresh);
+    const AnalysisResult b = analyze(c.source, {}, nullptr, &reused);
+    ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size()) << c.id;
+    for (std::size_t i = 0; i < a.diagnostics.size(); ++i) {
+      EXPECT_EQ(a.diagnostics[i].format(), b.diagnostics[i].format())
+          << c.id;
+    }
+    EXPECT_EQ(a.ast_nodes, b.ast_nodes) << c.id;
+    EXPECT_GT(a.ast_nodes, 0u) << c.id;
+  }
+}
+
+TEST(ArenaRegressionTest, DriverOutputIdenticalAcrossThreadCountsAndRuns) {
+  std::vector<SourceFile> files;
+  for (const auto& c : corpus::analyzer_corpus()) {
+    files.push_back({c.id + ".pnc", c.source});
+  }
+  std::set<std::string> json_renders;
+  std::set<std::string> sarif_renders;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    DriverOptions options;
+    options.threads = threads;
+    options.use_cache = false;
+    BatchDriver driver(options);
+    // Two runs per driver: the second reuses warm per-worker arenas.
+    for (int rep = 0; rep < 2; ++rep) {
+      const BatchResult batch = driver.run(files);
+      json_renders.insert(to_json(batch));
+      sarif_renders.insert(to_sarif(batch));
+      EXPECT_GT(batch.stats.ast_nodes, 0u);
+    }
+  }
+  EXPECT_EQ(json_renders.size(), 1u)
+      << "JSON must not depend on thread count or arena warmth";
+  EXPECT_EQ(sarif_renders.size(), 1u)
+      << "SARIF must not depend on thread count or arena warmth";
+}
+
+}  // namespace
+}  // namespace pnlab::analysis

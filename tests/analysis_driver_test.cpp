@@ -153,6 +153,49 @@ TEST(BatchDriverTest, RunDirectoryLoadsPncFiles) {
                std::runtime_error);
 }
 
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedAtCap) {
+  ResultCache cache;
+  cache.set_max_entries(2);
+  AnalysisResult r;
+  cache.insert("src_a", r);
+  cache.insert("src_b", r);
+  // Touch a so b becomes the least recently used entry.
+  EXPECT_TRUE(cache.find("src_a").has_value());
+  cache.insert("src_c", r);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.find("src_a").has_value());
+  EXPECT_FALSE(cache.find("src_b").has_value()) << "b was LRU";
+  EXPECT_TRUE(cache.find("src_c").has_value());
+}
+
+TEST(ResultCacheTest, SetMaxEntriesTrimsImmediately) {
+  ResultCache cache;
+  AnalysisResult r;
+  for (int i = 0; i < 8; ++i) cache.insert("src_" + std::to_string(i), r);
+  EXPECT_EQ(cache.size(), 8u);
+  cache.set_max_entries(3);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 5u);
+  // 0 = unbounded: inserts past the old cap no longer evict.
+  cache.set_max_entries(0);
+  for (int i = 8; i < 16; ++i) cache.insert("src_" + std::to_string(i), r);
+  EXPECT_EQ(cache.size(), 11u);
+  EXPECT_EQ(cache.stats().evictions, 5u);
+}
+
+TEST(BatchDriverTest, CacheCapCountsEvictionsInStats) {
+  DriverOptions options;
+  options.threads = 1;
+  options.cache_max_entries = 4;  // corpus has 26 files
+  BatchDriver driver(options);
+  const BatchResult batch = driver.run(corpus_files());
+  EXPECT_EQ(batch.stats.cache.misses, corpus_files().size());
+  EXPECT_GE(batch.stats.cache.evictions, corpus_files().size() - 4);
+  EXPECT_EQ(driver.cache_stats().lookups(),
+            driver.cache_stats().hits + driver.cache_stats().misses);
+}
+
 TEST(BatchSerializationTest, JsonEscapesAndStructure) {
   BatchDriver driver;
   const BatchResult batch =

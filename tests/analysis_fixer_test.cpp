@@ -156,14 +156,16 @@ void f(int n) {
   int x = sizeof(pool) + 3;
 }
 )";
-  const Program p = parse(source);
+  const ParsedUnit unit = parse_unit(source);
+  const Program& p = unit.program;
   const std::string a = to_source(*p.functions[0].body->body[0]->init);
   EXPECT_EQ(a, "new (pool) char[(n * 8)]");
   const std::string x = to_source(*p.functions[0].body->body[1]->init);
   EXPECT_EQ(x, "(sizeof(pool) + 3)");
   // Re-parse the rendered placement inside a tiny program.
-  const Program again =
-      parse("char pool[64];\nvoid g(int n) { char* a = " + a + "; }");
+  const ParsedUnit reparsed =
+      parse_unit("char pool[64];\nvoid g(int n) { char* a = " + a + "; }");
+  const Program& again = reparsed.program;
   EXPECT_EQ(to_source(*again.functions[0].body->body[0]->init), a);
 }
 

@@ -11,6 +11,21 @@
 namespace pnlab::analysis {
 namespace {
 
+// The tests below predate the arena frontend and call tokenize()/parse()
+// with just the source.  These shims own the AstContext behind the scenes
+// (kept alive for the binary's lifetime) so every string_view in the
+// returned tokens/Program stays valid for the whole test.
+std::vector<Token> tokenize(std::string_view source) {
+  static AstContext ctx;
+  return analysis::tokenize(ctx.pin(source), ctx);
+}
+
+Program parse(std::string_view source) {
+  static std::vector<std::unique_ptr<ParsedUnit>> units;
+  units.push_back(std::make_unique<ParsedUnit>(parse_unit(source)));
+  return units.back()->program;
+}
+
 TEST(LexerTest, TokenizesRepresentativeSource) {
   const auto tokens = tokenize("GradStudent* st = new (&stud) GradStudent();");
   ASSERT_GE(tokens.size(), 12u);

@@ -128,7 +128,7 @@ TEST(InterpEdgeTest, WhileWithoutProgressHitsStepLimit) {
 
 TEST(AnalysisEdgeTest, ParseErrorCarriesLocation) {
   try {
-    analysis::parse("void f() {\n  int = 5;\n}");
+    analysis::parse_unit("void f() {\n  int = 5;\n}");
     FAIL() << "expected ParseError";
   } catch (const analysis::ParseError& e) {
     EXPECT_EQ(e.line(), 2);
@@ -166,8 +166,9 @@ void f(tainted int n) {
 }
 
 TEST(AnalysisEdgeTest, PrinterHandlesUnaryMemberIndexChains) {
-  const analysis::Program p = analysis::parse(
+  const analysis::ParsedUnit unit = analysis::parse_unit(
       "void f(int* q) { sink(&q[2], -q[0], !true); }");
+  const analysis::Program& p = unit.program;
   const auto& call = *p.functions[0].body->body[0]->expr;
   EXPECT_EQ(analysis::to_source(*call.args[0]), "&q[2]");
   EXPECT_EQ(analysis::to_source(*call.args[1]), "-q[0]");

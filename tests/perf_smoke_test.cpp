@@ -1,0 +1,51 @@
+// Performance smoke test: batch-analyze a replicated corpus tree and
+// assert it finishes under a deliberately generous wall-clock ceiling.
+// This is a canary for catastrophic regressions (accidental quadratic
+// behavior, a lock serializing the pool, per-node heap churn coming
+// back) — not a throughput benchmark; bench_analyzer/bench_driver
+// measure real numbers.  The ceiling is ~50x slack over the measured
+// time on a 1-core container so scheduler noise can never flake it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/driver.h"
+
+namespace pnlab::analysis {
+namespace {
+
+TEST(PerfSmokeTest, CorpusBatchFinishesWellUnderCeiling) {
+  // 26 cases x 16 replicas = 416 distinct files; measured wall on a
+  // 1-core container is ~5 ms cold.
+  std::vector<SourceFile> files;
+  for (int rep = 0; rep < 16; ++rep) {
+    for (const auto& c : corpus::analyzer_corpus()) {
+      files.push_back({c.id + "_" + std::to_string(rep) + ".pnc",
+                       "// replica " + std::to_string(rep) + "\n" +
+                           c.source});
+    }
+  }
+
+  DriverOptions options;
+  options.use_cache = false;  // measure analysis, not cache lookups
+  BatchDriver driver(options);
+
+  const auto start = std::chrono::steady_clock::now();
+  const BatchResult batch = driver.run(files);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  EXPECT_EQ(batch.stats.files, files.size());
+  EXPECT_EQ(batch.stats.parse_errors, 0u);
+  EXPECT_GT(batch.stats.ast_nodes, 0u) << "arena counters must be wired";
+  EXPECT_LT(wall_s, 15.0) << "batch analysis catastrophically slow:\n"
+                          << batch.stats.to_string();
+}
+
+}  // namespace
+}  // namespace pnlab::analysis

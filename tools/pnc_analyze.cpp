@@ -6,7 +6,8 @@
 //
 // Options:
 //   --format=text|json|sarif   output format (default text)
-//   --threads=N                worker threads (default: hardware)
+//   --jobs=N                   worker threads (default: all hardware
+//                              threads; --threads=N is an alias)
 //   --no-cache                 disable the content-hash result cache
 //   --no-info                  drop Info-severity advisories
 //   --stats                    print run statistics to stderr
@@ -19,6 +20,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/corpus.h"
@@ -28,10 +30,23 @@ using namespace pnlab::analysis;
 
 namespace {
 
+void print_usage(std::ostream& os, const char* argv0) {
+  os << "usage: " << argv0
+     << " [options] <file.pnc... | --dir DIR | corpus>\n"
+        "  --format=text|json|sarif  output format (default text)\n"
+        "  --jobs=N                  worker threads; defaults to all "
+     << std::thread::hardware_concurrency()
+     << " hardware threads\n"
+        "                            on this machine (--threads=N is an "
+        "alias)\n"
+        "  --no-cache                disable the content-hash result cache\n"
+        "  --no-info                 drop Info-severity advisories\n"
+        "  --stats                   print run statistics to stderr\n"
+        "  --help                    show this message\n";
+}
+
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--format=text|json|sarif] [--threads=N] [--no-cache]"
-               " [--no-info] [--stats] <file.pnc... | --dir DIR | corpus>\n";
+  print_usage(std::cerr, argv0);
   return 2;
 }
 
@@ -66,12 +81,18 @@ int main(int argc, char** argv) {
       if (format != "text" && format != "json" && format != "sarif") {
         return usage(argv[0]);
       }
-    } else if (arg.rfind("--threads=", 0) == 0) {
+    } else if (arg.rfind("--threads=", 0) == 0 ||
+               arg.rfind("--jobs=", 0) == 0) {
+      // --jobs is the documented spelling; --threads stays as an alias.
+      // 0 (the DriverOptions default) means hardware_concurrency.
       try {
-        options.threads = std::stoul(arg.substr(10));
+        options.threads = std::stoul(arg.substr(arg.find('=') + 1));
       } catch (const std::exception&) {
         return usage(argv[0]);
       }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, argv[0]);
+      return 0;
     } else if (arg == "--no-cache") {
       options.use_cache = false;
     } else if (arg == "--no-info") {
