@@ -46,11 +46,12 @@ int main() {
 
   std::cout << std::left << std::setw(10) << "threads" << std::setw(12)
             << "wall (s)" << std::setw(12) << "files/s" << std::setw(12)
-            << "findings" << "speedup vs 1\n"
-            << std::string(58, '-') << "\n";
+            << "findings" << std::setw(10) << "steals" << "speedup vs 1\n"
+            << std::string(68, '-') << "\n";
 
   double base_files_per_sec = 0;
   double speedup_at_4 = 0;
+  std::size_t total_steals = 0;
   std::vector<std::pair<std::size_t, double>> files_per_sec_by_threads;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     DriverOptions options;
@@ -69,11 +70,13 @@ int main() {
     if (threads == 1) base_files_per_sec = fps;
     const double speedup = base_files_per_sec > 0 ? fps / base_files_per_sec : 0;
     if (threads == 4) speedup_at_4 = speedup;
+    total_steals += batch.stats.steals;
     std::cout << std::left << std::setw(10) << threads << std::fixed
               << std::setprecision(3) << std::setw(12) << batch.stats.wall_s
               << std::setprecision(0) << std::setw(12) << fps
-              << std::setw(12) << batch.stats.findings << std::setprecision(2)
-              << speedup << "x\n";
+              << std::setw(12) << batch.stats.findings << std::setw(10)
+              << batch.stats.steals << std::setprecision(2) << speedup
+              << "x\n";
   }
 
   // Cache ablation: same driver instance, same tree, twice.  The warm
@@ -108,7 +111,8 @@ int main() {
     json << "},\n"
          << "  \"cache_cold_s\": " << cold.stats.wall_s << ",\n"
          << "  \"cache_warm_s\": " << warm.stats.wall_s << ",\n"
-         << "  \"cache_evictions\": " << warm.stats.cache.evictions << "\n"
+         << "  \"cache_evictions\": " << warm.stats.cache.evictions << ",\n"
+         << "  \"steals\": " << total_steals << "\n"
          << "}\n";
   }
   std::cout << "Wrote BENCH_driver.json\n";

@@ -1,0 +1,149 @@
+// Table-driven character classes and SWAR (SIMD-within-a-register)
+// helpers for the PNC lexer's 8-byte-word fast paths.
+//
+// The lexer's hot loops — skipping whitespace, comments, identifier and
+// digit runs, and scanning string-literal bodies — process the source a
+// 64-bit word at a time instead of a byte at a time.  Two building
+// blocks make that safe:
+//
+//   * kClass: a 256-entry class table replacing std::isalnum-family
+//     calls (locale-independent, branch-free, no function call).
+//   * per-lane SWAR predicates (zero_lanes / eq_lanes / range_lanes)
+//     that set bit 7 of exactly the byte lanes matching the predicate.
+//     Every helper here is *exact per lane* — the classic haszero trick
+//     ((v - 0x01..) & ~v & 0x80..) is only reliable for its lowest set
+//     bit, so these use borrow-free formulations instead (each lane's
+//     arithmetic stays inside the lane: operands are masked to 7 bits
+//     or anchored at 0x80 before adding/subtracting).
+//
+// Exactness matters because callers combine masks ("stop at '*' OR
+// '\n'"), negate them ("first byte that is NOT an identifier"), and
+// popcount them (newline counting in skipped whitespace) — all of which
+// would miscount with approximate lanes.  High-bit bytes (0x80–0xFF)
+// never match any class or range, so UTF-8 payload inside comments and
+// string literals is skipped by the word loops and correctly terminates
+// identifier/digit runs.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace pnlab::analysis::charclass {
+
+enum : std::uint8_t {
+  kSpace = 1u << 0,       ///< ' ' '\t' '\r' '\n'
+  kIdentStart = 1u << 1,  ///< [A-Za-z_]
+  kIdentCont = 1u << 2,   ///< [A-Za-z0-9_]
+  kDigit = 1u << 3,       ///< [0-9]
+  kHexDigit = 1u << 4,    ///< [0-9A-Fa-f]
+};
+
+inline constexpr std::array<std::uint8_t, 256> kClass = [] {
+  std::array<std::uint8_t, 256> t{};
+  for (int c = 0; c < 256; ++c) {
+    std::uint8_t m = 0;
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') m |= kSpace;
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || c == '_') m |= kIdentStart | kIdentCont;
+    if (digit) m |= kDigit | kIdentCont | kHexDigit;
+    if ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) m |= kHexDigit;
+    t[static_cast<std::size_t>(c)] = m;
+  }
+  return t;
+}();
+
+/// True when @p c is in every class of @p mask (single-byte tail path).
+inline constexpr bool is(unsigned char c, std::uint8_t mask) {
+  return (kClass[c] & mask) != 0;
+}
+
+inline constexpr std::uint64_t kLoBits = 0x0101010101010101ull;
+inline constexpr std::uint64_t kHiBits = 0x8080808080808080ull;
+
+/// Unaligned little-endian 8-byte load (memcpy compiles to one mov).
+inline std::uint64_t load8(const char* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+inline constexpr std::uint64_t broadcast(unsigned char c) {
+  return kLoBits * c;
+}
+
+/// Bit 7 set in exactly the lanes whose byte is zero.  Borrow-free:
+/// (lane | 0x80) >= 1, so the per-lane subtraction never borrows into a
+/// neighbor; bit 7 of the difference is clear only when the lane was 0.
+inline constexpr std::uint64_t zero_lanes(std::uint64_t x) {
+  return ~(x | ((x | kHiBits) - kLoBits)) & kHiBits;
+}
+
+/// Bit 7 set in exactly the lanes whose byte equals @p c.
+inline constexpr std::uint64_t eq_lanes(std::uint64_t x, unsigned char c) {
+  return zero_lanes(x ^ broadcast(c));
+}
+
+/// Bit 7 set in exactly the lanes whose byte is in [lo, hi].  Requires
+/// hi < 0x80; lanes whose byte has the high bit set never match.  Both
+/// comparisons operate on 7-bit lane values with bit 7 free as the
+/// carry/borrow guard, so lanes cannot contaminate each other.
+inline constexpr std::uint64_t range_lanes(std::uint64_t x, unsigned char lo,
+                                           unsigned char hi) {
+  const std::uint64_t x7 = x & ~kHiBits;
+  const std::uint64_t ge = (x7 + broadcast(static_cast<unsigned char>(0x80 - lo))) & kHiBits;
+  const std::uint64_t le = ((kHiBits | broadcast(hi)) - x7) & kHiBits;
+  return ge & le & ~(x & kHiBits);
+}
+
+/// Lanes matching [ \t\r\n].
+inline constexpr std::uint64_t space_lanes(std::uint64_t x) {
+  return eq_lanes(x, ' ') | eq_lanes(x, '\t') | eq_lanes(x, '\r') |
+         eq_lanes(x, '\n');
+}
+
+/// Lanes matching [A-Za-z0-9_].  The |0x20 fold maps upper- to
+/// lower-case without disturbing the high bit, so 0x80+ bytes still
+/// fail the range check.
+inline constexpr std::uint64_t ident_lanes(std::uint64_t x) {
+  return range_lanes(x | broadcast(0x20), 'a', 'z') |
+         range_lanes(x, '0', '9') | eq_lanes(x, '_');
+}
+
+/// Lanes matching [0-9].
+inline constexpr std::uint64_t digit_lanes(std::uint64_t x) {
+  return range_lanes(x, '0', '9');
+}
+
+/// Lanes matching [0-9A-Fa-f].
+inline constexpr std::uint64_t hex_lanes(std::uint64_t x) {
+  return range_lanes(x, '0', '9') |
+         range_lanes(x | broadcast(0x20), 'a', 'f');
+}
+
+/// Index of the first lane NOT set in @p mask (mask from the predicates
+/// above), 8 when every lane matches.
+inline int first_miss(std::uint64_t mask) {
+  const std::uint64_t miss = ~mask & kHiBits;
+  return miss == 0 ? 8 : std::countr_zero(miss) >> 3;
+}
+
+/// Index of the first lane set in @p mask, 8 when no lane matches.
+inline int first_hit(std::uint64_t mask) {
+  return mask == 0 ? 8 : std::countr_zero(mask) >> 3;
+}
+
+/// Index of the last lane set in @p mask; mask must be non-zero.
+inline int last_hit(std::uint64_t mask) {
+  return (63 - std::countl_zero(mask)) >> 3;
+}
+
+/// 0x80-lane mask covering lanes [0, k): restricts a predicate mask to
+/// the bytes actually consumed when a word is only partially skipped.
+inline std::uint64_t lanes_below(int k) {
+  return k >= 8 ? ~0ull : (1ull << (8 * k)) - 1;
+}
+
+}  // namespace pnlab::analysis::charclass

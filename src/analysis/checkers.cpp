@@ -112,39 +112,59 @@ class SiteCollector {
   std::vector<PlacementSite> sites_;
 };
 
+/// Everything about one function the checker passes would otherwise
+/// recompute: its symbol table, CFG, and placement sites.  Built once
+/// per function per run_checkers call and shared by the global-taint
+/// fixpoint, the per-function checkers, and the interprocedural pass —
+/// previously each of those rebuilt all three from scratch (the
+/// fixpoint up to three times over).
+struct FunctionAnalysis {
+  const FuncDecl* fn = nullptr;
+  SymbolTable symbols;
+  Cfg cfg;
+  std::vector<PlacementSite> sites;
+  /// Any unguarded `new (target) T[n]` — the only sites whose size
+  /// expression taint (PN002/PN003) or parameter summaries matter.
+  bool has_unguarded_array_site = false;
+
+  FunctionAnalysis(const Program& program, const FuncDecl& function,
+                   const TypeTable& types)
+      : fn(&function),
+        symbols(program, function, types),
+        cfg(build_cfg(function)),
+        sites(SiteCollector().collect(*function.body)) {
+    for (const PlacementSite& site : sites) {
+      if (!site.guarded && site.expr->is_array && site.expr->array_size) {
+        has_unguarded_array_site = true;
+        break;
+      }
+    }
+  }
+};
+
 /// Per-function checker pass.
 class FunctionChecker {
  public:
-  FunctionChecker(const Program& program, const FuncDecl& function,
-                  const TypeTable& types, const TaintOptions& taint_options,
+  FunctionChecker(const FunctionAnalysis& unit, const TypeTable& types,
+                  const TaintOptions& taint_options,
                   const TaintMap& global_taint,
                   std::vector<Diagnostic>& diagnostics)
-      : function_(function),
+      : function_(*unit.fn),
         types_(types),
         taint_options_(taint_options),
-        symbols_(program, function, types),
-        cfg_(build_cfg(function)),
-        taint_(analyze_taint(function, cfg_, symbols_, taint_options,
+        symbols_(unit.symbols),
+        sites_(unit.sites),
+        taint_(analyze_taint(*unit.fn, unit.cfg, unit.symbols, taint_options,
                              global_taint)),
         diagnostics_(diagnostics) {}
 
-  TaintMap exported_global_taint() const {
-    TaintMap globals;
-    for (const auto& [name, depth] : taint_.at_exit) {
-      const VarInfo* var = symbols_.find(name);
-      if (var != nullptr && var->is_global) globals[name] = depth;
-    }
-    return globals;
-  }
-
   void run() {
-    const auto sites = SiteCollector().collect(*function_.body);
-    for (const PlacementSite& site : sites) {
+    for (const PlacementSite& site : sites_) {
       check_bounds_and_taint(site);
       check_alignment(site);
     }
-    check_reuse_without_sanitize(sites);
-    check_missing_release(sites);
+    check_reuse_without_sanitize(sites_);
+    check_missing_release(sites_);
   }
 
  private:
@@ -408,8 +428,8 @@ class FunctionChecker {
   const FuncDecl& function_;
   const TypeTable& types_;
   const TaintOptions& taint_options_;
-  SymbolTable symbols_;
-  Cfg cfg_;
+  const SymbolTable& symbols_;
+  const std::vector<PlacementSite>& sites_;
   TaintAnalysis taint_;
   std::vector<Diagnostic>& diagnostics_;
 };
@@ -422,9 +442,9 @@ class FunctionChecker {
 /// placement.
 class InterproceduralTaint {
  public:
-  InterproceduralTaint(const Program& program, const TypeTable& types,
+  InterproceduralTaint(const std::vector<FunctionAnalysis>& units,
                        const TaintOptions& options)
-      : program_(program), types_(types), options_(options) {}
+      : units_(units), options_(options) {}
 
   void run(std::vector<Diagnostic>& diagnostics) {
     compute_summaries();
@@ -443,16 +463,19 @@ class InterproceduralTaint {
   };
 
   void compute_summaries() {
-    for (const FuncDecl& fn : program_.functions) {
-      const SymbolTable symbols(program_, fn, types_);
-      const Cfg cfg = build_cfg(fn);
-      const auto sites = SiteCollector().collect(*fn.body);
+    for (const FunctionAnalysis& unit : units_) {
+      // A summary only ever records an unguarded array placement whose
+      // size taint traces back to a parameter — without such a site (or
+      // without parameters) every seeded dataflow below comes up empty,
+      // so skip the per-parameter reanalysis outright.
+      if (!unit.has_unguarded_array_site) continue;
+      const FuncDecl& fn = *unit.fn;
       for (std::size_t p = 0; p < fn.params.size(); ++p) {
         if (fn.params[p].type.tainted) continue;  // local pass covers it
         TaintMap seed{{fn.params[p].name, 1}};
         const TaintAnalysis taint =
-            analyze_taint(fn, cfg, symbols, options_, seed);
-        for (const PlacementSite& site : sites) {
+            analyze_taint(fn, unit.cfg, unit.symbols, options_, seed);
+        for (const PlacementSite& site : unit.sites) {
           if (site.guarded || !site.expr->is_array ||
               !site.expr->array_size) {
             continue;
@@ -471,11 +494,10 @@ class InterproceduralTaint {
   }
 
   void check_call_sites(std::vector<Diagnostic>& diagnostics) {
-    for (const FuncDecl& caller : program_.functions) {
-      const SymbolTable symbols(program_, caller, types_);
-      const Cfg cfg = build_cfg(caller);
+    for (const FunctionAnalysis& unit : units_) {
+      const FuncDecl& caller = *unit.fn;
       const TaintAnalysis taint =
-          analyze_taint(caller, cfg, symbols, options_);
+          analyze_taint(caller, unit.cfg, unit.symbols, options_);
 
       for_each_stmt(*caller.body, [&](const Stmt& stmt) {
         const TaintMap* state = nullptr;
@@ -522,8 +544,7 @@ class InterproceduralTaint {
             std::to_string(call_line) + ")"});
   }
 
-  const Program& program_;
-  const TypeTable& types_;
+  const std::vector<FunctionAnalysis>& units_;
   const TaintOptions& options_;
   std::vector<Summary> summaries_;
 };
@@ -535,33 +556,42 @@ std::vector<Diagnostic> run_checkers(const Program& program,
                                      const TaintOptions& taint_options) {
   std::vector<Diagnostic> diagnostics;
 
+  // Symbol tables, CFGs, and placement sites are pure functions of the
+  // AST: build them once and share them across every pass below.
+  std::vector<FunctionAnalysis> units;
+  units.reserve(program.functions.size());
+  for (const FuncDecl& fn : program.functions) {
+    units.emplace_back(program, fn, types);
+  }
+
   // Interprocedural global taint: iterate to a fixpoint so a global
   // corrupted in one function (Listing 14) poisons placements in another.
+  // Without globals nothing can be exported, so the fixpoint (and its
+  // per-round dataflow over every function) is skipped entirely.
   TaintMap global_taint;
-  for (int round = 0; round < 3; ++round) {
+  for (int round = 0; !program.globals.empty() && round < 3; ++round) {
     TaintMap next = global_taint;
-    for (const FuncDecl& fn : program.functions) {
-      FunctionChecker checker(program, fn, types, taint_options,
-                              global_taint, diagnostics);
-      const TaintMap exported = checker.exported_global_taint();
-      for (const auto& [name, depth] : exported) {
+    for (const FunctionAnalysis& unit : units) {
+      const TaintAnalysis taint = analyze_taint(
+          *unit.fn, unit.cfg, unit.symbols, taint_options, global_taint);
+      for (const auto& [name, depth] : taint.at_exit) {
+        const VarInfo* var = unit.symbols.find(name);
+        if (var == nullptr || !var->is_global) continue;
         auto it = next.find(name);
         if (it == next.end() || depth < it->second) next[name] = depth;
       }
-      diagnostics.clear();  // only the final round's diagnostics count
     }
     if (next == global_taint) break;
     global_taint = std::move(next);
   }
 
-  diagnostics.clear();
-  for (const FuncDecl& fn : program.functions) {
-    FunctionChecker checker(program, fn, types, taint_options, global_taint,
+  for (const FunctionAnalysis& unit : units) {
+    FunctionChecker checker(unit, types, taint_options, global_taint,
                             diagnostics);
     checker.run();
   }
 
-  InterproceduralTaint(program, types, taint_options).run(diagnostics);
+  InterproceduralTaint(units, taint_options).run(diagnostics);
 
   std::stable_sort(diagnostics.begin(), diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {

@@ -376,6 +376,19 @@ const std::vector<CorpusCase>& analyzer_corpus() {
   return corpus;
 }
 
+std::vector<SourceFile> source_files() {
+  // The corpus vector is a function-local static: its strings live for
+  // the process, so borrowed (unpinned) views are safe and each case's
+  // hash is computed exactly once per call instead of per run.
+  std::vector<SourceFile> files;
+  const std::vector<CorpusCase>& cases = analyzer_corpus();
+  files.reserve(cases.size());
+  for (const CorpusCase& c : cases) {
+    files.push_back(SourceFile::borrowed(c.id + ".pnc", c.source));
+  }
+  return files;
+}
+
 const CorpusCase& corpus_case(const std::string& id) {
   for (const CorpusCase& c : analyzer_corpus()) {
     if (c.id == id) return c;

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/driver.h"
+
 namespace pnlab::analysis::corpus {
 
 struct CorpusCase {
@@ -22,6 +24,11 @@ struct CorpusCase {
 
 /// All corpus cases, vulnerable listings first, then safe variants.
 const std::vector<CorpusCase>& analyzer_corpus();
+
+/// The corpus as zero-copy batch inputs ("<id>.pnc" each): borrowed
+/// views into the static corpus storage, hashed once — no per-run
+/// source copies.
+std::vector<SourceFile> source_files();
 
 /// The case with the given id; throws std::out_of_range if unknown.
 const CorpusCase& corpus_case(const std::string& id);

@@ -1,18 +1,17 @@
 #include "analysis/driver.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <iterator>
-#include <fstream>
 #include <iomanip>
+#include <iterator>
 #include <sstream>
 #include <thread>
 #include <tuple>
 
 #include "analysis/ast_arena.h"
+#include "analysis/scheduler.h"
 #include "analysis/token.h"
 
 namespace pnlab::analysis {
@@ -27,48 +26,81 @@ std::uint64_t fnv1a(std::string_view data) {
 }
 
 // ---------------------------------------------------------------------------
+// SourceFile
+
+SourceFile::SourceFile(std::string file_name, std::string text)
+    : name(std::move(file_name)) {
+  // Pin the bytes behind a shared_ptr so `source` survives copies,
+  // moves, and SSO — a moved-from std::string member would dangle.
+  auto owned = std::make_shared<const std::string>(std::move(text));
+  source = *owned;
+  content_hash = fnv1a(source);
+  storage_ = std::move(owned);
+}
+
+SourceFile SourceFile::borrowed(std::string file_name, std::string_view text) {
+  SourceFile f;
+  f.name = std::move(file_name);
+  f.source = text;
+  f.content_hash = fnv1a(text);
+  return f;
+}
+
+SourceFile SourceFile::mapped(std::string file_name,
+                              std::shared_ptr<const MappedBuffer> storage) {
+  SourceFile f;
+  f.name = std::move(file_name);
+  f.source = storage->view();
+  f.content_hash = fnv1a(f.source);
+  f.storage_ = std::move(storage);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
 // ResultCache
 
-std::optional<AnalysisResult> ResultCache::find(const std::string& source) {
-  const std::uint64_t key = fnv1a(source);
+std::optional<AnalysisResult> ResultCache::find(std::uint64_t hash,
+                                                std::size_t length) {
+  const Key key{hash, length};
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.source != source) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
     ++stats_.misses;
     return std::nullopt;
   }
   ++stats_.hits;
-  it->second.last_used = ++tick_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // O(1) touch
   // Copied under the lock: eviction may destroy the entry once it drops.
-  return it->second.result;
+  return it->second->result;
 }
 
-void ResultCache::insert(const std::string& source,
+void ResultCache::insert(std::uint64_t hash, std::size_t length,
                          const AnalysisResult& result) {
-  const std::uint64_t key = fnv1a(source);
+  const Key key{hash, length};
   std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = entries_.try_emplace(key, Entry{source, result, 0});
-  it->second.last_used = ++tick_;
-  if (inserted && max_entries_ > 0 && entries_.size() > max_entries_) {
-    evict_lru_locked();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, result});
+  index_.emplace(key, lru_.begin());
+  if (max_entries_ > 0 && lru_.size() > max_entries_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
   }
 }
 
 void ResultCache::set_max_entries(std::size_t max_entries) {
   std::lock_guard<std::mutex> lock(mutex_);
   max_entries_ = max_entries;
-  while (max_entries_ > 0 && entries_.size() > max_entries_) {
-    evict_lru_locked();
+  while (max_entries_ > 0 && lru_.size() > max_entries_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
   }
-}
-
-void ResultCache::evict_lru_locked() {
-  auto victim = entries_.begin();
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->second.last_used < victim->second.last_used) victim = it;
-  }
-  entries_.erase(victim);
-  ++stats_.evictions;
 }
 
 CacheStats ResultCache::stats() const {
@@ -78,12 +110,13 @@ CacheStats ResultCache::stats() const {
 
 std::size_t ResultCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  return lru_.size();
 }
 
 void ResultCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
+  lru_.clear();
+  index_.clear();
   stats_ = {};
 }
 
@@ -101,7 +134,8 @@ std::string BatchStats::to_string() const {
   os << "batch: " << files << " file(s), " << findings << " finding(s), "
      << parse_errors << " parse error(s)\n";
   os << "run:   " << wall_s << " s wall on " << threads << " thread(s) ("
-     << std::setprecision(1) << files_per_sec() << " files/s)\n";
+     << std::setprecision(1) << files_per_sec() << " files/s, " << steals
+     << " steal(s))\n";
   os << std::setprecision(3);
   os << "phase: parse " << phase_totals.parse_s << " s, sema "
      << phase_totals.sema_s << " s, checkers " << phase_totals.check_s
@@ -147,51 +181,55 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
   BatchResult batch;
   batch.files.resize(files.size());
 
-  // Fixed-size pool over an atomic work index: each worker claims the
-  // next unanalyzed file.  Results land in the slot matching the input
-  // index, so nothing below depends on completion order.
+  // Work-stealing pool, largest-file-first: big files start immediately
+  // instead of landing on a drained pool, and a worker that finishes its
+  // hand early steals from its neighbors' tails.  Results land in the
+  // slot matching the input index, so nothing below depends on
+  // completion order.
   const std::size_t thread_count =
       std::min(resolve_threads(options_.threads),
                std::max<std::size_t>(files.size(), 1));
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    // One arena-backed AST context per worker, reset between files: the
-    // whole point of the arena frontend is that a thread's chunks are
-    // reused for every file it claims.
-    AstContext ast;
-    for (std::size_t i; (i = next.fetch_add(1)) < files.size();) {
-      FileReport& report = batch.files[i];
-      report.file = files[i].name;
-      if (options_.use_cache) {
-        if (std::optional<AnalysisResult> cached =
-                cache_.find(files[i].source)) {
-          report.result = *std::move(cached);
-          report.cache_hit = true;
-          continue;
-        }
-      }
-      try {
-        report.result =
-            analyze(files[i].source, options_.analyzer, &report.timings, &ast);
-        if (options_.use_cache) cache_.insert(files[i].source, report.result);
-      } catch (const ParseError& e) {
-        report.ok = false;
-        report.error = e.what();
-      } catch (const std::exception& e) {
-        report.ok = false;
-        report.error = std::string("internal error: ") + e.what();
-      }
-    }
-  };
 
-  if (thread_count <= 1 || files.size() <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(thread_count);
-    for (std::size_t t = 0; t < thread_count; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+  std::vector<std::uint64_t> weights(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    weights[i] = files[i].source.size();
   }
+
+  // One arena-backed AST context per worker, reused for every file that
+  // worker executes (own or stolen): the whole point of the arena
+  // frontend is that a thread's chunks are recycled across files.
+  std::vector<AstContext> contexts(thread_count);
+
+  const StealStats steal = parallel_for_weighted(
+      thread_count, weights, [&](std::size_t i, std::size_t worker) {
+        FileReport& report = batch.files[i];
+        const SourceFile& file = files[i];
+        report.file = file.name;
+        // Hand-rolled SourceFiles may lack the ingestion-time hash.
+        const std::uint64_t hash =
+            file.content_hash != 0 ? file.content_hash : fnv1a(file.source);
+        if (options_.use_cache) {
+          if (std::optional<AnalysisResult> cached =
+                  cache_.find(hash, file.source.size())) {
+            report.result = *std::move(cached);
+            report.cache_hit = true;
+            return;
+          }
+        }
+        try {
+          report.result = analyze(file.source, options_.analyzer,
+                                  &report.timings, &contexts[worker]);
+          if (options_.use_cache) {
+            cache_.insert(hash, file.source.size(), report.result);
+          }
+        } catch (const ParseError& e) {
+          report.ok = false;
+          report.error = e.what();
+        } catch (const std::exception& e) {
+          report.ok = false;
+          report.error = std::string("internal error: ") + e.what();
+        }
+      });
 
   // Deterministic aggregation: files by name (input order breaks ties so
   // duplicate names keep a stable order), findings by source position.
@@ -214,7 +252,8 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
 
   BatchStats& stats = batch.stats;
   stats.files = files.size();
-  stats.threads = thread_count;
+  stats.threads = steal.threads;
+  stats.steals = steal.steals;
   for (const FileReport& report : batch.files) {
     if (!report.ok) ++stats.parse_errors;
     stats.findings += report.result.finding_count();
@@ -238,22 +277,45 @@ BatchResult BatchDriver::run_directory(const std::string& dir) {
   if (!fs::is_directory(dir)) {
     throw std::runtime_error("not a directory: " + dir);
   }
+  const MappedBuffer::Ingestion mode = options_.mmap_ingestion
+                                           ? MappedBuffer::Ingestion::kAuto
+                                           : MappedBuffer::Ingestion::kRead;
   std::vector<SourceFile> files;
+  std::vector<FileReport> unreadable;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".pnc") {
+    if (entry.path().extension() != ".pnc") continue;
+    std::string error;
+    auto buffer = MappedBuffer::open(entry.path().string(), mode, &error);
+    if (!buffer) {
+      // Unreadable or non-regular: a per-file error record, never a
+      // silently-empty source and never a batch abort.
+      FileReport report;
+      report.file = entry.path().string();
+      report.ok = false;
+      report.error = "read error: " + error;
+      unreadable.push_back(std::move(report));
       continue;
     }
-    std::ifstream in(entry.path());
-    if (!in) throw std::runtime_error("cannot open " + entry.path().string());
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    files.push_back({entry.path().string(), buf.str()});
+    files.push_back(
+        SourceFile::mapped(entry.path().string(), std::move(buffer)));
   }
   std::sort(files.begin(), files.end(),
             [](const SourceFile& a, const SourceFile& b) {
               return a.name < b.name;
             });
-  return run(files);
+  BatchResult batch = run(files);
+  if (!unreadable.empty()) {
+    batch.stats.parse_errors += unreadable.size();
+    for (FileReport& report : unreadable) {
+      batch.files.push_back(std::move(report));
+    }
+    std::stable_sort(batch.files.begin(), batch.files.end(),
+                     [](const FileReport& a, const FileReport& b) {
+                       return a.file < b.file;
+                     });
+    batch.stats.files = batch.files.size();
+  }
+  return batch;
 }
 
 // ---------------------------------------------------------------------------

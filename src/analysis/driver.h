@@ -3,41 +3,69 @@
 // pnlab::analysis::analyze handles one source string; real deployments
 // (the ROADMAP north-star, the whole-program scans of arXiv:1412.5400)
 // scan whole trees.  BatchDriver takes N named sources (or a directory
-// of .pnc files), fans them out over a fixed-size thread pool, and
+// of .pnc files), fans them out over a work-stealing pool, and
 // aggregates per-file results into a BatchResult whose ordering is
 // deterministic — sorted by (file, line, col) — so the output is
 // byte-identical for any thread count.  A ParseError in one file
 // becomes a per-file error record, never aborts the batch.
 //
+// The pipeline is zero-copy end to end: directory ingestion mmaps each
+// file (MappedBuffer, with a portable read fallback), SourceFile views
+// into that pinned storage instead of owning a string, and the FNV-1a
+// cache key is computed once at ingestion, so a ResultCache::find is a
+// hash-map probe — no re-hash, no full-source compare.
+//
 // Layered on top:
 //   * a content-hash (FNV-1a 64) memoization cache with hit/miss
-//     counters, so re-analyzing unchanged sources is a lookup;
+//     counters and O(1) LRU eviction, so re-analyzing unchanged sources
+//     is a lookup;
 //   * per-run observability (wall time, per-phase totals, files/sec,
-//     cache stats) rendered by BatchStats::to_string();
+//     cache and steal stats) rendered by BatchStats::to_string();
 //   * JSON and SARIF 2.1.0 serializers so findings feed CI directly.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/mapped_buffer.h"
 
 namespace pnlab::analysis {
 
-/// One named input to a batch run.
-struct SourceFile {
-  std::string name;    ///< path or label, used in diagnostics and reports
-  std::string source;  ///< PNC source text
-};
-
 /// 64-bit FNV-1a content hash — the cache key.
 std::uint64_t fnv1a(std::string_view data);
+
+/// One named input to a batch run.  `source` is a view into storage
+/// pinned by this object (owning constructor, mapped factory) or by the
+/// caller (borrowed factory); copies share the pin, so views stay valid
+/// across copies, moves, and vector growth.  `content_hash` is computed
+/// once here so the result cache never re-hashes a source.
+struct SourceFile {
+  std::string name;         ///< path or label, used in diagnostics
+  std::string_view source;  ///< PNC source text (pinned storage)
+  std::uint64_t content_hash = 0;  ///< fnv1a(source)
+
+  SourceFile() = default;
+  /// Takes ownership of @p text (the portable path for ad-hoc inputs).
+  SourceFile(std::string file_name, std::string text);
+  /// Views caller-owned bytes that outlive the batch (e.g. the static
+  /// corpus strings).  No copy, no pin.
+  static SourceFile borrowed(std::string file_name, std::string_view text);
+  /// Views an ingested file; the buffer is pinned for this file's life.
+  static SourceFile mapped(std::string file_name,
+                           std::shared_ptr<const MappedBuffer> storage);
+
+ private:
+  std::shared_ptr<const void> storage_;  ///< keeps `source`'s bytes alive
+};
 
 /// Hit/miss/eviction counters for the memoization cache, snapshotted per
 /// run.
@@ -48,22 +76,31 @@ struct CacheStats {
   std::size_t lookups() const { return hits + misses; }
 };
 
-/// Memoizes AnalysisResults by source content hash.  Thread-safe; a
-/// (vanishingly unlikely) FNV collision is caught by comparing the
-/// stored source, so a hit is always correct.  Bounded: once
-/// max_entries is reached, inserting a new key evicts the least
-/// recently used entry (LRU-ish: a last-used tick per entry, linear
-/// scan on eviction — eviction is rare, lookups stay O(log n)).
+/// Memoizes AnalysisResults by precomputed (content hash, length).
+/// Thread-safe.  The length guards the (vanishingly unlikely) FNV
+/// collision without storing or comparing the source text.  Bounded:
+/// entries live on an intrusive LRU list (front = most recent), so a
+/// hit is a hash probe plus a splice and eviction pops the tail — both
+/// O(1), no linear scans, no stored source copies.
 class ResultCache {
  public:
   static constexpr std::size_t kDefaultMaxEntries = 4096;
 
-  /// Returns a copy of the cached result for @p source on a hit.  A copy,
-  /// not a pointer: eviction may destroy the entry at any time.
-  std::optional<AnalysisResult> find(const std::string& source);
-  /// Stores a copy of @p result keyed by @p source's hash, evicting the
-  /// least recently used entry when the cap is exceeded.
-  void insert(const std::string& source, const AnalysisResult& result);
+  /// Returns a copy of the cached result on a hit.  A copy, not a
+  /// pointer: eviction may destroy the entry at any time.
+  std::optional<AnalysisResult> find(std::uint64_t hash, std::size_t length);
+  /// Convenience overload hashing @p source (tests, ad-hoc callers).
+  std::optional<AnalysisResult> find(std::string_view source) {
+    return find(fnv1a(source), source.size());
+  }
+
+  /// Stores a copy of @p result, evicting the least recently used entry
+  /// when the cap is exceeded.
+  void insert(std::uint64_t hash, std::size_t length,
+              const AnalysisResult& result);
+  void insert(std::string_view source, const AnalysisResult& result) {
+    insert(fnv1a(source), source.size(), result);
+  }
 
   /// Caps the entry count; 0 means unbounded.  Trims immediately if the
   /// cache already holds more.
@@ -74,26 +111,36 @@ class ResultCache {
   void clear();
 
  private:
-  struct Entry {
-    std::string source;  ///< collision guard
-    AnalysisResult result;
-    std::uint64_t last_used = 0;  ///< tick of last find/insert
+  struct Key {
+    std::uint64_t hash = 0;
+    std::size_t length = 0;
+    bool operator==(const Key&) const = default;
   };
-  void evict_lru_locked();
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // The FNV hash is already well-mixed; fold the length in.
+      return static_cast<std::size_t>(k.hash ^
+                                      (k.length * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct Entry {
+    Key key;
+    AnalysisResult result;
+  };
 
   mutable std::mutex mutex_;
-  std::map<std::uint64_t, Entry> entries_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   CacheStats stats_;
   std::size_t max_entries_ = kDefaultMaxEntries;
-  std::uint64_t tick_ = 0;
 };
 
 /// Per-file outcome inside a batch.
 struct FileReport {
   std::string file;
   AnalysisResult result;  ///< empty when !ok
-  bool ok = true;         ///< false: the file failed to parse
-  std::string error;      ///< ParseError message when !ok
+  bool ok = true;         ///< false: the file failed to parse or load
+  std::string error;      ///< ParseError / ingestion message when !ok
   bool cache_hit = false;
   PhaseTimings timings;   ///< zeros on cache hits
 };
@@ -107,9 +154,10 @@ struct Finding {
 /// Observability for one BatchDriver::run call.
 struct BatchStats {
   std::size_t files = 0;
-  std::size_t parse_errors = 0;
+  std::size_t parse_errors = 0;  ///< files with ok == false (parse or load)
   std::size_t findings = 0;  ///< errors + warnings across the batch
   std::size_t threads = 1;
+  std::size_t steals = 0;  ///< files executed by a non-owner worker
   double wall_s = 0;          ///< end-to-end wall time of the run
   PhaseTimings phase_totals;  ///< summed across files (cpu, not wall)
   CacheStats cache;           ///< delta for this run
@@ -145,6 +193,10 @@ struct DriverOptions {
   bool use_cache = true;
   /// Result-cache entry cap (0 = unbounded); see ResultCache.
   std::size_t cache_max_entries = ResultCache::kDefaultMaxEntries;
+  /// Directory ingestion: mmap files (with automatic read fallback) or
+  /// force the portable buffered-read path.  Both produce byte-identical
+  /// BatchResults; this exists for verification and odd filesystems.
+  bool mmap_ingestion = true;
 };
 
 /// The batch service.  One instance owns one cache; run() may be called
@@ -156,8 +208,10 @@ class BatchDriver {
 
   /// Analyzes every file on the pool and aggregates deterministically.
   BatchResult run(const std::vector<SourceFile>& files);
-  /// Loads every `.pnc` file under @p dir (sorted, non-recursive) and
-  /// runs it.  Throws std::runtime_error if @p dir is not a directory.
+  /// Ingests every `.pnc` file under @p dir (sorted, non-recursive) and
+  /// runs it.  Unreadable or non-regular `.pnc` entries become per-file
+  /// error records, not batch failures.  Throws std::runtime_error if
+  /// @p dir is not a directory.
   BatchResult run_directory(const std::string& dir);
 
   CacheStats cache_stats() const { return cache_.stats(); }

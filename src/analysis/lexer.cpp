@@ -1,8 +1,30 @@
-#include <cctype>
+// PNC lexer with SWAR 8-byte-word fast paths.
+//
+// The previous lexer walked the source a byte at a time through
+// peek()/advance() lambdas, with std::isalnum-family classification in
+// the hot loop.  This version keeps the exact token stream and
+// line/col/error behavior but restructures the scan:
+//
+//   * character classes come from charclass::kClass (table lookup, no
+//     locale, no libc call);
+//   * whitespace, // and /* */ comments, identifier runs, digit runs,
+//     and string-literal bodies advance a 64-bit word at a time using
+//     the exact per-lane predicates in char_class.h, falling back to
+//     the table for the sub-8-byte tail;
+//   * columns derive from a line-start offset (col = i - line_start + 1)
+//     instead of a per-byte counter, so skipping 8 bytes costs one add.
+//     Newlines inside skipped words are popcounted and the line-start
+//     offset jumps to just past the last one.
+//
+// High-bit bytes (0x80–0xFF) match no class: they terminate identifier
+// and digit runs (surfacing the same "unexpected character" error as
+// before) and are skipped verbatim inside comments and string literals.
+#include <bit>
 #include <charconv>
 #include <string>
 
 #include "analysis/ast_arena.h"
+#include "analysis/char_class.h"
 #include "analysis/token.h"
 
 namespace pnlab::analysis {
@@ -137,86 +159,158 @@ TokenKind keyword_or_identifier(std::string_view w) {
 }  // namespace
 
 std::vector<Token> tokenize(std::string_view source, AstContext& ctx) {
+  namespace cc = charclass;
+  const char* const data = source.data();
+  const std::size_t n = source.size();
+
   std::vector<Token> tokens;
   // Dense sources run about one token per 6 bytes; reserving up front
   // keeps the vector from reallocating mid-file.
-  tokens.reserve(source.size() / 6 + 16);
-  std::size_t i = 0;
-  int line = 1;
-  int col = 1;
+  tokens.reserve(n / 6 + 16);
 
-  auto advance = [&](std::size_t n = 1) {
-    for (std::size_t k = 0; k < n && i < source.size(); ++k) {
-      if (source[i] == '\n') {
+  std::size_t i = 0;
+  std::size_t line = 1;
+  std::size_t line_start = 0;  // offset of the current line's first byte
+
+  const auto col_at = [&](std::size_t pos) {
+    return static_cast<int>(pos - line_start + 1);
+  };
+  const auto at = [&](std::size_t pos) {
+    return static_cast<unsigned char>(data[pos]);
+  };
+
+  // Advances i to the first byte whose class misses @p mask.  Runs never
+  // contain newlines (no class in the table includes '\n' together with
+  // ident/digit bits), so no line accounting is needed.
+  const auto skip_class_run = [&](std::uint64_t (*lanes)(std::uint64_t),
+                                  std::uint8_t mask) {
+    while (i + 8 <= n) {
+      const std::uint64_t m = lanes(cc::load8(data + i));
+      const int k = cc::first_miss(m);
+      i += static_cast<std::size_t>(k);
+      if (k < 8) return;
+    }
+    while (i < n && cc::is(at(i), mask)) ++i;
+  };
+
+  // Whitespace, with newline accounting: count '\n' lanes inside each
+  // fully- or partially-skipped word and move line_start past the last.
+  const auto skip_whitespace = [&] {
+    while (i + 8 <= n) {
+      const std::uint64_t w = cc::load8(data + i);
+      const std::uint64_t ws = cc::space_lanes(w);
+      const int k = cc::first_miss(ws);
+      if (k > 0) {
+        const std::uint64_t nl =
+            cc::eq_lanes(w, '\n') & cc::lanes_below(k);
+        if (nl != 0) {
+          line += static_cast<std::size_t>(std::popcount(nl));
+          line_start = i + static_cast<std::size_t>(cc::last_hit(nl)) + 1;
+        }
+        i += static_cast<std::size_t>(k);
+      }
+      if (k < 8) return;
+    }
+    while (i < n && cc::is(at(i), cc::kSpace)) {
+      if (data[i] == '\n') {
         ++line;
-        col = 1;
-      } else {
-        ++col;
+        line_start = i + 1;
       }
       ++i;
     }
   };
-  auto peek = [&](std::size_t off = 0) -> char {
-    return i + off < source.size() ? source[i + off] : '\0';
-  };
-  auto push = [&](TokenKind kind, std::string_view text, int tline,
-                  int tcol) {
-    Token t;
-    t.kind = kind;
-    t.text = text;
-    t.line = tline;
-    t.col = tcol;
-    tokens.push_back(t);
-  };
 
-  while (i < source.size()) {
-    const char c = peek();
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
-      advance();
-      continue;
-    }
-    // comments
-    if (c == '/' && peek(1) == '/') {
-      while (i < source.size() && peek() != '\n') advance();
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {
-      advance(2);
-      while (i < source.size() && !(peek() == '*' && peek(1) == '/')) {
-        advance();
+  // Leaves i on the terminating '\n' (or at EOF); the next
+  // skip_whitespace records the line bump.
+  const auto skip_line_comment = [&] {
+    while (i + 8 <= n) {
+      const std::uint64_t m = cc::eq_lanes(cc::load8(data + i), '\n');
+      if (m == 0) {
+        i += 8;
+        continue;
       }
-      if (i >= source.size()) throw ParseError(line, col, "unclosed comment");
-      advance(2);
+      i += static_cast<std::size_t>(cc::first_hit(m));
+      return;
+    }
+    while (i < n && data[i] != '\n') ++i;
+  };
+
+  // i points just past "/*"; consumes through the closing "*/" or throws
+  // at EOF with the same position the byte-at-a-time lexer reported.
+  const auto skip_block_comment = [&] {
+    while (i < n) {
+      // Hop to the next byte that could end the comment or a line.
+      while (i + 8 <= n) {
+        const std::uint64_t w = cc::load8(data + i);
+        const std::uint64_t m = cc::eq_lanes(w, '*') | cc::eq_lanes(w, '\n');
+        if (m == 0) {
+          i += 8;
+          continue;
+        }
+        i += static_cast<std::size_t>(cc::first_hit(m));
+        break;
+      }
+      if (i >= n) break;
+      const char c = data[i];
+      if (c == '\n') {
+        ++line;
+        line_start = i + 1;
+      } else if (c == '*' && i + 1 < n && data[i + 1] == '/') {
+        i += 2;
+        return;
+      }
+      ++i;  // '*' without '/', a tail byte that is neither, or the '\n'
+    }
+    throw ParseError(static_cast<int>(line), col_at(i), "unclosed comment");
+  };
+
+  while (i < n) {
+    skip_whitespace();
+    if (i >= n) break;
+    const unsigned char c = at(i);
+
+    // comments
+    if (c == '/' && i + 1 < n && data[i + 1] == '/') {
+      i += 2;
+      skip_line_comment();
+      continue;
+    }
+    if (c == '/' && i + 1 < n && data[i + 1] == '*') {
+      i += 2;
+      skip_block_comment();
       continue;
     }
 
-    const int tline = line;
-    const int tcol = col;
+    const int tline = static_cast<int>(line);
+    const int tcol = col_at(i);
     const std::size_t start = i;
 
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      while (std::isalnum(static_cast<unsigned char>(peek())) ||
-             peek() == '_') {
-        advance();
-      }
+    if (cc::is(c, cc::kIdentStart)) {
+      ++i;
+      skip_class_run(cc::ident_lanes, cc::kIdentCont);
       const std::string_view word = source.substr(start, i - start);
-      push(keyword_or_identifier(word), word, tline, tcol);
+      Token t;
+      t.kind = keyword_or_identifier(word);
+      t.text = word;
+      t.line = tline;
+      t.col = tcol;
+      tokens.push_back(t);
       continue;
     }
 
-    if (std::isdigit(static_cast<unsigned char>(c))) {
+    if (cc::is(c, cc::kDigit)) {
       bool is_float = false;
-      const bool hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
+      const bool hex =
+          c == '0' && i + 1 < n && (data[i + 1] == 'x' || data[i + 1] == 'X');
       if (hex) {
-        advance(2);
-        while (std::isxdigit(static_cast<unsigned char>(peek()))) advance();
+        i += 2;
+        skip_class_run(cc::hex_lanes, cc::kHexDigit);
       } else {
-        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
-        if (peek() == '.' &&
-            std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        skip_class_run(cc::digit_lanes, cc::kDigit);
+        if (i + 1 < n && data[i] == '.' && cc::is(at(i + 1), cc::kDigit)) {
           is_float = true;
-          advance();
-          while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+          ++i;
+          skip_class_run(cc::digit_lanes, cc::kDigit);
         }
       }
       const std::string_view num = source.substr(start, i - start);
@@ -247,18 +341,43 @@ std::vector<Token> tokenize(std::string_view source, AstContext& ctx) {
     }
 
     if (c == '"') {
-      advance();
+      ++i;
       const std::size_t body = i;
       bool has_escape = false;
-      while (i < source.size() && peek() != '"') {
-        if (peek() == '\\' && i + 1 < source.size()) {
-          has_escape = true;
-          advance();
+      for (;;) {
+        // Hop to the next quote, backslash, or newline; everything else
+        // (including high-bit bytes) is literal payload.
+        while (i + 8 <= n) {
+          const std::uint64_t w = cc::load8(data + i);
+          const std::uint64_t m = cc::eq_lanes(w, '"') |
+                                  cc::eq_lanes(w, '\\') |
+                                  cc::eq_lanes(w, '\n');
+          if (m == 0) {
+            i += 8;
+            continue;
+          }
+          i += static_cast<std::size_t>(cc::first_hit(m));
+          break;
         }
-        advance();
-      }
-      if (i >= source.size()) {
-        throw ParseError(tline, tcol, "unterminated string literal");
+        if (i >= n) {
+          throw ParseError(tline, tcol, "unterminated string literal");
+        }
+        const char sc = data[i];
+        if (sc == '"') break;
+        if (sc == '\\' && i + 1 < n) {
+          has_escape = true;
+          if (data[i + 1] == '\n') {  // escaped newline still ends a line
+            ++line;
+            line_start = i + 2;
+          }
+          i += 2;
+          continue;
+        }
+        if (sc == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
+        ++i;  // newline, lone trailing backslash, or tail payload byte
       }
       std::string_view text;
       if (!has_escape) {
@@ -283,15 +402,25 @@ std::vector<Token> tokenize(std::string_view source, AstContext& ctx) {
         }
         text = ctx.strings().intern(unescaped);
       }
-      advance();  // closing quote
-      push(TokenKind::StringLiteral, text, tline, tcol);
+      ++i;  // closing quote
+      Token t;
+      t.kind = TokenKind::StringLiteral;
+      t.text = text;
+      t.line = tline;
+      t.col = tcol;
+      tokens.push_back(t);
       continue;
     }
 
-    auto two = [&](char a, char b, TokenKind kind) {
-      if (c == a && peek(1) == b) {
-        push(kind, source.substr(start, 2), tline, tcol);
-        advance(2);
+    const auto two = [&](char a, char b, TokenKind kind) {
+      if (c == a && i + 1 < n && data[i + 1] == b) {
+        Token t;
+        t.kind = kind;
+        t.text = source.substr(start, 2);
+        t.line = tline;
+        t.col = tcol;
+        tokens.push_back(t);
+        i += 2;
         return true;
       }
       return false;
@@ -333,16 +462,22 @@ std::vector<Token> tokenize(std::string_view source, AstContext& ctx) {
       case '!': kind = TokenKind::Not; break;
       default:
         throw ParseError(tline, tcol,
-                         std::string("unexpected character '") + c + "'");
+                         std::string("unexpected character '") +
+                             static_cast<char>(c) + "'");
     }
-    push(kind, source.substr(start, 1), tline, tcol);
-    advance();
+    Token t;
+    t.kind = kind;
+    t.text = source.substr(start, 1);
+    t.line = tline;
+    t.col = tcol;
+    tokens.push_back(t);
+    ++i;
   }
 
   Token eof;
   eof.kind = TokenKind::EndOfFile;
-  eof.line = line;
-  eof.col = col;
+  eof.line = static_cast<int>(line);
+  eof.col = col_at(n);
   tokens.push_back(eof);
   return tokens;
 }

@@ -1,0 +1,121 @@
+#include "analysis/mapped_buffer.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PNLAB_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pnlab::analysis {
+
+namespace {
+
+void set_error(std::string* error, const std::string& path,
+               const std::string& what) {
+  if (error) *error = path + ": " + what;
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedBuffer> MappedBuffer::open(const std::string& path,
+                                                       Ingestion mode,
+                                                       std::string* error) {
+  auto buf = std::shared_ptr<MappedBuffer>(new MappedBuffer());
+
+#if PNLAB_HAVE_MMAP
+  if (mode != Ingestion::kRead) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      set_error(error, path, std::strerror(errno));
+      return nullptr;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      set_error(error, path, std::strerror(errno));
+      ::close(fd);
+      return nullptr;
+    }
+    if (!S_ISREG(st.st_mode)) {
+      set_error(error, path, "not a regular file");
+      ::close(fd);
+      return nullptr;
+    }
+    if (st.st_size == 0) {
+      // mmap(…, 0, …) is EINVAL; an empty view needs no storage.
+      ::close(fd);
+      buf->mapped_ = mode == Ingestion::kMap;
+      return buf;
+    }
+    void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps the file alive
+    if (p != MAP_FAILED) {
+#ifdef POSIX_MADV_SEQUENTIAL
+      ::posix_madvise(p, static_cast<std::size_t>(st.st_size),
+                      POSIX_MADV_SEQUENTIAL);
+#endif
+      buf->data_ = static_cast<const char*>(p);
+      buf->size_ = static_cast<std::size_t>(st.st_size);
+      buf->mapped_ = true;
+      return buf;
+    }
+    if (mode == Ingestion::kMap) {
+      set_error(error, path, std::strerror(errno));
+      return nullptr;
+    }
+    // kAuto: fall through to the read path below.
+  }
+#else
+  if (mode == Ingestion::kMap) {
+    set_error(error, path, "mmap not available on this platform");
+    return nullptr;
+  }
+#endif
+
+#if PNLAB_HAVE_MMAP
+  // The read path must reject the same non-regular inputs the map path
+  // does: an ifstream on a directory "opens" and only fails later.
+  struct stat rst{};
+  if (::stat(path.c_str(), &rst) != 0) {
+    set_error(error, path, std::strerror(errno));
+    return nullptr;
+  }
+  if (!S_ISREG(rst.st_mode)) {
+    set_error(error, path, "not a regular file");
+    return nullptr;
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    set_error(error, path, "cannot open");
+    return nullptr;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) {
+    set_error(error, path, "read error");
+    return nullptr;
+  }
+  buf->fallback_ = std::move(contents).str();
+  buf->data_ = buf->fallback_.data();
+  buf->size_ = buf->fallback_.size();
+  return buf;
+}
+
+MappedBuffer::~MappedBuffer() {
+#if PNLAB_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace pnlab::analysis

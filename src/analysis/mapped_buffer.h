@@ -1,0 +1,51 @@
+// Zero-copy file ingestion for the batch driver.
+//
+// MappedBuffer owns the bytes of one input file for as long as any
+// SourceFile views into it exist.  On POSIX hosts the payload is an
+// mmap(2) of the file (no user-space copy at all); everywhere else — or
+// when the map fails, e.g. on pipes or pseudo-files — it falls back to
+// one buffered read into a heap block.  Either way callers get a stable
+// `string_view` whose storage is pinned by the shared_ptr returned from
+// open(), so views survive SourceFile copies and moves.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace pnlab::analysis {
+
+class MappedBuffer {
+ public:
+  /// How open() should acquire the bytes.
+  enum class Ingestion {
+    kAuto,  ///< try mmap, fall back to read on failure
+    kMap,   ///< mmap only; fail if the file cannot be mapped
+    kRead,  ///< buffered read only (the portable path)
+  };
+
+  /// Loads @p path.  Returns nullptr and fills @p error (if non-null)
+  /// when the file is missing, unreadable, or not a regular file.
+  /// Empty regular files yield a valid buffer with an empty view.
+  static std::shared_ptr<const MappedBuffer> open(const std::string& path,
+                                                  Ingestion mode,
+                                                  std::string* error);
+
+  ~MappedBuffer();
+  MappedBuffer(const MappedBuffer&) = delete;
+  MappedBuffer& operator=(const MappedBuffer&) = delete;
+
+  std::string_view view() const { return {data_, size_}; }
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  MappedBuffer() = default;
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;       // true: data_ is an mmap region to munmap
+  std::string fallback_;      // owns the bytes on the read path
+};
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,100 @@
+#include "analysis/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+namespace pnlab::analysis {
+
+namespace {
+
+// One deque per worker, padded so the mutexes of neighboring workers
+// never share a cache line (the whole point is to avoid contention).
+struct alignas(64) WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> items;
+};
+
+}  // namespace
+
+StealStats parallel_for_weighted(
+    std::size_t threads, const std::vector<std::uint64_t>& weights,
+    const std::function<void(std::size_t item, std::size_t worker)>& fn) {
+  const std::size_t count = weights.size();
+  StealStats stats;
+
+  if (threads <= 1 || count <= 1) {
+    stats.threads = 1;
+    for (std::size_t item = 0; item < count; ++item) fn(item, 0);
+    return stats;
+  }
+
+  const std::size_t workers = std::min(threads, count);
+  stats.threads = workers;
+
+  // Heaviest-first, stable so equal weights keep input order; dealing
+  // round-robin then gives every worker a balanced opening hand and the
+  // biggest files start immediately instead of landing on a drained pool.
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return weights[a] > weights[b];
+                   });
+
+  std::vector<WorkerQueue> queues(workers);
+  for (std::size_t k = 0; k < count; ++k) {
+    queues[k % workers].items.push_back(order[k]);
+  }
+
+  std::atomic<std::size_t> steals{0};
+
+  const auto worker_main = [&](std::size_t me) {
+    std::size_t my_steals = 0;
+    for (;;) {
+      std::size_t item = count;  // sentinel: nothing found
+      bool stolen = false;
+      // Own queue first (front: the heaviest work dealt to us)…
+      {
+        std::lock_guard<std::mutex> lock(queues[me].mu);
+        if (!queues[me].items.empty()) {
+          item = queues[me].items.front();
+          queues[me].items.pop_front();
+        }
+      }
+      // …then sweep the other deques, stealing from the back (the
+      // victim's lightest pending item, minimising disruption).
+      if (item == count) {
+        for (std::size_t d = 1; d < workers && item == count; ++d) {
+          WorkerQueue& victim = queues[(me + d) % workers];
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (!victim.items.empty()) {
+            item = victim.items.back();
+            victim.items.pop_back();
+            stolen = true;
+          }
+        }
+      }
+      if (item == count) break;  // full sweep empty: all work is claimed
+      if (stolen) ++my_steals;
+      fn(item, me);
+    }
+    steals.fetch_add(my_steals, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.emplace_back(worker_main, w);
+  }
+  worker_main(0);
+  for (auto& t : pool) t.join();
+
+  stats.steals = steals.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace pnlab::analysis

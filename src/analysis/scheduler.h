@@ -1,0 +1,34 @@
+// Work-stealing parallel-for for the batch driver.
+//
+// The previous BatchDriver pool pulled indices off one shared atomic
+// counter, which serialises dispatch and — worse for skewed corpora —
+// lets one straggler file land last on an otherwise-drained pool.  This
+// scheduler deals work largest-first round-robin into per-worker deques
+// (each on its own cache line); owners pop from the front of their own
+// deque, idle workers steal from the back of a victim's.  Every item is
+// known up front and no item generates new work, so termination is a
+// single clean sweep: a worker exits when one full pass over all deques
+// finds them empty.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pnlab::analysis {
+
+struct StealStats {
+  std::size_t threads = 0;
+  std::size_t steals = 0;  ///< items executed by a non-owner worker
+};
+
+/// Runs fn(item, worker) for every item in [0, weights.size()) across
+/// @p threads workers.  Items are dispatched heaviest-first (stable on
+/// ties, so equal-weight items keep input order within a worker).
+/// Serial when threads <= 1 or there are fewer than two items.
+StealStats parallel_for_weighted(
+    std::size_t threads, const std::vector<std::uint64_t>& weights,
+    const std::function<void(std::size_t item, std::size_t worker)>& fn);
+
+}  // namespace pnlab::analysis

@@ -5,27 +5,62 @@
 
 namespace pnlab::analysis {
 
+bool TaintMap::join_min(const TaintMap& src) {
+  if (src.entries_.empty()) return false;
+  if (entries_.empty()) {
+    entries_ = src.entries_;
+    return true;
+  }
+  // Pass 1: min-update keys already present, count the ones that aren't.
+  // Both sides are sorted, so the lower_bound restart point only moves
+  // forward.
+  bool changed = false;
+  std::size_t missing = 0;
+  auto dit = entries_.begin();
+  for (const value_type& s : src.entries_) {
+    dit = std::lower_bound(dit, entries_.end(), s.first,
+                           [](const value_type& a, std::string_view b) {
+                             return a.first < b;
+                           });
+    if (dit != entries_.end() && dit->first == s.first) {
+      if (s.second < dit->second) {
+        dit->second = s.second;
+        changed = true;
+      }
+    } else {
+      ++missing;
+    }
+  }
+  if (missing == 0) return changed;
+  // Pass 2: one allocation to merge in the new keys.  Duplicates keep
+  // the dst value — pass 1 already minimized those.
+  std::vector<value_type> merged;
+  merged.reserve(entries_.size() + missing);
+  auto a = entries_.cbegin();
+  auto b = src.entries_.cbegin();
+  while (a != entries_.cend() && b != src.entries_.cend()) {
+    if (a->first < b->first) {
+      merged.push_back(*a++);
+    } else if (b->first < a->first) {
+      merged.push_back(*b++);
+    } else {
+      merged.push_back(*a++);
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, entries_.cend());
+  merged.insert(merged.end(), b, src.entries_.cend());
+  entries_ = std::move(merged);
+  return true;
+}
+
 namespace {
 
 constexpr int kMaxDepth = 64;  // saturation guard for loops
 
-/// Joins @p src into @p dst (pointwise minimum depth); true if changed.
-bool join_into(TaintMap& dst, const TaintMap& src) {
-  bool changed = false;
-  for (const auto& [name, depth] : src) {
-    auto it = dst.find(name);
-    if (it == dst.end() || depth < it->second) {
-      dst[name] = depth;
-      changed = true;
-    }
-  }
-  return changed;
-}
-
 class Transfer {
  public:
-  Transfer(const SymbolTable& symbols, const TaintOptions& options)
-      : symbols_(symbols), options_(options) {}
+  explicit Transfer(const TaintOptions& options) : options_(options) {}
 
   void apply(const Stmt& stmt, TaintMap& state) const {
     switch (stmt.kind) {
@@ -111,7 +146,6 @@ class Transfer {
     if (it == state.end() || depth < it->second) state[root] = depth;
   }
 
-  const SymbolTable& symbols_;
   const TaintOptions& options_;
 };
 
@@ -139,12 +173,16 @@ TaintAnalysis analyze_taint(const FuncDecl& /*function*/, const Cfg& cfg,
                             const TaintOptions& options,
                             const TaintMap& initial) {
   TaintAnalysis result;
-  Transfer transfer(symbols, options);
+  Transfer transfer(options);
 
   TaintMap entry_state = initial;
   for (const VarInfo& var : symbols.all()) {
     if (var.tainted_decl) entry_state[var.name] = 1;
   }
+
+  std::size_t stmt_count = 0;
+  for (const BasicBlock& block : cfg.blocks) stmt_count += block.stmts.size();
+  result.before.reserve(stmt_count);
 
   std::vector<TaintMap> in(cfg.blocks.size());
   in[static_cast<std::size_t>(cfg.entry)] = entry_state;
@@ -161,11 +199,11 @@ TaintAnalysis analyze_taint(const FuncDecl& /*function*/, const Cfg& cfg,
     TaintMap state = in[static_cast<std::size_t>(id)];
     for (const Stmt* stmt : cfg.block(id).stmts) {
       // Record (joined) state before the statement for checker queries.
-      join_into(result.before[stmt], state);
+      result.before[stmt].join_min(state);
       transfer.apply(*stmt, state);
     }
     for (const int succ : cfg.block(id).succs) {
-      if (join_into(in[static_cast<std::size_t>(succ)], state) &&
+      if (in[static_cast<std::size_t>(succ)].join_min(state) &&
           !queued[static_cast<std::size_t>(succ)]) {
         worklist.push_back(succ);
         queued[static_cast<std::size_t>(succ)] = true;

@@ -11,10 +11,13 @@
 // least one intermediate definition (depth ≥ 2).
 #pragma once
 
-#include <map>
+#include <algorithm>
+#include <initializer_list>
 #include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/ast.h"
@@ -26,7 +29,61 @@ namespace pnlab::analysis {
 /// Variable name → minimum assignment distance from a taint source.
 /// Keys view into the analyzed unit's source buffer / intern table, so a
 /// TaintMap is only meaningful while that unit's AstContext is alive.
-using TaintMap = std::map<std::string_view, int>;
+///
+/// Flat sorted vector, not std::map: these maps hold a handful of
+/// entries but are copied into `before` for every reachable statement,
+/// so copy cost dominates the whole taint phase.  A vector copy is one
+/// allocation + memcpy of trivially-copyable pairs; the node-based map
+/// was one allocation per entry.
+class TaintMap {
+ public:
+  using value_type = std::pair<std::string_view, int>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  TaintMap() = default;
+  TaintMap(std::initializer_list<value_type> init) {
+    for (const value_type& v : init) (*this)[v.first] = v.second;
+  }
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  const_iterator find(std::string_view name) const {
+    const const_iterator it = lower_bound(name);
+    return (it != entries_.end() && it->first == name) ? it : entries_.end();
+  }
+
+  /// Inserts (value 0) or finds @p name, like std::map::operator[].
+  int& operator[](std::string_view name) {
+    const const_iterator it = lower_bound(name);
+    if (it == entries_.end() || it->first != name) {
+      return entries_.insert(it, {name, 0})->second;
+    }
+    return entries_[static_cast<std::size_t>(it - entries_.begin())].second;
+  }
+
+  void erase(std::string_view name) {
+    const const_iterator it = lower_bound(name);
+    if (it != entries_.end() && it->first == name) entries_.erase(it);
+  }
+
+  /// Joins @p src into *this (pointwise minimum depth); true if changed.
+  bool join_min(const TaintMap& src);
+
+  bool operator==(const TaintMap&) const = default;
+
+ private:
+  const_iterator lower_bound(std::string_view name) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), name,
+                            [](const value_type& a, std::string_view b) {
+                              return a.first < b;
+                            });
+  }
+
+  std::vector<value_type> entries_;  ///< sorted by name, unique
+};
 
 struct TaintOptions {
   /// External calls whose return value (or out-argument) is tainted.
@@ -38,7 +95,9 @@ struct TaintOptions {
 
 struct TaintAnalysis {
   /// Taint state observed immediately *before* each simple statement.
-  std::map<const Stmt*, TaintMap> before;
+  /// Lookup-only (the checkers probe by Stmt*, never iterate), so the
+  /// unordered map's iteration order can't leak into diagnostics.
+  std::unordered_map<const Stmt*, TaintMap> before;
   /// State at function exit (used for interprocedural global taint).
   TaintMap at_exit;
 };

@@ -3,6 +3,7 @@
 // isolation, directory loading, and the JSON/SARIF serializers.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -11,6 +12,8 @@
 
 #include "analysis/corpus.h"
 #include "analysis/driver.h"
+#include "analysis/mapped_buffer.h"
+#include "analysis/scheduler.h"
 
 namespace pnlab::analysis {
 namespace {
@@ -194,6 +197,197 @@ TEST(BatchDriverTest, CacheCapCountsEvictionsInStats) {
   EXPECT_GE(batch.stats.cache.evictions, corpus_files().size() - 4);
   EXPECT_EQ(driver.cache_stats().lookups(),
             driver.cache_stats().hits + driver.cache_stats().misses);
+}
+
+TEST(SourceFileTest, OwningConstructorPinsBytesAcrossCopies) {
+  std::vector<SourceFile> files;
+  {
+    // The original string dies here; the view must survive via the pin.
+    std::string text = "void f() { int long_enough_to_defeat_sso[64]; }";
+    files.push_back(SourceFile{"a.pnc", std::move(text)});
+  }
+  files.reserve(files.capacity() + 16);  // force reallocation/moves
+  std::vector<SourceFile> copies = files;
+  EXPECT_EQ(copies[0].source,
+            "void f() { int long_enough_to_defeat_sso[64]; }");
+  EXPECT_EQ(copies[0].source.data(), files[0].source.data())
+      << "copies share the pinned storage";
+}
+
+TEST(SourceFileTest, ContentHashComputedAtIngestion) {
+  const SourceFile owned{"a.pnc", "foobar"};
+  EXPECT_EQ(owned.content_hash, fnv1a("foobar"));
+  const SourceFile view = SourceFile::borrowed("b.pnc", "foobar");
+  EXPECT_EQ(view.content_hash, owned.content_hash);
+  EXPECT_EQ(view.source.data(), std::string_view("foobar").data());
+}
+
+TEST(MappedBufferTest, MapAndReadProduceIdenticalBytes) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "pnlab_mb_test.pnc";
+  const std::string payload = corpus::corpus_case("listing04").source;
+  std::ofstream(path, std::ios::binary) << payload;
+
+  std::string error;
+  const auto mapped =
+      MappedBuffer::open(path.string(), MappedBuffer::Ingestion::kAuto,
+                         &error);
+  ASSERT_NE(mapped, nullptr) << error;
+  const auto read =
+      MappedBuffer::open(path.string(), MappedBuffer::Ingestion::kRead,
+                         &error);
+  ASSERT_NE(read, nullptr) << error;
+  EXPECT_FALSE(read->is_mapped());
+  EXPECT_EQ(mapped->view(), read->view());
+  EXPECT_EQ(mapped->view(), payload);
+  fs::remove(path);
+}
+
+TEST(MappedBufferTest, EmptyFileYieldsEmptyView) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "pnlab_mb_empty.pnc";
+  std::ofstream(path, std::ios::binary).flush();
+  std::string error;
+  const auto buf = MappedBuffer::open(path.string(),
+                                      MappedBuffer::Ingestion::kAuto, &error);
+  ASSERT_NE(buf, nullptr) << error;
+  EXPECT_TRUE(buf->view().empty());
+  fs::remove(path);
+}
+
+TEST(MappedBufferTest, MissingAndNonRegularFilesError) {
+  std::string error;
+  EXPECT_EQ(MappedBuffer::open("/nonexistent/nope.pnc",
+                               MappedBuffer::Ingestion::kAuto, &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+
+  namespace fs = std::filesystem;
+  error.clear();
+  EXPECT_EQ(MappedBuffer::open(fs::temp_directory_path().string(),
+                               MappedBuffer::Ingestion::kAuto, &error),
+            nullptr)
+      << "a directory is not ingestible";
+  EXPECT_NE(error.find("not a regular file"), std::string::npos);
+  error.clear();
+  EXPECT_EQ(MappedBuffer::open(fs::temp_directory_path().string(),
+                               MappedBuffer::Ingestion::kRead, &error),
+            nullptr)
+      << "the read fallback must reject directories too";
+}
+
+TEST(BatchDriverTest, MmapAndFallbackIngestionIdentical) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pnlab_ingestion_modes";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  for (const auto& c : corpus::analyzer_corpus()) {
+    std::ofstream(dir / (c.id + ".pnc"), std::ios::binary) << c.source;
+  }
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    DriverOptions with_mmap;
+    with_mmap.threads = threads;
+    with_mmap.use_cache = false;
+    DriverOptions without_mmap = with_mmap;
+    without_mmap.mmap_ingestion = false;
+
+    const BatchResult a =
+        BatchDriver(with_mmap).run_directory(dir.string());
+    const BatchResult b =
+        BatchDriver(without_mmap).run_directory(dir.string());
+    EXPECT_EQ(to_json(a), to_json(b)) << "threads=" << threads;
+    EXPECT_EQ(to_sarif(a), to_sarif(b)) << "threads=" << threads;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(BatchDriverTest, RunDirectoryRecordsUnreadableEntries) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pnlab_badentry_corpus";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir / "good.pnc") << corpus::corpus_case("listing04").source;
+  // A directory whose name ends in .pnc: non-regular, must surface as a
+  // per-file error record instead of a silently-empty source.
+  fs::create_directories(dir / "imposter.pnc");
+
+  BatchDriver driver;
+  const BatchResult batch = driver.run_directory(dir.string());
+  fs::remove_all(dir);
+
+  ASSERT_EQ(batch.files.size(), 2u);
+  EXPECT_EQ(batch.stats.files, 2u);
+  EXPECT_EQ(batch.stats.parse_errors, 1u);
+  for (const FileReport& f : batch.files) {
+    if (f.file.find("imposter") != std::string::npos) {
+      EXPECT_FALSE(f.ok);
+      EXPECT_NE(f.error.find("read error"), std::string::npos);
+      EXPECT_NE(f.error.find("not a regular file"), std::string::npos);
+    } else {
+      EXPECT_TRUE(f.ok);
+      EXPECT_GT(f.result.finding_count(), 0u);
+    }
+  }
+  // The error record also survives serialization as a failed file.
+  EXPECT_NE(to_json(batch).find("read error"), std::string::npos);
+}
+
+TEST(ResultCacheTest, KeyedFindSkipsRehash) {
+  ResultCache cache;
+  AnalysisResult r;
+  r.placement_sites = 7;
+  const std::string source = "void f() {}";
+  const std::uint64_t hash = fnv1a(source);
+  cache.insert(hash, source.size(), r);
+
+  const auto hit = cache.find(hash, source.size());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->placement_sites, 7u);
+  // Same hash, different length: the length guard rejects it.
+  EXPECT_FALSE(cache.find(hash, source.size() + 1).has_value());
+  // The string overload agrees with the keyed one.
+  EXPECT_TRUE(cache.find(source).has_value());
+}
+
+TEST(SchedulerTest, EveryItemRunsExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::uint64_t> weights;
+    for (std::size_t i = 0; i < 57; ++i) weights.push_back(i % 9);
+    std::vector<std::atomic<int>> counts(weights.size());
+    const StealStats stats = parallel_for_weighted(
+        threads, weights,
+        [&](std::size_t item, std::size_t) { ++counts[item]; });
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "item " << i << " threads "
+                                     << threads;
+    }
+    EXPECT_EQ(stats.threads, std::min<std::size_t>(threads, weights.size()));
+  }
+}
+
+TEST(SchedulerTest, SkewedWeightsStillCovered) {
+  // One huge item plus many tiny ones: the huge one is dealt first and
+  // the other workers drain/steal the rest.
+  std::vector<std::uint64_t> weights(33, 1);
+  weights[17] = 1'000'000;
+  std::vector<std::atomic<int>> counts(weights.size());
+  parallel_for_weighted(4, weights,
+                        [&](std::size_t item, std::size_t) { ++counts[item]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(BatchDriverTest, StealsSurfaceInStats) {
+  // Serial runs can't steal; parallel runs report whatever happened
+  // (usually zero on an unloaded corpus, but the field must exist and
+  // the serial case must be exactly zero).
+  const BatchResult serial = run_with_threads(1);
+  EXPECT_EQ(serial.stats.steals, 0u);
+  EXPECT_EQ(serial.stats.threads, 1u);
+  const BatchResult parallel = run_with_threads(8);
+  EXPECT_EQ(parallel.stats.threads, 8u);
 }
 
 TEST(BatchSerializationTest, JsonEscapesAndStructure) {

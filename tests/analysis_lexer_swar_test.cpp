@@ -1,0 +1,254 @@
+// Edge-byte coverage for the SWAR lexer fast paths.
+//
+// The word-at-a-time loops in lexer.cpp classify 8 bytes per step and
+// fall back to a table-driven tail; these tests pin the cases that a
+// per-lane predicate bug would silently break: CRLF line endings,
+// high-bit (0x80–0xFF) bytes inside comments and string literals,
+// unterminated constructs at EOF, runs crossing 8-byte word boundaries,
+// and buffers whose length is not a multiple of 8.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/ast_arena.h"
+#include "analysis/char_class.h"
+#include "analysis/token.h"
+
+namespace pnlab::analysis {
+namespace {
+
+std::vector<Token> tokenize(std::string_view source) {
+  static AstContext ctx;
+  return analysis::tokenize(ctx.pin(source), ctx);
+}
+
+// -- SWAR predicate exactness -----------------------------------------------
+
+TEST(CharClassTest, LanePredicatesAreExactPerLane) {
+  namespace cc = charclass;
+  // Every lane of a mixed word must classify independently — the classic
+  // haszero approximation is only exact at its lowest set lane.
+  const char word[8] = {'a', '0', '_', ' ', '\n', '\x80', 'Z', '\xff'};
+  const std::uint64_t w = cc::load8(word);
+
+  const std::uint64_t ident = cc::ident_lanes(w);
+  for (int lane = 0; lane < 8; ++lane) {
+    const bool expect = cc::is(static_cast<unsigned char>(word[lane]),
+                               cc::kIdentCont);
+    EXPECT_EQ((ident >> (8 * lane + 7)) & 1, expect ? 1u : 0u)
+        << "ident lane " << lane;
+  }
+  const std::uint64_t space = cc::space_lanes(w);
+  for (int lane = 0; lane < 8; ++lane) {
+    const bool expect =
+        cc::is(static_cast<unsigned char>(word[lane]), cc::kSpace);
+    EXPECT_EQ((space >> (8 * lane + 7)) & 1, expect ? 1u : 0u)
+        << "space lane " << lane;
+  }
+}
+
+TEST(CharClassTest, HighBitBytesMatchNoClassOrRange) {
+  namespace cc = charclass;
+  for (int c = 0x80; c <= 0xff; ++c) {
+    EXPECT_EQ(cc::kClass[static_cast<std::size_t>(c)], 0) << "byte " << c;
+  }
+  // 0xE1 = 'a' | 0x80: must not sneak into [a-z] via the 7-bit compare.
+  const std::uint64_t w = cc::broadcast(0xE1);
+  EXPECT_EQ(cc::range_lanes(w, 'a', 'z'), 0u);
+  EXPECT_EQ(cc::ident_lanes(w), 0u);
+  EXPECT_EQ(cc::digit_lanes(w), 0u);
+  EXPECT_EQ(cc::hex_lanes(w), 0u);
+}
+
+// -- CRLF and newline accounting --------------------------------------------
+
+TEST(SwarLexerTest, CrlfCountsOneLinePerPair) {
+  const auto tokens = tokenize("a\r\nb\r\nc");
+  ASSERT_EQ(tokens.size(), 4u);  // a b c eof
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].col, 1);  // the \r must not shift the column
+}
+
+TEST(SwarLexerTest, ManyNewlinesInOneWordAllCounted) {
+  // 7 newlines + 'x' fit one 8-byte word: the popcount path must count
+  // every lane, not just the first.
+  const auto tokens = tokenize("\n\n\n\n\n\n\nx");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].line, 8);
+  EXPECT_EQ(tokens[0].col, 1);
+}
+
+TEST(SwarLexerTest, ColumnAfterLongSkipIsExact) {
+  // Whitespace run longer than a word, ending mid-word.
+  const auto tokens = tokenize("            x y");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].col, 13);
+  EXPECT_EQ(tokens[1].col, 15);
+}
+
+// -- High-bit bytes in comments and strings ---------------------------------
+
+TEST(SwarLexerTest, HighBitBytesInLineCommentAreSkipped) {
+  const auto tokens = tokenize("a // caf\xc3\xa9 \xff\x80\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 2);
+}
+
+TEST(SwarLexerTest, HighBitBytesInBlockCommentAreSkipped) {
+  const auto tokens = tokenize("a /* \xff\xfe\x80 caf\xc3\xa9 */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(SwarLexerTest, HighBitBytesInStringLiteralAreLiteral) {
+  const auto tokens = tokenize("\"caf\xc3\xa9 \xff\"");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::StringLiteral);
+  EXPECT_EQ(tokens[0].text, "caf\xc3\xa9 \xff");
+}
+
+TEST(SwarLexerTest, HighBitByteOutsideTokenIsAnError) {
+  try {
+    tokenize("int x = \x80;");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("unexpected character"),
+              std::string::npos);
+  }
+}
+
+// -- Unterminated constructs at EOF -----------------------------------------
+
+TEST(SwarLexerTest, UnterminatedBlockCommentReportsEofPosition) {
+  // Position semantics: the error points at the EOF position, matching
+  // the byte-at-a-time lexer (line 2, one past the last column).
+  try {
+    tokenize("a\n/* never closed");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(std::string(e.what()), "line 2:16: unclosed comment");
+  }
+}
+
+TEST(SwarLexerTest, UnterminatedBlockCommentTrailingStar) {
+  // '*' as the very last byte must not read past the end looking for '/'.
+  EXPECT_THROW(tokenize("/* a *"), ParseError);
+  EXPECT_THROW(tokenize("/**"), ParseError);
+}
+
+TEST(SwarLexerTest, UnterminatedStringReportsTokenStart) {
+  try {
+    tokenize("x = \"abc");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(std::string(e.what()), "line 1:5: unterminated string literal");
+  }
+}
+
+TEST(SwarLexerTest, LoneBackslashAtEofIsUnterminated) {
+  EXPECT_THROW(tokenize("\"abc\\"), ParseError);
+}
+
+// -- Word-boundary and tail (length % 8 != 0) sweeps ------------------------
+
+TEST(SwarLexerTest, IdentifierRunsOfEveryLengthRoundTrip) {
+  // 1..40 covers runs shorter than a word, exactly a word, and several
+  // words plus every possible tail length.
+  for (std::size_t len = 1; len <= 40; ++len) {
+    const std::string name(len, 'a');
+    const auto tokens = tokenize(name + " ;");
+    ASSERT_EQ(tokens.size(), 3u) << "len " << len;
+    EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[0].text, name) << "len " << len;
+    EXPECT_EQ(tokens[1].col, static_cast<int>(len) + 2) << "len " << len;
+  }
+}
+
+TEST(SwarLexerTest, DigitRunsOfEveryLengthStopExactly) {
+  for (std::size_t len = 1; len <= 20; ++len) {
+    const std::string digits(len, '1');
+    const auto tokens = tokenize(digits + "+");
+    ASSERT_EQ(tokens.size(), 3u) << "len " << len;
+    EXPECT_EQ(tokens[0].kind, TokenKind::IntLiteral);
+    EXPECT_EQ(tokens[0].text, digits);
+    EXPECT_EQ(tokens[1].kind, TokenKind::Plus);
+  }
+}
+
+TEST(SwarLexerTest, WhitespaceRunsOfEveryLengthKeepColumns) {
+  for (std::size_t len = 0; len <= 24; ++len) {
+    const std::string pad(len, ' ');
+    const auto tokens = tokenize(pad + "x");
+    ASSERT_EQ(tokens.size(), 2u) << "len " << len;
+    EXPECT_EQ(tokens[0].col, static_cast<int>(len) + 1) << "len " << len;
+  }
+}
+
+TEST(SwarLexerTest, IdentifierEndingExactlyAtEofHasNoOverread) {
+  // No trailing delimiter: the run must stop at the buffer end for every
+  // tail length, including length % 8 == 0.
+  for (std::size_t len = 1; len <= 17; ++len) {
+    const std::string name(len, 'z');
+    const auto tokens = tokenize(name);
+    ASSERT_EQ(tokens.size(), 2u) << "len " << len;
+    EXPECT_EQ(tokens[0].text, name);
+    EXPECT_EQ(tokens[1].kind, TokenKind::EndOfFile);
+  }
+}
+
+// -- Escapes and literals across word boundaries ----------------------------
+
+TEST(SwarLexerTest, EscapeStraddlingWordBoundaryUnescapes) {
+  // Pad so the backslash lands on each lane of a word at least once.
+  for (std::size_t pad = 0; pad < 8; ++pad) {
+    const std::string src = "\"" + std::string(pad, 'x') + "\\n" + "y\"";
+    const auto tokens = tokenize(src);
+    ASSERT_EQ(tokens.size(), 2u) << "pad " << pad;
+    EXPECT_EQ(tokens[0].text, std::string(pad, 'x') + "\ny") << "pad " << pad;
+  }
+}
+
+TEST(SwarLexerTest, EscapedNewlineInStringStillCountsLines) {
+  const auto tokens = tokenize("\"a\\\nb\" x");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[1].line, 2);
+}
+
+TEST(SwarLexerTest, NoEscapeStringIsZeroCopyView) {
+  static AstContext ctx;
+  const std::string_view pinned = ctx.pin("\"hello world\"");
+  const auto tokens = analysis::tokenize(pinned, ctx);
+  ASSERT_EQ(tokens.size(), 2u);
+  // The literal's text must view directly into the source buffer.
+  EXPECT_EQ(static_cast<const void*>(tokens[0].text.data()),
+            static_cast<const void*>(pinned.data() + 1));
+}
+
+// -- Numeric literal regression ---------------------------------------------
+
+TEST(SwarLexerTest, HexOctalAndFloatStillParse) {
+  const auto tokens = tokenize("0x1F 017 3.25 0 10");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].int_value, 31);
+  EXPECT_EQ(tokens[1].int_value, 15);  // leading 0: octal
+  EXPECT_EQ(tokens[2].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 3.25);
+  EXPECT_EQ(tokens[3].int_value, 0);
+  EXPECT_EQ(tokens[4].int_value, 10);
+}
+
+TEST(SwarLexerTest, BlockCommentWithStarsEveryLane) {
+  // '*' on every lane stresses the comment hop's candidate scan.
+  const auto tokens = tokenize("/********/ x /* ** * ** */ y");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].text, "y");
+}
+
+}  // namespace
+}  // namespace pnlab::analysis

@@ -9,6 +9,7 @@
 //   --jobs=N                   worker threads (default: all hardware
 //                              threads; --threads=N is an alias)
 //   --no-cache                 disable the content-hash result cache
+//   --no-mmap                  force buffered-read ingestion (no mmap)
 //   --no-info                  drop Info-severity advisories
 //   --stats                    print run statistics to stderr
 //
@@ -40,6 +41,8 @@ void print_usage(std::ostream& os, const char* argv0) {
         "                            on this machine (--threads=N is an "
         "alias)\n"
         "  --no-cache                disable the content-hash result cache\n"
+        "  --no-mmap                 force buffered-read ingestion (no "
+        "mmap)\n"
         "  --no-info                 drop Info-severity advisories\n"
         "  --stats                   print run statistics to stderr\n"
         "  --help                    show this message\n";
@@ -95,6 +98,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--no-cache") {
       options.use_cache = false;
+    } else if (arg == "--no-mmap") {
+      options.mmap_ingestion = false;
     } else if (arg == "--no-info") {
       options.analyzer.include_info = false;
     } else if (arg == "--stats") {
@@ -122,24 +127,25 @@ int main(int argc, char** argv) {
   BatchResult batch;
   try {
     if (want_corpus) {
-      std::vector<SourceFile> files;
-      for (const auto& c : corpus::analyzer_corpus()) {
-        files.push_back({c.id + ".pnc", c.source});
-      }
-      batch = driver.run(files);
+      batch = driver.run(corpus::source_files());
     } else if (!dir.empty()) {
       batch = driver.run_directory(dir);
     } else {
+      // Explicitly-named files keep the strict contract: any unreadable
+      // path is a usage/IO error (exit 2), unlike the lenient directory
+      // walk where bad entries become per-file records.
+      const auto mode = options.mmap_ingestion
+                            ? MappedBuffer::Ingestion::kAuto
+                            : MappedBuffer::Ingestion::kRead;
       std::vector<SourceFile> files;
       for (const std::string& path : paths) {
-        std::ifstream in(path);
-        if (!in) {
+        std::string error;
+        auto buffer = MappedBuffer::open(path, mode, &error);
+        if (!buffer) {
           std::cerr << "cannot open " << path << "\n";
           return 2;
         }
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        files.push_back({path, buf.str()});
+        files.push_back(SourceFile::mapped(path, std::move(buffer)));
       }
       batch = driver.run(files);
     }
