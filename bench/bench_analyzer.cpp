@@ -13,10 +13,14 @@
 #include <iomanip>
 #include <iostream>
 #include <new>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/analyzer.h"
 #include "analysis/corpus.h"
 #include "analysis/fixer.h"
+#include "analysis/telemetry.h"
 
 namespace {
 volatile std::size_t benchmark_guard = 0;  // keeps the timing loop live
@@ -160,6 +164,47 @@ int main() {
             << (static_cast<double>(ast_arena_bytes) / files)
             << " byte(s) per file\n";
 
+  // Per-phase attribution + the telemetry layer's own cost: the same
+  // loop again with tracing enabled.  The headline throughput above
+  // stays measured with telemetry off; the phase seconds below say
+  // where an E3 second actually goes (lex vs parse vs checker fixpoint)
+  // so future perf PRs can attribute wins to a phase.
+  namespace tel = pnlab::analysis::telemetry;
+  std::vector<std::pair<std::string, double>> phase_s;
+  double overhead_pct = 0;
+  if (tel::compiled_in()) {
+    tel::reset();
+    tel::set_enabled(true);
+    const tel::Snapshot before = tel::snapshot();
+    const auto traced_start = Clock::now();
+    for (int i = 0; i < kRepeats; ++i) {
+      for (const auto& c : corpus::analyzer_corpus()) {
+        const AnalysisResult r = analyze(c.source);
+        benchmark_guard = benchmark_guard + r.diagnostics.size();
+      }
+    }
+    const double traced_elapsed =
+        std::chrono::duration<double>(Clock::now() - traced_start).count();
+    const tel::Snapshot after = tel::snapshot();
+    tel::set_enabled(false);
+    for (std::size_t i = 0; i < tel::kPhaseCount; ++i) {
+      const std::uint64_t dns = after.phases[i].ns - before.phases[i].ns;
+      if (dns == 0) continue;
+      phase_s.emplace_back(tel::phase_name(static_cast<tel::Phase>(i)),
+                           static_cast<double>(dns) / 1e9);
+    }
+    overhead_pct = elapsed > 0 ? (traced_elapsed - elapsed) / elapsed * 100.0
+                               : 0;
+    std::cout << "Phase attribution (tracing enabled, " << std::fixed
+              << std::setprecision(3) << traced_elapsed << " s loop, "
+              << std::setprecision(1) << overhead_pct
+              << "% telemetry overhead):\n";
+    for (const auto& [name, s] : phase_s) {
+      std::cout << "  " << std::left << std::setw(22) << name << std::fixed
+                << std::setprecision(3) << s << " s\n";
+    }
+  }
+
   // Machine-readable results for CI trend lines.
   {
     std::ofstream json("BENCH_analyzer.json");
@@ -176,7 +221,17 @@ int main() {
          << "  \"ast_nodes_per_file\": "
          << (static_cast<double>(ast_nodes) / files) << ",\n"
          << "  \"arena_bytes_per_file\": "
-         << (static_cast<double>(ast_arena_bytes) / files) << "\n"
+         << (static_cast<double>(ast_arena_bytes) / files) << ",\n"
+         << "  \"telemetry_compiled\": "
+         << (pnlab::analysis::telemetry::compiled_in() ? "true" : "false")
+         << ",\n"
+         << "  \"telemetry_overhead_pct\": " << overhead_pct << ",\n"
+         << "  \"phase_s\": {";
+    for (std::size_t i = 0; i < phase_s.size(); ++i) {
+      json << (i ? ", " : "") << "\"" << phase_s[i].first
+           << "\": " << phase_s[i].second;
+    }
+    json << "}\n"
          << "}\n";
   }
   std::cout << "Wrote BENCH_analyzer.json\n";

@@ -17,6 +17,7 @@
 
 #include "analysis/corpus.h"
 #include "analysis/driver.h"
+#include "analysis/telemetry.h"
 
 using namespace pnlab::analysis;
 
@@ -97,6 +98,29 @@ int main() {
   std::cout << "warm findings identical to cold: "
             << (to_json(warm) == to_json(cold) ? "yes" : "NO") << "\n";
 
+  // Per-phase attribution through the batch driver: one traced run
+  // (cache off) whose BatchStats carries the telemetry phase delta.
+  // Timed rows above stay telemetry-off; this run is for attribution.
+  namespace tel = pnlab::analysis::telemetry;
+  std::vector<PhaseBreakdown> phase_s;
+  if (tel::compiled_in()) {
+    tel::reset();
+    tel::set_enabled(true);
+    DriverOptions traced_options;
+    traced_options.threads = 4;
+    traced_options.use_cache = false;
+    BatchDriver traced_driver(traced_options);
+    const BatchResult traced = traced_driver.run(tree);
+    tel::set_enabled(false);
+    phase_s = traced.stats.phases;
+    std::cout << "\nphase attribution (4 threads, cache off):";
+    for (const PhaseBreakdown& p : phase_s) {
+      std::cout << " " << p.phase << " " << std::fixed
+                << std::setprecision(3) << p.total_s << "s";
+    }
+    std::cout << "\n";
+  }
+
   // Machine-readable results for CI trend lines.
   {
     std::ofstream json("BENCH_driver.json");
@@ -112,7 +136,13 @@ int main() {
          << "  \"cache_cold_s\": " << cold.stats.wall_s << ",\n"
          << "  \"cache_warm_s\": " << warm.stats.wall_s << ",\n"
          << "  \"cache_evictions\": " << warm.stats.cache.evictions << ",\n"
-         << "  \"steals\": " << total_steals << "\n"
+         << "  \"steals\": " << total_steals << ",\n"
+         << "  \"phase_s\": {";
+    for (std::size_t i = 0; i < phase_s.size(); ++i) {
+      json << (i ? ", " : "") << "\"" << phase_s[i].phase
+           << "\": " << phase_s[i].total_s;
+    }
+    json << "}\n"
          << "}\n";
   }
   std::cout << "Wrote BENCH_driver.json\n";

@@ -1,0 +1,26 @@
+# Fails the `bench` target when a regenerated BENCH_*.json is missing
+# the per-phase telemetry fields — the committed bench trajectory must
+# always say where the time went, not just how much there was.
+#
+# Run as: cmake -DBENCH_DIR=<repo root> -P check_bench_fields.cmake
+if(NOT DEFINED BENCH_DIR)
+  set(BENCH_DIR ${CMAKE_CURRENT_LIST_DIR}/..)
+endif()
+
+function(require_field file field)
+  if(NOT EXISTS "${file}")
+    message(FATAL_ERROR "bench check: ${file} does not exist")
+  endif()
+  file(READ "${file}" contents)
+  string(FIND "${contents}" "\"${field}\"" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "bench check: ${file} is missing the \"${field}\" field — "
+      "the bench binaries must embed the per-phase telemetry breakdown")
+  endif()
+endfunction()
+
+require_field("${BENCH_DIR}/BENCH_analyzer.json" "phase_s")
+require_field("${BENCH_DIR}/BENCH_analyzer.json" "telemetry_overhead_pct")
+require_field("${BENCH_DIR}/BENCH_driver.json" "phase_s")
+message(STATUS "bench check: per-phase fields present in BENCH_*.json")

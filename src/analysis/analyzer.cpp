@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/sema.h"
+#include "analysis/telemetry.h"
 
 namespace pnlab::analysis {
 
@@ -57,7 +58,10 @@ AnalysisResult analyze(std::string_view source, const AnalyzerOptions& options,
   if (timings) timings->parse_s = seconds_since(t0);
 
   t0 = Clock::now();
-  const TypeTable types(program);
+  const TypeTable types = [&] {
+    PN_TRACE_SPAN(kSema);
+    return TypeTable(program);
+  }();
   if (timings) timings->sema_s = seconds_since(t0);
 
   AnalysisResult result;

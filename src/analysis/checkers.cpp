@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/cfg.h"
+#include "analysis/telemetry.h"
 
 namespace pnlab::analysis {
 
@@ -159,12 +160,22 @@ class FunctionChecker {
         diagnostics_(diagnostics) {}
 
   void run() {
-    for (const PlacementSite& site : sites_) {
-      check_bounds_and_taint(site);
-      check_alignment(site);
+    {
+      PN_TRACE_SPAN(kCheckBoundsTaint);
+      for (const PlacementSite& site : sites_) check_bounds_and_taint(site);
     }
-    check_reuse_without_sanitize(sites_);
-    check_missing_release(sites_);
+    {
+      PN_TRACE_SPAN(kCheckAlignment);
+      for (const PlacementSite& site : sites_) check_alignment(site);
+    }
+    {
+      PN_TRACE_SPAN(kCheckReuseSanitize);
+      check_reuse_without_sanitize(sites_);
+    }
+    {
+      PN_TRACE_SPAN(kCheckMissingRelease);
+      check_missing_release(sites_);
+    }
   }
 
  private:
@@ -554,6 +565,7 @@ class InterproceduralTaint {
 std::vector<Diagnostic> run_checkers(const Program& program,
                                      const TypeTable& types,
                                      const TaintOptions& taint_options) {
+  PN_TRACE_SPAN(kCheckers);  // encloses fixpoint/per-checker/interproc
   std::vector<Diagnostic> diagnostics;
 
   // Symbol tables, CFGs, and placement sites are pure functions of the
@@ -569,20 +581,23 @@ std::vector<Diagnostic> run_checkers(const Program& program,
   // Without globals nothing can be exported, so the fixpoint (and its
   // per-round dataflow over every function) is skipped entirely.
   TaintMap global_taint;
-  for (int round = 0; !program.globals.empty() && round < 3; ++round) {
-    TaintMap next = global_taint;
-    for (const FunctionAnalysis& unit : units) {
-      const TaintAnalysis taint = analyze_taint(
-          *unit.fn, unit.cfg, unit.symbols, taint_options, global_taint);
-      for (const auto& [name, depth] : taint.at_exit) {
-        const VarInfo* var = unit.symbols.find(name);
-        if (var == nullptr || !var->is_global) continue;
-        auto it = next.find(name);
-        if (it == next.end() || depth < it->second) next[name] = depth;
+  {
+    PN_TRACE_SPAN(kTaintFixpoint);
+    for (int round = 0; !program.globals.empty() && round < 3; ++round) {
+      TaintMap next = global_taint;
+      for (const FunctionAnalysis& unit : units) {
+        const TaintAnalysis taint = analyze_taint(
+            *unit.fn, unit.cfg, unit.symbols, taint_options, global_taint);
+        for (const auto& [name, depth] : taint.at_exit) {
+          const VarInfo* var = unit.symbols.find(name);
+          if (var == nullptr || !var->is_global) continue;
+          auto it = next.find(name);
+          if (it == next.end() || depth < it->second) next[name] = depth;
+        }
       }
+      if (next == global_taint) break;
+      global_taint = std::move(next);
     }
-    if (next == global_taint) break;
-    global_taint = std::move(next);
   }
 
   for (const FunctionAnalysis& unit : units) {
@@ -591,7 +606,10 @@ std::vector<Diagnostic> run_checkers(const Program& program,
     checker.run();
   }
 
-  InterproceduralTaint(units, taint_options).run(diagnostics);
+  {
+    PN_TRACE_SPAN(kInterprocTaint);
+    InterproceduralTaint(units, taint_options).run(diagnostics);
+  }
 
   std::stable_sort(diagnostics.begin(), diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {

@@ -12,6 +12,7 @@
 
 #include "analysis/ast_arena.h"
 #include "analysis/scheduler.h"
+#include "analysis/telemetry.h"
 #include "analysis/token.h"
 
 namespace pnlab::analysis {
@@ -87,6 +88,9 @@ void ResultCache::insert(std::uint64_t hash, std::size_t length,
   lru_.push_front(Entry{key, result});
   index_.emplace(key, lru_.begin());
   if (max_entries_ > 0 && lru_.size() > max_entries_) {
+    PN_COUNTER_ADD(kCacheEvictions, 1);
+    PN_INSTANT("cache_evict",
+               "hash=" + std::to_string(lru_.back().key.hash));
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
@@ -97,6 +101,9 @@ void ResultCache::set_max_entries(std::size_t max_entries) {
   std::lock_guard<std::mutex> lock(mutex_);
   max_entries_ = max_entries;
   while (max_entries_ > 0 && lru_.size() > max_entries_) {
+    PN_COUNTER_ADD(kCacheEvictions, 1);
+    PN_INSTANT("cache_evict",
+               "hash=" + std::to_string(lru_.back().key.hash));
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
@@ -132,10 +139,20 @@ std::string BatchStats::to_string() const {
   std::ostringstream os;
   os << std::fixed << std::setprecision(3);
   os << "batch: " << files << " file(s), " << findings << " finding(s), "
-     << parse_errors << " parse error(s)\n";
+     << parse_errors << " parse error(s)";
+  if (read_errors > 0) os << " (" << read_errors << " read error(s))";
+  os << "\n";
   os << "run:   " << wall_s << " s wall on " << threads << " thread(s) ("
      << std::setprecision(1) << files_per_sec() << " files/s, " << steals
-     << " steal(s))\n";
+     << " steal(s)";
+  if (steals > 0 && per_worker_steals.size() > 1) {
+    os << " [";
+    for (std::size_t w = 0; w < per_worker_steals.size(); ++w) {
+      os << (w ? " " : "") << per_worker_steals[w];
+    }
+    os << " per worker]";
+  }
+  os << ")\n";
   os << std::setprecision(3);
   os << "phase: parse " << phase_totals.parse_s << " s, sema "
      << phase_totals.sema_s << " s, checkers " << phase_totals.check_s
@@ -151,6 +168,13 @@ std::string BatchStats::to_string() const {
     }
   }
   os << "\n";
+  if (!phases.empty()) {
+    os << "trace:";
+    for (const PhaseBreakdown& p : phases) {
+      os << " " << p.phase << " " << p.total_s << "s/" << p.spans;
+    }
+    os << " (phase s/spans this run)\n";
+  }
   return os.str();
 }
 
@@ -177,6 +201,12 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
   using Clock = std::chrono::steady_clock;
   const auto run_start = Clock::now();
   const CacheStats cache_before = cache_.stats();
+  // Per-run telemetry delta: aggregates are process-global, so snapshot
+  // around the run (run() is documented non-re-entrant, so the delta is
+  // this batch's own work).
+  const bool tracing = telemetry::enabled();
+  const telemetry::Snapshot telemetry_before =
+      tracing ? telemetry::snapshot() : telemetry::Snapshot{};
 
   BatchResult batch;
   batch.files.resize(files.size());
@@ -205,6 +235,9 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
         FileReport& report = batch.files[i];
         const SourceFile& file = files[i];
         report.file = file.name;
+        PN_TRACE_SPAN_D(kAnalyze, file.name);
+        [[maybe_unused]] const std::uint64_t t_file =
+            telemetry::enabled() ? telemetry::now_ns() : 0;
         // Hand-rolled SourceFiles may lack the ingestion-time hash.
         const std::uint64_t hash =
             file.content_hash != 0 ? file.content_hash : fnv1a(file.source);
@@ -213,8 +246,10 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
                   cache_.find(hash, file.source.size())) {
             report.result = *std::move(cached);
             report.cache_hit = true;
+            PN_COUNTER_ADD(kCacheHits, 1);
             return;
           }
+          PN_COUNTER_ADD(kCacheMisses, 1);
         }
         try {
           report.result = analyze(file.source, options_.analyzer,
@@ -222,12 +257,25 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
           if (options_.use_cache) {
             cache_.insert(hash, file.source.size(), report.result);
           }
+          PN_COUNTER_ADD(kFilesAnalyzed, 1);
+          PN_COUNTER_ADD(kAstNodes, report.result.ast_nodes);
+          PN_COUNTER_ADD(kArenaBytes, report.result.ast_arena_bytes);
+          if (telemetry::enabled()) {
+            PN_HISTOGRAM_RECORD(kFileLatencyNs,
+                                telemetry::now_ns() - t_file);
+            PN_HISTOGRAM_RECORD(kFileSourceBytes, file.source.size());
+            PN_HISTOGRAM_RECORD(kAstNodesPerFile, report.result.ast_nodes);
+          }
         } catch (const ParseError& e) {
           report.ok = false;
           report.error = e.what();
+          PN_COUNTER_ADD(kParseErrors, 1);
+          PN_INSTANT("parse_error", file.name + ": " + e.what());
         } catch (const std::exception& e) {
           report.ok = false;
           report.error = std::string("internal error: ") + e.what();
+          PN_COUNTER_ADD(kParseErrors, 1);
+          PN_INSTANT("parse_error", file.name + ": " + e.what());
         }
       });
 
@@ -254,6 +302,7 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
   stats.files = files.size();
   stats.threads = steal.threads;
   stats.steals = steal.steals;
+  stats.per_worker_steals = steal.per_worker_steals;
   for (const FileReport& report : batch.files) {
     if (!report.ok) ++stats.parse_errors;
     stats.findings += report.result.finding_count();
@@ -267,6 +316,19 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
   stats.cache.hits = cache_after.hits - cache_before.hits;
   stats.cache.misses = cache_after.misses - cache_before.misses;
   stats.cache.evictions = cache_after.evictions - cache_before.evictions;
+  if (tracing) {
+    const telemetry::Snapshot after = telemetry::snapshot();
+    for (std::size_t i = 0; i < telemetry::kPhaseCount; ++i) {
+      const std::uint64_t spans =
+          after.phases[i].spans - telemetry_before.phases[i].spans;
+      if (spans == 0) continue;
+      stats.phases.push_back(PhaseBreakdown{
+          telemetry::phase_name(static_cast<telemetry::Phase>(i)), spans,
+          static_cast<double>(after.phases[i].ns -
+                              telemetry_before.phases[i].ns) /
+              1e9});
+    }
+  }
   stats.wall_s =
       std::chrono::duration<double>(Clock::now() - run_start).count();
   return batch;
@@ -274,6 +336,8 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
 
 BatchResult BatchDriver::run_directory(const std::string& dir) {
   namespace fs = std::filesystem;
+  using Clock = std::chrono::steady_clock;
+  const auto dir_start = Clock::now();
   if (!fs::is_directory(dir)) {
     throw std::runtime_error("not a directory: " + dir);
   }
@@ -284,26 +348,35 @@ BatchResult BatchDriver::run_directory(const std::string& dir) {
   std::vector<FileReport> unreadable;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
     if (entry.path().extension() != ".pnc") continue;
+    const std::string path = entry.path().string();
+    PN_TRACE_SPAN_D(kIngest, path);
     std::string error;
-    auto buffer = MappedBuffer::open(entry.path().string(), mode, &error);
+    auto buffer = MappedBuffer::open(path, mode, &error);
     if (!buffer) {
       // Unreadable or non-regular: a per-file error record, never a
-      // silently-empty source and never a batch abort.
+      // silently-empty source and never a batch abort.  `error` carries
+      // the strerror(errno) detail from MappedBuffer::open.
       FileReport report;
-      report.file = entry.path().string();
+      report.file = path;
       report.ok = false;
       report.error = "read error: " + error;
+      PN_COUNTER_ADD(kReadErrors, 1);
+      PN_INSTANT("read_error", report.error);
       unreadable.push_back(std::move(report));
       continue;
     }
-    files.push_back(
-        SourceFile::mapped(entry.path().string(), std::move(buffer)));
+    files.push_back(SourceFile::mapped(path, std::move(buffer)));
   }
   std::sort(files.begin(), files.end(),
             [](const SourceFile& a, const SourceFile& b) {
               return a.name < b.name;
             });
+  // run() populates every BatchStats field (threads, wall, cache delta,
+  // per-worker steal slots, telemetry phases) even for an empty or
+  // error-only root — the stats of a degenerate directory run are never
+  // partially default-initialized.
   BatchResult batch = run(files);
+  batch.stats.read_errors = unreadable.size();
   if (!unreadable.empty()) {
     batch.stats.parse_errors += unreadable.size();
     for (FileReport& report : unreadable) {
@@ -315,6 +388,10 @@ BatchResult BatchDriver::run_directory(const std::string& dir) {
                      });
     batch.stats.files = batch.files.size();
   }
+  // For directory runs the wall clock covers ingestion too — mmap time
+  // is real time the caller waits for.
+  batch.stats.wall_s =
+      std::chrono::duration<double>(Clock::now() - dir_start).count();
   return batch;
 }
 
@@ -378,6 +455,7 @@ constexpr RuleInfo kRules[] = {
 }  // namespace
 
 std::string to_json(const BatchResult& batch) {
+  PN_TRACE_SPAN(kSerialize);
   std::ostringstream os;
   os << "{\n";
   os << "  \"tool\": \"pnc_analyze\",\n";
@@ -418,6 +496,7 @@ std::string to_json(const BatchResult& batch) {
 }
 
 std::string to_sarif(const BatchResult& batch) {
+  PN_TRACE_SPAN(kSerialize);
   std::ostringstream os;
   os << "{\n";
   os << "  \"$schema\": "

@@ -151,16 +151,36 @@ struct Finding {
   Diagnostic diag;
 };
 
+/// Per-phase telemetry aggregate for one run (delta of the global
+/// telemetry counters across the run; empty when telemetry is disabled
+/// or compiled out).
+struct PhaseBreakdown {
+  std::string phase;      ///< telemetry phase name ("lex", "parse", ...)
+  std::size_t spans = 0;  ///< spans recorded in this run
+  double total_s = 0;     ///< summed span time (cpu across threads)
+};
+
 /// Observability for one BatchDriver::run call.
 struct BatchStats {
   std::size_t files = 0;
   std::size_t parse_errors = 0;  ///< files with ok == false (parse or load)
+  std::size_t read_errors = 0;   ///< subset of parse_errors: ingestion
+                                 ///< failures from the directory walk
   std::size_t findings = 0;  ///< errors + warnings across the batch
   std::size_t threads = 1;
   std::size_t steals = 0;  ///< files executed by a non-owner worker
+  /// Per-worker steal counts (size == threads) — the work-stealing
+  /// deal's balance, flushed live by the scheduler rather than
+  /// aggregated at shutdown, so it is populated on every path
+  /// (including empty and error-only directory runs).
+  std::vector<std::size_t> per_worker_steals;
   double wall_s = 0;          ///< end-to-end wall time of the run
+                              ///< (run_directory includes ingestion)
   PhaseTimings phase_totals;  ///< summed across files (cpu, not wall)
   CacheStats cache;           ///< delta for this run
+  /// Telemetry per-phase breakdown for this run, in pipeline order.
+  /// Filled only while telemetry::enabled(); see telemetry.h.
+  std::vector<PhaseBreakdown> phases;
   /// Frontend allocation profile summed over files analyzed this run
   /// (cache hits and parse errors excluded): arena-backed AST nodes and
   /// bytes.  With the arena these are bump allocations, not mallocs.

@@ -7,6 +7,7 @@
 #include "analysis/checkers.h"
 #include "analysis/sema.h"
 #include "analysis/taint.h"
+#include "analysis/telemetry.h"
 #include "analysis/token.h"
 
 namespace pnlab::analysis {
@@ -95,6 +96,7 @@ std::string trimmed(const std::string& line) {
 }  // namespace
 
 FixResult fix(const std::string& source) {
+  PN_TRACE_SPAN(kFixer);
   // The fixer's AST is local to this call; SiteInfo/FixResult carry owned
   // strings only, so nothing outlives the context.
   AstContext ast;

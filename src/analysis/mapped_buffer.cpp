@@ -93,15 +93,24 @@ std::shared_ptr<const MappedBuffer> MappedBuffer::open(const std::string& path,
     return nullptr;
   }
 #endif
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    set_error(error, path, "cannot open");
+    // Carry the errno detail ("No such file or directory", ...) so the
+    // per-file report in the directory walk says *why*, matching the
+    // mmap path above.
+    const int err = errno;
+    set_error(error, path,
+              err != 0 ? std::strerror(err) : "cannot open");
     return nullptr;
   }
   std::ostringstream contents;
   contents << in.rdbuf();
   if (in.bad()) {
-    set_error(error, path, "read error");
+    const int err = errno;
+    set_error(error, path,
+              std::string("read error") +
+                  (err != 0 ? std::string(": ") + std::strerror(err) : ""));
     return nullptr;
   }
   buf->fallback_ = std::move(contents).str();

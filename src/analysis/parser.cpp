@@ -8,6 +8,7 @@
 #include <cassert>
 
 #include "analysis/ast.h"
+#include "analysis/telemetry.h"
 #include "analysis/token.h"
 
 namespace pnlab::analysis {
@@ -639,7 +640,13 @@ class Parser {
 }  // namespace
 
 Program parse(std::string_view source, AstContext& ctx) {
-  Parser parser(tokenize(source, ctx), ctx);
+  PN_TRACE_SPAN(kParse);  // encloses the lex span below
+  std::vector<Token> tokens;
+  {
+    PN_TRACE_SPAN(kLex);
+    tokens = tokenize(source, ctx);
+  }
+  Parser parser(std::move(tokens), ctx);
   return parser.parse_program();
 }
 

@@ -1,11 +1,13 @@
 #include "analysis/scheduler.h"
 
 #include <algorithm>
-#include <atomic>
 #include <deque>
 #include <mutex>
 #include <numeric>
+#include <string>
 #include <thread>
+
+#include "analysis/telemetry.h"
 
 namespace pnlab::analysis {
 
@@ -18,6 +20,13 @@ struct alignas(64) WorkerQueue {
   std::deque<std::size_t> items;
 };
 
+// Per-worker steal slot, padded for the same reason: each worker bumps
+// its own count as steals happen so the aggregate is live, not
+// assembled at join time.
+struct alignas(64) StealSlot {
+  std::size_t count = 0;
+};
+
 }  // namespace
 
 StealStats parallel_for_weighted(
@@ -28,7 +37,11 @@ StealStats parallel_for_weighted(
 
   if (threads <= 1 || count <= 1) {
     stats.threads = 1;
-    for (std::size_t item = 0; item < count; ++item) fn(item, 0);
+    stats.per_worker_steals.assign(1, 0);
+    for (std::size_t item = 0; item < count; ++item) {
+      PN_TRACE_SPAN(kTask);
+      fn(item, 0);
+    }
     return stats;
   }
 
@@ -50,13 +63,17 @@ StealStats parallel_for_weighted(
     queues[k % workers].items.push_back(order[k]);
   }
 
-  std::atomic<std::size_t> steals{0};
+  std::vector<StealSlot> steal_slots(workers);
 
   const auto worker_main = [&](std::size_t me) {
-    std::size_t my_steals = 0;
+    if (telemetry::enabled()) {
+      // Names this worker's track in the Chrome trace; the kTask spans
+      // below are its busy timeline (gaps between them are idle time).
+      telemetry::set_thread_label("worker-" + std::to_string(me));
+    }
     for (;;) {
       std::size_t item = count;  // sentinel: nothing found
-      bool stolen = false;
+      std::size_t victim = me;
       // Own queue first (front: the heaviest work dealt to us)…
       {
         std::lock_guard<std::mutex> lock(queues[me].mu);
@@ -69,20 +86,27 @@ StealStats parallel_for_weighted(
       // victim's lightest pending item, minimising disruption).
       if (item == count) {
         for (std::size_t d = 1; d < workers && item == count; ++d) {
-          WorkerQueue& victim = queues[(me + d) % workers];
-          std::lock_guard<std::mutex> lock(victim.mu);
-          if (!victim.items.empty()) {
-            item = victim.items.back();
-            victim.items.pop_back();
-            stolen = true;
+          WorkerQueue& v = queues[(me + d) % workers];
+          std::lock_guard<std::mutex> lock(v.mu);
+          if (!v.items.empty()) {
+            item = v.items.back();
+            v.items.pop_back();
+            victim = (me + d) % workers;
           }
         }
       }
       if (item == count) break;  // full sweep empty: all work is claimed
-      if (stolen) ++my_steals;
+      if (victim != me) {
+        // Flushed per steal into this worker's own padded slot — the
+        // caller never waits for a shutdown-time aggregation.
+        ++steal_slots[me].count;
+        PN_COUNTER_ADD(kSteals, 1);
+        PN_INSTANT("steal", "item=" + std::to_string(item) +
+                                " victim=worker-" + std::to_string(victim));
+      }
+      PN_TRACE_SPAN(kTask);
       fn(item, me);
     }
-    steals.fetch_add(my_steals, std::memory_order_relaxed);
   };
 
   std::vector<std::thread> pool;
@@ -93,7 +117,11 @@ StealStats parallel_for_weighted(
   worker_main(0);
   for (auto& t : pool) t.join();
 
-  stats.steals = steals.load(std::memory_order_relaxed);
+  stats.per_worker_steals.resize(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    stats.per_worker_steals[w] = steal_slots[w].count;
+    stats.steals += steal_slots[w].count;
+  }
   return stats;
 }
 

@@ -21,6 +21,10 @@ namespace pnlab::analysis {
 struct StealStats {
   std::size_t threads = 0;
   std::size_t steals = 0;  ///< items executed by a non-owner worker
+  /// Per-worker steal counts (size == threads).  Each slot is written
+  /// by its owning worker as steals happen — not batched to shutdown —
+  /// so a caller that aggregates early still sees a coherent snapshot.
+  std::vector<std::size_t> per_worker_steals;
 };
 
 /// Runs fn(item, worker) for every item in [0, weights.size()) across

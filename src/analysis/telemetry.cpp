@@ -1,0 +1,445 @@
+#include "analysis/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace pnlab::analysis::telemetry {
+
+namespace {
+
+constexpr const char* kPhaseNames[kPhaseCount] = {
+    "ingest",
+    "lex",
+    "parse",
+    "sema",
+    "taint_fixpoint",
+    "check_bounds_taint",
+    "check_alignment",
+    "check_reuse_sanitize",
+    "check_missing_release",
+    "interproc_taint",
+    "checkers",
+    "fixer",
+    "serialize",
+    "analyze",
+    "task",
+};
+
+constexpr const char* kCounterNames[kCounterCount] = {
+    "files_analyzed",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "steals",
+    "arena_bytes",
+    "ast_nodes",
+    "read_errors",
+    "parse_errors",
+    "trace_events_dropped",
+};
+
+constexpr const char* kHistogramNames[kHistogramCount] = {
+    "file_latency_ns",
+    "file_source_bytes",
+    "ast_nodes_per_file",
+};
+
+std::atomic<bool> g_enabled{false};
+
+/// Process-global aggregates.  Relaxed atomics: these are statistics,
+/// not synchronization; snapshot() tolerates being a few events behind
+/// a concurrently-recording thread.
+struct Aggregates {
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> phase_ns{};
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> phase_spans{};
+  std::array<std::atomic<std::uint64_t>, kCounterCount> counters{};
+  struct Histo {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Histo, kHistogramCount> histograms{};
+};
+
+Aggregates& aggregates() {
+  static Aggregates a;
+  return a;
+}
+
+/// One thread's event ring.  Owner pushes under `mu` (uncontended in
+/// steady state — exporters only read after a run), exporters copy
+/// under the same lock.  A full ring overwrites its oldest event and
+/// bumps kTraceEventsDropped so truncation is visible, never silent.
+struct ThreadRing {
+  static constexpr std::size_t kCapacity = 1u << 14;  // 16384 events
+
+  int tid = 0;
+  std::string label;
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::size_t next = 0;  ///< overwrite cursor once wrapped
+  bool wrapped = false;
+
+  void push(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < kCapacity) {
+      events.push_back(std::move(event));
+    } else {
+      events[next] = std::move(event);
+      next = (next + 1) % kCapacity;
+      wrapped = true;
+      aggregates()
+          .counters[static_cast<std::size_t>(Counter::kTraceEventsDropped)]
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu);
+    events.clear();
+    next = 0;
+    wrapped = false;
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;  ///< outlive their threads
+  std::atomic<int> next_tid{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+ThreadRing& this_thread_ring() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    Registry& reg = registry();
+    r->tid = reg.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+double to_s(std::uint64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  const auto i = static_cast<std::size_t>(phase);
+  return i < kPhaseCount ? kPhaseNames[i] : "?";
+}
+
+const char* counter_name(Counter counter) {
+  const auto i = static_cast<std::size_t>(counter);
+  return i < kCounterCount ? kCounterNames[i] : "?";
+}
+
+const char* histogram_name(Histogram histogram) {
+  const auto i = static_cast<std::size_t>(histogram);
+  return i < kHistogramCount ? kHistogramNames[i] : "?";
+}
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t histogram_bucket_le(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~0ull;
+  return (1ull << bucket) - 1;
+}
+
+bool compiled_in() { return PNLAB_TELEMETRY != 0; }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  if (!compiled_in()) return;  // the OFF build has nothing to enable
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  Aggregates& agg = aggregates();
+  for (auto& a : agg.phase_ns) a.store(0, std::memory_order_relaxed);
+  for (auto& a : agg.phase_spans) a.store(0, std::memory_order_relaxed);
+  for (auto& a : agg.counters) a.store(0, std::memory_order_relaxed);
+  for (auto& h : agg.histograms) {
+    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& ring : reg.rings) ring->clear();
+}
+
+std::uint64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           origin)
+          .count());
+}
+
+void record_span(Phase phase, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::string_view detail) {
+  if (!enabled()) return;
+  const auto i = static_cast<std::size_t>(phase);
+  if (i >= kPhaseCount) return;
+  const std::uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+  Aggregates& agg = aggregates();
+  agg.phase_ns[i].fetch_add(dur, std::memory_order_relaxed);
+  agg.phase_spans[i].fetch_add(1, std::memory_order_relaxed);
+  ThreadRing& ring = this_thread_ring();
+  ring.push(TraceEvent{kPhaseNames[i], 'X', start_ns, dur, ring.tid,
+                       std::string(detail)});
+}
+
+void instant(const char* name, std::string_view detail) {
+  if (!enabled()) return;
+  ThreadRing& ring = this_thread_ring();
+  ring.push(
+      TraceEvent{name, 'i', now_ns(), 0, ring.tid, std::string(detail)});
+}
+
+void counter_add(Counter counter, std::uint64_t delta) {
+  if (!enabled()) return;
+  const auto i = static_cast<std::size_t>(counter);
+  if (i >= kCounterCount) return;
+  aggregates().counters[i].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void histogram_record(Histogram histogram, std::uint64_t value) {
+  if (!enabled()) return;
+  const auto i = static_cast<std::size_t>(histogram);
+  if (i >= kHistogramCount) return;
+  auto& h = aggregates().histograms[i];
+  h.buckets[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+void set_thread_label(std::string label) {
+  ThreadRing& ring = this_thread_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.label = std::move(label);
+}
+
+Snapshot snapshot() {
+  Snapshot snap;
+  const Aggregates& agg = aggregates();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    snap.phases[i].spans = agg.phase_spans[i].load(std::memory_order_relaxed);
+    snap.phases[i].ns = agg.phase_ns[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    snap.counters[i] = agg.counters[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    auto& h = agg.histograms[i];
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      snap.histograms[i].buckets[b] = h.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.histograms[i].count = h.count.load(std::memory_order_relaxed);
+    snap.histograms[i].sum = h.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+std::vector<TraceEvent> collect_events() {
+  std::vector<TraceEvent> out;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> reg_lock(reg.mu);
+  for (auto& ring : reg.rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    if (ring->wrapped) {
+      // Chronological: the cursor points at the oldest surviving event.
+      out.insert(out.end(), ring->events.begin() + ring->next,
+                 ring->events.end());
+      out.insert(out.end(), ring->events.begin(),
+                 ring->events.begin() + ring->next);
+    } else {
+      out.insert(out.end(), ring->events.begin(), ring->events.end());
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json() {
+  std::vector<TraceEvent> events = collect_events();
+  // Perfetto sorts internally, but a sorted file diffs and debugs
+  // better; longer spans first at equal timestamps so parents precede
+  // their children.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.dur_ns > b.dur_ns;
+                   });
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"name\": \"pnc_analyze\"}}";
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> reg_lock(reg.mu);
+    for (auto& ring : reg.rings) {
+      std::lock_guard<std::mutex> lock(ring->mu);
+      if (ring->label.empty()) continue;
+      os << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": "
+         << ring->tid << ", \"args\": {\"name\": \""
+         << json_escape(ring->label) << "\"}}";
+    }
+  }
+  for (const TraceEvent& e : events) {
+    os << ",\n  {\"name\": \"" << json_escape(e.name)
+       << "\", \"cat\": \"pnc\", \"ph\": \"" << e.type
+       << "\", \"pid\": 1, \"tid\": " << e.tid << ", \"ts\": "
+       << to_us(e.ts_ns);
+    if (e.type == 'X') {
+      os << ", \"dur\": " << to_us(e.dur_ns);
+    } else if (e.type == 'i') {
+      os << ", \"s\": \"t\"";  // thread-scoped instant
+    }
+    if (!e.detail.empty()) {
+      os << ", \"args\": {\"detail\": \"" << json_escape(e.detail) << "\"}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string prometheus_text() {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(9);
+
+  os << "# HELP pnc_phase_seconds_total Wall seconds spent inside each "
+        "pipeline phase (summed across threads).\n";
+  os << "# TYPE pnc_phase_seconds_total counter\n";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    os << "pnc_phase_seconds_total{phase=\"" << kPhaseNames[i] << "\"} "
+       << to_s(snap.phases[i].ns) << "\n";
+  }
+  os << "# HELP pnc_phase_spans_total Spans recorded per pipeline phase.\n";
+  os << "# TYPE pnc_phase_spans_total counter\n";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    os << "pnc_phase_spans_total{phase=\"" << kPhaseNames[i] << "\"} "
+       << snap.phases[i].spans << "\n";
+  }
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    os << "# TYPE pnc_" << kCounterNames[i] << "_total counter\n";
+    os << "pnc_" << kCounterNames[i] << "_total " << snap.counters[i]
+       << "\n";
+  }
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    os << "# TYPE pnc_" << kHistogramNames[i] << " histogram\n";
+    std::uint64_t cumulative = 0;
+    std::size_t highest = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] != 0) highest = b;
+    }
+    for (std::size_t b = 0; b <= highest; ++b) {
+      cumulative += h.buckets[b];
+      os << "pnc_" << kHistogramNames[i] << "_bucket{le=\""
+         << histogram_bucket_le(b) << "\"} " << cumulative << "\n";
+    }
+    os << "pnc_" << kHistogramNames[i] << "_bucket{le=\"+Inf\"} " << h.count
+       << "\n";
+    os << "pnc_" << kHistogramNames[i] << "_sum " << h.sum << "\n";
+    os << "pnc_" << kHistogramNames[i] << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string run_profile_json() {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"pnc\",\n";
+  os << "  \"telemetry_compiled\": " << (compiled_in() ? "true" : "false")
+     << ",\n";
+  os << "  \"phases\": {";
+  bool first = true;
+  os << std::fixed << std::setprecision(6);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (snap.phases[i].spans == 0) continue;
+    os << (first ? "" : ",") << "\n    \"" << kPhaseNames[i]
+       << "\": {\"spans\": " << snap.phases[i].spans << ", \"total_s\": "
+       << to_s(snap.phases[i].ns) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"counters\": {";
+  first = true;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (snap.counters[i] == 0) continue;
+    os << (first ? "" : ",") << "\n    \"" << kCounterNames[i]
+       << "\": " << snap.counters[i];
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"histograms\": {";
+  first = true;
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    if (h.count == 0) continue;
+    os << (first ? "" : ",") << "\n    \"" << kHistogramNames[i]
+       << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      os << (first_bucket ? "" : ", ") << "{\"le\": "
+         << histogram_bucket_le(b) << ", \"n\": " << h.buckets[b] << "}";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace pnlab::analysis::telemetry

@@ -1,0 +1,248 @@
+// Low-overhead observability for the analyzer pipeline and batch driver.
+//
+// The ROADMAP's production-scale north star is unreachable blind: the
+// committed BENCH_*.json numbers say how fast a run was end to end, but
+// not *where* the time went — lexing?  the checker fixpoint?  an
+// unbalanced work-stealing deal?  (Khedker's buffer-overflow interval
+// analyses motivate exactly this per-pass accounting at corpus scale.)
+// This layer answers those questions with three primitives:
+//
+//   * RAII **spans** (`PN_TRACE_SPAN(kParse)`) timed on the steady
+//     clock and recorded into per-thread ring buffers, so tracing never
+//     takes a cross-thread lock on the hot path and never grows
+//     unboundedly — a full ring overwrites its oldest events (the drop
+//     count is surfaced, never silent);
+//   * **counters** and **log2-bucket histograms** (files analyzed,
+//     cache hits/misses/evictions, steals, arena bytes, AST nodes,
+//     per-file latency) aggregated into process-global relaxed atomics;
+//   * three **exporters**: Chrome trace-event JSON (loadable in
+//     Perfetto / chrome://tracing, with per-worker tracks, span
+//     nesting, and instant events for steals, cache evictions, and
+//     read errors), a Prometheus-style text exposition, and a compact
+//     run_profile.json.
+//
+// Cost model, in increasing order of spend:
+//   1. compiled out (-DPN_TELEMETRY=OFF): every PN_* macro expands to
+//      `(void)0` — literally zero code at the call site;
+//   2. compiled in, disabled (the default at runtime): one relaxed
+//      atomic load per macro;
+//   3. enabled (--trace / --metrics / --profile): a steady_clock read
+//      on span entry and a clock read + ring push + two relaxed
+//      fetch_adds on span exit.
+//
+// Recording never changes analysis results: JSON/SARIF output is
+// byte-identical with telemetry on and off (asserted by tests at
+// 1/2/8 threads).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef PNLAB_TELEMETRY
+#define PNLAB_TELEMETRY 1  // compiled in unless the build says otherwise
+#endif
+
+namespace pnlab::analysis::telemetry {
+
+/// Every instrumented pipeline phase and scheduler state.  Spans are
+/// keyed by this enum (not by string) so per-phase aggregation is two
+/// array indexes, not a hash lookup.
+enum class Phase : std::uint8_t {
+  kIngest,         ///< MappedBuffer::open during the directory walk
+  kLex,            ///< tokenize(), inside parse()
+  kParse,          ///< recursive-descent parse (encloses kLex)
+  kSema,           ///< TypeTable construction
+  kTaintFixpoint,  ///< interprocedural global-taint fixpoint rounds
+  kCheckBoundsTaint,     ///< PN001-PN004 per placement site
+  kCheckAlignment,       ///< PN007
+  kCheckReuseSanitize,   ///< PN005 event scan
+  kCheckMissingRelease,  ///< PN006
+  kInterprocTaint,       ///< parameter-summary pass (PN003 cross-call)
+  kCheckers,       ///< run_checkers total (encloses the five above)
+  kFixer,          ///< the §5.1 auto-remediation pass
+  kSerialize,      ///< to_json / to_sarif rendering
+  kAnalyze,        ///< one file end to end (driver work item)
+  kTask,           ///< scheduler: one work item on a worker (busy time)
+  kCount
+};
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+const char* phase_name(Phase phase);
+
+enum class Counter : std::uint8_t {
+  kFilesAnalyzed,
+  kCacheHits,
+  kCacheMisses,
+  kCacheEvictions,
+  kSteals,
+  kArenaBytes,
+  kAstNodes,
+  kReadErrors,
+  kParseErrors,
+  kTraceEventsDropped,  ///< ring-buffer overwrites (capacity, not errors)
+  kCount
+};
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+const char* counter_name(Counter counter);
+
+enum class Histogram : std::uint8_t {
+  kFileLatencyNs,    ///< end-to-end analyze() time per file
+  kFileSourceBytes,  ///< source size per analyzed file
+  kAstNodesPerFile,
+  kCount
+};
+inline constexpr std::size_t kHistogramCount =
+    static_cast<std::size_t>(Histogram::kCount);
+const char* histogram_name(Histogram histogram);
+
+/// Log2 buckets: bucket i holds values whose bit width is i, i.e. value
+/// 0 lands in bucket 0 and value v > 0 in bucket floor(log2(v)) + 1, so
+/// bucket i > 0 covers [2^(i-1), 2^i - 1] and an exact power of two
+/// 2^k sits at the *bottom* of bucket k+1.  65 buckets cover uint64.
+inline constexpr std::size_t kHistogramBuckets = 65;
+std::size_t histogram_bucket(std::uint64_t value);
+/// Inclusive upper bound of @p bucket (2^bucket - 1; bucket 0 -> 0).
+std::uint64_t histogram_bucket_le(std::size_t bucket);
+
+/// True when the layer was compiled in (-DPN_TELEMETRY=ON).
+bool compiled_in();
+/// Runtime master switch.  Off by default; every recording primitive is
+/// a no-op while off.  set_enabled(true) is itself a no-op when the
+/// layer is compiled out.
+bool enabled();
+void set_enabled(bool on);
+/// Clears all rings, counters, histograms, and phase aggregates (thread
+/// registrations and labels survive).
+void reset();
+
+/// Nanoseconds on the steady clock since the process's first telemetry
+/// use — the common timebase of every span and instant.
+std::uint64_t now_ns();
+
+/// One recorded event, as stored in the per-thread rings and consumed
+/// by the exporters (exposed for tests).
+struct TraceEvent {
+  const char* name = "";      ///< phase name, or the instant's own name
+  char type = 'X';            ///< 'X' complete span, 'i' instant
+  std::uint64_t ts_ns = 0;    ///< start time (now_ns timebase)
+  std::uint64_t dur_ns = 0;   ///< 0 for instants
+  int tid = 0;                ///< dense telemetry thread id
+  std::string detail;         ///< optional args.detail (e.g. file path)
+};
+
+/// Recording primitives.  All of them are safe to call from any thread
+/// and do nothing unless enabled().
+void record_span(Phase phase, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::string_view detail = {});
+void instant(const char* name, std::string_view detail = {});
+void counter_add(Counter counter, std::uint64_t delta);
+void histogram_record(Histogram histogram, std::uint64_t value);
+/// Names the calling thread's track in the Chrome trace ("worker-3").
+void set_thread_label(std::string label);
+
+/// RAII span: captures the clock on construction when enabled, records
+/// on destruction.  `detail` is viewed, not copied, until the span
+/// closes — pass storage that outlives the span (file names do).
+class Span {
+ public:
+  explicit Span(Phase phase) : phase_(phase), active_(enabled()) {
+    if (active_) start_ = now_ns();
+  }
+  Span(Phase phase, std::string_view detail) : Span(phase) {
+    detail_ = detail;
+  }
+  ~Span() {
+    if (active_) record_span(phase_, start_, now_ns(), detail_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Phase phase_;
+  bool active_;
+  std::uint64_t start_ = 0;
+  std::string_view detail_;
+};
+
+/// Point-in-time copy of every aggregate.  Two snapshots subtract to a
+/// per-run delta (BatchStats does exactly that).
+struct PhaseAggregate {
+  std::uint64_t spans = 0;
+  std::uint64_t ns = 0;
+};
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+struct Snapshot {
+  std::array<PhaseAggregate, kPhaseCount> phases{};
+  std::array<std::uint64_t, kCounterCount> counters{};
+  std::array<HistogramSnapshot, kHistogramCount> histograms{};
+};
+Snapshot snapshot();
+
+/// Chronological copy of every thread's ring (exposed for tests; the
+/// Chrome exporter is built on it).
+std::vector<TraceEvent> collect_events();
+
+/// Chrome trace-event JSON ("traceEvents" array with pid/tid, 'X'
+/// complete spans, 'i' instants, and thread_name metadata) — load in
+/// Perfetto or chrome://tracing.
+std::string chrome_trace_json();
+/// Prometheus-style text exposition: pnc_phase_seconds_total{phase=..},
+/// pnc_*_total counters, and cumulative log2 _bucket histograms.
+std::string prometheus_text();
+/// Compact machine-readable per-run profile (phases, counters,
+/// non-empty histogram buckets).
+std::string run_profile_json();
+
+}  // namespace pnlab::analysis::telemetry
+
+// ---------------------------------------------------------------------------
+// Macro surface.  Call sites name Phase/Counter/Histogram enumerators
+// bare (PN_TRACE_SPAN(kParse)).  With PN_TELEMETRY=OFF every macro
+// compiles to nothing, so hot paths carry no trace of the layer.
+
+#if PNLAB_TELEMETRY
+
+#define PN_TELEMETRY_CAT_(a, b) a##b
+#define PN_TELEMETRY_CAT(a, b) PN_TELEMETRY_CAT_(a, b)
+
+/// Times the enclosing scope as @p phase.
+#define PN_TRACE_SPAN(phase)                                    \
+  ::pnlab::analysis::telemetry::Span PN_TELEMETRY_CAT(          \
+      pn_trace_span_, __LINE__)(::pnlab::analysis::telemetry::Phase::phase)
+/// Same, with a detail string (viewed; must outlive the scope).
+#define PN_TRACE_SPAN_D(phase, detail)                          \
+  ::pnlab::analysis::telemetry::Span PN_TELEMETRY_CAT(          \
+      pn_trace_span_, __LINE__)(                                \
+      ::pnlab::analysis::telemetry::Phase::phase, (detail))
+#define PN_COUNTER_ADD(counter, delta)           \
+  ::pnlab::analysis::telemetry::counter_add(     \
+      ::pnlab::analysis::telemetry::Counter::counter, (delta))
+#define PN_HISTOGRAM_RECORD(histogram, value)        \
+  ::pnlab::analysis::telemetry::histogram_record(    \
+      ::pnlab::analysis::telemetry::Histogram::histogram, (value))
+/// Instant event; `detail` is only evaluated when telemetry is enabled,
+/// so building the string costs nothing in the common disabled case.
+#define PN_INSTANT(name, detail)                              \
+  do {                                                        \
+    if (::pnlab::analysis::telemetry::enabled()) {            \
+      ::pnlab::analysis::telemetry::instant((name), (detail)); \
+    }                                                         \
+  } while (0)
+
+#else  // !PNLAB_TELEMETRY
+
+#define PN_TRACE_SPAN(phase) static_cast<void>(0)
+#define PN_TRACE_SPAN_D(phase, detail) static_cast<void>(0)
+#define PN_COUNTER_ADD(counter, delta) static_cast<void>(0)
+#define PN_HISTOGRAM_RECORD(histogram, value) static_cast<void>(0)
+#define PN_INSTANT(name, detail) static_cast<void>(0)
+
+#endif  // PNLAB_TELEMETRY

@@ -1,0 +1,412 @@
+// Tests for the telemetry layer (src/analysis/telemetry.h): span
+// nesting across threads, histogram bucket boundaries at exact powers
+// of two, exporter escaping of hostile file paths, ring-buffer
+// overwrite accounting, and the golden-diff guarantee that JSON/SARIF
+// batch output is byte-identical with tracing on and off at 1/2/8
+// threads.  Every recording test skips itself when the layer is
+// compiled out (-DPN_TELEMETRY=OFF) — the golden-diff tests still run
+// there, where the guarantee is trivially true.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/driver.h"
+#include "analysis/telemetry.h"
+
+namespace pnlab::analysis {
+namespace {
+
+namespace tel = telemetry;
+
+/// Guard that turns recording on for one test and restores the
+/// disabled default even on assertion failure.
+struct ScopedTelemetry {
+  ScopedTelemetry() {
+    tel::reset();
+    tel::set_enabled(true);
+  }
+  ~ScopedTelemetry() {
+    tel::set_enabled(false);
+    tel::reset();
+  }
+};
+
+std::vector<SourceFile> corpus_files() {
+  std::vector<SourceFile> files;
+  for (const auto& c : corpus::analyzer_corpus()) {
+    files.push_back({c.id + ".pnc", c.source});
+  }
+  return files;
+}
+
+TEST(TelemetryTest, CompiledInMatchesBuildMacro) {
+  EXPECT_EQ(tel::compiled_in(), PNLAB_TELEMETRY != 0);
+#if !PNLAB_TELEMETRY
+  // With the layer compiled out the runtime switch must refuse to turn
+  // on — recording primitives stay no-ops.
+  tel::set_enabled(true);
+  EXPECT_FALSE(tel::enabled());
+#endif
+}
+
+TEST(TelemetryTest, DisabledRecordsNothing) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  tel::reset();
+  ASSERT_FALSE(tel::enabled());
+  const tel::Snapshot before = tel::snapshot();
+
+  {
+    tel::Span span(tel::Phase::kParse);
+  }
+  tel::instant("noop");
+  tel::counter_add(tel::Counter::kSteals, 7);
+  tel::histogram_record(tel::Histogram::kFileLatencyNs, 1234);
+
+  const tel::Snapshot after = tel::snapshot();
+  EXPECT_EQ(after.phases[static_cast<std::size_t>(tel::Phase::kParse)].spans,
+            before.phases[static_cast<std::size_t>(tel::Phase::kParse)].spans);
+  EXPECT_EQ(after.counters[static_cast<std::size_t>(tel::Counter::kSteals)],
+            before.counters[static_cast<std::size_t>(tel::Counter::kSteals)]);
+  EXPECT_EQ(
+      after.histograms[static_cast<std::size_t>(tel::Histogram::kFileLatencyNs)]
+          .count,
+      before
+          .histograms[static_cast<std::size_t>(tel::Histogram::kFileLatencyNs)]
+          .count);
+  EXPECT_TRUE(tel::collect_events().empty());
+}
+
+TEST(TelemetryTest, ResetClearsEverything) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  {
+    ScopedTelemetry scope;
+    { tel::Span span(tel::Phase::kLex); }
+    tel::counter_add(tel::Counter::kCacheHits, 3);
+    tel::histogram_record(tel::Histogram::kAstNodesPerFile, 42);
+    EXPECT_FALSE(tel::collect_events().empty());
+    tel::reset();
+    const tel::Snapshot s = tel::snapshot();
+    EXPECT_EQ(s.phases[static_cast<std::size_t>(tel::Phase::kLex)].spans, 0u);
+    EXPECT_EQ(s.counters[static_cast<std::size_t>(tel::Counter::kCacheHits)],
+              0u);
+    EXPECT_EQ(
+        s.histograms[static_cast<std::size_t>(tel::Histogram::kAstNodesPerFile)]
+            .count,
+        0u);
+    EXPECT_TRUE(tel::collect_events().empty());
+  }
+}
+
+// The satellite-spec case: spans recorded on distinct threads land on
+// distinct tids, nest correctly within their own thread's timeline, and
+// aggregate into the shared phase totals.
+TEST(TelemetryTest, SpanNestingAcrossThreads) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  ScopedTelemetry scope;
+
+  constexpr int kThreads = 2;
+  auto worker = [] {
+    tel::Span outer(tel::Phase::kAnalyze);
+    {
+      tel::Span mid(tel::Phase::kParse);
+      { tel::Span inner(tel::Phase::kLex); }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  const std::vector<tel::TraceEvent> events = tel::collect_events();
+  // Three spans per thread, and the two workers must be on different
+  // tids (each thread owns its own ring).
+  std::vector<int> tids;
+  for (const auto& e : events) {
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  EXPECT_EQ(events.size(), 3u * kThreads);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+
+  // Per tid: lex nests inside parse nests inside analyze.  Spans are
+  // recorded at close, so containment is the invariant, not order.
+  for (int tid : tids) {
+    const tel::TraceEvent* analyze = nullptr;
+    const tel::TraceEvent* parse = nullptr;
+    const tel::TraceEvent* lex = nullptr;
+    for (const auto& e : events) {
+      if (e.tid != tid) continue;
+      const std::string name = e.name;
+      if (name == "analyze") analyze = &e;
+      if (name == "parse") parse = &e;
+      if (name == "lex") lex = &e;
+    }
+    ASSERT_NE(analyze, nullptr);
+    ASSERT_NE(parse, nullptr);
+    ASSERT_NE(lex, nullptr);
+    EXPECT_GE(parse->ts_ns, analyze->ts_ns);
+    EXPECT_LE(parse->ts_ns + parse->dur_ns, analyze->ts_ns + analyze->dur_ns);
+    EXPECT_GE(lex->ts_ns, parse->ts_ns);
+    EXPECT_LE(lex->ts_ns + lex->dur_ns, parse->ts_ns + parse->dur_ns);
+  }
+
+  const tel::Snapshot s = tel::snapshot();
+  EXPECT_EQ(s.phases[static_cast<std::size_t>(tel::Phase::kAnalyze)].spans,
+            static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(s.phases[static_cast<std::size_t>(tel::Phase::kLex)].spans,
+            static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(TelemetryTest, CountersSumAcrossThreads) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  ScopedTelemetry scope;
+  constexpr std::uint64_t kPerThread = 1000;
+  auto bump = [] {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      tel::counter_add(tel::Counter::kFilesAnalyzed, 1);
+    }
+  };
+  std::thread a(bump), b(bump);
+  a.join();
+  b.join();
+  const tel::Snapshot s = tel::snapshot();
+  EXPECT_EQ(
+      s.counters[static_cast<std::size_t>(tel::Counter::kFilesAnalyzed)],
+      2 * kPerThread);
+}
+
+// Bucket boundaries at exact powers of two: bucket i > 0 covers
+// [2^(i-1), 2^i - 1], so 2^k sits at the *bottom* of bucket k+1 and
+// 2^k - 1 at the top of bucket k.  Value 0 is bucket 0.
+TEST(TelemetryTest, HistogramBucketBoundariesAtPowersOfTwo) {
+  EXPECT_EQ(tel::histogram_bucket(0), 0u);
+  EXPECT_EQ(tel::histogram_bucket(1), 1u);  // 2^0
+  for (std::size_t k = 1; k < 64; ++k) {
+    const std::uint64_t pow = std::uint64_t{1} << k;
+    EXPECT_EQ(tel::histogram_bucket(pow), k + 1) << "2^" << k;
+    EXPECT_EQ(tel::histogram_bucket(pow - 1), k) << "2^" << k << " - 1";
+    EXPECT_EQ(tel::histogram_bucket(pow + 1), k + 1) << "2^" << k << " + 1";
+  }
+  EXPECT_EQ(tel::histogram_bucket(UINT64_MAX), 64u);
+
+  // The exported le bound is the inclusive top of each bucket.
+  EXPECT_EQ(tel::histogram_bucket_le(0), 0u);
+  EXPECT_EQ(tel::histogram_bucket_le(1), 1u);
+  EXPECT_EQ(tel::histogram_bucket_le(4), 15u);
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 1023ull, 1024ull, 1025ull}) {
+    EXPECT_LE(v, tel::histogram_bucket_le(tel::histogram_bucket(v))) << v;
+  }
+}
+
+TEST(TelemetryTest, HistogramRecordsLandInExactBuckets) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  ScopedTelemetry scope;
+  const auto h = static_cast<std::size_t>(tel::Histogram::kFileSourceBytes);
+  tel::histogram_record(tel::Histogram::kFileSourceBytes, 0);     // bucket 0
+  tel::histogram_record(tel::Histogram::kFileSourceBytes, 1);     // bucket 1
+  tel::histogram_record(tel::Histogram::kFileSourceBytes, 2);     // bucket 2
+  tel::histogram_record(tel::Histogram::kFileSourceBytes, 3);     // bucket 2
+  tel::histogram_record(tel::Histogram::kFileSourceBytes, 4);     // bucket 3
+  tel::histogram_record(tel::Histogram::kFileSourceBytes, 1024);  // bucket 11
+  const tel::Snapshot s = tel::snapshot();
+  EXPECT_EQ(s.histograms[h].count, 6u);
+  EXPECT_EQ(s.histograms[h].sum, 0u + 1 + 2 + 3 + 4 + 1024);
+  EXPECT_EQ(s.histograms[h].buckets[0], 1u);
+  EXPECT_EQ(s.histograms[h].buckets[1], 1u);
+  EXPECT_EQ(s.histograms[h].buckets[2], 2u);
+  EXPECT_EQ(s.histograms[h].buckets[3], 1u);
+  EXPECT_EQ(s.histograms[h].buckets[11], 1u);
+}
+
+// File names with quotes and backslashes must come out of the Chrome
+// exporter escaped — a hostile path must never break the JSON.
+TEST(TelemetryTest, ExportersEscapeHostilePaths) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  ScopedTelemetry scope;
+  const std::string hostile = "dir\\sub/evil\"name\n.pnc";
+  {
+    tel::Span span(tel::Phase::kAnalyze, hostile);
+  }
+  tel::instant("read_error", hostile);
+
+  const std::string trace = tel::chrome_trace_json();
+  EXPECT_NE(trace.find("dir\\\\sub/evil\\\"name\\n.pnc"), std::string::npos)
+      << trace;
+  // The raw (unescaped) quote-then-newline sequence must not survive.
+  EXPECT_EQ(trace.find("evil\"name\n"), std::string::npos);
+  // Balanced braces/brackets as a cheap structural validity check.
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '{'),
+            std::count(trace.begin(), trace.end(), '}'));
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '['),
+            std::count(trace.begin(), trace.end(), ']'));
+
+  const std::string profile = tel::run_profile_json();
+  EXPECT_EQ(std::count(profile.begin(), profile.end(), '{'),
+            std::count(profile.begin(), profile.end(), '}'));
+
+  const std::string metrics = tel::prometheus_text();
+  EXPECT_NE(metrics.find("pnc_phase_seconds_total"), std::string::npos);
+  EXPECT_NE(metrics.find("pnc_files_analyzed_total"), std::string::npos);
+}
+
+// A full ring overwrites its oldest events and surfaces the loss in the
+// trace_events_dropped counter — truncation is never silent.
+TEST(TelemetryTest, RingOverwriteBumpsDropCounter) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  ScopedTelemetry scope;
+  constexpr std::size_t kRecorded = 20000;  // > ring capacity (16384)
+  for (std::size_t i = 0; i < kRecorded; ++i) tel::instant("wrap_probe");
+
+  std::size_t kept = 0;
+  for (const auto& e : tel::collect_events()) {
+    if (std::string(e.name) == "wrap_probe") ++kept;
+  }
+  const tel::Snapshot s = tel::snapshot();
+  const std::uint64_t dropped =
+      s.counters[static_cast<std::size_t>(tel::Counter::kTraceEventsDropped)];
+  EXPECT_LT(kept, kRecorded);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(kept + dropped, kRecorded);
+}
+
+// The central observability contract: recording must never change
+// analysis output.  JSON and SARIF renderings are byte-identical with
+// telemetry enabled vs. disabled, at 1, 2, and 8 worker threads.
+TEST(TelemetryGoldenTest, BatchOutputByteIdenticalTelemetryOnOff) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    auto run = [&](bool traced) {
+      if (traced) {
+        tel::reset();
+        tel::set_enabled(true);
+      }
+      DriverOptions options;
+      options.threads = threads;
+      options.use_cache = false;
+      BatchDriver driver(options);
+      const BatchResult batch = driver.run(corpus_files());
+      const std::string json = to_json(batch);
+      const std::string sarif = to_sarif(batch);
+      if (traced) {
+        tel::set_enabled(false);
+        tel::reset();
+      }
+      return std::make_pair(json, sarif);
+    };
+    const auto [json_off, sarif_off] = run(false);
+    const auto [json_on, sarif_on] = run(true);
+    EXPECT_EQ(json_off, json_on) << "threads=" << threads;
+    EXPECT_EQ(sarif_off, sarif_on) << "threads=" << threads;
+  }
+}
+
+// Satellite (a): BatchStats is fully populated on every run_directory
+// path, including an empty root — per-worker steal slots are flushed
+// live by the scheduler, never left default-initialized.
+TEST(TelemetryDriverTest, EmptyDirectoryStatsFullyPopulated) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "pn_tel_empty_dir";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  BatchDriver driver(DriverOptions{});
+  const BatchResult batch = driver.run_directory(root.string());
+  EXPECT_EQ(batch.stats.files, 0u);
+  EXPECT_GE(batch.stats.threads, 1u);
+  EXPECT_EQ(batch.stats.per_worker_steals.size(), batch.stats.threads);
+  EXPECT_EQ(batch.stats.read_errors, 0u);
+  EXPECT_GE(batch.stats.wall_s, 0.0);
+  fs::remove_all(root);
+}
+
+// Satellite (b): an unreadable file in a directory walk carries the OS
+// errno detail (strerror text), counts as a read error in BatchStats,
+// and — when tracing — emits a read_error instant.
+TEST(TelemetryDriverTest, ReadErrorCarriesErrnoDetail) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "pn_tel_read_err_dir";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  { std::ofstream(root / "good.pnc") << "fn main() { }\n"; }
+  // A dangling symlink: stat-able as a directory entry, unopenable.
+  std::error_code ec;
+  fs::create_symlink(root / "does_not_exist", root / "gone.pnc", ec);
+  if (ec) GTEST_SKIP() << "cannot create symlink: " << ec.message();
+
+  const bool traced = tel::compiled_in();
+  if (traced) {
+    tel::reset();
+    tel::set_enabled(true);
+  }
+  DriverOptions options;
+  options.mmap_ingestion = false;  // exercise the buffered-read errno path
+  BatchDriver driver(options);
+  const BatchResult batch = driver.run_directory(root.string());
+  if (traced) tel::set_enabled(false);
+
+  EXPECT_EQ(batch.stats.files, 2u);
+  EXPECT_EQ(batch.stats.read_errors, 1u);
+  const auto it = std::find_if(
+      batch.files.begin(), batch.files.end(),
+      [](const FileReport& f) { return !f.ok; });
+  ASSERT_NE(it, batch.files.end());
+  // The report must carry the strerror text, not a bare "read error".
+  EXPECT_NE(it->error.find("No such file or directory"), std::string::npos)
+      << it->error;
+
+  if (traced) {
+    bool saw_instant = false;
+    for (const auto& e : tel::collect_events()) {
+      if (e.type == 'i' && std::string(e.name) == "read_error") {
+        saw_instant = true;
+        EXPECT_NE(e.detail.find("No such file or directory"),
+                  std::string::npos);
+      }
+    }
+    EXPECT_TRUE(saw_instant);
+    tel::reset();
+  }
+  fs::remove_all(root);
+}
+
+// BatchStats.phases carries the per-run telemetry delta while enabled
+// and stays empty while disabled.
+TEST(TelemetryDriverTest, BatchStatsPhasesFollowEnableState) {
+  auto run_batch = [] {
+    DriverOptions options;
+    options.threads = 2;
+    options.use_cache = false;
+    BatchDriver driver(options);
+    return driver.run(corpus_files());
+  };
+
+  const BatchResult plain = run_batch();
+  EXPECT_TRUE(plain.stats.phases.empty());
+
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  tel::reset();
+  tel::set_enabled(true);
+  const BatchResult traced = run_batch();
+  tel::set_enabled(false);
+  tel::reset();
+
+  ASSERT_FALSE(traced.stats.phases.empty());
+  bool saw_parse = false;
+  for (const PhaseBreakdown& p : traced.stats.phases) {
+    EXPECT_GT(p.spans, 0u);
+    if (p.phase == "parse") {
+      saw_parse = true;
+      EXPECT_EQ(p.spans, corpus::analyzer_corpus().size());
+    }
+  }
+  EXPECT_TRUE(saw_parse);
+}
+
+}  // namespace
+}  // namespace pnlab::analysis

@@ -12,6 +12,14 @@
 //   --no-mmap                  force buffered-read ingestion (no mmap)
 //   --no-info                  drop Info-severity advisories
 //   --stats                    print run statistics to stderr
+//   --trace=FILE               write a Chrome trace-event JSON (load in
+//                              Perfetto / chrome://tracing)
+//   --metrics=FILE             write Prometheus-style metrics text
+//   --profile[=FILE]           write a compact per-phase run profile
+//                              (default run_profile.json)
+//
+// Telemetry flags never change analysis output: JSON/SARIF stay
+// byte-identical with and without --trace at any thread count.
 //
 // Exit status: 0 clean, 1 when the batch has findings or parse errors,
 // 2 on usage/IO errors — so `pnc_analyze --format=sarif src/` gates a
@@ -26,6 +34,7 @@
 
 #include "analysis/corpus.h"
 #include "analysis/driver.h"
+#include "analysis/telemetry.h"
 
 using namespace pnlab::analysis;
 
@@ -45,6 +54,11 @@ void print_usage(std::ostream& os, const char* argv0) {
         "mmap)\n"
         "  --no-info                 drop Info-severity advisories\n"
         "  --stats                   print run statistics to stderr\n"
+        "  --trace=FILE              write Chrome trace-event JSON "
+        "(Perfetto)\n"
+        "  --metrics=FILE            write Prometheus-style metrics text\n"
+        "  --profile[=FILE]          write per-phase run profile JSON "
+        "(default run_profile.json)\n"
         "  --help                    show this message\n";
 }
 
@@ -74,6 +88,9 @@ int main(int argc, char** argv) {
   std::string dir;
   bool want_stats = false;
   bool want_corpus = false;
+  std::string trace_file;
+  std::string metrics_file;
+  std::string profile_file;
   DriverOptions options;
   std::vector<std::string> paths;
 
@@ -104,6 +121,17 @@ int main(int argc, char** argv) {
       options.analyzer.include_info = false;
     } else if (arg == "--stats") {
       want_stats = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_file = arg.substr(8);
+      if (trace_file.empty()) return usage(argv[0]);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_file = arg.substr(10);
+      if (metrics_file.empty()) return usage(argv[0]);
+    } else if (arg == "--profile") {
+      profile_file = "run_profile.json";
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_file = arg.substr(10);
+      if (profile_file.empty()) return usage(argv[0]);
     } else if (arg.rfind("--dir=", 0) == 0) {
       dir = arg.substr(6);
     } else if (arg == "--dir") {
@@ -121,6 +149,17 @@ int main(int argc, char** argv) {
           static_cast<int>(!paths.empty()) !=
       1) {
     return usage(argv[0]);
+  }
+
+  const bool want_telemetry =
+      !trace_file.empty() || !metrics_file.empty() || !profile_file.empty();
+  if (want_telemetry) {
+    if (!pnlab::analysis::telemetry::compiled_in()) {
+      std::cerr << argv[0]
+                << ": telemetry compiled out (PN_TELEMETRY=OFF); "
+                   "--trace/--metrics/--profile will write empty data\n";
+    }
+    pnlab::analysis::telemetry::set_enabled(true);
   }
 
   BatchDriver driver(options);
@@ -162,6 +201,33 @@ int main(int argc, char** argv) {
     print_text(batch);
   }
   if (want_stats) std::cerr << batch.stats.to_string();
+
+  // Exports come last so the serialization span above is part of the
+  // trace.  A failed export is a usage/IO error, not a finding.
+  bool export_failed = false;
+  auto write_file = [&](const std::string& path, const std::string& body,
+                        const char* what) {
+    std::ofstream out(path, std::ios::binary);
+    out << body;
+    if (!out) {
+      std::cerr << argv[0] << ": cannot write " << what << " to " << path
+                << "\n";
+      export_failed = true;
+    }
+  };
+  if (!trace_file.empty()) {
+    write_file(trace_file, pnlab::analysis::telemetry::chrome_trace_json(),
+               "trace");
+  }
+  if (!metrics_file.empty()) {
+    write_file(metrics_file, pnlab::analysis::telemetry::prometheus_text(),
+               "metrics");
+  }
+  if (!profile_file.empty()) {
+    write_file(profile_file, pnlab::analysis::telemetry::run_profile_json(),
+               "profile");
+  }
+  if (export_failed) return 2;
 
   return (batch.finding_count() > 0 || batch.has_parse_errors()) ? 1 : 0;
 }
