@@ -1,0 +1,248 @@
+// Experiment E11: request latency and throughput of the pncd service.
+//
+// The daemon's pitch is amortization: the second CI invocation over an
+// unchanged tree should pay socket + framing + cache-probe cost, not
+// re-analysis.  This bench boots a real Server on a unix socket, writes
+// a synthetic tree of corpus replicas to disk, and drives sustained
+// concurrent traffic from N client threads — mostly warm requests
+// (memory-cache hits) with every eighth request bypassing the caches
+// (a forced full re-analysis, the miss path) — then reports p50/p99
+// request latency and aggregate requests/s into BENCH_service.json.
+//
+// A final daemon restart measures the disk-cache warm-start path: a
+// fresh process, zero memory hits, every file served from `index.v1`.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "service/client.h"
+#include "service/server.h"
+
+using namespace pnlab::service;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kClients = 8;
+constexpr std::size_t kRequestsPerClient = 100;
+constexpr std::size_t kMissEvery = 8;  ///< every Nth request bypasses caches
+constexpr std::size_t kReplicas = 4;
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(p * sorted.size()));
+  return sorted[idx];
+}
+
+struct RunningServer {
+  explicit RunningServer(ServerOptions options) : server(std::move(options)) {
+    std::string error;
+    if (!server.start(&error)) {
+      std::cerr << "bench_service: " << error << "\n";
+      std::exit(1);
+    }
+    thread = std::thread([this] { server.serve(); });
+  }
+  ~RunningServer() {
+    server.request_stop();
+    thread.join();
+  }
+  Server server;
+  std::thread thread;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "E11: pncd service latency/throughput\n\n";
+
+  // Synthetic tree: corpus replicas as distinct on-disk sources.
+  const fs::path root = fs::temp_directory_path() / "pnlab_bench_service";
+  fs::remove_all(root);
+  const fs::path tree = root / "tree";
+  fs::create_directories(tree);
+  std::size_t file_count = 0;
+  for (std::size_t rep = 0; rep < kReplicas; ++rep) {
+    const fs::path sub = tree / ("rep" + std::to_string(rep));
+    fs::create_directories(sub);
+    for (const auto& c : pnlab::analysis::corpus::analyzer_corpus()) {
+      std::ofstream(sub / (c.id + ".pnc"), std::ios::binary)
+          << "// replica " << rep << "\n"
+          << c.source;
+      ++file_count;
+    }
+  }
+
+  ServerOptions options;
+  options.socket_path = (root / "s.sock").string();
+  options.cache_dir = (root / "cache").string();
+
+  Request request;
+  request.kind = RequestKind::kAnalyzeDir;
+  request.format = OutputFormat::kJson;
+  request.paths = {tree.string()};
+
+  std::vector<double> hit_ms;
+  std::vector<double> miss_ms;
+  std::vector<double> all_ms;
+  double traffic_wall_s = 0;
+  std::size_t errors = 0;
+  {
+    RunningServer running(options);
+
+    // Warm the caches: one request analyzes everything once.
+    auto warm_client = Client::connect(options.socket_path, nullptr);
+    if (!warm_client) {
+      std::cerr << "bench_service: cannot connect\n";
+      return 1;
+    }
+    Response response;
+    if (!warm_client->call(request, &response) || !response.ok) {
+      std::cerr << "bench_service: warmup failed: " << response.error << "\n";
+      return 1;
+    }
+    std::cout << "tree: " << file_count << " files ("
+              << response.stats.findings << " findings), "
+              << kClients << " clients x " << kRequestsPerClient
+              << " requests, 1/" << kMissEvery << " cache-bypassing\n\n";
+
+    // Sustained concurrent traffic, one connection per client thread.
+    std::mutex merge_mutex;
+    std::atomic<std::size_t> error_count{0};
+    const auto traffic_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = Client::connect(options.socket_path, nullptr);
+        if (!client) {
+          error_count += kRequestsPerClient;
+          return;
+        }
+        std::vector<double> local_hit, local_miss;
+        for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+          Request r = request;
+          const bool bypass = (i + c) % kMissEvery == 0;
+          r.use_cache = !bypass;
+          Response rsp;
+          const auto t0 = std::chrono::steady_clock::now();
+          const bool ok = client->call(r, &rsp) && rsp.ok;
+          const auto t1 = std::chrono::steady_clock::now();
+          if (!ok) {
+            ++error_count;
+            continue;
+          }
+          const double ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          (bypass ? local_miss : local_hit).push_back(ms);
+        }
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        hit_ms.insert(hit_ms.end(), local_hit.begin(), local_hit.end());
+        miss_ms.insert(miss_ms.end(), local_miss.begin(), local_miss.end());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    traffic_wall_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - traffic_start)
+                         .count();
+    errors = error_count.load();
+  }  // daemon drains and persists its cache index
+
+  all_ms = hit_ms;
+  all_ms.insert(all_ms.end(), miss_ms.begin(), miss_ms.end());
+  std::sort(hit_ms.begin(), hit_ms.end());
+  std::sort(miss_ms.begin(), miss_ms.end());
+  std::sort(all_ms.begin(), all_ms.end());
+  const double p50 = percentile(all_ms, 0.50);
+  const double p99 = percentile(all_ms, 0.99);
+  const double requests_per_s =
+      traffic_wall_s > 0 ? static_cast<double>(all_ms.size()) / traffic_wall_s
+                         : 0;
+
+  std::cout << std::fixed << std::setprecision(3) << std::left
+            << std::setw(16) << "" << std::setw(10) << "p50 (ms)"
+            << std::setw(10) << "p99 (ms)" << "n\n"
+            << std::string(44, '-') << "\n"
+            << std::setw(16) << "warm (hit)" << std::setw(10)
+            << percentile(hit_ms, 0.50) << std::setw(10)
+            << percentile(hit_ms, 0.99) << hit_ms.size() << "\n"
+            << std::setw(16) << "bypass (miss)" << std::setw(10)
+            << percentile(miss_ms, 0.50) << std::setw(10)
+            << percentile(miss_ms, 0.99) << miss_ms.size() << "\n"
+            << std::setw(16) << "all" << std::setw(10) << p50
+            << std::setw(10) << p99 << all_ms.size() << "\n\n"
+            << "throughput: " << std::setprecision(0) << requests_per_s
+            << " requests/s over " << std::setprecision(2) << traffic_wall_s
+            << " s (" << kClients << " concurrent clients)\n";
+
+  // Restart the daemon: the memory cache is gone, so a warm request is
+  // pure disk hits — the cross-process amortization the service exists
+  // for.
+  double disk_warm_ms = 0;
+  std::size_t disk_hits = 0;
+  {
+    RunningServer running(options);
+    auto client = Client::connect(options.socket_path, nullptr);
+    if (!client) {
+      std::cerr << "bench_service: cannot reconnect\n";
+      return 1;
+    }
+    Response response;
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = client->call(request, &response) && response.ok;
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!ok) {
+      std::cerr << "bench_service: warm restart failed\n";
+      return 1;
+    }
+    disk_warm_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    disk_hits = response.stats.disk_cache_hits;
+    std::cout << "disk warm start: " << std::setprecision(3) << disk_warm_ms
+              << " ms, " << disk_hits << "/" << file_count
+              << " files from the on-disk cache\n";
+  }
+  fs::remove_all(root);
+
+  // Machine-readable results for CI trend lines.
+  {
+    std::ofstream json("BENCH_service.json");
+    json << std::fixed << std::setprecision(3) << "{\n"
+         << "  \"bench\": \"service\",\n"
+         << "  \"clients\": " << kClients << ",\n"
+         << "  \"requests\": " << all_ms.size() << ",\n"
+         << "  \"files_per_request\": " << file_count << ",\n"
+         << "  \"p50_ms\": " << p50 << ",\n"
+         << "  \"p99_ms\": " << p99 << ",\n"
+         << "  \"hit_p50_ms\": " << percentile(hit_ms, 0.50) << ",\n"
+         << "  \"hit_p99_ms\": " << percentile(hit_ms, 0.99) << ",\n"
+         << "  \"miss_p50_ms\": " << percentile(miss_ms, 0.50) << ",\n"
+         << "  \"miss_p99_ms\": " << percentile(miss_ms, 0.99) << ",\n"
+         << "  \"requests_per_s\": " << requests_per_s << ",\n"
+         << "  \"disk_warm_ms\": " << disk_warm_ms << ",\n"
+         << "  \"disk_warm_hits\": " << disk_hits << "\n"
+         << "}\n";
+  }
+  std::cout << "Wrote BENCH_service.json\n";
+
+  // CI-style self-check: the traffic must actually complete, and a
+  // restarted daemon must serve the unchanged tree from disk.
+  if (errors > 0) {
+    std::cout << "\nWARNING: " << errors << " failed request(s)\n";
+    return 1;
+  }
+  if (disk_hits != file_count) {
+    std::cout << "\nWARNING: disk warm start served " << disk_hits << "/"
+              << file_count << " files from cache\n";
+    return 1;
+  }
+  return 0;
+}

@@ -23,4 +23,9 @@ endfunction()
 require_field("${BENCH_DIR}/BENCH_analyzer.json" "phase_s")
 require_field("${BENCH_DIR}/BENCH_analyzer.json" "telemetry_overhead_pct")
 require_field("${BENCH_DIR}/BENCH_driver.json" "phase_s")
+# The service bench must always carry its latency distribution and
+# throughput headline, not just a pass/fail bit.
+require_field("${BENCH_DIR}/BENCH_service.json" "p50_ms")
+require_field("${BENCH_DIR}/BENCH_service.json" "p99_ms")
+require_field("${BENCH_DIR}/BENCH_service.json" "requests_per_s")
 message(STATUS "bench check: per-phase fields present in BENCH_*.json")

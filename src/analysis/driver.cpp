@@ -6,9 +6,15 @@
 #include <filesystem>
 #include <iomanip>
 #include <iterator>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <tuple>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#endif
 
 #include "analysis/ast_arena.h"
 #include "analysis/scheduler.h"
@@ -158,7 +164,9 @@ std::string BatchStats::to_string() const {
      << phase_totals.sema_s << " s, checkers " << phase_totals.check_s
      << " s (summed across files)\n";
   os << "cache: " << cache.hits << " hit(s), " << cache.misses
-     << " miss(es), " << cache.evictions << " eviction(s)\n";
+     << " miss(es), " << cache.evictions << " eviction(s)";
+  if (disk_hits > 0) os << ", " << disk_hits << " disk hit(s)";
+  os << "\n";
   os << "arena: " << ast_nodes << " AST node(s), " << ast_arena_bytes
      << " byte(s) bump-allocated";
   if (files > cache.hits && files > parse_errors) {
@@ -183,8 +191,10 @@ std::size_t BatchResult::finding_count() const { return stats.findings; }
 // ---------------------------------------------------------------------------
 // BatchDriver
 
-BatchDriver::BatchDriver(DriverOptions options) : options_(options) {
-  cache_.set_max_entries(options_.cache_max_entries);
+BatchDriver::BatchDriver(DriverOptions options) : options_(std::move(options)) {
+  if (!options_.shared_cache) {
+    cache_.set_max_entries(options_.cache_max_entries);
+  }
 }
 
 namespace {
@@ -200,7 +210,8 @@ std::size_t resolve_threads(std::size_t requested) {
 BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
   using Clock = std::chrono::steady_clock;
   const auto run_start = Clock::now();
-  const CacheStats cache_before = cache_.stats();
+  ResultCache& memo = cache();
+  const CacheStats cache_before = memo.stats();
   // Per-run telemetry delta: aggregates are process-global, so snapshot
   // around the run (run() is documented non-re-entrant, so the delta is
   // this batch's own work).
@@ -243,19 +254,36 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
             file.content_hash != 0 ? file.content_hash : fnv1a(file.source);
         if (options_.use_cache) {
           if (std::optional<AnalysisResult> cached =
-                  cache_.find(hash, file.source.size())) {
+                  memo.find(hash, file.source.size())) {
             report.result = *std::move(cached);
             report.cache_hit = true;
             PN_COUNTER_ADD(kCacheHits, 1);
             return;
           }
           PN_COUNTER_ADD(kCacheMisses, 1);
+          // Memory miss: probe the second-level (on-disk) store and
+          // promote a hit so the next probe is a memory hit.
+          if (options_.secondary_cache != nullptr) {
+            if (std::optional<AnalysisResult> cached =
+                    options_.secondary_cache->load(hash, file.source.size())) {
+              memo.insert(hash, file.source.size(), *cached);
+              report.result = *std::move(cached);
+              report.cache_hit = true;
+              report.disk_hit = true;
+              PN_INSTANT("disk_cache_hit", file.name);
+              return;
+            }
+          }
         }
         try {
           report.result = analyze(file.source, options_.analyzer,
                                   &report.timings, &contexts[worker]);
           if (options_.use_cache) {
-            cache_.insert(hash, file.source.size(), report.result);
+            memo.insert(hash, file.source.size(), report.result);
+            if (options_.secondary_cache != nullptr) {
+              options_.secondary_cache->store(hash, file.source.size(),
+                                              report.result);
+            }
           }
           PN_COUNTER_ADD(kFilesAnalyzed, 1);
           PN_COUNTER_ADD(kAstNodes, report.result.ast_nodes);
@@ -305,6 +333,7 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
   stats.per_worker_steals = steal.per_worker_steals;
   for (const FileReport& report : batch.files) {
     if (!report.ok) ++stats.parse_errors;
+    if (report.disk_hit) ++stats.disk_hits;
     stats.findings += report.result.finding_count();
     stats.phase_totals += report.timings;
     if (report.ok && !report.cache_hit) {
@@ -312,7 +341,7 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
       stats.ast_arena_bytes += report.result.ast_arena_bytes;
     }
   }
-  const CacheStats cache_after = cache_.stats();
+  const CacheStats cache_after = memo.stats();
   stats.cache.hits = cache_after.hits - cache_before.hits;
   stats.cache.misses = cache_after.misses - cache_before.misses;
   stats.cache.evictions = cache_after.evictions - cache_before.evictions;
@@ -334,6 +363,79 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
   return batch;
 }
 
+namespace {
+
+/// A directory's identity across symlinks: (device, inode).
+using DirIdentity = std::pair<std::uintmax_t, std::uintmax_t>;
+
+std::optional<DirIdentity> dir_identity(const std::filesystem::path& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) != 0) return std::nullopt;
+  return DirIdentity{static_cast<std::uintmax_t>(st.st_dev),
+                     static_cast<std::uintmax_t>(st.st_ino)};
+#else
+  // No inode identity available: key by canonical path, which still
+  // terminates simple symlink cycles.
+  std::error_code ec;
+  const auto canon = std::filesystem::weakly_canonical(dir, ec);
+  if (ec) return std::nullopt;
+  return DirIdentity{0, std::hash<std::string>{}(canon.string())};
+#endif
+}
+
+/// Recursive `.pnc` discovery.  Directory symlinks are followed, but a
+/// (dev, inode) already on the walk's visited set is a cycle: it is
+/// recorded as a per-file read-error report and not descended into, so
+/// a self-referencing symlink tree terminates.  `.pnc`-named
+/// directories stay ingestion candidates (they fail open() with "not a
+/// regular file", preserving the per-file error record) and are never
+/// descended into.
+void collect_pnc_files(const std::filesystem::path& dir,
+                       std::set<DirIdentity>& visited,
+                       std::vector<std::string>& out,
+                       std::vector<FileReport>& unreadable) {
+  namespace fs = std::filesystem;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".pnc") {
+      out.push_back(entry.path().string());
+      continue;
+    }
+    std::error_code ec;
+    if (!entry.is_directory(ec) || ec) continue;
+    const std::optional<DirIdentity> id = dir_identity(entry.path());
+    if (!id) continue;  // raced away between listing and stat
+    if (!visited.insert(*id).second) {
+      FileReport report;
+      report.file = entry.path().string();
+      report.ok = false;
+      report.error = "read error: directory cycle (symlink revisits " +
+                     entry.path().string() + "); subtree skipped";
+      PN_COUNTER_ADD(kReadErrors, 1);
+      PN_INSTANT("read_error", report.error);
+      unreadable.push_back(std::move(report));
+      continue;
+    }
+    // A subtree we cannot list is a per-file record, not a batch abort
+    // (only the root directory keeps the throwing contract).
+    std::error_code iter_ec;
+    fs::directory_iterator probe(entry.path(), iter_ec);
+    if (iter_ec) {
+      FileReport report;
+      report.file = entry.path().string();
+      report.ok = false;
+      report.error = "read error: " + iter_ec.message();
+      PN_COUNTER_ADD(kReadErrors, 1);
+      PN_INSTANT("read_error", report.error);
+      unreadable.push_back(std::move(report));
+      continue;
+    }
+    collect_pnc_files(entry.path(), visited, out, unreadable);
+  }
+}
+
+}  // namespace
+
 BatchResult BatchDriver::run_directory(const std::string& dir) {
   namespace fs = std::filesystem;
   using Clock = std::chrono::steady_clock;
@@ -344,11 +446,16 @@ BatchResult BatchDriver::run_directory(const std::string& dir) {
   const MappedBuffer::Ingestion mode = options_.mmap_ingestion
                                            ? MappedBuffer::Ingestion::kAuto
                                            : MappedBuffer::Ingestion::kRead;
-  std::vector<SourceFile> files;
+  std::vector<std::string> paths;
   std::vector<FileReport> unreadable;
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
-    if (entry.path().extension() != ".pnc") continue;
-    const std::string path = entry.path().string();
+  std::set<DirIdentity> visited;
+  if (const std::optional<DirIdentity> root_id = dir_identity(dir)) {
+    visited.insert(*root_id);
+  }
+  collect_pnc_files(dir, visited, paths, unreadable);
+
+  std::vector<SourceFile> files;
+  for (const std::string& path : paths) {
     PN_TRACE_SPAN_D(kIngest, path);
     std::string error;
     auto buffer = MappedBuffer::open(path, mode, &error);

@@ -76,6 +76,22 @@ struct CacheStats {
   std::size_t lookups() const { return hits + misses; }
 };
 
+/// Second-level result store probed on a memory-cache miss — the hook
+/// the on-disk cache (src/service/disk_cache.h) plugs into.  A load hit
+/// is promoted into the memory cache; every freshly analyzed result is
+/// stored back.  Implementations must be thread-safe: the driver calls
+/// load/store concurrently from its worker pool.  A secondary cache
+/// must never serve a wrong result — on any doubt (corruption, version
+/// skew) it returns nullopt and the driver re-analyzes.
+class SecondaryCache {
+ public:
+  virtual ~SecondaryCache() = default;
+  virtual std::optional<AnalysisResult> load(std::uint64_t hash,
+                                             std::size_t length) = 0;
+  virtual void store(std::uint64_t hash, std::size_t length,
+                     const AnalysisResult& result) = 0;
+};
+
 /// Memoizes AnalysisResults by precomputed (content hash, length).
 /// Thread-safe.  The length guards the (vanishingly unlikely) FNV
 /// collision without storing or comparing the source text.  Bounded:
@@ -142,6 +158,8 @@ struct FileReport {
   bool ok = true;         ///< false: the file failed to parse or load
   std::string error;      ///< ParseError / ingestion message when !ok
   bool cache_hit = false;
+  bool disk_hit = false;  ///< subset of cache_hit: served by the
+                          ///< secondary (on-disk) cache
   PhaseTimings timings;   ///< zeros on cache hits
 };
 
@@ -178,6 +196,7 @@ struct BatchStats {
                               ///< (run_directory includes ingestion)
   PhaseTimings phase_totals;  ///< summed across files (cpu, not wall)
   CacheStats cache;           ///< delta for this run
+  std::size_t disk_hits = 0;  ///< files served by the secondary cache
   /// Telemetry per-phase breakdown for this run, in pipeline order.
   /// Filled only while telemetry::enabled(); see telemetry.h.
   std::vector<PhaseBreakdown> phases;
@@ -211,8 +230,17 @@ struct DriverOptions {
   AnalyzerOptions analyzer;
   /// Memoize results by content hash across run() calls.
   bool use_cache = true;
-  /// Result-cache entry cap (0 = unbounded); see ResultCache.
+  /// Result-cache entry cap (0 = unbounded); see ResultCache.  Ignored
+  /// when `shared_cache` is set — the cache's owner configures it.
   std::size_t cache_max_entries = ResultCache::kDefaultMaxEntries;
+  /// When set, the driver memoizes into this cache instead of its own —
+  /// the service server shares one memory cache across the short-lived
+  /// per-request drivers it builds.
+  std::shared_ptr<ResultCache> shared_cache;
+  /// Optional second-level store (the on-disk cache).  Not owned; must
+  /// outlive the driver.  Probed after a memory-cache miss, written
+  /// after every fresh analysis.
+  SecondaryCache* secondary_cache = nullptr;
   /// Directory ingestion: mmap files (with automatic read fallback) or
   /// force the portable buffered-read path.  Both produce byte-identical
   /// BatchResults; this exists for verification and odd filesystems.
@@ -228,18 +256,26 @@ class BatchDriver {
 
   /// Analyzes every file on the pool and aggregates deterministically.
   BatchResult run(const std::vector<SourceFile>& files);
-  /// Ingests every `.pnc` file under @p dir (sorted, non-recursive) and
+  /// Ingests every `.pnc` file under @p dir (sorted, recursive) and
   /// runs it.  Unreadable or non-regular `.pnc` entries become per-file
-  /// error records, not batch failures.  Throws std::runtime_error if
-  /// @p dir is not a directory.
+  /// error records, not batch failures.  Directory symlinks are
+  /// followed, but each directory — identified by its (device, inode)
+  /// pair — is visited at most once, so a self-referencing symlink
+  /// cycle terminates and is recorded as a per-file "read error" report
+  /// instead of looping forever.  Throws std::runtime_error if @p dir
+  /// is not a directory.
   BatchResult run_directory(const std::string& dir);
 
-  CacheStats cache_stats() const { return cache_.stats(); }
-  void clear_cache() { cache_.clear(); }
+  CacheStats cache_stats() const { return cache().stats(); }
+  void clear_cache() { cache().clear(); }
 
  private:
+  ResultCache& cache() const {
+    return options_.shared_cache ? *options_.shared_cache : cache_;
+  }
+
   DriverOptions options_;
-  ResultCache cache_;
+  mutable ResultCache cache_;
 };
 
 /// The batch as a deterministic JSON document (2-space indent, stable

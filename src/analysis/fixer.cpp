@@ -210,11 +210,21 @@ FixResult fix(const std::string& source) {
                             b.kind != Edit::Kind::Wrap;
                    });
 
+  // Line splitting must be ending-aware: std::getline leaves the '\r'
+  // of a CRLF pair on the line, so edit text computed against it lands
+  // one byte early — a Wrap would close its brace *after* the '\r'
+  // ("stmt;\r }"), leaving a stray carriage return mid-line.  Strip the
+  // '\r' here and re-emit the source's own ending on join, so guards
+  // and FIXME insertions are byte-correct on CRLF sources too.
+  const bool crlf = source.find("\r\n") != std::string::npos;
   std::vector<std::string> lines;
   {
     std::istringstream in(source);
     std::string line;
-    while (std::getline(in, line)) lines.push_back(line);
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(line);
+    }
   }
 
   for (const Edit& edit : edits) {
@@ -230,8 +240,9 @@ FixResult fix(const std::string& source) {
     }
   }
 
+  const char* eol = crlf ? "\r\n" : "\n";
   std::ostringstream out;
-  for (const std::string& line : lines) out << line << "\n";
+  for (const std::string& line : lines) out << line << eol;
   result.fixed_source = out.str();
   return result;
 }

@@ -23,7 +23,14 @@ void set_error(std::string* error, const std::string& path,
   if (error) *error = path + ": " + what;
 }
 
+void (*g_ingestion_test_hook)(const std::string& path) = nullptr;
+
 }  // namespace
+
+void MappedBuffer::set_ingestion_test_hook(
+    void (*hook)(const std::string& path)) {
+  g_ingestion_test_hook = hook;
+}
 
 std::shared_ptr<const MappedBuffer> MappedBuffer::open(const std::string& path,
                                                        Ingestion mode,
@@ -48,6 +55,7 @@ std::shared_ptr<const MappedBuffer> MappedBuffer::open(const std::string& path,
       ::close(fd);
       return nullptr;
     }
+    if (g_ingestion_test_hook != nullptr) g_ingestion_test_hook(path);
     if (st.st_size == 0) {
       // mmap(…, 0, …) is EINVAL; an empty view needs no storage.
       ::close(fd);
@@ -56,20 +64,38 @@ std::shared_ptr<const MappedBuffer> MappedBuffer::open(const std::string& path,
     }
     void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
                      MAP_PRIVATE, fd, 0);
-    ::close(fd);  // the mapping keeps the file alive
     if (p != MAP_FAILED) {
+      // Close the fstat→mmap truncation race: if the file shrank in the
+      // window, the mapping's tail is past EOF and the first read of it
+      // would SIGBUS the process.  Re-fstat the still-open fd; any size
+      // change invalidates the mapping.
+      struct stat st2{};
+      const bool stable =
+          ::fstat(fd, &st2) == 0 && st2.st_size == st.st_size;
+      ::close(fd);  // the mapping keeps the file alive
+      if (stable) {
 #ifdef POSIX_MADV_SEQUENTIAL
-      ::posix_madvise(p, static_cast<std::size_t>(st.st_size),
-                      POSIX_MADV_SEQUENTIAL);
+        ::posix_madvise(p, static_cast<std::size_t>(st.st_size),
+                        POSIX_MADV_SEQUENTIAL);
 #endif
-      buf->data_ = static_cast<const char*>(p);
-      buf->size_ = static_cast<std::size_t>(st.st_size);
-      buf->mapped_ = true;
-      return buf;
-    }
-    if (mode == Ingestion::kMap) {
-      set_error(error, path, std::strerror(errno));
-      return nullptr;
+        buf->data_ = static_cast<const char*>(p);
+        buf->size_ = static_cast<std::size_t>(st.st_size);
+        buf->mapped_ = true;
+        return buf;
+      }
+      ::munmap(p, static_cast<std::size_t>(st.st_size));
+      if (mode == Ingestion::kMap) {
+        set_error(error, path, "file changed size during mapping");
+        return nullptr;
+      }
+      // kAuto: the buffered read below snapshots the file as it now is.
+    } else {
+      const int map_errno = errno;
+      ::close(fd);
+      if (mode == Ingestion::kMap) {
+        set_error(error, path, std::strerror(map_errno));
+        return nullptr;
+      }
     }
     // kAuto: fall through to the read path below.
   }

@@ -28,9 +28,22 @@ class MappedBuffer {
   /// Loads @p path.  Returns nullptr and fills @p error (if non-null)
   /// when the file is missing, unreadable, or not a regular file.
   /// Empty regular files yield a valid buffer with an empty view.
+  ///
+  /// Truncation safety: a file that shrinks between the initial fstat
+  /// and the mmap would leave the tail of the mapping past EOF, and the
+  /// first read through it would SIGBUS.  open() re-fstats after the
+  /// map; on any size change it drops the mapping and falls back to the
+  /// buffered-read path (kAuto) or fails (kMap), so callers never hold
+  /// a view onto vanished bytes.
   static std::shared_ptr<const MappedBuffer> open(const std::string& path,
                                                   Ingestion mode,
                                                   std::string* error);
+
+  /// Test hook: called with @p path after the initial fstat and before
+  /// the bytes are acquired, so a test can truncate the file inside the
+  /// race window deterministically.  Pass nullptr to clear.  Not for
+  /// production use.
+  static void set_ingestion_test_hook(void (*hook)(const std::string& path));
 
   ~MappedBuffer();
   MappedBuffer(const MappedBuffer&) = delete;

@@ -32,6 +32,14 @@ void ByteWriter::str(const std::string& s) {
   for (char c : s) buffer_.push_back(static_cast<std::byte>(c));
 }
 
+void ByteWriter::str32(const std::string& s) {
+  if (s.size() > 0xffffffffull) {
+    throw WireError("string too long for u32 prefix");
+  }
+  u32(static_cast<std::uint32_t>(s.size()));
+  for (char c : s) buffer_.push_back(static_cast<std::byte>(c));
+}
+
 void ByteWriter::bytes(std::span<const std::byte> data) {
   buffer_.insert(buffer_.end(), data.begin(), data.end());
 }
@@ -93,6 +101,18 @@ double ByteReader::f64() {
 
 std::string ByteReader::str() {
   const std::uint16_t len = u16();
+  need(len);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(data_[pos_ + i]));
+  }
+  pos_ += len;
+  return s;
+}
+
+std::string ByteReader::str32() {
+  const std::uint32_t len = u32();
   need(len);
   std::string s;
   s.reserve(len);

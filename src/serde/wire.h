@@ -32,6 +32,9 @@ class ByteWriter {
   void f64(double v);
   /// Length-prefixed (u16) string.
   void str(const std::string& s);
+  /// Length-prefixed (u32) string — for payloads that can exceed the
+  /// 64 KiB u16 ceiling (serialized batch reports, cached results).
+  void str32(const std::string& s);
   void bytes(std::span<const std::byte> data);
 
   const std::vector<std::byte>& data() const { return buffer_; }
@@ -52,6 +55,8 @@ class ByteReader {
   std::uint64_t u64();
   double f64();
   std::string str();
+  /// Reads a u32-length-prefixed string written by ByteWriter::str32.
+  std::string str32();
   std::vector<std::byte> bytes(std::size_t n);
   /// Advances past @p n bytes without materializing them; throws
   /// WireError when fewer than @p n remain.

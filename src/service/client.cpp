@@ -1,0 +1,80 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "serde/wire.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PNLAB_HAVE_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace pnlab::service {
+
+#if PNLAB_HAVE_SOCKETS
+
+std::unique_ptr<Client> Client::connect(const std::string& socket_path,
+                                        std::string* error) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path empty or too long: " + socket_path;
+    return nullptr;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error) *error = socket_path + ": " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::call(const Request& request, Response* response,
+                  std::string* error) {
+  try {
+    write_frame(fd_, encode_request(request));
+    std::vector<std::byte> payload;
+    if (!read_frame(fd_, &payload)) {
+      if (error) *error = "connection closed before response";
+      return false;
+    }
+    *response = decode_response(payload);
+    return true;
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+    return false;
+  }
+}
+
+#else  // !PNLAB_HAVE_SOCKETS
+
+std::unique_ptr<Client> Client::connect(const std::string&,
+                                        std::string* error) {
+  if (error) *error = "unix sockets unavailable on this platform";
+  return nullptr;
+}
+Client::~Client() = default;
+bool Client::call(const Request&, Response*, std::string* error) {
+  if (error) *error = "unix sockets unavailable on this platform";
+  return false;
+}
+
+#endif  // PNLAB_HAVE_SOCKETS
+
+}  // namespace pnlab::service

@@ -1,0 +1,38 @@
+// Client side of the pncd protocol: connect, frame, round-trip.
+//
+// Used by the `pnc_client` tool, by `pnc_analyze --connect` (which
+// falls back to in-process analysis when connect() fails — the daemon
+// is an accelerator, never a dependency), and by bench_service's
+// traffic generators.  One Client is one connection; call() may be
+// used repeatedly and is not thread-safe — give each thread its own.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace pnlab::service {
+
+class Client {
+ public:
+  /// Connects to the daemon at @p socket_path.  Returns nullptr and
+  /// fills @p error (if non-null) when nothing is listening.
+  static std::unique_ptr<Client> connect(const std::string& socket_path,
+                                         std::string* error = nullptr);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One framed round trip.  Returns false (with @p error filled) on
+  /// connection or protocol failure; a Response with ok == false is a
+  /// *successful* round trip whose request the server rejected.
+  bool call(const Request& request, Response* response,
+            std::string* error = nullptr);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace pnlab::service

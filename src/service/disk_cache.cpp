@@ -1,0 +1,395 @@
+#include "service/disk_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "analysis/telemetry.h"
+#include "serde/wire.h"
+#include "service/result_codec.h"
+
+namespace pnlab::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Header magics ("PNRC" entry, "PNIX" index) as little-endian u32.
+constexpr std::uint32_t kEntryMagic = 0x43524e50u;
+constexpr std::uint32_t kIndexMagic = 0x58494e50u;
+constexpr std::size_t kSaveEvery = 32;  ///< autosave cadence (mutations)
+const char* kIndexName = "index.v1";
+
+std::string to_hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t fnv1a_bytes(std::span<const std::byte> data) {
+  return analysis::fnv1a(std::string_view(
+      reinterpret_cast<const char*>(data.data()), data.size()));
+}
+
+bool read_file_bytes(const fs::path& path, std::vector<std::byte>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return false;
+  const std::string s = std::move(contents).str();
+  out->resize(s.size());
+  std::memcpy(out->data(), s.data(), s.size());
+  return true;
+}
+
+/// The atomic-write discipline: write a unique temp file in the target's
+/// own directory (rename is only atomic within a filesystem), then
+/// rename over the destination.  Readers see the old bytes or the new
+/// bytes, never a prefix.
+bool atomic_write(const fs::path& dest, std::span<const std::byte> bytes) {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const fs::path tmp =
+      dest.parent_path() /
+      (".tmp-" + std::to_string(pid) + "-" +
+       std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, dest, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("PNC_CACHE_DIR"); env && *env) return env;
+  if (const char* home = std::getenv("HOME"); home && *home) {
+    return std::string(home) + "/.cache/pnc";
+  }
+  return (fs::temp_directory_path() / "pnc-cache").string();
+}
+
+DiskCache::DiskCache(DiskCacheOptions options, std::string* error)
+    : options_(std::move(options)) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec || !fs::is_directory(options_.dir)) {
+    if (error) {
+      *error = options_.dir + ": " +
+               (ec ? ec.message() : std::string("not a directory"));
+    }
+    return;  // inert: every load misses, every store is dropped
+  }
+  usable_ = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!load_index_locked()) {
+    // Corrupt, truncated, or missing manifest: the directory itself is
+    // the source of truth.
+    rebuild_index_from_scan_locked();
+    save_index_locked();
+  }
+}
+
+DiskCache::~DiskCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (usable_ && mutations_since_save_ > 0) save_index_locked();
+}
+
+std::string DiskCache::entry_path(const Key& key) const {
+  return (fs::path(options_.dir) /
+          (to_hex16(key.hash) + "-" + std::to_string(key.length) + ".pnr"))
+      .string();
+}
+
+std::optional<analysis::AnalysisResult> DiskCache::load(std::uint64_t hash,
+                                                        std::size_t length) {
+  const Key key{hash, static_cast<std::uint64_t>(length)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!usable_) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  std::vector<std::byte> bytes;
+  if (!read_file_bytes(entry_path(key), &bytes)) {
+    // Entry vanished or is unreadable: forget it, report a miss.
+    drop_entry_locked(key, /*unlink_file=*/false);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  try {
+    serde::ByteReader r(bytes);
+    if (r.u32() != kEntryMagic) throw serde::WireError("bad entry magic");
+    if (r.u32() != kDiskCacheFormatVersion) {
+      throw serde::WireError("entry format version mismatch");
+    }
+    if (r.u64() != key.hash || r.u64() != key.length) {
+      throw serde::WireError("entry key mismatch (renamed file?)");
+    }
+    const std::uint64_t checksum = r.u64();
+    const std::uint64_t payload_size = r.u64();
+    if (payload_size != r.remaining()) {
+      throw serde::WireError("entry payload size mismatch");
+    }
+    const std::vector<std::byte> payload =
+        r.bytes(static_cast<std::size_t>(payload_size));
+    if (fnv1a_bytes(payload) != checksum) {
+      throw serde::WireError("entry checksum mismatch");
+    }
+    analysis::AnalysisResult result = decode_result(payload);
+    // Touch: move to the LRU front so the byte-budget eviction keeps
+    // the entries CI actually re-reads.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    note_mutation_locked();
+    ++stats_.hits;
+    return result;
+  } catch (const serde::WireError&) {
+    // Corrupt or stale: degrade to a miss and delete the bad entry so
+    // the slot is rewritten by the next store.  Never rethrow — a bad
+    // cache byte must not take down the daemon.
+    PN_INSTANT("disk_cache_corrupt", entry_path(key));
+    drop_entry_locked(key, /*unlink_file=*/true);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+}
+
+void DiskCache::store(std::uint64_t hash, std::size_t length,
+                      const analysis::AnalysisResult& result) {
+  const Key key{hash, static_cast<std::uint64_t>(length)};
+  const std::vector<std::byte> payload = encode_result(result);
+
+  serde::ByteWriter w;
+  w.u32(kEntryMagic);
+  w.u32(kDiskCacheFormatVersion);
+  w.u64(key.hash);
+  w.u64(key.length);
+  w.u64(fnv1a_bytes(payload));
+  w.u64(payload.size());
+  w.bytes(payload);
+  const std::vector<std::byte> bytes = w.take();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!usable_) return;
+  if (!atomic_write(entry_path(key), bytes)) return;  // disk full etc.
+
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    total_bytes_ -= it->second->bytes;
+    it->second->bytes = bytes.size();
+    total_bytes_ += bytes.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, bytes.size()});
+    index_.emplace(key, lru_.begin());
+    total_bytes_ += bytes.size();
+  }
+  evict_to_budget_locked();
+  note_mutation_locked();
+}
+
+void DiskCache::drop_entry_locked(const Key& key, bool unlink_file) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  total_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  if (unlink_file) {
+    std::error_code ec;
+    fs::remove(entry_path(key), ec);
+  }
+  ++mutations_since_save_;
+}
+
+void DiskCache::evict_to_budget_locked() {
+  while (options_.max_bytes > 0 && total_bytes_ > options_.max_bytes &&
+         !lru_.empty()) {
+    const Key victim = lru_.back().key;
+    PN_INSTANT("disk_cache_evict", entry_path(victim));
+    drop_entry_locked(victim, /*unlink_file=*/true);
+    ++stats_.evictions;
+  }
+}
+
+void DiskCache::note_mutation_locked() {
+  if (++mutations_since_save_ >= kSaveEvery) save_index_locked();
+}
+
+bool DiskCache::load_index_locked() {
+  std::vector<std::byte> bytes;
+  if (!read_file_bytes(fs::path(options_.dir) / kIndexName, &bytes)) {
+    return false;
+  }
+  try {
+    serde::ByteReader r(bytes);
+    if (r.u32() != kIndexMagic) throw serde::WireError("bad index magic");
+    if (r.u32() != kDiskCacheFormatVersion) {
+      throw serde::WireError("index format version mismatch");
+    }
+    const std::uint64_t count = r.u64();
+    const std::size_t record_bytes = static_cast<std::size_t>(count) * 24;
+    if (r.remaining() != record_bytes + 8) {
+      throw serde::WireError("index length mismatch");
+    }
+    // The trailing checksum covers the record region, so a mid-write
+    // truncation or a flipped byte is caught before any record is
+    // believed.
+    const std::uint64_t checksum = fnv1a_bytes(
+        std::span<const std::byte>(bytes).subspan(16, record_bytes));
+    std::list<Entry> lru;
+    decltype(index_) index;
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {  // oldest → newest
+      Entry e;
+      e.key.hash = r.u64();
+      e.key.length = r.u64();
+      e.bytes = r.u64();
+      // Manifest rows whose entry file is gone are stale — skip them.
+      std::error_code ec;
+      if (!fs::is_regular_file(entry_path(e.key), ec) || ec) continue;
+      lru.push_front(e);
+      index.emplace(e.key, lru.begin());
+      total += e.bytes;
+    }
+    if (r.u64() != checksum) throw serde::WireError("index checksum mismatch");
+    if (!r.at_end()) throw serde::WireError("trailing bytes after index");
+    lru_ = std::move(lru);
+    index_ = std::move(index);
+    total_bytes_ = total;
+    return true;
+  } catch (const serde::WireError&) {
+    PN_INSTANT("disk_cache_index_corrupt", options_.dir);
+    return false;
+  }
+}
+
+void DiskCache::rebuild_index_from_scan_locked() {
+  lru_.clear();
+  index_.clear();
+  total_bytes_ = 0;
+  struct Found {
+    Key key;
+    std::uint64_t bytes = 0;
+    fs::file_time_type mtime;
+    std::string name;
+  };
+  std::vector<Found> found;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options_.dir, ec)) {
+    if (entry.path().extension() != ".pnr") continue;
+    const std::string stem = entry.path().stem().string();
+    // Filenames are "<16 hex hash>-<length>.pnr"; anything else is not
+    // ours and is left alone.
+    const std::size_t dash = stem.find('-');
+    if (dash != 16 || stem.size() <= 17) continue;
+    Found f;
+    char* end = nullptr;
+    f.key.hash = std::strtoull(stem.substr(0, 16).c_str(), &end, 16);
+    f.key.length = std::strtoull(stem.c_str() + 17, &end, 10);
+    std::error_code fec;
+    f.bytes = entry.file_size(fec);
+    if (fec) continue;
+    f.mtime = entry.last_write_time(fec);
+    if (fec) f.mtime = fs::file_time_type::min();
+    f.name = entry.path().filename().string();
+    found.push_back(std::move(f));
+  }
+  // Recency from mtime (name as a deterministic tie-break): the best
+  // LRU approximation a scan can recover.
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.name < b.name;
+  });
+  for (const Found& f : found) {  // oldest → newest
+    if (index_.contains(f.key)) continue;
+    lru_.push_front(Entry{f.key, f.bytes});
+    index_.emplace(f.key, lru_.begin());
+    total_bytes_ += f.bytes;
+  }
+  evict_to_budget_locked();
+}
+
+bool DiskCache::save_index_locked() {
+  if (!usable_) return false;
+  serde::ByteWriter w;
+  w.u32(kIndexMagic);
+  w.u32(kDiskCacheFormatVersion);
+  w.u64(lru_.size());
+  const std::size_t records_begin = w.data().size();
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {  // oldest first
+    w.u64(it->key.hash);
+    w.u64(it->key.length);
+    w.u64(it->bytes);
+  }
+  const std::uint64_t checksum = fnv1a_bytes(
+      std::span<const std::byte>(w.data()).subspan(records_begin));
+  w.u64(checksum);
+  const std::vector<std::byte> bytes = w.take();
+  const bool ok = atomic_write(fs::path(options_.dir) / kIndexName, bytes);
+  if (ok) mutations_since_save_ = 0;
+  return ok;
+}
+
+bool DiskCache::save_index() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return save_index_locked();
+}
+
+analysis::CacheStats DiskCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t DiskCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t DiskCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+bool DiskCache::usable() const { return usable_; }
+
+}  // namespace pnlab::service

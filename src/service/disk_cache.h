@@ -1,0 +1,116 @@
+// Content-addressed on-disk result cache — what makes `pncd` pay off
+// across process lifetimes.
+//
+// The BatchDriver's ResultCache is memory-only and dies with the
+// process, so every CI invocation re-pays the full analysis cost.
+// DiskCache persists AnalysisResults under a cache directory, keyed by
+// the same (FNV-1a content hash, length) pairs ingestion already
+// computes, and plugs into the driver as its SecondaryCache: a warm
+// tree re-analyzed by a fresh process is pure disk hits.
+//
+// Durability discipline (DESIGN.md §9):
+//   * every entry and the index are written to a temp file in the same
+//     directory and atomically rename(2)d into place — readers never
+//     observe a half-written file;
+//   * entries carry a magic + format-version + key + checksum header
+//     and a length-checked payload; any mismatch (bit flip, truncation,
+//     version skew) makes load() delete the entry and report a miss —
+//     the cache degrades, it never serves garbage and never crashes;
+//   * the index (`index.v1`) is an LRU-ordered manifest used for warm
+//     boot; when it is corrupt or missing the cache rebuilds it by
+//     scanning the directory, so the index is an accelerator, not a
+//     point of failure;
+//   * total payload bytes are bounded by `max_bytes`: inserting past
+//     the budget evicts least-recently-used entries (and their files).
+//
+// Thread-safe: one mutex serializes the index and file IO — correct
+// first; the analysis the cache is saving is orders of magnitude more
+// expensive than these small reads and writes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/driver.h"
+
+namespace pnlab::service {
+
+/// On-disk entry/index format version; bump on any layout change.
+inline constexpr std::uint32_t kDiskCacheFormatVersion = 1;
+
+struct DiskCacheOptions {
+  std::string dir;  ///< cache directory (created if absent)
+  /// Eviction budget over summed entry-file bytes; 0 = unbounded.
+  std::uint64_t max_bytes = 256ull << 20;
+};
+
+/// `$PNC_CACHE_DIR`, else `$HOME/.cache/pnc`, else a /tmp fallback.
+std::string default_cache_dir();
+
+class DiskCache final : public analysis::SecondaryCache {
+ public:
+  /// Opens (creating if needed) the cache at options.dir and warm-loads
+  /// the index.  On an unusable directory, @p error (if non-null) gets
+  /// the reason and the cache comes up empty and inert: load() always
+  /// misses, store() drops writes — callers keep working, just slower.
+  explicit DiskCache(DiskCacheOptions options, std::string* error = nullptr);
+  ~DiskCache() override;
+
+  std::optional<analysis::AnalysisResult> load(std::uint64_t hash,
+                                               std::size_t length) override;
+  void store(std::uint64_t hash, std::size_t length,
+             const analysis::AnalysisResult& result) override;
+
+  /// Atomically rewrites the index manifest (temp file + rename).  Also
+  /// runs on destruction and periodically after mutations; a crash in
+  /// between loses only LRU recency, which the directory scan rebuilds.
+  bool save_index();
+
+  analysis::CacheStats stats() const;
+  std::size_t entries() const;
+  std::uint64_t total_bytes() const;
+  bool usable() const;
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  struct Key {
+    std::uint64_t hash = 0;
+    std::uint64_t length = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.hash ^
+                                      (k.length * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::uint64_t bytes = 0;  ///< entry file size on disk
+  };
+
+  std::string entry_path(const Key& key) const;
+  bool load_index_locked();
+  void rebuild_index_from_scan_locked();
+  void drop_entry_locked(const Key& key, bool unlink_file);
+  void evict_to_budget_locked();
+  void note_mutation_locked();
+  bool save_index_locked();
+
+  DiskCacheOptions options_;
+  bool usable_ = false;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t mutations_since_save_ = 0;
+  analysis::CacheStats stats_;
+};
+
+}  // namespace pnlab::service

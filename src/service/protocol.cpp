@@ -1,0 +1,191 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "serde/wire.h"
+#include "service/disk_cache.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PNLAB_HAVE_SOCKETS 1
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace pnlab::service {
+
+std::vector<std::byte> encode_request(const Request& request) {
+  serde::ByteWriter w;
+  w.u32(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(request.kind));
+  w.u8(static_cast<std::uint8_t>(request.format));
+  w.u8(request.use_cache ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(request.paths.size()));
+  for (const std::string& path : request.paths) w.str32(path);
+  return w.take();
+}
+
+Request decode_request(std::span<const std::byte> payload) {
+  serde::ByteReader r(payload);
+  const std::uint32_t version = r.u32();
+  if (version != kProtocolVersion) {
+    throw serde::WireError("protocol version mismatch: " +
+                           std::to_string(version));
+  }
+  Request request;
+  const std::uint8_t kind = r.u8();
+  if (kind < static_cast<std::uint8_t>(RequestKind::kPing) ||
+      kind > static_cast<std::uint8_t>(RequestKind::kShutdown)) {
+    throw serde::WireError("unknown request kind: " + std::to_string(kind));
+  }
+  request.kind = static_cast<RequestKind>(kind);
+  const std::uint8_t format = r.u8();
+  if (format > static_cast<std::uint8_t>(OutputFormat::kText)) {
+    throw serde::WireError("unknown output format: " + std::to_string(format));
+  }
+  request.format = static_cast<OutputFormat>(format);
+  request.use_cache = r.u8() != 0;
+  const std::uint32_t count = r.u32();
+  request.paths.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    request.paths.push_back(r.str32());
+  }
+  if (!r.at_end()) throw serde::WireError("trailing bytes after request");
+  return request;
+}
+
+std::vector<std::byte> encode_response(const Response& response) {
+  serde::ByteWriter w;
+  w.u32(kProtocolVersion);
+  w.u8(response.ok ? 1 : 0);
+  w.u8(response.exit_code);
+  w.str32(response.error);
+  w.str32(response.body);
+  w.u64(response.stats.files);
+  w.u64(response.stats.findings);
+  w.u64(response.stats.parse_errors);
+  w.u64(response.stats.read_errors);
+  w.u64(response.stats.mem_cache_hits);
+  w.u64(response.stats.disk_cache_hits);
+  w.u64(response.stats.cache_misses);
+  return w.take();
+}
+
+Response decode_response(std::span<const std::byte> payload) {
+  serde::ByteReader r(payload);
+  const std::uint32_t version = r.u32();
+  if (version != kProtocolVersion) {
+    throw serde::WireError("protocol version mismatch: " +
+                           std::to_string(version));
+  }
+  Response response;
+  response.ok = r.u8() != 0;
+  response.exit_code = r.u8();
+  response.error = r.str32();
+  response.body = r.str32();
+  response.stats.files = r.u64();
+  response.stats.findings = r.u64();
+  response.stats.parse_errors = r.u64();
+  response.stats.read_errors = r.u64();
+  response.stats.mem_cache_hits = r.u64();
+  response.stats.disk_cache_hits = r.u64();
+  response.stats.cache_misses = r.u64();
+  if (!r.at_end()) throw serde::WireError("trailing bytes after response");
+  return response;
+}
+
+#if PNLAB_HAVE_SOCKETS
+
+namespace {
+
+/// Reads exactly @p n bytes.  Returns 0 on clean EOF before the first
+/// byte, n on success; throws on errors and mid-message EOF.
+std::size_t read_exact(int fd, void* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, static_cast<char*>(buf) + got, n - got);
+    if (r == 0) {
+      if (got == 0) return 0;
+      throw std::runtime_error("connection closed mid-frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("read: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+void write_all(int fd, const void* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r =
+        ::write(fd, static_cast<const char*>(buf) + sent, n - sent);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::vector<std::byte>* payload) {
+  std::uint8_t header[4];
+  if (read_exact(fd, header, sizeof(header)) == 0) return false;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(header[0]) |
+      (static_cast<std::uint32_t>(header[1]) << 8) |
+      (static_cast<std::uint32_t>(header[2]) << 16) |
+      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > kMaxFrameBytes) {
+    // Refused before the allocation — the daemon must not oversize a
+    // buffer off an attacker-controlled length field (the irony would
+    // be fatal).
+    throw std::runtime_error("frame length " + std::to_string(length) +
+                             " exceeds limit");
+  }
+  payload->resize(length);
+  if (length > 0 && read_exact(fd, payload->data(), length) == 0) {
+    throw std::runtime_error("connection closed mid-frame");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::span<const std::byte> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("frame payload exceeds limit");
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(length & 0xff),
+      static_cast<std::uint8_t>((length >> 8) & 0xff),
+      static_cast<std::uint8_t>((length >> 16) & 0xff),
+      static_cast<std::uint8_t>((length >> 24) & 0xff),
+  };
+  write_all(fd, header, sizeof(header));
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+#else  // !PNLAB_HAVE_SOCKETS
+
+bool read_frame(int, std::vector<std::byte>*) {
+  throw std::runtime_error("unix sockets unavailable on this platform");
+}
+
+void write_frame(int, std::span<const std::byte>) {
+  throw std::runtime_error("unix sockets unavailable on this platform");
+}
+
+#endif  // PNLAB_HAVE_SOCKETS
+
+std::string default_socket_path() {
+  if (const char* env = std::getenv("PNC_SOCKET"); env && *env) return env;
+  return default_cache_dir() + "/pncd.sock";
+}
+
+}  // namespace pnlab::service

@@ -1,0 +1,90 @@
+// The pncd wire protocol: length-prefixed frames over a unix-domain
+// stream socket.
+//
+// Framing is deliberately minimal — every message is one frame:
+//
+//   [u32 little-endian payload length][payload bytes]
+//
+// with the payload encoded by the length-checked serde wire primitives.
+// A frame longer than kMaxFrameBytes is refused before allocation, so a
+// corrupt or hostile peer cannot make the daemon reserve gigabytes off
+// four bytes — this repo is about length-field attacks; its own server
+// does not get to have one.
+//
+// One connection carries any number of request/response round trips in
+// order (clients may keep a connection open across CI steps).  Protocol
+// errors (bad magic, truncated payload, unknown kind) close the
+// connection; per-file analysis problems do not — they travel inside a
+// successful response, exactly like the CLI's per-file error records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pnlab::service {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Hard ceiling on one frame's payload (requests are path lists and
+/// responses are JSON/SARIF documents; 64 MiB is generous for both).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class RequestKind : std::uint8_t {
+  kPing = 1,          ///< liveness probe; body unused
+  kAnalyzeFiles = 2,  ///< analyze the named files (server-side paths)
+  kAnalyzeDir = 3,    ///< analyze every .pnc under paths[0], recursively
+  kStats = 4,         ///< server/cache counters as a JSON body
+  kShutdown = 5,      ///< stop accepting; drain and exit
+};
+
+enum class OutputFormat : std::uint8_t { kJson = 0, kSarif = 1, kText = 2 };
+
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  OutputFormat format = OutputFormat::kJson;
+  bool use_cache = true;  ///< false: bypass both cache layers
+  std::vector<std::string> paths;
+};
+
+/// Cache/batch counters piggybacked on every analyze response, so
+/// clients can report hit ratios without a second round trip.
+struct ResponseStats {
+  std::uint64_t files = 0;
+  std::uint64_t findings = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t read_errors = 0;
+  std::uint64_t mem_cache_hits = 0;
+  std::uint64_t disk_cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+struct Response {
+  bool ok = false;        ///< request understood and executed
+  std::uint8_t exit_code = 0;  ///< mirrors pnc_analyze: 0 clean, 1
+                               ///< findings/parse errors, 2 server
+                               ///< error, 3 read errors
+  std::string error;      ///< reason when !ok
+  std::string body;       ///< rendered JSON/SARIF/text output
+  ResponseStats stats;
+};
+
+/// Payload codecs.  Decoders throw serde::WireError on any malformed
+/// input — truncation, unknown version, out-of-range enums.
+std::vector<std::byte> encode_request(const Request& request);
+Request decode_request(std::span<const std::byte> payload);
+std::vector<std::byte> encode_response(const Response& response);
+Response decode_response(std::span<const std::byte> payload);
+
+/// Blocking framed IO on a connected socket fd.  read_frame returns
+/// false on clean EOF before any byte (peer closed between messages)
+/// and throws std::runtime_error on short reads, IO errors, or an
+/// oversized frame; write_frame throws on IO errors.
+bool read_frame(int fd, std::vector<std::byte>* payload);
+void write_frame(int fd, std::span<const std::byte> payload);
+
+/// `$PNC_SOCKET`, else `<default_cache_dir()>/pncd.sock`.
+std::string default_socket_path();
+
+}  // namespace pnlab::service

@@ -1,0 +1,67 @@
+#include "service/result_codec.h"
+
+#include "serde/wire.h"
+
+namespace pnlab::service {
+
+using analysis::AnalysisResult;
+using analysis::Diagnostic;
+using analysis::Severity;
+
+std::vector<std::byte> encode_result(const AnalysisResult& result) {
+  serde::ByteWriter w;
+  w.u32(kResultCodecVersion);
+  w.u64(result.diagnostics.size());
+  for (const Diagnostic& d : result.diagnostics) {
+    w.str32(d.code);
+    w.u8(static_cast<std::uint8_t>(d.severity));
+    w.u64(static_cast<std::uint64_t>(d.line));
+    w.u64(static_cast<std::uint64_t>(d.col));
+    w.str32(d.function);
+    w.str32(d.message);
+  }
+  w.u64(result.functions_analyzed);
+  w.u64(result.classes_laid_out);
+  w.u64(result.placement_sites);
+  w.u64(result.ast_nodes);
+  w.u64(result.ast_arena_bytes);
+  return w.take();
+}
+
+AnalysisResult decode_result(std::span<const std::byte> payload) {
+  serde::ByteReader r(payload);
+  const std::uint32_t version = r.u32();
+  if (version != kResultCodecVersion) {
+    throw serde::WireError("result codec version mismatch: " +
+                           std::to_string(version));
+  }
+  AnalysisResult result;
+  const std::uint64_t count = r.u64();
+  result.diagnostics.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Diagnostic d;
+    d.code = r.str32();
+    const std::uint8_t severity = r.u8();
+    if (severity > static_cast<std::uint8_t>(Severity::Info)) {
+      throw serde::WireError("invalid severity byte: " +
+                             std::to_string(severity));
+    }
+    d.severity = static_cast<Severity>(severity);
+    d.line = static_cast<int>(r.u64());
+    d.col = static_cast<int>(r.u64());
+    d.function = r.str32();
+    d.message = r.str32();
+    result.diagnostics.push_back(std::move(d));
+  }
+  result.functions_analyzed = static_cast<std::size_t>(r.u64());
+  result.classes_laid_out = static_cast<std::size_t>(r.u64());
+  result.placement_sites = static_cast<std::size_t>(r.u64());
+  result.ast_nodes = static_cast<std::size_t>(r.u64());
+  result.ast_arena_bytes = static_cast<std::size_t>(r.u64());
+  if (!r.at_end()) {
+    throw serde::WireError("trailing bytes after result payload");
+  }
+  return result;
+}
+
+}  // namespace pnlab::service

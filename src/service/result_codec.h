@@ -1,0 +1,33 @@
+// Byte codec for cached AnalysisResults.
+//
+// The on-disk result cache stores what the analyzer computed, not the
+// source it computed it from — entries are addressed by the (FNV-1a,
+// length) pair ingestion already derives.  This codec is the entry
+// payload format: a versioned little-endian encoding built on the
+// length-checked serde wire primitives, so a truncated or bit-flipped
+// payload surfaces as a WireError (which the cache treats as a miss)
+// rather than as a silently wrong result.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "analysis/analyzer.h"
+
+namespace pnlab::service {
+
+/// Bump on any change to the encoding below.  A payload with a
+/// different version is unreadable by this build and must be treated as
+/// a cache miss, never reinterpreted.
+inline constexpr std::uint32_t kResultCodecVersion = 1;
+
+/// Serializes @p result (diagnostics and all counters to_json renders).
+std::vector<std::byte> encode_result(const analysis::AnalysisResult& result);
+
+/// Inverse of encode_result.  Throws serde::WireError on truncation,
+/// trailing garbage, an unknown codec version, or an out-of-range
+/// severity — every malformed payload is loud, none decodes quietly.
+analysis::AnalysisResult decode_result(std::span<const std::byte> payload);
+
+}  // namespace pnlab::service

@@ -1,0 +1,369 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/telemetry.h"
+#include "serde/wire.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PNLAB_HAVE_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace pnlab::service {
+
+using analysis::BatchDriver;
+using analysis::BatchResult;
+using analysis::DriverOptions;
+using analysis::MappedBuffer;
+using analysis::SourceFile;
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  memory_cache_ = std::make_shared<analysis::ResultCache>();
+  memory_cache_->set_max_entries(options_.driver.cache_max_entries);
+  if (!options_.cache_dir.empty()) {
+    DiskCacheOptions disk;
+    disk.dir = options_.cache_dir;
+    disk.max_bytes = options_.cache_max_bytes;
+    disk_cache_ = std::make_unique<DiskCache>(disk);
+  }
+}
+
+Server::~Server() {
+#if PNLAB_HAVE_SOCKETS
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch (shared by the wire path and in-process callers)
+
+namespace {
+
+/// Exit-code policy, identical to pnc_analyze: 3 when any file failed
+/// to ingest, else 1 on findings or parse errors, else 0.
+std::uint8_t exit_code_for(const BatchResult& batch) {
+  if (batch.stats.read_errors > 0) return 3;
+  if (batch.finding_count() > 0 || batch.has_parse_errors()) return 1;
+  return 0;
+}
+
+std::string render(const BatchResult& batch, OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kJson:
+      return analysis::to_json(batch);
+    case OutputFormat::kSarif:
+      return analysis::to_sarif(batch);
+    case OutputFormat::kText: {
+      std::ostringstream os;
+      for (const analysis::FileReport& f : batch.files) {
+        if (!f.ok) os << f.file << ": parse error: " << f.error << "\n";
+      }
+      for (const analysis::Finding& f : batch.findings) {
+        os << f.file << ": " << f.diag.format() << "\n";
+      }
+      os << batch.stats.files << " file(s), " << batch.finding_count()
+         << " finding(s), " << batch.stats.parse_errors
+         << " parse error(s)\n";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+void fill_stats(const BatchResult& batch, ResponseStats* stats) {
+  stats->files = batch.stats.files;
+  stats->findings = batch.stats.findings;
+  stats->parse_errors = batch.stats.parse_errors;
+  stats->read_errors = batch.stats.read_errors;
+  stats->mem_cache_hits = batch.stats.cache.hits;
+  stats->disk_cache_hits = batch.stats.disk_hits;
+  // The driver counts a disk promotion as a memory miss first; subtract
+  // it back out so the three counters partition the files.
+  stats->cache_misses = batch.stats.cache.misses - batch.stats.disk_hits;
+}
+
+}  // namespace
+
+Response Server::handle(const Request& request) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  Response response;
+  switch (request.kind) {
+    case RequestKind::kPing: {
+      response.ok = true;
+      response.body = "pong";
+      return response;
+    }
+    case RequestKind::kStats: {
+      const analysis::CacheStats mem = memory_cache_->stats();
+      std::ostringstream os;
+      os << "{\n"
+         << "  \"requests_served\": " << requests_served() << ",\n"
+         << "  \"memory_cache\": {\"entries\": " << memory_cache_->size()
+         << ", \"hits\": " << mem.hits << ", \"misses\": " << mem.misses
+         << ", \"evictions\": " << mem.evictions << "},\n"
+         << "  \"disk_cache\": ";
+      if (disk_cache_) {
+        const analysis::CacheStats disk = disk_cache_->stats();
+        os << "{\"dir\": \"" << disk_cache_->dir()
+           << "\", \"entries\": " << disk_cache_->entries()
+           << ", \"bytes\": " << disk_cache_->total_bytes()
+           << ", \"hits\": " << disk.hits << ", \"misses\": " << disk.misses
+           << ", \"evictions\": " << disk.evictions << "}";
+      } else {
+        os << "null";
+      }
+      os << "\n}\n";
+      response.ok = true;
+      response.body = os.str();
+      return response;
+    }
+    case RequestKind::kShutdown: {
+      response.ok = true;
+      response.body = "stopping";
+      return response;  // the connection handler triggers the stop
+    }
+    case RequestKind::kAnalyzeFiles:
+    case RequestKind::kAnalyzeDir:
+      break;
+  }
+
+  // Analysis requests: a per-request driver wired into the shared
+  // memory cache and the disk layer.  Building a driver is cheap; the
+  // caches are where the state lives.
+  DriverOptions driver_options = options_.driver;
+  driver_options.shared_cache = memory_cache_;
+  driver_options.secondary_cache =
+      request.use_cache ? disk_cache_.get() : nullptr;
+  if (!request.use_cache) driver_options.use_cache = false;
+  BatchDriver driver(driver_options);
+
+  try {
+    BatchResult batch;
+    if (request.kind == RequestKind::kAnalyzeDir) {
+      if (request.paths.size() != 1) {
+        response.exit_code = 2;
+        response.error = "analyze-dir takes exactly one path";
+        return response;
+      }
+      batch = driver.run_directory(request.paths[0]);
+    } else {
+      if (request.paths.empty()) {
+        response.exit_code = 2;
+        response.error = "analyze-files takes at least one path";
+        return response;
+      }
+      const MappedBuffer::Ingestion mode =
+          driver_options.mmap_ingestion ? MappedBuffer::Ingestion::kAuto
+                                        : MappedBuffer::Ingestion::kRead;
+      // Lenient ingestion, like the directory walk: a missing file is a
+      // per-file record the client sees (and exit code 3), because a
+      // daemon serving many clients must not turn one bad path into an
+      // opaque batch failure.
+      std::vector<SourceFile> files;
+      std::vector<analysis::FileReport> unreadable;
+      for (const std::string& path : request.paths) {
+        std::string error;
+        auto buffer = MappedBuffer::open(path, mode, &error);
+        if (!buffer) {
+          analysis::FileReport report;
+          report.file = path;
+          report.ok = false;
+          report.error = "read error: " + error;
+          unreadable.push_back(std::move(report));
+          continue;
+        }
+        files.push_back(SourceFile::mapped(path, std::move(buffer)));
+      }
+      batch = driver.run(files);
+      if (!unreadable.empty()) {
+        batch.stats.read_errors += unreadable.size();
+        batch.stats.parse_errors += unreadable.size();
+        for (analysis::FileReport& report : unreadable) {
+          batch.files.push_back(std::move(report));
+        }
+        std::stable_sort(
+            batch.files.begin(), batch.files.end(),
+            [](const analysis::FileReport& a, const analysis::FileReport& b) {
+              return a.file < b.file;
+            });
+        batch.stats.files = batch.files.size();
+      }
+    }
+    response.ok = true;
+    response.exit_code = exit_code_for(batch);
+    response.body = render(batch, request.format);
+    fill_stats(batch, &response.stats);
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.exit_code = 2;
+    response.error = e.what();
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Socket plumbing
+
+#if PNLAB_HAVE_SOCKETS
+
+namespace {
+
+bool fill_sockaddr(const std::string& path, sockaddr_un* addr,
+                   std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (error) {
+      *error = "socket path empty or longer than " +
+               std::to_string(sizeof(addr->sun_path) - 1) + " bytes: " + path;
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// True when something is accepting on @p path right now.
+bool socket_is_live(const std::string& path) {
+  sockaddr_un addr{};
+  if (!fill_sockaddr(path, &addr, nullptr)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const bool live =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0;
+  ::close(fd);
+  return live;
+}
+
+}  // namespace
+
+bool Server::start(std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_sockaddr(options_.socket_path, &addr, error)) return false;
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::exists(options_.socket_path, ec)) {
+    if (socket_is_live(options_.socket_path)) {
+      if (error) {
+        *error = "a pncd is already listening on " + options_.socket_path;
+      }
+      return false;
+    }
+    // Stale socket from a crashed daemon: safe to replace.
+    fs::remove(options_.socket_path, ec);
+  }
+  fs::create_directories(fs::path(options_.socket_path).parent_path(), ec);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    if (error) {
+      *error = options_.socket_path + ": " + std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void Server::serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (request_stop) or fatal
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      ++active_connections_;
+    }
+    std::thread([this, fd] {
+      handle_connection(fd);
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      if (--active_connections_ == 0) drained_.notify_all();
+    }).detach();
+  }
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drained_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::error_code ec;
+  std::filesystem::remove(options_.socket_path, ec);
+  if (disk_cache_) disk_cache_->save_index();
+}
+
+void Server::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  // Unblocks accept(2).  shutdown(2) is async-signal-safe, so pncd's
+  // SIGINT/SIGTERM handlers may call this directly.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::handle_connection(int fd) {
+  PN_INSTANT("service_connection", "");
+  std::vector<std::byte> payload;
+  try {
+    while (read_frame(fd, &payload)) {
+      bool shutdown_after = false;
+      Response response;
+      try {
+        const Request request = decode_request(payload);
+        response = handle(request);
+        shutdown_after = request.kind == RequestKind::kShutdown;
+      } catch (const serde::WireError& e) {
+        // Malformed request payload: answer once, then drop the
+        // connection — framing may be out of sync.
+        response.ok = false;
+        response.exit_code = 2;
+        response.error = std::string("bad request: ") + e.what();
+        write_frame(fd, encode_response(response));
+        break;
+      }
+      write_frame(fd, encode_response(response));
+      if (shutdown_after) {
+        request_stop();
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    // IO error or oversized frame: nothing sane to send; just close.
+  }
+  ::close(fd);
+}
+
+#else  // !PNLAB_HAVE_SOCKETS
+
+bool Server::start(std::string* error) {
+  if (error) *error = "unix sockets unavailable on this platform";
+  return false;
+}
+void Server::serve() {}
+void Server::request_stop() { stop_.store(true, std::memory_order_release); }
+void Server::handle_connection(int) {}
+
+#endif  // PNLAB_HAVE_SOCKETS
+
+}  // namespace pnlab::service

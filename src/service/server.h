@@ -1,0 +1,88 @@
+// pncd's core: a long-lived unix-domain-socket analysis server.
+//
+// The server owns the two cache layers the short-lived CLI cannot keep
+// warm: one shared in-memory ResultCache and one content-addressed
+// DiskCache.  Each request builds a cheap per-request BatchDriver that
+// plugs into both (DriverOptions::shared_cache / secondary_cache), so
+// concurrent clients share every previously computed result, and a
+// daemon restart only costs the memory layer — the disk layer warm
+// starts from its index.
+//
+// Concurrency model: one accept loop, one detached handler thread per
+// connection, any number of framed request/response round trips per
+// connection.  Handlers never share mutable state except through the
+// thread-safe caches, so a slow directory scan on one connection never
+// blocks a ping on another.  Shutdown (request or signal) stops the
+// accept loop, drains in-flight handlers, persists the cache index, and
+// unlinks the socket.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "analysis/driver.h"
+#include "service/disk_cache.h"
+#include "service/protocol.h"
+
+namespace pnlab::service {
+
+struct ServerOptions {
+  std::string socket_path;  ///< unix socket to listen on (required)
+  /// Disk cache directory; empty disables the disk layer entirely.
+  std::string cache_dir;
+  std::uint64_t cache_max_bytes = DiskCacheOptions{}.max_bytes;
+  /// Per-request driver configuration (threads, analyzer options, the
+  /// memory cache entry cap).  `shared_cache`/`secondary_cache` are
+  /// overwritten per request — the server wires its own layers in.
+  analysis::DriverOptions driver;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens.  Replaces a stale socket file (one nothing
+  /// accepts on); refuses to start when a live pncd already answers.
+  bool start(std::string* error);
+  /// Blocks in the accept loop until request_stop(); drains in-flight
+  /// connections and persists the disk-cache index before returning.
+  void serve();
+  /// Stops the accept loop.  Callable from any thread and — being one
+  /// atomic store plus one shutdown(2) — from a signal handler.
+  void request_stop();
+
+  /// One Response for one Request, bypassing the socket — the unit
+  /// tests and the in-process fallback exercise exactly the dispatch
+  /// the wire path uses.
+  Response handle(const Request& request);
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  const DiskCache* disk_cache() const { return disk_cache_.get(); }
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void handle_connection(int fd);
+
+  ServerOptions options_;
+  std::shared_ptr<analysis::ResultCache> memory_cache_;
+  std::unique_ptr<DiskCache> disk_cache_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+  std::size_t active_connections_ = 0;
+};
+
+}  // namespace pnlab::service

@@ -276,6 +276,49 @@ TEST(MappedBufferTest, MissingAndNonRegularFilesError) {
       << "the read fallback must reject directories too";
 }
 
+TEST(MappedBufferTest, TruncationDuringIngestionFallsBackToRead) {
+  // Regression: a file that shrinks between the initial fstat and the
+  // first read through the mapping left the tail of the map past EOF —
+  // touching it (the ingestion-time content hash walks every byte) was
+  // a SIGBUS.  The test hook shrinks the file inside exactly that
+  // window; open() must detect the change and serve the truncated bytes
+  // through the buffered-read path instead of a doomed mapping.
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "pnlab_mb_shrink.pnc";
+  const std::string big(1u << 20, 'x');  // 1 MiB, well past one page
+  std::ofstream(path, std::ios::binary) << big;
+
+  MappedBuffer::set_ingestion_test_hook([](const std::string& hooked) {
+    std::filesystem::resize_file(hooked, 4096);
+  });
+  std::string error;
+  const auto buf = MappedBuffer::open(path.string(),
+                                      MappedBuffer::Ingestion::kAuto, &error);
+  MappedBuffer::set_ingestion_test_hook(nullptr);
+
+  ASSERT_NE(buf, nullptr) << error;
+  EXPECT_FALSE(buf->is_mapped());
+  EXPECT_EQ(buf->view().size(), 4096u);
+  EXPECT_EQ(buf->view(), std::string(4096, 'x'));
+  // The strict map-only mode cannot fall back: it must fail loudly
+  // rather than return a view onto vanished bytes.
+  std::ofstream(path, std::ios::binary) << big;
+  MappedBuffer::set_ingestion_test_hook([](const std::string& hooked) {
+    std::filesystem::resize_file(hooked, 4096);
+  });
+  error.clear();
+  const auto strict = MappedBuffer::open(
+      path.string(), MappedBuffer::Ingestion::kMap, &error);
+  MappedBuffer::set_ingestion_test_hook(nullptr);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_EQ(strict, nullptr);
+  EXPECT_NE(error.find("changed size"), std::string::npos);
+#else
+  (void)strict;  // kMap is unsupported off-POSIX; behavior covered above
+#endif
+  fs::remove(path);
+}
+
 TEST(BatchDriverTest, MmapAndFallbackIngestionIdentical) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "pnlab_ingestion_modes";
@@ -332,6 +375,97 @@ TEST(BatchDriverTest, RunDirectoryRecordsUnreadableEntries) {
   // The error record also survives serialization as a failed file.
   EXPECT_NE(to_json(batch).find("read error"), std::string::npos);
 }
+
+TEST(BatchDriverTest, RunDirectoryRecursesIntoSubdirectories) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pnlab_recursive_corpus";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "a" / "deep");
+  fs::create_directories(dir / "b");
+  std::ofstream(dir / "top.pnc") << corpus::corpus_case("listing04").source;
+  std::ofstream(dir / "a" / "mid.pnc")
+      << corpus::corpus_case("listing04").source;
+  std::ofstream(dir / "a" / "deep" / "leaf.pnc")
+      << corpus::corpus_case("listing04").source;
+  std::ofstream(dir / "b" / "ignored.txt") << "not pnc";
+
+  BatchDriver driver;
+  const BatchResult batch = driver.run_directory(dir.string());
+  fs::remove_all(dir);
+
+  ASSERT_EQ(batch.files.size(), 3u);
+  EXPECT_EQ(batch.stats.parse_errors, 0u);
+  // Deterministic order: sorted by path, so nested files interleave
+  // with top-level ones by name, not by discovery order.
+  EXPECT_NE(batch.files[0].file.find("leaf.pnc"), std::string::npos);
+  EXPECT_NE(batch.files[1].file.find("mid.pnc"), std::string::npos);
+  EXPECT_NE(batch.files[2].file.find("top.pnc"), std::string::npos);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(BatchDriverTest, RunDirectoryTerminatesOnSymlinkCycle) {
+  // Pre-fix, a symlink pointing back up the tree made the recursive
+  // walk loop forever.  Now every directory is visited at most once
+  // (tracked by (device, inode)), and the revisit is recorded as a
+  // per-file read error so CI can see the tree was not fully walked.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pnlab_symlink_cycle";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "sub");
+  std::ofstream(dir / "good.pnc") << corpus::corpus_case("listing04").source;
+  std::ofstream(dir / "sub" / "nested.pnc")
+      << corpus::corpus_case("listing04").source;
+  fs::create_directory_symlink(dir, dir / "sub" / "loop");
+
+  BatchDriver driver;
+  const BatchResult batch = driver.run_directory(dir.string());
+  fs::remove_all(dir);
+
+  // Both real files analyzed once each, plus one cycle record.
+  ASSERT_EQ(batch.files.size(), 3u);
+  EXPECT_EQ(batch.stats.read_errors, 1u);
+  std::size_t analyzed = 0;
+  bool cycle_recorded = false;
+  for (const FileReport& f : batch.files) {
+    if (f.ok) {
+      ++analyzed;
+    } else {
+      cycle_recorded = true;
+      EXPECT_NE(f.error.find("read error"), std::string::npos);
+      EXPECT_NE(f.error.find("cycle"), std::string::npos);
+      EXPECT_NE(f.file.find("loop"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(analyzed, 2u);
+  EXPECT_TRUE(cycle_recorded);
+}
+
+TEST(BatchDriverTest, RunDirectoryVisitsBranchedSymlinksOnce) {
+  // Two symlinks to the same real directory: the target is analyzed
+  // through whichever path sorts first and recorded as a revisit on the
+  // second — never analyzed twice (duplicate findings) and never looped.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pnlab_symlink_diamond";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "real");
+  std::ofstream(dir / "real" / "one.pnc")
+      << corpus::corpus_case("listing04").source;
+  fs::create_directory_symlink(dir / "real", dir / "alias");
+
+  BatchDriver driver;
+  const BatchResult batch = driver.run_directory(dir.string());
+  fs::remove_all(dir);
+
+  std::size_t analyzed = 0;
+  std::size_t revisits = 0;
+  for (const FileReport& f : batch.files) {
+    (f.ok ? analyzed : revisits) += 1;
+  }
+  EXPECT_EQ(analyzed, 1u);
+  EXPECT_EQ(revisits, 1u);
+  EXPECT_EQ(batch.stats.read_errors, 1u);
+}
+#endif  // unix symlinks
 
 TEST(ResultCacheTest, KeyedFindSkipsRehash) {
   ResultCache cache;

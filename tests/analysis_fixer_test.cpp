@@ -114,6 +114,50 @@ void f() {
             std::string::npos);
 }
 
+TEST(FixerTest, CrlfSourceFixesWithoutStrayCarriageReturns) {
+  // Regression: std::getline leaves the '\r' of a CRLF ending on the
+  // line, so every fix the old code applied to a CRLF source landed one
+  // byte off — a sizeof guard would close its brace after the '\r'
+  // ("stmt;\r }"), leaving a carriage return mid-line.  The fixer must
+  // normalize while splitting and re-emit the source's own endings.
+  const std::string lf_source = R"(
+class Student { double gpa; int year; int semester; };
+class GradStudent : Student { int ssn[3]; };
+void addStudent() {
+  Student stud;
+  GradStudent* st = new (&stud) GradStudent();
+}
+)";
+  std::string crlf_source;
+  for (const char c : lf_source) {
+    if (c == '\n') crlf_source += '\r';
+    crlf_source += c;
+  }
+
+  const FixResult lf = fix(lf_source);
+  const FixResult crlf = fix(crlf_source);
+  ASSERT_EQ(crlf.fixes.size(), lf.fixes.size());
+  EXPECT_TRUE(crlf.fixes[0].applied);
+
+  // Golden: CRLF in, CRLF out — and the fixed bytes are exactly the LF
+  // fix with every ending widened.  No '\r' may appear mid-line.
+  std::string expected;
+  for (const char c : lf.fixed_source) {
+    if (c == '\n') expected += '\r';
+    expected += c;
+  }
+  EXPECT_EQ(crlf.fixed_source, expected);
+  for (std::size_t i = 0; i < crlf.fixed_source.size(); ++i) {
+    if (crlf.fixed_source[i] == '\r') {
+      ASSERT_LT(i + 1, crlf.fixed_source.size());
+      EXPECT_EQ(crlf.fixed_source[i + 1], '\n') << "stray \\r at " << i;
+    }
+  }
+  // And the fix is real: the guarded CRLF source re-analyzes clean.
+  EXPECT_EQ(analyze(crlf.fixed_source).finding_count(), 0u)
+      << analyze(crlf.fixed_source).to_string();
+}
+
 TEST(FixerTest, FixIsIdempotent) {
   const std::string source = corpus::corpus_case("listing04").source;
   const FixResult once = fix(source);

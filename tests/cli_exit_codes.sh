@@ -1,0 +1,64 @@
+#!/bin/sh
+# cli_exit_codes: the pnc_analyze exit-code contract, asserted through
+# the real binary.  0 = clean tree, 1 = findings or parse errors, 2 =
+# usage/IO errors, 3 = read errors (part of the tree was never analyzed
+# — the code that regression-guards the old "exit 0 despite read_errors"
+# bug).
+#
+# Usage: cli_exit_codes.sh <pnc_analyze> <examples-dir>
+set -u
+
+ANALYZE=$1
+EXAMPLES=$2
+
+TMP=$(mktemp -d /tmp/pncexit.XXXXXX) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+    echo "cli_exit_codes: FAIL: $1" >&2
+    exit 1
+}
+
+expect() {
+    want=$1
+    what=$2
+    shift 2
+    "$@" >/dev/null 2>&1
+    got=$?
+    [ "$got" = "$want" ] || fail "$what: exited $got, expected $want"
+}
+
+# 0: a clean tree.
+mkdir "$TMP/clean"
+cp "$EXAMPLES/safe_guarded.pnc" "$TMP/clean/"
+expect 0 "clean tree" "$ANALYZE" --dir "$TMP/clean"
+
+# 1: findings.
+expect 1 "tree with findings" "$ANALYZE" --dir "$EXAMPLES"
+
+# 1: parse errors count as analysis problems, not IO problems.
+mkdir "$TMP/broken"
+printf 'class {' >"$TMP/broken/broken.pnc"
+expect 1 "tree with a parse error" "$ANALYZE" --dir "$TMP/broken"
+
+# 2: usage and IO errors.
+expect 2 "unknown flag" "$ANALYZE" --no-such-flag corpus
+expect 2 "missing named file" "$ANALYZE" "$TMP/does-not-exist.pnc"
+expect 2 "missing directory" "$ANALYZE" --dir "$TMP/does-not-exist"
+
+# 3: read errors — part of the tree was never analyzed.  A directory
+# named *.pnc is ingested as a candidate and fails as a per-file read
+# error; the batch still runs, but the exit code must say the pass was
+# incomplete even though the readable files were clean.
+mkdir "$TMP/partial"
+cp "$EXAMPLES/safe_guarded.pnc" "$TMP/partial/"
+mkdir "$TMP/partial/imposter.pnc"
+expect 3 "tree with a read error" "$ANALYZE" --dir "$TMP/partial"
+
+# ... and read errors outrank findings: an incomplete pass is reported
+# as incomplete, not as "had findings".
+cp "$EXAMPLES/overflow_listing04.pnc" "$TMP/partial/"
+expect 3 "findings plus a read error" "$ANALYZE" --dir "$TMP/partial"
+
+echo "cli_exit_codes: OK"
+exit 0

@@ -1,0 +1,92 @@
+#!/bin/sh
+# service_smoke: end-to-end check of the pncd daemon through its real
+# binaries — boot on a temp socket, hit it with 8 concurrent pnc_client
+# runs over examples/pnc, golden-diff every response against in-process
+# pnc_analyze output, then shut down cleanly.
+#
+# Usage: service_smoke.sh <pncd> <pnc_client> <pnc_analyze> <examples-dir>
+set -u
+
+PNCD=$1
+CLIENT=$2
+ANALYZE=$3
+EXAMPLES=$4
+
+TMP=$(mktemp -d /tmp/pncsmoke.XXXXXX) || exit 1
+DPID=""
+cleanup() {
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "service_smoke: FAIL: $1" >&2
+    [ -f "$TMP/pncd.log" ] && sed 's/^/  pncd: /' "$TMP/pncd.log" >&2
+    exit 1
+}
+
+SOCK="$TMP/s.sock"
+"$PNCD" --socket="$SOCK" --cache-dir="$TMP/cache" 2>"$TMP/pncd.log" &
+DPID=$!
+
+# Wait for the daemon to come up (ping answers once the socket listens).
+up=0
+i=0
+while [ $i -lt 100 ]; do
+    if "$CLIENT" --socket="$SOCK" ping >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+[ $up -eq 1 ] || fail "daemon did not come up"
+
+# Golden: the in-process CLI over the same (absolute) tree.
+"$ANALYZE" --format=json --dir "$EXAMPLES" >"$TMP/golden.json"
+st=$?
+[ $st -eq 1 ] || fail "pnc_analyze golden run exited $st, expected 1"
+
+# 8 concurrent clients, each a full analyze round trip.  Every body must
+# be byte-identical to the in-process output and carry the same exit
+# code.
+client_pids=""
+for i in 1 2 3 4 5 6 7 8; do
+    (
+        "$CLIENT" --socket="$SOCK" --format=json --dir "$EXAMPLES" \
+            >"$TMP/out.$i.json" 2>"$TMP/err.$i"
+        echo $? >"$TMP/status.$i"
+    ) &
+    client_pids="$client_pids $!"
+done
+for job in $client_pids; do
+    wait "$job" || fail "a client job did not complete"
+done
+
+for i in 1 2 3 4 5 6 7 8; do
+    st=$(cat "$TMP/status.$i" 2>/dev/null || echo missing)
+    [ "$st" = "1" ] || fail "client $i exited '$st', expected 1 (findings)"
+    cmp -s "$TMP/out.$i.json" "$TMP/golden.json" ||
+        fail "client $i body differs from in-process pnc_analyze"
+done
+
+# The daemon routing path of pnc_analyze itself must match too.
+"$ANALYZE" --connect="$SOCK" --format=json --dir "$EXAMPLES" \
+    >"$TMP/routed.json" 2>/dev/null
+st=$?
+[ $st -eq 1 ] || fail "pnc_analyze --connect exited $st, expected 1"
+cmp -s "$TMP/routed.json" "$TMP/golden.json" ||
+    fail "pnc_analyze --connect body differs from in-process output"
+
+# Clean shutdown: the shutdown verb stops the daemon (exit 0) and the
+# socket file is gone afterwards.
+"$CLIENT" --socket="$SOCK" shutdown >/dev/null || fail "shutdown verb failed"
+wait "$DPID"
+st=$?
+DPID=""
+[ $st -eq 0 ] || fail "pncd exited $st on shutdown, expected 0"
+[ ! -S "$SOCK" ] || fail "socket file left behind after shutdown"
+
+echo "service_smoke: OK"
+exit 0

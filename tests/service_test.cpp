@@ -1,0 +1,649 @@
+// Tests for the persistent analysis service: the result codec, the
+// content-addressed on-disk cache (round trips, warm starts, corruption
+// degrading to misses — never to garbage or a crash), the framed
+// protocol codecs, and the unix-socket server end to end (byte-identical
+// output vs the in-process driver, concurrent clients, restart → pure
+// disk hits, shutdown).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/driver.h"
+#include "serde/wire.h"
+#include "service/client.h"
+#include "service/disk_cache.h"
+#include "service/protocol.h"
+#include "service/result_codec.h"
+#include "service/server.h"
+
+namespace pnlab::service {
+namespace {
+
+namespace fs = std::filesystem;
+using analysis::AnalysisResult;
+using analysis::BatchDriver;
+using analysis::BatchResult;
+using analysis::Diagnostic;
+using analysis::DriverOptions;
+using analysis::Severity;
+
+/// Fresh scratch directory under /tmp, removed on scope exit.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+AnalysisResult sample_result() {
+  AnalysisResult r;
+  Diagnostic d;
+  d.code = "PN001";
+  d.severity = Severity::Error;
+  d.line = 7;
+  d.col = 3;
+  d.function = "addStudent";
+  d.message = "placement of GradStudent (24 bytes) into \"stud\" (16)";
+  r.diagnostics.push_back(d);
+  d.code = "PN007";
+  d.severity = Severity::Info;
+  d.line = 9;
+  d.col = 1;
+  d.message = "alignment advisory with\nnewline and \"quotes\"";
+  r.diagnostics.push_back(d);
+  r.functions_analyzed = 2;
+  r.classes_laid_out = 3;
+  r.placement_sites = 4;
+  r.ast_nodes = 123;
+  r.ast_arena_bytes = 4096;
+  return r;
+}
+
+void expect_equal_results(const AnalysisResult& a, const AnalysisResult& b) {
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  for (std::size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].code, b.diagnostics[i].code);
+    EXPECT_EQ(a.diagnostics[i].severity, b.diagnostics[i].severity);
+    EXPECT_EQ(a.diagnostics[i].line, b.diagnostics[i].line);
+    EXPECT_EQ(a.diagnostics[i].col, b.diagnostics[i].col);
+    EXPECT_EQ(a.diagnostics[i].function, b.diagnostics[i].function);
+    EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message);
+  }
+  EXPECT_EQ(a.functions_analyzed, b.functions_analyzed);
+  EXPECT_EQ(a.classes_laid_out, b.classes_laid_out);
+  EXPECT_EQ(a.placement_sites, b.placement_sites);
+  EXPECT_EQ(a.ast_nodes, b.ast_nodes);
+  EXPECT_EQ(a.ast_arena_bytes, b.ast_arena_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Result codec
+
+TEST(ResultCodecTest, RoundTripsEveryField) {
+  const AnalysisResult original = sample_result();
+  const std::vector<std::byte> bytes = encode_result(original);
+  expect_equal_results(decode_result(bytes), original);
+}
+
+TEST(ResultCodecTest, RoundTripsEmptyResult) {
+  const std::vector<std::byte> bytes = encode_result(AnalysisResult{});
+  const AnalysisResult decoded = decode_result(bytes);
+  EXPECT_TRUE(decoded.diagnostics.empty());
+  EXPECT_EQ(decoded.placement_sites, 0u);
+}
+
+TEST(ResultCodecTest, RejectsTruncationVersionSkewAndTrailingBytes) {
+  std::vector<std::byte> bytes = encode_result(sample_result());
+  // Truncated at every prefix length: always a WireError, never UB.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(decode_result(std::span(bytes.data(), len)),
+                 serde::WireError)
+        << "prefix length " << len;
+  }
+  // Unknown future version.
+  std::vector<std::byte> skewed = bytes;
+  skewed[0] = std::byte{0xEE};
+  EXPECT_THROW(decode_result(skewed), serde::WireError);
+  // Trailing garbage.
+  std::vector<std::byte> padded = bytes;
+  padded.push_back(std::byte{0});
+  EXPECT_THROW(decode_result(padded), serde::WireError);
+  // Out-of-range severity byte.
+  const std::vector<std::byte> clean = encode_result(sample_result());
+  std::vector<std::byte> bad_sev = clean;
+  // severity of the first diagnostic: u32 version + u64 count +
+  // u32 len + "PN001".
+  const std::size_t sev_off = 4 + 8 + 4 + 5;
+  ASSERT_EQ(std::to_integer<int>(bad_sev[sev_off]),
+            static_cast<int>(Severity::Error));
+  bad_sev[sev_off] = std::byte{9};
+  EXPECT_THROW(decode_result(bad_sev), serde::WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Wire str32 (the u32-length primitive the service formats ride on)
+
+TEST(WireStr32Test, RoundTripsPastU16Ceiling) {
+  const std::string big(70000, 'x');
+  serde::ByteWriter w;
+  w.str32(big);
+  w.str32("");
+  serde::ByteReader r(w.data());
+  EXPECT_EQ(r.str32(), big);
+  EXPECT_EQ(r.str32(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireStr32Test, ThrowsOnTruncatedPayload) {
+  serde::ByteWriter w;
+  w.str32("hello");
+  const auto& bytes = w.data();
+  serde::ByteReader r(std::span(bytes.data(), bytes.size() - 1));
+  EXPECT_THROW(r.str32(), serde::WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Disk cache
+
+DiskCacheOptions cache_options(const fs::path& dir,
+                               std::uint64_t max_bytes = 0) {
+  DiskCacheOptions o;
+  o.dir = dir.string();
+  o.max_bytes = max_bytes;
+  return o;
+}
+
+TEST(DiskCacheTest, StoreLoadRoundTripAndMissOnAbsent) {
+  ScratchDir scratch("pnlab_disk_cache_roundtrip");
+  DiskCache cache(cache_options(scratch.path));
+  ASSERT_TRUE(cache.usable());
+  EXPECT_FALSE(cache.load(1, 2).has_value());
+
+  const AnalysisResult original = sample_result();
+  cache.store(0xabcdef, 321, original);
+  const auto loaded = cache.load(0xabcdef, 321);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal_results(*loaded, original);
+  // Same hash, different length: a different key.
+  EXPECT_FALSE(cache.load(0xabcdef, 322).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(DiskCacheTest, WarmStartsFromIndexAcrossInstances) {
+  ScratchDir scratch("pnlab_disk_cache_warm");
+  const AnalysisResult original = sample_result();
+  {
+    DiskCache cache(cache_options(scratch.path));
+    cache.store(11, 100, original);
+    cache.store(22, 200, original);
+  }  // destructor persists the index
+  DiskCache reopened(cache_options(scratch.path));
+  EXPECT_EQ(reopened.entries(), 2u);
+  const auto loaded = reopened.load(11, 100);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal_results(*loaded, original);
+}
+
+TEST(DiskCacheTest, RebuildsFromScanWhenIndexMissing) {
+  ScratchDir scratch("pnlab_disk_cache_noindex");
+  {
+    DiskCache cache(cache_options(scratch.path));
+    cache.store(33, 300, sample_result());
+  }
+  fs::remove(scratch.path / "index.v1");
+  DiskCache reopened(cache_options(scratch.path));
+  EXPECT_EQ(reopened.entries(), 1u);
+  EXPECT_TRUE(reopened.load(33, 300).has_value());
+}
+
+TEST(DiskCacheTest, TruncatedIndexDegradesToScanNotGarbage) {
+  ScratchDir scratch("pnlab_disk_cache_truncidx");
+  {
+    DiskCache cache(cache_options(scratch.path));
+    cache.store(44, 400, sample_result());
+    cache.store(55, 500, sample_result());
+  }
+  // Simulate a crash mid-write of a *non-atomic* index writer: keep a
+  // strict prefix of the manifest.
+  const fs::path index = scratch.path / "index.v1";
+  std::string bytes;
+  {
+    std::ifstream in(index, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  ASSERT_GT(bytes.size(), 20u);
+  for (const std::size_t keep : {bytes.size() / 2, std::size_t{5}}) {
+    std::ofstream(index, std::ios::binary | std::ios::trunc)
+        << bytes.substr(0, keep);
+    DiskCache reopened(cache_options(scratch.path));
+    EXPECT_EQ(reopened.entries(), 2u) << "kept " << keep << " bytes";
+    EXPECT_TRUE(reopened.load(44, 400).has_value());
+    EXPECT_TRUE(reopened.load(55, 500).has_value());
+  }
+}
+
+TEST(DiskCacheTest, CorruptIndexChecksumDegradesToScan) {
+  ScratchDir scratch("pnlab_disk_cache_badidx");
+  {
+    DiskCache cache(cache_options(scratch.path));
+    cache.store(66, 600, sample_result());
+  }
+  const fs::path index = scratch.path / "index.v1";
+  std::fstream f(index, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(20);  // inside the record region
+  char c = 0;
+  f.read(&c, 1);
+  f.seekp(20);
+  c = static_cast<char>(c ^ 0x5a);
+  f.write(&c, 1);
+  f.close();
+  DiskCache reopened(cache_options(scratch.path));
+  EXPECT_EQ(reopened.entries(), 1u);
+  EXPECT_TRUE(reopened.load(66, 600).has_value());
+}
+
+TEST(DiskCacheTest, FlippedEntryByteIsAMissAndEntryIsDropped) {
+  ScratchDir scratch("pnlab_disk_cache_flip");
+  const AnalysisResult original = sample_result();
+  // Flip byte positions across the file (header, checksum, and payload)
+  // — no single-bit corruption may ever decode to a served result.
+  DiskCache sizer(cache_options(scratch.path));
+  sizer.store(77, 700, original);
+  const std::uint64_t total = sizer.total_bytes();
+  ASSERT_GT(total, 0u);
+  fs::remove_all(scratch.path);
+  fs::create_directories(scratch.path);
+  for (std::size_t pos = 0; pos < total; pos += 7) {
+    DiskCache cache(cache_options(scratch.path));
+    cache.store(77, 700, original);
+    fs::path entry;
+    for (const auto& e : fs::directory_iterator(scratch.path)) {
+      if (e.path().extension() == ".pnr") entry = e.path();
+    }
+    ASSERT_FALSE(entry.empty());
+    {
+      std::fstream f(entry, std::ios::binary | std::ios::in | std::ios::out);
+      f.seekg(static_cast<std::streamoff>(pos));
+      char c = 0;
+      f.read(&c, 1);
+      f.seekp(static_cast<std::streamoff>(pos));
+      c = static_cast<char>(c ^ 0x01);
+      f.write(&c, 1);
+    }
+    EXPECT_FALSE(cache.load(77, 700).has_value()) << "flip at " << pos;
+    EXPECT_FALSE(fs::exists(entry)) << "corrupt entry not dropped at " << pos;
+    // The slot is rewritable after the drop.
+    cache.store(77, 700, original);
+    EXPECT_TRUE(cache.load(77, 700).has_value());
+    fs::remove_all(scratch.path);
+    fs::create_directories(scratch.path);
+  }
+}
+
+TEST(DiskCacheTest, TruncatedEntryIsAMiss) {
+  ScratchDir scratch("pnlab_disk_cache_trunc");
+  DiskCache cache(cache_options(scratch.path));
+  cache.store(88, 800, sample_result());
+  fs::path entry;
+  for (const auto& e : fs::directory_iterator(scratch.path)) {
+    if (e.path().extension() == ".pnr") entry = e.path();
+  }
+  ASSERT_FALSE(entry.empty());
+  fs::resize_file(entry, fs::file_size(entry) / 2);
+  EXPECT_FALSE(cache.load(88, 800).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DiskCacheTest, EvictsLeastRecentlyUsedPastByteBudget) {
+  ScratchDir scratch("pnlab_disk_cache_evict");
+  DiskCache probe(cache_options(scratch.path));
+  probe.store(1, 1, sample_result());
+  const std::uint64_t entry_bytes = probe.total_bytes();
+  ASSERT_GT(entry_bytes, 0u);
+  fs::remove_all(scratch.path);
+  fs::create_directories(scratch.path);
+
+  // Budget for three entries; insert four, touching #1 so #2 is LRU.
+  DiskCache cache(cache_options(scratch.path, entry_bytes * 3));
+  cache.store(1, 1, sample_result());
+  cache.store(2, 1, sample_result());
+  cache.store(3, 1, sample_result());
+  EXPECT_TRUE(cache.load(1, 1).has_value());
+  cache.store(4, 1, sample_result());
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.total_bytes(), entry_bytes * 3);
+  EXPECT_FALSE(cache.load(2, 1).has_value());  // the LRU victim
+  EXPECT_TRUE(cache.load(3, 1).has_value());
+  EXPECT_TRUE(cache.load(4, 1).has_value());
+  // The victim's file is gone from disk too.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(scratch.path)) {
+    files += e.path().extension() == ".pnr" ? 1 : 0;
+  }
+  EXPECT_EQ(files, 3u);
+}
+
+TEST(DiskCacheTest, UnusableDirectoryIsInertNotFatal) {
+  // A file where the cache directory should be: construction reports
+  // the error, loads miss, stores are dropped, nothing throws.
+  ScratchDir scratch("pnlab_disk_cache_inert");
+  const fs::path blocker = scratch.path / "blocker";
+  std::ofstream(blocker) << "not a directory";
+  std::string error;
+  DiskCache cache(cache_options(blocker), &error);
+  EXPECT_FALSE(cache.usable());
+  EXPECT_FALSE(error.empty());
+  cache.store(1, 1, sample_result());
+  EXPECT_FALSE(cache.load(1, 1).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Driver integration: the secondary-cache hook
+
+TEST(DiskCacheTest, FreshDriverServesPureDiskHitsWithIdenticalBytes) {
+  ScratchDir scratch("pnlab_disk_cache_driver");
+  std::vector<analysis::SourceFile> files;
+  for (const auto& c : analysis::corpus::analyzer_corpus()) {
+    files.push_back({c.id + ".pnc", c.source});
+  }
+
+  std::string cold_json;
+  {
+    DiskCache disk(cache_options(scratch.path / "cache"));
+    DriverOptions options;
+    options.secondary_cache = &disk;
+    BatchDriver driver(options);
+    const BatchResult cold = driver.run(files);
+    EXPECT_EQ(cold.stats.disk_hits, 0u);
+    EXPECT_EQ(disk.entries(), files.size());
+    cold_json = to_json(cold);
+  }
+  // A brand-new driver (empty memory cache) over the same tree: every
+  // file is served from disk, and the bytes are identical.
+  DiskCache disk(cache_options(scratch.path / "cache"));
+  DriverOptions options;
+  options.secondary_cache = &disk;
+  BatchDriver driver(options);
+  const BatchResult warm = driver.run(files);
+  EXPECT_EQ(warm.stats.disk_hits, files.size());
+  EXPECT_EQ(warm.stats.cache.hits, 0u);
+  for (const analysis::FileReport& report : warm.files) {
+    EXPECT_TRUE(report.cache_hit) << report.file;
+    EXPECT_TRUE(report.disk_hit) << report.file;
+  }
+  EXPECT_EQ(to_json(warm), cold_json);
+  EXPECT_NE(warm.stats.to_string().find("disk hit(s)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol codecs
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  Request request;
+  request.kind = RequestKind::kAnalyzeFiles;
+  request.format = OutputFormat::kSarif;
+  request.use_cache = false;
+  request.paths = {"/tmp/a.pnc", "/tmp/b with spaces.pnc", ""};
+  const Request decoded = decode_request(encode_request(request));
+  EXPECT_EQ(decoded.kind, request.kind);
+  EXPECT_EQ(decoded.format, request.format);
+  EXPECT_EQ(decoded.use_cache, request.use_cache);
+  EXPECT_EQ(decoded.paths, request.paths);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  Response response;
+  response.ok = true;
+  response.exit_code = 3;
+  response.error = "partial";
+  response.body = std::string(100000, 'j');  // past the u16 str ceiling
+  response.stats = {9, 8, 7, 6, 5, 4, 3};
+  const Response decoded = decode_response(encode_response(response));
+  EXPECT_EQ(decoded.ok, response.ok);
+  EXPECT_EQ(decoded.exit_code, response.exit_code);
+  EXPECT_EQ(decoded.error, response.error);
+  EXPECT_EQ(decoded.body, response.body);
+  EXPECT_EQ(decoded.stats.files, 9u);
+  EXPECT_EQ(decoded.stats.cache_misses, 3u);
+}
+
+TEST(ProtocolTest, DecodersRejectMalformedPayloads) {
+  const std::vector<std::byte> request = encode_request(Request{});
+  for (std::size_t len = 0; len < request.size(); ++len) {
+    EXPECT_THROW(decode_request(std::span(request.data(), len)),
+                 serde::WireError);
+  }
+  // Unknown request kind and version.
+  std::vector<std::byte> bad_kind = request;
+  bad_kind[4] = std::byte{99};
+  EXPECT_THROW(decode_request(bad_kind), serde::WireError);
+  std::vector<std::byte> bad_version = request;
+  bad_version[0] = std::byte{77};
+  EXPECT_THROW(decode_request(bad_version), serde::WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Server (in-process dispatch and full socket round trips)
+
+#if defined(__unix__) || defined(__APPLE__)
+
+struct TempTree {
+  explicit TempTree(const std::string& name) : scratch(name) {
+    for (const auto& c : analysis::corpus::analyzer_corpus()) {
+      std::ofstream(scratch.path / (c.id + ".pnc"), std::ios::binary)
+          << c.source;
+    }
+  }
+  ScratchDir scratch;
+};
+
+/// Boots a Server on its own thread; joins and cleans up on scope exit.
+struct RunningServer {
+  explicit RunningServer(ServerOptions options)
+      : server(std::move(options)) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+    if (started) {
+      thread = std::thread([this] { server.serve(); });
+    }
+  }
+  ~RunningServer() {
+    if (started) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+  Server server;
+  std::thread thread;
+  bool started = false;
+};
+
+ServerOptions server_options(const fs::path& dir, bool disk_cache = true) {
+  ServerOptions o;
+  o.socket_path = (dir / "pncd.sock").string();
+  if (disk_cache) o.cache_dir = (dir / "cache").string();
+  return o;
+}
+
+TEST(ServerTest, PingStatsAndUnknownPathHandling) {
+  ScratchDir scratch("pnlab_server_ping");
+  RunningServer running(server_options(scratch.path));
+  auto client = Client::connect(running.server.socket_path(), nullptr);
+  ASSERT_NE(client, nullptr);
+
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  Response response;
+  ASSERT_TRUE(client->call(ping, &response));
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.body, "pong");
+
+  Request stats;
+  stats.kind = RequestKind::kStats;
+  ASSERT_TRUE(client->call(stats, &response));
+  EXPECT_TRUE(response.ok);
+  EXPECT_NE(response.body.find("\"requests_served\""), std::string::npos);
+
+  // A missing directory is a server-side error response, not a hang or
+  // a dropped connection.
+  Request bad;
+  bad.kind = RequestKind::kAnalyzeDir;
+  bad.paths = {(scratch.path / "nope").string()};
+  ASSERT_TRUE(client->call(bad, &response));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.exit_code, 2);
+}
+
+TEST(ServerTest, AnalyzeDirMatchesInProcessBytes) {
+  ScratchDir scratch("pnlab_server_dir");
+  TempTree tree("pnlab_server_dir_tree");
+  RunningServer running(server_options(scratch.path));
+
+  BatchDriver driver;
+  const std::string expected_json =
+      to_json(driver.run_directory(tree.scratch.path.string()));
+  const std::string expected_sarif =
+      to_sarif(driver.run_directory(tree.scratch.path.string()));
+
+  auto client = Client::connect(running.server.socket_path(), nullptr);
+  ASSERT_NE(client, nullptr);
+  Request request;
+  request.kind = RequestKind::kAnalyzeDir;
+  request.paths = {tree.scratch.path.string()};
+  Response response;
+  ASSERT_TRUE(client->call(request, &response));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.body, expected_json);
+  EXPECT_EQ(response.exit_code, 1);  // the corpus has findings
+
+  request.format = OutputFormat::kSarif;
+  ASSERT_TRUE(client->call(request, &response));
+  EXPECT_EQ(response.body, expected_sarif);
+
+  // Second round trip on the same connection: pure memory hits, same
+  // bytes.
+  request.format = OutputFormat::kJson;
+  ASSERT_TRUE(client->call(request, &response));
+  EXPECT_EQ(response.body, expected_json);
+  EXPECT_EQ(response.stats.mem_cache_hits, response.stats.files);
+}
+
+TEST(ServerTest, RestartServesPureDiskHitsWithIdenticalBytes) {
+  ScratchDir scratch("pnlab_server_restart");
+  TempTree tree("pnlab_server_restart_tree");
+  Request request;
+  request.kind = RequestKind::kAnalyzeDir;
+  request.paths = {tree.scratch.path.string()};
+
+  std::string cold_body;
+  std::uint64_t files = 0;
+  {
+    RunningServer running(server_options(scratch.path));
+    auto client = Client::connect(running.server.socket_path(), nullptr);
+    ASSERT_NE(client, nullptr);
+    Response response;
+    ASSERT_TRUE(client->call(request, &response));
+    ASSERT_TRUE(response.ok);
+    EXPECT_EQ(response.stats.disk_cache_hits, 0u);
+    cold_body = response.body;
+    files = response.stats.files;
+  }  // daemon gone; only the disk cache survives
+
+  RunningServer running(server_options(scratch.path));
+  auto client = Client::connect(running.server.socket_path(), nullptr);
+  ASSERT_NE(client, nullptr);
+  Response response;
+  ASSERT_TRUE(client->call(request, &response));
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.stats.disk_cache_hits, files);  // 100% disk hits
+  EXPECT_EQ(response.stats.cache_misses, 0u);
+  EXPECT_EQ(response.body, cold_body);
+}
+
+TEST(ServerTest, EightConcurrentClientsGetIdenticalBytes) {
+  ScratchDir scratch("pnlab_server_concurrent");
+  TempTree tree("pnlab_server_concurrent_tree");
+  RunningServer running(server_options(scratch.path));
+
+  BatchDriver driver;
+  const std::string expected =
+      to_json(driver.run_directory(tree.scratch.path.string()));
+
+  constexpr int kClients = 8;
+  constexpr int kRoundsPerClient = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto client = Client::connect(running.server.socket_path(), nullptr);
+      if (!client) {
+        ++failures;
+        return;
+      }
+      Request request;
+      request.kind = RequestKind::kAnalyzeDir;
+      request.paths = {tree.scratch.path.string()};
+      for (int round = 0; round < kRoundsPerClient; ++round) {
+        Response response;
+        if (!client->call(request, &response) || !response.ok ||
+            response.body != expected) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(running.server.requests_served(),
+            static_cast<std::uint64_t>(kClients * kRoundsPerClient));
+}
+
+TEST(ServerTest, ShutdownRequestStopsServeAndRemovesSocket) {
+  ScratchDir scratch("pnlab_server_shutdown");
+  ServerOptions options = server_options(scratch.path, /*disk_cache=*/false);
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread serving([&] { server.serve(); });
+
+  auto client = Client::connect(options.socket_path, &error);
+  ASSERT_NE(client, nullptr) << error;
+  Request request;
+  request.kind = RequestKind::kShutdown;
+  Response response;
+  ASSERT_TRUE(client->call(request, &response));
+  EXPECT_TRUE(response.ok);
+  serving.join();  // returns only because the shutdown drained the loop
+  EXPECT_FALSE(fs::exists(options.socket_path));
+}
+
+TEST(ServerTest, RefusesToStartOverALiveDaemon) {
+  ScratchDir scratch("pnlab_server_duplicate");
+  RunningServer running(server_options(scratch.path, /*disk_cache=*/false));
+  Server second(server_options(scratch.path, /*disk_cache=*/false));
+  std::string error;
+  EXPECT_FALSE(second.start(&error));
+  EXPECT_NE(error.find("already listening"), std::string::npos);
+}
+
+#endif  // unix sockets
+
+}  // namespace
+}  // namespace pnlab::service

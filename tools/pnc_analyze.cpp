@@ -17,15 +17,23 @@
 //   --metrics=FILE             write Prometheus-style metrics text
 //   --profile[=FILE]           write a compact per-phase run profile
 //                              (default run_profile.json)
+//   --connect[=SOCKET]         route the batch through a running pncd
+//                              (falls back to in-process analysis when
+//                              no daemon is reachable)
+//   --daemon                   alias for --connect with the default
+//                              socket
 //
 // Telemetry flags never change analysis output: JSON/SARIF stay
-// byte-identical with and without --trace at any thread count.
+// byte-identical with and without --trace at any thread count — and so
+// does daemon routing: the server runs the same driver and serializers.
 //
 // Exit status: 0 clean, 1 when the batch has findings or parse errors,
-// 2 on usage/IO errors — so `pnc_analyze --format=sarif src/` gates a
-// CI job directly.
+// 2 on usage/IO errors, 3 when any file failed to ingest (read errors)
+// — so `pnc_analyze --format=sarif src/` gates a CI job directly, and a
+// half-read tree can never masquerade as a clean pass.
 #include <cstring>
 #include <iostream>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -35,6 +43,7 @@
 #include "analysis/corpus.h"
 #include "analysis/driver.h"
 #include "analysis/telemetry.h"
+#include "service/client.h"
 
 using namespace pnlab::analysis;
 
@@ -59,6 +68,10 @@ void print_usage(std::ostream& os, const char* argv0) {
         "  --metrics=FILE            write Prometheus-style metrics text\n"
         "  --profile[=FILE]          write per-phase run profile JSON "
         "(default run_profile.json)\n"
+        "  --connect[=SOCKET]        route through a running pncd; falls "
+        "back to in-process\n"
+        "  --daemon                  alias for --connect with the default "
+        "socket\n"
         "  --help                    show this message\n";
 }
 
@@ -91,6 +104,8 @@ int main(int argc, char** argv) {
   std::string trace_file;
   std::string metrics_file;
   std::string profile_file;
+  bool want_daemon = false;
+  std::string daemon_socket;
   DriverOptions options;
   std::vector<std::string> paths;
 
@@ -127,6 +142,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_file = arg.substr(10);
       if (metrics_file.empty()) return usage(argv[0]);
+    } else if (arg == "--daemon" || arg == "--connect") {
+      want_daemon = true;
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      want_daemon = true;
+      daemon_socket = arg.substr(10);
+      if (daemon_socket.empty()) return usage(argv[0]);
     } else if (arg == "--profile") {
       profile_file = "run_profile.json";
     } else if (arg.rfind("--profile=", 0) == 0) {
@@ -160,6 +181,55 @@ int main(int argc, char** argv) {
                    "--trace/--metrics/--profile will write empty data\n";
     }
     pnlab::analysis::telemetry::set_enabled(true);
+  }
+
+  // Daemon routing: hand the batch to a running pncd, which shares its
+  // warm memory + disk caches across every CI invocation.  The server
+  // runs the same driver and serializers, so the bytes on stdout are
+  // identical either way; if nothing is listening we quietly do the
+  // work in-process — the daemon is an accelerator, not a dependency.
+  if (want_daemon && !want_corpus) {
+    namespace svc = pnlab::service;
+    if (daemon_socket.empty()) daemon_socket = svc::default_socket_path();
+    std::string error;
+    if (auto client = svc::Client::connect(daemon_socket, &error)) {
+      svc::Request request;
+      request.use_cache = options.use_cache;
+      request.format = format == "json"    ? svc::OutputFormat::kJson
+                       : format == "sarif" ? svc::OutputFormat::kSarif
+                                           : svc::OutputFormat::kText;
+      auto absolute = [](const std::string& p) {
+        std::error_code ec;
+        const std::filesystem::path abs = std::filesystem::absolute(p, ec);
+        return ec ? p : abs.string();
+      };
+      if (!dir.empty()) {
+        request.kind = svc::RequestKind::kAnalyzeDir;
+        request.paths.push_back(absolute(dir));
+      } else {
+        request.kind = svc::RequestKind::kAnalyzeFiles;
+        for (const std::string& path : paths) {
+          request.paths.push_back(absolute(path));
+        }
+      }
+      svc::Response response;
+      if (client->call(request, &response, &error) && response.ok) {
+        std::cout << response.body;
+        if (want_stats) {
+          std::cerr << "daemon: " << daemon_socket << ", "
+                    << response.stats.mem_cache_hits << " memory hit(s), "
+                    << response.stats.disk_cache_hits << " disk hit(s), "
+                    << response.stats.cache_misses << " miss(es)\n";
+        }
+        return response.exit_code;
+      }
+      std::cerr << argv[0] << ": daemon request failed ("
+                << (error.empty() ? response.error : error)
+                << "); analyzing in-process\n";
+    } else {
+      std::cerr << argv[0] << ": no daemon at " << daemon_socket
+                << "; analyzing in-process\n";
+    }
   }
 
   BatchDriver driver(options);
@@ -229,5 +299,9 @@ int main(int argc, char** argv) {
   }
   if (export_failed) return 2;
 
+  // Read errors get their own exit code: a CI job must be able to tell
+  // "the tree is clean" (0) and "the tree has findings" (1) apart from
+  // "part of the tree was never analyzed" (3).
+  if (batch.stats.read_errors > 0) return 3;
   return (batch.finding_count() > 0 || batch.has_parse_errors()) ? 1 : 0;
 }

@@ -1,0 +1,152 @@
+// pnc_client: thin CI-facing client for a running pncd.
+//
+//   pnc_client [options] file.pnc [file2.pnc ...]   # analyze named files
+//   pnc_client [options] --dir path/                # analyze a tree
+//   pnc_client [options] ping | stats | shutdown    # daemon control
+//
+// Options:
+//   --socket=PATH              daemon socket (default $PNC_SOCKET or
+//                              <cache-dir>/pncd.sock)
+//   --format=text|json|sarif   output format (default text)
+//   --no-cache                 bypass the daemon's caches for this run
+//   --stats                    print request/cache stats to stderr
+//
+// Paths are resolved by the *daemon*, so relative paths are made
+// absolute here before sending.
+//
+// Exit status mirrors pnc_analyze so CI scripts can swap the two: 0
+// clean, 1 findings or parse errors, 2 usage/connection/server errors,
+// 3 when any file failed to ingest.
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/client.h"
+
+using namespace pnlab::service;
+
+namespace {
+
+void print_usage(std::ostream& os, const char* argv0) {
+  os << "usage: " << argv0
+     << " [options] <file.pnc... | --dir DIR | ping | stats | shutdown>\n"
+        "  --socket=PATH             daemon socket (default $PNC_SOCKET or "
+        "the pnc cache dir)\n"
+        "  --format=text|json|sarif  output format (default text)\n"
+        "  --no-cache                bypass the daemon's caches\n"
+        "  --stats                   print request/cache stats to stderr\n"
+        "  --help                    show this message\n";
+}
+
+int usage(const char* argv0) {
+  print_usage(std::cerr, argv0);
+  return 2;
+}
+
+std::string absolute_path(const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path abs = std::filesystem::absolute(path, ec);
+  return ec ? path : abs.string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string format = "text";
+  std::string dir;
+  std::string control;
+  bool use_cache = true;
+  bool want_stats = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--no-cache") {
+      use_cache = false;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = arg.substr(6);
+    } else if (arg == "--dir") {
+      if (++i >= argc) return usage(argv[0]);
+      dir = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, argv[0]);
+      return 0;
+    } else if (arg == "ping" || arg == "stats" || arg == "shutdown") {
+      control = arg;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (static_cast<int>(!control.empty()) + static_cast<int>(!dir.empty()) +
+          static_cast<int>(!paths.empty()) !=
+      1) {
+    return usage(argv[0]);
+  }
+  if (socket_path.empty()) socket_path = default_socket_path();
+
+  Request request;
+  request.use_cache = use_cache;
+  request.format = format == "json"    ? OutputFormat::kJson
+                   : format == "sarif" ? OutputFormat::kSarif
+                                       : OutputFormat::kText;
+  if (control == "ping") {
+    request.kind = RequestKind::kPing;
+  } else if (control == "stats") {
+    request.kind = RequestKind::kStats;
+  } else if (control == "shutdown") {
+    request.kind = RequestKind::kShutdown;
+  } else if (!dir.empty()) {
+    request.kind = RequestKind::kAnalyzeDir;
+    request.paths.push_back(absolute_path(dir));
+  } else {
+    request.kind = RequestKind::kAnalyzeFiles;
+    for (const std::string& path : paths) {
+      request.paths.push_back(absolute_path(path));
+    }
+  }
+
+  std::string error;
+  const std::unique_ptr<Client> client = Client::connect(socket_path, &error);
+  if (!client) {
+    std::cerr << argv[0] << ": cannot connect: " << error << "\n";
+    return 2;
+  }
+  Response response;
+  if (!client->call(request, &response, &error)) {
+    std::cerr << argv[0] << ": " << error << "\n";
+    return 2;
+  }
+  if (!response.ok) {
+    std::cerr << argv[0] << ": server error: " << response.error << "\n";
+    return 2;
+  }
+
+  if (!response.body.empty()) {
+    std::cout << response.body;
+    if (response.body.back() != '\n') std::cout << "\n";
+  }
+  if (want_stats) {
+    std::cerr << "request: " << response.stats.files << " file(s), "
+              << response.stats.findings << " finding(s), "
+              << response.stats.parse_errors << " parse error(s), "
+              << response.stats.read_errors << " read error(s)\n"
+              << "cache:   " << response.stats.mem_cache_hits
+              << " memory hit(s), " << response.stats.disk_cache_hits
+              << " disk hit(s), " << response.stats.cache_misses
+              << " miss(es)\n";
+  }
+  return response.exit_code;
+}

@@ -1,0 +1,120 @@
+// pncd: the persistent PNC analysis daemon.
+//
+//   pncd [--socket=PATH] [--cache-dir=DIR] [--cache-bytes=N]
+//        [--jobs=N] [--no-info] [--no-disk-cache]
+//
+// Listens on a unix-domain socket for framed analyze requests (see
+// src/service/protocol.h), dispatches them onto the work-stealing
+// BatchDriver, and memoizes results in a shared in-memory cache plus a
+// content-addressed on-disk cache, so a second CI run over an unchanged
+// tree — even from a freshly restarted daemon — is pure cache hits.
+//
+// Defaults: socket $PNC_SOCKET or <cache>/pncd.sock, cache dir
+// $PNC_CACHE_DIR or ~/.cache/pnc.  SIGINT/SIGTERM (or a client's
+// `pnc_client shutdown`) stop the accept loop, drain in-flight
+// connections, persist the cache index, and unlink the socket.
+//
+// Exit status: 0 on a clean shutdown, 2 on startup/usage errors.
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+
+using namespace pnlab::service;
+
+namespace {
+
+void print_usage(std::ostream& os, const char* argv0) {
+  os << "usage: " << argv0
+     << " [options]\n"
+        "  --socket=PATH       listen on PATH (default $PNC_SOCKET or "
+        "<cache-dir>/pncd.sock)\n"
+        "  --cache-dir=DIR     on-disk result cache directory (default "
+        "$PNC_CACHE_DIR or ~/.cache/pnc)\n"
+        "  --cache-bytes=N     disk-cache byte budget, LRU-evicted "
+        "(default 268435456; 0 = unbounded)\n"
+        "  --jobs=N            worker threads per request (default: all "
+        "hardware threads)\n"
+        "  --no-info           drop Info-severity advisories\n"
+        "  --no-disk-cache     keep results in memory only\n"
+        "  --help              show this message\n";
+}
+
+Server* g_server = nullptr;
+
+void on_signal(int) {
+  // stop_ store + shutdown(2): both async-signal-safe.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  bool disk_cache = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      options.socket_path = arg.substr(9);
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      options.cache_dir = arg.substr(12);
+    } else if (arg.rfind("--cache-bytes=", 0) == 0) {
+      try {
+        options.cache_max_bytes = std::stoull(arg.substr(14));
+      } catch (const std::exception&) {
+        print_usage(std::cerr, argv[0]);
+        return 2;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0 || arg.rfind("--threads=", 0) == 0) {
+      try {
+        options.driver.threads = std::stoul(arg.substr(arg.find('=') + 1));
+      } catch (const std::exception&) {
+        print_usage(std::cerr, argv[0]);
+        return 2;
+      }
+    } else if (arg == "--no-info") {
+      options.driver.analyzer.include_info = false;
+    } else if (arg == "--no-disk-cache") {
+      disk_cache = false;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      print_usage(std::cerr, argv[0]);
+      return 2;
+    }
+  }
+
+  if (options.cache_dir.empty() && disk_cache) {
+    options.cache_dir = default_cache_dir();
+  }
+  if (!disk_cache) options.cache_dir.clear();
+  if (options.socket_path.empty()) {
+    options.socket_path = default_socket_path();
+  }
+
+  Server server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << argv[0] << ": " << error << "\n";
+    return 2;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::cerr << "pncd: listening on " << options.socket_path;
+  if (!options.cache_dir.empty()) {
+    std::cerr << ", cache " << options.cache_dir;
+  }
+  std::cerr << " (" << std::thread::hardware_concurrency()
+            << " hardware threads)\n";
+
+  server.serve();
+  std::cerr << "pncd: stopped after " << server.requests_served()
+            << " request(s)\n";
+  return 0;
+}
