@@ -384,15 +384,23 @@ std::optional<DirIdentity> dir_identity(const std::filesystem::path& dir) {
 #endif
 }
 
-/// Recursive `.pnc` discovery.  Directory symlinks are followed, but a
-/// (dev, inode) already on the walk's visited set is a cycle: it is
-/// recorded as a per-file read-error report and not descended into, so
-/// a self-referencing symlink tree terminates.  `.pnc`-named
-/// directories stay ingestion candidates (they fail open() with "not a
-/// regular file", preserving the per-file error record) and are never
-/// descended into.
+/// Recursive `.pnc` discovery.  Directory symlinks are followed, with
+/// two distinct revisit cases told apart by (dev, inode) identity:
+///   * an identity already on the *current descent path* is a true
+///     cycle (the symlink points back at an ancestor) — recorded as a
+///     per-file read-error report and not descended into, so a
+///     self-referencing tree terminates and CI sees it was not fully
+///     walked;
+///   * an identity seen elsewhere in the walk (a diamond — the same
+///     real directory reachable twice via sibling symlinks) is a valid
+///     layout: silently skipped so its files are analyzed exactly once,
+///     with no spurious read error.
+/// `.pnc`-named directories stay ingestion candidates (they fail open()
+/// with "not a regular file", preserving the per-file error record) and
+/// are never descended into.
 void collect_pnc_files(const std::filesystem::path& dir,
                        std::set<DirIdentity>& visited,
+                       std::set<DirIdentity>& on_path,
                        std::vector<std::string>& out,
                        std::vector<FileReport>& unreadable) {
   namespace fs = std::filesystem;
@@ -405,17 +413,19 @@ void collect_pnc_files(const std::filesystem::path& dir,
     if (!entry.is_directory(ec) || ec) continue;
     const std::optional<DirIdentity> id = dir_identity(entry.path());
     if (!id) continue;  // raced away between listing and stat
-    if (!visited.insert(*id).second) {
+    if (on_path.contains(*id)) {
       FileReport report;
       report.file = entry.path().string();
       report.ok = false;
-      report.error = "read error: directory cycle (symlink revisits " +
+      report.error = "read error: directory cycle (symlink revisits "
+                     "ancestor of " +
                      entry.path().string() + "); subtree skipped";
       PN_COUNTER_ADD(kReadErrors, 1);
       PN_INSTANT("read_error", report.error);
       unreadable.push_back(std::move(report));
       continue;
     }
+    if (!visited.insert(*id).second) continue;  // diamond: dedup, no error
     // A subtree we cannot list is a per-file record, not a batch abort
     // (only the root directory keeps the throwing contract).
     std::error_code iter_ec;
@@ -430,7 +440,9 @@ void collect_pnc_files(const std::filesystem::path& dir,
       unreadable.push_back(std::move(report));
       continue;
     }
-    collect_pnc_files(entry.path(), visited, out, unreadable);
+    on_path.insert(*id);
+    collect_pnc_files(entry.path(), visited, on_path, out, unreadable);
+    on_path.erase(*id);
   }
 }
 
@@ -449,10 +461,12 @@ BatchResult BatchDriver::run_directory(const std::string& dir) {
   std::vector<std::string> paths;
   std::vector<FileReport> unreadable;
   std::set<DirIdentity> visited;
+  std::set<DirIdentity> on_path;
   if (const std::optional<DirIdentity> root_id = dir_identity(dir)) {
     visited.insert(*root_id);
+    on_path.insert(*root_id);
   }
-  collect_pnc_files(dir, visited, paths, unreadable);
+  collect_pnc_files(dir, visited, on_path, paths, unreadable);
 
   std::vector<SourceFile> files;
   for (const std::string& path : paths) {

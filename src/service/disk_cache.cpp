@@ -45,6 +45,14 @@ std::uint64_t fnv1a_bytes(std::span<const std::byte> data) {
       reinterpret_cast<const char*>(data.data()), data.size()));
 }
 
+/// Mixes the options fingerprint into a content hash so caches with
+/// different analyzer configurations address disjoint entries (distinct
+/// filenames) in a shared directory.
+std::uint64_t mix_fingerprint(std::uint64_t hash, std::uint64_t fp) {
+  if (fp == 0) return hash;
+  return hash ^ (fp + 0x9e3779b97f4a7c15ull + (hash << 6) + (hash >> 2));
+}
+
 bool read_file_bytes(const fs::path& path, std::vector<std::byte>* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
@@ -95,6 +103,21 @@ bool atomic_write(const fs::path& dest, std::span<const std::byte> bytes) {
 
 }  // namespace
 
+std::uint64_t analyzer_options_fingerprint(
+    const analysis::AnalyzerOptions& options) {
+  // FNV over a canonical rendering of every result-affecting field.
+  // std::set iteration is already sorted, so the rendering is stable
+  // regardless of insertion order.
+  std::string canon = "v1|include_info=";
+  canon += options.include_info ? '1' : '0';
+  canon += "|taint_sources=";
+  for (const std::string& f : options.taint.source_functions) {
+    canon += f;
+    canon += ';';
+  }
+  return analysis::fnv1a(canon);
+}
+
 std::string default_cache_dir() {
   if (const char* env = std::getenv("PNC_CACHE_DIR"); env && *env) return env;
   if (const char* home = std::getenv("HOME"); home && *home) {
@@ -137,7 +160,8 @@ std::string DiskCache::entry_path(const Key& key) const {
 
 std::optional<analysis::AnalysisResult> DiskCache::load(std::uint64_t hash,
                                                         std::size_t length) {
-  const Key key{hash, static_cast<std::uint64_t>(length)};
+  const Key key{mix_fingerprint(hash, options_.options_fingerprint),
+                static_cast<std::uint64_t>(length)};
   std::lock_guard<std::mutex> lock(mutex_);
   if (!usable_) {
     ++stats_.misses;
@@ -164,6 +188,12 @@ std::optional<analysis::AnalysisResult> DiskCache::load(std::uint64_t hash,
     }
     if (r.u64() != key.hash || r.u64() != key.length) {
       throw serde::WireError("entry key mismatch (renamed file?)");
+    }
+    if (r.u64() != options_.options_fingerprint) {
+      // Computed under different analyzer options — worthless to this
+      // configuration (and the key mixing should have kept it out of
+      // reach; a mismatch here means the file was tampered with).
+      throw serde::WireError("entry analyzer-options mismatch");
     }
     const std::uint64_t checksum = r.u64();
     const std::uint64_t payload_size = r.u64();
@@ -195,7 +225,8 @@ std::optional<analysis::AnalysisResult> DiskCache::load(std::uint64_t hash,
 
 void DiskCache::store(std::uint64_t hash, std::size_t length,
                       const analysis::AnalysisResult& result) {
-  const Key key{hash, static_cast<std::uint64_t>(length)};
+  const Key key{mix_fingerprint(hash, options_.options_fingerprint),
+                static_cast<std::uint64_t>(length)};
   const std::vector<std::byte> payload = encode_result(result);
 
   serde::ByteWriter w;
@@ -203,6 +234,7 @@ void DiskCache::store(std::uint64_t hash, std::size_t length,
   w.u32(kDiskCacheFormatVersion);
   w.u64(key.hash);
   w.u64(key.length);
+  w.u64(options_.options_fingerprint);
   w.u64(fnv1a_bytes(payload));
   w.u64(payload.size());
   w.bytes(payload);

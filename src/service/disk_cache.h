@@ -5,8 +5,14 @@
 // process, so every CI invocation re-pays the full analysis cost.
 // DiskCache persists AnalysisResults under a cache directory, keyed by
 // the same (FNV-1a content hash, length) pairs ingestion already
-// computes, and plugs into the driver as its SecondaryCache: a warm
-// tree re-analyzed by a fresh process is pure disk hits.
+// computes — mixed with a fingerprint of the effective analyzer options
+// (see analyzer_options_fingerprint), because the same source bytes
+// produce different diagnostics under e.g. `--no-info`.  A daemon
+// restarted with different flags over the same cache directory must
+// never serve results computed under the old configuration; entries
+// from distinct configurations instead coexist under one byte budget.
+// The cache plugs into the driver as its SecondaryCache: a warm tree
+// re-analyzed by a fresh process is pure disk hits.
 //
 // Durability discipline (DESIGN.md §9):
 //   * every entry and the index are written to a temp file in the same
@@ -41,13 +47,25 @@
 namespace pnlab::service {
 
 /// On-disk entry/index format version; bump on any layout change.
-inline constexpr std::uint32_t kDiskCacheFormatVersion = 1;
+/// v2: entry headers carry the analyzer-options fingerprint.
+inline constexpr std::uint32_t kDiskCacheFormatVersion = 2;
 
 struct DiskCacheOptions {
   std::string dir;  ///< cache directory (created if absent)
   /// Eviction budget over summed entry-file bytes; 0 = unbounded.
   std::uint64_t max_bytes = 256ull << 20;
+  /// Fingerprint of every configuration knob that can change an
+  /// AnalysisResult (use analyzer_options_fingerprint).  Mixed into the
+  /// cache key and verified in each entry header, so caches opened with
+  /// different analyzer options never serve each other's results.
+  std::uint64_t options_fingerprint = 0;
 };
+
+/// Stable hash over every AnalyzerOptions field that affects analysis
+/// output (include_info, taint source set).  Two processes configured
+/// identically agree on it; any result-affecting difference changes it.
+std::uint64_t analyzer_options_fingerprint(
+    const analysis::AnalyzerOptions& options);
 
 /// `$PNC_CACHE_DIR`, else `$HOME/.cache/pnc`, else a /tmp fallback.
 std::string default_cache_dir();

@@ -48,6 +48,14 @@ Request decode_request(std::span<const std::byte> payload) {
   request.format = static_cast<OutputFormat>(format);
   request.use_cache = r.u8() != 0;
   const std::uint32_t count = r.u32();
+  // Each path costs at least its 4-byte length prefix, so a count the
+  // remaining payload cannot possibly hold is malformed.  Checked
+  // before reserve(): a 13-byte frame claiming 2^32-1 paths must not
+  // trigger a gigabyte allocation off an attacker-controlled field.
+  if (count > r.remaining() / 4) {
+    throw serde::WireError("path count " + std::to_string(count) +
+                           " exceeds payload size");
+  }
   request.paths.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     request.paths.push_back(r.str32());

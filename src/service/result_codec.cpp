@@ -37,6 +37,14 @@ AnalysisResult decode_result(std::span<const std::byte> payload) {
   }
   AnalysisResult result;
   const std::uint64_t count = r.u64();
+  // A serialized diagnostic is at least three u32 string prefixes, one
+  // severity byte, and two u64s; a count the remaining bytes cannot
+  // hold is malformed — reject it before sizing the vector off it.
+  constexpr std::uint64_t kMinDiagnosticBytes = 4 + 1 + 8 + 8 + 4 + 4;
+  if (count > r.remaining() / kMinDiagnosticBytes) {
+    throw serde::WireError("diagnostic count " + std::to_string(count) +
+                           " exceeds payload size");
+  }
   result.diagnostics.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     Diagnostic d;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -35,6 +36,12 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
     DiskCacheOptions disk;
     disk.dir = options_.cache_dir;
     disk.max_bytes = options_.cache_max_bytes;
+    // Key entries by the effective analyzer configuration too: a daemon
+    // restarted with different flags (say, --no-info) over the same
+    // cache directory must never serve results computed under the old
+    // options.
+    disk.options_fingerprint =
+        analyzer_options_fingerprint(options_.driver.analyzer);
     disk_cache_ = std::make_unique<DiskCache>(disk);
   }
 }
@@ -289,8 +296,19 @@ void Server::serve() {
   while (!stop_.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down (request_stop) or fatal
+      if (stop_.load(std::memory_order_acquire)) break;
+      // Transient per-connection failures must not shut the daemon
+      // down: a peer aborting its connect (ECONNABORTED) or a burst of
+      // clients exhausting fds (EMFILE/ENFILE — one fd per in-flight
+      // connection) resolves on its own.  Back off briefly on resource
+      // exhaustion so handler threads get a chance to release fds.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // listener genuinely broken (EBADF, EINVAL, ...)
     }
     {
       std::lock_guard<std::mutex> lock(drain_mutex_);

@@ -79,6 +79,18 @@ st=$?
 cmp -s "$TMP/routed.json" "$TMP/golden.json" ||
     fail "pnc_analyze --connect body differs from in-process output"
 
+# Telemetry exports must survive daemon routing: --profile needs
+# in-process analysis, so --connect is ignored (with a warning) rather
+# than returning early with the export file silently missing.
+"$ANALYZE" --connect="$SOCK" --profile="$TMP/profile.json" --format=json \
+    --dir "$EXAMPLES" >"$TMP/telemetry.json" 2>"$TMP/telemetry.err"
+st=$?
+[ $st -eq 1 ] || fail "pnc_analyze --connect --profile exited $st, expected 1"
+[ -s "$TMP/profile.json" ] ||
+    fail "--profile file missing or empty when combined with --connect"
+cmp -s "$TMP/telemetry.json" "$TMP/golden.json" ||
+    fail "--connect --profile body differs from in-process output"
+
 # Clean shutdown: the shutdown verb stops the daemon (exit 0) and the
 # socket file is gone afterwards.
 "$CLIENT" --socket="$SOCK" shutdown >/dev/null || fail "shutdown verb failed"

@@ -132,6 +132,16 @@ TEST(ResultCodecTest, RejectsTruncationVersionSkewAndTrailingBytes) {
   EXPECT_THROW(decode_result(bad_sev), serde::WireError);
 }
 
+TEST(ResultCodecTest, RejectsDiagnosticCountLargerThanPayload) {
+  // A 12-byte payload claiming ~2.8e14 diagnostics must be a WireError
+  // before the decoder sizes a vector off the attacker-controlled
+  // count (pre-fix: reserve() attempted the allocation).
+  serde::ByteWriter w;
+  w.u32(kResultCodecVersion);
+  w.u64(0xFFFFFFFFFFFFull);
+  EXPECT_THROW(decode_result(w.take()), serde::WireError);
+}
+
 // ---------------------------------------------------------------------------
 // Wire str32 (the u32-length primitive the service formats ride on)
 
@@ -339,6 +349,59 @@ TEST(DiskCacheTest, EvictsLeastRecentlyUsedPastByteBudget) {
   EXPECT_EQ(files, 3u);
 }
 
+TEST(DiskCacheTest, DifferentAnalyzerOptionsNeverShareEntries) {
+  // Regression: entries used to be keyed by (content hash, length)
+  // alone, so a daemon restarted with different analyzer flags (e.g.
+  // --no-info) over the same cache directory served results computed
+  // under the old options — silently wrong diagnostics.
+  ScratchDir scratch("pnlab_disk_cache_options");
+  const AnalysisResult original = sample_result();
+
+  analysis::AnalyzerOptions with_info;   // defaults: include_info=true
+  analysis::AnalyzerOptions without_info;
+  without_info.include_info = false;
+  DiskCacheOptions a = cache_options(scratch.path);
+  a.options_fingerprint = analyzer_options_fingerprint(with_info);
+  DiskCacheOptions b = cache_options(scratch.path);
+  b.options_fingerprint = analyzer_options_fingerprint(without_info);
+  ASSERT_NE(a.options_fingerprint, b.options_fingerprint);
+
+  {
+    DiskCache cache(a);
+    cache.store(99, 900, original);
+    ASSERT_TRUE(cache.load(99, 900).has_value());
+  }
+  {
+    // Same directory, different options: the old entry must be a miss,
+    // and a store under the new options must not clobber it.
+    DiskCache cache(b);
+    EXPECT_FALSE(cache.load(99, 900).has_value());
+    cache.store(99, 900, AnalysisResult{});
+    const auto loaded = cache.load(99, 900);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->diagnostics.empty());
+  }
+  // The original configuration still sees its own result.
+  DiskCache cache(a);
+  const auto loaded = cache.load(99, 900);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equal_results(*loaded, original);
+}
+
+TEST(DiskCacheTest, OptionsFingerprintCoversEveryResultAffectingKnob) {
+  const analysis::AnalyzerOptions defaults;
+  EXPECT_EQ(analyzer_options_fingerprint(defaults),
+            analyzer_options_fingerprint(analysis::AnalyzerOptions{}));
+  analysis::AnalyzerOptions no_info;
+  no_info.include_info = false;
+  EXPECT_NE(analyzer_options_fingerprint(defaults),
+            analyzer_options_fingerprint(no_info));
+  analysis::AnalyzerOptions extra_source;
+  extra_source.taint.source_functions.insert("my_custom_source");
+  EXPECT_NE(analyzer_options_fingerprint(defaults),
+            analyzer_options_fingerprint(extra_source));
+}
+
 TEST(DiskCacheTest, UnusableDirectoryIsInertNotFatal) {
   // A file where the cache directory should be: construction reports
   // the error, loads miss, stores are dropped, nothing throws.
@@ -436,6 +499,19 @@ TEST(ProtocolTest, DecodersRejectMalformedPayloads) {
   std::vector<std::byte> bad_version = request;
   bad_version[0] = std::byte{77};
   EXPECT_THROW(decode_request(bad_version), serde::WireError);
+}
+
+TEST(ProtocolTest, RejectsPathCountLargerThanPayload) {
+  // A minimal frame claiming 2^32-1 paths: pre-fix, decode_request
+  // reserve()d ~128 GiB off the unvalidated count before reading a
+  // single path.  It must be a WireError with no oversized allocation.
+  serde::ByteWriter w;
+  w.u32(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(RequestKind::kAnalyzeFiles));
+  w.u8(static_cast<std::uint8_t>(OutputFormat::kJson));
+  w.u8(1);                // use_cache
+  w.u32(0xFFFFFFFFu);     // path count, nothing behind it
+  EXPECT_THROW(decode_request(w.take()), serde::WireError);
 }
 
 // ---------------------------------------------------------------------------

@@ -19,7 +19,10 @@
 //                              (default run_profile.json)
 //   --connect[=SOCKET]         route the batch through a running pncd
 //                              (falls back to in-process analysis when
-//                              no daemon is reachable)
+//                              no daemon is reachable; ignored — with a
+//                              warning — when combined with the
+//                              telemetry export flags, which must
+//                              capture the analyzing process itself)
 //   --daemon                   alias for --connect with the default
 //                              socket
 //
@@ -181,6 +184,17 @@ int main(int argc, char** argv) {
                    "--trace/--metrics/--profile will write empty data\n";
     }
     pnlab::analysis::telemetry::set_enabled(true);
+  }
+  if (want_daemon && want_telemetry) {
+    // Telemetry spans are recorded in the process that runs the
+    // analysis; a daemon round trip would exit with empty or missing
+    // --trace/--metrics/--profile files while still returning the
+    // analysis exit code — a silent lie to CI jobs that collect them.
+    // Prefer correct exports over the warm daemon caches.
+    std::cerr << argv[0]
+              << ": --trace/--metrics/--profile capture in-process "
+                 "telemetry; ignoring --connect for this run\n";
+    want_daemon = false;
   }
 
   // Daemon routing: hand the batch to a running pncd, which shares its
