@@ -6,9 +6,11 @@
 // of the paper's listings plus §5.1-style safe variants and reports
 // per-case findings, detection rate, false-positive rate, and analysis
 // throughput.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -20,10 +22,61 @@
 #include "analysis/analyzer.h"
 #include "analysis/corpus.h"
 #include "analysis/fixer.h"
+#include "analysis/simd_dispatch.h"
 #include "analysis/telemetry.h"
 
 namespace {
 volatile std::size_t benchmark_guard = 0;  // keeps the timing loop live
+
+// Deterministic synthetic PNC translation unit of at least @p
+// target_bytes.  The corpus cases average ~250 bytes, where per-file
+// fixed costs (context reset, result construction) swamp the byte-rate
+// signal; this input is big enough that MiB/s measures the scanning
+// loops themselves.  The shape exercises every lexer fast path —
+// identifier/digit runs, line and block comments, escaped and clean
+// string literals, dense operator soup — plus enough placement-new
+// sites to keep the checkers honest, while staying linear for the
+// analysis passes (no globals, so the taint fixpoint is skipped).
+std::string make_large_source(std::size_t target_bytes) {
+  std::string out;
+  out.reserve(target_bytes + 1024);
+  out +=
+      "// synthetic large-input benchmark file (generated)\n"
+      "class PoolRecord { int payload[12]; int checksum; };\n\n";
+  std::size_t block = 0;
+  while (out.size() < target_bytes) {
+    const std::string id = std::to_string(block++);
+    out += "int accumulate_" + id +
+           "(int count) {\n"
+           "  int acc = 4096 + " + id +
+           ";\n"
+           "  double scale = 0.125;\n"
+           "  for (int i = 0; i < count; ++i) {\n"
+           "    acc = acc + i * 3 % 7 - count / (i + 1);\n"
+           "    if (acc > 100 && count < 50 || acc == 13) {\n"
+           "      acc = acc - i % 16 + (acc + 1) / 2;\n"
+           "    }\n"
+           "    scale = scale * 1.5 + 0.25;\n"
+           "  }\n"
+           "  /* block comment with * stars inside,\n"
+           "     spanning lines to exercise the block scanner */\n"
+           "  char* label = \"block_" + id +
+           " says:\\thello\\n\";  // escaped literal\n"
+           "  char* clean = \"no escapes here, just a longer literal "
+           "payload run\";\n"
+           "  return acc + 0x1F" + id +
+           " % 64;\n"
+           "}\n\n"
+           "void place_" + id +
+           "() {\n"
+           "  int pool[16];\n"
+           "  PoolRecord* rec = new (pool) PoolRecord();\n"
+           "  rec->payload[3] = accumulate_" + id +
+           "(11);\n"
+           "}\n\n";
+  }
+  return out;
+}
 
 // Global allocation counter: every operator new in the process bumps it,
 // so (delta / files analyzed) is the analyzer's true heap-allocations-
@@ -164,41 +217,93 @@ int main() {
             << (static_cast<double>(ast_arena_bytes) / files)
             << " byte(s) per file\n";
 
+  // Large-input throughput: a single >= 1 MiB translation unit, where
+  // per-file fixed costs are negligible and MiB/s reflects the scanning
+  // loops (and the dispatched lexer backend) rather than setup.
+  const std::string large_source = make_large_source(std::size_t{1} << 20);
+  analyze(large_source);  // warm-up
+  // Best-of-N: single-threaded MiB/s is a property of the code, so the
+  // fastest repeat is the measurement and the spread is scheduler noise
+  // (this runs on shared hardware; an average would smear preemptions
+  // into the headline number).
+  constexpr int kLargeRepeats = 12;
+  double large_best_s = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < kLargeRepeats; ++i) {
+    const auto rep_start = Clock::now();
+    const AnalysisResult r = analyze(large_source);
+    const double rep_s =
+        std::chrono::duration<double>(Clock::now() - rep_start).count();
+    benchmark_guard = benchmark_guard + r.diagnostics.size();
+    large_best_s = std::min(large_best_s, rep_s);
+  }
+  const double mib_per_s_large =
+      (static_cast<double>(large_source.size()) / (1024.0 * 1024.0)) /
+      large_best_s;
+  const char* isa = simd::isa_name(simd::active_isa());
+  std::cout << "Large-input throughput: " << std::fixed
+            << std::setprecision(1) << mib_per_s_large << " MiB/s on a "
+            << (large_source.size() / 1024) << " KiB unit (lexer backend: "
+            << isa << ")\n";
+
   // Per-phase attribution + the telemetry layer's own cost: the same
   // loop again with tracing enabled.  The headline throughput above
   // stays measured with telemetry off; the phase seconds below say
   // where an E3 second actually goes (lex vs parse vs checker fixpoint)
   // so future perf PRs can attribute wins to a phase.
+  // Sampling records full span detail for 1-in-N files and scales the
+  // aggregates by N, so the phase split stays unbiased while the clock
+  // reads (the actual overhead) drop by ~N.
   namespace tel = pnlab::analysis::telemetry;
+  constexpr std::uint32_t kTraceSample = 16;
   std::vector<std::pair<std::string, double>> phase_s;
   double overhead_pct = 0;
   if (tel::compiled_in()) {
     tel::reset();
-    tel::set_enabled(true);
+    tel::set_trace_sample(kTraceSample);
+    // Overhead is measured pairwise: untraced and traced chunks
+    // alternate back-to-back and the fastest chunk of each mode is
+    // compared.  Two monolithic loops run minutes apart would mostly
+    // measure how busy the machine was in between — at 1-in-16 sampling
+    // the true cost is near the noise floor of shared hardware.
+    constexpr int kChunks = 10;
+    constexpr int kChunkReps = 60;
+    double untraced_best_s = std::numeric_limits<double>::infinity();
+    double traced_best_s = std::numeric_limits<double>::infinity();
+    double traced_elapsed = 0;
     const tel::Snapshot before = tel::snapshot();
-    const auto traced_start = Clock::now();
-    for (int i = 0; i < kRepeats; ++i) {
-      for (const auto& c : corpus::analyzer_corpus()) {
-        const AnalysisResult r = analyze(c.source);
-        benchmark_guard = benchmark_guard + r.diagnostics.size();
-      }
+    for (int chunk = 0; chunk < kChunks; ++chunk) {
+      auto run_chunk = [&] {
+        const auto chunk_start = Clock::now();
+        for (int i = 0; i < kChunkReps; ++i) {
+          for (const auto& c : corpus::analyzer_corpus()) {
+            const AnalysisResult r = analyze(c.source);
+            benchmark_guard = benchmark_guard + r.diagnostics.size();
+          }
+        }
+        return std::chrono::duration<double>(Clock::now() - chunk_start)
+            .count();
+      };
+      untraced_best_s = std::min(untraced_best_s, run_chunk());
+      tel::set_enabled(true);
+      const double traced_chunk_s = run_chunk();
+      tel::set_enabled(false);
+      traced_best_s = std::min(traced_best_s, traced_chunk_s);
+      traced_elapsed += traced_chunk_s;
     }
-    const double traced_elapsed =
-        std::chrono::duration<double>(Clock::now() - traced_start).count();
     const tel::Snapshot after = tel::snapshot();
-    tel::set_enabled(false);
+    tel::set_trace_sample(1);
     for (std::size_t i = 0; i < tel::kPhaseCount; ++i) {
       const std::uint64_t dns = after.phases[i].ns - before.phases[i].ns;
       if (dns == 0) continue;
       phase_s.emplace_back(tel::phase_name(static_cast<tel::Phase>(i)),
                            static_cast<double>(dns) / 1e9);
     }
-    overhead_pct = elapsed > 0 ? (traced_elapsed - elapsed) / elapsed * 100.0
-                               : 0;
-    std::cout << "Phase attribution (tracing enabled, " << std::fixed
-              << std::setprecision(3) << traced_elapsed << " s loop, "
-              << std::setprecision(1) << overhead_pct
-              << "% telemetry overhead):\n";
+    overhead_pct =
+        (traced_best_s - untraced_best_s) / untraced_best_s * 100.0;
+    std::cout << "Phase attribution (tracing enabled, 1-in-" << kTraceSample
+              << " sampling, " << std::fixed << std::setprecision(3)
+              << traced_elapsed << " s loop, " << std::setprecision(1)
+              << overhead_pct << "% telemetry overhead):\n";
     for (const auto& [name, s] : phase_s) {
       std::cout << "  " << std::left << std::setw(22) << name << std::fixed
                 << std::setprecision(3) << s << " s\n";
@@ -215,6 +320,8 @@ int main() {
          << "  \"false_positives\": " << (safe_cases - clean_safe_cases)
          << ",\n"
          << "  \"mib_per_s\": " << mib_per_s << ",\n"
+         << "  \"mib_per_s_large\": " << mib_per_s_large << ",\n"
+         << "  \"simd_isa\": \"" << isa << "\",\n"
          << "  \"files_per_s\": " << (files / elapsed) << ",\n"
          << "  \"heap_allocs_per_file\": "
          << (static_cast<double>(allocs) / files) << ",\n"
@@ -226,6 +333,7 @@ int main() {
          << (pnlab::analysis::telemetry::compiled_in() ? "true" : "false")
          << ",\n"
          << "  \"telemetry_overhead_pct\": " << overhead_pct << ",\n"
+         << "  \"trace_sample\": " << kTraceSample << ",\n"
          << "  \"phase_s\": {";
     for (std::size_t i = 0; i < phase_s.size(); ++i) {
       json << (i ? ", " : "") << "\"" << phase_s[i].first

@@ -126,6 +126,7 @@ int main() {
     std::ofstream json("BENCH_driver.json");
     json << std::fixed << std::setprecision(3) << "{\n"
          << "  \"bench\": \"driver\",\n"
+         << "  \"simd_isa\": \"" << warm.stats.simd_isa << "\",\n"
          << "  \"files\": " << tree.size() << ",\n"
          << "  \"files_per_s\": {";
     for (std::size_t i = 0; i < files_per_sec_by_threads.size(); ++i) {

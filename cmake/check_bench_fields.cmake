@@ -22,7 +22,14 @@ endfunction()
 
 require_field("${BENCH_DIR}/BENCH_analyzer.json" "phase_s")
 require_field("${BENCH_DIR}/BENCH_analyzer.json" "telemetry_overhead_pct")
+# The SIMD frontend: every analyzer bench must say which lexer tier it
+# dispatched to and what the large-input (>= 1 MiB) byte rate was, so a
+# regression in CPU detection or a backend falling off the fast path is
+# visible in the committed trajectory.
+require_field("${BENCH_DIR}/BENCH_analyzer.json" "simd_isa")
+require_field("${BENCH_DIR}/BENCH_analyzer.json" "mib_per_s_large")
 require_field("${BENCH_DIR}/BENCH_driver.json" "phase_s")
+require_field("${BENCH_DIR}/BENCH_driver.json" "simd_isa")
 # The service bench must always carry its latency distribution and
 # throughput headline, not just a pass/fail bit.
 require_field("${BENCH_DIR}/BENCH_service.json" "p50_ms")

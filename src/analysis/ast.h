@@ -162,12 +162,20 @@ struct FuncDecl {
   std::vector<ParamDecl> params;
   Stmt* body = nullptr;  ///< always a Block
   int line = 0;
+  /// Placement-new expressions inside this body, tallied by the parser —
+  /// lets the checkers skip their site-collection walk for the (typical)
+  /// function that has none.
+  std::uint32_t placement_news = 0;
 };
 
 struct Program {
   std::vector<ClassDecl> classes;
   std::vector<Stmt*> globals;  ///< VarDecl statements
   std::vector<FuncDecl> functions;
+  /// Placement-new expressions seen while parsing — counted as the nodes
+  /// are built so consumers don't need a whole-AST walk just for the
+  /// tally.
+  std::size_t placement_sites = 0;
 };
 
 /// Parses PNC source into a Program whose nodes live in @p ctx; throws

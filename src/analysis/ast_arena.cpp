@@ -30,8 +30,18 @@ std::span<std::byte> AstArena::bump(std::size_t size, std::size_t align) {
 }
 
 AstArena::Chunk& AstArena::grow(std::size_t min_size) {
+  // Geometric growth: each appended chunk doubles the previous one, capped
+  // at 4 MiB. The bench's ast_arena_bytes stat shows a 1 MiB source serving
+  // ~23 MiB of nodes; fixed 256 KiB chunks meant ~90 heap allocations on
+  // the first pass where doubling needs ~10, while small files still get a
+  // single chunk_bytes_-sized chunk.
+  static constexpr std::size_t kMaxChunkBytes = std::size_t{4} << 20;
+  std::size_t want = chunk_bytes_;
+  if (!chunks_.empty()) {
+    want = std::min(kMaxChunkBytes, chunks_.back().size * 2);
+  }
   Chunk chunk;
-  chunk.size = std::max(chunk_bytes_, min_size);
+  chunk.size = std::max(want, min_size);
   chunk.data = std::make_unique<std::byte[]>(chunk.size);
   chunks_.push_back(std::move(chunk));
   active_ = chunks_.size() - 1;

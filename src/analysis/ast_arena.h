@@ -28,9 +28,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/token.h"
 #include "native/safe_placement.h"
 
 namespace pnlab::analysis {
+
+struct Expr;
+struct Stmt;
 
 /// Counters for one arena since its last reset (plus lifetime totals).
 struct AstArenaStats {
@@ -115,6 +119,17 @@ class StringInterner {
   /// first time this content is seen.
   std::string_view intern(std::string_view s);
 
+  /// Interns a view whose bytes were already built in place inside this
+  /// interner's arena (the lexer unescapes string literals straight into
+  /// arena storage).  Never copies: new content is inserted as-is; on a
+  /// dedup hit the existing view is returned and the caller's freshly
+  /// bumped bytes are simply abandoned to the next reset.
+  std::string_view intern_arena_backed(std::string_view s) {
+    const auto [it, inserted] = views_.insert(s);
+    if (!inserted) ++dedup_hits_;
+    return *it;
+  }
+
   /// Distinct strings currently held.
   std::size_t size() const { return views_.size(); }
   /// intern() calls serviced without a copy since the last reset.
@@ -143,8 +158,18 @@ class AstContext {
   /// caller's buffer (used when the caller cannot pin the source).
   std::string_view pin(std::string_view s) { return strings_.intern(s); }
 
+  /// Reusable frontend work buffers.  The lexer's token stream and the
+  /// parser's child-list staging areas used to be reallocated per file;
+  /// hanging them off the per-thread context means their high-water
+  /// capacity survives reset() and steady-state parsing does not touch
+  /// the heap at all.  Contents are transient: any caller may clear and
+  /// refill them.
+  std::vector<Token>& token_scratch() { return token_scratch_; }
+  std::vector<Expr*>& expr_scratch() { return expr_scratch_; }
+  std::vector<Stmt*>& stmt_scratch() { return stmt_scratch_; }
+
   /// Prepares for the next file: interner first (its views die with the
-  /// arena), then the arena rewind.
+  /// arena), then the arena rewind.  Scratch capacity is retained.
   void reset() {
     strings_.reset();
     arena_.reset();
@@ -153,6 +178,9 @@ class AstContext {
  private:
   AstArena arena_;
   StringInterner strings_;
+  std::vector<Token> token_scratch_;
+  std::vector<Expr*> expr_scratch_;
+  std::vector<Stmt*> stmt_scratch_;
 };
 
 }  // namespace pnlab::analysis

@@ -1,6 +1,7 @@
 #include "analysis/checkers.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -121,8 +122,6 @@ class SiteCollector {
 /// fixpoint up to three times over).
 struct FunctionAnalysis {
   const FuncDecl* fn = nullptr;
-  SymbolTable symbols;
-  Cfg cfg;
   std::vector<PlacementSite> sites;
   /// Any unguarded `new (target) T[n]` — the only sites whose size
   /// expression taint (PN002/PN003) or parameter summaries matter.
@@ -131,9 +130,14 @@ struct FunctionAnalysis {
   FunctionAnalysis(const Program& program, const FuncDecl& function,
                    const TypeTable& types)
       : fn(&function),
-        symbols(program, function, types),
-        cfg(build_cfg(function)),
-        sites(SiteCollector().collect(*function.body)) {
+        // The parser tallied placement news per function, so the
+        // guard-context site walk only runs over bodies known to have
+        // at least one.
+        sites(function.placement_news > 0
+                  ? SiteCollector().collect(*function.body)
+                  : std::vector<PlacementSite>{}),
+        program_(&program),
+        types_(&types) {
     for (const PlacementSite& site : sites) {
       if (!site.guarded && site.expr->is_array && site.expr->array_size) {
         has_unguarded_array_site = true;
@@ -141,6 +145,25 @@ struct FunctionAnalysis {
       }
     }
   }
+
+  /// Symbols and the CFG feed only the checker bodies and the taint
+  /// dataflow passes; a function with no placement sites (the common
+  /// case in a realistic translation unit) needs neither — so both are
+  /// built on first use rather than eagerly for every function.
+  const SymbolTable& symbols() const {
+    if (!symbols_) symbols_.emplace(*program_, *fn, *types_);
+    return *symbols_;
+  }
+  const Cfg& cfg() const {
+    if (!cfg_) cfg_ = build_cfg(*fn);
+    return *cfg_;
+  }
+
+ private:
+  const Program* program_ = nullptr;
+  const TypeTable* types_ = nullptr;
+  mutable std::optional<SymbolTable> symbols_;
+  mutable std::optional<Cfg> cfg_;
 };
 
 /// Per-function checker pass.
@@ -150,16 +173,19 @@ class FunctionChecker {
                   const TaintOptions& taint_options,
                   const TaintMap& global_taint,
                   std::vector<Diagnostic>& diagnostics)
-      : function_(*unit.fn),
+      : unit_(unit),
+        function_(*unit.fn),
         types_(types),
         taint_options_(taint_options),
-        symbols_(unit.symbols),
+        global_taint_(global_taint),
         sites_(unit.sites),
-        taint_(analyze_taint(*unit.fn, unit.cfg, unit.symbols, taint_options,
-                             global_taint)),
         diagnostics_(diagnostics) {}
 
   void run() {
+    // Every checker below keys off placement sites: without one there is
+    // nothing to bound, align, leak, or fail to release, so the walks
+    // (and the taint dataflow they would trigger) are skipped outright.
+    if (sites_.empty()) return;
     {
       PN_TRACE_SPAN(kCheckBoundsTaint);
       for (const PlacementSite& site : sites_) check_bounds_and_taint(site);
@@ -187,7 +213,7 @@ class FunctionChecker {
 
   std::optional<std::size_t> placed_size(const Expr& site) const {
     if (site.is_array) {
-      auto count = const_eval(*site.array_size, types_, &symbols_);
+      auto count = const_eval(*site.array_size, types_, &symbols());
       auto elem = types_.size_of(site.type);
       if (count && elem && *count >= 0) {
         return *elem * static_cast<std::size_t>(*count);
@@ -202,7 +228,7 @@ class FunctionChecker {
 
     const Expr& e = *site.expr;
     const auto arena =
-        resolve_arena_size(*e.placement, symbols_, types_, function_);
+        resolve_arena_size(*e.placement, symbols(), types_, function_);
     const auto placed = placed_size(e);
 
     // PN002/PN003: taint on the size expression of array placements.
@@ -253,7 +279,7 @@ class FunctionChecker {
     // Target alignment: the natural alignment of the arena's element or
     // object type, when resolvable.
     const std::string_view root = target_root(*e.placement);
-    const VarInfo* var = root.empty() ? nullptr : symbols_.find(root);
+    const VarInfo* var = root.empty() ? nullptr : symbols().find(root);
     if (var == nullptr) return;
     const auto target_align = types_.align_of(
         TypeRef{var->type.name, 0, false});
@@ -330,7 +356,7 @@ class FunctionChecker {
       }
       std::size_t size = 0;
       if (rhs->is_array) {
-        auto count = const_eval(*rhs->array_size, types_, &symbols_);
+        auto count = const_eval(*rhs->array_size, types_, &symbols());
         auto elem = types_.size_of(rhs->type);
         if (count && elem && *count >= 0) {
           size = *elem * static_cast<std::size_t>(*count);
@@ -361,7 +387,7 @@ class FunctionChecker {
           if (ev.size > 0) {
             st.occupied = std::max(st.occupied, ev.size);
           } else {
-            const VarInfo* var = symbols_.find(ev.root);
+            const VarInfo* var = symbols().find(ev.root);
             st.occupied = var != nullptr && var->byte_size ? *var->byte_size
                                                            : SIZE_MAX;
           }
@@ -422,7 +448,7 @@ class FunctionChecker {
       // `new (stud) Student()`).
       const Expr& target = *site.expr->placement;
       if (target.kind != Expr::Kind::Ident) continue;
-      const VarInfo* root_var = symbols_.find(target.text);
+      const VarInfo* root_var = symbols().find(target.text);
       if (root_var == nullptr || !root_var->type.is_pointer()) continue;
       emit("PN006", Severity::Warning, site.expr->line, site.expr->col,
            "placement-new result '" + std::string(site.assigned_to) +
@@ -431,17 +457,28 @@ class FunctionChecker {
     }
   }
 
+  /// The intra-function taint dataflow is consulted only for unguarded
+  /// array placement sizes (PN002/PN003); running it eagerly would cost
+  /// a full CFG fixpoint per function whether or not such a site exists,
+  /// so it is computed on the first query.
   const TaintMap* state_before(const Stmt* stmt) const {
-    auto it = taint_.before.find(stmt);
-    return it == taint_.before.end() ? nullptr : &it->second;
+    if (!taint_) {
+      taint_ = analyze_taint(function_, unit_.cfg(), symbols(),
+                             taint_options_, global_taint_);
+    }
+    auto it = taint_->before.find(stmt);
+    return it == taint_->before.end() ? nullptr : &it->second;
   }
 
+  const SymbolTable& symbols() const { return unit_.symbols(); }
+
+  const FunctionAnalysis& unit_;
   const FuncDecl& function_;
   const TypeTable& types_;
   const TaintOptions& taint_options_;
-  const SymbolTable& symbols_;
+  const TaintMap& global_taint_;
   const std::vector<PlacementSite>& sites_;
-  TaintAnalysis taint_;
+  mutable std::optional<TaintAnalysis> taint_;
   std::vector<Diagnostic>& diagnostics_;
 };
 
@@ -485,7 +522,7 @@ class InterproceduralTaint {
         if (fn.params[p].type.tainted) continue;  // local pass covers it
         TaintMap seed{{fn.params[p].name, 1}};
         const TaintAnalysis taint =
-            analyze_taint(fn, unit.cfg, unit.symbols, options_, seed);
+            analyze_taint(fn, unit.cfg(), unit.symbols(), options_, seed);
         for (const PlacementSite& site : unit.sites) {
           if (site.guarded || !site.expr->is_array ||
               !site.expr->array_size) {
@@ -508,7 +545,7 @@ class InterproceduralTaint {
     for (const FunctionAnalysis& unit : units_) {
       const FuncDecl& caller = *unit.fn;
       const TaintAnalysis taint =
-          analyze_taint(caller, unit.cfg, unit.symbols, options_);
+          analyze_taint(caller, unit.cfg(), unit.symbols(), options_);
 
       for_each_stmt(*caller.body, [&](const Stmt& stmt) {
         const TaintMap* state = nullptr;
@@ -587,9 +624,9 @@ std::vector<Diagnostic> run_checkers(const Program& program,
       TaintMap next = global_taint;
       for (const FunctionAnalysis& unit : units) {
         const TaintAnalysis taint = analyze_taint(
-            *unit.fn, unit.cfg, unit.symbols, taint_options, global_taint);
+            *unit.fn, unit.cfg(), unit.symbols(), taint_options, global_taint);
         for (const auto& [name, depth] : taint.at_exit) {
-          const VarInfo* var = unit.symbols.find(name);
+          const VarInfo* var = unit.symbols().find(name);
           if (var == nullptr || !var->is_global) continue;
           auto it = next.find(name);
           if (it == next.end() || depth < it->second) next[name] = depth;

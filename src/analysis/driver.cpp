@@ -18,6 +18,7 @@
 
 #include "analysis/ast_arena.h"
 #include "analysis/scheduler.h"
+#include "analysis/simd_dispatch.h"
 #include "analysis/telemetry.h"
 #include "analysis/token.h"
 
@@ -151,6 +152,7 @@ std::string BatchStats::to_string() const {
   os << "run:   " << wall_s << " s wall on " << threads << " thread(s) ("
      << std::setprecision(1) << files_per_sec() << " files/s, " << steals
      << " steal(s)";
+  if (!simd_isa.empty()) os << " [lexer " << simd_isa << "]";
   if (steals > 0 && per_worker_steals.size() > 1) {
     os << " [";
     for (std::size_t w = 0; w < per_worker_steals.size(); ++w) {
@@ -246,6 +248,9 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
         FileReport& report = batch.files[i];
         const SourceFile& file = files[i];
         report.file = file.name;
+        // One file = one sampling unit: under --trace-sample=N only
+        // every Nth file's spans hit the clock and the ring.
+        PN_TRACE_UNIT();
         PN_TRACE_SPAN_D(kAnalyze, file.name);
         [[maybe_unused]] const std::uint64_t t_file =
             telemetry::enabled() ? telemetry::now_ns() : 0;
@@ -328,6 +333,7 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
 
   BatchStats& stats = batch.stats;
   stats.files = files.size();
+  stats.simd_isa = simd::isa_name(simd::active_isa());
   stats.threads = steal.threads;
   stats.steals = steal.steals;
   stats.per_worker_steals = steal.per_worker_steals;

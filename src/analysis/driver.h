@@ -205,6 +205,10 @@ struct BatchStats {
   /// bytes.  With the arena these are bump allocations, not mallocs.
   std::size_t ast_nodes = 0;
   std::size_t ast_arena_bytes = 0;
+  /// Lexer backend the run dispatched to ("avx2", "sse2", "swar",
+  /// "scalar") — see simd_dispatch.h.  Stats/bench metadata only; never
+  /// serialized into JSON/SARIF, which are ISA-invariant.
+  std::string simd_isa;
 
   double files_per_sec() const;
   /// Multi-line human-readable rendering.

@@ -1,30 +1,22 @@
-// PNC lexer with SWAR 8-byte-word fast paths.
+// PNC lexer: ISA-dispatched scanning backends over one shared core.
 //
-// The previous lexer walked the source a byte at a time through
-// peek()/advance() lambdas, with std::isalnum-family classification in
-// the hot loop.  This version keeps the exact token stream and
-// line/col/error behavior but restructures the scan:
+// The tokenizer itself lives in lexer_backends.h as
+// tokenize_with<Engine>, stamped out here for the portable tiers
+// (scalar byte loop, SWAR 8-byte words) and in lexer_sse2.cpp /
+// lexer_avx2.cpp for the x86 vector tiers.  tokenize_into() forwards
+// through the function pointer simd::active_tokenize() resolves once at
+// startup (CPUID, overridable with PNC_FORCE_ISA — see simd_dispatch.h),
+// so per-call dispatch cost is a single indirect call per file.
 //
-//   * character classes come from charclass::kClass (table lookup, no
-//     locale, no libc call);
-//   * whitespace, // and /* */ comments, identifier runs, digit runs,
-//     and string-literal bodies advance a 64-bit word at a time using
-//     the exact per-lane predicates in char_class.h, falling back to
-//     the table for the sub-8-byte tail;
-//   * columns derive from a line-start offset (col = i - line_start + 1)
-//     instead of a per-byte counter, so skipping 8 bytes costs one add.
-//     Newlines inside skipped words are popcounted and the line-start
-//     offset jumps to just past the last one.
-//
-// High-bit bytes (0x80–0xFF) match no class: they terminate identifier
-// and digit runs (surfacing the same "unexpected character" error as
-// before) and are skipped verbatim inside comments and string literals.
-#include <bit>
-#include <charconv>
-#include <string>
+// All tiers produce byte-identical token streams, line/column info, and
+// error positions; the differential tests in analysis_simd_isa_test.cpp
+// hold them to that.
+#include "analysis/lexer_backends.h"
+
+#include <vector>
 
 #include "analysis/ast_arena.h"
-#include "analysis/char_class.h"
+#include "analysis/simd_dispatch.h"
 #include "analysis/token.h"
 
 namespace pnlab::analysis {
@@ -93,392 +85,36 @@ const char* to_string(TokenKind kind) {
   return "?";
 }
 
-namespace {
+namespace lexdetail {
 
-// Branchy keyword probe instead of a map lookup: PNC has 23 keywords and
-// the lexer classifies every identifier, so this sits on the hot path.
-TokenKind keyword_or_identifier(std::string_view w) {
-  switch (w.front()) {
-    case 'b':
-      if (w == "bool") return TokenKind::KwBool;
-      break;
-    case 'c':
-      if (w == "char") return TokenKind::KwChar;
-      if (w == "cin") return TokenKind::KwCin;
-      if (w == "class") return TokenKind::KwClass;
-      break;
-    case 'd':
-      if (w == "delete") return TokenKind::KwDelete;
-      if (w == "double") return TokenKind::KwDouble;
-      break;
-    case 'e':
-      if (w == "else") return TokenKind::KwElse;
-      break;
-    case 'f':
-      if (w == "for") return TokenKind::KwFor;
-      if (w == "false") return TokenKind::KwFalse;
-      break;
-    case 'i':
-      if (w == "if") return TokenKind::KwIf;
-      if (w == "int") return TokenKind::KwInt;
-      break;
-    case 'n':
-      if (w == "new") return TokenKind::KwNew;
-      if (w == "nullptr") return TokenKind::KwNull;
-      break;
-    case 'N':
-      if (w == "NULL") return TokenKind::KwNull;
-      break;
-    case 'p':
-      if (w == "public") return TokenKind::KwPublic;
-      if (w == "private") return TokenKind::KwPrivate;
-      break;
-    case 'r':
-      if (w == "return") return TokenKind::KwReturn;
-      break;
-    case 's':
-      if (w == "sizeof") return TokenKind::KwSizeof;
-      break;
-    case 't':
-      if (w == "tainted") return TokenKind::KwTainted;
-      if (w == "true") return TokenKind::KwTrue;
-      break;
-    case 'v':
-      if (w == "void") return TokenKind::KwVoid;
-      if (w == "virtual") return TokenKind::KwVirtual;
-      break;
-    case 'w':
-      if (w == "while") return TokenKind::KwWhile;
-      break;
-    default:
-      break;
-  }
-  return TokenKind::Identifier;
+void tokenize_scalar(std::string_view source, AstContext& ctx,
+                     std::vector<Token>& tokens) {
+  tokenize_with<ScalarEngine>(source, ctx, tokens);
 }
 
-}  // namespace
+void tokenize_swar(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens) {
+  tokenize_with<SwarEngine>(source, ctx, tokens);
+}
+
+}  // namespace lexdetail
+
+void tokenize_into(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens) {
+  tokens.clear();
+  // Preallocation from the corpus byte-count model: dense PNC runs
+  // ~3.9 bytes per token (measured over the built-in corpus, see
+  // bench_analyzer), so n/4 + 8 over-reserves slightly and the vector
+  // never reallocates mid-file.  The buffer is reused across files by
+  // AstContext::token_scratch(), so this only ever grows the high-water
+  // mark.
+  tokens.reserve(source.size() / 4 + 8);
+  simd::active_tokenize()(source, ctx, tokens);
+}
 
 std::vector<Token> tokenize(std::string_view source, AstContext& ctx) {
-  namespace cc = charclass;
-  const char* const data = source.data();
-  const std::size_t n = source.size();
-
   std::vector<Token> tokens;
-  // Dense sources run about one token per 6 bytes; reserving up front
-  // keeps the vector from reallocating mid-file.
-  tokens.reserve(n / 6 + 16);
-
-  std::size_t i = 0;
-  std::size_t line = 1;
-  std::size_t line_start = 0;  // offset of the current line's first byte
-
-  const auto col_at = [&](std::size_t pos) {
-    return static_cast<int>(pos - line_start + 1);
-  };
-  const auto at = [&](std::size_t pos) {
-    return static_cast<unsigned char>(data[pos]);
-  };
-
-  // Advances i to the first byte whose class misses @p mask.  Runs never
-  // contain newlines (no class in the table includes '\n' together with
-  // ident/digit bits), so no line accounting is needed.
-  const auto skip_class_run = [&](std::uint64_t (*lanes)(std::uint64_t),
-                                  std::uint8_t mask) {
-    while (i + 8 <= n) {
-      const std::uint64_t m = lanes(cc::load8(data + i));
-      const int k = cc::first_miss(m);
-      i += static_cast<std::size_t>(k);
-      if (k < 8) return;
-    }
-    while (i < n && cc::is(at(i), mask)) ++i;
-  };
-
-  // Whitespace, with newline accounting: count '\n' lanes inside each
-  // fully- or partially-skipped word and move line_start past the last.
-  const auto skip_whitespace = [&] {
-    while (i + 8 <= n) {
-      const std::uint64_t w = cc::load8(data + i);
-      const std::uint64_t ws = cc::space_lanes(w);
-      const int k = cc::first_miss(ws);
-      if (k > 0) {
-        const std::uint64_t nl =
-            cc::eq_lanes(w, '\n') & cc::lanes_below(k);
-        if (nl != 0) {
-          line += static_cast<std::size_t>(std::popcount(nl));
-          line_start = i + static_cast<std::size_t>(cc::last_hit(nl)) + 1;
-        }
-        i += static_cast<std::size_t>(k);
-      }
-      if (k < 8) return;
-    }
-    while (i < n && cc::is(at(i), cc::kSpace)) {
-      if (data[i] == '\n') {
-        ++line;
-        line_start = i + 1;
-      }
-      ++i;
-    }
-  };
-
-  // Leaves i on the terminating '\n' (or at EOF); the next
-  // skip_whitespace records the line bump.
-  const auto skip_line_comment = [&] {
-    while (i + 8 <= n) {
-      const std::uint64_t m = cc::eq_lanes(cc::load8(data + i), '\n');
-      if (m == 0) {
-        i += 8;
-        continue;
-      }
-      i += static_cast<std::size_t>(cc::first_hit(m));
-      return;
-    }
-    while (i < n && data[i] != '\n') ++i;
-  };
-
-  // i points just past "/*"; consumes through the closing "*/" or throws
-  // at EOF with the same position the byte-at-a-time lexer reported.
-  const auto skip_block_comment = [&] {
-    while (i < n) {
-      // Hop to the next byte that could end the comment or a line.
-      while (i + 8 <= n) {
-        const std::uint64_t w = cc::load8(data + i);
-        const std::uint64_t m = cc::eq_lanes(w, '*') | cc::eq_lanes(w, '\n');
-        if (m == 0) {
-          i += 8;
-          continue;
-        }
-        i += static_cast<std::size_t>(cc::first_hit(m));
-        break;
-      }
-      if (i >= n) break;
-      const char c = data[i];
-      if (c == '\n') {
-        ++line;
-        line_start = i + 1;
-      } else if (c == '*' && i + 1 < n && data[i + 1] == '/') {
-        i += 2;
-        return;
-      }
-      ++i;  // '*' without '/', a tail byte that is neither, or the '\n'
-    }
-    throw ParseError(static_cast<int>(line), col_at(i), "unclosed comment");
-  };
-
-  while (i < n) {
-    skip_whitespace();
-    if (i >= n) break;
-    const unsigned char c = at(i);
-
-    // comments
-    if (c == '/' && i + 1 < n && data[i + 1] == '/') {
-      i += 2;
-      skip_line_comment();
-      continue;
-    }
-    if (c == '/' && i + 1 < n && data[i + 1] == '*') {
-      i += 2;
-      skip_block_comment();
-      continue;
-    }
-
-    const int tline = static_cast<int>(line);
-    const int tcol = col_at(i);
-    const std::size_t start = i;
-
-    if (cc::is(c, cc::kIdentStart)) {
-      ++i;
-      skip_class_run(cc::ident_lanes, cc::kIdentCont);
-      const std::string_view word = source.substr(start, i - start);
-      Token t;
-      t.kind = keyword_or_identifier(word);
-      t.text = word;
-      t.line = tline;
-      t.col = tcol;
-      tokens.push_back(t);
-      continue;
-    }
-
-    if (cc::is(c, cc::kDigit)) {
-      bool is_float = false;
-      const bool hex =
-          c == '0' && i + 1 < n && (data[i + 1] == 'x' || data[i + 1] == 'X');
-      if (hex) {
-        i += 2;
-        skip_class_run(cc::hex_lanes, cc::kHexDigit);
-      } else {
-        skip_class_run(cc::digit_lanes, cc::kDigit);
-        if (i + 1 < n && data[i] == '.' && cc::is(at(i + 1), cc::kDigit)) {
-          is_float = true;
-          ++i;
-          skip_class_run(cc::digit_lanes, cc::kDigit);
-        }
-      }
-      const std::string_view num = source.substr(start, i - start);
-      Token t;
-      t.text = num;
-      t.line = tline;
-      t.col = tcol;
-      if (is_float) {
-        t.kind = TokenKind::FloatLiteral;
-        std::from_chars(num.data(), num.data() + num.size(), t.float_value);
-      } else {
-        t.kind = TokenKind::IntLiteral;
-        // Match strtoll's base-0 rules: 0x.. is hex, other leading zeros
-        // are octal, everything else decimal.
-        const char* first = num.data();
-        const char* last = num.data() + num.size();
-        int base = 10;
-        if (hex) {
-          first += 2;
-          base = 16;
-        } else if (num.size() > 1 && num.front() == '0') {
-          base = 8;
-        }
-        std::from_chars(first, last, t.int_value, base);
-      }
-      tokens.push_back(t);
-      continue;
-    }
-
-    if (c == '"') {
-      ++i;
-      const std::size_t body = i;
-      bool has_escape = false;
-      for (;;) {
-        // Hop to the next quote, backslash, or newline; everything else
-        // (including high-bit bytes) is literal payload.
-        while (i + 8 <= n) {
-          const std::uint64_t w = cc::load8(data + i);
-          const std::uint64_t m = cc::eq_lanes(w, '"') |
-                                  cc::eq_lanes(w, '\\') |
-                                  cc::eq_lanes(w, '\n');
-          if (m == 0) {
-            i += 8;
-            continue;
-          }
-          i += static_cast<std::size_t>(cc::first_hit(m));
-          break;
-        }
-        if (i >= n) {
-          throw ParseError(tline, tcol, "unterminated string literal");
-        }
-        const char sc = data[i];
-        if (sc == '"') break;
-        if (sc == '\\' && i + 1 < n) {
-          has_escape = true;
-          if (data[i + 1] == '\n') {  // escaped newline still ends a line
-            ++line;
-            line_start = i + 2;
-          }
-          i += 2;
-          continue;
-        }
-        if (sc == '\n') {
-          ++line;
-          line_start = i + 1;
-        }
-        ++i;  // newline, lone trailing backslash, or tail payload byte
-      }
-      std::string_view text;
-      if (!has_escape) {
-        // Common case: the literal's value IS the source bytes between
-        // the quotes — no copy at all.
-        text = source.substr(body, i - body);
-      } else {
-        std::string unescaped;
-        unescaped.reserve(i - body);
-        for (std::size_t k = body; k < i; ++k) {
-          if (source[k] == '\\' && k + 1 < i) {
-            ++k;
-            switch (source[k]) {
-              case 'n': unescaped.push_back('\n'); break;
-              case 't': unescaped.push_back('\t'); break;
-              case '0': unescaped.push_back('\0'); break;
-              default: unescaped.push_back(source[k]);
-            }
-          } else {
-            unescaped.push_back(source[k]);
-          }
-        }
-        text = ctx.strings().intern(unescaped);
-      }
-      ++i;  // closing quote
-      Token t;
-      t.kind = TokenKind::StringLiteral;
-      t.text = text;
-      t.line = tline;
-      t.col = tcol;
-      tokens.push_back(t);
-      continue;
-    }
-
-    const auto two = [&](char a, char b, TokenKind kind) {
-      if (c == a && i + 1 < n && data[i + 1] == b) {
-        Token t;
-        t.kind = kind;
-        t.text = source.substr(start, 2);
-        t.line = tline;
-        t.col = tcol;
-        tokens.push_back(t);
-        i += 2;
-        return true;
-      }
-      return false;
-    };
-
-    if (two('-', '>', TokenKind::Arrow)) continue;
-    if (two('&', '&', TokenKind::AmpAmp)) continue;
-    if (two('|', '|', TokenKind::PipePipe)) continue;
-    if (two('+', '+', TokenKind::PlusPlus)) continue;
-    if (two('-', '-', TokenKind::MinusMinus)) continue;
-    if (two('=', '=', TokenKind::Eq)) continue;
-    if (two('!', '=', TokenKind::Ne)) continue;
-    if (two('<', '=', TokenKind::Le)) continue;
-    if (two('>', '=', TokenKind::Ge)) continue;
-    if (two('>', '>', TokenKind::Shr)) continue;
-
-    TokenKind kind;
-    switch (c) {
-      case '(': kind = TokenKind::LParen; break;
-      case ')': kind = TokenKind::RParen; break;
-      case '{': kind = TokenKind::LBrace; break;
-      case '}': kind = TokenKind::RBrace; break;
-      case '[': kind = TokenKind::LBracket; break;
-      case ']': kind = TokenKind::RBracket; break;
-      case ';': kind = TokenKind::Semicolon; break;
-      case ':': kind = TokenKind::Colon; break;
-      case ',': kind = TokenKind::Comma; break;
-      case '.': kind = TokenKind::Dot; break;
-      case '&': kind = TokenKind::Amp; break;
-      case '|': kind = TokenKind::Pipe; break;
-      case '*': kind = TokenKind::Star; break;
-      case '+': kind = TokenKind::Plus; break;
-      case '-': kind = TokenKind::Minus; break;
-      case '/': kind = TokenKind::Slash; break;
-      case '%': kind = TokenKind::Percent; break;
-      case '=': kind = TokenKind::Assign; break;
-      case '<': kind = TokenKind::Lt; break;
-      case '>': kind = TokenKind::Gt; break;
-      case '!': kind = TokenKind::Not; break;
-      default:
-        throw ParseError(tline, tcol,
-                         std::string("unexpected character '") +
-                             static_cast<char>(c) + "'");
-    }
-    Token t;
-    t.kind = kind;
-    t.text = source.substr(start, 1);
-    t.line = tline;
-    t.col = tcol;
-    tokens.push_back(t);
-    ++i;
-  }
-
-  Token eof;
-  eof.kind = TokenKind::EndOfFile;
-  eof.line = static_cast<int>(line);
-  eof.col = col_at(n);
-  tokens.push_back(eof);
+  tokenize_into(source, ctx, tokens);
   return tokens;
 }
 

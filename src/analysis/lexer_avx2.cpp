@@ -1,0 +1,176 @@
+// AVX2 lexer backend: 32 bytes per step.
+//
+// Same classification scheme as lexer_sse2.cpp (unsigned-saturating
+// range compares + OR-0x20 case fold + movemask/tzcnt), widened to
+// 256-bit vectors.  This TU — and only this TU — is compiled with
+// -mavx2 (see src/analysis/CMakeLists.txt); the dispatcher only routes
+// here after __builtin_cpu_supports("avx2"), so no AVX2 instruction can
+// execute on a CPU without it.  If the toolchain cannot build AVX2 at
+// all, the entry point degrades to the SWAR backend and
+// avx2_backend_compiled() reports the tier absent.
+#include "analysis/lexer_backends.h"
+
+#if PNLAB_X86_SIMD
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace pnlab::analysis::lexdetail {
+
+namespace {
+
+inline __m256i load32(const char* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline __m256i splat(char c) { return _mm256_set1_epi8(c); }
+
+/// 0xFF lanes where byte is in [lo, hi], unsigned.
+inline __m256i in_range(__m256i x, unsigned char lo, unsigned char hi) {
+  const __m256i over = _mm256_subs_epu8(x, splat(static_cast<char>(hi)));
+  const __m256i under = _mm256_subs_epu8(splat(static_cast<char>(lo)), x);
+  return _mm256_cmpeq_epi8(_mm256_or_si256(over, under),
+                           _mm256_setzero_si256());
+}
+
+inline std::uint32_t mask32(__m256i lanes) {
+  return static_cast<std::uint32_t>(_mm256_movemask_epi8(lanes));
+}
+
+/// [A-Za-z0-9_] — identifier continuation.
+inline __m256i ident_lanes(__m256i x) {
+  const __m256i folded = _mm256_or_si256(x, splat(0x20));
+  return _mm256_or_si256(
+      _mm256_or_si256(in_range(folded, 'a', 'z'), in_range(x, '0', '9')),
+      _mm256_cmpeq_epi8(x, splat('_')));
+}
+
+inline __m256i digit_lanes(__m256i x) { return in_range(x, '0', '9'); }
+
+/// [0-9a-fA-F]
+inline __m256i hex_lanes(__m256i x) {
+  const __m256i folded = _mm256_or_si256(x, splat(0x20));
+  return _mm256_or_si256(in_range(folded, 'a', 'f'), in_range(x, '0', '9'));
+}
+
+/// space, \t, \r, \n — exactly charclass::kSpace.
+inline __m256i space_lanes(__m256i x) {
+  return _mm256_or_si256(
+      _mm256_or_si256(_mm256_cmpeq_epi8(x, splat(' ')),
+                      _mm256_cmpeq_epi8(x, splat('\t'))),
+      _mm256_or_si256(_mm256_cmpeq_epi8(x, splat('\r')),
+                      _mm256_cmpeq_epi8(x, splat('\n'))));
+}
+
+template <__m256i (*Lanes)(__m256i),
+          std::size_t (*Tail)(const char*, std::size_t, std::size_t)>
+std::size_t scan_class(const char* d, std::size_t i, std::size_t n) {
+  while (i + 32 <= n) {
+    const std::uint32_t miss = ~mask32(Lanes(load32(d + i)));
+    if (miss != 0) return i + static_cast<std::size_t>(std::countr_zero(miss));
+    i += 32;
+  }
+  return Tail(d, i, n);
+}
+
+struct Avx2Engine {
+  static constexpr const char* kName = "avx2";
+
+  static std::size_t scan_ident(const char* d, std::size_t i, std::size_t n) {
+    return scan_class<ident_lanes, ScalarEngine::scan_ident>(d, i, n);
+  }
+  static std::size_t scan_digits(const char* d, std::size_t i, std::size_t n) {
+    return scan_class<digit_lanes, ScalarEngine::scan_digits>(d, i, n);
+  }
+  static std::size_t scan_hex(const char* d, std::size_t i, std::size_t n) {
+    return scan_class<hex_lanes, ScalarEngine::scan_hex>(d, i, n);
+  }
+
+  static std::size_t scan_space(const char* d, std::size_t i, std::size_t n,
+                                std::size_t& line, std::size_t& line_start) {
+    while (i + 32 <= n) {
+      const __m256i v = load32(d + i);
+      const std::uint32_t miss = ~mask32(space_lanes(v));
+      const int k = miss != 0 ? std::countr_zero(miss) : 32;
+      if (k > 0) {
+        const std::uint32_t consumed =
+            k >= 32 ? 0xFFFFFFFFu : ((std::uint32_t{1} << k) - 1u);
+        const std::uint32_t nl =
+            mask32(_mm256_cmpeq_epi8(v, splat('\n'))) & consumed;
+        if (nl != 0) {
+          line += static_cast<std::size_t>(std::popcount(nl));
+          line_start =
+              i + static_cast<std::size_t>(31 - std::countl_zero(nl)) + 1;
+        }
+        i += static_cast<std::size_t>(k);
+      }
+      if (k < 32) return i;
+    }
+    return ScalarEngine::scan_space(d, i, n, line, line_start);
+  }
+
+  static std::size_t find_newline(const char* d, std::size_t i,
+                                  std::size_t n) {
+    while (i + 32 <= n) {
+      const std::uint32_t hit =
+          mask32(_mm256_cmpeq_epi8(load32(d + i), splat('\n')));
+      if (hit != 0) return i + static_cast<std::size_t>(std::countr_zero(hit));
+      i += 32;
+    }
+    return ScalarEngine::find_newline(d, i, n);
+  }
+  static std::size_t find_block_stop(const char* d, std::size_t i,
+                                     std::size_t n) {
+    while (i + 32 <= n) {
+      const __m256i v = load32(d + i);
+      const std::uint32_t hit = mask32(
+          _mm256_or_si256(_mm256_cmpeq_epi8(v, splat('*')),
+                          _mm256_cmpeq_epi8(v, splat('\n'))));
+      if (hit != 0) return i + static_cast<std::size_t>(std::countr_zero(hit));
+      i += 32;
+    }
+    return ScalarEngine::find_block_stop(d, i, n);
+  }
+  static std::size_t find_string_stop(const char* d, std::size_t i,
+                                      std::size_t n) {
+    while (i + 32 <= n) {
+      const __m256i v = load32(d + i);
+      const std::uint32_t hit = mask32(_mm256_or_si256(
+          _mm256_or_si256(_mm256_cmpeq_epi8(v, splat('"')),
+                          _mm256_cmpeq_epi8(v, splat('\\'))),
+          _mm256_cmpeq_epi8(v, splat('\n'))));
+      if (hit != 0) return i + static_cast<std::size_t>(std::countr_zero(hit));
+      i += 32;
+    }
+    return ScalarEngine::find_string_stop(d, i, n);
+  }
+};
+
+}  // namespace
+
+bool avx2_backend_compiled() { return true; }
+
+void tokenize_avx2(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens) {
+  tokenize_with<Avx2Engine>(source, ctx, tokens);
+}
+
+}  // namespace pnlab::analysis::lexdetail
+
+#else  // !__AVX2__ — toolchain could not enable AVX2 for this TU
+
+namespace pnlab::analysis::lexdetail {
+
+bool avx2_backend_compiled() { return false; }
+
+void tokenize_avx2(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens) {
+  tokenize_swar(source, ctx, tokens);  // never dispatched; safety net
+}
+
+}  // namespace pnlab::analysis::lexdetail
+
+#endif  // __AVX2__
+
+#endif  // PNLAB_X86_SIMD

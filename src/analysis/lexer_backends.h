@@ -1,0 +1,514 @@
+// Analysis-internal: the engine-parameterized lexer core and the
+// per-ISA tokenizer entry points behind the runtime dispatch table
+// (simd_dispatch.h).
+//
+// The lexer's hot loops — whitespace/comment skipping, identifier and
+// digit runs, string-literal body scans — are the only part of the
+// frontend that touches every source byte, so they are compiled once
+// per ISA tier and selected at startup:
+//
+//   * ScalarEngine:  byte-at-a-time over the charclass::kClass table —
+//                    the portable reference every other tier must match
+//                    bit for bit (the differential tests diff against it);
+//   * SwarEngine:    the 8-byte-word SWAR paths (char_class.h) — the
+//                    fallback on any CPU without SSE2;
+//   * Sse2Engine:    16 bytes per step via unsigned-saturating range
+//                    compares + movemask (lexer_sse2.cpp);
+//   * Avx2Engine:    32 bytes per step (lexer_avx2.cpp, built -mavx2).
+//
+// Every engine implements the same seven scan primitives with identical
+// stop-byte semantics; tokenize_with<Engine> stamps the full tokenizer
+// around them, so each tier's loops inline fully and the only indirect
+// call is the once-per-file dispatch.  High-bit bytes (0x80–0xFF) match
+// no class in any tier: the SIMD range compares are unsigned, so a
+// folded 0xE1 ('a'|0x80) can never sneak into [a-z].
+#pragma once
+
+#include <bit>
+#include <charconv>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/ast_arena.h"
+#include "analysis/char_class.h"
+#include "analysis/token.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define PNLAB_X86_SIMD 1
+#else
+#define PNLAB_X86_SIMD 0
+#endif
+
+namespace pnlab::analysis::lexdetail {
+
+/// One tokenizer backend: fills @p tokens (cleared by the caller) from
+/// @p source.  All backends produce byte-identical token streams.
+using TokenizeFn = void (*)(std::string_view source, AstContext& ctx,
+                            std::vector<Token>& tokens);
+
+void tokenize_scalar(std::string_view source, AstContext& ctx,
+                     std::vector<Token>& tokens);
+void tokenize_swar(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens);
+#if PNLAB_X86_SIMD
+void tokenize_sse2(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens);
+void tokenize_avx2(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens);
+/// False when lexer_avx2.cpp could not be built with AVX2 codegen (the
+/// dispatcher then treats the tier as absent even if the CPU has it).
+bool avx2_backend_compiled();
+#endif
+
+// Branchy keyword probe instead of a map lookup: PNC has 23 keywords and
+// the lexer classifies every identifier, so this sits on the hot path.
+inline TokenKind keyword_or_identifier(std::string_view w) {
+  switch (w.front()) {
+    case 'b':
+      if (w == "bool") return TokenKind::KwBool;
+      break;
+    case 'c':
+      if (w == "char") return TokenKind::KwChar;
+      if (w == "cin") return TokenKind::KwCin;
+      if (w == "class") return TokenKind::KwClass;
+      break;
+    case 'd':
+      if (w == "delete") return TokenKind::KwDelete;
+      if (w == "double") return TokenKind::KwDouble;
+      break;
+    case 'e':
+      if (w == "else") return TokenKind::KwElse;
+      break;
+    case 'f':
+      if (w == "for") return TokenKind::KwFor;
+      if (w == "false") return TokenKind::KwFalse;
+      break;
+    case 'i':
+      if (w == "if") return TokenKind::KwIf;
+      if (w == "int") return TokenKind::KwInt;
+      break;
+    case 'n':
+      if (w == "new") return TokenKind::KwNew;
+      if (w == "nullptr") return TokenKind::KwNull;
+      break;
+    case 'N':
+      if (w == "NULL") return TokenKind::KwNull;
+      break;
+    case 'p':
+      if (w == "public") return TokenKind::KwPublic;
+      if (w == "private") return TokenKind::KwPrivate;
+      break;
+    case 'r':
+      if (w == "return") return TokenKind::KwReturn;
+      break;
+    case 's':
+      if (w == "sizeof") return TokenKind::KwSizeof;
+      break;
+    case 't':
+      if (w == "tainted") return TokenKind::KwTainted;
+      if (w == "true") return TokenKind::KwTrue;
+      break;
+    case 'v':
+      if (w == "void") return TokenKind::KwVoid;
+      if (w == "virtual") return TokenKind::KwVirtual;
+      break;
+    case 'w':
+      if (w == "while") return TokenKind::KwWhile;
+      break;
+    default:
+      break;
+  }
+  return TokenKind::Identifier;
+}
+
+/// Byte-at-a-time reference engine over the class table.  Also serves as
+/// every SIMD engine's sub-block tail.
+struct ScalarEngine {
+  static constexpr const char* kName = "scalar";
+
+  static std::size_t scan_ident(const char* d, std::size_t i, std::size_t n) {
+    namespace cc = charclass;
+    while (i < n && cc::is(static_cast<unsigned char>(d[i]), cc::kIdentCont)) {
+      ++i;
+    }
+    return i;
+  }
+  static std::size_t scan_digits(const char* d, std::size_t i, std::size_t n) {
+    namespace cc = charclass;
+    while (i < n && cc::is(static_cast<unsigned char>(d[i]), cc::kDigit)) ++i;
+    return i;
+  }
+  static std::size_t scan_hex(const char* d, std::size_t i, std::size_t n) {
+    namespace cc = charclass;
+    while (i < n && cc::is(static_cast<unsigned char>(d[i]), cc::kHexDigit)) {
+      ++i;
+    }
+    return i;
+  }
+  static std::size_t scan_space(const char* d, std::size_t i, std::size_t n,
+                                std::size_t& line, std::size_t& line_start) {
+    namespace cc = charclass;
+    while (i < n && cc::is(static_cast<unsigned char>(d[i]), cc::kSpace)) {
+      if (d[i] == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
+      ++i;
+    }
+    return i;
+  }
+  static std::size_t find_newline(const char* d, std::size_t i,
+                                  std::size_t n) {
+    while (i < n && d[i] != '\n') ++i;
+    return i;
+  }
+  static std::size_t find_block_stop(const char* d, std::size_t i,
+                                     std::size_t n) {
+    while (i < n && d[i] != '*' && d[i] != '\n') ++i;
+    return i;
+  }
+  static std::size_t find_string_stop(const char* d, std::size_t i,
+                                      std::size_t n) {
+    while (i < n && d[i] != '"' && d[i] != '\\' && d[i] != '\n') ++i;
+    return i;
+  }
+};
+
+/// The 8-byte-word SWAR engine — the portable fast path (char_class.h
+/// predicates are exact per lane), used wherever SSE2 is unavailable.
+struct SwarEngine {
+  static constexpr const char* kName = "swar";
+
+  static std::size_t class_run(std::uint64_t (*lanes)(std::uint64_t),
+                               std::size_t (*tail)(const char*, std::size_t,
+                                                   std::size_t),
+                               const char* d, std::size_t i, std::size_t n) {
+    namespace cc = charclass;
+    while (i + 8 <= n) {
+      const std::uint64_t m = lanes(cc::load8(d + i));
+      const int k = cc::first_miss(m);
+      i += static_cast<std::size_t>(k);
+      if (k < 8) return i;
+    }
+    return tail(d, i, n);
+  }
+
+  static std::size_t scan_ident(const char* d, std::size_t i, std::size_t n) {
+    return class_run(charclass::ident_lanes, ScalarEngine::scan_ident, d, i,
+                     n);
+  }
+  static std::size_t scan_digits(const char* d, std::size_t i, std::size_t n) {
+    return class_run(charclass::digit_lanes, ScalarEngine::scan_digits, d, i,
+                     n);
+  }
+  static std::size_t scan_hex(const char* d, std::size_t i, std::size_t n) {
+    return class_run(charclass::hex_lanes, ScalarEngine::scan_hex, d, i, n);
+  }
+
+  static std::size_t scan_space(const char* d, std::size_t i, std::size_t n,
+                                std::size_t& line, std::size_t& line_start) {
+    namespace cc = charclass;
+    while (i + 8 <= n) {
+      const std::uint64_t w = cc::load8(d + i);
+      const std::uint64_t ws = cc::space_lanes(w);
+      const int k = cc::first_miss(ws);
+      if (k > 0) {
+        const std::uint64_t nl = cc::eq_lanes(w, '\n') & cc::lanes_below(k);
+        if (nl != 0) {
+          line += static_cast<std::size_t>(std::popcount(nl));
+          line_start = i + static_cast<std::size_t>(cc::last_hit(nl)) + 1;
+        }
+        i += static_cast<std::size_t>(k);
+      }
+      if (k < 8) return i;
+    }
+    return ScalarEngine::scan_space(d, i, n, line, line_start);
+  }
+
+  static std::size_t find_newline(const char* d, std::size_t i,
+                                  std::size_t n) {
+    namespace cc = charclass;
+    while (i + 8 <= n) {
+      const std::uint64_t m = cc::eq_lanes(cc::load8(d + i), '\n');
+      if (m != 0) return i + static_cast<std::size_t>(cc::first_hit(m));
+      i += 8;
+    }
+    return ScalarEngine::find_newline(d, i, n);
+  }
+  static std::size_t find_block_stop(const char* d, std::size_t i,
+                                     std::size_t n) {
+    namespace cc = charclass;
+    while (i + 8 <= n) {
+      const std::uint64_t w = cc::load8(d + i);
+      const std::uint64_t m = cc::eq_lanes(w, '*') | cc::eq_lanes(w, '\n');
+      if (m != 0) return i + static_cast<std::size_t>(cc::first_hit(m));
+      i += 8;
+    }
+    return ScalarEngine::find_block_stop(d, i, n);
+  }
+  static std::size_t find_string_stop(const char* d, std::size_t i,
+                                      std::size_t n) {
+    namespace cc = charclass;
+    while (i + 8 <= n) {
+      const std::uint64_t w = cc::load8(d + i);
+      const std::uint64_t m = cc::eq_lanes(w, '"') | cc::eq_lanes(w, '\\') |
+                              cc::eq_lanes(w, '\n');
+      if (m != 0) return i + static_cast<std::size_t>(cc::first_hit(m));
+      i += 8;
+    }
+    return ScalarEngine::find_string_stop(d, i, n);
+  }
+};
+
+/// The full tokenizer, stamped once per engine.  Byte-for-byte identical
+/// token streams, line/col info, and error positions across engines are
+/// a hard invariant (differential-tested under PNC_FORCE_ISA).
+template <typename Engine>
+void tokenize_with(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens) {
+  namespace cc = charclass;
+  const char* const data = source.data();
+  const std::size_t n = source.size();
+
+  std::size_t i = 0;
+  std::size_t line = 1;
+  std::size_t line_start = 0;  // offset of the current line's first byte
+
+  const auto col_at = [&](std::size_t pos) {
+    return static_cast<int>(pos - line_start + 1);
+  };
+  const auto at = [&](std::size_t pos) {
+    return static_cast<unsigned char>(data[pos]);
+  };
+
+  while (i < n) {
+    i = Engine::scan_space(data, i, n, line, line_start);
+    if (i >= n) break;
+    const unsigned char c = at(i);
+
+    // comments
+    if (c == '/' && i + 1 < n && data[i + 1] == '/') {
+      i += 2;
+      // Leaves i on the terminating '\n' (or at EOF); the next
+      // scan_space records the line bump.
+      i = Engine::find_newline(data, i, n);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && data[i + 1] == '*') {
+      i += 2;
+      // Consume through the closing "*/" or throw at EOF with the same
+      // position the byte-at-a-time lexer reported.
+      for (;;) {
+        i = Engine::find_block_stop(data, i, n);
+        if (i >= n) {
+          throw ParseError(static_cast<int>(line), col_at(i),
+                           "unclosed comment");
+        }
+        if (data[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+          ++i;
+          continue;
+        }
+        if (i + 1 < n && data[i + 1] == '/') {  // the '*' of "*/"
+          i += 2;
+          break;
+        }
+        ++i;  // '*' without '/'
+      }
+      continue;
+    }
+
+    const int tline = static_cast<int>(line);
+    const int tcol = col_at(i);
+    const std::size_t start = i;
+
+    if (cc::is(c, cc::kIdentStart)) {
+      i = Engine::scan_ident(data, i + 1, n);
+      const std::string_view word = source.substr(start, i - start);
+      Token t;
+      t.kind = keyword_or_identifier(word);
+      t.text = word;
+      t.line = tline;
+      t.col = tcol;
+      tokens.push_back(t);
+      continue;
+    }
+
+    if (cc::is(c, cc::kDigit)) {
+      bool is_float = false;
+      const bool hex =
+          c == '0' && i + 1 < n && (data[i + 1] == 'x' || data[i + 1] == 'X');
+      if (hex) {
+        i = Engine::scan_hex(data, i + 2, n);
+      } else {
+        i = Engine::scan_digits(data, i, n);
+        if (i + 1 < n && data[i] == '.' && cc::is(at(i + 1), cc::kDigit)) {
+          is_float = true;
+          i = Engine::scan_digits(data, i + 1, n);
+        }
+      }
+      const std::string_view num = source.substr(start, i - start);
+      Token t;
+      t.text = num;
+      t.line = tline;
+      t.col = tcol;
+      if (is_float) {
+        t.kind = TokenKind::FloatLiteral;
+        std::from_chars(num.data(), num.data() + num.size(), t.float_value);
+      } else {
+        t.kind = TokenKind::IntLiteral;
+        // Match strtoll's base-0 rules: 0x.. is hex, other leading zeros
+        // are octal, everything else decimal.
+        const char* first = num.data();
+        const char* last = num.data() + num.size();
+        int base = 10;
+        if (hex) {
+          first += 2;
+          base = 16;
+        } else if (num.size() > 1 && num.front() == '0') {
+          base = 8;
+        }
+        std::from_chars(first, last, t.int_value, base);
+      }
+      tokens.push_back(t);
+      continue;
+    }
+
+    if (c == '"') {
+      ++i;
+      const std::size_t body = i;
+      bool has_escape = false;
+      for (;;) {
+        // Hop to the next quote, backslash, or newline; everything else
+        // (including high-bit bytes) is literal payload.
+        i = Engine::find_string_stop(data, i, n);
+        if (i >= n) {
+          throw ParseError(tline, tcol, "unterminated string literal");
+        }
+        const char sc = data[i];
+        if (sc == '"') break;
+        if (sc == '\\' && i + 1 < n) {
+          has_escape = true;
+          if (data[i + 1] == '\n') {  // escaped newline still ends a line
+            ++line;
+            line_start = i + 2;
+          }
+          i += 2;
+          continue;
+        }
+        if (sc == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
+        ++i;  // newline or a lone trailing backslash
+      }
+      std::string_view text;
+      if (!has_escape) {
+        // Common case: the literal's value IS the source bytes between
+        // the quotes — no copy at all.
+        text = source.substr(body, i - body);
+      } else {
+        // Unescape directly into the AST arena — no std::string
+        // temporary — then dedup the finished view in the interner.
+        std::span<char> buf = ctx.arena().allocate_array<char>(i - body);
+        std::size_t len = 0;
+        for (std::size_t k = body; k < i; ++k) {
+          char ch = source[k];
+          if (ch == '\\' && k + 1 < i) {
+            ++k;
+            switch (source[k]) {
+              case 'n': ch = '\n'; break;
+              case 't': ch = '\t'; break;
+              case '0': ch = '\0'; break;
+              default: ch = source[k];
+            }
+          }
+          buf[len++] = ch;
+        }
+        text = ctx.strings().intern_arena_backed(
+            std::string_view(buf.data(), len));
+      }
+      ++i;  // closing quote
+      Token t;
+      t.kind = TokenKind::StringLiteral;
+      t.text = text;
+      t.line = tline;
+      t.col = tcol;
+      tokens.push_back(t);
+      continue;
+    }
+
+    const auto two = [&](char a, char b, TokenKind kind) {
+      if (c == a && i + 1 < n && data[i + 1] == b) {
+        Token t;
+        t.kind = kind;
+        t.text = source.substr(start, 2);
+        t.line = tline;
+        t.col = tcol;
+        tokens.push_back(t);
+        i += 2;
+        return true;
+      }
+      return false;
+    };
+
+    if (two('-', '>', TokenKind::Arrow)) continue;
+    if (two('&', '&', TokenKind::AmpAmp)) continue;
+    if (two('|', '|', TokenKind::PipePipe)) continue;
+    if (two('+', '+', TokenKind::PlusPlus)) continue;
+    if (two('-', '-', TokenKind::MinusMinus)) continue;
+    if (two('=', '=', TokenKind::Eq)) continue;
+    if (two('!', '=', TokenKind::Ne)) continue;
+    if (two('<', '=', TokenKind::Le)) continue;
+    if (two('>', '=', TokenKind::Ge)) continue;
+    if (two('>', '>', TokenKind::Shr)) continue;
+
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::LParen; break;
+      case ')': kind = TokenKind::RParen; break;
+      case '{': kind = TokenKind::LBrace; break;
+      case '}': kind = TokenKind::RBrace; break;
+      case '[': kind = TokenKind::LBracket; break;
+      case ']': kind = TokenKind::RBracket; break;
+      case ';': kind = TokenKind::Semicolon; break;
+      case ':': kind = TokenKind::Colon; break;
+      case ',': kind = TokenKind::Comma; break;
+      case '.': kind = TokenKind::Dot; break;
+      case '&': kind = TokenKind::Amp; break;
+      case '|': kind = TokenKind::Pipe; break;
+      case '*': kind = TokenKind::Star; break;
+      case '+': kind = TokenKind::Plus; break;
+      case '-': kind = TokenKind::Minus; break;
+      case '/': kind = TokenKind::Slash; break;
+      case '%': kind = TokenKind::Percent; break;
+      case '=': kind = TokenKind::Assign; break;
+      case '<': kind = TokenKind::Lt; break;
+      case '>': kind = TokenKind::Gt; break;
+      case '!': kind = TokenKind::Not; break;
+      default:
+        throw ParseError(tline, tcol,
+                         std::string("unexpected character '") +
+                             static_cast<char>(c) + "'");
+    }
+    Token t;
+    t.kind = kind;
+    t.text = source.substr(start, 1);
+    t.line = tline;
+    t.col = tcol;
+    tokens.push_back(t);
+    ++i;
+  }
+
+  Token eof;
+  eof.kind = TokenKind::EndOfFile;
+  eof.line = static_cast<int>(line);
+  eof.col = col_at(n);
+  tokens.push_back(eof);
+}
+
+}  // namespace pnlab::analysis::lexdetail

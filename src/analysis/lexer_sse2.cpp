@@ -1,0 +1,158 @@
+// SSE2 lexer backend: 16 bytes per step.
+//
+// SSE2 is part of the x86-64 baseline ABI, so this TU needs no special
+// compile flags and the backend is unconditionally available on any
+// x86-64 CPU.  Classification uses unsigned-saturating range compares
+// (`x in [lo,hi]` iff `subs_epu8(x,hi) | subs_epu8(lo,x) == 0`), which
+// makes high-bit bytes fail every class for free; case folding for
+// [a-zA-Z] is a single OR 0x20 — no byte in '0'..'9' or '_' aliases a
+// letter under that fold, and a folded high-bit byte still fails the
+// unsigned range check.  First-miss / first-hit positions come from
+// movemask + countr_zero; newline accounting inside whitespace popcounts
+// the masked '\n' lanes and jumps line_start past the last one
+// (countl_zero).  Sub-16-byte tails reuse the scalar engine.
+#include "analysis/lexer_backends.h"
+
+#if PNLAB_X86_SIMD
+
+#include <emmintrin.h>
+
+namespace pnlab::analysis::lexdetail {
+
+namespace {
+
+inline __m128i load16(const char* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+inline __m128i splat(char c) { return _mm_set1_epi8(c); }
+
+/// 0xFF lanes where byte is in [lo, hi], unsigned.
+inline __m128i in_range(__m128i x, unsigned char lo, unsigned char hi) {
+  const __m128i over = _mm_subs_epu8(x, splat(static_cast<char>(hi)));
+  const __m128i under = _mm_subs_epu8(splat(static_cast<char>(lo)), x);
+  return _mm_cmpeq_epi8(_mm_or_si128(over, under), _mm_setzero_si128());
+}
+
+inline unsigned mask16(__m128i lanes) {
+  return static_cast<unsigned>(_mm_movemask_epi8(lanes));
+}
+
+/// [A-Za-z0-9_] — identifier continuation.
+inline __m128i ident_lanes(__m128i x) {
+  const __m128i folded = _mm_or_si128(x, splat(0x20));
+  return _mm_or_si128(
+      _mm_or_si128(in_range(folded, 'a', 'z'), in_range(x, '0', '9')),
+      _mm_cmpeq_epi8(x, splat('_')));
+}
+
+inline __m128i digit_lanes(__m128i x) { return in_range(x, '0', '9'); }
+
+/// [0-9a-fA-F]
+inline __m128i hex_lanes(__m128i x) {
+  const __m128i folded = _mm_or_si128(x, splat(0x20));
+  return _mm_or_si128(in_range(folded, 'a', 'f'), in_range(x, '0', '9'));
+}
+
+/// space, \t, \r, \n — exactly charclass::kSpace.
+inline __m128i space_lanes(__m128i x) {
+  return _mm_or_si128(
+      _mm_or_si128(_mm_cmpeq_epi8(x, splat(' ')),
+                   _mm_cmpeq_epi8(x, splat('\t'))),
+      _mm_or_si128(_mm_cmpeq_epi8(x, splat('\r')),
+                   _mm_cmpeq_epi8(x, splat('\n'))));
+}
+
+template <__m128i (*Lanes)(__m128i),
+          std::size_t (*Tail)(const char*, std::size_t, std::size_t)>
+std::size_t scan_class(const char* d, std::size_t i, std::size_t n) {
+  while (i + 16 <= n) {
+    const unsigned miss = ~mask16(Lanes(load16(d + i))) & 0xFFFFu;
+    if (miss != 0) return i + static_cast<std::size_t>(std::countr_zero(miss));
+    i += 16;
+  }
+  return Tail(d, i, n);
+}
+
+struct Sse2Engine {
+  static constexpr const char* kName = "sse2";
+
+  static std::size_t scan_ident(const char* d, std::size_t i, std::size_t n) {
+    return scan_class<ident_lanes, ScalarEngine::scan_ident>(d, i, n);
+  }
+  static std::size_t scan_digits(const char* d, std::size_t i, std::size_t n) {
+    return scan_class<digit_lanes, ScalarEngine::scan_digits>(d, i, n);
+  }
+  static std::size_t scan_hex(const char* d, std::size_t i, std::size_t n) {
+    return scan_class<hex_lanes, ScalarEngine::scan_hex>(d, i, n);
+  }
+
+  static std::size_t scan_space(const char* d, std::size_t i, std::size_t n,
+                                std::size_t& line, std::size_t& line_start) {
+    while (i + 16 <= n) {
+      const __m128i v = load16(d + i);
+      const unsigned ws = mask16(space_lanes(v));
+      const unsigned miss = ~ws & 0xFFFFu;
+      const int k = miss != 0 ? std::countr_zero(miss) : 16;
+      if (k > 0) {
+        const unsigned consumed =
+            k >= 16 ? 0xFFFFu : ((1u << k) - 1u);
+        const unsigned nl =
+            mask16(_mm_cmpeq_epi8(v, splat('\n'))) & consumed;
+        if (nl != 0) {
+          line += static_cast<std::size_t>(std::popcount(nl));
+          line_start =
+              i + static_cast<std::size_t>(31 - std::countl_zero(nl)) + 1;
+        }
+        i += static_cast<std::size_t>(k);
+      }
+      if (k < 16) return i;
+    }
+    return ScalarEngine::scan_space(d, i, n, line, line_start);
+  }
+
+  static std::size_t find_newline(const char* d, std::size_t i,
+                                  std::size_t n) {
+    while (i + 16 <= n) {
+      const unsigned hit = mask16(_mm_cmpeq_epi8(load16(d + i), splat('\n')));
+      if (hit != 0) return i + static_cast<std::size_t>(std::countr_zero(hit));
+      i += 16;
+    }
+    return ScalarEngine::find_newline(d, i, n);
+  }
+  static std::size_t find_block_stop(const char* d, std::size_t i,
+                                     std::size_t n) {
+    while (i + 16 <= n) {
+      const __m128i v = load16(d + i);
+      const unsigned hit = mask16(_mm_or_si128(
+          _mm_cmpeq_epi8(v, splat('*')), _mm_cmpeq_epi8(v, splat('\n'))));
+      if (hit != 0) return i + static_cast<std::size_t>(std::countr_zero(hit));
+      i += 16;
+    }
+    return ScalarEngine::find_block_stop(d, i, n);
+  }
+  static std::size_t find_string_stop(const char* d, std::size_t i,
+                                      std::size_t n) {
+    while (i + 16 <= n) {
+      const __m128i v = load16(d + i);
+      const unsigned hit = mask16(_mm_or_si128(
+          _mm_or_si128(_mm_cmpeq_epi8(v, splat('"')),
+                       _mm_cmpeq_epi8(v, splat('\\'))),
+          _mm_cmpeq_epi8(v, splat('\n'))));
+      if (hit != 0) return i + static_cast<std::size_t>(std::countr_zero(hit));
+      i += 16;
+    }
+    return ScalarEngine::find_string_stop(d, i, n);
+  }
+};
+
+}  // namespace
+
+void tokenize_sse2(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens) {
+  tokenize_with<Sse2Engine>(source, ctx, tokens);
+}
+
+}  // namespace pnlab::analysis::lexdetail
+
+#endif  // PNLAB_X86_SIMD

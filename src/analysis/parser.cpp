@@ -1,11 +1,22 @@
-// Recursive-descent parser for PNC.
+// Recursive-descent parser for PNC, with a table-driven expression tier.
 //
 // Every node is bump-allocated from the caller's AstContext; child lists
 // are built in reusable scratch vectors and sealed into arena-backed
 // pointer arrays once their length is known, so steady-state parsing
-// performs no heap allocation per node.
+// performs no heap allocation per node.  Binary expressions use
+// precedence climbing over a constexpr per-TokenKind (precedence,
+// associativity) table instead of the old parse_assignment → parse_or →
+// … → parse_multiplicative cascade: one call level per *operator
+// actually present* rather than seven levels per operand, and adding an
+// operator is a table row, not a new recursion tier.
+//
+// The token stream and both scratch vectors are borrowed from the
+// AstContext, so a worker thread parsing thousands of files reuses the
+// same three buffers throughout.
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <cstdint>
 
 #include "analysis/ast.h"
 #include "analysis/telemetry.h"
@@ -15,10 +26,51 @@ namespace pnlab::analysis {
 
 namespace {
 
+/// Binary-operator shape for one TokenKind.  prec 0 means "not a binary
+/// operator" and terminates the climb; higher binds tighter.
+struct BinOp {
+  std::uint8_t prec = 0;
+  bool right_assoc = false;
+};
+
+constexpr std::size_t kTokenKinds =
+    static_cast<std::size_t>(TokenKind::EndOfFile) + 1;
+
+// The whole expression grammar below unary, as data.  Mirrors C's
+// precedence for the operators PNC has.
+constexpr std::array<BinOp, kTokenKinds> kBinOps = [] {
+  std::array<BinOp, kTokenKinds> table{};
+  const auto set = [&table](TokenKind kind, std::uint8_t prec,
+                            bool right_assoc = false) {
+    table[static_cast<std::size_t>(kind)] = BinOp{prec, right_assoc};
+  };
+  set(TokenKind::Assign, 1, /*right_assoc=*/true);
+  set(TokenKind::PipePipe, 2);
+  set(TokenKind::AmpAmp, 3);
+  set(TokenKind::Eq, 4);
+  set(TokenKind::Ne, 4);
+  set(TokenKind::Lt, 5);
+  set(TokenKind::Gt, 5);
+  set(TokenKind::Le, 5);
+  set(TokenKind::Ge, 5);
+  set(TokenKind::Plus, 6);
+  set(TokenKind::Minus, 6);
+  set(TokenKind::Star, 7);
+  set(TokenKind::Slash, 7);
+  set(TokenKind::Percent, 7);
+  return table;
+}();
+
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, AstContext& ctx)
-      : tokens_(std::move(tokens)), ctx_(ctx) {}
+  Parser(const std::vector<Token>& tokens, AstContext& ctx)
+      : tokens_(tokens),
+        ctx_(ctx),
+        expr_scratch_(ctx.expr_scratch()),
+        stmt_scratch_(ctx.stmt_scratch()) {
+    expr_scratch_.clear();
+    stmt_scratch_.clear();
+  }
 
   Program parse_program() {
     Program program;
@@ -30,7 +82,7 @@ class Parser {
       // type name ...: function or global variable.
       const std::size_t save = pos_;
       TypeRef type = parse_type();
-      const Token name = expect(TokenKind::Identifier, "declaration name");
+      const Token& name = expect(TokenKind::Identifier, "declaration name");
       if (at(TokenKind::LParen)) {
         pos_ = save;
         program.functions.push_back(parse_function());
@@ -41,6 +93,7 @@ class Parser {
       (void)type;
       (void)name;
     }
+    program.placement_sites = placement_sites_;
     return program;
   }
 
@@ -53,7 +106,11 @@ class Parser {
   bool at(TokenKind kind, std::size_t off = 0) const {
     return peek(off).kind == kind;
   }
-  Token advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  // Returned references stay valid for the whole parse: tokens_ is
+  // immutable once lexed.
+  const Token& advance() {
+    return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_];
+  }
   bool accept(TokenKind kind) {
     if (at(kind)) {
       advance();
@@ -61,11 +118,14 @@ class Parser {
     }
     return false;
   }
-  Token expect(TokenKind kind, const std::string& what) {
+  // `what` is a const char* so the happy path constructs nothing: the
+  // error message (the only consumer) is built on the throw path.
+  const Token& expect(TokenKind kind, const char* what) {
     if (!at(kind)) {
       throw ParseError(peek().line, peek().col,
-                       "expected " + what + " (" + to_string(kind) +
-                           "), found '" + std::string(peek().text) + "'");
+                       std::string("expected ") + what + " (" +
+                           to_string(kind) + "), found '" +
+                           std::string(peek().text) + "'");
     }
     return advance();
   }
@@ -168,7 +228,7 @@ class Parser {
       }
       const bool is_virtual = accept(TokenKind::KwVirtual);
       TypeRef type = parse_type();
-      const Token name = expect(TokenKind::Identifier, "member name");
+      const Token& name = expect(TokenKind::Identifier, "member name");
       if (at(TokenKind::LParen)) {
         // Method declaration; only its virtual-ness affects layout.
         advance();
@@ -214,7 +274,10 @@ class Parser {
       } while (accept(TokenKind::Comma));
     }
     expect(TokenKind::RParen, "')'");
+    const std::size_t sites_before = placement_sites_;
     fn.body = parse_block();
+    fn.placement_news =
+        static_cast<std::uint32_t>(placement_sites_ - sites_before);
     return fn;
   }
 
@@ -365,97 +428,37 @@ class Parser {
     return s;
   }
 
-  // --- expressions (precedence climbing) -------------------------------
-  Expr* parse_expr() { return parse_assignment(); }
+  // --- expressions (table-driven precedence climbing) ------------------
+  Expr* parse_expr() { return parse_binary(1); }
 
-  Expr* parse_assignment() {
-    Expr* lhs = parse_or();
-    if (at(TokenKind::Assign)) {
-      const Token op = advance();
+  /// Parses a binary-expression tier: operands from parse_unary(), then
+  /// climbs while the next token's table precedence is >= @p min_prec.
+  /// Left-associative operators recurse at prec+1 (same-precedence
+  /// neighbors group leftward); right-associative ones (assignment)
+  /// recurse at their own precedence.
+  Expr* parse_binary(int min_prec) {
+    Expr* lhs = parse_unary();
+    for (;;) {
+      const BinOp op = kBinOps[static_cast<std::size_t>(peek().kind)];
+      if (op.prec == 0 || op.prec < min_prec) return lhs;
+      const Token& tok = advance();
+      Expr* rhs = parse_binary(op.right_assoc ? op.prec : op.prec + 1);
       Expr* node = new_expr();
       node->kind = Expr::Kind::Binary;
-      node->text = "=";
-      node->line = op.line;
-      node->col = op.col;
+      node->text = tok.text;
+      node->line = tok.line;
+      node->col = tok.col;
       node->lhs = lhs;
-      node->rhs = parse_assignment();
-      return node;
+      node->rhs = rhs;
+      lhs = node;
     }
-    return lhs;
-  }
-
-  Expr* binary(Expr* lhs, const Token& op, Expr* rhs) {
-    Expr* node = new_expr();
-    node->kind = Expr::Kind::Binary;
-    node->text = op.text;
-    node->line = op.line;
-    node->col = op.col;
-    node->lhs = lhs;
-    node->rhs = rhs;
-    return node;
-  }
-
-  Expr* parse_or() {
-    Expr* lhs = parse_and();
-    while (at(TokenKind::PipePipe)) {
-      const Token op = advance();
-      lhs = binary(lhs, op, parse_and());
-    }
-    return lhs;
-  }
-
-  Expr* parse_and() {
-    Expr* lhs = parse_equality();
-    while (at(TokenKind::AmpAmp)) {
-      const Token op = advance();
-      lhs = binary(lhs, op, parse_equality());
-    }
-    return lhs;
-  }
-
-  Expr* parse_equality() {
-    Expr* lhs = parse_relational();
-    while (at(TokenKind::Eq) || at(TokenKind::Ne)) {
-      const Token op = advance();
-      lhs = binary(lhs, op, parse_relational());
-    }
-    return lhs;
-  }
-
-  Expr* parse_relational() {
-    Expr* lhs = parse_additive();
-    while (at(TokenKind::Lt) || at(TokenKind::Gt) || at(TokenKind::Le) ||
-           at(TokenKind::Ge)) {
-      const Token op = advance();
-      lhs = binary(lhs, op, parse_additive());
-    }
-    return lhs;
-  }
-
-  Expr* parse_additive() {
-    Expr* lhs = parse_multiplicative();
-    while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
-      const Token op = advance();
-      lhs = binary(lhs, op, parse_multiplicative());
-    }
-    return lhs;
-  }
-
-  Expr* parse_multiplicative() {
-    Expr* lhs = parse_unary();
-    while (at(TokenKind::Star) || at(TokenKind::Slash) ||
-           at(TokenKind::Percent)) {
-      const Token op = advance();
-      lhs = binary(lhs, op, parse_unary());
-    }
-    return lhs;
   }
 
   Expr* parse_unary() {
     if (at(TokenKind::Amp) || at(TokenKind::Star) || at(TokenKind::Minus) ||
         at(TokenKind::Not) || at(TokenKind::PlusPlus) ||
         at(TokenKind::MinusMinus)) {
-      const Token op = advance();
+      const Token& op = advance();
       Expr* node = new_expr();
       node->kind = Expr::Kind::Unary;
       node->text = op.text;
@@ -472,7 +475,7 @@ class Parser {
     for (;;) {
       if (accept(TokenKind::Dot) || (at(TokenKind::Arrow) && (advance(), true))) {
         const bool arrow = tokens_[pos_ - 1].kind == TokenKind::Arrow;
-        const Token name = expect(TokenKind::Identifier, "member name");
+        const Token& name = expect(TokenKind::Identifier, "member name");
         Expr* node = new_expr();
         node->kind = Expr::Kind::Member;
         node->text = name.text;
@@ -484,7 +487,7 @@ class Parser {
         continue;
       }
       if (at(TokenKind::LBracket)) {
-        const Token bracket = advance();
+        const Token& bracket = advance();
         Expr* node = new_expr();
         node->kind = Expr::Kind::Index;
         node->line = bracket.line;
@@ -496,7 +499,7 @@ class Parser {
         continue;
       }
       if (at(TokenKind::LParen) && expr->kind == Expr::Kind::Ident) {
-        const Token paren = advance();
+        const Token& paren = advance();
         Expr* node = new_expr();
         node->kind = Expr::Kind::Call;
         node->text = expr->text;
@@ -514,7 +517,7 @@ class Parser {
         continue;
       }
       if (at(TokenKind::PlusPlus) || at(TokenKind::MinusMinus)) {
-        const Token op = advance();
+        const Token& op = advance();
         Expr* node = new_expr();
         node->kind = Expr::Kind::Unary;
         node->text = op.text;
@@ -583,7 +586,7 @@ class Parser {
   }
 
   Expr* parse_new() {
-    const Token kw = expect(TokenKind::KwNew, "'new'");
+    const Token& kw = expect(TokenKind::KwNew, "'new'");
     Expr* node = new_expr();
     node->kind = Expr::Kind::New;
     node->line = kw.line;
@@ -591,6 +594,7 @@ class Parser {
     if (accept(TokenKind::LParen)) {
       node->placement = parse_expr();
       expect(TokenKind::RParen, "')' after placement address");
+      ++placement_sites_;
     }
     node->type = parse_type();
     if (accept(TokenKind::LBracket)) {
@@ -611,7 +615,7 @@ class Parser {
   }
 
   Expr* parse_sizeof() {
-    const Token kw = expect(TokenKind::KwSizeof, "'sizeof'");
+    const Token& kw = expect(TokenKind::KwSizeof, "'sizeof'");
     Expr* node = new_expr();
     node->kind = Expr::Kind::Sizeof;
     node->line = kw.line;
@@ -630,23 +634,25 @@ class Parser {
     return node;
   }
 
-  std::vector<Token> tokens_;
+  const std::vector<Token>& tokens_;
   AstContext& ctx_;
   std::size_t pos_ = 0;
-  std::vector<Expr*> expr_scratch_;
-  std::vector<Stmt*> stmt_scratch_;
+  std::size_t placement_sites_ = 0;
+  // Borrowed from the AstContext so capacity persists across files.
+  std::vector<Expr*>& expr_scratch_;
+  std::vector<Stmt*>& stmt_scratch_;
 };
 
 }  // namespace
 
 Program parse(std::string_view source, AstContext& ctx) {
   PN_TRACE_SPAN(kParse);  // encloses the lex span below
-  std::vector<Token> tokens;
+  std::vector<Token>& tokens = ctx.token_scratch();
   {
     PN_TRACE_SPAN(kLex);
-    tokens = tokenize(source, ctx);
+    tokenize_into(source, ctx, tokens);
   }
-  Parser parser(std::move(tokens), ctx);
+  Parser parser(tokens, ctx);
   return parser.parse_program();
 }
 

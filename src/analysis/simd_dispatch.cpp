@@ -1,0 +1,144 @@
+#include "analysis/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pnlab::analysis::simd {
+
+namespace {
+
+struct Backend {
+  const char* name;
+  lexdetail::TokenizeFn fn;  // nullptr when not compiled in
+};
+
+lexdetail::TokenizeFn backend_fn(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return &lexdetail::tokenize_scalar;
+    case Isa::kSwar: return &lexdetail::tokenize_swar;
+#if PNLAB_X86_SIMD
+    case Isa::kSse2: return &lexdetail::tokenize_sse2;
+    case Isa::kAvx2: return &lexdetail::tokenize_avx2;
+#else
+    case Isa::kSse2:
+    case Isa::kAvx2: return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+    case Isa::kSwar:
+      return true;
+    case Isa::kSse2:
+      // SSE2 is part of the x86-64 baseline; any CPU running this
+      // binary has it.
+      return PNLAB_X86_SIMD != 0;
+    case Isa::kAvx2:
+#if PNLAB_X86_SIMD
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa initial_pick() {
+  Isa pick = best_supported_isa();
+  if (const char* force = std::getenv("PNC_FORCE_ISA")) {
+    if (const std::optional<Isa> wanted = isa_from_name(force)) {
+      if (isa_available(*wanted)) {
+        pick = *wanted;
+      } else {
+        std::fprintf(stderr,
+                     "pnc: PNC_FORCE_ISA=%s not available on this "
+                     "machine; using %s\n",
+                     force, isa_name(pick));
+      }
+    } else {
+      std::fprintf(stderr,
+                   "pnc: unknown PNC_FORCE_ISA value '%s' "
+                   "(scalar|swar|sse2|avx2); using %s\n",
+                   force, isa_name(pick));
+    }
+  }
+  return pick;
+}
+
+struct Selection {
+  std::atomic<Isa> isa;
+  std::atomic<lexdetail::TokenizeFn> fn;
+  Selection() {
+    const Isa pick = initial_pick();
+    isa.store(pick, std::memory_order_relaxed);
+    fn.store(backend_fn(pick), std::memory_order_relaxed);
+  }
+};
+
+// First use resolves PNC_FORCE_ISA + CPUID; thread-safe via the magic
+// static.  Subsequent set_active_isa() calls just swap the atomics.
+Selection& selection() {
+  static Selection s;
+  return s;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSwar: return "swar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+std::optional<Isa> isa_from_name(std::string_view name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "swar") return Isa::kSwar;
+  if (name == "sse2") return Isa::kSse2;
+  if (name == "avx2") return Isa::kAvx2;
+  return std::nullopt;
+}
+
+bool isa_available(Isa isa) {
+  if (backend_fn(isa) == nullptr) return false;
+  if (!cpu_supports(isa)) return false;
+#if PNLAB_X86_SIMD
+  // lexer_avx2.cpp degrades to a SWAR thunk when the compiler could not
+  // emit AVX2; report the tier absent so callers and stats never claim
+  // vector width the binary does not have.
+  if (isa == Isa::kAvx2 && !lexdetail::avx2_backend_compiled()) return false;
+#endif
+  return true;
+}
+
+Isa best_supported_isa() {
+  if (isa_available(Isa::kAvx2)) return Isa::kAvx2;
+  if (isa_available(Isa::kSse2)) return Isa::kSse2;
+  return Isa::kSwar;
+}
+
+Isa active_isa() {
+  return selection().isa.load(std::memory_order_relaxed);
+}
+
+bool set_active_isa(Isa isa) {
+  if (!isa_available(isa)) return false;
+  Selection& s = selection();
+  s.isa.store(isa, std::memory_order_relaxed);
+  s.fn.store(backend_fn(isa), std::memory_order_relaxed);
+  return true;
+}
+
+lexdetail::TokenizeFn active_tokenize() {
+  return selection().fn.load(std::memory_order_relaxed);
+}
+
+}  // namespace pnlab::analysis::simd

@@ -1,0 +1,60 @@
+// Runtime ISA selection for the lexer's scanning backends.
+//
+// One binary ships every tier it can compile (scalar byte loop, SWAR
+// 8-byte words, SSE2 16-byte, AVX2 32-byte); the dispatcher picks the
+// widest one the executing CPU supports, once, and the lexer calls
+// through a single function pointer per file.  Dispatch is at file
+// granularity — not per scan primitive — so the selected tier's loops
+// inline into one stamped-out tokenizer and the indirect call amortizes
+// over the whole file (see DESIGN.md "SIMD lexer dispatch").
+//
+// Selection order:
+//   1. PNC_FORCE_ISA=scalar|swar|sse2|avx2 in the environment, when the
+//      named tier is compiled in AND supported by this CPU (otherwise a
+//      one-line stderr warning, then rule 2);
+//   2. CPUID: avx2 if the CPU has it, else sse2 on any x86-64, else swar.
+//
+// The scalar tier exists for differential testing, never auto-selected.
+// Tests and the --isa CLI flag can reselect at runtime via
+// set_active_isa(); the choice is process-global and takes effect on the
+// next tokenize call.  Output is tier-invariant by construction — every
+// tier must produce byte-identical token streams, so forcing one can
+// never change analysis results, only throughput.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "analysis/lexer_backends.h"
+
+namespace pnlab::analysis::simd {
+
+enum class Isa : std::uint8_t { kScalar = 0, kSwar, kSse2, kAvx2 };
+inline constexpr std::size_t kIsaCount = 4;
+
+/// "scalar", "swar", "sse2", or "avx2".
+const char* isa_name(Isa isa);
+/// Inverse of isa_name(); nullopt for unknown names.
+std::optional<Isa> isa_from_name(std::string_view name);
+
+/// True when @p isa's backend is compiled into this binary and the
+/// executing CPU can run it.  kScalar and kSwar are always available.
+bool isa_available(Isa isa);
+
+/// The widest available tier on this machine (ignores PNC_FORCE_ISA).
+Isa best_supported_isa();
+
+/// The tier tokenize() currently dispatches to.  First call applies
+/// PNC_FORCE_ISA / CPUID selection as described above.
+Isa active_isa();
+
+/// Reselects the dispatch target (tests, pnc_analyze --isa=).  Returns
+/// false — leaving the selection unchanged — when @p isa is unavailable
+/// on this machine.
+bool set_active_isa(Isa isa);
+
+/// The dispatch target itself; what tokenize_into() calls.
+lexdetail::TokenizeFn active_tokenize();
+
+}  // namespace pnlab::analysis::simd

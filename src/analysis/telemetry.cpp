@@ -53,6 +53,18 @@ constexpr const char* kHistogramNames[kHistogramCount] = {
 };
 
 std::atomic<bool> g_enabled{false};
+std::atomic<std::uint32_t> g_trace_sample{1};
+
+/// Per-thread sampling state.  Each thread draws its own 1-in-N
+/// decision at the outermost UnitScope, counting units locally — no
+/// shared counter to contend on, and every thread still records exactly
+/// 1 of every N of *its* units.
+struct UnitState {
+  std::uint32_t depth = 0;
+  bool suppressed = false;
+  std::uint64_t count = 0;
+};
+thread_local UnitState t_unit;
 
 /// Process-global aggregates.  Relaxed atomics: these are statistics,
 /// not synchronization; snapshot() tolerates being a few events behind
@@ -195,6 +207,39 @@ void set_enabled(bool on) {
   g_enabled.store(on, std::memory_order_relaxed);
 }
 
+void set_trace_sample(std::uint32_t rate) {
+  if (!compiled_in()) return;
+  g_trace_sample.store(rate == 0 ? 1 : rate, std::memory_order_relaxed);
+}
+
+std::uint32_t trace_sample() {
+  return g_trace_sample.load(std::memory_order_relaxed);
+}
+
+bool unit_suppressed() { return t_unit.suppressed; }
+
+std::uint32_t unit_weight() {
+  const UnitState& u = t_unit;
+  if (u.depth == 0 || u.suppressed) return 1;
+  return g_trace_sample.load(std::memory_order_relaxed);
+}
+
+UnitScope::UnitScope() {
+  UnitState& u = t_unit;
+  if (u.depth++ == 0) {
+    // The first unit on each thread (seq 0) is always sampled, so short
+    // runs and tests see events regardless of the rate.
+    const std::uint64_t seq = u.count++;
+    const std::uint32_t n = g_trace_sample.load(std::memory_order_relaxed);
+    u.suppressed = enabled() && n > 1 && (seq % n) != 0;
+  }
+}
+
+UnitScope::~UnitScope() {
+  UnitState& u = t_unit;
+  if (--u.depth == 0) u.suppressed = false;
+}
+
 void reset() {
   Aggregates& agg = aggregates();
   for (auto& a : agg.phase_ns) a.store(0, std::memory_order_relaxed);
@@ -220,21 +265,22 @@ std::uint64_t now_ns() {
 }
 
 void record_span(Phase phase, std::uint64_t start_ns, std::uint64_t end_ns,
-                 std::string_view detail) {
+                 std::string_view detail, std::uint32_t weight) {
   if (!enabled()) return;
   const auto i = static_cast<std::size_t>(phase);
   if (i >= kPhaseCount) return;
+  if (weight == 0) weight = 1;
   const std::uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
   Aggregates& agg = aggregates();
-  agg.phase_ns[i].fetch_add(dur, std::memory_order_relaxed);
-  agg.phase_spans[i].fetch_add(1, std::memory_order_relaxed);
+  agg.phase_ns[i].fetch_add(dur * weight, std::memory_order_relaxed);
+  agg.phase_spans[i].fetch_add(weight, std::memory_order_relaxed);
   ThreadRing& ring = this_thread_ring();
   ring.push(TraceEvent{kPhaseNames[i], 'X', start_ns, dur, ring.tid,
                        std::string(detail)});
 }
 
 void instant(const char* name, std::string_view detail) {
-  if (!enabled()) return;
+  if (!enabled() || unit_suppressed()) return;
   ThreadRing& ring = this_thread_ring();
   ring.push(
       TraceEvent{name, 'i', now_ns(), 0, ring.tid, std::string(detail)});

@@ -119,6 +119,39 @@ void set_enabled(bool on);
 /// registrations and labels survive).
 void reset();
 
+/// Unit-level span sampling, the "--trace-sample=N" knob.  A *unit* is
+/// one work item (one file: the driver's work loop and analyze() open a
+/// UnitScope).  With rate N > 1 only every Nth unit on each thread
+/// records spans and instants; the other N-1 skip the clock reads and
+/// ring pushes entirely — that is where the enabled-telemetry overhead
+/// on microsecond-sized files lives.  Spans inside a *sampled* unit add
+/// N× their duration and N spans to the per-phase aggregates, so phase
+/// totals remain unbiased estimates of the unsampled run and downstream
+/// consumers (BatchStats, bench overhead math) need no changes.
+/// Counters and histograms are never sampled — they stay exact.  Spans
+/// outside any unit (ingest, serialize, scheduler tasks) are likewise
+/// always recorded exactly.  Rate 0 is treated as 1 (sample everything,
+/// the default).
+void set_trace_sample(std::uint32_t rate);
+std::uint32_t trace_sample();
+
+/// True while the calling thread is inside a unit that sampling decided
+/// to skip.
+bool unit_suppressed();
+/// Aggregate weight for spans recorded by this thread right now:
+/// trace_sample() inside a sampled unit, 1 outside any unit.
+std::uint32_t unit_weight();
+
+/// RAII unit marker (PN_TRACE_UNIT).  The outermost scope on a thread
+/// draws the per-thread sample decision; nested scopes inherit it.
+class UnitScope {
+ public:
+  UnitScope();
+  ~UnitScope();
+  UnitScope(const UnitScope&) = delete;
+  UnitScope& operator=(const UnitScope&) = delete;
+};
+
 /// Nanoseconds on the steady clock since the process's first telemetry
 /// use — the common timebase of every span and instant.
 std::uint64_t now_ns();
@@ -135,9 +168,11 @@ struct TraceEvent {
 };
 
 /// Recording primitives.  All of them are safe to call from any thread
-/// and do nothing unless enabled().
+/// and do nothing unless enabled().  @p weight multiplies the span's
+/// contribution to the phase aggregates (sampling extrapolation); the
+/// ring event keeps the raw duration.
 void record_span(Phase phase, std::uint64_t start_ns, std::uint64_t end_ns,
-                 std::string_view detail = {});
+                 std::string_view detail = {}, std::uint32_t weight = 1);
 void instant(const char* name, std::string_view detail = {});
 void counter_add(Counter counter, std::uint64_t delta);
 void histogram_record(Histogram histogram, std::uint64_t value);
@@ -149,14 +184,15 @@ void set_thread_label(std::string label);
 /// closes — pass storage that outlives the span (file names do).
 class Span {
  public:
-  explicit Span(Phase phase) : phase_(phase), active_(enabled()) {
+  explicit Span(Phase phase)
+      : phase_(phase), active_(enabled() && !unit_suppressed()) {
     if (active_) start_ = now_ns();
   }
   Span(Phase phase, std::string_view detail) : Span(phase) {
     detail_ = detail;
   }
   ~Span() {
-    if (active_) record_span(phase_, start_, now_ns(), detail_);
+    if (active_) record_span(phase_, start_, now_ns(), detail_, unit_weight());
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -222,6 +258,11 @@ std::string run_profile_json();
   ::pnlab::analysis::telemetry::Span PN_TELEMETRY_CAT(          \
       pn_trace_span_, __LINE__)(                                \
       ::pnlab::analysis::telemetry::Phase::phase, (detail))
+/// Marks the enclosing scope as one sampling unit (one file).  Spans
+/// and instants inside it obey set_trace_sample(); see UnitScope.
+#define PN_TRACE_UNIT()                                         \
+  ::pnlab::analysis::telemetry::UnitScope PN_TELEMETRY_CAT(     \
+      pn_trace_unit_, __LINE__) {}
 #define PN_COUNTER_ADD(counter, delta)           \
   ::pnlab::analysis::telemetry::counter_add(     \
       ::pnlab::analysis::telemetry::Counter::counter, (delta))
@@ -241,6 +282,7 @@ std::string run_profile_json();
 
 #define PN_TRACE_SPAN(phase) static_cast<void>(0)
 #define PN_TRACE_SPAN_D(phase, detail) static_cast<void>(0)
+#define PN_TRACE_UNIT() static_cast<void>(0)
 #define PN_COUNTER_ADD(counter, delta) static_cast<void>(0)
 #define PN_HISTOGRAM_RECORD(histogram, value) static_cast<void>(0)
 #define PN_INSTANT(name, detail) static_cast<void>(0)

@@ -131,4 +131,11 @@ class ParseError : public std::runtime_error {
 /// string literals), so @p source and @p ctx must outlive the tokens.
 std::vector<Token> tokenize(std::string_view source, AstContext& ctx);
 
+/// Allocation-free variant: clears and refills @p tokens (reserving from
+/// the corpus byte-count model), so a caller-owned buffer — e.g.
+/// AstContext::token_scratch() — is reused across files.  Same contract
+/// as tokenize() otherwise.
+void tokenize_into(std::string_view source, AstContext& ctx,
+                   std::vector<Token>& tokens);
+
 }  // namespace pnlab::analysis

@@ -1,0 +1,240 @@
+// Differential testing across the lexer's ISA tiers.
+//
+// simd_dispatch.h selects one of four tokenizer backends (scalar, SWAR,
+// SSE2, AVX2) at startup; correctness demands that the choice is
+// unobservable.  These tests run every available tier over the analyzer
+// corpus plus adversarial inputs — identifier runs straddling 16- and
+// 32-byte vector boundaries, high-bit (0x80–0xFF) bytes, CRLF endings,
+// unterminated comments/strings at EOF — and require byte-identical
+// token streams (kind, text, line, col, literal values) and identical
+// ParseError messages, with the scalar tier as the reference.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ast_arena.h"
+#include "analysis/corpus.h"
+#include "analysis/simd_dispatch.h"
+#include "analysis/token.h"
+
+namespace pnlab::analysis {
+namespace {
+
+namespace simd = pnlab::analysis::simd;
+
+/// Restores the process-wide active ISA on scope exit so these tests
+/// cannot leak a forced tier into the rest of the suite.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(simd::active_isa()) {}
+  ~IsaGuard() { simd::set_active_isa(saved_); }
+
+ private:
+  simd::Isa saved_;
+};
+
+/// One tier's view of a source: the token stream on success, the
+/// ParseError message on failure.  Everything a downstream consumer can
+/// observe.
+struct LexOutcome {
+  std::vector<Token> tokens;
+  std::optional<std::string> error;
+};
+
+LexOutcome lex_with(simd::Isa isa, std::string_view source) {
+  IsaGuard guard;
+  EXPECT_TRUE(simd::set_active_isa(isa)) << simd::isa_name(isa);
+  static AstContext ctx;
+  ctx.reset();
+  LexOutcome out;
+  try {
+    simd::active_tokenize()(ctx.pin(source), ctx, out.tokens);
+  } catch (const ParseError& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+std::vector<simd::Isa> available_tiers() {
+  std::vector<simd::Isa> tiers;
+  for (std::size_t i = 0; i < simd::kIsaCount; ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    if (simd::isa_available(isa)) tiers.push_back(isa);
+  }
+  return tiers;
+}
+
+void expect_identical(std::string_view source, const std::string& label) {
+  const LexOutcome ref = lex_with(simd::Isa::kScalar, source);
+  for (const simd::Isa isa : available_tiers()) {
+    const LexOutcome got = lex_with(isa, source);
+    SCOPED_TRACE(label + " [" + simd::isa_name(isa) + "]");
+    ASSERT_EQ(got.error.has_value(), ref.error.has_value());
+    if (ref.error) {
+      EXPECT_EQ(*got.error, *ref.error);
+      continue;
+    }
+    ASSERT_EQ(got.tokens.size(), ref.tokens.size());
+    for (std::size_t i = 0; i < ref.tokens.size(); ++i) {
+      const Token& a = ref.tokens[i];
+      const Token& b = got.tokens[i];
+      SCOPED_TRACE("token " + std::to_string(i));
+      EXPECT_EQ(b.kind, a.kind);
+      EXPECT_EQ(b.text, a.text);
+      EXPECT_EQ(b.int_value, a.int_value);
+      EXPECT_DOUBLE_EQ(b.float_value, a.float_value);
+      EXPECT_EQ(b.line, a.line);
+      EXPECT_EQ(b.col, a.col);
+    }
+  }
+}
+
+// -- Dispatch plumbing -------------------------------------------------------
+
+TEST(SimdDispatchTest, NamesRoundTrip) {
+  for (std::size_t i = 0; i < simd::kIsaCount; ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    const auto parsed = simd::isa_from_name(simd::isa_name(isa));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(simd::isa_from_name("avx512").has_value());
+  EXPECT_FALSE(simd::isa_from_name("").has_value());
+}
+
+TEST(SimdDispatchTest, PortableTiersAlwaysAvailable) {
+  EXPECT_TRUE(simd::isa_available(simd::Isa::kScalar));
+  EXPECT_TRUE(simd::isa_available(simd::Isa::kSwar));
+}
+
+TEST(SimdDispatchTest, SetActiveIsaRejectsUnavailableTier) {
+  IsaGuard guard;
+  for (std::size_t i = 0; i < simd::kIsaCount; ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    if (simd::isa_available(isa)) {
+      EXPECT_TRUE(simd::set_active_isa(isa));
+      EXPECT_EQ(simd::active_isa(), isa);
+      EXPECT_NE(simd::active_tokenize(), nullptr);
+    } else {
+      const simd::Isa before = simd::active_isa();
+      EXPECT_FALSE(simd::set_active_isa(isa));
+      EXPECT_EQ(simd::active_isa(), before);  // rejected, not clobbered
+    }
+  }
+}
+
+TEST(SimdDispatchTest, BestSupportedIsaIsAvailableAndVectorized) {
+  const simd::Isa best = simd::best_supported_isa();
+  EXPECT_TRUE(simd::isa_available(best));
+  // Scalar exists for verification only; auto-selection must never
+  // choose it over SWAR.
+  EXPECT_NE(best, simd::Isa::kScalar);
+}
+
+// -- Differential: corpus ----------------------------------------------------
+
+TEST(SimdDifferentialTest, AnalyzerCorpusIdenticalAcrossTiers) {
+  for (const auto& c : corpus::analyzer_corpus()) {
+    expect_identical(c.source, c.id);
+  }
+}
+
+// -- Differential: vector-boundary straddles ---------------------------------
+
+TEST(SimdDifferentialTest, IdentifierRunsStraddleVectorBoundaries) {
+  // Runs of 1..100 bytes at offsets 0..33 cover every alignment of a
+  // run's start and end relative to 16- and 32-byte steps.
+  for (std::size_t pad = 0; pad <= 33; ++pad) {
+    for (std::size_t len : {1u, 15u, 16u, 17u, 31u, 32u, 33u, 64u, 100u}) {
+      const std::string src =
+          std::string(pad, ' ') + std::string(len, 'q') + "+1";
+      expect_identical(src, "ident pad=" + std::to_string(pad) +
+                                " len=" + std::to_string(len));
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, DigitAndHexRunsStraddleVectorBoundaries) {
+  for (std::size_t pad = 0; pad <= 33; ++pad) {
+    expect_identical(std::string(pad, ' ') + std::string(40, '7') + ";",
+                     "digits pad=" + std::to_string(pad));
+    expect_identical(std::string(pad, ' ') + "0x" + std::string(14, 'A') + ";",
+                     "hex pad=" + std::to_string(pad));
+  }
+}
+
+TEST(SimdDifferentialTest, NewlineBurstsKeepLineNumbersIdentical) {
+  // Newline counts live in movemask popcounts (vector tiers) vs a lane
+  // popcount (SWAR) vs an increment (scalar): burst sizes around the
+  // vector widths catch any disagreement.
+  for (std::size_t n : {1u, 7u, 8u, 15u, 16u, 17u, 31u, 32u, 33u, 65u}) {
+    expect_identical(std::string(n, '\n') + "x", "nl n=" + std::to_string(n));
+    expect_identical("a" + std::string(n, '\n') + "b ; c",
+                     "a-nl-b n=" + std::to_string(n));
+  }
+}
+
+// -- Differential: adversarial bytes -----------------------------------------
+
+TEST(SimdDifferentialTest, HighBitBytesIdenticalAcrossTiers) {
+  // 0x80–0xFF land in the signed-compare trap zone of SSE2/AVX2; each
+  // placement (comment, string, bare) must classify identically.
+  expect_identical("a // caf\xc3\xa9 \xff\x80\nb", "high-bit line comment");
+  expect_identical("a /* \xff\xfe\x80 */ b", "high-bit block comment");
+  expect_identical("\"caf\xc3\xa9 \xff\x80\"", "high-bit string");
+  expect_identical(std::string(30, ' ') + "\x80", "bare high-bit byte");
+  expect_identical("x\xe1y", "0xE1 ('a'|0x80) between idents");
+}
+
+TEST(SimdDifferentialTest, CrlfIdenticalAcrossTiers) {
+  expect_identical("a\r\nb\r\nc", "crlf pairs");
+  std::string long_lines;
+  for (int i = 0; i < 5; ++i) {
+    long_lines += "ident_" + std::to_string(i) + std::string(30, ' ') + "\r\n";
+  }
+  expect_identical(long_lines + "end", "crlf long lines");
+}
+
+TEST(SimdDifferentialTest, UnterminatedConstructsAtEofIdentical) {
+  expect_identical("a\n/* never closed", "unterminated block comment");
+  expect_identical("/* a *", "trailing star at eof");
+  expect_identical("x = \"abc", "unterminated string");
+  expect_identical("\"abc\\", "lone backslash at eof");
+  expect_identical(std::string(35, 'w') + " \"" + std::string(40, '.'),
+                   "unterminated string after long run");
+}
+
+TEST(SimdDifferentialTest, StringsCommentsAndEscapesIdentical) {
+  expect_identical("\"" + std::string(50, 'x') + "\\n" + "\\t\\0 tail\"",
+                   "long string with escapes");
+  for (std::size_t pad = 0; pad < 33; ++pad) {
+    expect_identical("\"" + std::string(pad, 'x') + "\\nY\"",
+                     "escape at offset " + std::to_string(pad));
+  }
+  expect_identical("/********/ x /* ** * ** */ y", "stars every lane");
+  expect_identical("\"a\\\nb\" x", "escaped newline in string");
+}
+
+TEST(SimdDifferentialTest, OperatorSoupIdentical) {
+  expect_identical("a->b ++c --d e&&f g||h i==j k!=l m<=n o>=p q>>r s=t",
+                   "two-char operators");
+  expect_identical("x=1+2*3-4/5%6<7>8&9|10^11!12~13", "single-char soup");
+}
+
+TEST(SimdDifferentialTest, WholeProgramsIdentical) {
+  const std::string program =
+      "// header comment\n"
+      "class Obj { int data[16]; };\n"
+      "void f(int n) {\n"
+      "  char buf[64];\n"
+      "  Obj* o = new (buf) Obj();\n"
+      "  for (int i = 0; i < n; ++i) { o->data[i] = i * 2 + 0x1F; }\n"
+      "  char* s = \"str with \\t escape\";\n"
+      "}\n";
+  expect_identical(program, "placement-new program");
+}
+
+}  // namespace
+}  // namespace pnlab::analysis

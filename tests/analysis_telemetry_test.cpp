@@ -276,6 +276,134 @@ TEST(TelemetryTest, RingOverwriteBumpsDropCounter) {
   EXPECT_EQ(kept + dropped, kRecorded);
 }
 
+// -- Unit sampling (--trace-sample=N) ---------------------------------------
+
+/// Restores the global sample rate even on assertion failure.
+struct ScopedSampleRate {
+  explicit ScopedSampleRate(std::uint32_t rate) { tel::set_trace_sample(rate); }
+  ~ScopedSampleRate() { tel::set_trace_sample(1); }
+};
+
+TEST(TelemetrySamplingTest, RateZeroClampsToOne) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  tel::set_trace_sample(0);
+  EXPECT_EQ(tel::trace_sample(), 1u);
+  tel::set_trace_sample(16);
+  EXPECT_EQ(tel::trace_sample(), 16u);
+  tel::set_trace_sample(1);
+}
+
+// The per-thread unit counter runs monotonically, so any window of 4*k
+// consecutive units contains exactly k sampled ones regardless of the
+// counter's starting value — tests assert on windows, not on which
+// specific iteration gets sampled.
+TEST(TelemetrySamplingTest, WeightedAggregatesStayUnbiased) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  ScopedTelemetry scope;
+  ScopedSampleRate rate(4);
+  for (int i = 0; i < 8; ++i) {
+    tel::UnitScope unit;
+    tel::Span span(tel::Phase::kParse);
+  }
+  const tel::Snapshot s = tel::snapshot();
+  // 2 of 8 units sampled, each recording one span at weight 4: the
+  // aggregate says 8 spans, as if sampling were off.
+  EXPECT_EQ(s.phases[static_cast<std::size_t>(tel::Phase::kParse)].spans, 8u);
+  std::size_t ring_events = 0;
+  for (const auto& e : tel::collect_events()) {
+    if (std::string(e.name) == "parse") ++ring_events;
+  }
+  EXPECT_EQ(ring_events, 2u);  // the ring keeps raw events, unweighted
+}
+
+TEST(TelemetrySamplingTest, UnitStateObservableAndNestedUnitsInherit) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  ScopedTelemetry scope;
+  ScopedSampleRate rate(4);
+  int sampled = 0;
+  int suppressed = 0;
+  for (int i = 0; i < 8; ++i) {
+    tel::UnitScope unit;
+    const bool sup = tel::unit_suppressed();
+    (sup ? suppressed : sampled) += 1;
+    EXPECT_EQ(tel::unit_weight(), sup ? 1u : 4u);
+    tel::instant("sampling_probe");  // suppressed units drop instants
+    {
+      tel::UnitScope nested;  // analyze() under the driver: no redraw
+      EXPECT_EQ(tel::unit_suppressed(), sup);
+    }
+    EXPECT_EQ(tel::unit_suppressed(), sup);
+  }
+  EXPECT_EQ(sampled, 2);
+  EXPECT_EQ(suppressed, 6);
+  EXPECT_FALSE(tel::unit_suppressed());  // closing the unit clears it
+  EXPECT_EQ(tel::unit_weight(), 1u);     // outside any unit: exact
+  std::size_t probes = 0;
+  for (const auto& e : tel::collect_events()) {
+    if (std::string(e.name) == "sampling_probe") ++probes;
+  }
+  EXPECT_EQ(probes, 2u);
+}
+
+TEST(TelemetrySamplingTest, CountersAndHistogramsStayExact) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  ScopedTelemetry scope;
+  ScopedSampleRate rate(1000000);  // suppress (nearly) every unit
+  for (int i = 0; i < 10; ++i) {
+    tel::UnitScope unit;
+    tel::counter_add(tel::Counter::kFilesAnalyzed, 1);
+    tel::histogram_record(tel::Histogram::kAstNodesPerFile, 5);
+  }
+  const tel::Snapshot s = tel::snapshot();
+  EXPECT_EQ(
+      s.counters[static_cast<std::size_t>(tel::Counter::kFilesAnalyzed)], 10u);
+  EXPECT_EQ(
+      s.histograms[static_cast<std::size_t>(tel::Histogram::kAstNodesPerFile)]
+          .count,
+      10u);
+}
+
+TEST(TelemetrySamplingTest, SpansOutsideUnitsAlwaysRecorded) {
+  if (!tel::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  ScopedTelemetry scope;
+  ScopedSampleRate rate(64);
+  for (int i = 0; i < 5; ++i) {
+    tel::Span span(tel::Phase::kSerialize);  // no unit open
+  }
+  const tel::Snapshot s = tel::snapshot();
+  EXPECT_EQ(s.phases[static_cast<std::size_t>(tel::Phase::kSerialize)].spans,
+            5u);
+}
+
+// The golden-diff contract extends to sampling: batch output is
+// byte-identical whether tracing is off, on, or on-with-sampling.
+TEST(TelemetryGoldenTest, BatchOutputByteIdenticalUnderSampling) {
+  auto run = [](bool traced) {
+    if (traced) {
+      tel::reset();
+      tel::set_trace_sample(3);
+      tel::set_enabled(true);
+    }
+    DriverOptions options;
+    options.threads = 2;
+    options.use_cache = false;
+    BatchDriver driver(options);
+    const BatchResult batch = driver.run(corpus_files());
+    const std::string json = to_json(batch);
+    const std::string sarif = to_sarif(batch);
+    if (traced) {
+      tel::set_enabled(false);
+      tel::set_trace_sample(1);
+      tel::reset();
+    }
+    return std::make_pair(json, sarif);
+  };
+  const auto [json_off, sarif_off] = run(false);
+  const auto [json_sampled, sarif_sampled] = run(true);
+  EXPECT_EQ(json_off, json_sampled);
+  EXPECT_EQ(sarif_off, sarif_sampled);
+}
+
 // The central observability contract: recording must never change
 // analysis output.  JSON and SARIF renderings are byte-identical with
 // telemetry enabled vs. disabled, at 1, 2, and 8 worker threads.

@@ -17,6 +17,12 @@
 //   --metrics=FILE             write Prometheus-style metrics text
 //   --profile[=FILE]           write a compact per-phase run profile
 //                              (default run_profile.json)
+//   --trace-sample=N           record spans for 1 of every N files
+//                              (per-phase totals are extrapolated, so
+//                              they stay unbiased; default 1 = all)
+//   --isa=TIER                 force the lexer backend
+//                              (scalar|swar|sse2|avx2); same as the
+//                              PNC_FORCE_ISA environment variable
 //   --connect[=SOCKET]         route the batch through a running pncd
 //                              (falls back to in-process analysis when
 //                              no daemon is reachable; ignored — with a
@@ -45,6 +51,7 @@
 
 #include "analysis/corpus.h"
 #include "analysis/driver.h"
+#include "analysis/simd_dispatch.h"
 #include "analysis/telemetry.h"
 #include "service/client.h"
 
@@ -71,6 +78,10 @@ void print_usage(std::ostream& os, const char* argv0) {
         "  --metrics=FILE            write Prometheus-style metrics text\n"
         "  --profile[=FILE]          write per-phase run profile JSON "
         "(default run_profile.json)\n"
+        "  --trace-sample=N          record spans for 1 of every N files "
+        "(default 1 = all)\n"
+        "  --isa=TIER                force the lexer backend "
+        "(scalar|swar|sse2|avx2)\n"
         "  --connect[=SOCKET]        route through a running pncd; falls "
         "back to in-process\n"
         "  --daemon                  alias for --connect with the default "
@@ -151,6 +162,28 @@ int main(int argc, char** argv) {
       want_daemon = true;
       daemon_socket = arg.substr(10);
       if (daemon_socket.empty()) return usage(argv[0]);
+    } else if (arg.rfind("--trace-sample=", 0) == 0) {
+      try {
+        pnlab::analysis::telemetry::set_trace_sample(
+            static_cast<std::uint32_t>(std::stoul(arg.substr(15))));
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (arg.rfind("--isa=", 0) == 0) {
+      const std::string name = arg.substr(6);
+      const auto isa = pnlab::analysis::simd::isa_from_name(name);
+      if (!isa) {
+        std::cerr << argv[0] << ": unknown --isa value '" << name
+                  << "' (scalar|swar|sse2|avx2)\n";
+        return 2;
+      }
+      if (!pnlab::analysis::simd::set_active_isa(*isa)) {
+        std::cerr << argv[0] << ": --isa=" << name
+                  << " not available on this machine; using "
+                  << pnlab::analysis::simd::isa_name(
+                         pnlab::analysis::simd::active_isa())
+                  << "\n";
+      }
     } else if (arg == "--profile") {
       profile_file = "run_profile.json";
     } else if (arg.rfind("--profile=", 0) == 0) {
