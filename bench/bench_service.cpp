@@ -9,11 +9,23 @@
 // (a forced full re-analysis, the miss path) — then reports p50/p99
 // request latency and aggregate requests/s into BENCH_service.json.
 //
-// A final daemon restart measures the disk-cache warm-start path: a
+// A daemon restart then measures the disk-cache warm-start path: a
 // fresh process, zero memory hits, every file served from `index.v1`.
+//
+// Experiment E12 (fault tolerance) follows: the same traffic against a
+// 4-shard supervisor (`pncd --shards=4`) — routing must cost little
+// enough that sharded p99 stays within 1.5x the single process — and
+// then a kill loop: worker processes SIGKILLed every ~250 ms for ~30 s
+// (override with $PNC_BENCH_STORM_SECONDS) under 8 retrying clients.
+// Reported into BENCH_service.json: availability_pct (requests that
+// eventually got a correct answer), p99_under_faults_ms, recovery_ms
+// (death detected -> accepting again), restarts.  Every delivered body
+// must be byte-identical to the undisturbed golden run.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -26,6 +38,7 @@
 #include "analysis/corpus.h"
 #include "service/client.h"
 #include "service/server.h"
+#include "service/supervisor.h"
 
 using namespace pnlab::service;
 namespace fs = std::filesystem;
@@ -36,6 +49,8 @@ constexpr std::size_t kClients = 8;
 constexpr std::size_t kRequestsPerClient = 100;
 constexpr std::size_t kMissEvery = 8;  ///< every Nth request bypasses caches
 constexpr std::size_t kReplicas = 4;
+constexpr int kShards = 4;
+constexpr std::uint32_t kKillIntervalMs = 250;
 
 double percentile(std::vector<double> sorted, double p) {
   if (sorted.empty()) return 0;
@@ -58,6 +73,24 @@ struct RunningServer {
     thread.join();
   }
   Server server;
+  std::thread thread;
+};
+
+struct RunningSupervisor {
+  explicit RunningSupervisor(SupervisorOptions options)
+      : supervisor(std::move(options)) {
+    std::string error;
+    if (!supervisor.start(&error)) {
+      std::cerr << "bench_service: " << error << "\n";
+      std::exit(1);
+    }
+    thread = std::thread([this] { supervisor.serve(); });
+  }
+  ~RunningSupervisor() {
+    supervisor.request_stop();
+    thread.join();
+  }
+  Supervisor supervisor;
   std::thread thread;
 };
 
@@ -97,6 +130,7 @@ int main() {
   std::vector<double> all_ms;
   double traffic_wall_s = 0;
   std::size_t errors = 0;
+  std::string golden_body;  ///< undisturbed output every phase must match
   {
     RunningServer running(options);
 
@@ -111,6 +145,7 @@ int main() {
       std::cerr << "bench_service: warmup failed: " << response.error << "\n";
       return 1;
     }
+    golden_body = response.body;
     std::cout << "tree: " << file_count << " files ("
               << response.stats.findings << " findings), "
               << kClients << " clients x " << kRequestsPerClient
@@ -210,6 +245,169 @@ int main() {
               << " ms, " << disk_hits << "/" << file_count
               << " files from the on-disk cache\n";
   }
+
+  // E12a: the same warm traffic through a 4-shard supervisor.  Routing
+  // adds one relay hop per request; the self-check below keeps that
+  // overhead honest (sharded p99 within 1.5x the single process).
+  SupervisorOptions sup;
+  sup.socket_path = (root / "sup.sock").string();
+  sup.shards = kShards;
+  sup.worker = options;
+  std::vector<double> sharded_ms;
+  std::size_t sharded_errors = 0;
+  std::size_t byte_mismatches = 0;
+  {
+    RunningSupervisor running(sup);
+    auto warm_client = Client::connect(sup.socket_path, nullptr);
+    Response response;
+    if (!warm_client || !warm_client->call(request, &response) ||
+        !response.ok) {
+      std::cerr << "bench_service: sharded warmup failed\n";
+      return 1;
+    }
+    if (response.body != golden_body) {
+      std::cerr << "bench_service: sharded body differs from single-process "
+                   "output\n";
+      return 1;
+    }
+
+    std::mutex merge_mutex;
+    std::atomic<std::size_t> error_count{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        auto client = Client::connect(sup.socket_path, nullptr);
+        if (!client) {
+          error_count += kRequestsPerClient / 2;
+          return;
+        }
+        std::vector<double> local;
+        for (std::size_t i = 0; i < kRequestsPerClient / 2; ++i) {
+          Response rsp;
+          const auto t0 = std::chrono::steady_clock::now();
+          const bool ok = client->call(request, &rsp) && rsp.ok;
+          const auto t1 = std::chrono::steady_clock::now();
+          if (!ok) {
+            ++error_count;
+            continue;
+          }
+          local.push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        sharded_ms.insert(sharded_ms.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    sharded_errors = error_count.load();
+  }
+  std::sort(sharded_ms.begin(), sharded_ms.end());
+  const double sharded_p50 = percentile(sharded_ms, 0.50);
+  const double sharded_p99 = percentile(sharded_ms, 0.99);
+  std::cout << "\nE12: " << kShards << "-shard supervisor (warm): p50 "
+            << std::setprecision(3) << sharded_p50 << " ms, p99 "
+            << sharded_p99 << " ms, " << sharded_ms.size() << " requests\n";
+
+  // E12b: the kill loop.  A killer thread SIGKILLs a random live worker
+  // every kKillIntervalMs while retrying clients hammer the service;
+  // every request must eventually get the golden bytes.
+  std::uint32_t storm_seconds = 30;
+  if (const char* env = std::getenv("PNC_BENCH_STORM_SECONDS");
+      env && *env) {
+    storm_seconds = static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  std::size_t storm_total = 0;
+  std::size_t storm_ok = 0;
+  std::size_t storm_gave_up = 0;
+  std::vector<double> storm_ms;
+  std::uint64_t storm_restarts = 0;
+  double recovery_ms = 0;
+  {
+    RunningSupervisor running(sup);
+    std::atomic<bool> storm_done{false};
+    std::thread killer([&] {
+      std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+      while (!storm_done.load()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kKillIntervalMs));
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        std::vector<pid_t> live;
+        for (const pid_t pid : running.supervisor.worker_pids()) {
+          if (pid > 0) live.push_back(pid);
+        }
+        if (!live.empty()) ::kill(live[rng % live.size()], SIGKILL);
+      }
+    });
+
+    std::mutex merge_mutex;
+    std::atomic<std::size_t> total{0}, ok_count{0}, gave_up{0}, mismatched{0};
+    const auto storm_end = std::chrono::steady_clock::now() +
+                           std::chrono::seconds(storm_seconds);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        RetryOptions retry;
+        retry.max_attempts = 50;
+        retry.retry_budget_ms = 30000;
+        retry.connect_timeout_ms = 1000;
+        retry.jitter_seed = c + 1;
+        std::vector<double> local;
+        while (std::chrono::steady_clock::now() < storm_end) {
+          ++total;
+          Response rsp;
+          const auto t0 = std::chrono::steady_clock::now();
+          const bool answered = Client::call_with_retry(
+              sup.socket_path, request, retry, &rsp);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (!answered) {
+            ++gave_up;
+            continue;
+          }
+          if (!rsp.ok || rsp.body != golden_body) {
+            ++mismatched;
+            continue;
+          }
+          ++ok_count;
+          local.push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        storm_ms.insert(storm_ms.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    storm_done.store(true);
+    killer.join();
+
+    storm_total = total.load();
+    storm_ok = ok_count.load();
+    storm_gave_up = gave_up.load();
+    byte_mismatches = mismatched.load();
+    storm_restarts = running.supervisor.restarts();
+    const auto samples = running.supervisor.recovery_samples_ms();
+    if (!samples.empty()) {
+      std::uint64_t sum = 0;
+      for (const std::uint64_t s : samples) sum += s;
+      recovery_ms = static_cast<double>(sum) /
+                    static_cast<double>(samples.size());
+    }
+  }
+  std::sort(storm_ms.begin(), storm_ms.end());
+  const double availability_pct =
+      storm_total > 0
+          ? 100.0 * static_cast<double>(storm_ok) /
+                static_cast<double>(storm_total)
+          : 0;
+  const double p99_under_faults = percentile(storm_ms, 0.99);
+  std::cout << "kill loop (" << storm_seconds << " s, a worker SIGKILLed "
+            << "every " << kKillIntervalMs << " ms): " << storm_ok << "/"
+            << storm_total << " answered (" << std::setprecision(2)
+            << availability_pct << "%), p99 " << std::setprecision(3)
+            << p99_under_faults << " ms, " << storm_restarts
+            << " restart(s), mean recovery " << recovery_ms << " ms\n";
+
   fs::remove_all(root);
 
   // Machine-readable results for CI trend lines.
@@ -228,21 +426,53 @@ int main() {
          << "  \"miss_p99_ms\": " << percentile(miss_ms, 0.99) << ",\n"
          << "  \"requests_per_s\": " << requests_per_s << ",\n"
          << "  \"disk_warm_ms\": " << disk_warm_ms << ",\n"
-         << "  \"disk_warm_hits\": " << disk_hits << "\n"
+         << "  \"disk_warm_hits\": " << disk_hits << ",\n"
+         << "  \"shards\": " << kShards << ",\n"
+         << "  \"sharded_p50_ms\": " << sharded_p50 << ",\n"
+         << "  \"sharded_p99_ms\": " << sharded_p99 << ",\n"
+         << "  \"storm_seconds\": " << storm_seconds << ",\n"
+         << "  \"kill_interval_ms\": " << kKillIntervalMs << ",\n"
+         << "  \"availability_pct\": " << availability_pct << ",\n"
+         << "  \"p99_under_faults_ms\": " << p99_under_faults << ",\n"
+         << "  \"recovery_ms\": " << recovery_ms << ",\n"
+         << "  \"restarts\": " << storm_restarts << "\n"
          << "}\n";
   }
   std::cout << "Wrote BENCH_service.json\n";
 
-  // CI-style self-check: the traffic must actually complete, and a
-  // restarted daemon must serve the unchanged tree from disk.
-  if (errors > 0) {
-    std::cout << "\nWARNING: " << errors << " failed request(s)\n";
-    return 1;
+  // CI-style self-checks: the traffic must actually complete, a
+  // restarted daemon must serve the unchanged tree from disk, routing
+  // overhead must stay bounded, and the kill loop must lose nothing.
+  bool failed = false;
+  if (errors > 0 || sharded_errors > 0) {
+    std::cout << "\nWARNING: " << (errors + sharded_errors)
+              << " failed request(s)\n";
+    failed = true;
   }
   if (disk_hits != file_count) {
     std::cout << "\nWARNING: disk warm start served " << disk_hits << "/"
               << file_count << " files from cache\n";
-    return 1;
+    failed = true;
   }
-  return 0;
+  // 1.5x plus a small absolute allowance so sub-millisecond jitter on a
+  // fast warm path cannot fail the ratio spuriously.
+  if (sharded_p99 > 1.5 * p99 + 2.0) {
+    std::cout << "\nWARNING: sharded p99 " << sharded_p99
+              << " ms exceeds 1.5x single-process p99 " << p99 << " ms\n";
+    failed = true;
+  }
+  if (storm_gave_up > 0 || byte_mismatches > 0 ||
+      availability_pct < 100.0) {
+    std::cout << "\nWARNING: kill loop lost requests: " << storm_gave_up
+              << " gave up, " << byte_mismatches
+              << " wrong/mismatched bodies, availability "
+              << availability_pct << "%\n";
+    failed = true;
+  }
+  if (storm_restarts == 0) {
+    std::cout << "\nWARNING: the kill loop never killed a worker — the "
+                 "fault injection did not engage\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
 }

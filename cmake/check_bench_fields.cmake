@@ -35,4 +35,11 @@ require_field("${BENCH_DIR}/BENCH_driver.json" "simd_isa")
 require_field("${BENCH_DIR}/BENCH_service.json" "p50_ms")
 require_field("${BENCH_DIR}/BENCH_service.json" "p99_ms")
 require_field("${BENCH_DIR}/BENCH_service.json" "requests_per_s")
+# ... and the E12 fault-tolerance headline: what fraction of requests
+# survived the worker kill loop, at what tail latency, and how fast
+# killed shards came back.  A bench that stops exercising the
+# supervisor must fail here, not silently drop the numbers.
+require_field("${BENCH_DIR}/BENCH_service.json" "availability_pct")
+require_field("${BENCH_DIR}/BENCH_service.json" "p99_under_faults_ms")
+require_field("${BENCH_DIR}/BENCH_service.json" "recovery_ms")
 message(STATUS "bench check: per-phase fields present in BENCH_*.json")

@@ -148,6 +148,7 @@ std::string BatchStats::to_string() const {
   os << "batch: " << files << " file(s), " << findings << " finding(s), "
      << parse_errors << " parse error(s)";
   if (read_errors > 0) os << " (" << read_errors << " read error(s))";
+  if (shard_id >= 0) os << " [shard " << shard_id << "]";
   os << "\n";
   os << "run:   " << wall_s << " s wall on " << threads << " thread(s) ("
      << std::setprecision(1) << files_per_sec() << " files/s, " << steals
@@ -334,6 +335,7 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
   BatchStats& stats = batch.stats;
   stats.files = files.size();
   stats.simd_isa = simd::isa_name(simd::active_isa());
+  stats.shard_id = options_.shard_id;
   stats.threads = steal.threads;
   stats.steals = steal.steals;
   stats.per_worker_steals = steal.per_worker_steals;

@@ -209,6 +209,9 @@ struct BatchStats {
   /// "scalar") — see simd_dispatch.h.  Stats/bench metadata only; never
   /// serialized into JSON/SARIF, which are ISA-invariant.
   std::string simd_isa;
+  /// Shard identity when the driver runs inside a supervised pncd
+  /// worker; -1 = unsharded.  Stats metadata only, like simd_isa.
+  int shard_id = -1;
 
   double files_per_sec() const;
   /// Multi-line human-readable rendering.
@@ -249,6 +252,9 @@ struct DriverOptions {
   /// force the portable buffered-read path.  Both produce byte-identical
   /// BatchResults; this exists for verification and odd filesystems.
   bool mmap_ingestion = true;
+  /// Shard identity propagated into BatchStats (see there); -1 when the
+  /// driver does not run inside a supervised worker.
+  int shard_id = -1;
 };
 
 /// The batch service.  One instance owns one cache; run() may be called

@@ -1,14 +1,21 @@
 #include "service/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <system_error>
+#include <thread>
 #include <vector>
 
 #include "serde/wire.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PNLAB_HAVE_SOCKETS 1
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 #endif
@@ -17,8 +24,25 @@ namespace pnlab::service {
 
 #if PNLAB_HAVE_SOCKETS
 
+namespace {
+
+/// Grace added on top of a request deadline when sizing the receive
+/// timeout: the server enforces the deadline itself and answers with a
+/// typed DEADLINE_EXCEEDED, so the client should wait slightly longer
+/// than the deadline to collect that answer instead of racing it.
+constexpr std::uint32_t kDeadlineGraceMs = 250;
+
+bool set_socket_timeout(int fd, int option, std::uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) == 0;
+}
+
+}  // namespace
+
 std::unique_ptr<Client> Client::connect(const std::string& socket_path,
-                                        std::string* error) {
+                                        std::string* error, int timeout_ms) {
   sockaddr_un addr{};
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
     if (error) *error = "socket path empty or too long: " + socket_path;
@@ -32,8 +56,41 @@ std::unique_ptr<Client> Client::connect(const std::string& socket_path,
     if (error) *error = std::string("socket: ") + std::strerror(errno);
     return nullptr;
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+
+  if (timeout_ms >= 0) {
+    // Poll-based connect timeout: a daemon whose accept queue is full
+    // (or a supervisor mid-restart) must not hang the client in
+    // connect(2) — fail within the budget and let the retry layer
+    // decide what to do next.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) {
+        if (error) {
+          *error = socket_path + ": connect timed out after " +
+                   std::to_string(timeout_ms) + " ms";
+        }
+        ::close(fd);
+        return nullptr;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      rc = so_error == 0 ? 0 : -1;
+      errno = so_error;
+    }
+    if (rc != 0) {
+      if (error) *error = socket_path + ": " + std::strerror(errno);
+      ::close(fd);
+      return nullptr;
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking for framed IO
+  } else if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     if (error) *error = socket_path + ": " + std::strerror(errno);
     ::close(fd);
     return nullptr;
@@ -47,6 +104,11 @@ Client::~Client() {
 
 bool Client::call(const Request& request, Response* response,
                   std::string* error) {
+  if (request.deadline_ms > 0) {
+    set_socket_timeout(fd_, SO_SNDTIMEO, request.deadline_ms);
+    set_socket_timeout(fd_, SO_RCVTIMEO,
+                       request.deadline_ms + kDeadlineGraceMs);
+  }
   try {
     write_frame(fd_, encode_request(request));
     std::vector<std::byte> payload;
@@ -56,21 +118,116 @@ bool Client::call(const Request& request, Response* response,
     }
     *response = decode_response(payload);
     return true;
+  } catch (const std::system_error& e) {
+    const int err = e.code().value();
+    if (error) {
+      *error = (err == EAGAIN || err == EWOULDBLOCK)
+                   ? "timed out after " + std::to_string(request.deadline_ms) +
+                         " ms waiting for the daemon"
+                   : e.what();
+    }
+    return false;
   } catch (const std::exception& e) {
     if (error) *error = e.what();
     return false;
   }
 }
 
+bool Client::call_with_retry(const std::string& socket_path,
+                             const Request& request,
+                             const RetryOptions& options, Response* response,
+                             std::string* error, int* attempts_out) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  const auto budget = std::chrono::milliseconds(options.retry_budget_ms);
+  auto elapsed_ms = [&] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               clock::now() - start)
+        .count();
+  };
+  // xorshift jitter so retry waves from concurrent clients decorrelate;
+  // seeded for reproducible schedules in tests.
+  std::uint64_t rng = options.jitter_seed;
+  if (rng == 0) {
+    rng = static_cast<std::uint64_t>(
+        clock::now().time_since_epoch().count());
+  }
+  if (rng == 0) rng = 1;
+  auto next_rand = [&rng] {
+    rng ^= rng >> 12;
+    rng ^= rng << 25;
+    rng ^= rng >> 27;
+    return rng * 0x2545f4914f6cdd1dull;
+  };
+
+  std::string last_error = "no attempts made";
+  int attempts = 0;
+  for (; attempts < std::max(1, options.max_attempts); ++attempts) {
+    if (attempts > 0) {
+      // Jittered exponential backoff, stretched to at least the
+      // server's retry_after_ms hint when one was offered.
+      std::uint64_t base = std::min<std::uint64_t>(
+          options.backoff_max_ms,
+          static_cast<std::uint64_t>(options.backoff_initial_ms)
+              << std::min(attempts - 1, 20));
+      if (response->retry_after_ms > 0) {
+        base = std::max<std::uint64_t>(base, response->retry_after_ms);
+      }
+      const std::uint64_t sleep_ms = base / 2 + next_rand() % (base / 2 + 1);
+      if (elapsed_ms() + static_cast<long long>(sleep_ms) >=
+          budget.count()) {
+        break;  // the budget would expire mid-sleep; give up now
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    const long long remaining = budget.count() - elapsed_ms();
+    if (remaining <= 0) break;
+    const int connect_timeout = static_cast<int>(std::min<long long>(
+        options.connect_timeout_ms, remaining));
+    std::string attempt_error;
+    auto client = Client::connect(socket_path, &attempt_error,
+                                  connect_timeout);
+    if (!client) {
+      last_error = attempt_error;
+      *response = Response{};
+      continue;
+    }
+    if (!client->call(request, response, &attempt_error)) {
+      last_error = attempt_error;
+      *response = Response{};
+      continue;
+    }
+    if (!status_retryable(response->status)) {
+      if (attempts_out) *attempts_out = attempts + 1;
+      return true;
+    }
+    last_error = std::string(status_name(response->status)) +
+                 (response->error.empty() ? "" : ": " + response->error);
+  }
+  if (attempts_out) *attempts_out = attempts;
+  if (error) {
+    *error = "daemon unreachable after " + std::to_string(attempts) +
+             " attempt(s) / " + std::to_string(elapsed_ms()) +
+             " ms: " + last_error;
+  }
+  return false;
+}
+
 #else  // !PNLAB_HAVE_SOCKETS
 
 std::unique_ptr<Client> Client::connect(const std::string&,
-                                        std::string* error) {
+                                        std::string* error, int) {
   if (error) *error = "unix sockets unavailable on this platform";
   return nullptr;
 }
 Client::~Client() = default;
 bool Client::call(const Request&, Response*, std::string* error) {
+  if (error) *error = "unix sockets unavailable on this platform";
+  return false;
+}
+bool Client::call_with_retry(const std::string&, const Request&,
+                             const RetryOptions&, Response*,
+                             std::string* error, int*) {
   if (error) *error = "unix sockets unavailable on this platform";
   return false;
 }

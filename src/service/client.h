@@ -1,12 +1,23 @@
-// Client side of the pncd protocol: connect, frame, round-trip.
+// Client side of the pncd protocol: connect, frame, round-trip, retry.
 //
 // Used by the `pnc_client` tool, by `pnc_analyze --connect` (which
-// falls back to in-process analysis when connect() fails — the daemon
-// is an accelerator, never a dependency), and by bench_service's
-// traffic generators.  One Client is one connection; call() may be
-// used repeatedly and is not thread-safe — give each thread its own.
+// falls back to in-process analysis when the daemon stays unreachable
+// after retries — the daemon is an accelerator, never a dependency),
+// and by bench_service's traffic generators.  One Client is one
+// connection; call() may be used repeatedly and is not thread-safe —
+// give each thread its own.
+//
+// Timeouts are end to end: connect() uses a poll-based connect timeout
+// (a wedged daemon cannot hang a client in connect(2)), and call()
+// derives SO_SNDTIMEO/SO_RCVTIMEO from the request's deadline_ms, so a
+// handler that stops answering costs the deadline, not forever.
+// call_with_retry layers jittered exponential backoff with a total
+// retry budget on top, honoring the server's retry_after_ms hints and
+// reconnecting per attempt — the client half of the fault model in
+// DESIGN.md §10.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -14,21 +25,56 @@
 
 namespace pnlab::service {
 
+/// Tunables for call_with_retry.  The defaults suit interactive CLI
+/// use: three attempts, ~2 s worst-case total.
+struct RetryOptions {
+  int max_attempts = 3;
+  std::uint32_t connect_timeout_ms = 1000;
+  std::uint32_t backoff_initial_ms = 10;
+  std::uint32_t backoff_max_ms = 500;
+  /// Total wall-clock budget across every attempt and backoff sleep;
+  /// when it runs out the call fails even if attempts remain.
+  std::uint32_t retry_budget_ms = 2000;
+  /// Seed for backoff jitter; 0 derives one from the clock.  Tests pin
+  /// it for reproducible schedules.
+  std::uint64_t jitter_seed = 0;
+};
+
 class Client {
  public:
   /// Connects to the daemon at @p socket_path.  Returns nullptr and
-  /// fills @p error (if non-null) when nothing is listening.
+  /// fills @p error (if non-null) when nothing is listening or the
+  /// poll-based timeout (@p timeout_ms; <0 = block) expires first.
   static std::unique_ptr<Client> connect(const std::string& socket_path,
-                                         std::string* error = nullptr);
+                                         std::string* error = nullptr,
+                                         int timeout_ms = -1);
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// One framed round trip.  Returns false (with @p error filled) on
   /// connection or protocol failure; a Response with ok == false is a
-  /// *successful* round trip whose request the server rejected.
+  /// *successful* round trip whose request the server rejected.  When
+  /// request.deadline_ms > 0 the socket send/receive timeouts are set
+  /// from it (plus grace for the server's own deadline response), and
+  /// an expiry fails the call with a "timed out" error.
   bool call(const Request& request, Response* response,
             std::string* error = nullptr);
+
+  /// Retrying round trip: reconnects per attempt, retries transport
+  /// failures and retryable typed statuses (RESOURCE_EXHAUSTED,
+  /// UNAVAILABLE, DEADLINE_EXCEEDED) with jittered exponential backoff
+  /// under a total budget, honoring server retry_after_ms hints.
+  /// Returns true when a round trip produced a non-retryable response
+  /// (*response may still be a typed failure like BAD_REQUEST); false
+  /// with @p error when the budget/attempts ran out first — the
+  /// "daemon unreachable" outcome callers map to exit code 4.
+  static bool call_with_retry(const std::string& socket_path,
+                              const Request& request,
+                              const RetryOptions& options,
+                              Response* response,
+                              std::string* error = nullptr,
+                              int* attempts_out = nullptr);
 
  private:
   explicit Client(int fd) : fd_(fd) {}

@@ -14,11 +14,13 @@
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
 #include "analysis/telemetry.h"
 #include "serde/wire.h"
+#include "service/fault_injection.h"
 #include "service/result_codec.h"
 
 namespace pnlab::service {
@@ -65,20 +67,69 @@ bool read_file_bytes(const fs::path& path, std::vector<std::byte>* out) {
   return true;
 }
 
-/// The atomic-write discipline: write a unique temp file in the target's
-/// own directory (rename is only atomic within a filesystem), then
-/// rename over the destination.  Readers see the old bytes or the new
-/// bytes, never a prefix.
+/// The atomic+durable write discipline: write a unique temp file in the
+/// target's own directory (rename is only atomic within a filesystem),
+/// fsync the file so its bytes reach stable storage *before* the rename
+/// publishes it, rename over the destination, then fsync the directory
+/// so the rename itself survives a power cut.  Readers see the old
+/// bytes or the new bytes, never a prefix — even across a crash.
+/// (The checksummed entry format remains the backstop: a torn entry
+/// that somehow survives is detected on load and deleted.)
 bool atomic_write(const fs::path& dest, std::span<const std::byte> bytes) {
   static std::atomic<std::uint64_t> counter{0};
 #if defined(__unix__) || defined(__APPLE__)
-  const long pid = static_cast<long>(::getpid());
-#else
-  const long pid = 0;
-#endif
   const fs::path tmp =
       dest.parent_path() /
-      (".tmp-" + std::to_string(pid) + "-" +
+      (".tmp-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+       std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  auto fail = [&] {
+    ::close(fd);
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  };
+  const char* p = reinterpret_cast<const char*>(bytes.data());
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return fail();
+    }
+    p += w;
+    left -= static_cast<std::size_t>(w);
+  }
+  if (::fsync(fd) != 0) return fail();
+  if (::close(fd) != 0) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, dest, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  // Durability of the rename: fsync the containing directory.  Failure
+  // here is not a failed write — the entry is visible and valid; it
+  // merely might not survive a crash, which the load-time checksum
+  // handles.
+  const int dir_fd = ::open(dest.parent_path().c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  // Fault injection: optionally tear the just-committed file to prove
+  // the corrupt-entry backstop turns it into a miss-and-delete.
+  fault::on_cache_entry_committed(dest.string());
+  return true;
+#else
+  const fs::path tmp =
+      dest.parent_path() /
+      (".tmp-0-" +
        std::to_string(counter.fetch_add(1, std::memory_order_relaxed)));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -98,7 +149,9 @@ bool atomic_write(const fs::path& dest, std::span<const std::byte> bytes) {
     fs::remove(tmp, ec);
     return false;
   }
+  fault::on_cache_entry_committed(dest.string());
   return true;
+#endif
 }
 
 }  // namespace

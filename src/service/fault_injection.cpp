@@ -1,0 +1,304 @@
+#include "service/fault_injection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <filesystem>
+#include <system_error>
+
+namespace pnlab::service::fault {
+
+namespace {
+
+/// One armed flag for the fast path; everything else behind a mutex —
+/// the hooks only pay for it while a schedule is armed, and injected
+/// faults are by definition not the hot path.
+std::atomic<bool> g_armed{false};
+
+struct State {
+  FaultSpec spec;
+  std::uint64_t rng = 1;
+  std::uint64_t io_calls = 0;
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+  Counters counters;
+};
+
+std::mutex g_mutex;
+State g_state;
+
+/// xorshift64* — tiny, seedable, and good enough to pick chunk sizes.
+std::uint64_t next_rand_locked() {
+  std::uint64_t x = g_state.rng;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  g_state.rng = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+/// All hooked writes go to connected sockets; MSG_NOSIGNAL turns a
+/// vanished peer into EPIPE instead of a process-killing SIGPIPE — a
+/// client that disconnects mid-response must never take the daemon (or
+/// an embedding test binary) down with it.
+ssize_t socket_write(int fd, const void* buf, std::size_t n) {
+#if defined(MSG_NOSIGNAL)
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+#else
+  return ::write(fd, buf, n);
+#endif
+}
+#endif
+
+}  // namespace
+
+std::optional<FaultSpec> parse_spec(std::string_view spec,
+                                    std::string* error) {
+  FaultSpec out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view field = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      if (error) *error = "fault spec field missing '=': " + std::string(field);
+      return std::nullopt;
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string value(field.substr(eq + 1));
+    std::int64_t n = 0;
+    try {
+      std::size_t used = 0;
+      n = std::stoll(value, &used);
+      if (used != value.size() || n < 0) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      if (error) *error = "fault spec value not a non-negative integer: " +
+                          std::string(field);
+      return std::nullopt;
+    }
+    if (key == "seed") {
+      out.seed = static_cast<std::uint64_t>(n);
+    } else if (key == "short_io") {
+      out.short_io = static_cast<std::uint32_t>(n);
+    } else if (key == "eintr_every") {
+      out.eintr_every = static_cast<std::uint32_t>(n);
+    } else if (key == "read_eof_after") {
+      out.read_eof_after = n;
+    } else if (key == "write_fail_after") {
+      out.write_fail_after = n;
+    } else if (key == "accept_fail") {
+      out.accept_fail = static_cast<std::uint32_t>(n);
+    } else if (key == "bind_eaddrinuse") {
+      out.bind_eaddrinuse = static_cast<std::uint32_t>(n);
+    } else if (key == "torn_store_at") {
+      out.torn_store_at = n;
+    } else if (key == "kill_at_request") {
+      out.kill_at_request = static_cast<std::uint32_t>(n);
+    } else if (key == "delay_ms") {
+      out.delay_ms = static_cast<std::uint32_t>(n);
+    } else {
+      if (error) *error = "unknown fault spec key: " + std::string(key);
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_state = State{};
+  g_state.spec = spec;
+  g_state.rng = spec.seed ? spec.seed : 1;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed.store(false, std::memory_order_release);
+  g_state = State{};
+}
+
+bool arm_from_env(std::string* error) {
+  const char* env = std::getenv("PNC_FAULT_SPEC");
+  if (env == nullptr || *env == '\0') return true;
+  const std::optional<FaultSpec> spec = parse_spec(env, error);
+  if (!spec) return false;
+  arm(*spec);
+  return true;
+}
+
+Counters counters() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_state.counters;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+ssize_t hooked_read(int fd, void* buf, std::size_t n) {
+  if (!armed()) return ::read(fd, buf, n);
+  std::size_t cap = n;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const FaultSpec& spec = g_state.spec;
+    ++g_state.counters.reads;
+    ++g_state.io_calls;
+    if (spec.eintr_every > 0 && g_state.io_calls % spec.eintr_every == 0) {
+      ++g_state.counters.eintrs;
+      errno = EINTR;
+      return -1;
+    }
+    if (spec.read_eof_after >= 0 &&
+        g_state.bytes_read >= spec.read_eof_after) {
+      ++g_state.counters.forced_eofs;
+      return 0;  // the peer is gone: a torn frame
+    }
+    if (spec.short_io > 0) {
+      cap = std::min<std::size_t>(
+          cap, 1 + next_rand_locked() % spec.short_io);
+    }
+    if (spec.read_eof_after >= 0) {
+      cap = std::min<std::size_t>(
+          cap, static_cast<std::size_t>(spec.read_eof_after -
+                                        g_state.bytes_read));
+      if (cap == 0) {
+        ++g_state.counters.forced_eofs;
+        return 0;
+      }
+    }
+  }
+  const ssize_t r = ::read(fd, buf, cap);
+  if (r > 0) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_state.bytes_read += r;
+  }
+  return r;
+}
+
+ssize_t hooked_write(int fd, const void* buf, std::size_t n) {
+  if (!armed()) return socket_write(fd, buf, n);
+  std::size_t cap = n;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const FaultSpec& spec = g_state.spec;
+    ++g_state.counters.writes;
+    ++g_state.io_calls;
+    if (spec.eintr_every > 0 && g_state.io_calls % spec.eintr_every == 0) {
+      ++g_state.counters.eintrs;
+      errno = EINTR;
+      return -1;
+    }
+    if (spec.write_fail_after >= 0 &&
+        g_state.bytes_written >= spec.write_fail_after) {
+      ++g_state.counters.forced_write_errors;
+      errno = EPIPE;
+      return -1;
+    }
+    if (spec.short_io > 0) {
+      cap = std::min<std::size_t>(
+          cap, 1 + next_rand_locked() % spec.short_io);
+    }
+    if (spec.write_fail_after >= 0) {
+      cap = std::min<std::size_t>(
+          cap, static_cast<std::size_t>(spec.write_fail_after -
+                                        g_state.bytes_written));
+      if (cap == 0) {
+        ++g_state.counters.forced_write_errors;
+        errno = EPIPE;
+        return -1;
+      }
+    }
+  }
+  const ssize_t r = socket_write(fd, buf, cap);
+  if (r > 0) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_state.bytes_written += r;
+  }
+  return r;
+}
+
+#else  // !unix
+
+ssize_t hooked_read(int, void*, std::size_t) {
+  errno = ENOSYS;
+  return -1;
+}
+ssize_t hooked_write(int, const void*, std::size_t) {
+  errno = ENOSYS;
+  return -1;
+}
+
+#endif
+
+bool inject_accept_failure(int* errno_out) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_state.spec.accept_fail == 0) return false;
+  --g_state.spec.accept_fail;
+  ++g_state.counters.accept_failures;
+  if (errno_out) *errno_out = ECONNABORTED;
+  return true;
+}
+
+bool inject_bind_failure(int* errno_out) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_state.spec.bind_eaddrinuse == 0) return false;
+  --g_state.spec.bind_eaddrinuse;
+  ++g_state.counters.bind_failures;
+  if (errno_out) *errno_out = EADDRINUSE;
+  return true;
+}
+
+void on_cache_entry_committed(const std::string& path) {
+  if (!armed()) return;
+  std::int64_t at = -1;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    at = g_state.spec.torn_store_at;
+    if (at >= 0) ++g_state.counters.torn_stores;
+  }
+  if (at < 0) return;
+  std::error_code ec;
+  std::filesystem::resize_file(path, static_cast<std::uintmax_t>(at), ec);
+}
+
+void on_analysis_request() {
+  if (!armed()) return;
+  std::uint32_t delay = 0;
+  bool kill_now = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    ++g_state.counters.analysis_requests;
+    delay = g_state.spec.delay_ms;
+    kill_now = g_state.spec.kill_at_request > 0 &&
+               g_state.counters.analysis_requests >=
+                   g_state.spec.kill_at_request;
+  }
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  if (kill_now) {
+    // The crash the supervisor exists for: no unwinding, no flushing —
+    // the process is simply gone mid-request.
+    std::raise(SIGKILL);
+  }
+}
+
+}  // namespace pnlab::service::fault

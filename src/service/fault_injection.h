@@ -1,0 +1,109 @@
+// Deterministic fault injection for the analysis service.
+//
+// The service's robustness claims (DESIGN.md §10) are measured, not
+// assumed: every failure mode the fault model names — short reads and
+// writes, EINTR storms, torn frames, accept failures, a worker dying
+// mid-request, a disk-cache entry torn at byte N — can be forced on
+// demand, deterministically, from a seeded spec.  The chaos test suite
+// and the bench_service kill loop drive the service through these
+// schedules and assert byte-identical output and zero lost responses.
+//
+// The hooks are compiled in but inert by default: every hook's fast
+// path is one relaxed atomic load of an "armed" flag, so production
+// binaries pay nothing measurable.  Arming happens through the test
+// API (`arm`/`disarm`) or the `PNC_FAULT_SPEC` environment variable,
+// a `key=value;key=value` list:
+//
+//   seed=N             PRNG seed for randomized chunk sizes (default 1)
+//   short_io=K         cap each hooked socket read/write to 1..K bytes
+//   eintr_every=N      every Nth hooked IO call fails once with EINTR
+//   read_eof_after=N   hooked reads return EOF after N total bytes
+//                      (a torn frame: the peer vanished mid-message)
+//   write_fail_after=N hooked writes fail with EPIPE after N total bytes
+//   accept_fail=N      the next N accept(2) calls fail with ECONNABORTED
+//   bind_eaddrinuse=N  the next N bind(2) calls fail with EADDRINUSE
+//   torn_store_at=N    truncate disk-cache entry files at byte N right
+//                      after their atomic commit (a power cut that kept
+//                      the rename but lost the data blocks)
+//   kill_at_request=K  raise SIGKILL when analysis request #K starts
+//                      (counted per process — a crashing worker)
+//   delay_ms=N         sleep N ms before handling each analysis request
+//                      (a wedged handler, for deadline/shedding tests)
+//
+// All counters are per-process.  The spec is process-global: workers
+// forked by the supervisor arm their own copy from
+// SupervisorOptions::worker_fault_spec, so the router and its workers
+// can run different schedules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include <sys/types.h>
+
+namespace pnlab::service::fault {
+
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  std::uint32_t short_io = 0;
+  std::uint32_t eintr_every = 0;
+  std::int64_t read_eof_after = -1;
+  std::int64_t write_fail_after = -1;
+  std::uint32_t accept_fail = 0;
+  std::uint32_t bind_eaddrinuse = 0;
+  std::int64_t torn_store_at = -1;
+  std::uint32_t kill_at_request = 0;
+  std::uint32_t delay_ms = 0;
+};
+
+/// Parses the `key=value;...` grammar above.  Returns nullopt and fills
+/// @p error (if non-null) on an unknown key or a malformed value.
+std::optional<FaultSpec> parse_spec(std::string_view spec,
+                                    std::string* error = nullptr);
+
+/// True when a spec is armed.  One relaxed atomic load — the only cost
+/// every hook pays when fault injection is off.
+bool armed();
+void arm(const FaultSpec& spec);
+void disarm();
+/// Arms from $PNC_FAULT_SPEC when set (daemon entry points call this).
+/// Returns false and fills @p error on a malformed spec.
+bool arm_from_env(std::string* error = nullptr);
+
+/// Injection counters, for tests asserting a schedule actually fired.
+struct Counters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t eintrs = 0;
+  std::uint64_t forced_eofs = 0;
+  std::uint64_t forced_write_errors = 0;
+  std::uint64_t accept_failures = 0;
+  std::uint64_t bind_failures = 0;
+  std::uint64_t torn_stores = 0;
+  std::uint64_t analysis_requests = 0;
+};
+Counters counters();
+
+// --- Hook points -----------------------------------------------------------
+// Each behaves exactly like the plain syscall when disarmed.
+
+/// read(2) with injected EINTR, short chunks, and forced EOF.
+ssize_t hooked_read(int fd, void* buf, std::size_t n);
+/// Socket write with injected EINTR, short chunks, and forced EPIPE.
+/// Uses MSG_NOSIGNAL, so a peer that vanished mid-response surfaces as
+/// an EPIPE error to unwind from — never a process-killing SIGPIPE.
+ssize_t hooked_write(int fd, const void* buf, std::size_t n);
+/// True when this accept(2) call should fail; *errno_out gets the errno.
+bool inject_accept_failure(int* errno_out);
+/// True when this bind(2) call should fail; *errno_out gets the errno.
+bool inject_bind_failure(int* errno_out);
+/// Called after a disk-cache entry file is atomically committed;
+/// truncates it at `torn_store_at` to simulate a post-rename power cut.
+void on_cache_entry_committed(const std::string& path);
+/// Called as the server starts handling an analysis request: applies
+/// `delay_ms`, and raises SIGKILL on request number `kill_at_request`.
+void on_analysis_request();
+
+}  // namespace pnlab::service::fault

@@ -4,9 +4,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
+#include <utility>
 
 #include "serde/wire.h"
 #include "service/disk_cache.h"
+#include "service/fault_injection.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PNLAB_HAVE_SOCKETS 1
@@ -16,24 +19,72 @@
 
 namespace pnlab::service {
 
-std::vector<std::byte> encode_request(const Request& request) {
+bool status_retryable(StatusCode status) {
+  return status == StatusCode::kDeadlineExceeded ||
+         status == StatusCode::kResourceExhausted ||
+         status == StatusCode::kUnavailable;
+}
+
+const char* status_name(StatusCode status) {
+  switch (status) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kBadRequest:
+      return "BAD_REQUEST";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+Response error_response(StatusCode status, std::string message,
+                        std::uint32_t retry_after_ms) {
+  Response response;
+  response.ok = false;
+  response.status = status;
+  response.exit_code = 2;
+  response.retry_after_ms = retry_after_ms;
+  response.error = std::move(message);
+  return response;
+}
+
+namespace {
+
+void check_version(std::uint32_t version) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
+    throw serde::WireError("protocol version mismatch: " +
+                           std::to_string(version));
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_request(const Request& request,
+                                      std::uint32_t version) {
+  check_version(version);
   serde::ByteWriter w;
-  w.u32(kProtocolVersion);
+  w.u32(version);
   w.u8(static_cast<std::uint8_t>(request.kind));
   w.u8(static_cast<std::uint8_t>(request.format));
   w.u8(request.use_cache ? 1 : 0);
+  if (version >= 2) w.u32(request.deadline_ms);
   w.u32(static_cast<std::uint32_t>(request.paths.size()));
   for (const std::string& path : request.paths) w.str32(path);
   return w.take();
 }
 
-Request decode_request(std::span<const std::byte> payload) {
+Request decode_request(std::span<const std::byte> payload,
+                       std::uint32_t* version_out) {
   serde::ByteReader r(payload);
   const std::uint32_t version = r.u32();
-  if (version != kProtocolVersion) {
-    throw serde::WireError("protocol version mismatch: " +
-                           std::to_string(version));
-  }
+  check_version(version);
+  if (version_out) *version_out = version;
   Request request;
   const std::uint8_t kind = r.u8();
   if (kind < static_cast<std::uint8_t>(RequestKind::kPing) ||
@@ -47,6 +98,9 @@ Request decode_request(std::span<const std::byte> payload) {
   }
   request.format = static_cast<OutputFormat>(format);
   request.use_cache = r.u8() != 0;
+  // v1 requests carry no deadline: they get the old "wait forever"
+  // semantics rather than a decode error.
+  request.deadline_ms = version >= 2 ? r.u32() : 0;
   const std::uint32_t count = r.u32();
   // Each path costs at least its 4-byte length prefix, so a count the
   // remaining payload cannot possibly hold is malformed.  Checked
@@ -64,11 +118,17 @@ Request decode_request(std::span<const std::byte> payload) {
   return request;
 }
 
-std::vector<std::byte> encode_response(const Response& response) {
+std::vector<std::byte> encode_response(const Response& response,
+                                       std::uint32_t version) {
+  check_version(version);
   serde::ByteWriter w;
-  w.u32(kProtocolVersion);
+  w.u32(version);
   w.u8(response.ok ? 1 : 0);
   w.u8(response.exit_code);
+  if (version >= 2) {
+    w.u8(static_cast<std::uint8_t>(response.status));
+    w.u32(response.retry_after_ms);
+  }
   w.str32(response.error);
   w.str32(response.body);
   w.u64(response.stats.files);
@@ -84,13 +144,21 @@ std::vector<std::byte> encode_response(const Response& response) {
 Response decode_response(std::span<const std::byte> payload) {
   serde::ByteReader r(payload);
   const std::uint32_t version = r.u32();
-  if (version != kProtocolVersion) {
-    throw serde::WireError("protocol version mismatch: " +
-                           std::to_string(version));
-  }
+  check_version(version);
   Response response;
   response.ok = r.u8() != 0;
   response.exit_code = r.u8();
+  if (version >= 2) {
+    const std::uint8_t status = r.u8();
+    if (status > static_cast<std::uint8_t>(StatusCode::kUnavailable)) {
+      throw serde::WireError("unknown status code: " + std::to_string(status));
+    }
+    response.status = static_cast<StatusCode>(status);
+    response.retry_after_ms = r.u32();
+  } else {
+    // v1 carried only the boolean; synthesize the closest typed code.
+    response.status = response.ok ? StatusCode::kOk : StatusCode::kInternal;
+  }
   response.error = r.str32();
   response.body = r.str32();
   response.stats.files = r.u64();
@@ -113,14 +181,17 @@ namespace {
 std::size_t read_exact(int fd, void* buf, std::size_t n) {
   std::size_t got = 0;
   while (got < n) {
-    const ssize_t r = ::read(fd, static_cast<char*>(buf) + got, n - got);
+    const ssize_t r =
+        fault::hooked_read(fd, static_cast<char*>(buf) + got, n - got);
     if (r == 0) {
       if (got == 0) return 0;
       throw std::runtime_error("connection closed mid-frame");
     }
     if (r < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("read: ") + std::strerror(errno));
+      // system_error so callers can distinguish a SO_RCVTIMEO expiry
+      // (EAGAIN/EWOULDBLOCK) from a reset or closed peer.
+      throw std::system_error(errno, std::generic_category(), "read");
     }
     got += static_cast<std::size_t>(r);
   }
@@ -130,11 +201,11 @@ std::size_t read_exact(int fd, void* buf, std::size_t n) {
 void write_all(int fd, const void* buf, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t r =
-        ::write(fd, static_cast<const char*>(buf) + sent, n - sent);
+    const ssize_t r = fault::hooked_write(
+        fd, static_cast<const char*>(buf) + sent, n - sent);
     if (r < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("write: ") + std::strerror(errno));
+      throw std::system_error(errno, std::generic_category(), "write");
     }
     sent += static_cast<std::size_t>(r);
   }

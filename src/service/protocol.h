@@ -16,6 +16,14 @@
 // errors (bad magic, truncated payload, unknown kind) close the
 // connection; per-file analysis problems do not — they travel inside a
 // successful response, exactly like the CLI's per-file error records.
+//
+// Version 2 adds the fault-tolerance fields (DESIGN.md §10): requests
+// carry an end-to-end `deadline_ms` budget, responses carry a typed
+// `StatusCode` (DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED, UNAVAILABLE, …)
+// plus a `retry_after_ms` backoff hint for retryable rejections.  The
+// server still accepts version-1 requests and answers them in the
+// version-1 layout, so old clients keep working — they just cannot set
+// deadlines or see the typed fields.
 #pragma once
 
 #include <cstddef>
@@ -26,7 +34,9 @@
 
 namespace pnlab::service {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
+/// Oldest request/response layout the codecs still speak.
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 /// Hard ceiling on one frame's payload (requests are path lists and
 /// responses are JSON/SARIF documents; 64 MiB is generous for both).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
@@ -41,10 +51,30 @@ enum class RequestKind : std::uint8_t {
 
 enum class OutputFormat : std::uint8_t { kJson = 0, kSarif = 1, kText = 2 };
 
+/// Typed response outcome (v2).  kOk is the only success; the three
+/// retryable codes tell clients the request itself was fine and a
+/// backoff-retry is worthwhile; the rest are terminal for this request.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,         ///< malformed/invalid request (terminal)
+  kInternal = 2,           ///< server-side failure (terminal)
+  kDeadlineExceeded = 3,   ///< the request's deadline_ms budget elapsed
+  kResourceExhausted = 4,  ///< shed under overload; honor retry_after_ms
+  kUnavailable = 5,        ///< no healthy worker/shard could serve it
+};
+
+/// True for the statuses a client should retry with backoff.
+bool status_retryable(StatusCode status);
+const char* status_name(StatusCode status);
+
 struct Request {
   RequestKind kind = RequestKind::kPing;
   OutputFormat format = OutputFormat::kJson;
   bool use_cache = true;  ///< false: bypass both cache layers
+  /// End-to-end budget in milliseconds; 0 = none.  The server measures
+  /// from frame arrival and answers kDeadlineExceeded instead of doing
+  /// (or returning) late work; clients derive socket timeouts from it.
+  std::uint32_t deadline_ms = 0;
   std::vector<std::string> paths;
 };
 
@@ -62,25 +92,46 @@ struct ResponseStats {
 
 struct Response {
   bool ok = false;        ///< request understood and executed
+  StatusCode status = StatusCode::kInternal;  ///< typed outcome (v2)
   std::uint8_t exit_code = 0;  ///< mirrors pnc_analyze: 0 clean, 1
                                ///< findings/parse errors, 2 server
                                ///< error, 3 read errors
+  /// Backoff hint for kResourceExhausted/kUnavailable; 0 = none.
+  std::uint32_t retry_after_ms = 0;
   std::string error;      ///< reason when !ok
   std::string body;       ///< rendered JSON/SARIF/text output
   ResponseStats stats;
 };
 
+/// Builds a typed failure response in one line.
+Response error_response(StatusCode status, std::string message,
+                        std::uint32_t retry_after_ms = 0);
+
 /// Payload codecs.  Decoders throw serde::WireError on any malformed
-/// input — truncation, unknown version, out-of-range enums.
-std::vector<std::byte> encode_request(const Request& request);
-Request decode_request(std::span<const std::byte> payload);
-std::vector<std::byte> encode_response(const Response& response);
+/// input — truncation, unknown version, out-of-range enums.  Both
+/// decoders accept every version in [kMinProtocolVersion,
+/// kProtocolVersion]; encoders take the version to emit so a server can
+/// answer a v1 client in the v1 layout.  decode_request reports the
+/// version it saw through @p version_out (when non-null) so the
+/// response can match it.
+std::vector<std::byte> encode_request(const Request& request,
+                                      std::uint32_t version =
+                                          kProtocolVersion);
+Request decode_request(std::span<const std::byte> payload,
+                       std::uint32_t* version_out = nullptr);
+std::vector<std::byte> encode_response(const Response& response,
+                                       std::uint32_t version =
+                                           kProtocolVersion);
 Response decode_response(std::span<const std::byte> payload);
 
 /// Blocking framed IO on a connected socket fd.  read_frame returns
 /// false on clean EOF before any byte (peer closed between messages)
-/// and throws std::runtime_error on short reads, IO errors, or an
-/// oversized frame; write_frame throws on IO errors.
+/// and throws on short reads, IO errors, or an oversized frame;
+/// write_frame throws on IO errors.  IO errors surface as
+/// std::system_error carrying the errno (so callers can tell a
+/// SO_RCVTIMEO timeout from a reset peer); truncation and oversize are
+/// plain std::runtime_error.  Both route through the fault-injection
+/// hooks (fault_injection.h), which are inert unless armed.
 bool read_frame(int fd, std::vector<std::byte>* payload);
 void write_frame(int fd, std::span<const std::byte> payload);
 

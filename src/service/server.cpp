@@ -13,6 +13,7 @@
 
 #include "analysis/telemetry.h"
 #include "serde/wire.h"
+#include "service/fault_injection.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PNLAB_HAVE_SOCKETS 1
@@ -29,9 +30,21 @@ using analysis::DriverOptions;
 using analysis::MappedBuffer;
 using analysis::SourceFile;
 
+namespace {
+
+std::size_t default_max_inflight() {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::max<std::size_t>(8, hw * 4);
+}
+
+}  // namespace
+
 Server::Server(ServerOptions options) : options_(std::move(options)) {
+  max_inflight_ = options_.max_inflight > 0 ? options_.max_inflight
+                                            : default_max_inflight();
   memory_cache_ = std::make_shared<analysis::ResultCache>();
   memory_cache_->set_max_entries(options_.driver.cache_max_entries);
+  options_.driver.shard_id = options_.shard_id;
   if (!options_.cache_dir.empty()) {
     DiskCacheOptions disk;
     disk.dir = options_.cache_dir;
@@ -100,14 +113,28 @@ void fill_stats(const BatchResult& batch, ResponseStats* stats) {
   stats->cache_misses = batch.stats.cache.misses - batch.stats.disk_hits;
 }
 
+/// Milliseconds elapsed since @p arrival.
+std::uint64_t elapsed_ms_since(std::chrono::steady_clock::time_point arrival) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - arrival)
+          .count());
+}
+
 }  // namespace
 
 Response Server::handle(const Request& request) {
+  return handle(request, std::chrono::steady_clock::now());
+}
+
+Response Server::handle(const Request& request,
+                        std::chrono::steady_clock::time_point arrival) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   Response response;
   switch (request.kind) {
     case RequestKind::kPing: {
       response.ok = true;
+      response.status = StatusCode::kOk;
       response.body = "pong";
       return response;
     }
@@ -116,6 +143,10 @@ Response Server::handle(const Request& request) {
       std::ostringstream os;
       os << "{\n"
          << "  \"requests_served\": " << requests_served() << ",\n"
+         << "  \"requests_shed\": " << requests_shed() << ",\n"
+         << "  \"deadline_rejects\": " << deadline_rejects() << ",\n"
+         << "  \"max_inflight\": " << max_inflight_ << ",\n"
+         << "  \"shard_id\": " << options_.shard_id << ",\n"
          << "  \"memory_cache\": {\"entries\": " << memory_cache_->size()
          << ", \"hits\": " << mem.hits << ", \"misses\": " << mem.misses
          << ", \"evictions\": " << mem.evictions << "},\n"
@@ -132,11 +163,13 @@ Response Server::handle(const Request& request) {
       }
       os << "\n}\n";
       response.ok = true;
+      response.status = StatusCode::kOk;
       response.body = os.str();
       return response;
     }
     case RequestKind::kShutdown: {
       response.ok = true;
+      response.status = StatusCode::kOk;
       response.body = "stopping";
       return response;  // the connection handler triggers the stop
     }
@@ -145,9 +178,48 @@ Response Server::handle(const Request& request) {
       break;
   }
 
-  // Analysis requests: a per-request driver wired into the shared
-  // memory cache and the disk layer.  Building a driver is cheap; the
-  // caches are where the state lives.
+  // --- Analysis requests: overload shedding, deadline, then work. ---
+
+  // Shedding before anything else: past the high-water mark the cheap
+  // and honest answer is an immediate typed rejection with a backoff
+  // hint, not another handler thread deepening the pile-up.
+  const std::size_t inflight =
+      inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  struct InflightGuard {
+    std::atomic<std::size_t>* counter;
+    ~InflightGuard() { counter->fetch_sub(1, std::memory_order_acq_rel); }
+  } inflight_guard{&inflight_};
+  if (inflight > max_inflight_) {
+    requests_shed_.fetch_add(1, std::memory_order_relaxed);
+    PN_INSTANT("service_shed", "");
+    // Hint scaled by how deep past the mark we are: the further over,
+    // the longer clients should stay away.
+    const std::uint32_t hint = static_cast<std::uint32_t>(
+        std::min<std::size_t>(1000, 25 * (inflight - max_inflight_)));
+    return error_response(
+        StatusCode::kResourceExhausted,
+        "overloaded: " + std::to_string(inflight) + " in-flight requests (max " +
+            std::to_string(max_inflight_) + ")",
+        hint);
+  }
+
+  // Fault-injection hook: a wedged or crashing handler, on demand.
+  fault::on_analysis_request();
+
+  // Deadline pre-check: work whose budget already elapsed (queueing,
+  // injected delay, a paused process) is rejected before it starts.
+  if (request.deadline_ms > 0 &&
+      elapsed_ms_since(arrival) >= request.deadline_ms) {
+    deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(
+        StatusCode::kDeadlineExceeded,
+        "deadline of " + std::to_string(request.deadline_ms) +
+            " ms elapsed before analysis started");
+  }
+
+  // A per-request driver wired into the shared memory cache and the
+  // disk layer.  Building a driver is cheap; the caches are where the
+  // state lives.
   DriverOptions driver_options = options_.driver;
   driver_options.shared_cache = memory_cache_;
   driver_options.secondary_cache =
@@ -159,16 +231,14 @@ Response Server::handle(const Request& request) {
     BatchResult batch;
     if (request.kind == RequestKind::kAnalyzeDir) {
       if (request.paths.size() != 1) {
-        response.exit_code = 2;
-        response.error = "analyze-dir takes exactly one path";
-        return response;
+        return error_response(StatusCode::kBadRequest,
+                              "analyze-dir takes exactly one path");
       }
       batch = driver.run_directory(request.paths[0]);
     } else {
       if (request.paths.empty()) {
-        response.exit_code = 2;
-        response.error = "analyze-files takes at least one path";
-        return response;
+        return error_response(StatusCode::kBadRequest,
+                              "analyze-files takes at least one path");
       }
       const MappedBuffer::Ingestion mode =
           driver_options.mmap_ingestion ? MappedBuffer::Ingestion::kAuto
@@ -207,14 +277,26 @@ Response Server::handle(const Request& request) {
         batch.stats.files = batch.files.size();
       }
     }
+    // Deadline post-check: the client has already given up on a result
+    // this late, so answer with the typed status instead of a body it
+    // will ignore.  The work is not wasted — it is in the caches now,
+    // so the client's retry is a hit.
+    if (request.deadline_ms > 0 &&
+        elapsed_ms_since(arrival) >= request.deadline_ms) {
+      deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return error_response(
+          StatusCode::kDeadlineExceeded,
+          "analysis finished after the " +
+              std::to_string(request.deadline_ms) +
+              " ms deadline (result cached for retry)");
+    }
     response.ok = true;
+    response.status = StatusCode::kOk;
     response.exit_code = exit_code_for(batch);
     response.body = render(batch, request.format);
     fill_stats(batch, &response.stats);
   } catch (const std::exception& e) {
-    response.ok = false;
-    response.exit_code = 2;
-    response.error = e.what();
+    return error_response(StatusCode::kInternal, e.what());
   }
   return response;
 }
@@ -254,6 +336,16 @@ bool socket_is_live(const std::string& path) {
   return live;
 }
 
+/// bind(2) with the fault-injection hook in front.
+int bind_socket(int fd, const sockaddr_un& addr) {
+  int injected = 0;
+  if (fault::inject_bind_failure(&injected)) {
+    errno = injected;
+    return -1;
+  }
+  return ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+}
+
 }  // namespace
 
 bool Server::start(std::string* error) {
@@ -279,9 +371,25 @@ bool Server::start(std::string* error) {
     if (error) *error = std::string("socket: ") + std::strerror(errno);
     return false;
   }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
+  int rc = bind_socket(listen_fd_, addr);
+  if (rc != 0 && errno == EADDRINUSE) {
+    // A socket file appeared (or survived) between the staleness probe
+    // and bind — e.g. a predecessor SIGKILLed after our exists() check.
+    // Probe again: when nothing answers, the file is debris from a dead
+    // process; unlink it and claim the address.  When something does
+    // answer, a live daemon won the race and we must not evict it.
+    if (socket_is_live(options_.socket_path)) {
+      if (error) {
+        *error = "a pncd is already listening on " + options_.socket_path;
+      }
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    fs::remove(options_.socket_path, ec);
+    rc = bind_socket(listen_fd_, addr);
+  }
+  if (rc != 0 || ::listen(listen_fd_, 64) != 0) {
     if (error) {
       *error = options_.socket_path + ": " + std::strerror(errno);
     }
@@ -294,7 +402,13 @@ bool Server::start(std::string* error) {
 
 void Server::serve() {
   while (!stop_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int injected = 0;
+    int fd = -1;
+    if (fault::inject_accept_failure(&injected)) {
+      errno = injected;
+    } else {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    }
     if (fd < 0) {
       if (stop_.load(std::memory_order_acquire)) break;
       // Transient per-connection failures must not shut the daemon
@@ -343,24 +457,44 @@ void Server::request_stop() {
 void Server::handle_connection(int fd) {
   PN_INSTANT("service_connection", "");
   std::vector<std::byte> payload;
+  std::uint64_t frames = 0;
   try {
     while (read_frame(fd, &payload)) {
+      const auto arrival = std::chrono::steady_clock::now();
+      // Every frame costs the connection budget, valid or not — the
+      // budget is an overload control, and malformed frames are not
+      // cheaper to reject than pings are to answer.
+      if (options_.max_frames_per_connection > 0 &&
+          ++frames > options_.max_frames_per_connection) {
+        requests_shed_.fetch_add(1, std::memory_order_relaxed);
+        const Response shed = error_response(
+            StatusCode::kResourceExhausted,
+            "per-connection frame budget of " +
+                std::to_string(options_.max_frames_per_connection) +
+                " exhausted; reconnect to continue",
+            50);
+        write_frame(fd, encode_response(shed));
+        break;  // close: the budget resets with the connection
+      }
       bool shutdown_after = false;
+      std::uint32_t version = kProtocolVersion;
       Response response;
       try {
-        const Request request = decode_request(payload);
-        response = handle(request);
+        const Request request = decode_request(payload, &version);
+        response = handle(request, arrival);
         shutdown_after = request.kind == RequestKind::kShutdown;
       } catch (const serde::WireError& e) {
         // Malformed request payload: answer once, then drop the
-        // connection — framing may be out of sync.
-        response.ok = false;
-        response.exit_code = 2;
-        response.error = std::string("bad request: ") + e.what();
+        // connection — framing may be out of sync.  The version the
+        // peer attempted may itself be the malformed part, so answer
+        // in the newest layout we speak.
+        response = error_response(StatusCode::kBadRequest,
+                                  std::string("bad request: ") + e.what());
         write_frame(fd, encode_response(response));
         break;
       }
-      write_frame(fd, encode_response(response));
+      // Answer v1 clients in the v1 layout: old clients still accepted.
+      write_frame(fd, encode_response(response, version));
       if (shutdown_after) {
         request_stop();
         break;

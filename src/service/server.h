@@ -15,9 +15,20 @@
 // blocks a ping on another.  Shutdown (request or signal) stops the
 // accept loop, drains in-flight handlers, persists the cache index, and
 // unlinks the socket.
+//
+// Fault model (DESIGN.md §10): requests carry an end-to-end deadline
+// the server enforces (late work is answered with a typed
+// DEADLINE_EXCEEDED, never silently returned stale), analysis
+// concurrency is bounded by a high-water mark beyond which requests are
+// immediately shed with RESOURCE_EXHAUSTED + a retry_after_ms hint
+// (bounded thread count, bounded queueing delay — not unbounded handler
+// pileup), each connection has a frame budget so one hog cannot
+// monopolize the daemon forever, and a stale socket file left by a
+// SIGKILLed predecessor is probed and reclaimed at bind time.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -39,6 +50,16 @@ struct ServerOptions {
   /// memory cache entry cap).  `shared_cache`/`secondary_cache` are
   /// overwritten per request — the server wires its own layers in.
   analysis::DriverOptions driver;
+  /// High-water mark on concurrently executing analysis requests; past
+  /// it the server answers RESOURCE_EXHAUSTED immediately instead of
+  /// spawning more work.  0 = auto (4 × hardware threads, min 8).
+  std::size_t max_inflight = 0;
+  /// Frames one connection may send before it is answered
+  /// RESOURCE_EXHAUSTED and closed; 0 = unbounded.
+  std::uint64_t max_frames_per_connection = 1u << 20;
+  /// Shard identity when run under the supervisor (propagated into
+  /// driver stats and the stats JSON); -1 = unsharded.
+  int shard_id = -1;
 };
 
 class Server {
@@ -49,7 +70,8 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Binds and listens.  Replaces a stale socket file (one nothing
-  /// accepts on); refuses to start when a live pncd already answers.
+  /// accepts on) whether it is noticed before bind or via EADDRINUSE
+  /// from bind itself; refuses to start when a live pncd answers.
   bool start(std::string* error);
   /// Blocks in the accept loop until request_stop(); drains in-flight
   /// connections and persists the disk-cache index before returning.
@@ -60,25 +82,40 @@ class Server {
 
   /// One Response for one Request, bypassing the socket — the unit
   /// tests and the in-process fallback exercise exactly the dispatch
-  /// the wire path uses.
+  /// the wire path uses.  @p arrival is when the request was received
+  /// (deadline_ms counts from it); the overload without it uses now.
   Response handle(const Request& request);
+  Response handle(const Request& request,
+                  std::chrono::steady_clock::time_point arrival);
 
   const std::string& socket_path() const { return options_.socket_path; }
   const DiskCache* disk_cache() const { return disk_cache_.get(); }
   std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  std::uint64_t requests_shed() const {
+    return requests_shed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deadline_rejects() const {
+    return deadline_rejects_.load(std::memory_order_relaxed);
+  }
+  /// The effective analysis-concurrency high-water mark.
+  std::size_t max_inflight() const { return max_inflight_; }
 
  private:
   void handle_connection(int fd);
 
   ServerOptions options_;
+  std::size_t max_inflight_ = 0;
   std::shared_ptr<analysis::ResultCache> memory_cache_;
   std::unique_ptr<DiskCache> disk_cache_;
 
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
+  std::atomic<std::uint64_t> deadline_rejects_{0};
+  std::atomic<std::size_t> inflight_{0};
 
   std::mutex drain_mutex_;
   std::condition_variable drained_;

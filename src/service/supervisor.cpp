@@ -1,0 +1,681 @@
+#include "service/supervisor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/driver.h"
+#include "serde/wire.h"
+#include "service/fault_injection.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PNLAB_HAVE_SOCKETS 1
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace pnlab::service {
+
+#if PNLAB_HAVE_SOCKETS
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool fill_sockaddr(const std::string& path, sockaddr_un* addr,
+                   std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (error) *error = "socket path empty or too long: " + path;
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// connect(2) with a poll-based timeout; returns the fd or -1.
+int connect_unix(const std::string& path, int timeout_ms) {
+  sockaddr_un addr{};
+  if (!fill_sockaddr(path, &addr, nullptr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    rc = so_error == 0 ? 0 : -1;
+  }
+  if (rc != 0) {
+    ::close(fd);
+    return -1;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
+bool socket_is_live(const std::string& path) {
+  const int fd = connect_unix(path, 100);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+/// Rendezvous weight: every (routing key, shard) pair gets a
+/// well-mixed pseudo-random weight, and a key goes to the live shard
+/// with the highest one.  Shards leaving or returning only move the
+/// keys they win — no global reshuffle on membership change.
+std::uint64_t rendezvous_weight(std::uint64_t key, std::uint64_t shard) {
+  std::uint64_t h = key ^ (shard * 0x9e3779b97f4a7c15ull);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+/// The routing key: FNV-1a over the request's sorted path list.  An
+/// IO-free proxy for the content hash — the router must not read file
+/// bytes to route — that keeps repeat requests for the same inputs on
+/// the same shard (warm memory cache).  Placement is correctness-
+/// neutral either way: every worker shares the disk cache.
+std::uint64_t routing_key(const Request& request) {
+  std::vector<std::string> sorted = request.paths;
+  std::sort(sorted.begin(), sorted.end());
+  std::string canon;
+  for (const std::string& p : sorted) {
+    canon += p;
+    canon += '\0';
+  }
+  return analysis::fnv1a(canon);
+}
+
+/// The worker half of spawn_worker, run in the forked child.  Never
+/// returns.
+[[noreturn]] void worker_main(const SupervisorOptions& options,
+                              const std::string& shard_socket, int index) {
+  // Only the forking thread exists here.  Drop every inherited fd
+  // (router listener, client connections, worker links) — the worker
+  // builds its own socket and must not hold peers' connections open.
+  long max_fd = ::sysconf(_SC_OPEN_MAX);
+  if (max_fd <= 0 || max_fd > 4096) max_fd = 4096;
+  for (int fd = 3; fd < static_cast<int>(max_fd); ++fd) ::close(fd);
+
+  // The parent's fault schedule is the router's, not ours; workers run
+  // their own (the chaos harness's crash-at-request-K lever).
+  fault::disarm();
+  if (!options.worker_fault_spec.empty()) {
+    if (auto spec = fault::parse_spec(options.worker_fault_spec)) {
+      fault::arm(*spec);
+    }
+  }
+
+  ServerOptions worker_options = options.worker;
+  worker_options.socket_path = shard_socket;
+  worker_options.shard_id = index;
+
+  static Server* g_worker_server = nullptr;
+  Server server(std::move(worker_options));
+  std::string error;
+  if (!server.start(&error)) _exit(111);
+  g_worker_server = &server;
+  // A graceful stop for SIGTERM (the supervisor's shutdown path);
+  // everything else keeps its default disposition, so a crash is a
+  // crash the monitor can see.
+  std::signal(SIGTERM, +[](int) {
+    if (g_worker_server) g_worker_server->request_stop();
+  });
+  std::signal(SIGINT, SIG_DFL);
+  server.serve();
+  _exit(0);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {
+  if (options_.shards < 1) options_.shards = 1;
+}
+
+Supervisor::~Supervisor() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+pid_t Supervisor::spawn_worker(int index) {
+  std::string shard_socket;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shard_socket = shards_[static_cast<std::size_t>(index)].socket_path;
+  }
+  const pid_t pid = ::fork();
+  if (pid == 0) worker_main(options_, shard_socket, index);
+  return pid;
+}
+
+bool Supervisor::wait_until_live(const std::string& path,
+                                 std::uint32_t timeout_ms) {
+  const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (clock::now() < deadline) {
+    if (socket_is_live(path)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return socket_is_live(path);
+}
+
+bool Supervisor::start(std::string* error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.resize(static_cast<std::size_t>(options_.shards));
+    for (int i = 0; i < options_.shards; ++i) {
+      shards_[static_cast<std::size_t>(i)].socket_path =
+          options_.socket_path + ".s" + std::to_string(i);
+    }
+  }
+
+  // Workers must not fight the supervisor for the public socket; they
+  // get the same treatment a dead predecessor's socket gets below.
+  for (int i = 0; i < options_.shards; ++i) {
+    const pid_t pid = spawn_worker(i);
+    if (pid < 0) {
+      if (error) *error = std::string("fork: ") + std::strerror(errno);
+      terminate_workers();
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard& shard = shards_[static_cast<std::size_t>(i)];
+    shard.pid = pid;
+    shard.started_at = clock::now();
+  }
+  for (int i = 0; i < options_.shards; ++i) {
+    std::string shard_socket;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shard_socket = shards_[static_cast<std::size_t>(i)].socket_path;
+    }
+    if (!wait_until_live(shard_socket, 5000)) {
+      if (error) {
+        *error = "worker " + std::to_string(i) + " failed to come up on " +
+                 shard_socket;
+      }
+      terminate_workers();
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_[static_cast<std::size_t>(i)].alive = true;
+  }
+
+  // Bind the public socket, reclaiming a stale file exactly like the
+  // single-process server does.
+  sockaddr_un addr{};
+  if (!fill_sockaddr(options_.socket_path, &addr, error)) {
+    terminate_workers();
+    return false;
+  }
+  std::error_code ec;
+  if (fs::exists(options_.socket_path, ec)) {
+    if (socket_is_live(options_.socket_path)) {
+      if (error) {
+        *error = "a pncd is already listening on " + options_.socket_path;
+      }
+      terminate_workers();
+      return false;
+    }
+    fs::remove(options_.socket_path, ec);
+  }
+  fs::create_directories(fs::path(options_.socket_path).parent_path(), ec);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0 ||
+      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    if (error) {
+      *error = options_.socket_path + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    terminate_workers();
+    return false;
+  }
+
+  monitor_ = std::thread([this] { monitor_loop(); });
+  return true;
+}
+
+void Supervisor::handle_dead_worker(int index, clock::time_point now) {
+  // mutex_ held by the caller.
+  Shard& shard = shards_[static_cast<std::size_t>(index)];
+  shard.alive = false;
+  shard.pid = -1;
+  shard.probe_failures = 0;
+  shard.death_detected_at = now;
+  const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now - shard.started_at)
+                          .count();
+  shard.consecutive_crashes =
+      uptime < options_.stable_uptime_ms ? shard.consecutive_crashes + 1 : 1;
+
+  if (shard.consecutive_crashes >= options_.breaker_threshold) {
+    // Crash loop: restarting faster only burns CPU and log space.
+    // Open the breaker — no restarts for a cooldown — then let the
+    // next restart attempt be the half-open probe: if it also dies
+    // young, consecutive_crashes keeps growing and we land right back
+    // here with another full cooldown.
+    if (!shard.breaker_open) {
+      breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.breaker_open = true;
+    shard.restart_at =
+        now + std::chrono::milliseconds(options_.breaker_cooldown_ms);
+  } else {
+    std::uint64_t backoff = std::min<std::uint64_t>(
+        options_.backoff_max_ms,
+        static_cast<std::uint64_t>(options_.backoff_initial_ms)
+            << std::min<std::uint32_t>(shard.consecutive_crashes - 1, 16));
+    // Deterministic per-(shard, crash-count) jitter in [0, backoff/2):
+    // concurrent shard deaths must not restart in lockstep.
+    backoff += rendezvous_weight(static_cast<std::uint64_t>(index),
+                                 shard.consecutive_crashes) %
+               (backoff / 2 + 1);
+    shard.restart_at = now + std::chrono::milliseconds(backoff);
+  }
+  shard.restart_pending = true;
+}
+
+void Supervisor::monitor_loop() {
+  auto next_probe = clock::now();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const auto now = clock::now();
+
+    // 1. Reap dead workers.
+    int wstatus = 0;
+    pid_t dead;
+    while ((dead = ::waitpid(-1, &wstatus, WNOHANG)) > 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (shards_[i].pid == dead) {
+          handle_dead_worker(static_cast<int>(i), now);
+          break;
+        }
+      }
+    }
+
+    // 2. Restart shards whose backoff (or breaker cooldown) expired.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      bool due = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        due = shards_[i].restart_pending && now >= shards_[i].restart_at;
+      }
+      if (!due) continue;
+      const pid_t pid = spawn_worker(static_cast<int>(i));
+      std::string shard_socket;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shard_socket = shards_[i].socket_path;
+      }
+      const bool live = pid > 0 && wait_until_live(shard_socket, 3000);
+      std::lock_guard<std::mutex> lock(mutex_);
+      Shard& shard = shards_[i];
+      if (live) {
+        shard.pid = pid;
+        shard.alive = true;
+        shard.restart_pending = false;
+        shard.breaker_open = false;  // half-open probe succeeded
+        shard.started_at = clock::now();
+        ++shard.restarts;
+        restarts_.fetch_add(1, std::memory_order_relaxed);
+        recovery_samples_.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                clock::now() - shard.death_detected_at)
+                .count()));
+      } else {
+        // Spawn failed or the worker never came up: treat it as
+        // another young crash so backoff keeps growing.
+        if (pid > 0) ::kill(pid, SIGKILL);
+        handle_dead_worker(static_cast<int>(i), clock::now());
+      }
+    }
+
+    // 3. Liveness probe: a worker that exists but stopped accepting is
+    // as dead as one that exited — kill it so path 1 recovers it.
+    if (options_.health_interval_ms > 0 && now >= next_probe) {
+      next_probe =
+          now + std::chrono::milliseconds(options_.health_interval_ms);
+      std::vector<std::pair<int, std::string>> to_probe;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+          if (shards_[i].alive) {
+            to_probe.emplace_back(static_cast<int>(i),
+                                  shards_[i].socket_path);
+          }
+        }
+      }
+      for (const auto& [index, path] : to_probe) {
+        const bool ok = socket_is_live(path);
+        std::lock_guard<std::mutex> lock(mutex_);
+        Shard& shard = shards_[static_cast<std::size_t>(index)];
+        if (!shard.alive) continue;
+        if (ok) {
+          shard.probe_failures = 0;
+          // Stability resets the crash streak (and the breaker's
+          // memory of it).
+          if (shard.consecutive_crashes > 0 &&
+              clock::now() - shard.started_at >
+                  std::chrono::milliseconds(options_.stable_uptime_ms)) {
+            shard.consecutive_crashes = 0;
+          }
+        } else if (++shard.probe_failures >=
+                   options_.health_fail_threshold) {
+          if (shard.pid > 0) ::kill(shard.pid, SIGKILL);
+        }
+      }
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+std::vector<std::byte> Supervisor::route(
+    const std::vector<std::byte>& payload, std::vector<int>* shard_fds) {
+  std::uint32_t version = kProtocolVersion;
+  Request request;
+  try {
+    request = decode_request(payload, &version);
+  } catch (const serde::WireError& e) {
+    return encode_response(
+        error_response(StatusCode::kBadRequest,
+                       std::string("bad request: ") + e.what()));
+  }
+
+  // Control requests are the supervisor's own.
+  if (request.kind == RequestKind::kPing) {
+    Response pong;
+    pong.ok = true;
+    pong.status = StatusCode::kOk;
+    pong.body = "pong";
+    return encode_response(pong, version);
+  }
+  if (request.kind == RequestKind::kStats) {
+    Response stats;
+    stats.ok = true;
+    stats.status = StatusCode::kOk;
+    stats.body = stats_json();
+    return encode_response(stats, version);
+  }
+  if (request.kind == RequestKind::kShutdown) {
+    Response stopping;
+    stopping.ok = true;
+    stopping.status = StatusCode::kOk;
+    stopping.body = "stopping";
+    return encode_response(stopping, version);
+  }
+
+  // Analysis: rank every shard by rendezvous weight, then walk the
+  // ranking over the live ones — the first is the home shard, the rest
+  // are fail-over in a stable order.
+  requests_routed_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t key = routing_key(request);
+  std::vector<std::pair<std::uint64_t, int>> ranked;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ranked.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      ranked.emplace_back(
+          rendezvous_weight(key, static_cast<std::uint64_t>(i)),
+          static_cast<int>(i));
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  bool first_choice = true;
+  for (const auto& [weight, index] : ranked) {
+    std::string shard_socket;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const Shard& shard = shards_[static_cast<std::size_t>(index)];
+      if (!shard.alive) continue;
+      shard_socket = shard.socket_path;
+    }
+    if (!first_choice) failovers_.fetch_add(1, std::memory_order_relaxed);
+    first_choice = false;
+    int& fd = (*shard_fds)[static_cast<std::size_t>(index)];
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (fd < 0) fd = connect_unix(shard_socket, 500);
+      if (fd < 0) break;
+      try {
+        write_frame(fd, payload);
+        std::vector<std::byte> reply;
+        if (!read_frame(fd, &reply)) throw std::runtime_error("worker EOF");
+        return reply;
+      } catch (const std::exception&) {
+        // A cached connection may have died with a previous worker
+        // incarnation: drop it and retry once on a fresh connection
+        // before failing over.  A fresh connection that dies mid-call
+        // means the worker died on *this* request — fail over.
+        ::close(fd);
+        fd = -1;
+        if (attempt == 1) break;
+      }
+    }
+  }
+
+  // Every shard down (or dying faster than we can talk to them): a
+  // typed, retryable answer.  The hint covers a normal restart; a
+  // breaker-open crash loop keeps answering this until cooldown.
+  unavailable_.fetch_add(1, std::memory_order_relaxed);
+  return encode_response(
+      error_response(StatusCode::kUnavailable,
+                     "no live shard could serve the request",
+                     options_.backoff_initial_ms * 2),
+      version);
+}
+
+void Supervisor::handle_connection(int fd) {
+  std::vector<int> shard_fds(static_cast<std::size_t>(options_.shards), -1);
+  std::vector<std::byte> payload;
+  try {
+    while (read_frame(fd, &payload)) {
+      bool shutdown_after = false;
+      bool bad_request = false;
+      try {
+        // Cheap peek for shutdown: full decode happens in route(), but
+        // the connection loop owns the stop decision.
+        const Request request = decode_request(payload);
+        shutdown_after = request.kind == RequestKind::kShutdown;
+      } catch (const serde::WireError&) {
+        bad_request = true;  // route() answers; we close to resync
+      }
+      write_frame(fd, route(payload, &shard_fds));
+      if (bad_request) break;
+      if (shutdown_after) {
+        request_stop();
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    // IO error: close; per-shard fds go with us.
+  }
+  for (int shard_fd : shard_fds) {
+    if (shard_fd >= 0) ::close(shard_fd);
+  }
+  ::close(fd);
+}
+
+void Supervisor::serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    int injected = 0;
+    int fd = -1;
+    if (fault::inject_accept_failure(&injected)) {
+      errno = injected;
+    } else {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    }
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      ++active_connections_;
+    }
+    std::thread([this, fd] {
+      handle_connection(fd);
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      if (--active_connections_ == 0) drained_.notify_all();
+    }).detach();
+  }
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drained_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  if (monitor_.joinable()) monitor_.join();
+  terminate_workers();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::error_code ec;
+  fs::remove(options_.socket_path, ec);
+}
+
+void Supervisor::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Supervisor::terminate_workers() {
+  std::vector<std::pair<pid_t, std::string>> workers;
+  std::vector<std::string> sockets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Shard& shard : shards_) {
+      if (shard.pid > 0) workers.emplace_back(shard.pid, shard.socket_path);
+      // Every shard socket, not just live ones: a worker that died and
+      // was never restarted (backoff pending, breaker open) left a
+      // stale socket file that must not outlive the supervisor.
+      sockets.push_back(shard.socket_path);
+      shard.pid = -1;
+      shard.alive = false;
+      shard.restart_pending = false;
+    }
+  }
+  for (const auto& [pid, path] : workers) ::kill(pid, SIGTERM);
+  // Grace period for clean exits (workers drain and persist their
+  // cache index), then the hammer.
+  const auto deadline = clock::now() + std::chrono::milliseconds(2000);
+  std::vector<pid_t> pending;
+  for (const auto& [pid, path] : workers) pending.push_back(pid);
+  while (!pending.empty() && clock::now() < deadline) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (::waitpid(*it, nullptr, WNOHANG) == *it) {
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!pending.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  for (const pid_t pid : pending) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+  }
+  std::error_code ec;
+  for (const std::string& path : sockets) fs::remove(path, ec);
+}
+
+std::vector<pid_t> Supervisor::worker_pids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<pid_t> pids;
+  pids.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    pids.push_back(shard.alive ? shard.pid : -1);
+  }
+  return pids;
+}
+
+std::vector<std::uint64_t> Supervisor::recovery_samples_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovery_samples_;
+}
+
+std::string Supervisor::stats_json() const {
+  std::ostringstream os;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t alive = 0;
+  for (const Shard& shard : shards_) alive += shard.alive ? 1 : 0;
+  os << "{\n"
+     << "  \"shards\": " << shards_.size() << ",\n"
+     << "  \"alive\": " << alive << ",\n"
+     << "  \"restarts\": " << restarts_.load(std::memory_order_relaxed)
+     << ",\n"
+     << "  \"breaker_trips\": "
+     << breaker_trips_.load(std::memory_order_relaxed) << ",\n"
+     << "  \"requests_routed\": "
+     << requests_routed_.load(std::memory_order_relaxed) << ",\n"
+     << "  \"failovers\": " << failovers_.load(std::memory_order_relaxed)
+     << ",\n"
+     << "  \"unavailable\": "
+     << unavailable_.load(std::memory_order_relaxed) << ",\n"
+     << "  \"workers\": [";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    os << (i ? ", " : "") << "{\"shard\": " << i << ", \"pid\": " << shard.pid
+       << ", \"alive\": " << (shard.alive ? "true" : "false")
+       << ", \"restarts\": " << shard.restarts
+       << ", \"breaker_open\": " << (shard.breaker_open ? "true" : "false")
+       << "}";
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+#else  // !PNLAB_HAVE_SOCKETS
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {}
+Supervisor::~Supervisor() = default;
+bool Supervisor::start(std::string* error) {
+  if (error) *error = "unix sockets unavailable on this platform";
+  return false;
+}
+void Supervisor::serve() {}
+void Supervisor::request_stop() {
+  stop_.store(true, std::memory_order_release);
+}
+std::vector<pid_t> Supervisor::worker_pids() const { return {}; }
+std::vector<std::uint64_t> Supervisor::recovery_samples_ms() const {
+  return {};
+}
+
+#endif  // PNLAB_HAVE_SOCKETS
+
+}  // namespace pnlab::service

@@ -1,0 +1,165 @@
+// Sharded pncd: a supervisor process owning N forked worker daemons.
+//
+// `pncd --shards=N` runs this instead of a single Server.  The
+// supervisor binds the public socket and forks N workers, each a full
+// pncd Server on its own private socket (`<public>.s<K>`), all sharing
+// one options-fingerprinted disk-cache directory.  Client frames are
+// routed to a worker chosen by rendezvous (highest-random-weight)
+// hashing of the request's path list and relayed verbatim — the
+// supervisor never re-encodes payloads, so a v1 client talks v1 to the
+// worker and back.
+//
+// Crash isolation is the point: an analyzer bug that kills a worker
+// (the paper's subject is hostile input, after all) takes out one
+// process, not the service.  The monitor thread reaps dead workers
+// (waitpid), restarts them with jittered exponential backoff, and
+// trips a crash-loop circuit breaker when a shard keeps dying young —
+// an open breaker stops the restart churn for a cooldown, after which
+// one probe restart ("half-open") decides whether to close it.  While
+// a request's chosen shard is down, routing falls through to the next
+// shard in rendezvous order; with every shard down the client gets a
+// typed UNAVAILABLE with a retry_after_ms hint, which the retrying
+// client turns into backoff instead of an error.  The shared disk
+// cache makes fail-over placement-neutral: any worker can serve any
+// previously computed result.
+//
+// Health checking is two-layered: waitpid catches processes that died,
+// and a periodic connect() probe catches processes that are alive but
+// no longer accepting — those are SIGKILLed and handled as crashes.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.h"
+
+namespace pnlab::service {
+
+struct SupervisorOptions {
+  /// The public socket clients connect to; worker K listens on
+  /// `<socket_path>.s<K>`.
+  std::string socket_path;
+  int shards = 2;
+  /// Template for every worker's Server (cache dir, driver options,
+  /// shedding limits).  socket_path and shard_id are overwritten per
+  /// worker.
+  ServerOptions worker;
+
+  // Restart policy.
+  std::uint32_t backoff_initial_ms = 50;
+  std::uint32_t backoff_max_ms = 2000;
+  /// A worker that survives this long resets its consecutive-crash
+  /// count — crashes spaced further apart than this are independent
+  /// incidents, not a loop.
+  std::uint32_t stable_uptime_ms = 2000;
+
+  // Crash-loop circuit breaker.
+  std::uint32_t breaker_threshold = 5;  ///< consecutive young crashes
+  std::uint32_t breaker_cooldown_ms = 3000;
+
+  /// Probe cadence for the liveness (connect) health check; 0 disables.
+  std::uint32_t health_interval_ms = 500;
+  /// Consecutive failed probes before a live-but-wedged worker is
+  /// SIGKILLed and restarted.
+  std::uint32_t health_fail_threshold = 3;
+
+  /// Fault spec armed inside each forked worker (the chaos harness's
+  /// "crash worker at request K" lever); empty = none.
+  std::string worker_fault_spec;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Forks the workers (waiting for each socket to come up), binds the
+  /// public socket, and starts the monitor thread.
+  bool start(std::string* error);
+  /// Blocks in the accept loop until request_stop(); then drains
+  /// connections, stops the monitor, and terminates the workers
+  /// (SIGTERM, SIGKILL after a grace period).
+  void serve();
+  /// Stops the accept loop; safe from any thread and from signal
+  /// handlers (atomic store + shutdown(2)).
+  void request_stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  /// Live worker pids, indexed by shard (-1 while a shard is down).
+  std::vector<pid_t> worker_pids() const;
+  std::uint64_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t breaker_trips() const {
+    return breaker_trips_.load(std::memory_order_relaxed);
+  }
+  /// Death-detected → accepting-again durations, one per completed
+  /// restart, for the bench's recovery metric.
+  std::vector<std::uint64_t> recovery_samples_ms() const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  struct Shard {
+    std::string socket_path;
+    pid_t pid = -1;
+    bool alive = false;
+    /// Set while a restart is pending (backoff or breaker cooldown).
+    clock::time_point restart_at{};
+    bool restart_pending = false;
+    clock::time_point started_at{};
+    clock::time_point death_detected_at{};
+    std::uint32_t consecutive_crashes = 0;
+    std::uint32_t probe_failures = 0;
+    bool breaker_open = false;
+    std::uint64_t restarts = 0;
+  };
+
+  /// Forks worker @p index; returns its pid or -1.  The child never
+  /// returns: it runs a Server on the shard socket and _exits.
+  pid_t spawn_worker(int index);
+  /// Blocks until something accepts on @p path (or the deadline).
+  bool wait_until_live(const std::string& path, std::uint32_t timeout_ms);
+  void monitor_loop();
+  void handle_dead_worker(int index, clock::time_point now);
+  void handle_connection(int fd);
+  /// Relays one raw request frame to the best live shard; returns the
+  /// raw response frame, or an encoded typed error when no shard could
+  /// serve it.  @p shard_fds caches one worker connection per shard for
+  /// the lifetime of the client connection.
+  std::vector<std::byte> route(const std::vector<std::byte>& payload,
+                               std::vector<int>* shard_fds);
+  std::string stats_json() const;
+  void terminate_workers();
+
+  SupervisorOptions options_;
+  mutable std::mutex mutex_;  ///< guards shards_ and recovery_samples_
+  std::vector<Shard> shards_;
+  std::vector<std::uint64_t> recovery_samples_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> breaker_trips_{0};
+  std::atomic<std::uint64_t> requests_routed_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> unavailable_{0};
+  std::thread monitor_;
+
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+  std::size_t active_connections_ = 0;
+};
+
+}  // namespace pnlab::service

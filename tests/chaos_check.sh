@@ -1,0 +1,28 @@
+#!/bin/sh
+# chaos_check.sh <pnlab_tests-binary>
+#
+# Runs the deterministic chaos suite (tests/service_chaos_test.cpp)
+# across a fixed seed matrix.  Each seed produces a different — but
+# reproducible — schedule of short reads, EINTR storms, torn frames,
+# backoff jitter, and kill-storm targets; a failure always prints the
+# seed so the exact schedule can be replayed locally with
+# `PNC_CHAOS_SEED=<seed> pnlab_tests --gtest_filter='FaultSpec*:Chaos*'`.
+#
+# The `chaos_check` cmake target runs this same script against an
+# AddressSanitizer build of pnlab_tests, so every injected fault path is
+# also memory-clean.
+set -u
+
+tests_bin=$1
+status=0
+
+for seed in 1 7 1337 424242; do
+  echo "chaos_check: seed=$seed"
+  if ! PNC_CHAOS_SEED=$seed "$tests_bin" \
+      --gtest_filter='FaultSpec*:Chaos*' --gtest_brief=1; then
+    echo "chaos_check: FAILED under PNC_CHAOS_SEED=$seed" >&2
+    status=1
+  fi
+done
+
+exit $status

@@ -3,13 +3,15 @@
 # the real binary.  0 = clean tree, 1 = findings or parse errors, 2 =
 # usage/IO errors, 3 = read errors (part of the tree was never analyzed
 # — the code that regression-guards the old "exit 0 despite read_errors"
-# bug).
+# bug), 4 = the daemon was unreachable and the caller asked not to fall
+# back, so CI can tell "the code has errors" from "the daemon is down".
 #
-# Usage: cli_exit_codes.sh <pnc_analyze> <examples-dir>
+# Usage: cli_exit_codes.sh <pnc_analyze> <examples-dir> [pnc_client]
 set -u
 
 ANALYZE=$1
 EXAMPLES=$2
+CLIENT=${3:-}
 
 TMP=$(mktemp -d /tmp/pncexit.XXXXXX) || exit 1
 trap 'rm -rf "$TMP"' EXIT
@@ -59,6 +61,29 @@ expect 3 "tree with a read error" "$ANALYZE" --dir "$TMP/partial"
 # as incomplete, not as "had findings".
 cp "$EXAMPLES/overflow_listing04.pnc" "$TMP/partial/"
 expect 3 "findings plus a read error" "$ANALYZE" --dir "$TMP/partial"
+
+# 4: the daemon is unreachable (nothing listens on the socket) and the
+# caller opted out of the in-process fallback.  Tight retry settings
+# keep the failure fast; the distinct code is the point — a CI script
+# must not confuse "pncd is down" (4) with "analysis found errors" (1).
+DEAD="$TMP/no-such-daemon.sock"
+expect 4 "unreachable daemon, --no-fallback" \
+    "$ANALYZE" "--connect=$DEAD" --no-fallback \
+    --retries=1 --retry-budget-ms=200 --dir "$EXAMPLES"
+
+# ... while the default --connect degrades gracefully: the daemon is an
+# accelerator, not a dependency, so the same tree still exits 1 for its
+# findings after the in-process fallback.
+expect 1 "unreachable daemon falls back in-process" \
+    "$ANALYZE" "--connect=$DEAD" \
+    --retries=1 --retry-budget-ms=200 --dir "$EXAMPLES"
+
+# pnc_client has no fallback to degrade to: unreachable is always 4.
+if [ -n "$CLIENT" ]; then
+    expect 4 "pnc_client against a dead socket" \
+        "$CLIENT" "--socket=$DEAD" \
+        --retries=1 --retry-budget-ms=200 --connect-timeout-ms=100 ping
+fi
 
 echo "cli_exit_codes: OK"
 exit 0

@@ -1,0 +1,842 @@
+// Chaos tests for the fault-tolerant analysis service (DESIGN.md §10).
+//
+// Every robustness claim is driven here by the deterministic fault
+// injector: framing survives 1-byte reads, EINTR storms, and torn
+// frames with clean typed errors; the disk cache turns a torn commit
+// into a miss, never garbage; deadlines produce DEADLINE_EXCEEDED on
+// both server and client side; overload produces RESOURCE_EXHAUSTED
+// with a usable retry_after_ms; v1 clients still round-trip; a stale
+// socket is reclaimed; and the shard supervisor restarts SIGKILLed
+// workers, trips its crash-loop breaker, and keeps answering —
+// byte-identically — through a seeded kill storm.
+//
+// The seed matrix (tests/chaos_check.sh) reruns this suite with
+// several PNC_CHAOS_SEED values; anything schedule-dependent reads the
+// seed instead of hardcoding one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/driver.h"
+#include "serde/wire.h"
+#include "service/client.h"
+#include "service/disk_cache.h"
+#include "service/fault_injection.h"
+#include "service/protocol.h"
+#include "service/result_codec.h"
+#include "service/server.h"
+#include "service/supervisor.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace pnlab::service {
+namespace {
+
+namespace fs = std::filesystem;
+using analysis::BatchDriver;
+using fault::FaultSpec;
+using fault::parse_spec;
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("PNC_CHAOS_SEED"); env && *env) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+/// Disarms fault injection on scope exit — a leaked schedule would
+/// poison every later test in the process.
+struct FaultGuard {
+  explicit FaultGuard(const FaultSpec& spec) { fault::arm(spec); }
+  ~FaultGuard() { fault::disarm(); }
+};
+
+struct ScratchDir {
+  // The pid suffix matters: ctest runs each discovered gtest as its own
+  // process AND runs the chaos_seed_matrix whole-suite process in the
+  // same -j pool, so the same test can execute twice concurrently — a
+  // fixed path would make the second server find the first one's live
+  // socket.
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() /
+             (name + "." + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+/// A pair of connected stream sockets for framing tests: we play both
+/// peer roles in one thread (frames here are far smaller than the
+/// kernel socket buffer, so writes never block on the unread end).
+struct SocketPair {
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int fds[2] = {-1, -1};
+};
+
+struct RunningServer {
+  explicit RunningServer(ServerOptions options) : server(std::move(options)) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+    if (started) {
+      thread = std::thread([this] { server.serve(); });
+    }
+  }
+  ~RunningServer() {
+    if (started) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+  Server server;
+  std::thread thread;
+  bool started = false;
+};
+
+struct RunningSupervisor {
+  explicit RunningSupervisor(SupervisorOptions options)
+      : supervisor(std::move(options)) {
+    std::string error;
+    started = supervisor.start(&error);
+    EXPECT_TRUE(started) << error;
+    if (started) {
+      thread = std::thread([this] { supervisor.serve(); });
+    }
+  }
+  ~RunningSupervisor() {
+    if (started) {
+      supervisor.request_stop();
+      thread.join();
+    }
+  }
+  Supervisor supervisor;
+  std::thread thread;
+  bool started = false;
+};
+
+/// A tiny on-disk tree of corpus sources to analyze through daemons.
+struct TempTree {
+  explicit TempTree(const std::string& name, std::size_t max_files = 4)
+      : scratch(name) {
+    std::size_t n = 0;
+    for (const auto& c : analysis::corpus::analyzer_corpus()) {
+      if (n++ >= max_files) break;
+      std::ofstream(scratch.path / (c.id + ".pnc"), std::ios::binary)
+          << c.source;
+    }
+  }
+  ScratchDir scratch;
+};
+
+Request analyze_dir_request(const fs::path& dir) {
+  Request request;
+  request.kind = RequestKind::kAnalyzeDir;
+  request.format = OutputFormat::kJson;
+  request.paths = {dir.string()};
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-spec grammar
+
+TEST(FaultSpecTest, ParsesEveryKey) {
+  const auto spec = parse_spec(
+      "seed=7;short_io=3,eintr_every=2;read_eof_after=10;"
+      "write_fail_after=20;accept_fail=1;bind_eaddrinuse=2;"
+      "torn_store_at=8;kill_at_request=5;delay_ms=100");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_EQ(spec->short_io, 3u);
+  EXPECT_EQ(spec->eintr_every, 2u);
+  EXPECT_EQ(spec->read_eof_after, 10);
+  EXPECT_EQ(spec->write_fail_after, 20);
+  EXPECT_EQ(spec->accept_fail, 1u);
+  EXPECT_EQ(spec->bind_eaddrinuse, 2u);
+  EXPECT_EQ(spec->torn_store_at, 8);
+  EXPECT_EQ(spec->kill_at_request, 5u);
+  EXPECT_EQ(spec->delay_ms, 100u);
+}
+
+TEST(FaultSpecTest, EmptySpecIsInert) {
+  const auto spec = parse_spec("");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->short_io, 0u);
+  EXPECT_EQ(spec->read_eof_after, -1);
+}
+
+TEST(FaultSpecTest, RejectsUnknownKeysAndMalformedValues) {
+  std::string error;
+  EXPECT_FALSE(parse_spec("bogus_key=1", &error).has_value());
+  EXPECT_NE(error.find("bogus_key"), std::string::npos);
+  EXPECT_FALSE(parse_spec("short_io=abc", &error).has_value());
+  EXPECT_FALSE(parse_spec("short_io=-3", &error).has_value());
+  EXPECT_FALSE(parse_spec("short_io", &error).has_value());
+}
+
+TEST(FaultSpecTest, DisarmedHooksAreTransparent) {
+  fault::disarm();
+  EXPECT_FALSE(fault::armed());
+  SocketPair pair;
+  const char msg[] = "hello";
+  EXPECT_EQ(fault::hooked_write(pair.fds[0], msg, sizeof(msg)),
+            static_cast<ssize_t>(sizeof(msg)));
+  char buf[16];
+  EXPECT_EQ(fault::hooked_read(pair.fds[1], buf, sizeof(msg)),
+            static_cast<ssize_t>(sizeof(msg)));
+  EXPECT_EQ(std::string(buf), "hello");
+  int unused = 0;
+  EXPECT_FALSE(fault::inject_accept_failure(&unused));
+  EXPECT_FALSE(fault::inject_bind_failure(&unused));
+}
+
+// ---------------------------------------------------------------------------
+// Framed protocol under hostile IO schedules
+
+std::vector<std::byte> sample_payload() {
+  Request request;
+  request.kind = RequestKind::kAnalyzeFiles;
+  request.deadline_ms = 1234;
+  request.paths = {"/a/b/one.pnc", "/a/b/two.pnc", "/c/three.pnc"};
+  return encode_request(request);
+}
+
+TEST(ChaosFramingTest, SurvivesOneByteReadsAndWrites) {
+  FaultSpec spec;
+  spec.seed = chaos_seed();
+  spec.short_io = 1;  // every read(2)/write(2) moves exactly one byte
+  FaultGuard guard(spec);
+
+  SocketPair pair;
+  const std::vector<std::byte> payload = sample_payload();
+  write_frame(pair.fds[0], payload);
+  std::vector<std::byte> got;
+  ASSERT_TRUE(read_frame(pair.fds[1], &got));
+  EXPECT_EQ(got, payload);
+  const auto counters = fault::counters();
+  // 4-byte header + payload, one byte per call, both directions.
+  EXPECT_GE(counters.reads, payload.size() + 4);
+  EXPECT_GE(counters.writes, payload.size() + 4);
+}
+
+TEST(ChaosFramingTest, SurvivesShortChunksAndEintrStorm) {
+  FaultSpec spec;
+  spec.seed = chaos_seed();
+  spec.short_io = 3;      // 1..3-byte chunks, sizes from the seeded PRNG
+  spec.eintr_every = 2;   // every other IO call fails once with EINTR
+  FaultGuard guard(spec);
+
+  SocketPair pair;
+  const std::vector<std::byte> payload = sample_payload();
+  write_frame(pair.fds[0], payload);
+  std::vector<std::byte> got;
+  ASSERT_TRUE(read_frame(pair.fds[1], &got));
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(fault::counters().eintrs, 0u);
+}
+
+TEST(ChaosFramingTest, MidHeaderEofIsATypedTornFrame) {
+  FaultSpec spec;
+  spec.read_eof_after = 2;  // EOF after two bytes of the length header
+  FaultGuard guard(spec);
+
+  SocketPair pair;
+  write_frame(pair.fds[0], sample_payload());
+  std::vector<std::byte> got;
+  EXPECT_THROW(read_frame(pair.fds[1], &got), std::runtime_error);
+  EXPECT_GE(fault::counters().forced_eofs, 1u);
+}
+
+TEST(ChaosFramingTest, MidPayloadEofIsATypedTornFrame) {
+  FaultSpec spec;
+  spec.read_eof_after = 10;  // header + a prefix of the payload
+  FaultGuard guard(spec);
+
+  SocketPair pair;
+  write_frame(pair.fds[0], sample_payload());
+  std::vector<std::byte> got;
+  EXPECT_THROW(read_frame(pair.fds[1], &got), std::runtime_error);
+}
+
+TEST(ChaosFramingTest, EofBeforeAnyByteIsCleanClose) {
+  FaultSpec spec;
+  spec.read_eof_after = 0;
+  FaultGuard guard(spec);
+
+  SocketPair pair;
+  std::vector<std::byte> got;
+  EXPECT_FALSE(read_frame(pair.fds[1], &got));  // false, not a throw
+}
+
+TEST(ChaosFramingTest, WriteFailureSurfacesAsSystemError) {
+  FaultSpec spec;
+  spec.write_fail_after = 6;  // dies after the header + 2 payload bytes
+  FaultGuard guard(spec);
+
+  SocketPair pair;
+  try {
+    write_frame(pair.fds[0], sample_payload());
+    FAIL() << "write_frame should have thrown";
+  } catch (const std::system_error& e) {
+    EXPECT_EQ(e.code().value(), EPIPE);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Disk-cache torn commits
+
+TEST(ChaosDiskCacheTest, TornCommitDegradesToMissAndDelete) {
+  ScratchDir scratch("pnlab_chaos_torn");
+  DiskCacheOptions options;
+  options.dir = scratch.path.string();
+  DiskCache cache(options);
+  ASSERT_TRUE(cache.usable());
+
+  constexpr std::uint64_t kHash = 0x1234u;
+  constexpr std::size_t kLength = 77;
+  {
+    FaultSpec spec;
+    spec.torn_store_at = 8;  // keep the magic, lose the body + checksum
+    FaultGuard guard(spec);
+    analysis::AnalysisResult result;
+    result.functions_analyzed = 9;
+    cache.store(kHash, kLength, result);
+    EXPECT_GE(fault::counters().torn_stores, 1u);
+  }
+
+  // The injector tore the committed entry; the load-time checksum must
+  // turn that into a miss and remove the debris.
+  EXPECT_FALSE(cache.load(kHash, kLength).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_GE(stats.misses, 1u);
+  // A clean store afterwards works — the slot is not poisoned.
+  analysis::AnalysisResult result;
+  result.functions_analyzed = 9;
+  cache.store(kHash, kLength, result);
+  const auto loaded = cache.load(kHash, kLength);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->functions_analyzed, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+
+ServerOptions local_server_options(const fs::path& dir) {
+  ServerOptions o;
+  o.socket_path = (dir / "pncd.sock").string();
+  o.cache_dir = (dir / "cache").string();
+  return o;
+}
+
+TEST(ChaosDeadlineTest, ServerRejectsLateWorkWithTypedStatus) {
+  ScratchDir scratch("pnlab_chaos_deadline");
+  TempTree tree("pnlab_chaos_deadline_tree");
+  RunningServer running(local_server_options(scratch.path));
+
+  FaultSpec spec;
+  spec.delay_ms = 120;  // a wedged handler
+  FaultGuard guard(spec);
+
+  auto client = Client::connect(running.server.socket_path());
+  ASSERT_NE(client, nullptr);
+  Request request = analyze_dir_request(tree.scratch.path);
+  request.deadline_ms = 30;
+  Response response;
+  ASSERT_TRUE(client->call(request, &response));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(status_retryable(response.status));
+  EXPECT_EQ(running.server.deadline_rejects(), 1u);
+}
+
+TEST(ChaosDeadlineTest, ClientTimesOutWhenServerNeverAnswers) {
+  ScratchDir scratch("pnlab_chaos_cl_deadline");
+  TempTree tree("pnlab_chaos_cl_deadline_tree");
+  RunningServer running(local_server_options(scratch.path));
+
+  FaultSpec spec;
+  spec.delay_ms = 2000;  // far past deadline + grace
+  FaultGuard guard(spec);
+
+  auto client = Client::connect(running.server.socket_path());
+  ASSERT_NE(client, nullptr);
+  Request request = analyze_dir_request(tree.scratch.path);
+  request.deadline_ms = 50;
+  Response response;
+  std::string error;
+  EXPECT_FALSE(client->call(request, &response, &error));
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  // Unwedge the handler so server drain doesn't wait the full delay.
+  fault::disarm();
+}
+
+TEST(ChaosDeadlineTest, NoDeadlineStillCompletes) {
+  ScratchDir scratch("pnlab_chaos_nodl");
+  TempTree tree("pnlab_chaos_nodl_tree");
+  RunningServer running(local_server_options(scratch.path));
+
+  auto client = Client::connect(running.server.socket_path());
+  ASSERT_NE(client, nullptr);
+  Request request = analyze_dir_request(tree.scratch.path);
+  Response response;
+  ASSERT_TRUE(client->call(request, &response));
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.status, StatusCode::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Overload shedding
+
+TEST(ChaosSheddingTest, BeyondHighWaterMarkIsTypedAndHinted) {
+  ScratchDir scratch("pnlab_chaos_shed");
+  TempTree tree("pnlab_chaos_shed_tree");
+  ServerOptions options = local_server_options(scratch.path);
+  options.max_inflight = 1;
+  RunningServer running(options);
+  EXPECT_EQ(running.server.max_inflight(), 1u);
+
+  FaultSpec spec;
+  spec.delay_ms = 300;  // park the first request inside the handler
+  FaultGuard guard(spec);
+
+  std::thread slow([&] {
+    auto client = Client::connect(running.server.socket_path());
+    ASSERT_NE(client, nullptr);
+    Response response;
+    client->call(analyze_dir_request(tree.scratch.path), &response);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  auto client = Client::connect(running.server.socket_path());
+  ASSERT_NE(client, nullptr);
+  Response shed;
+  ASSERT_TRUE(client->call(analyze_dir_request(tree.scratch.path), &shed));
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.status, StatusCode::kResourceExhausted);
+  EXPECT_GT(shed.retry_after_ms, 0u);
+  EXPECT_GE(running.server.requests_shed(), 1u);
+  slow.join();
+
+  // With the handler unwedged, a retrying call gets through: the shed
+  // was load, not a fault.
+  fault::disarm();
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.jitter_seed = chaos_seed();
+  Response ok_response;
+  EXPECT_TRUE(Client::call_with_retry(running.server.socket_path(),
+                                      analyze_dir_request(tree.scratch.path),
+                                      retry, &ok_response));
+  EXPECT_TRUE(ok_response.ok);
+}
+
+TEST(ChaosSheddingTest, FrameBudgetClosesGreedyConnections) {
+  ScratchDir scratch("pnlab_chaos_budget");
+  ServerOptions options = local_server_options(scratch.path);
+  options.max_frames_per_connection = 3;
+  RunningServer running(options);
+
+  auto client = Client::connect(running.server.socket_path());
+  ASSERT_NE(client, nullptr);
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  Response response;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client->call(ping, &response)) << "frame " << i;
+    EXPECT_TRUE(response.ok);
+  }
+  // Frame 4 blows the budget: typed rejection, then the server closes.
+  ASSERT_TRUE(client->call(ping, &response));
+  EXPECT_EQ(response.status, StatusCode::kResourceExhausted);
+  EXPECT_FALSE(client->call(ping, &response));
+  // A fresh connection gets a fresh budget.
+  auto fresh = Client::connect(running.server.socket_path());
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_TRUE(fresh->call(ping, &response));
+  EXPECT_TRUE(response.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Retry layer
+
+TEST(ChaosRetryTest, BudgetExhaustionReportsAttemptsAndFails) {
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.connect_timeout_ms = 50;
+  retry.retry_budget_ms = 300;
+  retry.jitter_seed = chaos_seed();
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  Response response;
+  std::string error;
+  int attempts = 0;
+  EXPECT_FALSE(Client::call_with_retry("/nonexistent/pncd.sock", ping, retry,
+                                       &response, &error, &attempts));
+  EXPECT_GE(attempts, 1);
+  EXPECT_NE(error.find("attempt"), std::string::npos) << error;
+}
+
+TEST(ChaosRetryTest, NonRetryableResponseReturnsImmediately) {
+  ScratchDir scratch("pnlab_chaos_retry_bad");
+  RunningServer running(local_server_options(scratch.path));
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.jitter_seed = chaos_seed();
+  Request bad;
+  bad.kind = RequestKind::kAnalyzeDir;  // zero paths: BAD_REQUEST
+  Response response;
+  int attempts = 0;
+  EXPECT_TRUE(Client::call_with_retry(running.server.socket_path(), bad,
+                                      retry, &response, nullptr, &attempts));
+  EXPECT_EQ(response.status, StatusCode::kBadRequest);
+  EXPECT_EQ(attempts, 1);  // terminal rejections must not be retried
+}
+
+// ---------------------------------------------------------------------------
+// Protocol version compatibility
+
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+TEST(ChaosCompatTest, V1ClientsRoundTripAgainstV2Server) {
+  ScratchDir scratch("pnlab_chaos_v1");
+  TempTree tree("pnlab_chaos_v1_tree");
+  RunningServer running(local_server_options(scratch.path));
+
+  const int fd = raw_connect(running.server.socket_path());
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  write_frame(fd, encode_request(ping, 1));  // v1 layout: no deadline
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(read_frame(fd, &payload));
+  // The response must be in the v1 layout too — old decoders would
+  // misparse v2's extra fields.
+  serde::ByteReader r(payload);
+  EXPECT_EQ(r.u32(), 1u);
+  const Response pong = decode_response(payload);
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.body, "pong");
+  EXPECT_EQ(pong.status, StatusCode::kOk);  // synthesized from ok
+
+  // Analysis through the v1 layout matches a v2 client byte for byte.
+  Request analyze = analyze_dir_request(tree.scratch.path);
+  write_frame(fd, encode_request(analyze, 1));
+  ASSERT_TRUE(read_frame(fd, &payload));
+  const Response v1_response = decode_response(payload);
+  ::close(fd);
+  ASSERT_TRUE(v1_response.ok) << v1_response.error;
+
+  auto client = Client::connect(running.server.socket_path());
+  ASSERT_NE(client, nullptr);
+  Response v2_response;
+  ASSERT_TRUE(client->call(analyze, &v2_response));
+  EXPECT_EQ(v1_response.body, v2_response.body);
+}
+
+// ---------------------------------------------------------------------------
+// Stale socket recovery
+
+TEST(ChaosStaleSocketTest, EaddrinuseWithNoLiveDaemonIsReclaimed) {
+  ScratchDir scratch("pnlab_chaos_stale");
+  // Leave a bound-but-dead socket file behind, like a SIGKILLed daemon.
+  const std::string path = (scratch.path / "pncd.sock").string();
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_EQ(
+        ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+    ::close(fd);  // file stays; nothing listens
+  }
+  ASSERT_TRUE(fs::exists(path));
+
+  // Force the racing-bind flavor too: the first bind(2) inside start()
+  // fails with an injected EADDRINUSE, so recovery must go through the
+  // probe → unlink → rebind path rather than the pre-bind cleanup.
+  FaultSpec spec;
+  spec.bind_eaddrinuse = 1;
+  FaultGuard guard(spec);
+
+  ServerOptions options;
+  options.socket_path = path;
+  RunningServer running(options);
+  ASSERT_TRUE(running.started);
+  EXPECT_GE(fault::counters().bind_failures, 1u);
+  fault::disarm();
+
+  auto client = Client::connect(path);
+  ASSERT_NE(client, nullptr);
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  Response response;
+  ASSERT_TRUE(client->call(ping, &response));
+  EXPECT_TRUE(response.ok);
+}
+
+TEST(ChaosStaleSocketTest, LiveDaemonIsNeverEvicted) {
+  ScratchDir scratch("pnlab_chaos_live");
+  ServerOptions options;
+  options.socket_path = (scratch.path / "pncd.sock").string();
+  RunningServer first(options);
+  ASSERT_TRUE(first.started);
+
+  Server second(options);
+  std::string error;
+  EXPECT_FALSE(second.start(&error));
+  EXPECT_NE(error.find("already listening"), std::string::npos) << error;
+  // The live daemon is untouched.
+  auto client = Client::connect(options.socket_path);
+  ASSERT_NE(client, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor: routing, crash recovery, breaker, kill storm
+
+SupervisorOptions supervisor_options(const fs::path& dir, int shards) {
+  SupervisorOptions o;
+  o.socket_path = (dir / "pncd.sock").string();
+  o.shards = shards;
+  o.worker.cache_dir = (dir / "cache").string();
+  // Fast chaos-test policy: small backoffs so recovery fits in test
+  // budgets, threshold low enough to trip the breaker quickly.
+  o.backoff_initial_ms = 20;
+  o.backoff_max_ms = 200;
+  o.stable_uptime_ms = 1000;
+  o.breaker_threshold = 3;
+  o.breaker_cooldown_ms = 600;
+  o.health_interval_ms = 100;
+  return o;
+}
+
+TEST(ChaosSupervisorTest, RoutesAndMatchesInProcessBytes) {
+  ScratchDir scratch("pnlab_chaos_sup");
+  TempTree tree("pnlab_chaos_sup_tree");
+  RunningSupervisor running(supervisor_options(scratch.path, 2));
+
+  BatchDriver driver;
+  const std::string expected =
+      to_json(driver.run_directory(tree.scratch.path.string()));
+
+  auto client = Client::connect(running.supervisor.socket_path());
+  ASSERT_NE(client, nullptr);
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  Response response;
+  ASSERT_TRUE(client->call(ping, &response));
+  EXPECT_EQ(response.body, "pong");
+
+  ASSERT_TRUE(
+      client->call(analyze_dir_request(tree.scratch.path), &response));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.body, expected);
+
+  Request stats;
+  stats.kind = RequestKind::kStats;
+  ASSERT_TRUE(client->call(stats, &response));
+  EXPECT_NE(response.body.find("\"shards\": 2"), std::string::npos);
+  EXPECT_NE(response.body.find("\"alive\": 2"), std::string::npos);
+}
+
+TEST(ChaosSupervisorTest, SigkilledWorkerIsRestartedAndServiceAnswers) {
+  ScratchDir scratch("pnlab_chaos_sup_kill");
+  TempTree tree("pnlab_chaos_sup_kill_tree");
+  RunningSupervisor running(supervisor_options(scratch.path, 2));
+
+  auto client = Client::connect(running.supervisor.socket_path());
+  ASSERT_NE(client, nullptr);
+  Response response;
+  ASSERT_TRUE(
+      client->call(analyze_dir_request(tree.scratch.path), &response));
+  ASSERT_TRUE(response.ok);
+  const std::string golden = response.body;
+
+  const std::vector<pid_t> pids = running.supervisor.worker_pids();
+  ASSERT_EQ(pids.size(), 2u);
+  ASSERT_GT(pids[0], 0);
+  ::kill(pids[0], SIGKILL);
+
+  // Immediately after the kill the request must still be answered —
+  // fail-over to the surviving shard, byte-identically.
+  ASSERT_TRUE(
+      client->call(analyze_dir_request(tree.scratch.path), &response));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.body, golden);
+
+  // The monitor restarts the dead worker and records the recovery.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (running.supervisor.restarts() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(running.supervisor.restarts(), 1u);
+  const auto samples = running.supervisor.recovery_samples_ms();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_LT(samples.front(), 10000u);
+  const std::vector<pid_t> after = running.supervisor.worker_pids();
+  EXPECT_GT(after[0], 0);
+  EXPECT_NE(after[0], pids[0]);
+}
+
+TEST(ChaosSupervisorTest, CrashLoopTripsBreakerAndAnswersUnavailable) {
+  ScratchDir scratch("pnlab_chaos_sup_loop");
+  TempTree tree("pnlab_chaos_sup_loop_tree");
+  SupervisorOptions options = supervisor_options(scratch.path, 1);
+  // Every analysis request SIGKILLs the (only) worker instantly: the
+  // canonical crash loop.
+  options.worker_fault_spec = "kill_at_request=1";
+  RunningSupervisor running(options);
+
+  bool saw_unavailable = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto client = Client::connect(running.supervisor.socket_path());
+    ASSERT_NE(client, nullptr);
+    Response response;
+    if (client->call(analyze_dir_request(tree.scratch.path), &response)) {
+      // Every answer during the loop must be typed and retryable —
+      // never a hang, never a success fabricated from a dead worker.
+      ASSERT_FALSE(response.ok);
+      ASSERT_TRUE(status_retryable(response.status))
+          << status_name(response.status) << ": " << response.error;
+      if (response.status == StatusCode::kUnavailable) {
+        saw_unavailable = true;
+      }
+    }
+    if (saw_unavailable && running.supervisor.breaker_trips() >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_TRUE(saw_unavailable);
+  EXPECT_GE(running.supervisor.breaker_trips(), 1u);
+}
+
+TEST(ChaosSupervisorTest, CleanShutdownViaClientRequest) {
+  ScratchDir scratch("pnlab_chaos_sup_stop");
+  RunningSupervisor running(supervisor_options(scratch.path, 2));
+  auto client = Client::connect(running.supervisor.socket_path());
+  ASSERT_NE(client, nullptr);
+  Request shutdown;
+  shutdown.kind = RequestKind::kShutdown;
+  Response response;
+  ASSERT_TRUE(client->call(shutdown, &response));
+  EXPECT_TRUE(response.ok);
+  running.thread.join();
+  running.started = false;  // destructor must not re-stop
+  EXPECT_FALSE(fs::exists(running.supervisor.socket_path()));
+  // Worker sockets are cleaned up too.
+  EXPECT_FALSE(fs::exists(running.supervisor.socket_path() + ".s0"));
+  EXPECT_FALSE(fs::exists(running.supervisor.socket_path() + ".s1"));
+}
+
+TEST(ChaosSupervisorTest, SeededKillStormLosesNothing) {
+  ScratchDir scratch("pnlab_chaos_storm");
+  TempTree tree("pnlab_chaos_storm_tree");
+  RunningSupervisor running(supervisor_options(scratch.path, 2));
+
+  // Golden bytes from an undisturbed request.
+  std::string golden;
+  {
+    auto client = Client::connect(running.supervisor.socket_path());
+    ASSERT_NE(client, nullptr);
+    Response response;
+    ASSERT_TRUE(
+        client->call(analyze_dir_request(tree.scratch.path), &response));
+    ASSERT_TRUE(response.ok);
+    golden = response.body;
+  }
+
+  std::atomic<bool> storm_done{false};
+  std::thread killer([&] {
+    std::uint64_t rng = chaos_seed() * 0x9e3779b97f4a7c15ull + 1;
+    while (!storm_done.load()) {
+      rng ^= rng >> 12;
+      rng ^= rng << 25;
+      rng ^= rng >> 27;
+      const std::vector<pid_t> pids = running.supervisor.worker_pids();
+      std::vector<pid_t> live;
+      for (const pid_t pid : pids) {
+        if (pid > 0) live.push_back(pid);
+      }
+      if (!live.empty()) {
+        ::kill(live[rng % live.size()], SIGKILL);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+  });
+
+  // 4 concurrent clients, every request retried under a generous
+  // budget: all must terminate, all delivered bodies must be golden.
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 8;
+  std::atomic<int> answered_ok{0};
+  std::atomic<int> gave_up{0};
+  std::atomic<int> wrong_bytes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      RetryOptions retry;
+      retry.max_attempts = 20;
+      retry.retry_budget_ms = 15000;
+      retry.connect_timeout_ms = 500;
+      retry.jitter_seed = chaos_seed() + static_cast<std::uint64_t>(c) + 1;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        Response response;
+        if (!Client::call_with_retry(running.supervisor.socket_path(),
+                                     analyze_dir_request(tree.scratch.path),
+                                     retry, &response)) {
+          gave_up.fetch_add(1);
+          continue;
+        }
+        if (!response.ok || response.body != golden) {
+          wrong_bytes.fetch_add(1);
+        } else {
+          answered_ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  storm_done.store(true);
+  killer.join();
+
+  // Zero corrupted or fabricated responses, zero abandoned clients,
+  // and the storm actually did damage that got repaired.
+  EXPECT_EQ(wrong_bytes.load(), 0);
+  EXPECT_EQ(gave_up.load(), 0);
+  EXPECT_EQ(answered_ok.load(), kClients * kRequestsPerClient);
+  EXPECT_GE(running.supervisor.restarts(), 1u);
+}
+
+}  // namespace
+}  // namespace pnlab::service

@@ -100,5 +100,55 @@ DPID=""
 [ $st -eq 0 ] || fail "pncd exited $st on shutdown, expected 0"
 [ ! -S "$SOCK" ] || fail "socket file left behind after shutdown"
 
+# Sharded mode through the same binaries: a 2-shard supervisor must
+# serve the same bytes as the in-process CLI, survive one worker being
+# SIGKILLed mid-session, and shut down cleanly (workers included).
+SSOCK="$TMP/sup.sock"
+"$PNCD" --socket="$SSOCK" --shards=2 --cache-dir="$TMP/cache2" \
+    2>"$TMP/pncd.log" &
+DPID=$!
+
+up=0
+i=0
+while [ $i -lt 100 ]; do
+    if "$CLIENT" --socket="$SSOCK" ping >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+[ $up -eq 1 ] || fail "sharded daemon did not come up"
+
+"$CLIENT" --socket="$SSOCK" --format=json --dir "$EXAMPLES" \
+    >"$TMP/sharded.json" 2>/dev/null
+st=$?
+[ $st -eq 1 ] || fail "sharded client exited $st, expected 1"
+cmp -s "$TMP/sharded.json" "$TMP/golden.json" ||
+    fail "sharded body differs from in-process pnc_analyze"
+
+# Kill one worker: the service must keep answering (fail-over or a
+# supervisor restart behind the retrying client), bytes unchanged.
+WPID=$(pgrep -P "$DPID" | head -n1)
+[ -n "$WPID" ] || fail "no worker process found under the supervisor"
+kill -KILL "$WPID"
+"$CLIENT" --socket="$SSOCK" --format=json --retries=5 \
+    --retry-budget-ms=10000 --dir "$EXAMPLES" >"$TMP/afterkill.json" \
+    2>/dev/null
+st=$?
+[ $st -eq 1 ] || fail "post-kill client exited $st, expected 1"
+cmp -s "$TMP/afterkill.json" "$TMP/golden.json" ||
+    fail "post-kill body differs from the golden output"
+
+"$CLIENT" --socket="$SSOCK" shutdown >/dev/null ||
+    fail "sharded shutdown verb failed"
+wait "$DPID"
+st=$?
+DPID=""
+[ $st -eq 0 ] || fail "sharded pncd exited $st on shutdown, expected 0"
+[ ! -S "$SSOCK" ] || fail "supervisor socket left behind after shutdown"
+[ ! -S "$SSOCK.s0" ] && [ ! -S "$SSOCK.s1" ] ||
+    fail "worker socket left behind after shutdown"
+
 echo "service_smoke: OK"
 exit 0

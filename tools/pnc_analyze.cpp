@@ -24,13 +24,21 @@
 //                              (scalar|swar|sse2|avx2); same as the
 //                              PNC_FORCE_ISA environment variable
 //   --connect[=SOCKET]         route the batch through a running pncd
-//                              (falls back to in-process analysis when
-//                              no daemon is reachable; ignored — with a
-//                              warning — when combined with the
+//                              (degrades gracefully to in-process
+//                              analysis when the daemon stays
+//                              unreachable after retries; ignored —
+//                              with a warning — when combined with the
 //                              telemetry export flags, which must
 //                              capture the analyzing process itself)
 //   --daemon                   alias for --connect with the default
 //                              socket
+//   --no-fallback              with --connect: exit 4 instead of
+//                              falling back when the daemon is
+//                              unreachable (CI jobs that require the
+//                              warm caches)
+//   --deadline-ms=N            per-request deadline for daemon calls
+//   --retries=N                daemon attempts before falling back
+//   --retry-budget-ms=N        total daemon retry budget
 //
 // Telemetry flags never change analysis output: JSON/SARIF stay
 // byte-identical with and without --trace at any thread count — and so
@@ -86,6 +94,14 @@ void print_usage(std::ostream& os, const char* argv0) {
         "back to in-process\n"
         "  --daemon                  alias for --connect with the default "
         "socket\n"
+        "  --no-fallback             with --connect: exit 4 when the "
+        "daemon is unreachable\n"
+        "  --deadline-ms=N           per-request deadline for daemon "
+        "calls (0 = none)\n"
+        "  --retries=N               daemon attempts before giving up "
+        "(default 3)\n"
+        "  --retry-budget-ms=N       total daemon retry budget (default "
+        "2000)\n"
         "  --help                    show this message\n";
 }
 
@@ -119,7 +135,10 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string profile_file;
   bool want_daemon = false;
+  bool no_fallback = false;
   std::string daemon_socket;
+  std::uint32_t deadline_ms = 0;
+  pnlab::service::RetryOptions retry;
   DriverOptions options;
   std::vector<std::string> paths;
 
@@ -162,6 +181,28 @@ int main(int argc, char** argv) {
       want_daemon = true;
       daemon_socket = arg.substr(10);
       if (daemon_socket.empty()) return usage(argv[0]);
+    } else if (arg == "--no-fallback") {
+      no_fallback = true;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      try {
+        deadline_ms = static_cast<std::uint32_t>(std::stoul(arg.substr(14)));
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      try {
+        retry.max_attempts = std::stoi(arg.substr(10));
+        if (retry.max_attempts < 1) return usage(argv[0]);
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (arg.rfind("--retry-budget-ms=", 0) == 0) {
+      try {
+        retry.retry_budget_ms =
+            static_cast<std::uint32_t>(std::stoul(arg.substr(18)));
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
     } else if (arg.rfind("--trace-sample=", 0) == 0) {
       try {
         pnlab::analysis::telemetry::set_trace_sample(
@@ -238,29 +279,31 @@ int main(int argc, char** argv) {
   if (want_daemon && !want_corpus) {
     namespace svc = pnlab::service;
     if (daemon_socket.empty()) daemon_socket = svc::default_socket_path();
-    std::string error;
-    if (auto client = svc::Client::connect(daemon_socket, &error)) {
-      svc::Request request;
-      request.use_cache = options.use_cache;
-      request.format = format == "json"    ? svc::OutputFormat::kJson
-                       : format == "sarif" ? svc::OutputFormat::kSarif
-                                           : svc::OutputFormat::kText;
-      auto absolute = [](const std::string& p) {
-        std::error_code ec;
-        const std::filesystem::path abs = std::filesystem::absolute(p, ec);
-        return ec ? p : abs.string();
-      };
-      if (!dir.empty()) {
-        request.kind = svc::RequestKind::kAnalyzeDir;
-        request.paths.push_back(absolute(dir));
-      } else {
-        request.kind = svc::RequestKind::kAnalyzeFiles;
-        for (const std::string& path : paths) {
-          request.paths.push_back(absolute(path));
-        }
+    svc::Request request;
+    request.use_cache = options.use_cache;
+    request.deadline_ms = deadline_ms;
+    request.format = format == "json"    ? svc::OutputFormat::kJson
+                     : format == "sarif" ? svc::OutputFormat::kSarif
+                                         : svc::OutputFormat::kText;
+    auto absolute = [](const std::string& p) {
+      std::error_code ec;
+      const std::filesystem::path abs = std::filesystem::absolute(p, ec);
+      return ec ? p : abs.string();
+    };
+    if (!dir.empty()) {
+      request.kind = svc::RequestKind::kAnalyzeDir;
+      request.paths.push_back(absolute(dir));
+    } else {
+      request.kind = svc::RequestKind::kAnalyzeFiles;
+      for (const std::string& path : paths) {
+        request.paths.push_back(absolute(path));
       }
-      svc::Response response;
-      if (client->call(request, &response, &error) && response.ok) {
+    }
+    std::string error;
+    svc::Response response;
+    if (svc::Client::call_with_retry(daemon_socket, request, retry,
+                                     &response, &error)) {
+      if (response.ok) {
         std::cout << response.body;
         if (want_stats) {
           std::cerr << "daemon: " << daemon_socket << ", "
@@ -270,12 +313,21 @@ int main(int argc, char** argv) {
         }
         return response.exit_code;
       }
-      std::cerr << argv[0] << ": daemon request failed ("
-                << (error.empty() ? response.error : error)
-                << "); analyzing in-process\n";
+      // The daemon answered with a terminal typed rejection
+      // (BAD_REQUEST, INTERNAL): retrying or handing the same request
+      // to the in-process driver would fail the same way for
+      // BAD_REQUEST, but INTERNAL may be daemon-local — fall back.
+      std::cerr << argv[0] << ": daemon request failed ["
+                << svc::status_name(response.status)
+                << "]: " << response.error << "; analyzing in-process\n";
+    } else if (no_fallback) {
+      // The CI job asked for the daemon's warm caches specifically:
+      // exit 4 ("daemon unreachable"), distinct from analysis findings
+      // (1) and usage errors (2).
+      std::cerr << argv[0] << ": " << error << "\n";
+      return 4;
     } else {
-      std::cerr << argv[0] << ": no daemon at " << daemon_socket
-                << "; analyzing in-process\n";
+      std::cerr << argv[0] << ": " << error << "; analyzing in-process\n";
     }
   }
 

@@ -10,13 +10,19 @@
 //   --format=text|json|sarif   output format (default text)
 //   --no-cache                 bypass the daemon's caches for this run
 //   --stats                    print request/cache stats to stderr
+//   --deadline-ms=N            end-to-end per-request deadline (0 = none)
+//   --retries=N                attempts before giving up (default 3)
+//   --retry-budget-ms=N        total wall-clock retry budget (default 2000)
+//   --connect-timeout-ms=N     per-attempt connect timeout (default 1000)
 //
 // Paths are resolved by the *daemon*, so relative paths are made
 // absolute here before sending.
 //
 // Exit status mirrors pnc_analyze so CI scripts can swap the two: 0
-// clean, 1 findings or parse errors, 2 usage/connection/server errors,
-// 3 when any file failed to ingest.
+// clean, 1 findings or parse errors, 2 usage/server errors, 3 when any
+// file failed to ingest — plus 4 when the daemon is unreachable or the
+// retry budget ran out, so CI can tell "the code has errors" (1) from
+// "the daemon is down" (4) without parsing stderr.
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -36,6 +42,11 @@ void print_usage(std::ostream& os, const char* argv0) {
         "  --format=text|json|sarif  output format (default text)\n"
         "  --no-cache                bypass the daemon's caches\n"
         "  --stats                   print request/cache stats to stderr\n"
+        "  --deadline-ms=N           per-request deadline (0 = none)\n"
+        "  --retries=N               attempts before giving up (default 3)\n"
+        "  --retry-budget-ms=N       total retry budget (default 2000)\n"
+        "  --connect-timeout-ms=N    per-attempt connect timeout "
+        "(default 1000)\n"
         "  --help                    show this message\n";
 }
 
@@ -50,6 +61,18 @@ std::string absolute_path(const std::string& path) {
   return ec ? path : abs.string();
 }
 
+bool parse_u32(const std::string& value, std::uint32_t* out) {
+  try {
+    std::size_t used = 0;
+    const unsigned long n = std::stoul(value, &used);
+    if (used != value.size() || n > 0xFFFFFFFFul) return false;
+    *out = static_cast<std::uint32_t>(n);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +82,8 @@ int main(int argc, char** argv) {
   std::string control;
   bool use_cache = true;
   bool want_stats = false;
+  std::uint32_t deadline_ms = 0;
+  RetryOptions retry;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +99,20 @@ int main(int argc, char** argv) {
       use_cache = false;
     } else if (arg == "--stats") {
       want_stats = true;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parse_u32(arg.substr(14), &deadline_ms)) return usage(argv[0]);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      std::uint32_t n = 0;
+      if (!parse_u32(arg.substr(10), &n) || n == 0) return usage(argv[0]);
+      retry.max_attempts = static_cast<int>(n);
+    } else if (arg.rfind("--retry-budget-ms=", 0) == 0) {
+      if (!parse_u32(arg.substr(18), &retry.retry_budget_ms)) {
+        return usage(argv[0]);
+      }
+    } else if (arg.rfind("--connect-timeout-ms=", 0) == 0) {
+      if (!parse_u32(arg.substr(21), &retry.connect_timeout_ms)) {
+        return usage(argv[0]);
+      }
     } else if (arg.rfind("--dir=", 0) == 0) {
       dir = arg.substr(6);
     } else if (arg == "--dir") {
@@ -99,6 +138,7 @@ int main(int argc, char** argv) {
 
   Request request;
   request.use_cache = use_cache;
+  request.deadline_ms = deadline_ms;
   request.format = format == "json"    ? OutputFormat::kJson
                    : format == "sarif" ? OutputFormat::kSarif
                                        : OutputFormat::kText;
@@ -119,18 +159,19 @@ int main(int argc, char** argv) {
   }
 
   std::string error;
-  const std::unique_ptr<Client> client = Client::connect(socket_path, &error);
-  if (!client) {
-    std::cerr << argv[0] << ": cannot connect: " << error << "\n";
-    return 2;
-  }
   Response response;
-  if (!client->call(request, &response, &error)) {
+  if (!Client::call_with_retry(socket_path, request, retry, &response,
+                               &error)) {
+    // Unreachable daemon (or retryable failure past the budget): exit 4
+    // with a single diagnostic line, distinct from "analysis found
+    // errors" (1) and "server rejected the request" (2).
     std::cerr << argv[0] << ": " << error << "\n";
-    return 2;
+    return 4;
   }
   if (!response.ok) {
-    std::cerr << argv[0] << ": server error: " << response.error << "\n";
+    std::cerr << argv[0] << ": server error ["
+              << status_name(response.status) << "]: " << response.error
+              << "\n";
     return 2;
   }
 

@@ -2,6 +2,7 @@
 //
 //   pncd [--socket=PATH] [--cache-dir=DIR] [--cache-bytes=N]
 //        [--jobs=N] [--no-info] [--no-disk-cache]
+//        [--shards=N] [--max-inflight=N]
 //
 // Listens on a unix-domain socket for framed analyze requests (see
 // src/service/protocol.h), dispatches them onto the work-stealing
@@ -9,18 +10,31 @@
 // content-addressed on-disk cache, so a second CI run over an unchanged
 // tree — even from a freshly restarted daemon — is pure cache hits.
 //
+// `--shards=N` runs the supervisor instead: N worker pncd processes,
+// each on its own socket, behind one public socket with consistent-hash
+// routing, crash isolation, automatic restart with backoff, and a
+// crash-loop circuit breaker (DESIGN.md §10).  All workers share the
+// disk cache.
+//
 // Defaults: socket $PNC_SOCKET or <cache>/pncd.sock, cache dir
 // $PNC_CACHE_DIR or ~/.cache/pnc.  SIGINT/SIGTERM (or a client's
 // `pnc_client shutdown`) stop the accept loop, drain in-flight
 // connections, persist the cache index, and unlink the socket.
 //
+// Fault injection (chaos testing only): $PNC_FAULT_SPEC arms a seeded
+// fault schedule in this process; $PNC_WORKER_FAULT_SPEC arms one
+// inside each forked shard worker.  See src/service/fault_injection.h.
+//
 // Exit status: 0 on a clean shutdown, 2 on startup/usage errors.
 #include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
 
+#include "service/fault_injection.h"
 #include "service/server.h"
+#include "service/supervisor.h"
 
 using namespace pnlab::service;
 
@@ -37,16 +51,22 @@ void print_usage(std::ostream& os, const char* argv0) {
         "(default 268435456; 0 = unbounded)\n"
         "  --jobs=N            worker threads per request (default: all "
         "hardware threads)\n"
+        "  --shards=N          run N crash-isolated worker processes "
+        "behind this socket\n"
+        "  --max-inflight=N    shed analysis requests beyond N in flight "
+        "(default: 4x hardware threads, min 8)\n"
         "  --no-info           drop Info-severity advisories\n"
         "  --no-disk-cache     keep results in memory only\n"
         "  --help              show this message\n";
 }
 
 Server* g_server = nullptr;
+Supervisor* g_supervisor = nullptr;
 
 void on_signal(int) {
   // stop_ store + shutdown(2): both async-signal-safe.
   if (g_server != nullptr) g_server->request_stop();
+  if (g_supervisor != nullptr) g_supervisor->request_stop();
 }
 
 }  // namespace
@@ -54,6 +74,7 @@ void on_signal(int) {
 int main(int argc, char** argv) {
   ServerOptions options;
   bool disk_cache = true;
+  int shards = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +92,24 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--jobs=", 0) == 0 || arg.rfind("--threads=", 0) == 0) {
       try {
         options.driver.threads = std::stoul(arg.substr(arg.find('=') + 1));
+      } catch (const std::exception&) {
+        print_usage(std::cerr, argv[0]);
+        return 2;
+      }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      try {
+        shards = std::stoi(arg.substr(9));
+      } catch (const std::exception&) {
+        print_usage(std::cerr, argv[0]);
+        return 2;
+      }
+      if (shards < 0) {
+        print_usage(std::cerr, argv[0]);
+        return 2;
+      }
+    } else if (arg.rfind("--max-inflight=", 0) == 0) {
+      try {
+        options.max_inflight = std::stoull(arg.substr(15));
       } catch (const std::exception&) {
         print_usage(std::cerr, argv[0]);
         return 2;
@@ -94,6 +133,47 @@ int main(int argc, char** argv) {
   if (!disk_cache) options.cache_dir.clear();
   if (options.socket_path.empty()) {
     options.socket_path = default_socket_path();
+  }
+
+  std::string fault_error;
+  if (!fault::arm_from_env(&fault_error)) {
+    std::cerr << argv[0] << ": $PNC_FAULT_SPEC: " << fault_error << "\n";
+    return 2;
+  }
+
+  if (shards > 0) {
+    SupervisorOptions sup;
+    sup.socket_path = options.socket_path;
+    sup.shards = shards;
+    sup.worker = options;
+    if (const char* spec = std::getenv("PNC_WORKER_FAULT_SPEC");
+        spec && *spec) {
+      std::string error;
+      if (!fault::parse_spec(spec, &error)) {
+        std::cerr << argv[0] << ": $PNC_WORKER_FAULT_SPEC: " << error << "\n";
+        return 2;
+      }
+      sup.worker_fault_spec = spec;
+    }
+    Supervisor supervisor(sup);
+    std::string error;
+    if (!supervisor.start(&error)) {
+      std::cerr << argv[0] << ": " << error << "\n";
+      return 2;
+    }
+    g_supervisor = &supervisor;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::cerr << "pncd: supervising " << shards << " shard(s) on "
+              << sup.socket_path;
+    if (!options.cache_dir.empty()) {
+      std::cerr << ", shared cache " << options.cache_dir;
+    }
+    std::cerr << "\n";
+    supervisor.serve();
+    std::cerr << "pncd: supervisor stopped after " << supervisor.restarts()
+              << " worker restart(s)\n";
+    return 0;
   }
 
   Server server(options);
