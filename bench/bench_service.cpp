@@ -12,6 +12,14 @@
 // A daemon restart then measures the disk-cache warm-start path: a
 // fresh process, zero memory hits, every file served from `index.v1`.
 //
+// Experiment E13 (incremental re-analysis, DESIGN.md §11): a 10k-file
+// synthetic tree driven through the v3 tree verbs.  Measured: cold
+// TREE_OPEN, no-change TREE_REANALYZE p50 (the manifest fast path —
+// must be >= 50x faster than cold), one dirtied file (must cost <= 5x
+// one uncached single-file analysis of that file — the fixed dirty-scan
+// + render overhead, not a tree-sized rescan), and 1% dirtied.  Every
+// incremental body is golden-diffed against ANALYZE_DIR bytes.
+//
 // Experiment E12 (fault tolerance) follows: the same traffic against a
 // 4-shard supervisor (`pncd --shards=4`) — routing must cost little
 // enough that sharded p99 stays within 1.5x the single process — and
@@ -246,6 +254,122 @@ int main() {
               << " files from the on-disk cache\n";
   }
 
+  // E13: incremental re-analysis over a 10k-file tree.  Every file gets
+  // a unique first line so the cold pass is 10k genuine analyses, not
+  // one analysis and 9999 memo hits; one file is deliberately large so
+  // the one-dirty phase is dominated by that file's analysis cost, which
+  // is what the <= 5x self-check compares against.
+  std::cout << "\nE13: incremental re-analysis ("
+            << "TREE_OPEN / TREE_REANALYZE)\n";
+  constexpr std::size_t kIncrTreeFiles = 10'000;
+  const auto corpus = pnlab::analysis::corpus::analyzer_corpus();
+  const fs::path itree = root / "itree";
+  for (std::size_t i = 0; i + 1 < kIncrTreeFiles; ++i) {
+    const fs::path sub = itree / ("d" + std::to_string(i / 1000));
+    if (i % 1000 == 0) fs::create_directories(sub);
+    std::ofstream(sub / ("f" + std::to_string(i) + ".pnc"),
+                  std::ios::binary)
+        << "// file " << i << "\n" << corpus[i % corpus.size()].source;
+  }
+  const fs::path big_file = itree / "big.pnc";
+  std::string big_source = "// the large file\n";
+  while (big_source.size() < 1024 * 1024) {
+    big_source += corpus[0].source;
+  }
+  std::ofstream(big_file, std::ios::binary) << big_source;
+
+  double incr_cold_ms = 0;
+  double incr_nochange_p50 = 0;
+  double incr_one_dirty_ms = 0;
+  double incr_one_pct_ms = 0;
+  double incr_single_file_ms = 0;
+  std::size_t incr_errors = 0;
+  std::size_t incr_mismatches = 0;
+  {
+    ServerOptions ioptions;
+    ioptions.socket_path = (root / "i.sock").string();
+    ioptions.cache_dir = (root / "icache").string();
+    RunningServer running(ioptions);
+    auto client = Client::connect(ioptions.socket_path, nullptr);
+    if (!client) {
+      std::cerr << "bench_service: cannot connect for E13\n";
+      return 1;
+    }
+
+    auto timed = [&](const Request& r, Response* rsp) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool ok = client->call(r, rsp) && rsp->ok;
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!ok) ++incr_errors;
+      return std::chrono::duration<double, std::milli>(t1 - t0).count();
+    };
+
+    Request treq;
+    treq.format = OutputFormat::kJson;
+    treq.paths = {itree.string()};
+    treq.kind = RequestKind::kTreeOpen;
+    Response cold_rsp;
+    incr_cold_ms = timed(treq, &cold_rsp);
+    std::string tree_golden = cold_rsp.body;
+
+    // No-change REANALYZE: a parallel stat pass plus a retained-body
+    // copy.  p50 over a handful of rounds keeps scheduler noise out.
+    treq.kind = RequestKind::kTreeReanalyze;
+    std::vector<double> nochange_ms;
+    for (int i = 0; i < 15; ++i) {
+      Response rsp;
+      nochange_ms.push_back(timed(treq, &rsp));
+      if (rsp.body != tree_golden) ++incr_mismatches;
+    }
+    std::sort(nochange_ms.begin(), nochange_ms.end());
+    incr_nochange_p50 = percentile(nochange_ms, 0.50);
+
+    // Dirty exactly the large file; the incremental body must match a
+    // from-scratch ANALYZE_DIR of the edited tree byte for byte.
+    std::ofstream(big_file, std::ios::binary)
+        << "// rewritten\n" << big_source;
+    Response dirty_rsp;
+    incr_one_dirty_ms = timed(treq, &dirty_rsp);
+    Request dir_req = treq;
+    dir_req.kind = RequestKind::kAnalyzeDir;
+    Response dir_rsp;
+    timed(dir_req, &dir_rsp);
+    if (dirty_rsp.body != dir_rsp.body) ++incr_mismatches;
+    tree_golden = dir_rsp.body;
+
+    // The yardstick for the one-dirty check: the same file analyzed
+    // alone, caches bypassed.
+    Request single;
+    single.kind = RequestKind::kAnalyzeFiles;
+    single.format = OutputFormat::kJson;
+    single.use_cache = false;
+    single.paths = {big_file.string()};
+    Response single_rsp;
+    incr_single_file_ms = timed(single, &single_rsp);
+
+    // 1% dirty: touch every 100th small file.
+    for (std::size_t i = 0; i + 1 < kIncrTreeFiles; i += 100) {
+      const fs::path sub = itree / ("d" + std::to_string(i / 1000));
+      std::ofstream(sub / ("f" + std::to_string(i) + ".pnc"),
+                    std::ios::binary | std::ios::app)
+          << "// dirtied\n";
+    }
+    Response pct_rsp;
+    incr_one_pct_ms = timed(treq, &pct_rsp);
+    Response dir2_rsp;
+    timed(dir_req, &dir2_rsp);
+    if (pct_rsp.body != dir2_rsp.body) ++incr_mismatches;
+  }
+  const double incr_speedup =
+      incr_nochange_p50 > 0 ? incr_cold_ms / incr_nochange_p50 : 0;
+  std::cout << kIncrTreeFiles << " files: cold open "
+            << std::setprecision(1) << incr_cold_ms << " ms, no-change p50 "
+            << std::setprecision(3) << incr_nochange_p50 << " ms ("
+            << std::setprecision(1) << incr_speedup
+            << "x), 1 dirty " << incr_one_dirty_ms
+            << " ms (single-file cost " << incr_single_file_ms
+            << " ms), 1% dirty " << incr_one_pct_ms << " ms\n";
+
   // E12a: the same warm traffic through a 4-shard supervisor.  Routing
   // adds one relay hop per request; the self-check below keeps that
   // overhead honest (sharded p99 within 1.5x the single process).
@@ -435,7 +559,13 @@ int main() {
          << "  \"availability_pct\": " << availability_pct << ",\n"
          << "  \"p99_under_faults_ms\": " << p99_under_faults << ",\n"
          << "  \"recovery_ms\": " << recovery_ms << ",\n"
-         << "  \"restarts\": " << storm_restarts << "\n"
+         << "  \"restarts\": " << storm_restarts << ",\n"
+         << "  \"incr_tree_files\": " << kIncrTreeFiles << ",\n"
+         << "  \"incr_cold_ms\": " << incr_cold_ms << ",\n"
+         << "  \"incr_nochange_p50_ms\": " << incr_nochange_p50 << ",\n"
+         << "  \"incr_one_dirty_ms\": " << incr_one_dirty_ms << ",\n"
+         << "  \"incr_one_pct_dirty_ms\": " << incr_one_pct_ms << ",\n"
+         << "  \"incr_single_file_ms\": " << incr_single_file_ms << "\n"
          << "}\n";
   }
   std::cout << "Wrote BENCH_service.json\n";
@@ -472,6 +602,27 @@ int main() {
   if (storm_restarts == 0) {
     std::cout << "\nWARNING: the kill loop never killed a worker — the "
                  "fault injection did not engage\n";
+    failed = true;
+  }
+  if (incr_errors > 0 || incr_mismatches > 0) {
+    std::cout << "\nWARNING: E13 had " << incr_errors << " failed and "
+              << incr_mismatches << " byte-mismatched incremental "
+              << "request(s)\n";
+    failed = true;
+  }
+  if (incr_nochange_p50 * 50.0 > incr_cold_ms) {
+    std::cout << "\nWARNING: no-change incremental p50 "
+              << incr_nochange_p50 << " ms is not 50x faster than the "
+              << incr_cold_ms << " ms cold open\n";
+    failed = true;
+  }
+  // A one-file edit must cost like analyzing that one file, not like
+  // rescanning the tree: 5x its uncached single-file analysis plus a
+  // small absolute allowance for the dirty-scan stat pass.
+  if (incr_one_dirty_ms > 5.0 * incr_single_file_ms + 2.0) {
+    std::cout << "\nWARNING: one-dirty incremental " << incr_one_dirty_ms
+              << " ms exceeds 5x the " << incr_single_file_ms
+              << " ms single-file analysis\n";
     failed = true;
   }
   return failed ? 1 : 0;

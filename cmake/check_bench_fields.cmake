@@ -42,4 +42,13 @@ require_field("${BENCH_DIR}/BENCH_service.json" "requests_per_s")
 require_field("${BENCH_DIR}/BENCH_service.json" "availability_pct")
 require_field("${BENCH_DIR}/BENCH_service.json" "p99_under_faults_ms")
 require_field("${BENCH_DIR}/BENCH_service.json" "recovery_ms")
+# ... and the E13 incremental re-analysis headline: cold open vs the
+# manifest fast path, plus the one-dirty and 1%-dirty latencies and the
+# single-file yardstick the one-dirty self-check compares against.
+require_field("${BENCH_DIR}/BENCH_service.json" "incr_tree_files")
+require_field("${BENCH_DIR}/BENCH_service.json" "incr_cold_ms")
+require_field("${BENCH_DIR}/BENCH_service.json" "incr_nochange_p50_ms")
+require_field("${BENCH_DIR}/BENCH_service.json" "incr_one_dirty_ms")
+require_field("${BENCH_DIR}/BENCH_service.json" "incr_one_pct_dirty_ms")
+require_field("${BENCH_DIR}/BENCH_service.json" "incr_single_file_ms")
 message(STATUS "bench check: per-phase fields present in BENCH_*.json")

@@ -21,6 +21,7 @@
 #include "analysis/simd_dispatch.h"
 #include "analysis/telemetry.h"
 #include "analysis/token.h"
+#include "analysis/tree_manifest.h"
 
 namespace pnlab::analysis {
 
@@ -170,6 +171,11 @@ std::string BatchStats::to_string() const {
      << " miss(es), " << cache.evictions << " eviction(s)";
   if (disk_hits > 0) os << ", " << disk_hits << " disk hit(s)";
   os << "\n";
+  if (tree_scanned > 0) {
+    os << "tree:  " << tree_scanned << " scanned, " << tree_dirty
+       << " dirty, " << tree_reused << " reused, " << tree_removed
+       << " removed\n";
+  }
   os << "arena: " << ast_nodes << " AST node(s), " << ast_arena_bytes
      << " byte(s) bump-allocated";
   if (files > cache.hits && files > parse_errors) {
@@ -258,6 +264,8 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
         // Hand-rolled SourceFiles may lack the ingestion-time hash.
         const std::uint64_t hash =
             file.content_hash != 0 ? file.content_hash : fnv1a(file.source);
+        report.content_hash = hash;
+        report.source_length = file.source.size();
         if (options_.use_cache) {
           if (std::optional<AnalysisResult> cached =
                   memo.find(hash, file.source.size())) {
@@ -456,25 +464,30 @@ void collect_pnc_files(const std::filesystem::path& dir,
 
 }  // namespace
 
-BatchResult BatchDriver::run_directory(const std::string& dir) {
+void collect_pnc_tree(const std::string& dir, std::vector<std::string>* paths,
+                      std::vector<FileReport>* unreadable) {
   namespace fs = std::filesystem;
-  using Clock = std::chrono::steady_clock;
-  const auto dir_start = Clock::now();
   if (!fs::is_directory(dir)) {
     throw std::runtime_error("not a directory: " + dir);
   }
-  const MappedBuffer::Ingestion mode = options_.mmap_ingestion
-                                           ? MappedBuffer::Ingestion::kAuto
-                                           : MappedBuffer::Ingestion::kRead;
-  std::vector<std::string> paths;
-  std::vector<FileReport> unreadable;
   std::set<DirIdentity> visited;
   std::set<DirIdentity> on_path;
   if (const std::optional<DirIdentity> root_id = dir_identity(dir)) {
     visited.insert(*root_id);
     on_path.insert(*root_id);
   }
-  collect_pnc_files(dir, visited, on_path, paths, unreadable);
+  collect_pnc_files(dir, visited, on_path, *paths, *unreadable);
+}
+
+BatchResult BatchDriver::run_directory(const std::string& dir) {
+  using Clock = std::chrono::steady_clock;
+  const auto dir_start = Clock::now();
+  const MappedBuffer::Ingestion mode = options_.mmap_ingestion
+                                           ? MappedBuffer::Ingestion::kAuto
+                                           : MappedBuffer::Ingestion::kRead;
+  std::vector<std::string> paths;
+  std::vector<FileReport> unreadable;
+  collect_pnc_tree(dir, &paths, &unreadable);
 
   std::vector<SourceFile> files;
   for (const std::string& path : paths) {
@@ -521,6 +534,187 @@ BatchResult BatchDriver::run_directory(const std::string& dir) {
   // is real time the caller waits for.
   batch.stats.wall_s =
       std::chrono::duration<double>(Clock::now() - dir_start).count();
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental runs
+
+namespace {
+
+/// Retained-batch lookup: `files` is sorted by name, so a binary search
+/// finds the previous report for @p path (or null).
+const FileReport* find_retained(const BatchResult* retained,
+                                const std::string& path) {
+  if (retained == nullptr) return nullptr;
+  auto it = std::lower_bound(
+      retained->files.begin(), retained->files.end(), path,
+      [](const FileReport& r, const std::string& p) { return r.file < p; });
+  if (it == retained->files.end() || it->file != path) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+BatchResult BatchDriver::run_incremental(TreeManifest& manifest,
+                                         const BatchResult* retained) {
+  using Clock = std::chrono::steady_clock;
+  const auto scan_start = Clock::now();
+  ScanResult scan = manifest.scan(options_.threads, options_.mmap_ingestion);
+  const double scan_s =
+      std::chrono::duration<double>(Clock::now() - scan_start).count();
+  BatchResult batch = run_incremental(manifest, std::move(scan), retained);
+  batch.stats.wall_s += scan_s;  // the caller waited for the scan too
+  return batch;
+}
+
+BatchResult BatchDriver::run_incremental(TreeManifest& manifest,
+                                         ScanResult scan,
+                                         const BatchResult* retained) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  ResultCache& memo = cache();
+  const CacheStats cache_before = memo.stats();
+  const MappedBuffer::Ingestion mode = options_.mmap_ingestion
+                                           ? MappedBuffer::Ingestion::kAuto
+                                           : MappedBuffer::Ingestion::kRead;
+
+  // Resolve every scanned file into either a ready report (reused) or a
+  // SourceFile for the inner run (dirty, added, or degraded-clean).
+  std::vector<FileReport> ready;
+  std::vector<SourceFile> to_run;
+  std::size_t read_error_reports = scan.unreadable.size();
+  std::size_t reused = 0;
+  for (ScanEntry& entry : scan.files) {
+    if (entry.ingest_failed) {
+      FileReport report;
+      report.file = entry.path;
+      report.ok = false;
+      report.error = entry.error;
+      ++read_error_reports;
+      ready.push_back(std::move(report));
+      continue;
+    }
+    if (entry.state != ScanState::kClean) {
+      to_run.push_back(SourceFile::mapped(entry.path, std::move(entry.buffer)));
+      continue;
+    }
+    // Clean: previous batch first (also covers parse errors, which the
+    // caches never store), then memory cache, then disk.
+    if (const FileReport* prev = find_retained(retained, entry.path);
+        prev != nullptr && prev->content_hash == entry.meta.content_hash &&
+        prev->source_length == entry.meta.length) {
+      FileReport report = *prev;
+      report.cache_hit = true;
+      report.disk_hit = false;
+      report.timings = {};
+      ++reused;
+      ready.push_back(std::move(report));
+      continue;
+    }
+    if (options_.use_cache) {
+      if (std::optional<AnalysisResult> cached =
+              memo.find(entry.meta.content_hash, entry.meta.length)) {
+        FileReport report;
+        report.file = entry.path;
+        report.result = *std::move(cached);
+        report.cache_hit = true;
+        report.content_hash = entry.meta.content_hash;
+        report.source_length = entry.meta.length;
+        PN_COUNTER_ADD(kCacheHits, 1);
+        ++reused;
+        ready.push_back(std::move(report));
+        continue;
+      }
+      PN_COUNTER_ADD(kCacheMisses, 1);
+      if (options_.secondary_cache != nullptr) {
+        if (std::optional<AnalysisResult> cached = options_.secondary_cache->load(
+                entry.meta.content_hash, entry.meta.length)) {
+          memo.insert(entry.meta.content_hash, entry.meta.length, *cached);
+          FileReport report;
+          report.file = entry.path;
+          report.result = *std::move(cached);
+          report.cache_hit = true;
+          report.disk_hit = true;
+          report.content_hash = entry.meta.content_hash;
+          report.source_length = entry.meta.length;
+          PN_INSTANT("disk_cache_hit", entry.path);
+          ++reused;
+          ready.push_back(std::move(report));
+          continue;
+        }
+      }
+    }
+    // Every tier missed (evicted disk entry, cold caches, parse error
+    // with no retained batch): degrade to a per-file re-analysis —
+    // clean never means "unservable".
+    std::string error;
+    auto buffer = MappedBuffer::open(entry.path, mode, &error);
+    if (!buffer) {
+      FileReport report;
+      report.file = entry.path;
+      report.ok = false;
+      report.error = "read error: " + error;
+      PN_COUNTER_ADD(kReadErrors, 1);
+      PN_INSTANT("read_error", report.error);
+      ++read_error_reports;
+      ready.push_back(std::move(report));
+      continue;
+    }
+    to_run.push_back(SourceFile::mapped(entry.path, std::move(buffer)));
+  }
+
+  // run() populates threads/steals/simd/phases even when to_run is
+  // empty, so a no-change tree still yields fully-formed stats.
+  BatchResult batch = run(to_run);
+  for (FileReport& report : ready) batch.files.push_back(std::move(report));
+  for (const FileReport& report : scan.unreadable) {
+    batch.files.push_back(report);
+  }
+  std::stable_sort(batch.files.begin(), batch.files.end(),
+                   [](const FileReport& a, const FileReport& b) {
+                     return a.file < b.file;
+                   });
+  batch.findings.clear();
+  for (const FileReport& report : batch.files) {
+    for (const Diagnostic& d : report.result.diagnostics) {
+      batch.findings.push_back({report.file, d});
+    }
+  }
+  std::sort(batch.findings.begin(), batch.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.diag.line, a.diag.col, a.diag.code,
+                              a.diag.message) <
+                     std::tie(b.file, b.diag.line, b.diag.col, b.diag.code,
+                              b.diag.message);
+            });
+
+  // Recount the aggregates over the merged report set; the inner run's
+  // scheduler/ISA/arena/phase fields already cover the analyzed subset.
+  BatchStats& stats = batch.stats;
+  stats.files = batch.files.size();
+  stats.parse_errors = 0;
+  stats.findings = 0;
+  stats.disk_hits = 0;
+  stats.phase_totals = {};
+  for (const FileReport& report : batch.files) {
+    if (!report.ok) ++stats.parse_errors;
+    if (report.disk_hit) ++stats.disk_hits;
+    stats.findings += report.result.finding_count();
+    stats.phase_totals += report.timings;
+  }
+  stats.read_errors = read_error_reports;
+  const CacheStats cache_after = memo.stats();
+  stats.cache.hits = cache_after.hits - cache_before.hits;
+  stats.cache.misses = cache_after.misses - cache_before.misses;
+  stats.cache.evictions = cache_after.evictions - cache_before.evictions;
+  stats.tree_scanned = scan.files.size();
+  stats.tree_dirty = scan.dirty + scan.added;
+  stats.tree_reused = reused;
+  stats.tree_removed = scan.removed.size();
+  stats.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  manifest.commit(scan);
   return batch;
 }
 

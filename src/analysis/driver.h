@@ -40,6 +40,9 @@
 
 namespace pnlab::analysis {
 
+class TreeManifest;  // tree_manifest.h
+struct ScanResult;   // tree_manifest.h
+
 /// 64-bit FNV-1a content hash — the cache key.
 std::uint64_t fnv1a(std::string_view data);
 
@@ -161,6 +164,11 @@ struct FileReport {
   bool disk_hit = false;  ///< subset of cache_hit: served by the
                           ///< secondary (on-disk) cache
   PhaseTimings timings;   ///< zeros on cache hits
+  /// Cache key of the bytes this report was produced from (0/0 for
+  /// ingestion failures and walk records).  Lets run_incremental verify
+  /// a retained report still matches the manifest before reusing it.
+  std::uint64_t content_hash = 0;
+  std::size_t source_length = 0;
 };
 
 /// One diagnostic attributed to its file — the flattened, sorted view.
@@ -168,6 +176,14 @@ struct Finding {
   std::string file;
   Diagnostic diag;
 };
+
+/// Recursive `.pnc` discovery under @p dir — the walk run_directory and
+/// TreeManifest::scan share.  Appends found paths (unsorted) to
+/// @p paths; cycle / unreadable-subtree records land in @p unreadable
+/// with the semantics documented on run_directory.  Throws
+/// std::runtime_error when @p dir is not a directory.
+void collect_pnc_tree(const std::string& dir, std::vector<std::string>* paths,
+                      std::vector<FileReport>* unreadable);
 
 /// Per-phase telemetry aggregate for one run (delta of the global
 /// telemetry counters across the run; empty when telemetry is disabled
@@ -212,6 +228,17 @@ struct BatchStats {
   /// Shard identity when the driver runs inside a supervised pncd
   /// worker; -1 = unsharded.  Stats metadata only, like simd_isa.
   int shard_id = -1;
+  /// Incremental-run accounting (run_incremental only; all zero
+  /// otherwise).  `tree_scanned` is the file count the dirty scan
+  /// visited, `tree_dirty` how many were re-analyzed (dirty + added),
+  /// `tree_reused` how many clean files were served from retained
+  /// results or the caches, `tree_removed` how many manifest entries
+  /// disappeared.  Stats metadata only — never serialized into
+  /// JSON/SARIF, which stay byte-identical to a full run.
+  std::size_t tree_scanned = 0;
+  std::size_t tree_dirty = 0;
+  std::size_t tree_reused = 0;
+  std::size_t tree_removed = 0;
 
   double files_per_sec() const;
   /// Multi-line human-readable rendering.
@@ -275,6 +302,22 @@ class BatchDriver {
   /// instead of looping forever.  Throws std::runtime_error if @p dir
   /// is not a directory.
   BatchResult run_directory(const std::string& dir);
+
+  /// Incremental directory run: dirty-scans @p manifest's tree, re-
+  /// analyzes only dirty + added files, and serves every clean file
+  /// from (in order) the retained previous batch, the memory cache, or
+  /// the secondary cache — falling back to a fresh per-file analysis
+  /// when all three miss (e.g. the disk entry was evicted), never an
+  /// error.  The merged BatchResult is byte-identical (to_json /
+  /// to_sarif) to a from-scratch run_directory over the same tree, and
+  /// the manifest is committed on success.  @p retained may be null or
+  /// from any earlier run over this tree.
+  BatchResult run_incremental(TreeManifest& manifest,
+                              const BatchResult* retained = nullptr);
+  /// As above with a scan the caller already performed (the service
+  /// scans first to detect the no-change fast path).
+  BatchResult run_incremental(TreeManifest& manifest, ScanResult scan,
+                              const BatchResult* retained = nullptr);
 
   CacheStats cache_stats() const { return cache().stats(); }
   void clear_cache() { cache().clear(); }

@@ -1,0 +1,235 @@
+#include "analysis/tree_manifest.h"
+
+#include <algorithm>
+#include <ctime>
+#include <thread>
+#include <unordered_set>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#endif
+
+#include "analysis/scheduler.h"
+#include "analysis/telemetry.h"
+
+namespace pnlab::analysis {
+
+namespace {
+
+std::int64_t realtime_now_ns() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+#else
+  return 0;  // no racy-clean protection off unix; every entry re-hashes
+#endif
+}
+
+/// stat() one path into fingerprint fields.  Returns false when the
+/// file raced away (or is otherwise unstattable) — the caller falls
+/// back to an ingest attempt.
+bool stat_fingerprint(const std::string& path, ManifestEntry* meta) {
+#if defined(__unix__) || defined(__APPLE__)
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return false;
+  meta->dev = static_cast<std::uint64_t>(st.st_dev);
+  meta->ino = static_cast<std::uint64_t>(st.st_ino);
+  meta->size = static_cast<std::uint64_t>(st.st_size);
+#if defined(__APPLE__)
+  meta->mtime_ns = static_cast<std::int64_t>(st.st_mtimespec.tv_sec) *
+                       1000000000 +
+                   st.st_mtimespec.tv_nsec;
+#else
+  meta->mtime_ns =
+      static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+      st.st_mtim.tv_nsec;
+#endif
+  return true;
+#else
+  (void)path;
+  (void)meta;
+  return false;
+#endif
+}
+
+bool same_fingerprint(const ManifestEntry& a, const ManifestEntry& b) {
+  return a.dev == b.dev && a.ino == b.ino && a.size == b.size &&
+         a.mtime_ns == b.mtime_ns;
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ScanResult TreeManifest::scan(std::size_t threads, bool mmap_ingestion) const {
+  PN_TRACE_SPAN(kIngest);
+  ScanResult result;
+  result.stamp_ns = realtime_now_ns();
+
+  std::vector<std::string> paths;
+  collect_pnc_tree(root_, &paths, &result.unreadable);
+  std::sort(paths.begin(), paths.end());
+
+  const MappedBuffer::Ingestion mode = mmap_ingestion
+                                           ? MappedBuffer::Ingestion::kAuto
+                                           : MappedBuffer::Ingestion::kRead;
+
+  result.files.resize(paths.size());
+  // Weight by the last-known size so one giant dirty file does not
+  // serialize the scan behind a worker full of small stats.
+  std::vector<std::uint64_t> weights(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const ManifestEntry* known = find(paths[i]);
+    weights[i] = (known != nullptr ? known->size : 0) + 1;
+  }
+
+  // Per-worker counters folded serially afterwards — the scan body must
+  // not contend on shared counters.
+  const std::size_t thread_count =
+      std::min(resolve_threads(threads), std::max<std::size_t>(paths.size(), 1));
+  struct WorkerCounts {
+    std::size_t stat_calls = 0;
+    std::size_t rehashes = 0;
+  };
+  std::vector<WorkerCounts> counts(thread_count);
+
+  parallel_for_weighted(
+      thread_count, weights, [&](std::size_t i, std::size_t worker) {
+        ScanEntry& entry = result.files[i];
+        entry.path = paths[i];
+
+        ManifestEntry fresh;
+        ++counts[worker].stat_calls;
+        const bool statted = stat_fingerprint(entry.path, &fresh);
+        const ManifestEntry* known = find(entry.path);
+
+        if (known != nullptr && statted && same_fingerprint(*known, fresh) &&
+            known->mtime_ns < scan_stamp_ns_) {
+          // Fingerprint holds and the entry predates the last scan
+          // stamp: clean with no read at all.
+          entry.state = ScanState::kClean;
+          entry.meta = *known;
+          return;
+        }
+
+        // Everything else reads the bytes: added files, fingerprint
+        // mismatches, racy entries (mtime at-or-after the stamp — the
+        // rewrite could share the recorded mtime), and stat races.
+        std::string error;
+        auto buffer = MappedBuffer::open(entry.path, mode, &error);
+        if (!buffer) {
+          entry.state =
+              known != nullptr ? ScanState::kDirty : ScanState::kAdded;
+          entry.ingest_failed = true;
+          entry.error = "read error: " + error;
+          PN_COUNTER_ADD(kReadErrors, 1);
+          PN_INSTANT("read_error", entry.error);
+          return;
+        }
+        ++counts[worker].rehashes;
+        fresh.content_hash = fnv1a(buffer->view());
+        fresh.length = buffer->view().size();
+        if (!statted) {
+          // File mutated between listing and stat: record the content
+          // we actually read with a zeroed fingerprint, which forces a
+          // re-check (then a cheap refresh) next scan.
+          fresh.size = fresh.length;
+        }
+        entry.meta = fresh;
+
+        if (known == nullptr) {
+          entry.state = ScanState::kAdded;
+          entry.buffer = std::move(buffer);
+          return;
+        }
+        if (known->content_hash == fresh.content_hash &&
+            known->length == fresh.length) {
+          // Same bytes after all (racy entry, or touch(1) without a
+          // write): clean, but re-stamp the fingerprint so the next
+          // scan skips the read.
+          entry.state = ScanState::kClean;
+          entry.fingerprint_refreshed = true;
+          return;
+        }
+        entry.state = ScanState::kDirty;
+        entry.buffer = std::move(buffer);
+      });
+
+  for (const WorkerCounts& c : counts) {
+    result.stat_calls += c.stat_calls;
+    result.rehashes += c.rehashes;
+  }
+  for (const ScanEntry& entry : result.files) {
+    switch (entry.state) {
+      case ScanState::kClean: ++result.clean; break;
+      case ScanState::kDirty: ++result.dirty; break;
+      case ScanState::kAdded: ++result.added; break;
+    }
+  }
+
+  // Removed = manifest entries the walk no longer produced.
+  if (!entries_.empty()) {
+    std::unordered_set<std::string_view> present;
+    present.reserve(paths.size());
+    for (const std::string& p : paths) present.insert(p);
+    for (const auto& [path, meta] : entries_) {
+      (void)meta;
+      if (!present.contains(path)) result.removed.push_back(path);
+    }
+    std::sort(result.removed.begin(), result.removed.end());
+  }
+  return result;
+}
+
+bool TreeManifest::would_change(const ScanResult& scan) const {
+  for (const ScanEntry& entry : scan.files) {
+    if (entry.ingest_failed) {
+      if (entries_.contains(entry.path)) return true;
+      continue;
+    }
+    if (entry.state != ScanState::kClean || entry.fingerprint_refreshed) {
+      return true;
+    }
+  }
+  for (const std::string& path : scan.removed) {
+    if (entries_.contains(path)) return true;
+  }
+  return false;
+}
+
+bool TreeManifest::commit(const ScanResult& scan) {
+  bool changed = false;
+  for (const ScanEntry& entry : scan.files) {
+    if (entry.ingest_failed) {
+      // Unreadable now: drop the record so a reappearing file is a
+      // plain add next scan, never a stale "clean".
+      changed |= entries_.erase(entry.path) > 0;
+      continue;
+    }
+    switch (entry.state) {
+      case ScanState::kClean:
+        if (entry.fingerprint_refreshed) {
+          entries_[entry.path] = entry.meta;
+          changed = true;
+        }
+        break;
+      case ScanState::kDirty:
+      case ScanState::kAdded:
+        entries_[entry.path] = entry.meta;
+        changed = true;
+        break;
+    }
+  }
+  for (const std::string& path : scan.removed) {
+    changed |= entries_.erase(path) > 0;
+  }
+  scan_stamp_ns_ = scan.stamp_ns;
+  return changed;
+}
+
+}  // namespace pnlab::analysis

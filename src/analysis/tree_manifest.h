@@ -1,0 +1,153 @@
+// Per-tree manifests and the parallel dirty scan — the bookkeeping that
+// makes re-analysis cost track the *edit*, not the *tree*.
+//
+// A TreeManifest remembers, for every `.pnc` file under one root, the
+// stat fingerprint (device, inode, size, mtime-ns) plus the FNV-1a
+// content hash and length that key the result caches.  scan() walks the
+// tree with the same cycle/diamond semantics as
+// BatchDriver::run_directory, stats every entry on the work-stealing
+// pool, and classifies each file:
+//
+//   * clean   — fingerprint unchanged; the cached hash stands, no read;
+//   * dirty   — fingerprint (or content, for racy entries) changed;
+//   * added   — no manifest entry; ingested and hashed;
+//   * removed — manifest entry with no file on disk.
+//
+// The git-index "racy clean" rule guards the mtime granularity hole: an
+// entry whose mtime is at-or-after the stamp of the scan that recorded
+// it could have been rewritten within the same clock tick, so its
+// content is re-hashed even when the fingerprint matches (a hash match
+// refreshes the fingerprint; a mismatch marks it dirty).
+//
+// The manifest itself is plain state with no I/O of its own: scan() is
+// const and commit() folds a scan's outcome back in.  Callers
+// (BatchDriver::run_incremental, the pncd server) own synchronization —
+// one scan/commit cycle per tree at a time — and the service layer owns
+// persistence (src/service/manifest_codec.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/driver.h"
+#include "analysis/mapped_buffer.h"
+
+namespace pnlab::analysis {
+
+/// What the manifest remembers per file.  The stat fingerprint decides
+/// whether a read can be skipped; (content_hash, length) is the result
+/// cache key that makes a clean file's report a pure lookup.
+struct ManifestEntry {
+  std::uint64_t dev = 0;
+  std::uint64_t ino = 0;
+  std::uint64_t size = 0;
+  std::int64_t mtime_ns = 0;
+  std::uint64_t content_hash = 0;
+  std::uint64_t length = 0;  ///< byte length paired with content_hash
+};
+
+enum class ScanState : std::uint8_t {
+  kClean = 0,
+  kDirty = 1,
+  kAdded = 2,
+};
+
+/// One file's scan outcome.  Dirty/added entries keep their ingested
+/// buffer so run_incremental analyzes them without a second read; clean
+/// entries carry no buffer (that is the point).
+struct ScanEntry {
+  std::string path;
+  ScanState state = ScanState::kClean;
+  ManifestEntry meta;  ///< fingerprint + hash to commit for this file
+  std::shared_ptr<const MappedBuffer> buffer;  ///< dirty/added only
+  bool ingest_failed = false;  ///< dirty/added whose read failed
+  std::string error;           ///< "read error: ..." when ingest_failed
+  /// Clean entry whose fingerprint was re-stamped after a content-hash
+  /// check (racy entry, or stat skew with identical bytes) — commit()
+  /// must rewrite its manifest record even though nothing re-analyzes.
+  bool fingerprint_refreshed = false;
+};
+
+/// Outcome of one dirty scan, ready for run_incremental / commit().
+struct ScanResult {
+  std::vector<ScanEntry> files;      ///< sorted by path
+  std::vector<std::string> removed;  ///< manifest entries gone from disk
+  /// Unreadable-subtree / cycle records from the walk, same shape as
+  /// run_directory produces.
+  std::vector<FileReport> unreadable;
+  std::size_t stat_calls = 0;
+  std::size_t rehashes = 0;  ///< files whose bytes were (re)hashed
+  std::size_t clean = 0;
+  std::size_t dirty = 0;
+  std::size_t added = 0;
+  /// CLOCK_REALTIME at scan start — becomes the manifest's racy-clean
+  /// stamp on commit().  Realtime on purpose: it must share a clock
+  /// domain with st_mtim.
+  std::int64_t stamp_ns = 0;
+};
+
+/// The per-tree manifest.  Not internally synchronized: the owner runs
+/// one scan/commit cycle at a time per manifest (the pncd server holds
+/// a per-tree mutex; scan() itself fans out internally).
+class TreeManifest {
+ public:
+  explicit TreeManifest(std::string root, std::uint64_t options_fingerprint = 0)
+      : root_(std::move(root)), options_fingerprint_(options_fingerprint) {}
+
+  const std::string& root() const { return root_; }
+  std::uint64_t options_fingerprint() const { return options_fingerprint_; }
+  /// Stamp of the last committed scan (0 = never scanned).
+  std::int64_t scan_stamp_ns() const { return scan_stamp_ns_; }
+  std::size_t size() const { return entries_.size(); }
+
+  const ManifestEntry* find(const std::string& path) const {
+    auto it = entries_.find(path);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Walks root(), stats every `.pnc` file in parallel, re-hashes only
+  /// fingerprint mismatches and racy entries, and classifies the tree
+  /// against this manifest.  Does not mutate the manifest — pass the
+  /// result to commit() (typically after the re-analysis succeeded).
+  /// Throws std::runtime_error when root() is not a directory, matching
+  /// run_directory.
+  ScanResult scan(std::size_t threads = 0, bool mmap_ingestion = true) const;
+
+  /// Folds @p scan back into the manifest: refreshed/dirty/added entries
+  /// are (re)recorded, failed ingests and removed files are dropped, and
+  /// the racy-clean stamp advances.  Returns true when any *entry*
+  /// changed — the signal that a persisted manifest is stale.  A
+  /// no-change scan returns false (the stamp alone is not worth a
+  /// rewrite: an older persisted stamp only means extra re-hashing,
+  /// never a wrong result).
+  bool commit(const ScanResult& scan);
+
+  /// Would commit(@p scan) change any entry?  Same predicate as
+  /// commit()'s return value, computable before the commit — the
+  /// service uses it to decide whether the persisted manifest will be
+  /// stale after a run_incremental (which commits internally).
+  bool would_change(const ScanResult& scan) const;
+
+  /// Replaces the entry table wholesale — the warm-start path used when
+  /// the service loads a persisted manifest.
+  void restore(std::unordered_map<std::string, ManifestEntry> entries,
+               std::int64_t scan_stamp_ns) {
+    entries_ = std::move(entries);
+    scan_stamp_ns_ = scan_stamp_ns;
+  }
+  const std::unordered_map<std::string, ManifestEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::string root_;
+  std::uint64_t options_fingerprint_ = 0;
+  std::int64_t scan_stamp_ns_ = 0;
+  std::unordered_map<std::string, ManifestEntry> entries_;
+};
+
+}  // namespace pnlab::analysis

@@ -1,0 +1,15 @@
+// Build identity shared by every CLI's `--version` output.
+//
+// One header, no generated files: the version is bumped by hand when a
+// release-worthy surface changes.  The protocol / format constants the
+// tools print next to it live with their owning subsystems
+// (service/protocol.h, service/disk_cache.h, service/result_codec.h) —
+// `--version` assembles them so a user can tell at a glance whether two
+// binaries can share a socket and a cache directory.
+#pragma once
+
+namespace pnlab {
+
+inline constexpr const char* kBuildVersion = "0.9.0";
+
+}  // namespace pnlab

@@ -156,6 +156,15 @@ bool atomic_write(const fs::path& dest, std::span<const std::byte> bytes) {
 
 }  // namespace
 
+bool atomic_write_file(const std::string& dest,
+                       std::span<const std::byte> bytes) {
+  return atomic_write(fs::path(dest), bytes);
+}
+
+bool read_file_bytes(const std::string& path, std::vector<std::byte>* out) {
+  return read_file_bytes(fs::path(path), out);
+}
+
 std::uint64_t analyzer_options_fingerprint(
     const analysis::AnalyzerOptions& options) {
   // FNV over a canonical rendering of every result-affecting field.

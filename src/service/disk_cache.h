@@ -39,12 +39,25 @@
 #include <list>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "analysis/driver.h"
 
 namespace pnlab::service {
+
+/// The atomic+durable write discipline every persisted artifact in the
+/// cache directory shares (entries, index, tree manifests): temp file
+/// in the destination's own directory, fsync, rename over the target,
+/// fsync the directory.  Returns false on any IO failure (disk full,
+/// permissions) — callers degrade, they do not crash.
+bool atomic_write_file(const std::string& dest,
+                       std::span<const std::byte> bytes);
+
+/// Whole-file read into @p out; false when unreadable.
+bool read_file_bytes(const std::string& path, std::vector<std::byte>* out);
 
 /// On-disk entry/index format version; bump on any layout change.
 /// v2: entry headers carry the analyzer-options fingerprint.

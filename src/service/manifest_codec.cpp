@@ -1,0 +1,133 @@
+#include "service/manifest_codec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "serde/wire.h"
+#include "service/disk_cache.h"
+
+namespace pnlab::service {
+
+namespace {
+
+// "PNMF" as a little-endian u32.
+constexpr std::uint32_t kManifestMagic = 0x464d4e50u;
+
+std::uint64_t fnv1a_bytes(std::span<const std::byte> data) {
+  return analysis::fnv1a(std::string_view(
+      reinterpret_cast<const char*>(data.data()), data.size()));
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& cache_dir,
+                          const std::string& root,
+                          std::uint64_t options_fingerprint) {
+  // Same mixing shape the disk cache uses for its keys: tree identity
+  // and configuration identity collapse into one filename.
+  std::uint64_t id = analysis::fnv1a(root);
+  if (options_fingerprint != 0) {
+    id ^= options_fingerprint + 0x9e3779b97f4a7c15ull + (id << 6) + (id >> 2);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return cache_dir + "/manifest-" + buf + ".v1";
+}
+
+std::vector<std::byte> encode_manifest(
+    const analysis::TreeManifest& manifest) {
+  serde::ByteWriter w;
+  w.u32(kManifestMagic);
+  w.u32(kManifestFormatVersion);
+  w.str32(manifest.root());
+  w.u64(manifest.options_fingerprint());
+  w.u64(static_cast<std::uint64_t>(manifest.scan_stamp_ns()));
+  w.u64(manifest.entries().size());
+  // Sort by path so identical manifests serialize to identical bytes —
+  // unordered_map iteration order must not leak into the artifact.
+  std::vector<std::pair<std::string_view, const analysis::ManifestEntry*>>
+      sorted;
+  sorted.reserve(manifest.entries().size());
+  for (const auto& [path, entry] : manifest.entries()) {
+    sorted.emplace_back(path, &entry);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [path, entry] : sorted) {
+    w.str32(std::string(path));
+    w.u64(entry->dev);
+    w.u64(entry->ino);
+    w.u64(entry->size);
+    w.u64(static_cast<std::uint64_t>(entry->mtime_ns));
+    w.u64(entry->content_hash);
+    w.u64(entry->length);
+  }
+  std::vector<std::byte> bytes = w.take();
+  serde::ByteWriter tail;
+  tail.u64(fnv1a_bytes(bytes));
+  for (std::byte b : tail.take()) bytes.push_back(b);
+  return bytes;
+}
+
+bool decode_manifest(std::span<const std::byte> bytes,
+                     analysis::TreeManifest* manifest) {
+  try {
+    if (bytes.size() < 8) return false;
+    const std::uint64_t checksum =
+        fnv1a_bytes(bytes.subspan(0, bytes.size() - 8));
+    serde::ByteReader tail(bytes.subspan(bytes.size() - 8));
+    if (tail.u64() != checksum) return false;
+
+    serde::ByteReader r(bytes.subspan(0, bytes.size() - 8));
+    if (r.u32() != kManifestMagic) return false;
+    if (r.u32() != kManifestFormatVersion) return false;
+    const std::string root = r.str32();
+    const std::uint64_t fingerprint = r.u64();
+    if (root != manifest->root() ||
+        fingerprint != manifest->options_fingerprint()) {
+      return false;
+    }
+    const std::int64_t stamp = static_cast<std::int64_t>(r.u64());
+    const std::uint64_t count = r.u64();
+    // Each entry is at least 4 (path prefix) + 48 bytes; a count the
+    // remaining payload cannot hold is corruption, refused before the
+    // reserve — this codebase does not get to have a length-field bug.
+    if (count > r.remaining() / 52) return false;
+    std::unordered_map<std::string, analysis::ManifestEntry> entries;
+    entries.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string path = r.str32();
+      analysis::ManifestEntry entry;
+      entry.dev = r.u64();
+      entry.ino = r.u64();
+      entry.size = r.u64();
+      entry.mtime_ns = static_cast<std::int64_t>(r.u64());
+      entry.content_hash = r.u64();
+      entry.length = r.u64();
+      entries.emplace(std::move(path), entry);
+    }
+    if (!r.at_end()) return false;
+    manifest->restore(std::move(entries), stamp);
+    return true;
+  } catch (const serde::WireError&) {
+    return false;
+  }
+}
+
+bool save_manifest(const std::string& path,
+                   const analysis::TreeManifest& manifest) {
+  return atomic_write_file(path, encode_manifest(manifest));
+}
+
+bool load_manifest(const std::string& path,
+                   analysis::TreeManifest* manifest) {
+  std::vector<std::byte> bytes;
+  if (!read_file_bytes(path, &bytes)) return false;
+  return decode_manifest(bytes, manifest);
+}
+
+}  // namespace pnlab::service

@@ -1,0 +1,64 @@
+// Persistence for TreeManifest — the `manifest.v1` artifact that lets a
+// restarted pncd warm-start incremental re-analysis instead of paying a
+// cold full scan.
+//
+// Manifests live next to the disk cache, one file per (tree root,
+// analyzer-options fingerprint), named `manifest-<16hex>.v1` where the
+// hex is the root hash mixed with the fingerprint — two daemons with
+// different options over the same tree never read each other's state.
+// The format follows the cache's durability discipline (DESIGN.md §9):
+// magic + version header, the recorded root and fingerprint repeated in
+// the body (verified on load: a renamed cache directory must not
+// resurrect another tree's manifest), and a trailing FNV-1a checksum
+// over everything before it.  Writes go through atomic_write_file.
+//
+// A manifest is an accelerator, never a point of failure: load_manifest
+// returns false on any problem — missing file, bad magic, version skew,
+// checksum mismatch, root/fingerprint mismatch — and the caller falls
+// back to a full scan, which rebuilds it.  A wrong manifest can at
+// worst mark files clean that are not; the stat fingerprint + racy
+// rules bound that to "the file changed and its metadata says so",
+// which the scan catches.  Corruption therefore costs time, not
+// correctness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/tree_manifest.h"
+
+namespace pnlab::service {
+
+/// On-disk manifest format version; bump on any layout change.
+inline constexpr std::uint32_t kManifestFormatVersion = 1;
+
+/// Where the manifest for (@p root, @p options_fingerprint) lives
+/// inside @p cache_dir.
+std::string manifest_path(const std::string& cache_dir,
+                          const std::string& root,
+                          std::uint64_t options_fingerprint);
+
+/// Serializes @p manifest (root, fingerprint, stamp, every entry) into
+/// the checksummed v1 layout.
+std::vector<std::byte> encode_manifest(const analysis::TreeManifest& manifest);
+
+/// Strict decode into @p manifest, whose root() and
+/// options_fingerprint() must match the recorded ones.  Returns false
+/// on any mismatch or corruption; @p manifest is untouched then.
+bool decode_manifest(std::span<const std::byte> bytes,
+                     analysis::TreeManifest* manifest);
+
+/// encode + atomic_write_file; false on IO failure (callers degrade).
+bool save_manifest(const std::string& path,
+                   const analysis::TreeManifest& manifest);
+
+/// Reads + decodes @p path into @p manifest (same match rules as
+/// decode_manifest).  False when missing or invalid — the caller runs a
+/// full scan instead.
+bool load_manifest(const std::string& path,
+                   analysis::TreeManifest* manifest);
+
+}  // namespace pnlab::service

@@ -68,6 +68,11 @@ void check_version(std::uint32_t version) {
 std::vector<std::byte> encode_request(const Request& request,
                                       std::uint32_t version) {
   check_version(version);
+  if (request.kind > RequestKind::kShutdown && version < 3) {
+    throw serde::WireError("request kind " +
+                           std::to_string(static_cast<int>(request.kind)) +
+                           " requires protocol v3");
+  }
   serde::ByteWriter w;
   w.u32(version);
   w.u8(static_cast<std::uint8_t>(request.kind));
@@ -87,8 +92,13 @@ Request decode_request(std::span<const std::byte> payload,
   if (version_out) *version_out = version;
   Request request;
   const std::uint8_t kind = r.u8();
+  // The tree verbs exist only in v3 frames; in a v1/v2 frame kind 6/7
+  // was never valid and stays a decode error.
+  const std::uint8_t max_kind =
+      version >= 3 ? static_cast<std::uint8_t>(RequestKind::kTreeReanalyze)
+                   : static_cast<std::uint8_t>(RequestKind::kShutdown);
   if (kind < static_cast<std::uint8_t>(RequestKind::kPing) ||
-      kind > static_cast<std::uint8_t>(RequestKind::kShutdown)) {
+      kind > max_kind) {
     throw serde::WireError("unknown request kind: " + std::to_string(kind));
   }
   request.kind = static_cast<RequestKind>(kind);
@@ -138,6 +148,11 @@ std::vector<std::byte> encode_response(const Response& response,
   w.u64(response.stats.mem_cache_hits);
   w.u64(response.stats.disk_cache_hits);
   w.u64(response.stats.cache_misses);
+  if (version >= 3) {
+    w.u64(response.stats.tree_scanned);
+    w.u64(response.stats.tree_dirty);
+    w.u64(response.stats.tree_reused);
+  }
   return w.take();
 }
 
@@ -168,6 +183,11 @@ Response decode_response(std::span<const std::byte> payload) {
   response.stats.mem_cache_hits = r.u64();
   response.stats.disk_cache_hits = r.u64();
   response.stats.cache_misses = r.u64();
+  if (version >= 3) {
+    response.stats.tree_scanned = r.u64();
+    response.stats.tree_dirty = r.u64();
+    response.stats.tree_reused = r.u64();
+  }
   if (!r.at_end()) throw serde::WireError("trailing bytes after response");
   return response;
 }

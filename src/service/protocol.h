@@ -24,6 +24,14 @@
 // server still accepts version-1 requests and answers them in the
 // version-1 layout, so old clients keep working — they just cannot set
 // deadlines or see the typed fields.
+//
+// Version 3 adds the incremental verbs (DESIGN.md §11): TREE_OPEN and
+// TREE_REANALYZE address a directory tree by root (paths[0]) against a
+// server-resident manifest, and v3 responses append the dirty-scan
+// counters (scanned / dirty / reused) to the stats block.  The new
+// kinds are rejected in v1/v2 frames — to an old peer they were never
+// valid, and staying that way keeps the decode matrix exact — while
+// v1/v2 requests of the existing kinds are served unchanged.
 #pragma once
 
 #include <cstddef>
@@ -34,7 +42,7 @@
 
 namespace pnlab::service {
 
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
 /// Oldest request/response layout the codecs still speak.
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
 /// Hard ceiling on one frame's payload (requests are path lists and
@@ -47,6 +55,13 @@ enum class RequestKind : std::uint8_t {
   kAnalyzeDir = 3,    ///< analyze every .pnc under paths[0], recursively
   kStats = 4,         ///< server/cache counters as a JSON body
   kShutdown = 5,      ///< stop accepting; drain and exit
+  /// v3: (re)open the tree rooted at paths[0] — discard any resident or
+  /// persisted manifest, run a full analysis, and build a fresh one.
+  kTreeOpen = 6,
+  /// v3: incremental re-analysis of the tree rooted at paths[0] against
+  /// the resident manifest (warm-started from disk when present; falls
+  /// back to a cold open when neither exists or either is corrupt).
+  kTreeReanalyze = 7,
 };
 
 enum class OutputFormat : std::uint8_t { kJson = 0, kSarif = 1, kText = 2 };
@@ -88,6 +103,11 @@ struct ResponseStats {
   std::uint64_t mem_cache_hits = 0;
   std::uint64_t disk_cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// v3 dirty-scan counters; zero for non-tree requests and absent from
+  /// the wire before v3.
+  std::uint64_t tree_scanned = 0;
+  std::uint64_t tree_dirty = 0;
+  std::uint64_t tree_reused = 0;
 };
 
 struct Response {

@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "analysis/telemetry.h"
+#include "analysis/tree_manifest.h"
 #include "serde/wire.h"
 #include "service/fault_injection.h"
+#include "service/manifest_codec.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PNLAB_HAVE_SOCKETS 1
@@ -28,7 +30,9 @@ using analysis::BatchDriver;
 using analysis::BatchResult;
 using analysis::DriverOptions;
 using analysis::MappedBuffer;
+using analysis::ScanResult;
 using analysis::SourceFile;
+using analysis::TreeManifest;
 
 namespace {
 
@@ -39,12 +43,66 @@ std::size_t default_max_inflight() {
 
 }  // namespace
 
+/// Everything the server keeps resident per tree root.  The per-tree
+/// mutex serializes scan/analyze/commit cycles for one tree while
+/// leaving other trees (and non-tree requests) fully concurrent.
+struct Server::TreeState {
+  TreeState(std::string root, std::uint64_t fingerprint)
+      : manifest(std::move(root), fingerprint) {}
+
+  std::mutex mutex;
+  TreeManifest manifest;
+  /// The last full merged batch — the reuse source for clean files.
+  std::shared_ptr<const BatchResult> retained;
+  /// Rendered bodies per OutputFormat, valid only while `retained`
+  /// stands; the no-change fast path serves these bytes directly.
+  std::array<std::string, 3> bodies;
+  std::array<bool, 3> body_valid{};
+  std::uint8_t exit_code = 0;
+  /// files/findings/errors of the retained batch (cache counters zero —
+  /// the fast path probes nothing).
+  ResponseStats base_stats;
+  /// The walk's unreadable-record signature (file, error) from the scan
+  /// behind `retained`; a change (a subtree turning unreadable) changes
+  /// the report, so it gates the fast path.
+  std::vector<std::pair<std::string, std::string>> unreadable_sig;
+  /// Whether the persisted manifest was already consulted for this
+  /// root (warm-start happens once; TREE_OPEN suppresses it).
+  bool warm_start_done = false;
+
+  void invalidate() {
+    retained.reset();
+    body_valid = {};
+    for (std::string& b : bodies) b.clear();
+    base_stats = {};
+    unreadable_sig.clear();
+    exit_code = 0;
+  }
+};
+
+namespace {
+
+std::vector<std::pair<std::string, std::string>> unreadable_signature(
+    const std::vector<analysis::FileReport>& unreadable) {
+  std::vector<std::pair<std::string, std::string>> sig;
+  sig.reserve(unreadable.size());
+  for (const analysis::FileReport& r : unreadable) {
+    sig.emplace_back(r.file, r.error);
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+}  // namespace
+
 Server::Server(ServerOptions options) : options_(std::move(options)) {
   max_inflight_ = options_.max_inflight > 0 ? options_.max_inflight
                                             : default_max_inflight();
   memory_cache_ = std::make_shared<analysis::ResultCache>();
   memory_cache_->set_max_entries(options_.driver.cache_max_entries);
   options_.driver.shard_id = options_.shard_id;
+  options_fingerprint_ =
+      analyzer_options_fingerprint(options_.driver.analyzer);
   if (!options_.cache_dir.empty()) {
     DiskCacheOptions disk;
     disk.dir = options_.cache_dir;
@@ -53,8 +111,7 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
     // restarted with different flags (say, --no-info) over the same
     // cache directory must never serve results computed under the old
     // options.
-    disk.options_fingerprint =
-        analyzer_options_fingerprint(options_.driver.analyzer);
+    disk.options_fingerprint = options_fingerprint_;
     disk_cache_ = std::make_unique<DiskCache>(disk);
   }
 }
@@ -129,6 +186,25 @@ Response Server::handle(const Request& request) {
 
 Response Server::handle(const Request& request,
                         std::chrono::steady_clock::time_point arrival) {
+  Response response = handle_impl(request, arrival);
+  // Service counters for the metrics exporter: every response lands in
+  // exactly one status bucket; cache-tier hits accumulate from the
+  // response stats (tiers overlap — see the member comment).
+  const auto status = static_cast<std::size_t>(response.status);
+  if (status < status_counts_.size()) {
+    status_counts_[status].fetch_add(1, std::memory_order_relaxed);
+  }
+  tier_memory_hits_.fetch_add(response.stats.mem_cache_hits,
+                              std::memory_order_relaxed);
+  tier_disk_hits_.fetch_add(response.stats.disk_cache_hits,
+                            std::memory_order_relaxed);
+  tier_manifest_clean_.fetch_add(response.stats.tree_reused,
+                                 std::memory_order_relaxed);
+  return response;
+}
+
+Response Server::handle_impl(const Request& request,
+                             std::chrono::steady_clock::time_point arrival) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   Response response;
   switch (request.kind) {
@@ -147,6 +223,7 @@ Response Server::handle(const Request& request,
          << "  \"deadline_rejects\": " << deadline_rejects() << ",\n"
          << "  \"max_inflight\": " << max_inflight_ << ",\n"
          << "  \"shard_id\": " << options_.shard_id << ",\n"
+         << "  \"trees_resident\": " << trees_resident() << ",\n"
          << "  \"memory_cache\": {\"entries\": " << memory_cache_->size()
          << ", \"hits\": " << mem.hits << ", \"misses\": " << mem.misses
          << ", \"evictions\": " << mem.evictions << "},\n"
@@ -175,6 +252,8 @@ Response Server::handle(const Request& request,
     }
     case RequestKind::kAnalyzeFiles:
     case RequestKind::kAnalyzeDir:
+    case RequestKind::kTreeOpen:
+    case RequestKind::kTreeReanalyze:
       break;
   }
 
@@ -225,6 +304,16 @@ Response Server::handle(const Request& request,
   driver_options.secondary_cache =
       request.use_cache ? disk_cache_.get() : nullptr;
   if (!request.use_cache) driver_options.use_cache = false;
+
+  if (request.kind == RequestKind::kTreeOpen ||
+      request.kind == RequestKind::kTreeReanalyze) {
+    try {
+      return handle_tree(request, arrival, driver_options);
+    } catch (const std::exception& e) {
+      return error_response(StatusCode::kInternal, e.what());
+    }
+  }
+
   BatchDriver driver(driver_options);
 
   try {
@@ -299,6 +388,195 @@ Response Server::handle(const Request& request,
     return error_response(StatusCode::kInternal, e.what());
   }
   return response;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental tree requests (protocol v3)
+
+Response Server::handle_tree(const Request& request,
+                             std::chrono::steady_clock::time_point arrival,
+                             const DriverOptions& driver_options) {
+  if (request.paths.size() != 1) {
+    return error_response(StatusCode::kBadRequest,
+                          "tree requests take exactly one root path");
+  }
+  const std::string& root = request.paths[0];
+  const bool open = request.kind == RequestKind::kTreeOpen;
+  const std::string persisted =
+      options_.cache_dir.empty()
+          ? std::string()
+          : manifest_path(options_.cache_dir, root, options_fingerprint_);
+
+  std::shared_ptr<TreeState> tree;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    std::shared_ptr<TreeState>& slot = trees_[root];
+    if (!slot) slot = std::make_shared<TreeState>(root, options_fingerprint_);
+    tree = slot;
+  }
+  // One scan/analyze/commit cycle per tree at a time; other trees and
+  // non-tree requests proceed concurrently.
+  std::lock_guard<std::mutex> tree_lock(tree->mutex);
+
+  if (open) {
+    // TREE_OPEN is the authoritative rebuild: drop resident and
+    // persisted state so nothing stale can leak into the new manifest.
+    tree->manifest = TreeManifest(root, options_fingerprint_);
+    tree->invalidate();
+    tree->warm_start_done = true;
+    if (!persisted.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(persisted, ec);
+    }
+  } else if (!tree->warm_start_done) {
+    tree->warm_start_done = true;
+    if (tree->manifest.size() == 0 && !persisted.empty()) {
+      // Warm start: a valid persisted manifest makes the first
+      // REANALYZE after a restart pay stats + cache lookups instead of
+      // a cold analysis.  Any corruption or mismatch just leaves the
+      // manifest empty — a full scan, never an error.
+      load_manifest(persisted, &tree->manifest);
+      PN_INSTANT("manifest_warm_start",
+                 root + ": " + std::to_string(tree->manifest.size()) +
+                     " entries");
+    }
+  }
+
+  ScanResult scan = tree->manifest.scan(driver_options.threads,
+                                        driver_options.mmap_ingestion);
+  const bool manifest_changed = tree->manifest.would_change(scan);
+  const std::size_t fmt = static_cast<std::size_t>(request.format);
+
+  if (!open && scan.dirty == 0 && scan.added == 0 && scan.removed.empty() &&
+      !manifest_changed && tree->retained &&
+      unreadable_signature(scan.unreadable) == tree->unreadable_sig) {
+    // No-change fast path: nothing dirty, same walk records — answer
+    // the retained bytes without touching the driver or the caches.
+    // This is what makes a no-change request on a 10k-file tree cost a
+    // parallel stat pass plus a memcpy.
+    tree->manifest.commit(scan);  // advances the racy-clean stamp only
+    if (!tree->body_valid[fmt]) {
+      tree->bodies[fmt] = render(*tree->retained, request.format);
+      tree->body_valid[fmt] = true;
+    }
+    if (request.deadline_ms > 0 &&
+        elapsed_ms_since(arrival) >= request.deadline_ms) {
+      deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return error_response(
+          StatusCode::kDeadlineExceeded,
+          "deadline of " + std::to_string(request.deadline_ms) +
+              " ms elapsed during the dirty scan");
+    }
+    Response response;
+    response.ok = true;
+    response.status = StatusCode::kOk;
+    response.exit_code = tree->exit_code;
+    response.body = tree->bodies[fmt];
+    response.stats = tree->base_stats;
+    response.stats.tree_scanned = scan.files.size();
+    response.stats.tree_dirty = 0;
+    response.stats.tree_reused = scan.files.size();
+    PN_INSTANT("tree_nochange", root);
+    return response;
+  }
+
+  // Something changed (or this is an open / a cold first touch):
+  // incremental run — only dirty + added files are analyzed; clean
+  // files come from the retained batch and the cache layers.
+  std::vector<std::pair<std::string, std::string>> sig =
+      unreadable_signature(scan.unreadable);
+  BatchDriver driver(driver_options);
+  const BatchResult* retained = open ? nullptr : tree->retained.get();
+  BatchResult batch =
+      driver.run_incremental(tree->manifest, std::move(scan), retained);
+
+  Response response;
+  response.ok = true;
+  response.status = StatusCode::kOk;
+  response.exit_code = exit_code_for(batch);
+  response.body = render(batch, request.format);
+  fill_stats(batch, &response.stats);
+  response.stats.tree_scanned = batch.stats.tree_scanned;
+  response.stats.tree_dirty = batch.stats.tree_dirty;
+  response.stats.tree_reused = batch.stats.tree_reused;
+
+  // Retain for the next request (even when the deadline already
+  // elapsed: like the cache-warming comment below, the work is done —
+  // the client's retry should hit the fast path).
+  tree->exit_code = response.exit_code;
+  tree->base_stats = ResponseStats{};
+  tree->base_stats.files = batch.stats.files;
+  tree->base_stats.findings = batch.stats.findings;
+  tree->base_stats.parse_errors = batch.stats.parse_errors;
+  tree->base_stats.read_errors = batch.stats.read_errors;
+  tree->unreadable_sig = std::move(sig);
+  tree->body_valid = {};
+  for (std::string& b : tree->bodies) b.clear();
+  tree->bodies[fmt] = response.body;
+  tree->body_valid[fmt] = true;
+  tree->retained = std::make_shared<const BatchResult>(std::move(batch));
+
+  if (!persisted.empty() && (open || manifest_changed)) {
+    // Persist next to the disk cache so a restarted daemon warm-starts.
+    // A failed write is a slower restart, not an error.
+    save_manifest(persisted, tree->manifest);
+  }
+
+  if (request.deadline_ms > 0 &&
+      elapsed_ms_since(arrival) >= request.deadline_ms) {
+    deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(
+        StatusCode::kDeadlineExceeded,
+        "analysis finished after the " + std::to_string(request.deadline_ms) +
+            " ms deadline (manifest retained for retry)");
+  }
+  return response;
+}
+
+std::size_t Server::trees_resident() const {
+  std::lock_guard<std::mutex> lock(trees_mutex_);
+  return trees_.size();
+}
+
+void Server::save_manifests() {
+  if (options_.cache_dir.empty()) return;
+  std::vector<std::shared_ptr<TreeState>> trees;
+  {
+    std::lock_guard<std::mutex> lock(trees_mutex_);
+    trees.reserve(trees_.size());
+    for (const auto& [root, tree] : trees_) trees.push_back(tree);
+  }
+  for (const std::shared_ptr<TreeState>& tree : trees) {
+    std::lock_guard<std::mutex> lock(tree->mutex);
+    if (tree->manifest.size() == 0) continue;
+    save_manifest(manifest_path(options_.cache_dir, tree->manifest.root(),
+                                options_fingerprint_),
+                  tree->manifest);
+  }
+}
+
+std::string Server::metrics_text() const {
+  std::ostringstream os;
+  os << "# TYPE pnc_requests_total counter\n";
+  for (std::size_t i = 0; i < status_counts_.size(); ++i) {
+    os << "pnc_requests_total{status=\""
+       << status_name(static_cast<StatusCode>(i)) << "\"} "
+       << status_counts_[i].load(std::memory_order_relaxed) << "\n";
+  }
+  os << "# TYPE pnc_cache_tier_hits_total counter\n";
+  os << "pnc_cache_tier_hits_total{tier=\"memory\"} "
+     << tier_memory_hits_.load(std::memory_order_relaxed) << "\n";
+  os << "pnc_cache_tier_hits_total{tier=\"disk\"} "
+     << tier_disk_hits_.load(std::memory_order_relaxed) << "\n";
+  os << "pnc_cache_tier_hits_total{tier=\"manifest_clean\"} "
+     << tier_manifest_clean_.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE pnc_requests_shed_total counter\n";
+  os << "pnc_requests_shed_total " << requests_shed() << "\n";
+  os << "# TYPE pnc_deadline_rejects_total counter\n";
+  os << "pnc_deadline_rejects_total " << deadline_rejects() << "\n";
+  os << "# TYPE pnc_trees_resident gauge\n";
+  os << "pnc_trees_resident " << trees_resident() << "\n";
+  return os.str();
 }
 
 // ---------------------------------------------------------------------------
@@ -444,6 +722,7 @@ void Server::serve() {
   }
   std::error_code ec;
   std::filesystem::remove(options_.socket_path, ec);
+  save_manifests();
   if (disk_cache_) disk_cache_->save_index();
 }
 

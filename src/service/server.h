@@ -25,8 +25,16 @@
 // pileup), each connection has a frame budget so one hog cannot
 // monopolize the daemon forever, and a stale socket file left by a
 // SIGKILLed predecessor is probed and reclaimed at bind time.
+// Incremental re-analysis (DESIGN.md §11): the v3 tree verbs keep one
+// TreeManifest resident per requested root, guarded by a per-tree mutex
+// and warm-started from the persisted `manifest-*.v1` next to the disk
+// cache.  TREE_REANALYZE dirty-scans the tree first; when nothing
+// changed it answers from the retained rendered body without touching
+// the driver at all — that fast path is what makes a no-change request
+// on a 10k-file tree orders of magnitude cheaper than a cold run.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -34,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "analysis/driver.h"
 #include "service/disk_cache.h"
@@ -101,14 +110,36 @@ class Server {
   }
   /// The effective analysis-concurrency high-water mark.
   std::size_t max_inflight() const { return max_inflight_; }
+  /// Trees with a resident manifest (TREE_OPEN / TREE_REANALYZE roots).
+  std::size_t trees_resident() const;
+  /// Service counters in Prometheus text exposition format — requests
+  /// by typed status, cache hits by tier (memory / disk /
+  /// manifest-clean), sheds, deadline rejects, resident trees.  What
+  /// `pncd --metrics-out` dumps on shutdown, alongside the telemetry
+  /// exporter's own metrics.
+  std::string metrics_text() const;
 
  private:
+  struct TreeState;
+
   void handle_connection(int fd);
+  Response handle_impl(const Request& request,
+                       std::chrono::steady_clock::time_point arrival);
+  Response handle_tree(const Request& request,
+                       std::chrono::steady_clock::time_point arrival,
+                       const analysis::DriverOptions& driver_options);
+  /// Persists every resident manifest (shutdown path; per-change saves
+  /// already happen inline).
+  void save_manifests();
 
   ServerOptions options_;
   std::size_t max_inflight_ = 0;
+  std::uint64_t options_fingerprint_ = 0;
   std::shared_ptr<analysis::ResultCache> memory_cache_;
   std::unique_ptr<DiskCache> disk_cache_;
+
+  mutable std::mutex trees_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<TreeState>> trees_;
 
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
@@ -116,6 +147,14 @@ class Server {
   std::atomic<std::uint64_t> requests_shed_{0};
   std::atomic<std::uint64_t> deadline_rejects_{0};
   std::atomic<std::size_t> inflight_{0};
+  /// Responses by StatusCode (indexed by the enum's value).
+  std::array<std::atomic<std::uint64_t>, 6> status_counts_{};
+  /// Cache hits by tier, accumulated from response stats.  The tiers
+  /// overlap by design: a manifest-clean file served from the memory
+  /// cache counts in both `memory` and `manifest_clean`.
+  std::atomic<std::uint64_t> tier_memory_hits_{0};
+  std::atomic<std::uint64_t> tier_disk_hits_{0};
+  std::atomic<std::uint64_t> tier_manifest_clean_{0};
 
   std::mutex drain_mutex_;
   std::condition_variable drained_;

@@ -658,6 +658,35 @@ std::string Supervisor::stats_json() const {
   return os.str();
 }
 
+std::string Supervisor::metrics_text() const {
+  std::ostringstream os;
+  std::size_t alive = 0;
+  std::size_t shard_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shard_count = shards_.size();
+    for (const Shard& shard : shards_) alive += shard.alive ? 1 : 0;
+  }
+  os << "# TYPE pnc_shards gauge\n";
+  os << "pnc_shards " << shard_count << "\n";
+  os << "# TYPE pnc_shards_alive gauge\n";
+  os << "pnc_shards_alive " << alive << "\n";
+  os << "# TYPE pnc_worker_restarts_total counter\n";
+  os << "pnc_worker_restarts_total " << restarts() << "\n";
+  os << "# TYPE pnc_breaker_trips_total counter\n";
+  os << "pnc_breaker_trips_total " << breaker_trips() << "\n";
+  os << "# TYPE pnc_requests_routed_total counter\n";
+  os << "pnc_requests_routed_total "
+     << requests_routed_.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE pnc_failovers_total counter\n";
+  os << "pnc_failovers_total " << failovers_.load(std::memory_order_relaxed)
+     << "\n";
+  os << "# TYPE pnc_unavailable_total counter\n";
+  os << "pnc_unavailable_total "
+     << unavailable_.load(std::memory_order_relaxed) << "\n";
+  return os.str();
+}
+
 #else  // !PNLAB_HAVE_SOCKETS
 
 Supervisor::Supervisor(SupervisorOptions options)
@@ -675,6 +704,7 @@ std::vector<pid_t> Supervisor::worker_pids() const { return {}; }
 std::vector<std::uint64_t> Supervisor::recovery_samples_ms() const {
   return {};
 }
+std::string Supervisor::metrics_text() const { return {}; }
 
 #endif  // PNLAB_HAVE_SOCKETS
 

@@ -107,6 +107,10 @@ class Supervisor {
   /// Death-detected → accepting-again durations, one per completed
   /// restart, for the bench's recovery metric.
   std::vector<std::uint64_t> recovery_samples_ms() const;
+  /// Supervisor counters in Prometheus text format (shard liveness,
+  /// restarts, breaker trips, routing/fail-over totals) — what
+  /// `pncd --metrics-out` dumps on shutdown in sharded mode.
+  std::string metrics_text() const;
 
  private:
   using clock = std::chrono::steady_clock;

@@ -6,12 +6,13 @@
 # bug), 4 = the daemon was unreachable and the caller asked not to fall
 # back, so CI can tell "the code has errors" from "the daemon is down".
 #
-# Usage: cli_exit_codes.sh <pnc_analyze> <examples-dir> [pnc_client]
+# Usage: cli_exit_codes.sh <pnc_analyze> <examples-dir> [pnc_client] [pncd]
 set -u
 
 ANALYZE=$1
 EXAMPLES=$2
 CLIENT=${3:-}
+DAEMON=${4:-}
 
 TMP=$(mktemp -d /tmp/pncexit.XXXXXX) || exit 1
 trap 'rm -rf "$TMP"' EXIT
@@ -83,6 +84,53 @@ if [ -n "$CLIENT" ]; then
     expect 4 "pnc_client against a dead socket" \
         "$CLIENT" "--socket=$DEAD" \
         --retries=1 --retry-budget-ms=200 --connect-timeout-ms=100 ping
+fi
+
+# --incremental preconditions: the delta protocol needs a tree root.
+expect 2 "--incremental --connect without --dir" \
+    "$ANALYZE" "--connect=$DEAD" --incremental "$EXAMPLES/safe_guarded.pnc"
+if [ -n "$CLIENT" ]; then
+    expect 2 "pnc_client --incremental without --dir" \
+        "$CLIENT" "--socket=$DEAD" --incremental "$EXAMPLES/safe_guarded.pnc"
+    expect 2 "pnc_client --reopen without --dir" \
+        "$CLIENT" "--socket=$DEAD" --reopen ping
+fi
+# ... while --incremental without --connect degrades to a full run: the
+# tree has findings, so 1, not a usage error.
+expect 1 "--incremental without --connect runs in-process" \
+    "$ANALYZE" --incremental --dir "$EXAMPLES"
+
+# --version: exit 0 and one block naming the build version, supported
+# protocol range, disk-cache entry/codec versions, and the analyzer
+# options fingerprint — for every tool that has the flag.
+check_version() {
+    name=$1
+    bin=$2
+    out=$("$bin" --version) || fail "$name --version exited non-zero"
+    for needle in "$name " "protocol:" "v1-v" "disk cache entries:" \
+                  "result codec v" "options fingerprint:"; do
+        case "$out" in
+            *"$needle"*) ;;
+            *) fail "$name --version output lacks '$needle'" ;;
+        esac
+    done
+}
+check_version pnc_analyze "$ANALYZE"
+[ -n "$CLIENT" ] && check_version pnc_client "$CLIENT"
+[ -n "$DAEMON" ] && check_version pncd "$DAEMON"
+
+# Result-affecting flags change the printed fingerprint (they key the
+# caches), and the default fingerprints agree across the tools — that
+# agreement is what makes a stock client share a stock daemon's cache.
+DEFAULT_FP=$("$ANALYZE" --version | sed -n 's/^options fingerprint: //p')
+NOINFO_FP=$("$ANALYZE" --no-info --version | sed -n 's/^options fingerprint: //p')
+[ -n "$DEFAULT_FP" ] || fail "pnc_analyze --version printed no fingerprint"
+[ "$DEFAULT_FP" != "$NOINFO_FP" ] || \
+    fail "--no-info did not change the version fingerprint"
+if [ -n "$DAEMON" ]; then
+    DAEMON_FP=$("$DAEMON" --version | sed -n 's/^options fingerprint: //p')
+    [ "$DEFAULT_FP" = "$DAEMON_FP" ] || \
+        fail "pnc_analyze and pncd default fingerprints disagree"
 fi
 
 echo "cli_exit_codes: OK"

@@ -1,0 +1,677 @@
+// Tests for incremental re-analysis (DESIGN.md §11): the per-tree
+// manifest and its parallel dirty scan, run_incremental's byte-identity
+// with a from-scratch run across edit sequences, the racy-clean
+// content-hash fallback, degradation when disk-cache entries were
+// evicted, the persisted manifest codec (round trips, corruption
+// falling back to a full scan), the v3 protocol additions, and the
+// server's TREE_OPEN / TREE_REANALYZE verbs end to end — including a
+// restart warm-started from the persisted manifest.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "analysis/driver.h"
+#include "analysis/tree_manifest.h"
+#include "serde/wire.h"
+#include "service/client.h"
+#include "service/disk_cache.h"
+#include "service/manifest_codec.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace pnlab::service {
+namespace {
+
+namespace fs = std::filesystem;
+using analysis::BatchDriver;
+using analysis::BatchResult;
+using analysis::DriverOptions;
+using analysis::ManifestEntry;
+using analysis::ScanEntry;
+using analysis::ScanResult;
+using analysis::ScanState;
+using analysis::TreeManifest;
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << content;
+}
+
+/// Pins @p path's mtime to an exact nanosecond value — the lever the
+/// racy-clean tests use to construct "rewritten but stat-identical"
+/// files deterministically instead of racing the clock.
+void set_mtime_ns(const fs::path& path, std::int64_t mtime_ns) {
+  timespec times[2];
+  times[0].tv_sec = 0;
+  times[0].tv_nsec = UTIME_OMIT;  // leave atime alone
+  times[1].tv_sec = static_cast<time_t>(mtime_ns / 1'000'000'000);
+  times[1].tv_nsec = static_cast<long>(mtime_ns % 1'000'000'000);
+  ASSERT_EQ(utimensat(AT_FDCWD, path.c_str(), times, 0), 0)
+      << "utimensat " << path << ": " << errno;
+}
+
+/// Writes the built-in analyzer corpus into @p dir, one .pnc per case.
+void write_corpus_tree(const fs::path& dir) {
+  for (const auto& c : analysis::corpus::analyzer_corpus()) {
+    write_file(dir / (c.id + ".pnc"), c.source);
+  }
+}
+
+const ScanEntry* find_entry(const ScanResult& scan, const fs::path& path) {
+  for (const ScanEntry& e : scan.files) {
+    if (e.path == path.string()) return &e;
+  }
+  return nullptr;
+}
+
+std::string full_run_json(const std::string& root) {
+  BatchDriver driver;
+  return to_json(driver.run_directory(root));
+}
+
+// ---------------------------------------------------------------------------
+// TreeManifest: scan classification and commit
+
+TEST(TreeManifestTest, ClassifiesAddedCleanDirtyRemoved) {
+  ScratchDir tree("pnlab_manifest_classify");
+  write_file(tree.path / "a.pnc", "class A { int x; };");
+  write_file(tree.path / "b.pnc", "class B { int y; };");
+
+  TreeManifest manifest(tree.path.string());
+  ScanResult first = manifest.scan();
+  EXPECT_EQ(first.files.size(), 2u);
+  EXPECT_EQ(first.added, 2u);
+  EXPECT_EQ(first.clean, 0u);
+  EXPECT_EQ(first.dirty, 0u);
+  for (const ScanEntry& e : first.files) {
+    EXPECT_EQ(e.state, ScanState::kAdded) << e.path;
+    EXPECT_NE(e.buffer, nullptr) << e.path;  // added files carry bytes
+  }
+  EXPECT_TRUE(manifest.commit(first));
+  EXPECT_EQ(manifest.size(), 2u);
+
+  // Unchanged tree: everything clean (possibly via a racy re-hash when
+  // the writes landed in the same clock tick as the scan stamp — still
+  // clean, and clean entries never carry a buffer).
+  ScanResult second = manifest.scan();
+  EXPECT_EQ(second.clean, 2u);
+  EXPECT_EQ(second.dirty, 0u);
+  EXPECT_EQ(second.added, 0u);
+  EXPECT_TRUE(second.removed.empty());
+  for (const ScanEntry& e : second.files) {
+    EXPECT_EQ(e.state, ScanState::kClean) << e.path;
+    EXPECT_EQ(e.buffer, nullptr) << e.path;
+  }
+  manifest.commit(second);
+
+  // Edit b, add c, remove a: one of each classification.
+  write_file(tree.path / "b.pnc", "class B { int y; int z; };");
+  write_file(tree.path / "c.pnc", "class C { };");
+  fs::remove(tree.path / "a.pnc");
+
+  ScanResult third = manifest.scan();
+  EXPECT_EQ(third.dirty, 1u);
+  EXPECT_EQ(third.added, 1u);
+  ASSERT_EQ(third.removed.size(), 1u);
+  EXPECT_EQ(third.removed[0], (tree.path / "a.pnc").string());
+  const ScanEntry* b = find_entry(third, tree.path / "b.pnc");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->state, ScanState::kDirty);
+  const ScanEntry* c = find_entry(third, tree.path / "c.pnc");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->state, ScanState::kAdded);
+
+  EXPECT_TRUE(manifest.commit(third));
+  EXPECT_EQ(manifest.size(), 2u);
+  EXPECT_EQ(manifest.find((tree.path / "a.pnc").string()), nullptr);
+}
+
+TEST(TreeManifestTest, ScanThrowsOnMissingRoot) {
+  TreeManifest manifest("/no/such/tree/root");
+  EXPECT_THROW(manifest.scan(), std::runtime_error);
+}
+
+TEST(TreeManifestTest, UnreadableCandidateBecomesIngestFailure) {
+  ScratchDir tree("pnlab_manifest_unreadable");
+  write_file(tree.path / "ok.pnc", "class A { };");
+  // A directory named like a source file is a walk candidate whose
+  // ingest fails — a per-file record, exactly like run_directory.
+  fs::create_directories(tree.path / "imposter.pnc");
+
+  TreeManifest manifest(tree.path.string());
+  ScanResult scan = manifest.scan();
+  const ScanEntry* imposter = find_entry(scan, tree.path / "imposter.pnc");
+  ASSERT_NE(imposter, nullptr);
+  EXPECT_TRUE(imposter->ingest_failed);
+  EXPECT_NE(imposter->error.find("read error:"), std::string::npos);
+
+  // commit() never records a failed ingest: the next scan retries it.
+  manifest.commit(scan);
+  EXPECT_EQ(manifest.find((tree.path / "imposter.pnc").string()), nullptr);
+  EXPECT_EQ(manifest.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// run_incremental: byte-identity with from-scratch runs
+
+TEST(RunIncrementalTest, MatchesFullRunAcrossEditSequence) {
+  ScratchDir tree("pnlab_incr_edits");
+  write_corpus_tree(tree.path);
+
+  DriverOptions options;
+  BatchDriver driver(options);
+  TreeManifest manifest(tree.path.string());
+
+  // Cold: everything added, nothing reused.
+  BatchResult cold = driver.run_incremental(manifest);
+  EXPECT_EQ(to_json(cold), full_run_json(tree.path.string()));
+  EXPECT_EQ(cold.stats.tree_dirty, cold.stats.files);
+  EXPECT_EQ(cold.stats.tree_reused, 0u);
+
+  // No change: everything reused, bytes identical.
+  BatchResult warm = driver.run_incremental(manifest, &cold);
+  EXPECT_EQ(to_json(warm), to_json(cold));
+  EXPECT_EQ(warm.stats.tree_dirty, 0u);
+  EXPECT_EQ(warm.stats.tree_reused, warm.stats.files);
+
+  // Modify one file, add one, remove one — the incremental result must
+  // stay byte-identical to a from-scratch run of the edited tree.
+  const auto corpus = analysis::corpus::analyzer_corpus();
+  ASSERT_GE(corpus.size(), 3u);
+  write_file(tree.path / (corpus[0].id + ".pnc"), corpus[1].source);
+  write_file(tree.path / "fresh_addition.pnc", corpus[2].source);
+  fs::remove(tree.path / (corpus[2].id + ".pnc"));
+
+  BatchResult edited = driver.run_incremental(manifest, &warm);
+  EXPECT_EQ(to_json(edited), full_run_json(tree.path.string()));
+  EXPECT_EQ(edited.stats.tree_dirty, 2u);  // modified + added
+  EXPECT_EQ(edited.stats.tree_reused, edited.stats.files - 2u);
+
+  // SARIF too: the serializer sees the same merged batch either way.
+  BatchResult again = driver.run_incremental(manifest, &edited);
+  BatchDriver fresh;
+  EXPECT_EQ(to_sarif(again),
+            to_sarif(fresh.run_directory(tree.path.string())));
+}
+
+TEST(RunIncrementalTest, UnreadableSubtreeEntriesMatchFullRun) {
+  ScratchDir tree("pnlab_incr_unreadable");
+  write_corpus_tree(tree.path);
+  fs::create_directories(tree.path / "imposter.pnc");
+
+  BatchDriver driver;
+  TreeManifest manifest(tree.path.string());
+  BatchResult incr = driver.run_incremental(manifest);
+  EXPECT_EQ(to_json(incr), full_run_json(tree.path.string()));
+  EXPECT_GT(incr.stats.read_errors, 0u);
+
+  // The failed ingest is retried — and still matches — on re-runs.
+  BatchResult again = driver.run_incremental(manifest, &incr);
+  EXPECT_EQ(to_json(again), to_json(incr));
+}
+
+// The git-index "racy clean" hole: a rewrite that preserves size and
+// mtime is invisible to the stat fingerprint.  The manifest re-hashes
+// entries whose mtime is at-or-after the committed scan stamp, so the
+// content-hash fallback must catch it.
+TEST(RunIncrementalTest, RacyCleanRewriteCaughtByContentHash) {
+  ScratchDir tree("pnlab_incr_racy");
+  const fs::path victim = tree.path / "victim.pnc";
+  // Same byte length, different analysis: the ssn[] size changes the
+  // placement-overflow finding's reported byte counts, so serving stale
+  // results for the rewrite is visible in the output, not just in
+  // manifest internals.
+  const std::string scaffold =
+      "class Student { double gpa; int year; int semester; };\n"
+      "class GradStudent : Student { int ssn[%]; };\n"
+      "void addStudent() {\n"
+      "  Student stud;\n"
+      "  GradStudent* st = new (&stud) GradStudent();\n"
+      "  cin >> st->ssn[0];\n"
+      "}\n";
+  std::string before = scaffold;
+  before[before.find('%')] = '3';
+  std::string after = scaffold;
+  after[after.find('%')] = '9';
+  ASSERT_EQ(before.size(), after.size());
+
+  // Pin the mtime an hour into the future: it is >= any scan stamp this
+  // test will take, so the entry stays "racy" on every scan — the
+  // deterministic stand-in for a same-clock-tick rewrite.
+  const std::int64_t future_ns =
+      (std::int64_t{1} << 32) * 1'000'000'000 + 123;  // far future, fixed
+  write_file(victim, before);
+  set_mtime_ns(victim, future_ns);
+
+  BatchDriver driver;
+  TreeManifest manifest(tree.path.string());
+  BatchResult first = driver.run_incremental(manifest);
+  const std::string first_json = to_json(first);
+  EXPECT_EQ(first_json, full_run_json(tree.path.string()));
+
+  // Rewrite with identical size + mtime (+ inode: trunc reuses it) but
+  // different bytes.  The stat fingerprint alone cannot tell.
+  write_file(victim, after);
+  set_mtime_ns(victim, future_ns);
+  {
+    struct stat st{};
+    ASSERT_EQ(::stat(victim.c_str(), &st), 0);
+    ASSERT_EQ(static_cast<std::uint64_t>(st.st_size), after.size());
+  }
+
+  ScanResult scan = manifest.scan();
+  const ScanEntry* entry = find_entry(scan, victim);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, ScanState::kDirty);  // hash fallback caught it
+  EXPECT_GE(scan.rehashes, 1u);
+
+  BatchResult second = driver.run_incremental(manifest, std::move(scan), &first);
+  const std::string second_json = to_json(second);
+  EXPECT_EQ(second_json, full_run_json(tree.path.string()));
+  EXPECT_NE(second_json, first_json);  // the new bytes were analyzed
+}
+
+// Satellite: a manifest entry whose disk-cache entry was LRU-evicted
+// must degrade to per-file re-analysis — same bytes, no error.
+TEST(RunIncrementalTest, EvictedDiskEntryDegradesToReanalysis) {
+  ScratchDir scratch("pnlab_incr_evicted");
+  const fs::path tree = scratch.path / "tree";
+  fs::create_directories(tree);
+  write_corpus_tree(tree);
+
+  DiskCacheOptions cache_options;
+  cache_options.dir = (scratch.path / "cache").string();
+  cache_options.max_bytes = 1;  // every store is immediately evicted
+  DiskCache cache(cache_options);
+
+  DriverOptions options;
+  options.secondary_cache = &cache;
+  TreeManifest manifest(tree.string());
+
+  BatchDriver first_driver(options);
+  BatchResult first = first_driver.run_incremental(manifest);
+
+  // Fresh driver: empty memory cache, and the disk entries are gone.
+  // Clean files fall through memo → disk → re-ingest + re-analysis.
+  BatchDriver second_driver(options);
+  BatchResult second = second_driver.run_incremental(manifest);
+  EXPECT_EQ(to_json(second), to_json(first));
+  EXPECT_EQ(second.stats.read_errors, 0u);
+  EXPECT_EQ(second.stats.tree_dirty, 0u);
+  EXPECT_EQ(second.stats.disk_hits, 0u);
+  EXPECT_EQ(to_json(second), full_run_json(tree.string()));
+}
+
+// ---------------------------------------------------------------------------
+// Manifest codec
+
+TEST(ManifestCodecTest, RoundTripsEntriesRootFingerprintStamp) {
+  ScratchDir tree("pnlab_codec_roundtrip");
+  write_file(tree.path / "a.pnc", "class A { int x; };");
+  write_file(tree.path / "b.pnc", "class B { int y; };");
+
+  TreeManifest manifest(tree.path.string(), 0xfeedf00du);
+  manifest.commit(manifest.scan());
+  ASSERT_EQ(manifest.size(), 2u);
+
+  const std::vector<std::byte> bytes = encode_manifest(manifest);
+  TreeManifest decoded(tree.path.string(), 0xfeedf00du);
+  ASSERT_TRUE(decode_manifest(bytes, &decoded));
+  EXPECT_EQ(decoded.scan_stamp_ns(), manifest.scan_stamp_ns());
+  ASSERT_EQ(decoded.size(), manifest.size());
+  for (const auto& [path, entry] : manifest.entries()) {
+    const ManifestEntry* other = decoded.find(path);
+    ASSERT_NE(other, nullptr) << path;
+    EXPECT_EQ(other->dev, entry.dev);
+    EXPECT_EQ(other->ino, entry.ino);
+    EXPECT_EQ(other->size, entry.size);
+    EXPECT_EQ(other->mtime_ns, entry.mtime_ns);
+    EXPECT_EQ(other->content_hash, entry.content_hash);
+    EXPECT_EQ(other->length, entry.length);
+  }
+
+  // Deterministic serialization: encoding the decoded manifest
+  // reproduces the exact bytes (entries are sorted before writing).
+  EXPECT_EQ(encode_manifest(decoded), bytes);
+}
+
+TEST(ManifestCodecTest, RejectsCorruptionTruncationAndIdentityMismatch) {
+  ScratchDir tree("pnlab_codec_reject");
+  write_file(tree.path / "a.pnc", "class A { int x; };");
+  TreeManifest manifest(tree.path.string(), 7);
+  manifest.commit(manifest.scan());
+  const std::vector<std::byte> bytes = encode_manifest(manifest);
+
+  // Any single flipped byte breaks the trailing checksum (or the magic
+  // / version / identity fields before it) — and the target manifest is
+  // left untouched.
+  for (std::size_t pos : {std::size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::byte> corrupt = bytes;
+    corrupt[pos] ^= std::byte{0x01};
+    TreeManifest target(tree.path.string(), 7);
+    EXPECT_FALSE(decode_manifest(corrupt, &target)) << "byte " << pos;
+    EXPECT_EQ(target.size(), 0u);
+    EXPECT_EQ(target.scan_stamp_ns(), 0);
+  }
+
+  // Truncation at every prefix: false, never a throw or UB.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    TreeManifest target(tree.path.string(), 7);
+    EXPECT_FALSE(decode_manifest(std::span(bytes.data(), len), &target))
+        << "prefix " << len;
+  }
+
+  // A manifest for another root or another options fingerprint must not
+  // be resurrected into this tree's state.
+  TreeManifest wrong_root("/somewhere/else", 7);
+  EXPECT_FALSE(decode_manifest(bytes, &wrong_root));
+  TreeManifest wrong_options(tree.path.string(), 8);
+  EXPECT_FALSE(decode_manifest(bytes, &wrong_options));
+}
+
+TEST(ManifestCodecTest, SaveLoadRoundTripAndMissingFileMiss) {
+  ScratchDir scratch("pnlab_codec_saveload");
+  const fs::path tree = scratch.path / "tree";
+  fs::create_directories(tree);
+  write_file(tree / "a.pnc", "class A { };");
+
+  TreeManifest manifest(tree.string(), 3);
+  manifest.commit(manifest.scan());
+
+  const std::string path =
+      manifest_path(scratch.path.string(), tree.string(), 3);
+  ASSERT_TRUE(save_manifest(path, manifest));
+
+  TreeManifest loaded(tree.string(), 3);
+  ASSERT_TRUE(load_manifest(path, &loaded));
+  EXPECT_EQ(loaded.size(), 1u);
+
+  TreeManifest missing(tree.string(), 3);
+  EXPECT_FALSE(load_manifest(path + ".nope", &missing));
+
+  // Different fingerprints map to different files: no cross-talk.
+  EXPECT_NE(manifest_path(scratch.path.string(), tree.string(), 3),
+            manifest_path(scratch.path.string(), tree.string(), 4));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v3
+
+TEST(ProtocolV3Test, TreeKindsRoundTripAtV3) {
+  for (RequestKind kind : {RequestKind::kTreeOpen,
+                           RequestKind::kTreeReanalyze}) {
+    Request request;
+    request.kind = kind;
+    request.format = OutputFormat::kSarif;
+    request.deadline_ms = 250;
+    request.paths = {"/some/tree"};
+    const Request decoded = decode_request(encode_request(request));
+    EXPECT_EQ(decoded.kind, kind);
+    EXPECT_EQ(decoded.format, OutputFormat::kSarif);
+    EXPECT_EQ(decoded.deadline_ms, 250u);
+    ASSERT_EQ(decoded.paths.size(), 1u);
+    EXPECT_EQ(decoded.paths[0], "/some/tree");
+  }
+}
+
+TEST(ProtocolV3Test, TreeKindsRejectedBelowV3) {
+  Request request;
+  request.kind = RequestKind::kTreeReanalyze;
+  request.paths = {"/some/tree"};
+  // Encoding a tree verb into a v1/v2 frame is a caller bug.
+  EXPECT_THROW(encode_request(request, 1), serde::WireError);
+  EXPECT_THROW(encode_request(request, 2), serde::WireError);
+
+  // A hostile/corrupt v2 frame claiming kind 6 must be rejected by the
+  // decoder too: [u32 version][u8 kind]...
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  std::vector<std::byte> payload = encode_request(ping, 2);
+  payload[4] = std::byte{6};
+  EXPECT_THROW(decode_request(payload), serde::WireError);
+  // The same kind byte in a v3 frame is valid.
+  std::vector<std::byte> v3 = encode_request(ping, 3);
+  v3[4] = std::byte{6};
+  EXPECT_EQ(decode_request(v3).kind, RequestKind::kTreeOpen);
+}
+
+TEST(ProtocolV3Test, ResponseTreeStatsVersionGated) {
+  Response response;
+  response.ok = true;
+  response.status = StatusCode::kOk;
+  response.body = "{}";
+  response.stats.files = 10;
+  response.stats.tree_scanned = 10;
+  response.stats.tree_dirty = 2;
+  response.stats.tree_reused = 8;
+
+  const Response v3 = decode_response(encode_response(response, 3));
+  EXPECT_EQ(v3.stats.tree_scanned, 10u);
+  EXPECT_EQ(v3.stats.tree_dirty, 2u);
+  EXPECT_EQ(v3.stats.tree_reused, 8u);
+
+  // A v2 frame has no tree fields: they decode as zero, and the rest of
+  // the layout is unchanged — old clients parse new servers' answers.
+  const Response v2 = decode_response(encode_response(response, 2));
+  EXPECT_EQ(v2.stats.files, 10u);
+  EXPECT_EQ(v2.stats.tree_scanned, 0u);
+  EXPECT_EQ(v2.stats.tree_dirty, 0u);
+  EXPECT_EQ(v2.stats.tree_reused, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Server end to end
+
+#if defined(__unix__) || defined(__APPLE__)
+
+struct RunningServer {
+  explicit RunningServer(ServerOptions options) : server(std::move(options)) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+    if (started) {
+      thread = std::thread([this] { server.serve(); });
+    }
+  }
+  ~RunningServer() {
+    if (started) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+  Server server;
+  std::thread thread;
+  bool started = false;
+};
+
+ServerOptions server_options(const fs::path& dir) {
+  ServerOptions o;
+  o.socket_path = (dir / "pncd.sock").string();
+  o.cache_dir = (dir / "cache").string();
+  return o;
+}
+
+Response must_call(const std::string& socket, const Request& request) {
+  auto client = Client::connect(socket, nullptr);
+  EXPECT_NE(client, nullptr);
+  Response response;
+  EXPECT_TRUE(client->call(request, &response));
+  return response;
+}
+
+Request tree_request(RequestKind kind, const fs::path& root) {
+  Request request;
+  request.kind = kind;
+  request.format = OutputFormat::kJson;
+  request.paths = {root.string()};
+  return request;
+}
+
+TEST(ServerIncrementalTest, TreeVerbsMatchAnalyzeDirBytes) {
+  ScratchDir scratch("pnlab_server_tree");
+  const fs::path tree = scratch.path / "tree";
+  fs::create_directories(tree);
+  write_corpus_tree(tree);
+  RunningServer running(server_options(scratch.path));
+  const std::string socket = running.server.socket_path();
+
+  const Response dir_response =
+      must_call(socket, tree_request(RequestKind::kAnalyzeDir, tree));
+  ASSERT_TRUE(dir_response.ok) << dir_response.error;
+
+  // TREE_OPEN: full analysis, fresh manifest, same bytes as ANALYZE_DIR
+  // (and as the in-process driver, by transitivity with ServerTest).
+  const Response open =
+      must_call(socket, tree_request(RequestKind::kTreeOpen, tree));
+  ASSERT_TRUE(open.ok) << open.error;
+  EXPECT_EQ(open.body, dir_response.body);
+  EXPECT_EQ(open.exit_code, dir_response.exit_code);
+  EXPECT_EQ(open.stats.tree_scanned, open.stats.files);
+  EXPECT_EQ(open.stats.tree_dirty, open.stats.files);
+  EXPECT_EQ(running.server.trees_resident(), 1u);
+
+  // No-change REANALYZE: the fast path serves retained bytes.
+  const Response nochange =
+      must_call(socket, tree_request(RequestKind::kTreeReanalyze, tree));
+  ASSERT_TRUE(nochange.ok);
+  EXPECT_EQ(nochange.body, dir_response.body);
+  EXPECT_EQ(nochange.stats.tree_dirty, 0u);
+  EXPECT_EQ(nochange.stats.tree_reused, nochange.stats.tree_scanned);
+
+  // Dirty one file: only it re-analyzes, bytes match a fresh full run.
+  const auto corpus = analysis::corpus::analyzer_corpus();
+  write_file(tree / (corpus[0].id + ".pnc"), corpus[1].source);
+  const Response dirty =
+      must_call(socket, tree_request(RequestKind::kTreeReanalyze, tree));
+  ASSERT_TRUE(dirty.ok);
+  EXPECT_EQ(dirty.body, full_run_json(tree.string()));
+  EXPECT_EQ(dirty.stats.tree_dirty, 1u);
+
+  // Validation: tree verbs take exactly one root.
+  Request two_roots = tree_request(RequestKind::kTreeReanalyze, tree);
+  two_roots.paths.push_back(tree.string());
+  const Response rejected = must_call(socket, two_roots);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.status, StatusCode::kBadRequest);
+
+  // ... and a missing root is a typed error, not a crash or a hang.
+  const Response missing = must_call(
+      socket, tree_request(RequestKind::kTreeReanalyze, scratch.path / "no"));
+  EXPECT_FALSE(missing.ok);
+
+  // The stats JSON exposes resident-tree count.
+  Request stats;
+  stats.kind = RequestKind::kStats;
+  const Response stats_response = must_call(socket, stats);
+  EXPECT_NE(stats_response.body.find("\"trees_resident\""),
+            std::string::npos);
+}
+
+TEST(ServerIncrementalTest, RestartWarmStartsFromPersistedManifest) {
+  ScratchDir scratch("pnlab_server_warmstart");
+  const fs::path tree = scratch.path / "tree";
+  fs::create_directories(tree);
+  write_corpus_tree(tree);
+  const ServerOptions options = server_options(scratch.path);
+
+  std::string cold_body;
+  std::uint64_t files = 0;
+  {
+    RunningServer running(options);
+    const Response cold = must_call(running.server.socket_path(),
+                                    tree_request(RequestKind::kTreeReanalyze,
+                                                 tree));
+    ASSERT_TRUE(cold.ok) << cold.error;
+    cold_body = cold.body;
+    files = cold.stats.files;
+  }  // clean stop: manifest + disk cache persisted
+
+  const std::string persisted = manifest_path(
+      options.cache_dir, tree.string(),
+      analyzer_options_fingerprint(options.driver.analyzer));
+  ASSERT_TRUE(fs::exists(persisted));
+
+  // Restarted daemon: the manifest warm-starts the scan (nothing is
+  // dirty), the disk cache supplies every result, bytes identical.
+  RunningServer running(options);
+  const Response warm = must_call(
+      running.server.socket_path(),
+      tree_request(RequestKind::kTreeReanalyze, tree));
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.body, cold_body);
+  EXPECT_EQ(warm.stats.tree_dirty, 0u);
+  EXPECT_EQ(warm.stats.tree_reused, files);
+  EXPECT_EQ(warm.stats.disk_cache_hits, files);
+}
+
+TEST(ServerIncrementalTest, CorruptPersistedManifestDegradesToFullRescan) {
+  ScratchDir scratch("pnlab_server_corrupt_manifest");
+  const fs::path tree = scratch.path / "tree";
+  fs::create_directories(tree);
+  write_corpus_tree(tree);
+  const ServerOptions options = server_options(scratch.path);
+
+  std::string cold_body;
+  {
+    RunningServer running(options);
+    const Response cold = must_call(running.server.socket_path(),
+                                    tree_request(RequestKind::kTreeReanalyze,
+                                                 tree));
+    ASSERT_TRUE(cold.ok);
+    cold_body = cold.body;
+  }
+
+  const std::string persisted = manifest_path(
+      options.cache_dir, tree.string(),
+      analyzer_options_fingerprint(options.driver.analyzer));
+  ASSERT_TRUE(fs::exists(persisted));
+  {
+    // Flip one byte mid-file: the checksum must reject the load.
+    std::fstream f(persisted, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    ASSERT_GT(size, 0);
+    f.seekg(size / 2);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x01;
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+
+  // The corrupt manifest costs a full rescan (every file re-added), but
+  // never correctness: same bytes, served out of the disk cache.
+  RunningServer running(options);
+  const Response degraded = must_call(
+      running.server.socket_path(),
+      tree_request(RequestKind::kTreeReanalyze, tree));
+  ASSERT_TRUE(degraded.ok) << degraded.error;
+  EXPECT_EQ(degraded.body, cold_body);
+  EXPECT_EQ(degraded.stats.tree_dirty, degraded.stats.files);
+  EXPECT_EQ(degraded.stats.disk_cache_hits, degraded.stats.files);
+}
+
+#endif  // unix
+
+}  // namespace
+}  // namespace pnlab::service

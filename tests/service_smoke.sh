@@ -2,7 +2,10 @@
 # service_smoke: end-to-end check of the pncd daemon through its real
 # binaries — boot on a temp socket, hit it with 8 concurrent pnc_client
 # runs over examples/pnc, golden-diff every response against in-process
-# pnc_analyze output, then shut down cleanly.
+# pnc_analyze output (full and incremental TREE_REANALYZE passes), check
+# the shutdown metrics dump, then shut down cleanly.  A second phase
+# reruns the golden diffs through a 2-shard supervisor, including an
+# incremental pass after one worker is SIGKILLed.
 #
 # Usage: service_smoke.sh <pncd> <pnc_client> <pnc_analyze> <examples-dir>
 set -u
@@ -27,7 +30,8 @@ fail() {
 }
 
 SOCK="$TMP/s.sock"
-"$PNCD" --socket="$SOCK" --cache-dir="$TMP/cache" 2>"$TMP/pncd.log" &
+"$PNCD" --socket="$SOCK" --cache-dir="$TMP/cache" \
+    --metrics-out="$TMP/metrics.txt" 2>"$TMP/pncd.log" &
 DPID=$!
 
 # Wait for the daemon to come up (ping answers once the socket listens).
@@ -91,6 +95,23 @@ st=$?
 cmp -s "$TMP/telemetry.json" "$TMP/golden.json" ||
     fail "--connect --profile body differs from in-process output"
 
+# Incremental re-analysis (TREE_REANALYZE): a cold incremental pass and
+# a no-change one — served off the daemon's manifest fast path — must
+# both be byte-identical to the full in-process run.
+"$ANALYZE" --connect="$SOCK" --incremental --format=json --dir "$EXAMPLES" \
+    >"$TMP/incr-cold.json" 2>/dev/null
+st=$?
+[ $st -eq 1 ] || fail "--connect --incremental exited $st, expected 1"
+cmp -s "$TMP/incr-cold.json" "$TMP/golden.json" ||
+    fail "cold incremental body differs from in-process output"
+
+"$CLIENT" --socket="$SOCK" --incremental --format=json --dir "$EXAMPLES" \
+    >"$TMP/incr-nochange.json" 2>/dev/null
+st=$?
+[ $st -eq 1 ] || fail "pnc_client --incremental exited $st, expected 1"
+cmp -s "$TMP/incr-nochange.json" "$TMP/golden.json" ||
+    fail "no-change incremental body differs from in-process output"
+
 # Clean shutdown: the shutdown verb stops the daemon (exit 0) and the
 # socket file is gone afterwards.
 "$CLIENT" --socket="$SOCK" shutdown >/dev/null || fail "shutdown verb failed"
@@ -99,6 +120,14 @@ st=$?
 DPID=""
 [ $st -eq 0 ] || fail "pncd exited $st on shutdown, expected 0"
 [ ! -S "$SOCK" ] || fail "socket file left behind after shutdown"
+
+# The shutdown dump carries the daemon's counters (plus telemetry) in
+# Prometheus text format.
+[ -s "$TMP/metrics.txt" ] || fail "--metrics-out wrote no file"
+grep -q 'pnc_requests_total{status="OK"}' "$TMP/metrics.txt" ||
+    fail "metrics dump lacks pnc_requests_total"
+grep -q 'pnc_cache_tier_hits_total{tier="manifest_clean"}' "$TMP/metrics.txt" ||
+    fail "metrics dump lacks the manifest_clean cache tier"
 
 # Sharded mode through the same binaries: a 2-shard supervisor must
 # serve the same bytes as the in-process CLI, survive one worker being
@@ -127,6 +156,16 @@ st=$?
 cmp -s "$TMP/sharded.json" "$TMP/golden.json" ||
     fail "sharded body differs from in-process pnc_analyze"
 
+# Cold incremental through the supervisor: the v3 frames relay verbatim
+# to whichever shard owns the tree, which also persists its manifest
+# into the shared cache directory.
+"$CLIENT" --socket="$SSOCK" --incremental --format=json --dir "$EXAMPLES" \
+    >"$TMP/sharded-incr.json" 2>/dev/null
+st=$?
+[ $st -eq 1 ] || fail "sharded incremental exited $st, expected 1"
+cmp -s "$TMP/sharded-incr.json" "$TMP/golden.json" ||
+    fail "sharded incremental body differs from the golden output"
+
 # Kill one worker: the service must keep answering (fail-over or a
 # supervisor restart behind the retrying client), bytes unchanged.
 WPID=$(pgrep -P "$DPID" | head -n1)
@@ -139,6 +178,17 @@ st=$?
 [ $st -eq 1 ] || fail "post-kill client exited $st, expected 1"
 cmp -s "$TMP/afterkill.json" "$TMP/golden.json" ||
     fail "post-kill body differs from the golden output"
+
+# Incremental after the kill: whichever shard serves the tree now (the
+# restarted one, or a fail-over peer) warm-starts from the manifest the
+# dead shard persisted in the shared cache dir — bytes still identical.
+"$CLIENT" --socket="$SSOCK" --incremental --format=json --retries=5 \
+    --retry-budget-ms=10000 --dir "$EXAMPLES" \
+    >"$TMP/afterkill-incr.json" 2>/dev/null
+st=$?
+[ $st -eq 1 ] || fail "post-kill incremental exited $st, expected 1"
+cmp -s "$TMP/afterkill-incr.json" "$TMP/golden.json" ||
+    fail "post-kill incremental body differs from the golden output"
 
 "$CLIENT" --socket="$SSOCK" shutdown >/dev/null ||
     fail "sharded shutdown verb failed"

@@ -32,6 +32,15 @@
 //                              capture the analyzing process itself)
 //   --daemon                   alias for --connect with the default
 //                              socket
+//   --incremental              with --connect --dir: ask the daemon to
+//                              re-analyze only what changed since its
+//                              resident manifest of the tree
+//                              (TREE_REANALYZE, DESIGN.md §11); output
+//                              stays byte-identical to a full run.
+//                              Without --connect it is a no-op with a
+//                              warning — there is no manifest to diff
+//                              against in a one-shot process.
+//   --version                  print build/protocol/format versions
 //   --no-fallback              with --connect: exit 4 instead of
 //                              falling back when the daemon is
 //                              unreachable (CI jobs that require the
@@ -49,6 +58,7 @@
 // — so `pnc_analyze --format=sarif src/` gates a CI job directly, and a
 // half-read tree can never masquerade as a clean pass.
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <filesystem>
 #include <fstream>
@@ -61,7 +71,11 @@
 #include "analysis/driver.h"
 #include "analysis/simd_dispatch.h"
 #include "analysis/telemetry.h"
+#include "core/version.h"
 #include "service/client.h"
+#include "service/disk_cache.h"
+#include "service/protocol.h"
+#include "service/result_codec.h"
 
 using namespace pnlab::analysis;
 
@@ -94,6 +108,8 @@ void print_usage(std::ostream& os, const char* argv0) {
         "back to in-process\n"
         "  --daemon                  alias for --connect with the default "
         "socket\n"
+        "  --incremental             with --connect --dir: daemon "
+        "re-analyzes only changed files\n"
         "  --no-fallback             with --connect: exit 4 when the "
         "daemon is unreachable\n"
         "  --deadline-ms=N           per-request deadline for daemon "
@@ -102,12 +118,31 @@ void print_usage(std::ostream& os, const char* argv0) {
         "(default 3)\n"
         "  --retry-budget-ms=N       total daemon retry budget (default "
         "2000)\n"
+        "  --version                 print build/protocol/format versions\n"
         "  --help                    show this message\n";
 }
 
 int usage(const char* argv0) {
   print_usage(std::cerr, argv0);
   return 2;
+}
+
+// Every pnc tool prints the same block so "can these two binaries share
+// a socket and a cache directory?" is answerable from the shell.  The
+// fingerprint reflects the analyzer flags parsed alongside --version,
+// so `pnc_analyze --no-info --version` shows the fingerprint that run
+// would key its caches with.
+int print_version(const char* tool, std::uint64_t options_fingerprint) {
+  std::cout << tool << " " << pnlab::kBuildVersion << "\n"
+            << "protocol:            v"
+            << pnlab::service::kMinProtocolVersion << "-v"
+            << pnlab::service::kProtocolVersion << "\n"
+            << "disk cache entries:  v"
+            << pnlab::service::kDiskCacheFormatVersion << " (result codec v"
+            << pnlab::service::kResultCodecVersion << ")\n"
+            << "options fingerprint: " << std::hex << std::setw(16)
+            << std::setfill('0') << options_fingerprint << std::dec << "\n";
+  return 0;
 }
 
 void print_text(const BatchResult& batch) {
@@ -135,6 +170,8 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string profile_file;
   bool want_daemon = false;
+  bool incremental = false;
+  bool want_version = false;
   bool no_fallback = false;
   std::string daemon_socket;
   std::uint32_t deadline_ms = 0;
@@ -177,6 +214,10 @@ int main(int argc, char** argv) {
       if (metrics_file.empty()) return usage(argv[0]);
     } else if (arg == "--daemon" || arg == "--connect") {
       want_daemon = true;
+    } else if (arg == "--incremental") {
+      incremental = true;
+    } else if (arg == "--version") {
+      want_version = true;
     } else if (arg.rfind("--connect=", 0) == 0) {
       want_daemon = true;
       daemon_socket = arg.substr(10);
@@ -243,10 +284,22 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  if (want_version) {
+    // After the full parse so result-affecting flags (--no-info) are
+    // reflected in the printed fingerprint.
+    return print_version("pnc_analyze", pnlab::service::analyzer_options_fingerprint(
+                                            options.analyzer));
+  }
   if (static_cast<int>(want_corpus) + static_cast<int>(!dir.empty()) +
           static_cast<int>(!paths.empty()) !=
       1) {
     return usage(argv[0]);
+  }
+  if (incremental && want_daemon && dir.empty()) {
+    // The delta protocol diffs a *tree* against the daemon's manifest;
+    // named files and the built-in corpus have no tree root to diff.
+    std::cerr << argv[0] << ": --incremental requires --dir\n";
+    return 2;
   }
 
   const bool want_telemetry =
@@ -291,7 +344,8 @@ int main(int argc, char** argv) {
       return ec ? p : abs.string();
     };
     if (!dir.empty()) {
-      request.kind = svc::RequestKind::kAnalyzeDir;
+      request.kind = incremental ? svc::RequestKind::kTreeReanalyze
+                                 : svc::RequestKind::kAnalyzeDir;
       request.paths.push_back(absolute(dir));
     } else {
       request.kind = svc::RequestKind::kAnalyzeFiles;
@@ -310,6 +364,12 @@ int main(int argc, char** argv) {
                     << response.stats.mem_cache_hits << " memory hit(s), "
                     << response.stats.disk_cache_hits << " disk hit(s), "
                     << response.stats.cache_misses << " miss(es)\n";
+          if (incremental) {
+            std::cerr << "tree:   " << response.stats.tree_scanned
+                      << " scanned, " << response.stats.tree_dirty
+                      << " dirty, " << response.stats.tree_reused
+                      << " reused\n";
+          }
         }
         return response.exit_code;
       }
@@ -329,6 +389,15 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << argv[0] << ": " << error << "; analyzing in-process\n";
     }
+  }
+
+  if (incremental) {
+    // Reached without a daemon round trip (no --connect, telemetry
+    // override, or fallback): a one-shot process has no manifest to
+    // diff against, so the full run is the only correct answer.
+    std::cerr << argv[0]
+              << ": --incremental needs a daemon-resident manifest; "
+                 "running a full analysis\n";
   }
 
   BatchDriver driver(options);

@@ -9,11 +9,17 @@
 //                              <cache-dir>/pncd.sock)
 //   --format=text|json|sarif   output format (default text)
 //   --no-cache                 bypass the daemon's caches for this run
+//   --incremental              with --dir: TREE_REANALYZE — the daemon
+//                              re-analyzes only files that changed since
+//                              its resident manifest (DESIGN.md §11)
+//   --reopen                   with --dir: TREE_OPEN — drop the daemon's
+//                              manifest first, forcing a full rescan
 //   --stats                    print request/cache stats to stderr
 //   --deadline-ms=N            end-to-end per-request deadline (0 = none)
 //   --retries=N                attempts before giving up (default 3)
 //   --retry-budget-ms=N        total wall-clock retry budget (default 2000)
 //   --connect-timeout-ms=N     per-attempt connect timeout (default 1000)
+//   --version                  print build/protocol/format versions
 //
 // Paths are resolved by the *daemon*, so relative paths are made
 // absolute here before sending.
@@ -24,11 +30,16 @@
 // retry budget ran out, so CI can tell "the code has errors" (1) from
 // "the daemon is down" (4) without parsing stderr.
 #include <filesystem>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/version.h"
 #include "service/client.h"
+#include "service/disk_cache.h"
+#include "service/protocol.h"
+#include "service/result_codec.h"
 
 using namespace pnlab::service;
 
@@ -41,18 +52,39 @@ void print_usage(std::ostream& os, const char* argv0) {
         "the pnc cache dir)\n"
         "  --format=text|json|sarif  output format (default text)\n"
         "  --no-cache                bypass the daemon's caches\n"
+        "  --incremental             with --dir: re-analyze only changed "
+        "files (TREE_REANALYZE)\n"
+        "  --reopen                  with --dir: drop the daemon's tree "
+        "manifest first (TREE_OPEN)\n"
         "  --stats                   print request/cache stats to stderr\n"
         "  --deadline-ms=N           per-request deadline (0 = none)\n"
         "  --retries=N               attempts before giving up (default 3)\n"
         "  --retry-budget-ms=N       total retry budget (default 2000)\n"
         "  --connect-timeout-ms=N    per-attempt connect timeout "
         "(default 1000)\n"
+        "  --version                 print build/protocol/format versions\n"
         "  --help                    show this message\n";
 }
 
 int usage(const char* argv0) {
   print_usage(std::cerr, argv0);
   return 2;
+}
+
+// Same block as pnc_analyze/pncd --version.  The client carries no
+// analyzer flags, so its fingerprint is the default configuration —
+// what a stock daemon started with no flags keys its caches with.
+int print_version(const char* tool) {
+  std::cout << tool << " " << pnlab::kBuildVersion << "\n"
+            << "protocol:            v" << kMinProtocolVersion << "-v"
+            << kProtocolVersion << "\n"
+            << "disk cache entries:  v" << kDiskCacheFormatVersion
+            << " (result codec v" << kResultCodecVersion << ")\n"
+            << "options fingerprint: " << std::hex << std::setw(16)
+            << std::setfill('0')
+            << analyzer_options_fingerprint(pnlab::analysis::AnalyzerOptions{})
+            << std::dec << "\n";
+  return 0;
 }
 
 std::string absolute_path(const std::string& path) {
@@ -82,6 +114,8 @@ int main(int argc, char** argv) {
   std::string control;
   bool use_cache = true;
   bool want_stats = false;
+  bool incremental = false;
+  bool reopen = false;
   std::uint32_t deadline_ms = 0;
   RetryOptions retry;
   std::vector<std::string> paths;
@@ -97,6 +131,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-cache") {
       use_cache = false;
+    } else if (arg == "--incremental") {
+      incremental = true;
+    } else if (arg == "--reopen") {
+      reopen = true;
+    } else if (arg == "--version") {
+      return print_version("pnc_client");
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
@@ -134,6 +174,12 @@ int main(int argc, char** argv) {
       1) {
     return usage(argv[0]);
   }
+  if ((incremental || reopen) && dir.empty()) {
+    // Tree manifests key on a directory root; named files and control
+    // verbs have nothing to diff against.
+    std::cerr << argv[0] << ": --incremental/--reopen require --dir\n";
+    return 2;
+  }
   if (socket_path.empty()) socket_path = default_socket_path();
 
   Request request;
@@ -149,7 +195,12 @@ int main(int argc, char** argv) {
   } else if (control == "shutdown") {
     request.kind = RequestKind::kShutdown;
   } else if (!dir.empty()) {
-    request.kind = RequestKind::kAnalyzeDir;
+    // --reopen wins over --incremental: TREE_OPEN drops the manifest
+    // and then performs the same full scan + analysis, so combining the
+    // flags reads (and behaves) as "reopen, then go incremental".
+    request.kind = reopen        ? RequestKind::kTreeOpen
+                   : incremental ? RequestKind::kTreeReanalyze
+                                 : RequestKind::kAnalyzeDir;
     request.paths.push_back(absolute_path(dir));
   } else {
     request.kind = RequestKind::kAnalyzeFiles;
@@ -188,6 +239,11 @@ int main(int argc, char** argv) {
               << " memory hit(s), " << response.stats.disk_cache_hits
               << " disk hit(s), " << response.stats.cache_misses
               << " miss(es)\n";
+    if (incremental || reopen) {
+      std::cerr << "tree:    " << response.stats.tree_scanned
+                << " scanned, " << response.stats.tree_dirty << " dirty, "
+                << response.stats.tree_reused << " reused\n";
+    }
   }
   return response.exit_code;
 }

@@ -2,7 +2,7 @@
 //
 //   pncd [--socket=PATH] [--cache-dir=DIR] [--cache-bytes=N]
 //        [--jobs=N] [--no-info] [--no-disk-cache]
-//        [--shards=N] [--max-inflight=N]
+//        [--shards=N] [--max-inflight=N] [--metrics-out=PATH]
 //
 // Listens on a unix-domain socket for framed analyze requests (see
 // src/service/protocol.h), dispatches them onto the work-stealing
@@ -25,14 +25,27 @@
 // fault schedule in this process; $PNC_WORKER_FAULT_SPEC arms one
 // inside each forked shard worker.  See src/service/fault_injection.h.
 //
+// `--metrics-out=PATH` dumps the daemon's counters on shutdown as
+// Prometheus text: requests by status, cache hits by tier
+// (memory / disk / manifest-clean), sheds, deadline rejects, resident
+// trees — plus worker restarts and breaker trips in sharded mode — and
+// whatever the in-process telemetry layer collected.
+//
 // Exit status: 0 on a clean shutdown, 2 on startup/usage errors.
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <thread>
 
+#include "analysis/telemetry.h"
+#include "core/version.h"
+#include "service/disk_cache.h"
 #include "service/fault_injection.h"
+#include "service/protocol.h"
+#include "service/result_codec.h"
 #include "service/server.h"
 #include "service/supervisor.h"
 
@@ -57,7 +70,34 @@ void print_usage(std::ostream& os, const char* argv0) {
         "(default: 4x hardware threads, min 8)\n"
         "  --no-info           drop Info-severity advisories\n"
         "  --no-disk-cache     keep results in memory only\n"
+        "  --metrics-out=PATH  dump Prometheus-format counters to PATH "
+        "on shutdown\n"
+        "  --version           print build/protocol/format versions\n"
         "  --help              show this message\n";
+}
+
+// Same block as pnc_analyze/pnc_client --version: enough to decide
+// whether two binaries can share a socket and a cache directory.
+int print_version(const char* tool, std::uint64_t options_fingerprint) {
+  std::cout << tool << " " << pnlab::kBuildVersion << "\n"
+            << "protocol:            v" << kMinProtocolVersion << "-v"
+            << kProtocolVersion << "\n"
+            << "disk cache entries:  v" << kDiskCacheFormatVersion
+            << " (result codec v" << kResultCodecVersion << ")\n"
+            << "options fingerprint: " << std::hex << std::setw(16)
+            << std::setfill('0') << options_fingerprint << std::dec << "\n";
+  return 0;
+}
+
+// Counter dump on shutdown: server/supervisor counters first, then the
+// in-process telemetry exposition (empty when compiled out).
+void write_metrics(const char* argv0, const std::string& path,
+                   const std::string& counters) {
+  std::ofstream out(path, std::ios::binary);
+  out << counters << pnlab::analysis::telemetry::prometheus_text();
+  if (!out) {
+    std::cerr << argv0 << ": cannot write metrics to " << path << "\n";
+  }
 }
 
 Server* g_server = nullptr;
@@ -74,7 +114,9 @@ void on_signal(int) {
 int main(int argc, char** argv) {
   ServerOptions options;
   bool disk_cache = true;
+  bool want_version = false;
   int shards = 0;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,6 +160,14 @@ int main(int argc, char** argv) {
       options.driver.analyzer.include_info = false;
     } else if (arg == "--no-disk-cache") {
       disk_cache = false;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+      if (metrics_out.empty()) {
+        print_usage(std::cerr, argv[0]);
+        return 2;
+      }
+    } else if (arg == "--version") {
+      want_version = true;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout, argv[0]);
       return 0;
@@ -125,6 +175,17 @@ int main(int argc, char** argv) {
       print_usage(std::cerr, argv[0]);
       return 2;
     }
+  }
+
+  if (want_version) {
+    return print_version(
+        "pncd", analyzer_options_fingerprint(options.driver.analyzer));
+  }
+  if (!metrics_out.empty()) {
+    // Arm the in-process telemetry layer so the shutdown dump carries
+    // counters/histograms, not just the server-side totals.  Telemetry
+    // never changes analysis output (DESIGN.md §8).
+    pnlab::analysis::telemetry::set_enabled(true);
   }
 
   if (options.cache_dir.empty() && disk_cache) {
@@ -171,6 +232,9 @@ int main(int argc, char** argv) {
     }
     std::cerr << "\n";
     supervisor.serve();
+    if (!metrics_out.empty()) {
+      write_metrics(argv[0], metrics_out, supervisor.metrics_text());
+    }
     std::cerr << "pncd: supervisor stopped after " << supervisor.restarts()
               << " worker restart(s)\n";
     return 0;
@@ -194,6 +258,9 @@ int main(int argc, char** argv) {
             << " hardware threads)\n";
 
   server.serve();
+  if (!metrics_out.empty()) {
+    write_metrics(argv[0], metrics_out, server.metrics_text());
+  }
   std::cerr << "pncd: stopped after " << server.requests_served()
             << " request(s)\n";
   return 0;
