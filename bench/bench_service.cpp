@@ -29,6 +29,17 @@
 // eventually got a correct answer), p99_under_faults_ms, recovery_ms
 // (death detected -> accepting again), restarts.  Every delivered body
 // must be byte-identical to the undisturbed golden run.
+//
+// Observability riders (DESIGN.md §12): during the E11 and E12 traffic
+// the live admin endpoint is scraped and the exposition linted —
+// `pnc_requests_total` must advance across each phase.  A dedicated
+// per-verb phase reports p50/p95/p99 for PING, STATS, warm ANALYZE_DIR
+// and no-change TREE_REANALYZE ("verbs" in the JSON), and a scrape-cost
+// experiment bounds the price of live scraping: the gating number is
+// the scraper's duty cycle (median /metrics round trip x cadence,
+// admin_scrape_overhead_pct, self-checked at 1%); an alternating
+// scrape-on/scrape-off A/B delta is reported alongside it
+// (admin_scrape_delta_pct, informational — host noise exceeds the tax).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -38,12 +49,14 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analysis/corpus.h"
+#include "service/admin.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "service/supervisor.h"
@@ -102,6 +115,40 @@ struct RunningSupervisor {
   std::thread thread;
 };
 
+/// Scrapes the live admin /metrics, lints the exposition, and returns
+/// the summed `pnc_requests_total` series (the per-phase advance
+/// check).  Returns -1 and reports on any failure — a scrape that
+/// cannot be linted is a bench failure, not a skip.
+double scrape_requests_total(const std::string& admin_path,
+                             const char* phase) {
+  std::string body;
+  std::string error;
+  bool ok = false;
+  if (!admin_call(admin_path, kAdminMetrics, &body, &ok, &error) || !ok) {
+    std::cerr << "bench_service: " << phase << " admin scrape failed: "
+              << error << "\n";
+    return -1;
+  }
+  std::map<std::string, double> samples;
+  if (!parse_prometheus(body, &samples, &error)) {
+    std::cerr << "bench_service: " << phase
+              << " exposition failed the lint: " << error << "\n";
+    return -1;
+  }
+  double total = 0;
+  for (const auto& [series, value] : samples) {
+    if (series.rfind("pnc_requests_total", 0) == 0) total += value;
+  }
+  return total;
+}
+
+/// p50/p95/p99 for one verb's sample set, rendered into the "verbs"
+/// JSON object.
+struct VerbLatency {
+  const char* name;
+  std::vector<double> ms;
+};
+
 }  // namespace
 
 int main() {
@@ -138,9 +185,12 @@ int main() {
   std::vector<double> all_ms;
   double traffic_wall_s = 0;
   std::size_t errors = 0;
+  bool scrape_failed = false;
+  bool scrape_stalled = false;
   std::string golden_body;  ///< undisturbed output every phase must match
   {
     RunningServer running(options);
+    const std::string admin = admin_socket_path(options.socket_path);
 
     // Warm the caches: one request analyzes everything once.
     auto warm_client = Client::connect(options.socket_path, nullptr);
@@ -160,6 +210,9 @@ int main() {
               << " requests, 1/" << kMissEvery << " cache-bypassing\n\n";
 
     // Sustained concurrent traffic, one connection per client thread.
+    // The admin endpoint is scraped live on both sides of the phase:
+    // lint-clean exposition, counters advancing.
+    const double scrape_before = scrape_requests_total(admin, "E11");
     std::mutex merge_mutex;
     std::atomic<std::size_t> error_count{0};
     const auto traffic_start = std::chrono::steady_clock::now();
@@ -198,6 +251,9 @@ int main() {
                          std::chrono::steady_clock::now() - traffic_start)
                          .count();
     errors = error_count.load();
+    const double scrape_after = scrape_requests_total(admin, "E11");
+    scrape_failed = scrape_before < 0 || scrape_after < 0;
+    scrape_stalled = !scrape_failed && scrape_after <= scrape_before;
   }  // daemon drains and persists its cache index
 
   all_ms = hit_ms;
@@ -206,7 +262,9 @@ int main() {
   std::sort(miss_ms.begin(), miss_ms.end());
   std::sort(all_ms.begin(), all_ms.end());
   const double p50 = percentile(all_ms, 0.50);
+  const double p95 = percentile(all_ms, 0.95);
   const double p99 = percentile(all_ms, 0.99);
+  const double p999 = percentile(all_ms, 0.999);
   const double requests_per_s =
       traffic_wall_s > 0 ? static_cast<double>(all_ms.size()) / traffic_wall_s
                          : 0;
@@ -254,6 +312,173 @@ int main() {
               << " files from the on-disk cache\n";
   }
 
+  // Per-verb latency breakdown: the protocol's verbs pay very
+  // different costs (framing-only PING vs a tree walk), and a single
+  // aggregate p99 hides which one regressed.  Warm daemon, one
+  // connection, sequential rounds per verb.
+  std::vector<VerbLatency> verbs;
+  {
+    RunningServer running(options);
+    auto client = Client::connect(options.socket_path, nullptr);
+    if (!client) {
+      std::cerr << "bench_service: cannot connect for the verb phase\n";
+      return 1;
+    }
+    auto time_verb = [&](const char* name, const Request& r,
+                         std::size_t rounds) {
+      VerbLatency v{name, {}};
+      v.ms.reserve(rounds);
+      for (std::size_t i = 0; i < rounds; ++i) {
+        Response rsp;
+        const auto t0 = std::chrono::steady_clock::now();
+        const bool ok = client->call(r, &rsp) && rsp.ok;
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!ok) continue;
+        v.ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      std::sort(v.ms.begin(), v.ms.end());
+      verbs.push_back(std::move(v));
+    };
+    Request ping;
+    ping.kind = RequestKind::kPing;
+    time_verb("PING", ping, 300);
+    Request stats;
+    stats.kind = RequestKind::kStats;
+    time_verb("STATS", stats, 300);
+    time_verb("ANALYZE_DIR", request, 50);
+    // Open the tree once so the measured TREE_REANALYZE rounds are the
+    // no-change manifest fast path, not a cold scan.
+    Request reanalyze = request;
+    reanalyze.kind = RequestKind::kTreeReanalyze;
+    Response opened;
+    if (!client->call(reanalyze, &opened) || !opened.ok) {
+      std::cerr << "bench_service: TREE_REANALYZE warmup failed\n";
+      return 1;
+    }
+    time_verb("TREE_REANALYZE", reanalyze, 50);
+  }
+  std::cout << "\nper-verb latency (warm):\n"
+            << std::left << std::setw(18) << "" << std::setw(10)
+            << "p50 (ms)" << std::setw(10) << "p95 (ms)" << std::setw(10)
+            << "p99 (ms)" << "n\n"
+            << std::string(52, '-') << "\n";
+  for (const VerbLatency& v : verbs) {
+    std::cout << std::setw(18) << v.name << std::setw(10)
+              << std::setprecision(3) << percentile(v.ms, 0.50)
+              << std::setw(10) << percentile(v.ms, 0.95) << std::setw(10)
+              << percentile(v.ms, 0.99) << v.ms.size() << "\n";
+  }
+
+  // Admin-scrape overhead, two ways.  The gating number is a duty
+  // cycle: the median /metrics round trip on the warm server times the
+  // scrape cadence (one scrape per 100 ms — 150x hotter than the
+  // default Prometheus 15 s interval).  That is the fraction of one
+  // core the scraper can consume, it is deterministic, and the
+  // self-check bounds it at 1%.  The A/B throughput delta (alternating
+  // loaded rounds with and without a live scraper) is also measured
+  // and reported, but only informationally: on a small box the
+  // round-to-round throughput noise is several percent — larger than
+  // the true tax — so gating on it would make the bench flaky without
+  // making it more honest.
+  double admin_scrape_overhead_pct = 0;
+  double admin_scrape_delta_pct = 0;
+  constexpr int kScrapeCadenceMs = 100;
+  {
+    RunningServer running(options);
+    const std::string admin = admin_socket_path(options.socket_path);
+
+    std::vector<double> scrape_ms;
+    for (int i = 0; i < 50; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::string body;
+      bool ok = false;
+      if (!admin_call(admin, kAdminMetrics, &body, &ok, nullptr, 500) ||
+          !ok) {
+        std::cerr << "bench_service: admin scrape failed during cost "
+                     "measurement\n";
+        return 1;
+      }
+      scrape_ms.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+    }
+    std::sort(scrape_ms.begin(), scrape_ms.end());
+    const double scrape_med_ms = percentile(scrape_ms, 0.50);
+    admin_scrape_overhead_pct =
+        100.0 * scrape_med_ms / (scrape_med_ms + kScrapeCadenceMs);
+    auto run_round = [&]() -> double {
+      std::atomic<std::size_t> round_errors{0};
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < kClients; ++c) {
+        threads.emplace_back([&] {
+          auto client = Client::connect(options.socket_path, nullptr);
+          if (!client) {
+            ++round_errors;
+            return;
+          }
+          for (std::size_t i = 0; i < 100; ++i) {
+            Response rsp;
+            if (!client->call(request, &rsp) || !rsp.ok) ++round_errors;
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (round_errors.load() > 0) return -1;
+      return static_cast<double>(kClients * 100) / s;
+    };
+    std::vector<double> rps_plain, rps_scraped;
+    bool round_failed = false;
+    for (int round = 0; round < 12; ++round) {
+      if (round % 2 == 0) {
+        const double rps = run_round();
+        if (rps < 0) round_failed = true;
+        rps_plain.push_back(rps);
+      } else {
+        std::atomic<bool> stop_scraper{false};
+        std::thread scraper([&] {
+          while (!stop_scraper.load(std::memory_order_acquire)) {
+            std::string body;
+            bool ok = false;
+            admin_call(admin, kAdminMetrics, &body, &ok, nullptr, 500);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(kScrapeCadenceMs));
+          }
+        });
+        const double rps = run_round();
+        stop_scraper.store(true, std::memory_order_release);
+        scraper.join();
+        if (rps < 0) round_failed = true;
+        rps_scraped.push_back(rps);
+      }
+    }
+    if (round_failed) {
+      std::cerr << "bench_service: scrape-overhead round had failed "
+                   "requests\n";
+      return 1;
+    }
+    std::sort(rps_plain.begin(), rps_plain.end());
+    std::sort(rps_scraped.begin(), rps_scraped.end());
+    const double med_plain = percentile(rps_plain, 0.50);
+    const double med_scraped = percentile(rps_scraped, 0.50);
+    admin_scrape_delta_pct =
+        med_plain > 0 ? 100.0 * (med_plain - med_scraped) / med_plain : 0;
+    std::cout << "\nadmin scrape overhead: median /metrics round trip "
+              << std::setprecision(3) << scrape_med_ms << " ms -> "
+              << std::setprecision(2) << admin_scrape_overhead_pct
+              << "% of one core at one scrape per " << kScrapeCadenceMs
+              << " ms (budget 1%)\n"
+              << "  A/B under load: " << std::setprecision(0) << med_plain
+              << " requests/s unscraped vs " << med_scraped
+              << " scraped -> " << std::setprecision(2)
+              << admin_scrape_delta_pct
+              << "% measured delta (informational; within host noise)\n";
+  }
+
   // E13: incremental re-analysis over a 10k-file tree.  Every file gets
   // a unique first line so the cold pass is 10k genuine analyses, not
   // one analysis and 9999 memo hits; one file is deliberately large so
@@ -285,16 +510,22 @@ int main() {
   double incr_single_file_ms = 0;
   std::size_t incr_errors = 0;
   std::size_t incr_mismatches = 0;
+  bool incr_scrape_failed = false;
+  bool incr_scrape_stalled = false;
   {
     ServerOptions ioptions;
     ioptions.socket_path = (root / "i.sock").string();
     ioptions.cache_dir = (root / "icache").string();
     RunningServer running(ioptions);
+    const std::string iadmin = admin_socket_path(ioptions.socket_path);
     auto client = Client::connect(ioptions.socket_path, nullptr);
     if (!client) {
       std::cerr << "bench_service: cannot connect for E13\n";
       return 1;
     }
+    // The tree verbs count toward the same live exposition as the
+    // analyze verbs: scrape around the incremental traffic too.
+    const double scrape_before = scrape_requests_total(iadmin, "E13");
 
     auto timed = [&](const Request& r, Response* rsp) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -359,6 +590,11 @@ int main() {
     Response dir2_rsp;
     timed(dir_req, &dir2_rsp);
     if (pct_rsp.body != dir2_rsp.body) ++incr_mismatches;
+
+    const double scrape_after = scrape_requests_total(iadmin, "E13");
+    incr_scrape_failed = scrape_before < 0 || scrape_after < 0;
+    incr_scrape_stalled =
+        !incr_scrape_failed && scrape_after <= scrape_before;
   }
   const double incr_speedup =
       incr_nochange_p50 > 0 ? incr_cold_ms / incr_nochange_p50 : 0;
@@ -380,8 +616,11 @@ int main() {
   std::vector<double> sharded_ms;
   std::size_t sharded_errors = 0;
   std::size_t byte_mismatches = 0;
+  bool sharded_scrape_failed = false;
+  bool sharded_scrape_stalled = false;
   {
     RunningSupervisor running(sup);
+    const std::string admin = admin_socket_path(sup.socket_path);
     auto warm_client = Client::connect(sup.socket_path, nullptr);
     Response response;
     if (!warm_client || !warm_client->call(request, &response) ||
@@ -394,6 +633,7 @@ int main() {
                    "output\n";
       return 1;
     }
+    const double scrape_before = scrape_requests_total(admin, "E12");
 
     std::mutex merge_mutex;
     std::atomic<std::size_t> error_count{0};
@@ -424,6 +664,20 @@ int main() {
     }
     for (std::thread& t : clients) t.join();
     sharded_errors = error_count.load();
+
+    // The aggregated sharded scrape must lint, advance, and carry the
+    // per-shard relabeling.
+    const double scrape_after = scrape_requests_total(admin, "E12");
+    sharded_scrape_failed = scrape_before < 0 || scrape_after < 0;
+    sharded_scrape_stalled =
+        !sharded_scrape_failed && scrape_after <= scrape_before;
+    std::string body;
+    bool ok = false;
+    if (admin_call(admin, kAdminMetrics, &body, &ok, nullptr) && ok &&
+        body.find("pnc_requests_total{shard=\"") == std::string::npos) {
+      std::cerr << "bench_service: sharded scrape lacks shard labels\n";
+      sharded_scrape_failed = true;
+    }
   }
   std::sort(sharded_ms.begin(), sharded_ms.end());
   const double sharded_p50 = percentile(sharded_ms, 0.50);
@@ -543,7 +797,9 @@ int main() {
          << "  \"requests\": " << all_ms.size() << ",\n"
          << "  \"files_per_request\": " << file_count << ",\n"
          << "  \"p50_ms\": " << p50 << ",\n"
+         << "  \"p95_ms\": " << p95 << ",\n"
          << "  \"p99_ms\": " << p99 << ",\n"
+         << "  \"p999_ms\": " << p999 << ",\n"
          << "  \"hit_p50_ms\": " << percentile(hit_ms, 0.50) << ",\n"
          << "  \"hit_p99_ms\": " << percentile(hit_ms, 0.99) << ",\n"
          << "  \"miss_p50_ms\": " << percentile(miss_ms, 0.50) << ",\n"
@@ -565,7 +821,21 @@ int main() {
          << "  \"incr_nochange_p50_ms\": " << incr_nochange_p50 << ",\n"
          << "  \"incr_one_dirty_ms\": " << incr_one_dirty_ms << ",\n"
          << "  \"incr_one_pct_dirty_ms\": " << incr_one_pct_ms << ",\n"
-         << "  \"incr_single_file_ms\": " << incr_single_file_ms << "\n"
+         << "  \"incr_single_file_ms\": " << incr_single_file_ms << ",\n"
+         << "  \"admin_scrape_overhead_pct\": " << admin_scrape_overhead_pct
+         << ",\n"
+         << "  \"admin_scrape_delta_pct\": " << admin_scrape_delta_pct
+         << ",\n"
+         << "  \"verbs\": {";
+    for (std::size_t i = 0; i < verbs.size(); ++i) {
+      const VerbLatency& v = verbs[i];
+      json << (i ? ",\n    " : "\n    ") << "\"" << v.name
+           << "\": {\"p50_ms\": " << percentile(v.ms, 0.50)
+           << ", \"p95_ms\": " << percentile(v.ms, 0.95)
+           << ", \"p99_ms\": " << percentile(v.ms, 0.99)
+           << ", \"n\": " << v.ms.size() << "}";
+    }
+    json << "\n  }\n"
          << "}\n";
   }
   std::cout << "Wrote BENCH_service.json\n";
@@ -623,6 +893,23 @@ int main() {
     std::cout << "\nWARNING: one-dirty incremental " << incr_one_dirty_ms
               << " ms exceeds 5x the " << incr_single_file_ms
               << " ms single-file analysis\n";
+    failed = true;
+  }
+  if (scrape_failed || incr_scrape_failed || sharded_scrape_failed) {
+    std::cout << "\nWARNING: a live admin scrape failed or was not "
+                 "lint-clean\n";
+    failed = true;
+  }
+  if (scrape_stalled || incr_scrape_stalled || sharded_scrape_stalled) {
+    std::cout << "\nWARNING: pnc_requests_total did not advance across a "
+                 "traffic phase\n";
+    failed = true;
+  }
+  if (admin_scrape_overhead_pct > 1.0) {
+    std::cout << "\nWARNING: admin scraping can consume "
+              << admin_scrape_overhead_pct
+              << "% of one core at the bench cadence, above the 1% "
+                 "budget\n";
     failed = true;
   }
   return failed ? 1 : 0;

@@ -51,4 +51,11 @@ require_field("${BENCH_DIR}/BENCH_service.json" "incr_nochange_p50_ms")
 require_field("${BENCH_DIR}/BENCH_service.json" "incr_one_dirty_ms")
 require_field("${BENCH_DIR}/BENCH_service.json" "incr_one_pct_dirty_ms")
 require_field("${BENCH_DIR}/BENCH_service.json" "incr_single_file_ms")
+# ... and the observability headline (DESIGN.md §12): the tail beyond
+# p99, the per-verb latency breakdown, and the measured throughput cost
+# of live admin scraping (budgeted at 1% by the bench self-check).
+require_field("${BENCH_DIR}/BENCH_service.json" "p95_ms")
+require_field("${BENCH_DIR}/BENCH_service.json" "p999_ms")
+require_field("${BENCH_DIR}/BENCH_service.json" "verbs")
+require_field("${BENCH_DIR}/BENCH_service.json" "admin_scrape_overhead_pct")
 message(STATUS "bench check: per-phase fields present in BENCH_*.json")

@@ -214,6 +214,19 @@ std::size_t resolve_threads(std::size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
+/// Same 16-digit rendering as the service layer's trace_id_hex — the
+/// analysis layer must not depend on service headers, but a grep for
+/// one id has to match across both.
+std::string trace_hex(std::uint64_t id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[id & 0xf];
+    id >>= 4;
+  }
+  return out;
+}
+
 }  // namespace
 
 BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
@@ -227,6 +240,11 @@ BatchResult BatchDriver::run(const std::vector<SourceFile>& files) {
   const bool tracing = telemetry::enabled();
   const telemetry::Snapshot telemetry_before =
       tracing ? telemetry::snapshot() : telemetry::Snapshot{};
+  if (options_.trace_id != 0) {
+    // Correlates this batch's spans with the service-layer request
+    // record carrying the same id (DESIGN.md §12).
+    PN_INSTANT("request_trace", trace_hex(options_.trace_id));
+  }
 
   BatchResult batch;
   batch.files.resize(files.size());

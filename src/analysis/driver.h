@@ -282,6 +282,11 @@ struct DriverOptions {
   /// Shard identity propagated into BatchStats (see there); -1 when the
   /// driver does not run inside a supervised worker.
   int shard_id = -1;
+  /// Request trace id (service protocol v4); when nonzero the driver
+  /// stamps a `request_trace` instant at batch start, so telemetry
+  /// spans recorded during this run correlate to the request's
+  /// structured log record.  0 outside the daemon.
+  std::uint64_t trace_id = 0;
 };
 
 /// The batch service.  One instance owns one cache; run() may be called

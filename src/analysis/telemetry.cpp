@@ -415,12 +415,17 @@ std::string prometheus_text() {
        << snap.phases[i].spans << "\n";
   }
   for (std::size_t i = 0; i < kCounterCount; ++i) {
+    os << "# HELP pnc_" << kCounterNames[i]
+       << "_total Telemetry counter '" << kCounterNames[i] << "'.\n";
     os << "# TYPE pnc_" << kCounterNames[i] << "_total counter\n";
     os << "pnc_" << kCounterNames[i] << "_total " << snap.counters[i]
        << "\n";
   }
   for (std::size_t i = 0; i < kHistogramCount; ++i) {
     const HistogramSnapshot& h = snap.histograms[i];
+    os << "# HELP pnc_" << kHistogramNames[i]
+       << " Log2-bucketed telemetry histogram '" << kHistogramNames[i]
+       << "'.\n";
     os << "# TYPE pnc_" << kHistogramNames[i] << " histogram\n";
     std::uint64_t cumulative = 0;
     std::size_t highest = 0;

@@ -10,6 +10,6 @@
 
 namespace pnlab {
 
-inline constexpr const char* kBuildVersion = "0.9.0";
+inline constexpr const char* kBuildVersion = "0.10.0";
 
 }  // namespace pnlab

@@ -1,0 +1,425 @@
+#include "service/admin.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "service/protocol.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PNLAB_HAVE_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace pnlab::service {
+
+std::string admin_socket_path(const std::string& socket_path) {
+  return socket_path + ".admin";
+}
+
+AdminServer::AdminServer(std::string socket_path, Handler handler)
+    : socket_path_(std::move(socket_path)), handler_(std::move(handler)) {}
+
+AdminServer::~AdminServer() { stop(); }
+
+#if PNLAB_HAVE_SOCKETS
+
+namespace {
+
+bool fill_admin_sockaddr(const std::string& path, sockaddr_un* addr,
+                         std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (error) {
+      *error = "admin socket path empty or longer than " +
+               std::to_string(sizeof(addr->sun_path) - 1) + " bytes: " + path;
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+void set_socket_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+bool AdminServer::start(std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_admin_sockaddr(socket_path_, &addr, error)) return false;
+  // The service socket bind already arbitrated liveness: reaching this
+  // point means we own the address pair, so any existing admin file is
+  // a dead predecessor's debris.
+  std::error_code ec;
+  std::filesystem::remove(socket_path_, ec);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("admin socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error) *error = socket_path_ + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void AdminServer::accept_loop() {
+  std::vector<std::byte> payload;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    // Bounded per connection: a scraper that connects and stalls times
+    // out instead of wedging the admin plane for everyone else.
+    set_socket_timeout(fd, 2000);
+    try {
+      while (read_frame(fd, &payload)) {
+        std::string verb(reinterpret_cast<const char*>(payload.data()),
+                         payload.size());
+        bool ok = true;
+        std::string body;
+        if (handler_) {
+          body = handler_(verb, &ok);
+        } else {
+          ok = false;
+          body = "no admin handler";
+        }
+        std::vector<std::byte> reply(1 + body.size());
+        reply[0] = static_cast<std::byte>(ok ? 1 : 0);
+        std::memcpy(reply.data() + 1, body.data(), body.size());
+        write_frame(fd, reply);
+      }
+    } catch (const std::exception&) {
+      // Timeout, oversized frame, or IO error: close and move on.
+    }
+    ::close(fd);
+  }
+}
+
+void AdminServer::stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::error_code ec;
+  std::filesystem::remove(socket_path_, ec);
+}
+
+bool admin_call(const std::string& admin_path, std::string_view verb,
+                std::string* body, bool* ok, std::string* error,
+                int timeout_ms) {
+  sockaddr_un addr{};
+  if (!fill_admin_sockaddr(admin_path, &addr, error)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  set_socket_timeout(fd, timeout_ms);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (error) *error = admin_path + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  try {
+    std::vector<std::byte> payload(verb.size());
+    std::memcpy(payload.data(), verb.data(), verb.size());
+    write_frame(fd, payload);
+    std::vector<std::byte> reply;
+    if (!read_frame(fd, &reply) || reply.empty()) {
+      if (error) *error = admin_path + ": connection closed";
+      ::close(fd);
+      return false;
+    }
+    if (ok) *ok = reply[0] != std::byte{0};
+    if (body) {
+      body->assign(reinterpret_cast<const char*>(reply.data()) + 1,
+                   reply.size() - 1);
+    }
+  } catch (const std::exception& e) {
+    if (error) *error = admin_path + ": " + e.what();
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+#else  // !PNLAB_HAVE_SOCKETS
+
+bool AdminServer::start(std::string* error) {
+  if (error) *error = "unix sockets unavailable on this platform";
+  return false;
+}
+void AdminServer::accept_loop() {}
+void AdminServer::stop() {}
+
+bool admin_call(const std::string&, std::string_view, std::string*, bool*,
+                std::string* error, int) {
+  if (error) *error = "unix sockets unavailable on this platform";
+  return false;
+}
+
+#endif  // PNLAB_HAVE_SOCKETS
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition lint
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (!tail(name[i])) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (!head(name[i]) && !std::isdigit(static_cast<unsigned char>(name[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool valid_value(std::string_view text) {
+  if (text.empty()) return false;
+  if (text == "NaN" || text == "+Inf" || text == "-Inf" || text == "Inf") {
+    return true;
+  }
+  const std::string copy(text);
+  char* end = nullptr;
+  std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != copy.c_str();
+}
+
+struct Family {
+  bool has_help = false;
+  bool has_type = false;
+  std::string type;
+};
+
+/// The family a sample name belongs to, honoring the histogram suffix
+/// convention when the base family is declared a histogram.
+std::string family_of(const std::string& sample_name,
+                      const std::map<std::string, Family>& families) {
+  if (families.count(sample_name) > 0) return sample_name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::size_t len = std::strlen(suffix);
+    if (sample_name.size() > len &&
+        sample_name.compare(sample_name.size() - len, len, suffix) == 0) {
+      const std::string base = sample_name.substr(0, sample_name.size() - len);
+      const auto it = families.find(base);
+      if (it != families.end() && it->second.type == "histogram") return base;
+    }
+  }
+  return sample_name;  // unknown — the caller reports it
+}
+
+bool lint_impl(std::string_view text,
+               std::map<std::string, double>* samples_out,
+               std::string* error) {
+  std::map<std::string, Family> families;
+  std::map<std::string, double> samples;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& message) {
+    if (error) *error = "line " + std::to_string(line_no) + ": " + message;
+    return false;
+  };
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only the two structured comment forms are allowed: a stray
+      // comment in machine-generated exposition is a bug, not style.
+      std::string_view rest = line.substr(1);
+      while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+      const bool is_help = rest.rfind("HELP ", 0) == 0;
+      const bool is_type = rest.rfind("TYPE ", 0) == 0;
+      if (!is_help && !is_type) {
+        return fail("comment is neither # HELP nor # TYPE");
+      }
+      rest.remove_prefix(5);
+      const std::size_t space = rest.find(' ');
+      const std::string name(rest.substr(0, space));
+      if (!valid_metric_name(name)) {
+        return fail("invalid metric name in comment: '" + name + "'");
+      }
+      Family& family = families[name];
+      if (is_help) {
+        if (space == std::string_view::npos || space + 1 >= rest.size()) {
+          return fail(name + ": HELP with empty docstring");
+        }
+        family.has_help = true;
+      } else {
+        if (family.has_type) {
+          return fail(name + ": duplicate # TYPE");
+        }
+        const std::string type(space == std::string_view::npos
+                                   ? std::string_view()
+                                   : rest.substr(space + 1));
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(name + ": unknown type '" + type + "'");
+        }
+        family.has_type = true;
+        family.type = type;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name(line.substr(0, i));
+    if (!valid_metric_name(name)) {
+      return fail("invalid metric name: '" + name + "'");
+    }
+    std::string labels;
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t label_start = i;
+      ++i;  // past '{'
+      bool first = true;
+      while (true) {
+        if (i >= line.size()) return fail(name + ": unterminated label set");
+        if (line[i] == '}') {
+          ++i;
+          break;
+        }
+        if (!first) {
+          if (line[i] != ',') return fail(name + ": expected ',' in labels");
+          ++i;
+        }
+        first = false;
+        std::size_t eq = i;
+        while (eq < line.size() && line[eq] != '=') ++eq;
+        if (eq >= line.size()) return fail(name + ": label without '='");
+        const std::string label_name(line.substr(i, eq - i));
+        if (!valid_label_name(label_name)) {
+          return fail(name + ": invalid label name '" + label_name + "'");
+        }
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') {
+          return fail(name + ": label value must be quoted");
+        }
+        ++i;
+        while (true) {
+          if (i >= line.size()) {
+            return fail(name + ": unterminated label value");
+          }
+          const char c = line[i];
+          if (c == '"') {
+            ++i;
+            break;
+          }
+          if (c == '\\') {
+            if (i + 1 >= line.size() ||
+                (line[i + 1] != '\\' && line[i + 1] != '"' &&
+                 line[i + 1] != 'n')) {
+              return fail(name + ": invalid escape in label value");
+            }
+            i += 2;
+            continue;
+          }
+          ++i;
+        }
+      }
+      labels.assign(line.substr(label_start, i - label_start));
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(name + ": missing value");
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t value_end = i;
+    while (value_end < line.size() && line[value_end] != ' ') ++value_end;
+    const std::string_view value_text = line.substr(i, value_end - i);
+    if (!valid_value(value_text)) {
+      return fail(name + ": unparsable value '" + std::string(value_text) +
+                  "'");
+    }
+    // Optional timestamp after the value.
+    while (value_end < line.size() && line[value_end] == ' ') ++value_end;
+    if (value_end < line.size()) {
+      const std::string_view ts = line.substr(value_end);
+      for (const char c : ts) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '-') {
+          return fail(name + ": trailing junk after value");
+        }
+      }
+    }
+    const std::string family_name = family_of(name, families);
+    const auto family = families.find(family_name);
+    if (family == families.end() || !family->second.has_type) {
+      return fail(name + ": sample precedes its # TYPE declaration");
+    }
+    if (!family->second.has_help) {
+      return fail(name + ": family '" + family_name + "' has no # HELP");
+    }
+    const std::string series = name + labels;
+    if (!samples.emplace(series, std::strtod(std::string(value_text).c_str(),
+                                             nullptr))
+             .second) {
+      return fail("duplicate series: " + series);
+    }
+  }
+  if (samples_out) *samples_out = std::move(samples);
+  return true;
+}
+
+}  // namespace
+
+bool lint_prometheus(std::string_view text, std::string* error) {
+  return lint_impl(text, nullptr, error);
+}
+
+bool parse_prometheus(std::string_view text,
+                      std::map<std::string, double>* samples,
+                      std::string* error) {
+  return lint_impl(text, samples, error);
+}
+
+}  // namespace pnlab::service

@@ -1,0 +1,108 @@
+// The live admin plane (DESIGN.md §12): a second, always-on unix
+// socket next to the service socket, answering GET-style framed verbs
+// while the daemon serves traffic.
+//
+//   <socket>.admin        (supervisor / unsharded server)
+//   <socket>.s<K>.admin   (each worker, scraped by the supervisor)
+//
+// Exchange: one request frame whose payload is the ASCII verb
+// ("/metrics", "/statusz", "/healthz"), one response frame laid out as
+// [u8 ok][body bytes].  The same u32 length-prefixed framing as the
+// service protocol — no second frame format to fuzz — but the payloads
+// are plain text, so `pnc_client --statusz` and a curl-less CI step can
+// both speak it trivially.
+//
+// The admin plane is intentionally not the service plane:
+//  - it never touches the analysis caches or spawns drivers, so a
+//    scrape cannot be shed, deadline-rejected, or queued behind a
+//    directory walk — it stays answerable precisely when the service
+//    socket is drowning;
+//  - connections are handled sequentially on one thread with a short
+//    receive timeout, so a stuck scraper is bounded and cannot pile up
+//    handler threads (scrape bodies are built from relaxed-atomic
+//    counter reads and cost microseconds).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace pnlab::service {
+
+/// The admin socket address for a service socket: `<path>.admin`.
+std::string admin_socket_path(const std::string& socket_path);
+
+/// Admin verbs, shared between servers and clients.
+inline constexpr std::string_view kAdminMetrics = "/metrics";
+inline constexpr std::string_view kAdminStatusz = "/statusz";
+inline constexpr std::string_view kAdminHealthz = "/healthz";
+
+class AdminServer {
+ public:
+  /// Builds the response body for one verb; set *ok=false for an
+  /// unknown verb or an unhealthy answer.  Called from the admin
+  /// thread — implementations must only read thread-safe state.
+  using Handler =
+      std::function<std::string(const std::string& verb, bool* ok)>;
+
+  AdminServer(std::string socket_path, Handler handler);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread.  The caller owns the
+  /// *service* socket already, so a pre-existing admin socket file is
+  /// necessarily debris from a dead predecessor and is replaced.
+  bool start(std::string* error);
+  /// Stops the accept thread, closes and unlinks the socket.
+  /// Idempotent; called from the destructor if not before.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void accept_loop();
+
+  std::string socket_path_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// One admin round trip.  Returns false with *error set when the
+/// daemon is unreachable (connect/IO failure) — the `exit 4` case;
+/// on true, *ok and *body carry the server's answer.
+bool admin_call(const std::string& admin_path, std::string_view verb,
+                std::string* body, bool* ok, std::string* error,
+                int timeout_ms = 2000);
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition lint — shared by the unit tests, pnc_client
+// (--metrics --lint) and the smoke script, so "lint-clean" means the
+// same thing everywhere.
+
+/// Strict structural check of a text-exposition document:
+///  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+///  - every sample belongs to a family with both # HELP and # TYPE
+///    declared first, TYPE at most once per family (histogram samples
+///    attach to their base family via _bucket/_sum/_count);
+///  - label names match [a-zA-Z_][a-zA-Z0-9_]*, label values escape
+///    backslash, quote and newline;
+///  - sample values parse as doubles (NaN/±Inf allowed);
+///  - no duplicate (name, labels) series.
+/// Returns false with a "line N: ..." message on the first violation.
+bool lint_prometheus(std::string_view text, std::string* error);
+
+/// Parses samples into {"name{labels}" → value}, for the monotonicity
+/// checks ( `_total` series must never decrease between two scrapes of
+/// the same live daemon).  Runs the lint first.
+bool parse_prometheus(std::string_view text,
+                      std::map<std::string, double>* samples,
+                      std::string* error);
+
+}  // namespace pnlab::service

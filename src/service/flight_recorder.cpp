@@ -1,0 +1,164 @@
+#include "service/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ctime>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define PNLAB_FLIGHT_MMAP 1
+#endif
+
+namespace pnlab::service {
+
+namespace {
+
+std::uint64_t realtime_ns() {
+#if defined(PNLAB_FLIGHT_MMAP)
+  std::timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+/// Relaxed per-field stores with a release publish on seq.  The atomic
+/// view of a plain slot: the region is POD so the writer addresses the
+/// fields through atomic_ref-style raw volatile-free stores; the only
+/// ordering that matters is "seq last".
+std::atomic<std::uint64_t>* seq_of(FlightRecord* slot) {
+  static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t));
+  return reinterpret_cast<std::atomic<std::uint64_t>*>(&slot->seq);
+}
+
+}  // namespace
+
+std::shared_ptr<FlightRecorder> FlightRecorder::create(std::uint32_t slots) {
+#if defined(PNLAB_FLIGHT_MMAP)
+  if (slots == 0) slots = 1;
+  const std::size_t bytes =
+      sizeof(Header) + static_cast<std::size_t>(slots) * sizeof(FlightRecord);
+  void* region = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (region == MAP_FAILED) return nullptr;
+  std::memset(region, 0, bytes);
+  auto* header = new (region) Header;
+  header->next_seq.store(0, std::memory_order_relaxed);
+  header->slots = slots;
+  return std::shared_ptr<FlightRecorder>(
+      new FlightRecorder(region, bytes, slots));
+#else
+  (void)slots;
+  return nullptr;
+#endif
+}
+
+FlightRecorder::FlightRecorder(void* region, std::size_t bytes,
+                               std::uint32_t slots)
+    : region_(region), region_bytes_(bytes), slots_(slots) {}
+
+FlightRecorder::~FlightRecorder() {
+#if defined(PNLAB_FLIGHT_MMAP)
+  if (region_ != nullptr) ::munmap(region_, region_bytes_);
+#endif
+}
+
+FlightRecord* FlightRecorder::slot_array() const {
+  return reinterpret_cast<FlightRecord*>(static_cast<char*>(region_) +
+                                         sizeof(Header));
+}
+
+std::uint64_t FlightRecorder::begin(std::uint64_t trace_id,
+                                    std::uint8_t kind) {
+  auto* header = static_cast<Header*>(region_);
+  const std::uint64_t seq =
+      header->next_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  FlightRecord* slot = slot_array() + (seq - 1) % slots_;
+  // Invalidate first so a reader racing the rewrite sees seq 0 (drop),
+  // never a half-old half-new record with a plausible seq.
+  seq_of(slot)->store(0, std::memory_order_release);
+  slot->trace_id = trace_id;
+  slot->start_unix_ns = realtime_ns();
+  slot->files = 0;
+  slot->duration_ms = 0;
+  slot->deadline_left_ms = 0;
+  slot->kind = kind;
+  slot->status = FlightRecord::kInFlight;
+  slot->exit_code = 0;
+  seq_of(slot)->store(seq, std::memory_order_release);
+  return seq;
+}
+
+void FlightRecorder::complete(std::uint64_t seq, std::uint8_t status,
+                              std::uint8_t exit_code,
+                              std::uint32_t duration_ms,
+                              std::uint32_t deadline_left_ms,
+                              std::uint64_t files) {
+  if (seq == 0) return;
+  FlightRecord* slot = slot_array() + (seq - 1) % slots_;
+  // Under wrap-around a later request owns this slot now; its record
+  // wins and this completion is dropped.
+  if (seq_of(slot)->load(std::memory_order_acquire) != seq) return;
+  slot->status = status;
+  slot->exit_code = exit_code;
+  slot->duration_ms = duration_ms;
+  slot->deadline_left_ms = deadline_left_ms;
+  slot->files = files;
+}
+
+std::vector<FlightRecord> FlightRecorder::salvage() const {
+  std::vector<FlightRecord> out;
+  const auto* header = static_cast<const Header*>(region_);
+  const std::uint64_t next = header->next_seq.load(std::memory_order_acquire);
+  out.reserve(std::min<std::uint64_t>(next, slots_));
+  const FlightRecord* slots = slot_array();
+  for (std::uint32_t i = 0; i < slots_; ++i) {
+    FlightRecord record;
+    std::memcpy(&record, &slots[i], sizeof(record));
+    if (record.seq == 0) continue;
+    // A valid record's seq maps back to its own slot and is within the
+    // claimed range; anything else is torn and dropped.
+    if ((record.seq - 1) % slots_ != i || record.seq > next) continue;
+    out.push_back(record);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::reset() {
+  auto* header = static_cast<Header*>(region_);
+  FlightRecord* slots = slot_array();
+  for (std::uint32_t i = 0; i < slots_; ++i) {
+    seq_of(&slots[i])->store(0, std::memory_order_release);
+  }
+  header->next_seq.store(0, std::memory_order_release);
+}
+
+std::string flight_kind_name(std::uint8_t kind) {
+  switch (static_cast<RequestKind>(kind)) {
+    case RequestKind::kPing: return "PING";
+    case RequestKind::kAnalyzeFiles: return "ANALYZE_FILES";
+    case RequestKind::kAnalyzeDir: return "ANALYZE_DIR";
+    case RequestKind::kStats: return "STATS";
+    case RequestKind::kShutdown: return "SHUTDOWN";
+    case RequestKind::kTreeOpen: return "TREE_OPEN";
+    case RequestKind::kTreeReanalyze: return "TREE_REANALYZE";
+  }
+  return "UNKNOWN(" + std::to_string(kind) + ")";
+}
+
+std::string flight_status_name(std::uint8_t status) {
+  if (status == FlightRecord::kInFlight) return "IN_FLIGHT";
+  if (status <= static_cast<std::uint8_t>(StatusCode::kUnavailable)) {
+    return status_name(static_cast<StatusCode>(status));
+  }
+  return "UNKNOWN(" + std::to_string(status) + ")";
+}
+
+}  // namespace pnlab::service

@@ -1,0 +1,118 @@
+// Crash flight recorder: a fixed-size ring of per-request summaries in
+// a MAP_SHARED | MAP_ANONYMOUS region, created by the supervisor
+// *before* it forks each worker (DESIGN.md §12).
+//
+// The point of the shared mapping is that it survives the worker, not
+// the supervisor: when a shard is SIGKILL'd mid-request there is no
+// destructor, no flush, no goodbye — but the ring the worker was
+// writing into is still mapped in the supervisor, which salvages the
+// last N request summaries (trace id, verb, status, duration) and logs
+// them as structured `flight_record` events before respawning the
+// shard.  A chaos-harness kill becomes an attributable post-mortem
+// instead of a silent restart.
+//
+// Concurrency contract:
+//  - Writers are the worker's handler threads.  A slot is claimed by a
+//    global fetch_add on the header sequence; the claimed slot is
+//    invalidated (seq=0), filled, then published by storing its seq
+//    with release order *last* — a torn write is visible as a seq that
+//    does not match the slot's ring position and is dropped at salvage.
+//  - The salvage reader runs in the supervisor only after the worker is
+//    known dead (waitpid), so live write/read races only matter for the
+//    in-flight marker semantics, not for memory safety of POD loads.
+//  - `complete()` re-checks that the slot still carries this request's
+//    seq before updating: under wrap-around a slower request must not
+//    clobber the newer record that displaced it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace pnlab::service {
+
+/// One salvaged (or in-flight) request summary.  POD — it lives in the
+/// shared mapping and must tolerate being read after a SIGKILL at any
+/// byte boundary.
+struct FlightRecord {
+  /// Global claim order, 1-based; 0 marks a slot never written or
+  /// mid-rewrite.  Published last (release) by the writer.
+  std::uint64_t seq = 0;
+  std::uint64_t trace_id = 0;
+  /// CLOCK_REALTIME at request start, nanoseconds — lets the salvage
+  /// log place the victim's last requests on the operator's timeline.
+  std::uint64_t start_unix_ns = 0;
+  std::uint64_t files = 0;
+  std::uint32_t duration_ms = 0;
+  std::uint32_t deadline_left_ms = 0;
+  std::uint8_t kind = 0;    ///< RequestKind byte
+  std::uint8_t status = 0;  ///< StatusCode byte, or kInFlight
+  std::uint8_t exit_code = 0;
+  std::uint8_t reserved = 0;
+
+  /// Sentinel status for a record whose request never completed — the
+  /// most interesting line in a post-mortem: it is what the shard was
+  /// doing when it died.
+  static constexpr std::uint8_t kInFlight = 0xff;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::uint32_t kDefaultSlots = 64;
+
+  /// Maps a shared anonymous region sized for @p slots records.
+  /// Returns nullptr when mmap is unavailable/fails (the service runs
+  /// fine without a recorder; salvage just logs nothing).
+  static std::shared_ptr<FlightRecorder> create(
+      std::uint32_t slots = kDefaultSlots);
+
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Claims a slot and publishes an in-flight record for the request.
+  /// Returns the claim sequence to pass to complete().
+  std::uint64_t begin(std::uint64_t trace_id, std::uint8_t kind);
+
+  /// Fills in the outcome, if the slot was not already recycled by a
+  /// later request (wrap-around under load).
+  void complete(std::uint64_t seq, std::uint8_t status,
+                std::uint8_t exit_code, std::uint32_t duration_ms,
+                std::uint32_t deadline_left_ms, std::uint64_t files);
+
+  /// Snapshot of valid records, oldest first.  Meant to be called when
+  /// the writer is dead; drops slots whose seq is 0 or inconsistent
+  /// with their ring position (torn at the kill boundary).
+  std::vector<FlightRecord> salvage() const;
+
+  /// Clears the ring for the replacement worker, so the next salvage
+  /// cannot re-attribute the previous incarnation's requests.
+  void reset();
+
+  std::uint32_t slots() const { return slots_; }
+
+ private:
+  struct Header {
+    std::atomic<std::uint64_t> next_seq;
+    std::uint32_t slots;
+  };
+
+  FlightRecorder(void* region, std::size_t bytes, std::uint32_t slots);
+
+  FlightRecord* slot_array() const;
+
+  void* region_ = nullptr;
+  std::size_t region_bytes_ = 0;
+  std::uint32_t slots_ = 0;
+};
+
+/// Human name for a RequestKind byte as found in a salvaged record
+/// ("PING", "ANALYZE_DIR", …; "UNKNOWN(n)" for garbage).
+std::string flight_kind_name(std::uint8_t kind);
+/// StatusCode byte or FlightRecord::kInFlight → "IN_FLIGHT".
+std::string flight_status_name(std::uint8_t status);
+
+}  // namespace pnlab::service

@@ -1,0 +1,218 @@
+#include "service/log.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#define PNLAB_LOG_POSIX 1
+#endif
+
+namespace pnlab::service::log {
+
+namespace {
+
+std::atomic<std::uint8_t> g_level{
+    static_cast<std::uint8_t>(Level::kInfo)};
+std::atomic<int> g_fd{2};
+std::atomic<int> g_shard{-1};
+// Serializes in-process emitters so two threads' records cannot
+// interleave inside one process before the O_APPEND write; cross-
+// process interleaving is handled by the one-write-per-record rule.
+std::mutex g_emit_mutex;
+// Owned fd from set_file(), closed when replaced.  Distinct from g_fd
+// so set_fd() never closes a caller's descriptor.
+int g_owned_fd = -1;
+
+void append_u64(std::string* out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void append_i64(std::string* out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+void append_double(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+/// UTC wall clock with millisecond precision — the operator-facing
+/// timestamp.  (Monotonic durations travel as explicit *_ms fields.)
+void append_timestamp(std::string* out) {
+  std::timespec ts{};
+#if defined(PNLAB_LOG_POSIX)
+  clock_gettime(CLOCK_REALTIME, &ts);
+#else
+  std::timespec_get(&ts, TIME_UTC);
+#endif
+  std::tm tm{};
+#if defined(PNLAB_LOG_POSIX)
+  gmtime_r(&ts.tv_sec, &tm);
+#else
+  tm = *std::gmtime(&ts.tv_sec);
+#endif
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ts.tv_nsec / 1000000));
+  *out += buf;
+}
+
+}  // namespace
+
+bool enabled(Level level) {
+  return static_cast<std::uint8_t>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+Level level() {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_level(Level level) {
+  g_level.store(static_cast<std::uint8_t>(level), std::memory_order_relaxed);
+}
+
+bool parse_level(std::string_view text, Level* out) {
+  if (text == "debug") *out = Level::kDebug;
+  else if (text == "info") *out = Level::kInfo;
+  else if (text == "warn") *out = Level::kWarn;
+  else if (text == "error") *out = Level::kError;
+  else if (text == "off") *out = Level::kOff;
+  else return false;
+  return true;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "unknown";
+}
+
+bool set_file(const std::string& path, std::string* error) {
+#if defined(PNLAB_LOG_POSIX)
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    if (error) *error = path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (g_owned_fd >= 0) ::close(g_owned_fd);
+  g_owned_fd = fd;
+  g_fd.store(fd, std::memory_order_relaxed);
+  return true;
+#else
+  (void)path;
+  if (error) *error = "log files unavailable on this platform";
+  return false;
+#endif
+}
+
+void set_fd(int fd) { g_fd.store(fd, std::memory_order_relaxed); }
+
+int fd() { return g_fd.load(std::memory_order_relaxed); }
+
+void set_shard(int shard) { g_shard.store(shard, std::memory_order_relaxed); }
+
+void append_json_escaped(std::string* out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void emit(Level level, std::string_view event,
+          std::initializer_list<Field> fields) {
+  if (level == Level::kOff || !enabled(level)) return;
+  std::string line;
+  line.reserve(160);
+  line += "{\"ts\":\"";
+  append_timestamp(&line);
+  line += "\",\"level\":\"";
+  line += level_name(level);
+  line += "\",\"event\":\"";
+  append_json_escaped(&line, event);
+  line += "\",\"pid\":";
+#if defined(PNLAB_LOG_POSIX)
+  append_i64(&line, static_cast<std::int64_t>(::getpid()));
+#else
+  line += "0";
+#endif
+  const int shard = g_shard.load(std::memory_order_relaxed);
+  if (shard >= 0) {
+    line += ",\"shard\":";
+    append_i64(&line, shard);
+  }
+  for (const Field& f : fields) {
+    line += ",\"";
+    line += f.key;  // keys are trusted literals, no escaping pass
+    line += "\":";
+    switch (f.kind) {
+      case Field::Kind::kString:
+        line += '"';
+        append_json_escaped(&line, f.string_value);
+        line += '"';
+        break;
+      case Field::Kind::kInt: append_i64(&line, f.int_value); break;
+      case Field::Kind::kUint: append_u64(&line, f.uint_value); break;
+      case Field::Kind::kDouble: append_double(&line, f.double_value); break;
+      case Field::Kind::kBool: line += f.bool_value ? "true" : "false"; break;
+    }
+  }
+  line += "}\n";
+#if defined(PNLAB_LOG_POSIX)
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const int fd = g_fd.load(std::memory_order_relaxed);
+  // One write per record; EINTR is the only retry worth doing, and a
+  // failed log write must never take the service down with it.
+  const char* p = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+#else
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+#endif
+}
+
+}  // namespace pnlab::service::log

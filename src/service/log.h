@@ -1,0 +1,112 @@
+// Structured JSON-lines logging for the service layer (DESIGN.md §12).
+//
+// Every record is one line of JSON on a single fd:
+//
+//   {"ts":"2026-08-07T12:34:56.789Z","level":"info","event":"worker_restart",
+//    "pid":4242,"shard":1,"restarts":3}
+//
+// Design constraints, in order:
+//
+//  - A disabled level must cost one relaxed atomic load and a branch —
+//    the daemon emits a record per request at debug, and the hot path
+//    cannot afford formatting (or a lock) to discover the record is
+//    dropped.
+//  - One record = one write(2).  The log fd is opened O_APPEND, so
+//    records from the supervisor and its forked workers interleave
+//    whole-line in a shared `--log-file` without cross-process locking
+//    (POSIX appends of one small write are atomic on regular files).
+//  - No allocation-free ambition beyond that: record assembly builds a
+//    std::string.  Logging sites are error paths, lifecycle events, and
+//    per-request completion — never per-file or per-token work.
+//
+// The logger is process-global state (level, fd, shard tag) because a
+// forked worker inherits exactly that and only needs to re-tag its
+// shard id.  Workers must keep the fd open across the fd-hygiene close
+// loop in worker_main — see log::fd().
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace pnlab::service::log {
+
+enum class Level : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// One relaxed atomic load — safe to call at any frequency.
+bool enabled(Level level);
+
+Level level();
+void set_level(Level level);
+/// Parses "debug" / "info" / "warn" / "error" / "off" (the
+/// `--log-level` values).  Returns false on anything else.
+bool parse_level(std::string_view text, Level* out);
+const char* level_name(Level level);
+
+/// Routes records to @p path (O_APPEND | O_CREAT).  Replaces any
+/// previous file.  Returns false and leaves the sink unchanged on open
+/// failure, with the errno text in *error.
+bool set_file(const std::string& path, std::string* error);
+/// Routes records to an already-open fd (default: 2, stderr).  The
+/// logger never closes an fd it was handed.
+void set_fd(int fd);
+/// The fd records are written to — the worker fork path must exempt
+/// this from its close-everything hygiene loop.
+int fd();
+
+/// Tags every subsequent record with `"shard":N`; -1 (the default)
+/// omits the field.  Called once by each forked worker.
+void set_shard(int shard);
+
+/// A typed key/value for one record.  Built implicitly at call sites:
+///   log::emit(log::Level::kInfo, "breaker_open",
+///             {{"shard", 2}, {"consecutive_crashes", crashes}});
+/// String values are JSON-escaped; keys are trusted literals.
+struct Field {
+  enum class Kind : std::uint8_t { kString, kInt, kUint, kDouble, kBool };
+  std::string_view key;
+  Kind kind;
+  std::string_view string_value{};
+  std::int64_t int_value = 0;
+  std::uint64_t uint_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+
+  Field(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), string_value(v) {}
+  Field(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), string_value(v) {}
+  Field(std::string_view k, const std::string& v)
+      : key(k), kind(Kind::kString), string_value(v) {}
+  Field(std::string_view k, std::int64_t v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  Field(std::string_view k, int v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  Field(std::string_view k, std::uint64_t v)
+      : key(k), kind(Kind::kUint), uint_value(v) {}
+  Field(std::string_view k, std::uint32_t v)
+      : key(k), kind(Kind::kUint), uint_value(v) {}
+  Field(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), double_value(v) {}
+  Field(std::string_view k, bool v)
+      : key(k), kind(Kind::kBool), bool_value(v) {}
+};
+
+/// Emits one record if @p level clears the threshold.  @p event is a
+/// stable snake_case name — the primary grep key of the schema.
+void emit(Level level, std::string_view event,
+          std::initializer_list<Field> fields);
+
+/// JSON string-body escaping (quotes, backslash, control bytes) —
+/// shared with the /statusz builders so every JSON producer in the
+/// service layer escapes identically.
+void append_json_escaped(std::string* out, std::string_view text);
+
+}  // namespace pnlab::service::log

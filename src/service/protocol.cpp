@@ -1,6 +1,8 @@
 #include "service/protocol.h"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -43,6 +45,33 @@ const char* status_name(StatusCode status) {
   return "UNKNOWN";
 }
 
+std::uint64_t mint_trace_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t x = counter.fetch_add(1, std::memory_order_relaxed);
+#if defined(__unix__) || defined(__APPLE__)
+  x ^= static_cast<std::uint64_t>(::getpid()) << 32;
+#endif
+  x ^= static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  // splitmix64 finalizer: spreads the low-entropy inputs over all 64
+  // bits so ids from concurrent processes do not collide trivially.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;  // 0 means "unset" on the wire
+}
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[trace_id & 0xf];
+    trace_id >>= 4;
+  }
+  return out;
+}
+
 Response error_response(StatusCode status, std::string message,
                         std::uint32_t retry_after_ms) {
   Response response;
@@ -79,6 +108,7 @@ std::vector<std::byte> encode_request(const Request& request,
   w.u8(static_cast<std::uint8_t>(request.format));
   w.u8(request.use_cache ? 1 : 0);
   if (version >= 2) w.u32(request.deadline_ms);
+  if (version >= 4) w.u64(request.trace_id);
   w.u32(static_cast<std::uint32_t>(request.paths.size()));
   for (const std::string& path : request.paths) w.str32(path);
   return w.take();
@@ -111,6 +141,8 @@ Request decode_request(std::span<const std::byte> payload,
   // v1 requests carry no deadline: they get the old "wait forever"
   // semantics rather than a decode error.
   request.deadline_ms = version >= 2 ? r.u32() : 0;
+  // Pre-v4 frames carry no trace id; 0 tells the server to mint one.
+  request.trace_id = version >= 4 ? r.u64() : 0;
   const std::uint32_t count = r.u32();
   // Each path costs at least its 4-byte length prefix, so a count the
   // remaining payload cannot possibly hold is malformed.  Checked

@@ -32,6 +32,15 @@
 // kinds are rejected in v1/v2 frames — to an old peer they were never
 // valid, and staying that way keeps the decode matrix exact — while
 // v1/v2 requests of the existing kinds are served unchanged.
+//
+// Version 4 adds request-scoped tracing (DESIGN.md §12): a 64-bit
+// `trace_id` minted by the client travels in the request frame and is
+// echoed into the server's structured per-request log record and the
+// worker's crash flight recorder, so one id correlates client retries,
+// supervisor routing, shard logs, and post-mortem salvage.  The field
+// exists only in v4 frames; v1–v3 layouts are byte-identical to before,
+// and a v<4 request simply logs under a server-minted id.  The response
+// layout is unchanged at v4.
 #pragma once
 
 #include <cstddef>
@@ -42,7 +51,7 @@
 
 namespace pnlab::service {
 
-inline constexpr std::uint32_t kProtocolVersion = 3;
+inline constexpr std::uint32_t kProtocolVersion = 4;
 /// Oldest request/response layout the codecs still speak.
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
 /// Hard ceiling on one frame's payload (requests are path lists and
@@ -90,8 +99,21 @@ struct Request {
   /// from frame arrival and answers kDeadlineExceeded instead of doing
   /// (or returning) late work; clients derive socket timeouts from it.
   std::uint32_t deadline_ms = 0;
+  /// v4: client-minted request correlation id; 0 = unset (the server
+  /// mints one at the boundary so every log record still carries one).
+  std::uint64_t trace_id = 0;
   std::vector<std::string> paths;
 };
+
+/// Mints a process-unique, never-zero 64-bit trace id (splitmix64 over
+/// pid ⊕ monotonic clock ⊕ a process-local counter).  Cheap enough to
+/// call per request; not cryptographic — it is a correlation key.
+std::uint64_t mint_trace_id();
+
+/// Fixed-width lowercase hex rendering used everywhere a trace id is
+/// printed (logs, client output, flight-recorder salvage), so one grep
+/// matches across all of them.
+std::string trace_id_hex(std::uint64_t trace_id);
 
 /// Cache/batch counters piggybacked on every analyze response, so
 /// clients can report hit ratios without a second round trip.

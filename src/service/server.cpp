@@ -13,8 +13,12 @@
 
 #include "analysis/telemetry.h"
 #include "analysis/tree_manifest.h"
+#include "core/version.h"
 #include "serde/wire.h"
+#include "service/admin.h"
 #include "service/fault_injection.h"
+#include "service/flight_recorder.h"
+#include "service/log.h"
 #include "service/manifest_codec.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -186,7 +190,17 @@ Response Server::handle(const Request& request) {
 
 Response Server::handle(const Request& request,
                         std::chrono::steady_clock::time_point arrival) {
-  Response response = handle_impl(request, arrival);
+  // Every request gets a trace id: the client's when it sent one (v4),
+  // a boundary-minted one otherwise — so the per-request log record
+  // and the flight-recorder slot always carry a correlation key.
+  const std::uint64_t trace_id =
+      request.trace_id != 0 ? request.trace_id : mint_trace_id();
+  std::uint64_t flight_seq = 0;
+  if (options_.flight_recorder) {
+    flight_seq = options_.flight_recorder->begin(
+        trace_id, static_cast<std::uint8_t>(request.kind));
+  }
+  Response response = handle_impl(request, arrival, trace_id);
   // Service counters for the metrics exporter: every response lands in
   // exactly one status bucket; cache-tier hits accumulate from the
   // response stats (tiers overlap — see the member comment).
@@ -200,11 +214,43 @@ Response Server::handle(const Request& request,
                             std::memory_order_relaxed);
   tier_manifest_clean_.fetch_add(response.stats.tree_reused,
                                  std::memory_order_relaxed);
+
+  const std::uint64_t duration_ms = elapsed_ms_since(arrival);
+  const std::uint32_t deadline_left_ms =
+      request.deadline_ms > duration_ms
+          ? static_cast<std::uint32_t>(request.deadline_ms - duration_ms)
+          : 0;
+  if (options_.flight_recorder) {
+    options_.flight_recorder->complete(
+        flight_seq, static_cast<std::uint8_t>(response.status),
+        response.exit_code, static_cast<std::uint32_t>(duration_ms),
+        deadline_left_ms, response.stats.files);
+  }
+  // The per-request record (DESIGN.md §12): every completion at debug,
+  // promoted to info with slow=true past the --slow-ms threshold.
+  const bool slow =
+      options_.slow_ms > 0 && duration_ms >= options_.slow_ms;
+  const log::Level level = slow ? log::Level::kInfo : log::Level::kDebug;
+  if (log::enabled(level)) {
+    log::emit(level, "request",
+              {{"trace", trace_id_hex(trace_id)},
+               {"verb", flight_kind_name(
+                            static_cast<std::uint8_t>(request.kind))},
+               {"status", status_name(response.status)},
+               {"duration_ms", duration_ms},
+               {"deadline_left_ms", deadline_left_ms},
+               {"files", response.stats.files},
+               {"mem_hits", response.stats.mem_cache_hits},
+               {"disk_hits", response.stats.disk_cache_hits},
+               {"manifest_reused", response.stats.tree_reused},
+               {"slow", slow}});
+  }
   return response;
 }
 
 Response Server::handle_impl(const Request& request,
-                             std::chrono::steady_clock::time_point arrival) {
+                             std::chrono::steady_clock::time_point arrival,
+                             std::uint64_t trace_id) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   Response response;
   switch (request.kind) {
@@ -271,6 +317,15 @@ Response Server::handle_impl(const Request& request,
   if (inflight > max_inflight_) {
     requests_shed_.fetch_add(1, std::memory_order_relaxed);
     PN_INSTANT("service_shed", "");
+    // Debug, not warn: under a real overload storm the shed path runs
+    // thousands of times a second and must stay cheap; the aggregate
+    // lives in pnc_requests_shed_total.
+    if (log::enabled(log::Level::kDebug)) {
+      log::emit(log::Level::kDebug, "request_shed",
+                {{"trace", trace_id_hex(trace_id)},
+                 {"inflight", static_cast<std::uint64_t>(inflight)},
+                 {"max_inflight", static_cast<std::uint64_t>(max_inflight_)}});
+    }
     // Hint scaled by how deep past the mark we are: the further over,
     // the longer clients should stay away.
     const std::uint32_t hint = static_cast<std::uint32_t>(
@@ -304,6 +359,9 @@ Response Server::handle_impl(const Request& request,
   driver_options.secondary_cache =
       request.use_cache ? disk_cache_.get() : nullptr;
   if (!request.use_cache) driver_options.use_cache = false;
+  // Telemetry spans recorded while this driver runs correlate back to
+  // the request through the trace id (DESIGN.md §12).
+  driver_options.trace_id = trace_id;
 
   if (request.kind == RequestKind::kTreeOpen ||
       request.kind == RequestKind::kTreeReanalyze) {
@@ -557,12 +615,15 @@ void Server::save_manifests() {
 
 std::string Server::metrics_text() const {
   std::ostringstream os;
+  os << "# HELP pnc_requests_total Requests answered, by typed status.\n";
   os << "# TYPE pnc_requests_total counter\n";
   for (std::size_t i = 0; i < status_counts_.size(); ++i) {
     os << "pnc_requests_total{status=\""
        << status_name(static_cast<StatusCode>(i)) << "\"} "
        << status_counts_[i].load(std::memory_order_relaxed) << "\n";
   }
+  os << "# HELP pnc_cache_tier_hits_total Files served per cache tier "
+        "(tiers overlap by design).\n";
   os << "# TYPE pnc_cache_tier_hits_total counter\n";
   os << "pnc_cache_tier_hits_total{tier=\"memory\"} "
      << tier_memory_hits_.load(std::memory_order_relaxed) << "\n";
@@ -570,12 +631,78 @@ std::string Server::metrics_text() const {
      << tier_disk_hits_.load(std::memory_order_relaxed) << "\n";
   os << "pnc_cache_tier_hits_total{tier=\"manifest_clean\"} "
      << tier_manifest_clean_.load(std::memory_order_relaxed) << "\n";
+  os << "# HELP pnc_requests_shed_total Requests rejected at the "
+        "in-flight high-water mark.\n";
   os << "# TYPE pnc_requests_shed_total counter\n";
   os << "pnc_requests_shed_total " << requests_shed() << "\n";
+  os << "# HELP pnc_deadline_rejects_total Requests answered "
+        "DEADLINE_EXCEEDED instead of late work.\n";
   os << "# TYPE pnc_deadline_rejects_total counter\n";
   os << "pnc_deadline_rejects_total " << deadline_rejects() << "\n";
+  os << "# HELP pnc_trees_resident Trees with a resident manifest.\n";
   os << "# TYPE pnc_trees_resident gauge\n";
   os << "pnc_trees_resident " << trees_resident() << "\n";
+  os << "# HELP pnc_inflight Analysis requests executing right now.\n";
+  os << "# TYPE pnc_inflight gauge\n";
+  os << "pnc_inflight " << inflight_.load(std::memory_order_relaxed) << "\n";
+  os << "# HELP pnc_uptime_seconds Seconds since this process started.\n";
+  os << "# TYPE pnc_uptime_seconds gauge\n";
+  os << "pnc_uptime_seconds "
+     << std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count()
+     << "\n";
+  return os.str();
+}
+
+std::string Server::metrics_exposition() const {
+  // One lint-clean document: the service families plus the telemetry
+  // exporter's phase/counter/histogram families.  This is what a live
+  // scrape sees and what --metrics-out persists, so the dashboards and
+  // the post-mortem file never disagree about what exists.
+  return metrics_text() + analysis::telemetry::prometheus_text();
+}
+
+std::string Server::statusz_json() const {
+  const analysis::CacheStats mem = memory_cache_->stats();
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"service\": \"pncd\",\n"
+     << "  \"build_version\": \"" << kBuildVersion << "\",\n"
+     << "  \"protocol_versions\": {\"min\": " << kMinProtocolVersion
+     << ", \"max\": " << kProtocolVersion << "},\n"
+     << "  \"uptime_s\": "
+     << std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count()
+     << ",\n"
+     << "  \"shard_id\": " << options_.shard_id << ",\n"
+     << "  \"inflight\": " << inflight_.load(std::memory_order_relaxed)
+     << ",\n"
+     << "  \"max_inflight\": " << max_inflight_ << ",\n"
+     << "  \"requests_served\": " << requests_served() << ",\n"
+     << "  \"requests_shed\": " << requests_shed() << ",\n"
+     << "  \"deadline_rejects\": " << deadline_rejects() << ",\n"
+     << "  \"trees_resident\": " << trees_resident() << ",\n"
+     << "  \"cache_tier_hits\": {\"memory\": "
+     << tier_memory_hits_.load(std::memory_order_relaxed)
+     << ", \"disk\": " << tier_disk_hits_.load(std::memory_order_relaxed)
+     << ", \"manifest_clean\": "
+     << tier_manifest_clean_.load(std::memory_order_relaxed) << "},\n"
+     << "  \"memory_cache\": {\"entries\": " << memory_cache_->size()
+     << ", \"hits\": " << mem.hits << ", \"misses\": " << mem.misses
+     << ", \"evictions\": " << mem.evictions << "},\n"
+     << "  \"disk_cache\": ";
+  if (disk_cache_) {
+    const analysis::CacheStats disk = disk_cache_->stats();
+    os << "{\"entries\": " << disk_cache_->entries()
+       << ", \"bytes\": " << disk_cache_->total_bytes()
+       << ", \"hits\": " << disk.hits << ", \"misses\": " << disk.misses
+       << "}";
+  } else {
+    os << "null";
+  }
+  os << "\n}\n";
   return os.str();
 }
 
@@ -675,6 +802,32 @@ bool Server::start(std::string* error) {
     listen_fd_ = -1;
     return false;
   }
+  if (options_.admin_enabled) {
+    // The observability plane comes up with the service plane or the
+    // daemon does not come up: an admin socket that silently failed to
+    // bind would be discovered exactly when it is needed most.
+    admin_ = std::make_unique<AdminServer>(
+        admin_socket_path(options_.socket_path),
+        [this](const std::string& verb, bool* ok) {
+          if (verb == kAdminMetrics) return metrics_exposition();
+          if (verb == kAdminStatusz) return statusz_json();
+          if (verb == kAdminHealthz) return std::string("ok\n");
+          *ok = false;
+          return "unknown admin verb: " + verb;
+        });
+    if (!admin_->start(error)) {
+      admin_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      std::error_code ec;
+      std::filesystem::remove(options_.socket_path, ec);
+      return false;
+    }
+  }
+  log::emit(log::Level::kInfo, "server_start",
+            {{"socket", options_.socket_path},
+             {"admin", options_.admin_enabled},
+             {"max_inflight", static_cast<std::uint64_t>(max_inflight_)}});
   return true;
 }
 
@@ -720,10 +873,14 @@ void Server::serve() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (admin_) admin_->stop();
   std::error_code ec;
   std::filesystem::remove(options_.socket_path, ec);
   save_manifests();
   if (disk_cache_) disk_cache_->save_index();
+  log::emit(log::Level::kInfo, "server_stop",
+            {{"socket", options_.socket_path},
+             {"requests_served", requests_served()}});
 }
 
 void Server::request_stop() {
@@ -767,6 +924,7 @@ void Server::handle_connection(int fd) {
         // connection — framing may be out of sync.  The version the
         // peer attempted may itself be the malformed part, so answer
         // in the newest layout we speak.
+        log::emit(log::Level::kWarn, "bad_request", {{"error", e.what()}});
         response = error_response(StatusCode::kBadRequest,
                                   std::string("bad request: ") + e.what());
         write_frame(fd, encode_response(response));

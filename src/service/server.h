@@ -50,6 +50,9 @@
 
 namespace pnlab::service {
 
+class AdminServer;
+class FlightRecorder;
+
 struct ServerOptions {
   std::string socket_path;  ///< unix socket to listen on (required)
   /// Disk cache directory; empty disables the disk layer entirely.
@@ -69,6 +72,18 @@ struct ServerOptions {
   /// Shard identity when run under the supervisor (propagated into
   /// driver stats and the stats JSON); -1 = unsharded.
   int shard_id = -1;
+  /// Serve the admin verbs on `<socket_path>.admin` (DESIGN.md §12).
+  /// On by default: the observability plane must be there precisely
+  /// when nobody thought to enable it.
+  bool admin_enabled = true;
+  /// Per-request records at or above this duration are logged at info
+  /// with slow=true (all completions log at debug); 0 disables the
+  /// promotion.  The `--slow-ms` flag.
+  std::uint32_t slow_ms = 0;
+  /// Crash flight recorder to publish per-request summaries into; the
+  /// supervisor hands each worker the MAP_SHARED ring it will salvage
+  /// if the worker dies.  Null = no recording.
+  std::shared_ptr<FlightRecorder> flight_recorder;
 };
 
 class Server {
@@ -118,13 +133,20 @@ class Server {
   /// `pncd --metrics-out` dumps on shutdown, alongside the telemetry
   /// exporter's own metrics.
   std::string metrics_text() const;
+  /// The admin `/metrics` body: metrics_text() plus the telemetry
+  /// exporter's families — one lint-clean document.
+  std::string metrics_exposition() const;
+  /// The admin `/statusz` body: uptime, versions, shard identity,
+  /// in-flight and counter state, resident trees, cache tiers.
+  std::string statusz_json() const;
 
  private:
   struct TreeState;
 
   void handle_connection(int fd);
   Response handle_impl(const Request& request,
-                       std::chrono::steady_clock::time_point arrival);
+                       std::chrono::steady_clock::time_point arrival,
+                       std::uint64_t trace_id);
   Response handle_tree(const Request& request,
                        std::chrono::steady_clock::time_point arrival,
                        const analysis::DriverOptions& driver_options);
@@ -142,6 +164,9 @@ class Server {
   std::unordered_map<std::string, std::shared_ptr<TreeState>> trees_;
 
   int listen_fd_ = -1;
+  std::unique_ptr<AdminServer> admin_;
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> requests_shed_{0};

@@ -5,13 +5,18 @@
 #include <csignal>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "analysis/driver.h"
+#include "core/version.h"
 #include "serde/wire.h"
+#include "service/admin.h"
 #include "service/fault_injection.h"
+#include "service/flight_recorder.h"
+#include "service/log.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PNLAB_HAVE_SOCKETS 1
@@ -112,13 +117,21 @@ std::uint64_t routing_key(const Request& request) {
 /// The worker half of spawn_worker, run in the forked child.  Never
 /// returns.
 [[noreturn]] void worker_main(const SupervisorOptions& options,
-                              const std::string& shard_socket, int index) {
+                              const std::string& shard_socket, int index,
+                              std::shared_ptr<FlightRecorder> recorder) {
   // Only the forking thread exists here.  Drop every inherited fd
   // (router listener, client connections, worker links) — the worker
   // builds its own socket and must not hold peers' connections open.
+  // The structured-log fd is the one exception: the worker's request
+  // records must keep landing in the shared --log-file.
+  const int log_fd = log::fd();
   long max_fd = ::sysconf(_SC_OPEN_MAX);
   if (max_fd <= 0 || max_fd > 4096) max_fd = 4096;
-  for (int fd = 3; fd < static_cast<int>(max_fd); ++fd) ::close(fd);
+  for (int fd = 3; fd < static_cast<int>(max_fd); ++fd) {
+    if (fd != log_fd) ::close(fd);
+  }
+  // Tag every record this process emits with its shard identity.
+  log::set_shard(index);
 
   // The parent's fault schedule is the router's, not ours; workers run
   // their own (the chaos harness's crash-at-request-K lever).
@@ -132,6 +145,9 @@ std::uint64_t routing_key(const Request& request) {
   ServerOptions worker_options = options.worker;
   worker_options.socket_path = shard_socket;
   worker_options.shard_id = index;
+  // The MAP_SHARED ring inherited across the fork: the supervisor
+  // salvages it if this process dies without a goodbye.
+  worker_options.flight_recorder = std::move(recorder);
 
   static Server* g_worker_server = nullptr;
   Server server(std::move(worker_options));
@@ -162,12 +178,23 @@ Supervisor::~Supervisor() {
 
 pid_t Supervisor::spawn_worker(int index) {
   std::string shard_socket;
+  std::shared_ptr<FlightRecorder> recorder;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    shard_socket = shards_[static_cast<std::size_t>(index)].socket_path;
+    Shard& shard = shards_[static_cast<std::size_t>(index)];
+    shard_socket = shard.socket_path;
+    // Created once, before the first fork, and reused (reset) across
+    // incarnations — the mapping must predate the child to be shared.
+    if (!shard.recorder) shard.recorder = FlightRecorder::create();
+    recorder = shard.recorder;
   }
   const pid_t pid = ::fork();
-  if (pid == 0) worker_main(options_, shard_socket, index);
+  if (pid == 0) worker_main(options_, shard_socket, index, std::move(recorder));
+  if (pid > 0) {
+    log::emit(log::Level::kInfo, "worker_start",
+              {{"shard", index}, {"worker_pid", static_cast<std::int64_t>(pid)},
+               {"socket", shard_socket}});
+  }
   return pid;
 }
 
@@ -256,6 +283,39 @@ bool Supervisor::start(std::string* error) {
     return false;
   }
 
+  if (options_.worker.admin_enabled) {
+    admin_ = std::make_unique<AdminServer>(
+        admin_socket_path(options_.socket_path),
+        [this](const std::string& verb, bool* ok) {
+          if (verb == kAdminMetrics) return metrics_exposition();
+          if (verb == kAdminStatusz) return statusz_json();
+          if (verb == kAdminHealthz) {
+            std::size_t alive = 0;
+            {
+              std::lock_guard<std::mutex> lock(mutex_);
+              for (const Shard& shard : shards_) alive += shard.alive ? 1 : 0;
+            }
+            if (alive > 0) return std::string("ok\n");
+            *ok = false;
+            return std::string("unhealthy: no live shards\n");
+          }
+          *ok = false;
+          return "unknown admin verb: " + verb;
+        });
+    if (!admin_->start(error)) {
+      admin_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      std::error_code cleanup_ec;
+      fs::remove(options_.socket_path, cleanup_ec);
+      terminate_workers();
+      return false;
+    }
+  }
+  log::emit(log::Level::kInfo, "supervisor_start",
+            {{"socket", options_.socket_path},
+             {"shards", options_.shards},
+             {"admin", options_.worker.admin_enabled}});
   monitor_ = std::thread([this] { monitor_loop(); });
   return true;
 }
@@ -281,6 +341,10 @@ void Supervisor::handle_dead_worker(int index, clock::time_point now) {
     // here with another full cooldown.
     if (!shard.breaker_open) {
       breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+      log::emit(log::Level::kWarn, "breaker_open",
+                {{"shard", index},
+                 {"consecutive_crashes", shard.consecutive_crashes},
+                 {"cooldown_ms", options_.breaker_cooldown_ms}});
     }
     shard.breaker_open = true;
     shard.restart_at =
@@ -309,12 +373,33 @@ void Supervisor::monitor_loop() {
     int wstatus = 0;
     pid_t dead;
     while ((dead = ::waitpid(-1, &wstatus, WNOHANG)) > 0) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      for (std::size_t i = 0; i < shards_.size(); ++i) {
-        if (shards_[i].pid == dead) {
-          handle_dead_worker(static_cast<int>(i), now);
-          break;
+      int dead_index = -1;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+          if (shards_[i].pid == dead) {
+            dead_index = static_cast<int>(i);
+            handle_dead_worker(dead_index, now);
+            break;
+          }
         }
+      }
+      if (dead_index >= 0) {
+        if (WIFSIGNALED(wstatus)) {
+          log::emit(log::Level::kWarn, "worker_exit",
+                    {{"shard", dead_index},
+                     {"worker_pid", static_cast<std::int64_t>(dead)},
+                     {"signal", WTERMSIG(wstatus)}});
+        } else {
+          log::emit(log::Level::kWarn, "worker_exit",
+                    {{"shard", dead_index},
+                     {"worker_pid", static_cast<std::int64_t>(dead)},
+                     {"exit_code",
+                      WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1}});
+        }
+        // The dead shard's last requests, straight out of the shared
+        // ring — the post-mortem a SIGKILL normally erases.
+        salvage_flight_records(dead_index);
       }
     }
 
@@ -336,6 +421,7 @@ void Supervisor::monitor_loop() {
       std::lock_guard<std::mutex> lock(mutex_);
       Shard& shard = shards_[i];
       if (live) {
+        const bool was_breaker_open = shard.breaker_open;
         shard.pid = pid;
         shard.alive = true;
         shard.restart_pending = false;
@@ -343,14 +429,26 @@ void Supervisor::monitor_loop() {
         shard.started_at = clock::now();
         ++shard.restarts;
         restarts_.fetch_add(1, std::memory_order_relaxed);
-        recovery_samples_.push_back(static_cast<std::uint64_t>(
+        const auto recovery_ms = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 clock::now() - shard.death_detected_at)
-                .count()));
+                .count());
+        recovery_samples_.push_back(recovery_ms);
+        log::emit(log::Level::kInfo, "worker_restart",
+                  {{"shard", static_cast<int>(i)},
+                   {"worker_pid", static_cast<std::int64_t>(pid)},
+                   {"restarts", shard.restarts},
+                   {"recovery_ms", recovery_ms}});
+        if (was_breaker_open) {
+          log::emit(log::Level::kInfo, "breaker_close",
+                    {{"shard", static_cast<int>(i)}});
+        }
       } else {
         // Spawn failed or the worker never came up: treat it as
         // another young crash so backoff keeps growing.
         if (pid > 0) ::kill(pid, SIGKILL);
+        log::emit(log::Level::kWarn, "worker_respawn_failed",
+                  {{"shard", static_cast<int>(i)}});
         handle_dead_worker(static_cast<int>(i), clock::now());
       }
     }
@@ -386,6 +484,12 @@ void Supervisor::monitor_loop() {
           }
         } else if (++shard.probe_failures >=
                    options_.health_fail_threshold) {
+          // Alive but not accepting: as dead as dead.  The SIGKILL
+          // turns it into a normal reap + salvage on the next pass.
+          log::emit(log::Level::kWarn, "worker_wedged",
+                    {{"shard", index},
+                     {"worker_pid", static_cast<std::int64_t>(shard.pid)},
+                     {"probe_failures", shard.probe_failures}});
           if (shard.pid > 0) ::kill(shard.pid, SIGKILL);
         }
       }
@@ -402,10 +506,18 @@ std::vector<std::byte> Supervisor::route(
   try {
     request = decode_request(payload, &version);
   } catch (const serde::WireError& e) {
+    log::emit(log::Level::kWarn, "bad_request", {{"error", e.what()}});
     return encode_response(
         error_response(StatusCode::kBadRequest,
                        std::string("bad request: ") + e.what()));
   }
+  // The boundary mint for old clients: a pre-v4 frame carries no trace
+  // id, but the supervisor's own routing records still need one.  The
+  // frame is relayed verbatim (byte compatibility is the contract), so
+  // the worker mints its own id for its log — per-hop ids, correlated
+  // by timestamps, until the client upgrades to v4.
+  const std::uint64_t trace_id =
+      request.trace_id != 0 ? request.trace_id : mint_trace_id();
 
   // Control requests are the supervisor's own.
   if (request.kind == RequestKind::kPing) {
@@ -457,7 +569,11 @@ std::vector<std::byte> Supervisor::route(
       if (!shard.alive) continue;
       shard_socket = shard.socket_path;
     }
-    if (!first_choice) failovers_.fetch_add(1, std::memory_order_relaxed);
+    if (!first_choice) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      log::emit(log::Level::kDebug, "failover",
+                {{"trace", trace_id_hex(trace_id)}, {"to_shard", index}});
+    }
     first_choice = false;
     int& fd = (*shard_fds)[static_cast<std::size_t>(index)];
     for (int attempt = 0; attempt < 2; ++attempt) {
@@ -484,6 +600,10 @@ std::vector<std::byte> Supervisor::route(
   // typed, retryable answer.  The hint covers a normal restart; a
   // breaker-open crash loop keeps answering this until cooldown.
   unavailable_.fetch_add(1, std::memory_order_relaxed);
+  log::emit(log::Level::kWarn, "unavailable",
+            {{"trace", trace_id_hex(trace_id)},
+             {"verb", flight_kind_name(
+                          static_cast<std::uint8_t>(request.kind))}});
   return encode_response(
       error_response(StatusCode::kUnavailable,
                      "no live shard could serve the request",
@@ -522,6 +642,35 @@ void Supervisor::handle_connection(int fd) {
   ::close(fd);
 }
 
+void Supervisor::salvage_flight_records(int index) {
+  std::shared_ptr<FlightRecorder> recorder;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recorder = shards_[static_cast<std::size_t>(index)].recorder;
+  }
+  if (!recorder) return;
+  // The writer is dead (waitpid said so); the ring is ours to read.
+  const std::vector<FlightRecord> records = recorder->salvage();
+  log::emit(log::Level::kWarn, "flight_salvage",
+            {{"shard", index},
+             {"records", static_cast<std::uint64_t>(records.size())}});
+  for (const FlightRecord& r : records) {
+    log::emit(log::Level::kWarn, "flight_record",
+              {{"shard", index},
+               {"seq", r.seq},
+               {"trace", trace_id_hex(r.trace_id)},
+               {"verb", flight_kind_name(r.kind)},
+               {"status", flight_status_name(r.status)},
+               {"duration_ms", r.duration_ms},
+               {"deadline_left_ms", r.deadline_left_ms},
+               {"files", r.files},
+               {"start_unix_ns", r.start_unix_ns}});
+  }
+  // A clean ring for the replacement: the next salvage must not
+  // re-attribute this incarnation's requests.
+  recorder->reset();
+}
+
 void Supervisor::serve() {
   while (!stop_.load(std::memory_order_acquire)) {
     int injected = 0;
@@ -556,6 +705,7 @@ void Supervisor::serve() {
     drained_.wait(lock, [this] { return active_connections_ == 0; });
   }
   if (monitor_.joinable()) monitor_.join();
+  if (admin_) admin_->stop();
   terminate_workers();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -563,6 +713,10 @@ void Supervisor::serve() {
   }
   std::error_code ec;
   fs::remove(options_.socket_path, ec);
+  log::emit(log::Level::kInfo, "supervisor_stop",
+            {{"socket", options_.socket_path},
+             {"restarts", restarts()},
+             {"breaker_trips", breaker_trips()}});
 }
 
 void Supervisor::request_stop() {
@@ -609,7 +763,11 @@ void Supervisor::terminate_workers() {
     ::waitpid(pid, nullptr, 0);
   }
   std::error_code ec;
-  for (const std::string& path : sockets) fs::remove(path, ec);
+  for (const std::string& path : sockets) {
+    fs::remove(path, ec);
+    // A SIGKILLed worker could not unlink its admin socket either.
+    fs::remove(admin_socket_path(path), ec);
+  }
 }
 
 std::vector<pid_t> Supervisor::worker_pids() const {
@@ -667,23 +825,195 @@ std::string Supervisor::metrics_text() const {
     shard_count = shards_.size();
     for (const Shard& shard : shards_) alive += shard.alive ? 1 : 0;
   }
+  os << "# HELP pnc_shards Configured worker shards.\n";
   os << "# TYPE pnc_shards gauge\n";
   os << "pnc_shards " << shard_count << "\n";
+  os << "# HELP pnc_shards_alive Shards currently accepting.\n";
   os << "# TYPE pnc_shards_alive gauge\n";
   os << "pnc_shards_alive " << alive << "\n";
+  os << "# HELP pnc_worker_restarts_total Completed worker restarts.\n";
   os << "# TYPE pnc_worker_restarts_total counter\n";
   os << "pnc_worker_restarts_total " << restarts() << "\n";
+  os << "# HELP pnc_breaker_trips_total Crash-loop breaker openings.\n";
   os << "# TYPE pnc_breaker_trips_total counter\n";
   os << "pnc_breaker_trips_total " << breaker_trips() << "\n";
+  os << "# HELP pnc_requests_routed_total Analysis requests relayed to a "
+        "shard.\n";
   os << "# TYPE pnc_requests_routed_total counter\n";
   os << "pnc_requests_routed_total "
      << requests_routed_.load(std::memory_order_relaxed) << "\n";
+  os << "# HELP pnc_failovers_total Requests served by a non-home shard.\n";
   os << "# TYPE pnc_failovers_total counter\n";
   os << "pnc_failovers_total " << failovers_.load(std::memory_order_relaxed)
      << "\n";
+  os << "# HELP pnc_unavailable_total Requests answered UNAVAILABLE (no "
+        "live shard).\n";
   os << "# TYPE pnc_unavailable_total counter\n";
   os << "pnc_unavailable_total "
      << unavailable_.load(std::memory_order_relaxed) << "\n";
+  os << "# HELP pnc_supervisor_uptime_seconds Seconds since the supervisor "
+        "started.\n";
+  os << "# TYPE pnc_supervisor_uptime_seconds gauge\n";
+  os << "pnc_supervisor_uptime_seconds "
+     << std::chrono::duration_cast<std::chrono::seconds>(clock::now() -
+                                                         start_time_)
+            .count()
+     << "\n";
+  return os.str();
+}
+
+namespace {
+
+/// One metric family re-assembled from per-shard scrapes: the first
+/// shard's HELP/TYPE lines win (they are identical by construction),
+/// samples accumulate with the shard label injected.
+struct MergedFamily {
+  std::string help;
+  std::string type;
+  std::vector<std::string> samples;
+};
+
+void merge_worker_exposition(const std::string& text, int shard,
+                             std::vector<std::string>* order,
+                             std::map<std::string, MergedFamily>* families) {
+  const std::string shard_label = "shard=\"" + std::to_string(shard) + "\"";
+  std::string current;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t name_start = 7;
+      std::size_t name_end = line.find(' ', name_start);
+      if (name_end == std::string::npos) name_end = line.size();
+      current = line.substr(name_start, name_end - name_start);
+      auto [it, inserted] = families->try_emplace(current);
+      if (inserted) order->push_back(current);
+      std::string& slot = line[2] == 'H' ? it->second.help : it->second.type;
+      if (slot.empty()) slot = line;
+      continue;
+    }
+    if (current.empty()) continue;  // defensively skip orphan samples
+    // Inject the shard label as the first label of the sample.
+    const std::size_t brace = line.find('{');
+    std::string relabeled;
+    if (brace != std::string::npos) {
+      relabeled = line.substr(0, brace + 1) + shard_label + "," +
+                  line.substr(brace + 1);
+    } else {
+      const std::size_t space = line.find(' ');
+      relabeled = line.substr(0, space) + "{" + shard_label + "}" +
+                  line.substr(space);
+    }
+    (*families)[current].samples.push_back(std::move(relabeled));
+  }
+}
+
+}  // namespace
+
+std::string Supervisor::metrics_exposition() const {
+  // Supervisor-own families first, then every live worker's scrape
+  // merged per family with a `shard` label.  Worker series stay
+  // per-shard rather than being summed into unlabeled duplicates: a
+  // dashboard sums with sum by (status)(pnc_requests_total), and a
+  // per-shard imbalance (the reason to shard at all) stays visible.
+  std::vector<std::pair<int, std::string>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].alive) {
+        live.emplace_back(static_cast<int>(i),
+                          admin_socket_path(shards_[i].socket_path));
+      }
+    }
+  }
+  std::vector<std::string> order;
+  std::map<std::string, MergedFamily> families;
+  for (const auto& [index, admin_path] : live) {
+    std::string body;
+    bool ok = false;
+    // A shard that dies mid-scrape just drops out of this exposition —
+    // series gaps are how Prometheus learns a target vanished.
+    if (admin_call(admin_path, kAdminMetrics, &body, &ok, nullptr, 1000) &&
+        ok) {
+      merge_worker_exposition(body, index, &order, &families);
+    }
+  }
+  std::string out = metrics_text();
+  for (const std::string& name : order) {
+    const MergedFamily& family = families[name];
+    if (!family.help.empty()) out += family.help + "\n";
+    if (!family.type.empty()) out += family.type + "\n";
+    for (const std::string& sample : family.samples) out += sample + "\n";
+  }
+  return out;
+}
+
+std::string Supervisor::statusz_json() const {
+  struct ShardView {
+    int index;
+    pid_t pid;
+    bool alive;
+    std::uint64_t restarts;
+    bool breaker_open;
+    std::uint32_t consecutive_crashes;
+    std::string admin_path;
+  };
+  std::vector<ShardView> views;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const Shard& shard = shards_[i];
+      views.push_back({static_cast<int>(i), shard.pid, shard.alive,
+                       shard.restarts, shard.breaker_open,
+                       shard.consecutive_crashes,
+                       admin_socket_path(shard.socket_path)});
+    }
+  }
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"service\": \"pncd-supervisor\",\n"
+     << "  \"build_version\": \"" << kBuildVersion << "\",\n"
+     << "  \"protocol_versions\": {\"min\": " << kMinProtocolVersion
+     << ", \"max\": " << kProtocolVersion << "},\n"
+     << "  \"uptime_s\": "
+     << std::chrono::duration_cast<std::chrono::seconds>(clock::now() -
+                                                         start_time_)
+            .count()
+     << ",\n"
+     << "  \"requests_routed\": "
+     << requests_routed_.load(std::memory_order_relaxed) << ",\n"
+     << "  \"failovers\": " << failovers_.load(std::memory_order_relaxed)
+     << ",\n"
+     << "  \"unavailable\": "
+     << unavailable_.load(std::memory_order_relaxed) << ",\n"
+     << "  \"restarts\": " << restarts() << ",\n"
+     << "  \"breaker_trips\": " << breaker_trips() << ",\n"
+     << "  \"shards\": [";
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const ShardView& view = views[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"shard\": " << view.index
+       << ", \"pid\": " << view.pid
+       << ", \"alive\": " << (view.alive ? "true" : "false")
+       << ", \"restarts\": " << view.restarts
+       << ", \"breaker_open\": " << (view.breaker_open ? "true" : "false")
+       << ", \"consecutive_crashes\": " << view.consecutive_crashes
+       << ", \"statusz\": ";
+    std::string body;
+    bool ok = false;
+    if (view.alive &&
+        admin_call(view.admin_path, kAdminStatusz, &body, &ok, nullptr, 500) &&
+        ok) {
+      os << body;  // the worker's own JSON document, embedded verbatim
+    } else {
+      os << "null";
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
   return os.str();
 }
 
@@ -705,6 +1035,8 @@ std::vector<std::uint64_t> Supervisor::recovery_samples_ms() const {
   return {};
 }
 std::string Supervisor::metrics_text() const { return {}; }
+std::string Supervisor::metrics_exposition() const { return {}; }
+std::string Supervisor::statusz_json() const { return {}; }
 
 #endif  // PNLAB_HAVE_SOCKETS
 

@@ -26,6 +26,16 @@
 // Health checking is two-layered: waitpid catches processes that died,
 // and a periodic connect() probe catches processes that are alive but
 // no longer accepting — those are SIGKILLed and handled as crashes.
+//
+// Observability (DESIGN.md §12): the supervisor serves the admin verbs
+// on `<socket>.admin` — /metrics aggregates every worker's live scrape
+// under a `shard` label next to the supervisor's own routing counters,
+// /statusz embeds each worker's status document — and every lifecycle
+// decision (spawn, death, restart, breaker transition, wedge kill,
+// unavailable answer) is a structured log event.  Each worker writes
+// per-request summaries into a MAP_SHARED flight-recorder ring created
+// before the fork; when a worker dies the supervisor salvages the ring
+// and logs the victim's last requests before respawning it.
 #pragma once
 
 #include <sys/types.h>
@@ -111,6 +121,13 @@ class Supervisor {
   /// restarts, breaker trips, routing/fail-over totals) — what
   /// `pncd --metrics-out` dumps on shutdown in sharded mode.
   std::string metrics_text() const;
+  /// The admin `/metrics` body: metrics_text() plus every live
+  /// worker's own exposition relabeled with `shard="K"`, merged into
+  /// one lint-clean document.
+  std::string metrics_exposition() const;
+  /// The admin `/statusz` body: supervisor uptime/versions, per-shard
+  /// health + breaker state, and each live worker's embedded statusz.
+  std::string statusz_json() const;
 
  private:
   using clock = std::chrono::steady_clock;
@@ -128,6 +145,9 @@ class Supervisor {
     std::uint32_t probe_failures = 0;
     bool breaker_open = false;
     std::uint64_t restarts = 0;
+    /// MAP_SHARED per-request ring, created before the first fork and
+    /// reused (reset) across worker incarnations; salvaged on death.
+    std::shared_ptr<FlightRecorder> recorder;
   };
 
   /// Forks worker @p index; returns its pid or -1.  The child never
@@ -146,6 +166,9 @@ class Supervisor {
                                std::vector<int>* shard_fds);
   std::string stats_json() const;
   void terminate_workers();
+  /// Reads shard @p index's flight-recorder ring, logs the tail as
+  /// structured events, and resets the ring for the replacement.
+  void salvage_flight_records(int index);
 
   SupervisorOptions options_;
   mutable std::mutex mutex_;  ///< guards shards_ and recovery_samples_
@@ -153,6 +176,9 @@ class Supervisor {
   std::vector<std::uint64_t> recovery_samples_;
 
   int listen_fd_ = -1;
+  std::unique_ptr<AdminServer> admin_;
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> restarts_{0};
   std::atomic<std::uint64_t> breaker_trips_{0};

@@ -84,6 +84,19 @@ if [ -n "$CLIENT" ]; then
     expect 4 "pnc_client against a dead socket" \
         "$CLIENT" "--socket=$DEAD" \
         --retries=1 --retry-budget-ms=200 --connect-timeout-ms=100 ping
+    # The admin verbs follow the same convention: a daemon that is down
+    # has no admin socket either, and each probe says so with exit 4.
+    expect 4 "pnc_client --healthz against a dead socket" \
+        "$CLIENT" "--socket=$DEAD" --healthz
+    expect 4 "pnc_client --statusz against a dead socket" \
+        "$CLIENT" "--socket=$DEAD" --statusz
+    expect 4 "pnc_client --metrics against a dead socket" \
+        "$CLIENT" "--socket=$DEAD" --metrics
+    # Usage errors stay 2: --lint modifies --metrics, nothing else.
+    expect 2 "pnc_client --lint without --metrics" \
+        "$CLIENT" "--socket=$DEAD" --statusz --lint
+    expect 2 "pnc_client admin verb mixed with analysis args" \
+        "$CLIENT" "--socket=$DEAD" --healthz ping
 fi
 
 # --incremental preconditions: the delta protocol needs a tree root.

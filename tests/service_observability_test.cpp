@@ -1,0 +1,614 @@
+// Tests for the live observability plane (DESIGN.md §12): the
+// structured JSON-lines logger, protocol-v4 trace ids, the crash
+// flight recorder, the Prometheus exposition lint, the admin socket
+// (unsharded and sharded), and the end-to-end post-mortem path — a
+// SIGKILL'd worker's last requests salvaged into the supervisor's log
+// with the client's own trace id.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "service/admin.h"
+#include "service/client.h"
+#include "service/flight_recorder.h"
+#include "service/log.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/supervisor.h"
+
+namespace pnlab::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory under /tmp, removed on scope exit.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+/// A tiny on-disk tree of corpus sources to analyze through daemons.
+struct TempTree {
+  explicit TempTree(const std::string& name, std::size_t max_files = 4)
+      : scratch(name) {
+    std::size_t n = 0;
+    for (const auto& c : analysis::corpus::analyzer_corpus()) {
+      if (n++ >= max_files) break;
+      std::ofstream(scratch.path / (c.id + ".pnc"), std::ios::binary)
+          << c.source;
+    }
+  }
+  ScratchDir scratch;
+};
+
+/// Boots a Server on its own thread; joins and cleans up on scope exit.
+struct RunningServer {
+  explicit RunningServer(ServerOptions options) : server(std::move(options)) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+    if (started) {
+      thread = std::thread([this] { server.serve(); });
+    }
+  }
+  ~RunningServer() {
+    if (started) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+  Server server;
+  std::thread thread;
+  bool started = false;
+};
+
+struct RunningSupervisor {
+  explicit RunningSupervisor(SupervisorOptions options)
+      : supervisor(std::move(options)) {
+    std::string error;
+    started = supervisor.start(&error);
+    EXPECT_TRUE(started) << error;
+    if (started) {
+      thread = std::thread([this] { supervisor.serve(); });
+    }
+  }
+  ~RunningSupervisor() {
+    if (started) {
+      supervisor.request_stop();
+      thread.join();
+    }
+  }
+  Supervisor supervisor;
+  std::thread thread;
+  bool started = false;
+};
+
+ServerOptions server_options(const fs::path& dir) {
+  ServerOptions o;
+  o.socket_path = (dir / "pncd.sock").string();
+  o.cache_dir = (dir / "cache").string();
+  return o;
+}
+
+SupervisorOptions supervisor_options(const fs::path& dir, int shards) {
+  SupervisorOptions o;
+  o.socket_path = (dir / "pncd.sock").string();
+  o.shards = shards;
+  o.worker.cache_dir = (dir / "cache").string();
+  o.backoff_initial_ms = 20;
+  o.backoff_max_ms = 200;
+  o.stable_uptime_ms = 1000;
+  o.breaker_threshold = 3;
+  o.breaker_cooldown_ms = 600;
+  o.health_interval_ms = 100;
+  return o;
+}
+
+Request analyze_dir_request(const fs::path& dir) {
+  Request request;
+  request.kind = RequestKind::kAnalyzeDir;
+  request.format = OutputFormat::kJson;
+  request.paths = {dir.string()};
+  return request;
+}
+
+/// Routes the logger into a scratch file for one test, restoring
+/// stderr + the info threshold on scope exit so tests stay isolated.
+struct CapturedLog {
+  explicit CapturedLog(const fs::path& file, log::Level level)
+      : path(file.string()) {
+    std::string error;
+    EXPECT_TRUE(log::set_file(path, &error)) << error;
+    log::set_level(level);
+  }
+  ~CapturedLog() {
+    log::set_fd(2);
+    log::set_level(log::Level::kInfo);
+    log::set_shard(-1);
+  }
+  std::string text() const {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  std::string path;
+};
+
+// ---------------------------------------------------------------------------
+// Trace ids (protocol v4)
+
+TEST(TraceIdTest, MintedIdsAreNonZeroAndDistinct) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = mint_trace_id();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  // splitmix64 over a strictly increasing counter: collisions in a
+  // thousand draws would mean the mixer is broken.
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(TraceIdTest, HexRenderingIsFixedWidthLowercase) {
+  EXPECT_EQ(trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(trace_id_hex(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(trace_id_hex(0xFFFFFFFFFFFFFFFFULL), "ffffffffffffffff");
+  EXPECT_EQ(trace_id_hex(0x0123456789abcdefULL), "0123456789abcdef");
+}
+
+TEST(ProtocolV4Test, TraceIdRoundTripsAtV4) {
+  Request request;
+  request.kind = RequestKind::kAnalyzeFiles;
+  request.paths = {"/tmp/a.pnc"};
+  request.deadline_ms = 250;
+  request.trace_id = 0x1122334455667788ULL;
+  const auto bytes = encode_request(request, kProtocolVersion);
+  std::uint32_t version_seen = 0;
+  const Request back = decode_request(bytes, &version_seen);
+  EXPECT_EQ(version_seen, kProtocolVersion);
+  EXPECT_EQ(back.trace_id, request.trace_id);
+  EXPECT_EQ(back.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(back.paths, request.paths);
+}
+
+TEST(ProtocolV4Test, OlderVersionsAreByteIdenticalRegardlessOfTraceId) {
+  // The v1-v3 layouts must not change: a pinned trace id may not leak
+  // a single byte into a frame encoded for an older peer.
+  for (std::uint32_t version = kMinProtocolVersion;
+       version < kProtocolVersion; ++version) {
+    Request request;
+    request.kind = RequestKind::kAnalyzeDir;
+    request.paths = {"/srv/tree"};
+    if (version >= 2) request.deadline_ms = 9000;
+    const auto without = encode_request(request, version);
+    request.trace_id = 0xcafef00ddeadbeefULL;
+    const auto with = encode_request(request, version);
+    EXPECT_EQ(without, with) << "v" << version;
+    // And a pre-v4 frame decodes with an unset trace id.
+    const Request back = decode_request(with);
+    EXPECT_EQ(back.trace_id, 0u) << "v" << version;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structured logger
+
+TEST(LogTest, ParsesEveryLevelName) {
+  log::Level level;
+  EXPECT_TRUE(log::parse_level("debug", &level));
+  EXPECT_EQ(level, log::Level::kDebug);
+  EXPECT_TRUE(log::parse_level("info", &level));
+  EXPECT_EQ(level, log::Level::kInfo);
+  EXPECT_TRUE(log::parse_level("warn", &level));
+  EXPECT_EQ(level, log::Level::kWarn);
+  EXPECT_TRUE(log::parse_level("error", &level));
+  EXPECT_EQ(level, log::Level::kError);
+  EXPECT_TRUE(log::parse_level("off", &level));
+  EXPECT_EQ(level, log::Level::kOff);
+  EXPECT_FALSE(log::parse_level("verbose", &level));
+  EXPECT_FALSE(log::parse_level("", &level));
+}
+
+TEST(LogTest, ThresholdGatesRecords) {
+  ScratchDir scratch("pnlab_obs_log_gate");
+  CapturedLog capture(scratch.path / "log.jsonl", log::Level::kWarn);
+  EXPECT_FALSE(log::enabled(log::Level::kDebug));
+  EXPECT_FALSE(log::enabled(log::Level::kInfo));
+  EXPECT_TRUE(log::enabled(log::Level::kWarn));
+  EXPECT_TRUE(log::enabled(log::Level::kError));
+  log::emit(log::Level::kInfo, "dropped", {{"n", 1}});
+  log::emit(log::Level::kWarn, "kept", {{"n", 2}});
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"kept\""), std::string::npos);
+}
+
+TEST(LogTest, RecordIsOneJsonLineWithTypedFields) {
+  ScratchDir scratch("pnlab_obs_log_record");
+  CapturedLog capture(scratch.path / "log.jsonl", log::Level::kDebug);
+  log::set_shard(3);
+  log::emit(log::Level::kInfo, "sample",
+            {{"s", "va\"l\\ue\n"},
+             {"i", -42},
+             {"u", std::uint64_t{18446744073709551615ULL}},
+             {"d", 1.5},
+             {"b", true}});
+  const std::string text = capture.text();
+  ASSERT_FALSE(text.empty());
+  // Exactly one newline, at the end: one record = one line.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_NE(text.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"sample\""), std::string::npos);
+  EXPECT_NE(text.find("\"shard\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"s\":\"va\\\"l\\\\ue\\n\""), std::string::npos);
+  EXPECT_NE(text.find("\"i\":-42"), std::string::npos);
+  EXPECT_NE(text.find("\"u\":18446744073709551615"), std::string::npos);
+  EXPECT_NE(text.find("\"b\":true"), std::string::npos);
+  // The timestamp field leads and looks like RFC 3339 UTC.
+  EXPECT_EQ(text.rfind("{\"ts\":\"", 0), 0u);
+  EXPECT_NE(text.find("Z\",\"level\""), std::string::npos);
+}
+
+TEST(LogTest, EscapesControlBytes) {
+  std::string out;
+  log::append_json_escaped(&out, std::string("a\x01\tb"));
+  EXPECT_EQ(out, "a\\u0001\\tb");
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(FlightRecorderTest, RecordsBeginAndComplete) {
+  auto recorder = FlightRecorder::create(8);
+  ASSERT_NE(recorder, nullptr);
+  const std::uint64_t seq =
+      recorder->begin(0xabcULL, static_cast<std::uint8_t>(
+                                    RequestKind::kAnalyzeFiles));
+  EXPECT_EQ(seq, 1u);
+  auto inflight = recorder->salvage();
+  ASSERT_EQ(inflight.size(), 1u);
+  EXPECT_EQ(inflight[0].status, FlightRecord::kInFlight);
+  EXPECT_EQ(inflight[0].trace_id, 0xabcULL);
+  EXPECT_GT(inflight[0].start_unix_ns, 0u);
+
+  recorder->complete(seq, static_cast<std::uint8_t>(StatusCode::kOk),
+                     /*exit_code=*/0, /*duration_ms=*/12,
+                     /*deadline_left_ms=*/88, /*files=*/3);
+  auto done = recorder->salvage();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].status, static_cast<std::uint8_t>(StatusCode::kOk));
+  EXPECT_EQ(done[0].duration_ms, 12u);
+  EXPECT_EQ(done[0].deadline_left_ms, 88u);
+  EXPECT_EQ(done[0].files, 3u);
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingTheNewestRecords) {
+  auto recorder = FlightRecorder::create(4);
+  ASSERT_NE(recorder, nullptr);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    const std::uint64_t seq = recorder->begin(
+        i, static_cast<std::uint8_t>(RequestKind::kPing));
+    recorder->complete(seq, static_cast<std::uint8_t>(StatusCode::kOk), 0, 0,
+                       0, 0);
+  }
+  const auto records = recorder->salvage();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest first, and only the last four survive the wrap.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, 7u + i);
+    EXPECT_EQ(records[i].trace_id, 7u + i);
+  }
+}
+
+TEST(FlightRecorderTest, LateCompleteOfARecycledSlotIsDropped) {
+  auto recorder = FlightRecorder::create(2);
+  ASSERT_NE(recorder, nullptr);
+  const std::uint64_t old_seq =
+      recorder->begin(1, static_cast<std::uint8_t>(RequestKind::kPing));
+  // Two more requests lap the ring; slot of old_seq now holds seq 3.
+  recorder->begin(2, static_cast<std::uint8_t>(RequestKind::kPing));
+  recorder->begin(3, static_cast<std::uint8_t>(RequestKind::kPing));
+  recorder->complete(old_seq, static_cast<std::uint8_t>(StatusCode::kOk), 0,
+                     999, 0, 0);
+  for (const auto& record : recorder->salvage()) {
+    EXPECT_NE(record.duration_ms, 999u) << "stale complete clobbered seq "
+                                        << record.seq;
+  }
+}
+
+TEST(FlightRecorderTest, ResetForgetsThePreviousIncarnation) {
+  auto recorder = FlightRecorder::create(4);
+  ASSERT_NE(recorder, nullptr);
+  recorder->begin(7, static_cast<std::uint8_t>(RequestKind::kStats));
+  EXPECT_FALSE(recorder->salvage().empty());
+  recorder->reset();
+  EXPECT_TRUE(recorder->salvage().empty());
+  // And the replacement starts a fresh claim sequence.
+  EXPECT_EQ(recorder->begin(8, 0), 1u);
+}
+
+TEST(FlightRecorderTest, NamesTolerateGarbageBytes) {
+  EXPECT_EQ(flight_kind_name(
+                static_cast<std::uint8_t>(RequestKind::kAnalyzeDir)),
+            "ANALYZE_DIR");
+  EXPECT_EQ(flight_status_name(FlightRecord::kInFlight), "IN_FLIGHT");
+  EXPECT_NE(flight_kind_name(0xee).find("UNKNOWN"), std::string::npos);
+  EXPECT_NE(flight_status_name(0xee).find("UNKNOWN"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition lint
+
+TEST(PrometheusLintTest, AcceptsAWellFormedDocument) {
+  const std::string text =
+      "# HELP pnc_requests_total Requests by status.\n"
+      "# TYPE pnc_requests_total counter\n"
+      "pnc_requests_total{status=\"OK\"} 12\n"
+      "pnc_requests_total{status=\"BAD_REQUEST\"} 0\n"
+      "# HELP pnc_inflight In-flight requests.\n"
+      "# TYPE pnc_inflight gauge\n"
+      "pnc_inflight 2\n"
+      "# HELP pnc_latency_ms Latency histogram.\n"
+      "# TYPE pnc_latency_ms histogram\n"
+      "pnc_latency_ms_bucket{le=\"1\"} 3\n"
+      "pnc_latency_ms_bucket{le=\"+Inf\"} 5\n"
+      "pnc_latency_ms_sum 42\n"
+      "pnc_latency_ms_count 5\n";
+  std::string error;
+  EXPECT_TRUE(lint_prometheus(text, &error)) << error;
+}
+
+TEST(PrometheusLintTest, RejectsStructuralViolations) {
+  std::string error;
+  // Sample without HELP/TYPE.
+  EXPECT_FALSE(lint_prometheus("pnc_orphan 1\n", &error));
+  // Bad metric name.
+  EXPECT_FALSE(lint_prometheus("# HELP 9bad x\n# TYPE 9bad counter\n9bad 1\n",
+                               &error));
+  // Bad label name.
+  EXPECT_FALSE(lint_prometheus(
+      "# HELP pnc_a x\n# TYPE pnc_a counter\npnc_a{9l=\"v\"} 1\n", &error));
+  // Unescaped quote in a label value.
+  EXPECT_FALSE(lint_prometheus(
+      "# HELP pnc_a x\n# TYPE pnc_a counter\npnc_a{l=\"a\\qb\"} 1\n",
+      &error));
+  // Non-numeric value.
+  EXPECT_FALSE(lint_prometheus(
+      "# HELP pnc_a x\n# TYPE pnc_a counter\npnc_a banana\n", &error));
+  // Duplicate series.
+  EXPECT_FALSE(lint_prometheus(
+      "# HELP pnc_a x\n# TYPE pnc_a counter\npnc_a 1\npnc_a 2\n", &error));
+  EXPECT_NE(error.find("line"), std::string::npos);
+}
+
+TEST(PrometheusLintTest, ServerMetricsTextIsLintClean) {
+  ScratchDir scratch("pnlab_obs_lint_server");
+  ServerOptions options = server_options(scratch.path);
+  options.admin_enabled = false;
+  Server server(options);
+  std::string error;
+  EXPECT_TRUE(lint_prometheus(server.metrics_text(), &error)) << error;
+  std::map<std::string, double> samples;
+  EXPECT_TRUE(parse_prometheus(server.metrics_text(), &samples, &error))
+      << error;
+  EXPECT_FALSE(samples.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Admin endpoint, unsharded
+
+TEST(AdminServerTest, ServesHealthStatusAndLintCleanMetrics) {
+  ScratchDir scratch("pnlab_obs_admin");
+  TempTree tree("pnlab_obs_admin_tree");
+  RunningServer running(server_options(scratch.path));
+  const std::string admin = admin_socket_path(running.server.socket_path());
+
+  std::string body;
+  std::string error;
+  bool ok = false;
+  ASSERT_TRUE(admin_call(admin, kAdminHealthz, &body, &ok, &error)) << error;
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(body, "ok\n");
+
+  ASSERT_TRUE(admin_call(admin, kAdminStatusz, &body, &ok, &error)) << error;
+  EXPECT_TRUE(ok);
+  EXPECT_NE(body.find("\"service\": \"pncd\""), std::string::npos);
+  EXPECT_NE(body.find("\"protocol_versions\""), std::string::npos);
+  EXPECT_NE(body.find("\"uptime_s\""), std::string::npos);
+
+  // An unknown verb is a polite error, not a hang or a crash.
+  ASSERT_TRUE(admin_call(admin, "/favicon.ico", &body, &ok, &error));
+  EXPECT_FALSE(ok);
+
+  // Scrape, serve traffic, scrape again: lint-clean both times and
+  // every _total counter monotone non-decreasing.
+  std::map<std::string, double> before;
+  ASSERT_TRUE(admin_call(admin, kAdminMetrics, &body, &ok, &error)) << error;
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(parse_prometheus(body, &before, &error)) << error;
+
+  auto client = Client::connect(running.server.socket_path());
+  ASSERT_NE(client, nullptr);
+  Response response;
+  ASSERT_TRUE(client->call(analyze_dir_request(tree.scratch.path), &response));
+  ASSERT_TRUE(response.ok);
+
+  std::map<std::string, double> after;
+  ASSERT_TRUE(admin_call(admin, kAdminMetrics, &body, &ok, &error)) << error;
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(parse_prometheus(body, &after, &error)) << error;
+  bool requests_total_advanced = false;
+  for (const auto& [series, value] : after) {
+    if (series.find("_total") == std::string::npos) continue;
+    const auto it = before.find(series);
+    if (it == before.end()) continue;
+    EXPECT_GE(value, it->second) << series << " went backwards";
+    if (series.rfind("pnc_requests_total", 0) == 0 && value > it->second) {
+      requests_total_advanced = true;
+    }
+  }
+  EXPECT_TRUE(requests_total_advanced);
+}
+
+TEST(AdminServerTest, UnreachableAdminSocketFailsFast) {
+  std::string body;
+  std::string error;
+  bool ok = false;
+  EXPECT_FALSE(admin_call("/tmp/pnlab_obs_no_such.sock.admin", kAdminHealthz,
+                          &body, &ok, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AdminServerTest, AdminSocketIsUnlinkedOnShutdown) {
+  ScratchDir scratch("pnlab_obs_admin_unlink");
+  std::string admin;
+  {
+    RunningServer running(server_options(scratch.path));
+    admin = admin_socket_path(running.server.socket_path());
+    EXPECT_TRUE(fs::exists(admin));
+  }
+  EXPECT_FALSE(fs::exists(admin));
+}
+
+TEST(AdminServerTest, RequestTraceAppearsInStructuredLog) {
+  ScratchDir scratch("pnlab_obs_trace_log");
+  TempTree tree("pnlab_obs_trace_tree");
+  CapturedLog capture(scratch.path / "log.jsonl", log::Level::kDebug);
+  RunningServer running(server_options(scratch.path));
+
+  Request request = analyze_dir_request(tree.scratch.path);
+  request.trace_id = 0x00000000feedf00dULL;
+  auto client = Client::connect(running.server.socket_path());
+  ASSERT_NE(client, nullptr);
+  Response response;
+  ASSERT_TRUE(client->call(request, &response));
+  ASSERT_TRUE(response.ok);
+
+  const std::string text = capture.text();
+  const auto line_start = text.find("\"trace\":\"00000000feedf00d\"");
+  ASSERT_NE(line_start, std::string::npos) << text;
+  EXPECT_NE(text.find("\"event\":\"request\""), std::string::npos);
+  EXPECT_NE(text.find("\"verb\":\"ANALYZE_DIR\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Admin endpoint, sharded
+
+TEST(AdminSupervisorTest, AggregatesWorkerMetricsUnderShardLabels) {
+  ScratchDir scratch("pnlab_obs_sup_admin");
+  TempTree tree("pnlab_obs_sup_tree");
+  RunningSupervisor running(supervisor_options(scratch.path, 2));
+  const std::string admin =
+      admin_socket_path(running.supervisor.socket_path());
+
+  auto client = Client::connect(running.supervisor.socket_path());
+  ASSERT_NE(client, nullptr);
+  Response response;
+  ASSERT_TRUE(client->call(analyze_dir_request(tree.scratch.path), &response));
+  ASSERT_TRUE(response.ok);
+
+  std::string body;
+  std::string error;
+  bool ok = false;
+  ASSERT_TRUE(admin_call(admin, kAdminMetrics, &body, &ok, &error)) << error;
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(lint_prometheus(body, &error)) << error << "\n" << body;
+  // Supervisor families plus both workers' series, shard-labeled.
+  EXPECT_NE(body.find("pnc_shards_alive 2"), std::string::npos);
+  EXPECT_NE(body.find("pnc_requests_total{shard=\"0\""), std::string::npos);
+  EXPECT_NE(body.find("pnc_requests_total{shard=\"1\""), std::string::npos);
+
+  std::map<std::string, double> before;
+  ASSERT_TRUE(parse_prometheus(body, &before, &error)) << error;
+  ASSERT_TRUE(client->call(analyze_dir_request(tree.scratch.path), &response));
+  ASSERT_TRUE(response.ok);
+  ASSERT_TRUE(admin_call(admin, kAdminMetrics, &body, &ok, &error)) << error;
+  std::map<std::string, double> after;
+  ASSERT_TRUE(parse_prometheus(body, &after, &error)) << error;
+  for (const auto& [series, value] : after) {
+    if (series.find("_total") == std::string::npos) continue;
+    const auto it = before.find(series);
+    if (it != before.end()) {
+      EXPECT_GE(value, it->second) << series << " went backwards";
+    }
+  }
+
+  ASSERT_TRUE(admin_call(admin, kAdminStatusz, &body, &ok, &error)) << error;
+  ASSERT_TRUE(ok);
+  EXPECT_NE(body.find("\"service\": \"pncd-supervisor\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"shard\": 0"), std::string::npos);
+  EXPECT_NE(body.find("\"shard\": 1"), std::string::npos);
+  // Each live shard embeds its worker's own statusz document.
+  EXPECT_NE(body.find("\"service\": \"pncd\""), std::string::npos);
+
+  ASSERT_TRUE(admin_call(admin, kAdminHealthz, &body, &ok, &error)) << error;
+  EXPECT_TRUE(ok);
+}
+
+TEST(AdminSupervisorTest, SigkilledShardLeavesAFlightRecordTrail) {
+  ScratchDir scratch("pnlab_obs_salvage");
+  TempTree tree("pnlab_obs_salvage_tree");
+  CapturedLog capture(scratch.path / "log.jsonl", log::Level::kInfo);
+  RunningSupervisor running(supervisor_options(scratch.path, 2));
+
+  // One request with a pinned trace id; it lands on some shard's
+  // flight recorder.  Then kill *both* workers so the salvage of the
+  // serving shard is guaranteed to include it.
+  Request request = analyze_dir_request(tree.scratch.path);
+  request.trace_id = 0x00000000c0ffee11ULL;
+  auto client = Client::connect(running.supervisor.socket_path());
+  ASSERT_NE(client, nullptr);
+  Response response;
+  ASSERT_TRUE(client->call(request, &response));
+  ASSERT_TRUE(response.ok);
+
+  const std::vector<pid_t> pids = running.supervisor.worker_pids();
+  ASSERT_EQ(pids.size(), 2u);
+  for (pid_t pid : pids) {
+    ASSERT_GT(pid, 0);
+    ::kill(pid, SIGKILL);
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (running.supervisor.restarts() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GE(running.supervisor.restarts(), 2u);
+
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("\"event\":\"worker_exit\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"worker_restart\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"flight_salvage\""), std::string::npos);
+  // The post-mortem names the client's own trace id.
+  const auto record = text.find("\"event\":\"flight_record\"");
+  ASSERT_NE(record, std::string::npos) << text;
+  EXPECT_NE(text.find("\"trace\":\"00000000c0ffee11\"", record),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace pnlab::service

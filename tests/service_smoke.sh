@@ -52,9 +52,19 @@ done
 st=$?
 [ $st -eq 1 ] || fail "pnc_analyze golden run exited $st, expected 1"
 
+# Baseline admin scrape before traffic: the live endpoint answers and
+# is lint-clean from request zero.
+"$CLIENT" --socket="$SOCK" --healthz >/dev/null ||
+    fail "admin /healthz did not answer"
+"$CLIENT" --socket="$SOCK" --metrics --lint >/dev/null ||
+    fail "pre-traffic /metrics failed the exposition lint"
+"$CLIENT" --socket="$SOCK" --metrics >"$TMP/scrape-before.txt" ||
+    fail "pre-traffic /metrics scrape failed"
+
 # 8 concurrent clients, each a full analyze round trip.  Every body must
 # be byte-identical to the in-process output and carry the same exit
-# code.
+# code.  While they run, scrape the admin endpoint mid-traffic — the
+# admin plane must stay answerable and lint-clean under load.
 client_pids=""
 for i in 1 2 3 4 5 6 7 8; do
     (
@@ -64,9 +74,25 @@ for i in 1 2 3 4 5 6 7 8; do
     ) &
     client_pids="$client_pids $!"
 done
+"$CLIENT" --socket="$SOCK" --metrics --lint >/dev/null ||
+    fail "mid-traffic /metrics failed the exposition lint"
+"$CLIENT" --socket="$SOCK" --statusz >"$TMP/statusz.json" ||
+    fail "mid-traffic /statusz failed"
+grep -q '"service": "pncd"' "$TMP/statusz.json" ||
+    fail "statusz body lacks the service name"
 for job in $client_pids; do
     wait "$job" || fail "a client job did not complete"
 done
+
+# Counters on the live endpoint must have advanced across the traffic.
+"$CLIENT" --socket="$SOCK" --metrics >"$TMP/scrape-after.txt" ||
+    fail "post-traffic /metrics scrape failed"
+before=$(awk '/^pnc_requests_total/ {sum += $2} END {print sum + 0}' \
+    "$TMP/scrape-before.txt")
+after=$(awk '/^pnc_requests_total/ {sum += $2} END {print sum + 0}' \
+    "$TMP/scrape-after.txt")
+[ "$after" -gt "$before" ] ||
+    fail "pnc_requests_total did not advance across traffic ($before -> $after)"
 
 for i in 1 2 3 4 5 6 7 8; do
     st=$(cat "$TMP/status.$i" 2>/dev/null || echo missing)
@@ -134,7 +160,7 @@ grep -q 'pnc_cache_tier_hits_total{tier="manifest_clean"}' "$TMP/metrics.txt" ||
 # SIGKILLed mid-session, and shut down cleanly (workers included).
 SSOCK="$TMP/sup.sock"
 "$PNCD" --socket="$SSOCK" --shards=2 --cache-dir="$TMP/cache2" \
-    2>"$TMP/pncd.log" &
+    --log-file="$TMP/sup.log" --log-level=debug 2>"$TMP/pncd.log" &
 DPID=$!
 
 up=0
@@ -166,11 +192,28 @@ st=$?
 cmp -s "$TMP/sharded-incr.json" "$TMP/golden.json" ||
     fail "sharded incremental body differs from the golden output"
 
-# Kill one worker: the service must keep answering (fail-over or a
-# supervisor restart behind the retrying client), bytes unchanged.
-WPID=$(pgrep -P "$DPID" | head -n1)
-[ -n "$WPID" ] || fail "no worker process found under the supervisor"
-kill -KILL "$WPID"
+# The supervisor's admin endpoint aggregates both workers' metrics
+# under shard labels, lint-clean.
+"$CLIENT" --socket="$SSOCK" --metrics --lint >/dev/null ||
+    fail "sharded /metrics failed the exposition lint"
+"$CLIENT" --socket="$SSOCK" --metrics >"$TMP/sharded-scrape.txt" ||
+    fail "sharded /metrics scrape failed"
+grep -q 'pnc_requests_total{shard="0"' "$TMP/sharded-scrape.txt" ||
+    fail "sharded scrape lacks shard-labeled worker series"
+
+# One request with a pinned trace id (protocol v4) so the flight
+# recorder of whichever shard serves it holds a known marker.
+"$CLIENT" --socket="$SSOCK" --trace-id=feedc0de --format=json \
+    --dir "$EXAMPLES" >/dev/null 2>&1
+st=$?
+[ $st -eq 1 ] || fail "traced request exited $st, expected 1"
+
+# Kill every worker: the service must keep answering (supervisor
+# restarts behind the retrying client), bytes unchanged — and each dead
+# shard's flight-recorder ring must be salvaged into the structured log.
+WPIDS=$(pgrep -P "$DPID")
+[ -n "$WPIDS" ] || fail "no worker process found under the supervisor"
+kill -KILL $WPIDS
 "$CLIENT" --socket="$SSOCK" --format=json --retries=5 \
     --retry-budget-ms=10000 --dir "$EXAMPLES" >"$TMP/afterkill.json" \
     2>/dev/null
@@ -199,6 +242,20 @@ DPID=""
 [ ! -S "$SSOCK" ] || fail "supervisor socket left behind after shutdown"
 [ ! -S "$SSOCK.s0" ] && [ ! -S "$SSOCK.s1" ] ||
     fail "worker socket left behind after shutdown"
+[ ! -S "$SSOCK.admin" ] || fail "admin socket left behind after shutdown"
+
+# The structured log must show the SIGKILL as observable events: the
+# worker deaths, the restarts, and the salvaged flight-recorder tail
+# carrying the trace id the client pinned above.
+grep -q '"event":"worker_exit"' "$TMP/sup.log" ||
+    fail "structured log lacks a worker_exit event after SIGKILL"
+grep -q '"event":"worker_restart"' "$TMP/sup.log" ||
+    fail "structured log lacks a worker_restart event after SIGKILL"
+grep -q '"event":"flight_record"' "$TMP/sup.log" ||
+    fail "structured log lacks salvaged flight records"
+grep '"event":"flight_record"' "$TMP/sup.log" |
+    grep -q '"trace":"00000000feedc0de"' ||
+    fail "salvaged flight records lack the client-pinned trace id"
 
 echo "service_smoke: OK"
 exit 0

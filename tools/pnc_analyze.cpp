@@ -335,6 +335,7 @@ int main(int argc, char** argv) {
     svc::Request request;
     request.use_cache = options.use_cache;
     request.deadline_ms = deadline_ms;
+    request.trace_id = svc::mint_trace_id();
     request.format = format == "json"    ? svc::OutputFormat::kJson
                      : format == "sarif" ? svc::OutputFormat::kSarif
                                          : svc::OutputFormat::kText;

@@ -15,11 +15,21 @@
 //   --reopen                   with --dir: TREE_OPEN — drop the daemon's
 //                              manifest first, forcing a full rescan
 //   --stats                    print request/cache stats to stderr
+//   --pretty                   with `stats`/--statusz: aligned table
+//                              instead of JSON
 //   --deadline-ms=N            end-to-end per-request deadline (0 = none)
 //   --retries=N                attempts before giving up (default 3)
 //   --retry-budget-ms=N        total wall-clock retry budget (default 2000)
 //   --connect-timeout-ms=N     per-attempt connect timeout (default 1000)
+//   --trace-id=HEX             pin the request trace id (default: minted)
 //   --version                  print build/protocol/format versions
+//
+// Admin-plane verbs (served on `<socket>.admin`, DESIGN.md §12):
+//   --healthz                  liveness probe; prints "ok"
+//   --statusz                  daemon status document (JSON)
+//   --metrics                  live Prometheus scrape; add --lint to
+//                              validate the exposition format instead of
+//                              printing it
 //
 // Paths are resolved by the *daemon*, so relative paths are made
 // absolute here before sending.
@@ -28,7 +38,11 @@
 // clean, 1 findings or parse errors, 2 usage/server errors, 3 when any
 // file failed to ingest — plus 4 when the daemon is unreachable or the
 // retry budget ran out, so CI can tell "the code has errors" (1) from
-// "the daemon is down" (4) without parsing stderr.
+// "the daemon is down" (4) without parsing stderr.  The admin verbs
+// keep the same convention: 4 when the admin socket is unreachable.
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
 #include <filesystem>
 #include <iomanip>
 #include <iostream>
@@ -36,6 +50,7 @@
 #include <vector>
 
 #include "core/version.h"
+#include "service/admin.h"
 #include "service/client.h"
 #include "service/disk_cache.h"
 #include "service/protocol.h"
@@ -57,11 +72,18 @@ void print_usage(std::ostream& os, const char* argv0) {
         "  --reopen                  with --dir: drop the daemon's tree "
         "manifest first (TREE_OPEN)\n"
         "  --stats                   print request/cache stats to stderr\n"
+        "  --pretty                  with `stats`/--statusz: aligned table "
+        "output\n"
         "  --deadline-ms=N           per-request deadline (0 = none)\n"
         "  --retries=N               attempts before giving up (default 3)\n"
         "  --retry-budget-ms=N       total retry budget (default 2000)\n"
         "  --connect-timeout-ms=N    per-attempt connect timeout "
         "(default 1000)\n"
+        "  --trace-id=HEX            pin the request trace id\n"
+        "  --healthz                 admin liveness probe\n"
+        "  --statusz                 admin status document (JSON)\n"
+        "  --metrics                 live Prometheus scrape (add --lint "
+        "to validate instead of print)\n"
         "  --version                 print build/protocol/format versions\n"
         "  --help                    show this message\n";
 }
@@ -105,6 +127,151 @@ bool parse_u32(const std::string& value, std::uint32_t* out) {
   }
 }
 
+bool parse_hex_u64(const std::string& value, std::uint64_t* out) {
+  if (value.empty() || value.size() > 16) return false;
+  std::uint64_t n = 0;
+  for (char c : value) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    n = (n << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *out = n;
+  return true;
+}
+
+// --- `stats --pretty`: flatten the daemon's JSON into aligned rows ---
+//
+// A scanner, not a parser: it walks the document once tracking the
+// dotted key path and emits one `path  value` row per scalar.  Good
+// for exactly the JSON this codebase emits (objects, arrays, string/
+// number/bool/null scalars) — which is all it ever has to read.
+
+struct JsonRow {
+  std::string path;
+  std::string value;
+};
+
+void flatten_json(const std::string& text, std::size_t* pos,
+                  const std::string& prefix, std::vector<JsonRow>* rows) {
+  auto skip_ws = [&] {
+    while (*pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[*pos]))) {
+      ++*pos;
+    }
+  };
+  auto read_string = [&]() -> std::string {
+    std::string out;
+    ++*pos;  // opening quote
+    while (*pos < text.size() && text[*pos] != '"') {
+      if (text[*pos] == '\\' && *pos + 1 < text.size()) ++*pos;
+      out += text[(*pos)++];
+    }
+    if (*pos < text.size()) ++*pos;  // closing quote
+    return out;
+  };
+  skip_ws();
+  if (*pos >= text.size()) return;
+  const char c = text[*pos];
+  if (c == '{' || c == '[') {
+    const bool object = c == '{';
+    ++*pos;
+    int index = 0;
+    while (*pos < text.size()) {
+      skip_ws();
+      if (*pos < text.size() && (text[*pos] == '}' || text[*pos] == ']')) {
+        ++*pos;
+        return;
+      }
+      std::string key;
+      if (object) {
+        if (*pos >= text.size() || text[*pos] != '"') return;  // malformed
+        key = read_string();
+        skip_ws();
+        if (*pos < text.size() && text[*pos] == ':') ++*pos;
+      } else {
+        key = "[" + std::to_string(index++) + "]";
+      }
+      const std::string child =
+          prefix.empty() ? key
+          : object       ? prefix + "." + key
+                         : prefix + key;
+      flatten_json(text, pos, child, rows);
+      skip_ws();
+      if (*pos < text.size() && text[*pos] == ',') ++*pos;
+    }
+    return;
+  }
+  if (c == '"') {
+    rows->push_back({prefix, read_string()});
+    return;
+  }
+  // number / true / false / null
+  std::string value;
+  while (*pos < text.size() && text[*pos] != ',' && text[*pos] != '}' &&
+         text[*pos] != ']' &&
+         !std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    value += text[(*pos)++];
+  }
+  rows->push_back({prefix, value});
+}
+
+void print_table(const std::string& json, std::ostream& os) {
+  std::vector<JsonRow> rows;
+  std::size_t pos = 0;
+  flatten_json(json, &pos, "", &rows);
+  std::size_t width = 0;
+  for (const JsonRow& row : rows) width = std::max(width, row.path.size());
+  for (const JsonRow& row : rows) {
+    os << std::left << std::setw(static_cast<int>(width) + 2) << row.path
+       << (row.value.empty() ? "-" : row.value) << "\n";
+  }
+}
+
+// One admin-plane round trip; prints the body (or lints it, or
+// table-formats a JSON status) and maps the result onto the tool's
+// exit-code contract.
+int run_admin(const char* argv0, const std::string& socket_path,
+              const std::string& verb, bool lint, bool pretty) {
+  std::string body;
+  std::string error;
+  bool ok = false;
+  if (!admin_call(admin_socket_path(socket_path), verb, &body, &ok,
+                  &error)) {
+    std::cerr << argv0 << ": admin socket unreachable: " << error << "\n";
+    return 4;
+  }
+  if (!ok) {
+    std::cerr << argv0 << ": " << (body.empty() ? "admin error" : body);
+    if (!body.empty() && body.back() != '\n') std::cerr << "\n";
+    return 2;
+  }
+  if (lint) {
+    std::string lint_error;
+    if (!lint_prometheus(body, &lint_error)) {
+      std::cerr << argv0 << ": exposition lint failed: " << lint_error
+                << "\n";
+      return 1;
+    }
+    std::cout << "exposition ok: " << body.size() << " bytes\n";
+    return 0;
+  }
+  if (pretty && verb == kAdminStatusz) {
+    print_table(body, std::cout);
+    return 0;
+  }
+  std::cout << body;
+  if (!body.empty() && body.back() != '\n') std::cout << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,6 +283,10 @@ int main(int argc, char** argv) {
   bool want_stats = false;
   bool incremental = false;
   bool reopen = false;
+  bool pretty = false;
+  bool lint = false;
+  std::string admin_verb;
+  std::uint64_t trace_id = 0;
   std::uint32_t deadline_ms = 0;
   RetryOptions retry;
   std::vector<std::string> paths;
@@ -139,6 +310,22 @@ int main(int argc, char** argv) {
       return print_version("pnc_client");
     } else if (arg == "--stats") {
       want_stats = true;
+    } else if (arg == "--pretty") {
+      pretty = true;
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--healthz") {
+      admin_verb = kAdminHealthz;
+    } else if (arg == "--statusz") {
+      admin_verb = kAdminStatusz;
+    } else if (arg == "--metrics") {
+      admin_verb = kAdminMetrics;
+    } else if (arg.rfind("--trace-id=", 0) == 0) {
+      if (!parse_hex_u64(arg.substr(11), &trace_id) || trace_id == 0) {
+        std::cerr << argv[0]
+                  << ": --trace-id wants 1-16 hex digits, nonzero\n";
+        return 2;
+      }
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       if (!parse_u32(arg.substr(14), &deadline_ms)) return usage(argv[0]);
     } else if (arg.rfind("--retries=", 0) == 0) {
@@ -169,6 +356,17 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  if (!admin_verb.empty()) {
+    if (!control.empty() || !dir.empty() || !paths.empty()) {
+      return usage(argv[0]);
+    }
+    if (lint && admin_verb != kAdminMetrics) {
+      std::cerr << argv[0] << ": --lint only applies to --metrics\n";
+      return 2;
+    }
+    if (socket_path.empty()) socket_path = default_socket_path();
+    return run_admin(argv[0], socket_path, admin_verb, lint, pretty);
+  }
   if (static_cast<int>(!control.empty()) + static_cast<int>(!dir.empty()) +
           static_cast<int>(!paths.empty()) !=
       1) {
@@ -185,6 +383,10 @@ int main(int argc, char** argv) {
   Request request;
   request.use_cache = use_cache;
   request.deadline_ms = deadline_ms;
+  // Every request carries a trace id (protocol v4): minted here unless
+  // pinned, so a client-side log line can be joined against the
+  // daemon's per-request record and flight-recorder tail.
+  request.trace_id = trace_id != 0 ? trace_id : mint_trace_id();
   request.format = format == "json"    ? OutputFormat::kJson
                    : format == "sarif" ? OutputFormat::kSarif
                                        : OutputFormat::kText;
@@ -227,11 +429,16 @@ int main(int argc, char** argv) {
   }
 
   if (!response.body.empty()) {
-    std::cout << response.body;
-    if (response.body.back() != '\n') std::cout << "\n";
+    if (pretty && request.kind == RequestKind::kStats) {
+      print_table(response.body, std::cout);
+    } else {
+      std::cout << response.body;
+      if (response.body.back() != '\n') std::cout << "\n";
+    }
   }
   if (want_stats) {
-    std::cerr << "request: " << response.stats.files << " file(s), "
+    std::cerr << "trace:   " << trace_id_hex(request.trace_id) << "\n"
+              << "request: " << response.stats.files << " file(s), "
               << response.stats.findings << " finding(s), "
               << response.stats.parse_errors << " parse error(s), "
               << response.stats.read_errors << " read error(s)\n"

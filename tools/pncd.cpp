@@ -29,14 +29,31 @@
 // Prometheus text: requests by status, cache hits by tier
 // (memory / disk / manifest-clean), sheds, deadline rejects, resident
 // trees — plus worker restarts and breaker trips in sharded mode — and
-// whatever the in-process telemetry layer collected.
+// whatever the in-process telemetry layer collected.  SIGUSR1 dumps
+// the same snapshot while the daemon keeps running, and
+// `--metrics-interval-s=N` dumps it every N seconds; live dumps are
+// written to a temp file and rename(2)d so a scraper tailing PATH
+// never reads a torn document.  For ad-hoc scrapes prefer the admin
+// socket (`<socket>.admin`, DESIGN.md §12): /metrics, /statusz,
+// /healthz, served live without touching the analysis path.
+//
+// `--log-level=debug|info|warn|error|off` and `--log-file=PATH` control
+// the structured JSON-lines event log (default: info on stderr); in
+// sharded mode the workers inherit the same O_APPEND fd, so one file
+// interleaves whole records from every process.  `--slow-ms=N`
+// promotes per-request records at or above N ms from debug to info —
+// a slow-query log that survives an info-level default.
 //
 // Exit status: 0 on a clean shutdown, 2 on startup/usage errors.
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -44,6 +61,7 @@
 #include "core/version.h"
 #include "service/disk_cache.h"
 #include "service/fault_injection.h"
+#include "service/log.h"
 #include "service/protocol.h"
 #include "service/result_codec.h"
 #include "service/server.h"
@@ -71,7 +89,15 @@ void print_usage(std::ostream& os, const char* argv0) {
         "  --no-info           drop Info-severity advisories\n"
         "  --no-disk-cache     keep results in memory only\n"
         "  --metrics-out=PATH  dump Prometheus-format counters to PATH "
-        "on shutdown\n"
+        "on shutdown and on SIGUSR1\n"
+        "  --metrics-interval-s=N  also dump every N seconds (requires "
+        "--metrics-out)\n"
+        "  --log-level=LEVEL   structured log threshold: debug, info, "
+        "warn, error, off (default info)\n"
+        "  --log-file=PATH     append JSON-lines log records to PATH "
+        "(default stderr)\n"
+        "  --slow-ms=N         log requests taking >= N ms at info "
+        "instead of debug\n"
         "  --version           print build/protocol/format versions\n"
         "  --help              show this message\n";
 }
@@ -89,25 +115,88 @@ int print_version(const char* tool, std::uint64_t options_fingerprint) {
   return 0;
 }
 
-// Counter dump on shutdown: server/supervisor counters first, then the
-// in-process telemetry exposition (empty when compiled out).
+// One metrics snapshot, written atomically: temp file in the target's
+// directory, then rename(2).  A scraper reading PATH on its own clock
+// (the --metrics-interval-s consumer) sees either the previous complete
+// document or the new one, never a prefix.
 void write_metrics(const char* argv0, const std::string& path,
-                   const std::string& counters) {
-  std::ofstream out(path, std::ios::binary);
-  out << counters << pnlab::analysis::telemetry::prometheus_text();
-  if (!out) {
-    std::cerr << argv0 << ": cannot write metrics to " << path << "\n";
+                   const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out) {
+      std::cerr << argv0 << ": cannot write metrics to " << tmp << "\n";
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::cerr << argv0 << ": cannot rename " << tmp << " to " << path << ": "
+              << ec.message() << "\n";
   }
 }
 
 Server* g_server = nullptr;
 Supervisor* g_supervisor = nullptr;
+std::atomic<bool> g_dump_requested{false};
 
 void on_signal(int) {
   // stop_ store + shutdown(2): both async-signal-safe.
   if (g_server != nullptr) g_server->request_stop();
   if (g_supervisor != nullptr) g_supervisor->request_stop();
 }
+
+void on_dump_signal(int) { g_dump_requested.store(true); }
+
+/// The live snapshot: aggregated across shards in sharded mode (the
+/// supervisor relays /metrics to every live worker), local counters
+/// plus telemetry otherwise.
+std::string live_metrics() {
+  if (g_supervisor != nullptr) return g_supervisor->metrics_exposition();
+  if (g_server != nullptr) return g_server->metrics_exposition();
+  return {};
+}
+
+/// Background dump pump: services SIGUSR1 requests and the optional
+/// periodic timer.  Polling a flag keeps the signal handler trivially
+/// async-signal-safe.
+class MetricsDumper {
+ public:
+  MetricsDumper(const char* argv0, std::string path,
+                std::uint32_t interval_s)
+      : argv0_(argv0), path_(std::move(path)), interval_s_(interval_s) {
+    thread_ = std::thread([this] { run(); });
+  }
+  ~MetricsDumper() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    auto last = std::chrono::steady_clock::now();
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      bool due = g_dump_requested.exchange(false);
+      if (interval_s_ > 0 &&
+          std::chrono::steady_clock::now() - last >=
+              std::chrono::seconds(interval_s_)) {
+        due = true;
+      }
+      if (!due) continue;
+      last = std::chrono::steady_clock::now();
+      write_metrics(argv0_, path_, live_metrics());
+    }
+  }
+
+  const char* argv0_;
+  std::string path_;
+  std::uint32_t interval_s_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -117,6 +206,8 @@ int main(int argc, char** argv) {
   bool want_version = false;
   int shards = 0;
   std::string metrics_out;
+  std::uint32_t metrics_interval_s = 0;
+  std::string log_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -166,6 +257,35 @@ int main(int argc, char** argv) {
         print_usage(std::cerr, argv[0]);
         return 2;
       }
+    } else if (arg.rfind("--metrics-interval-s=", 0) == 0) {
+      try {
+        metrics_interval_s =
+            static_cast<std::uint32_t>(std::stoul(arg.substr(21)));
+      } catch (const std::exception&) {
+        print_usage(std::cerr, argv[0]);
+        return 2;
+      }
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      log::Level level;
+      if (!log::parse_level(arg.substr(12), &level)) {
+        std::cerr << argv[0] << ": unknown log level '" << arg.substr(12)
+                  << "'\n";
+        return 2;
+      }
+      log::set_level(level);
+    } else if (arg.rfind("--log-file=", 0) == 0) {
+      log_file = arg.substr(11);
+      if (log_file.empty()) {
+        print_usage(std::cerr, argv[0]);
+        return 2;
+      }
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      try {
+        options.slow_ms = static_cast<std::uint32_t>(std::stoul(arg.substr(10)));
+      } catch (const std::exception&) {
+        print_usage(std::cerr, argv[0]);
+        return 2;
+      }
     } else if (arg == "--version") {
       want_version = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -181,12 +301,23 @@ int main(int argc, char** argv) {
     return print_version(
         "pncd", analyzer_options_fingerprint(options.driver.analyzer));
   }
-  if (!metrics_out.empty()) {
-    // Arm the in-process telemetry layer so the shutdown dump carries
-    // counters/histograms, not just the server-side totals.  Telemetry
-    // never changes analysis output (DESIGN.md §8).
-    pnlab::analysis::telemetry::set_enabled(true);
+  if (metrics_interval_s > 0 && metrics_out.empty()) {
+    std::cerr << argv[0] << ": --metrics-interval-s requires --metrics-out\n";
+    return 2;
   }
+  if (!log_file.empty()) {
+    std::string log_error;
+    if (!log::set_file(log_file, &log_error)) {
+      std::cerr << argv[0] << ": cannot open log file " << log_file << ": "
+                << log_error << "\n";
+      return 2;
+    }
+  }
+  // Arm the in-process telemetry layer: the admin /metrics endpoint is
+  // always on, so the daemon's exposition should carry the analysis
+  // counters/histograms, not just the server-side totals.  Telemetry
+  // never changes analysis output (DESIGN.md §8).
+  pnlab::analysis::telemetry::set_enabled(true);
 
   if (options.cache_dir.empty() && disk_cache) {
     options.cache_dir = default_cache_dir();
@@ -225,15 +356,30 @@ int main(int argc, char** argv) {
     g_supervisor = &supervisor;
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+#ifdef SIGUSR1
+    std::signal(SIGUSR1, on_dump_signal);
+#endif
     std::cerr << "pncd: supervising " << shards << " shard(s) on "
               << sup.socket_path;
     if (!options.cache_dir.empty()) {
       std::cerr << ", shared cache " << options.cache_dir;
     }
     std::cerr << "\n";
-    supervisor.serve();
+    {
+      std::unique_ptr<MetricsDumper> dumper;
+      if (!metrics_out.empty()) {
+        dumper = std::make_unique<MetricsDumper>(argv[0], metrics_out,
+                                                 metrics_interval_s);
+      }
+      supervisor.serve();
+    }
+    g_supervisor = nullptr;
     if (!metrics_out.empty()) {
-      write_metrics(argv[0], metrics_out, supervisor.metrics_text());
+      // The workers are gone by now, so the shutdown snapshot is the
+      // supervisor's own counters plus this process's telemetry.
+      write_metrics(argv[0], metrics_out,
+                    supervisor.metrics_text() +
+                        pnlab::analysis::telemetry::prometheus_text());
     }
     std::cerr << "pncd: supervisor stopped after " << supervisor.restarts()
               << " worker restart(s)\n";
@@ -249,6 +395,9 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+#ifdef SIGUSR1
+  std::signal(SIGUSR1, on_dump_signal);
+#endif
 
   std::cerr << "pncd: listening on " << options.socket_path;
   if (!options.cache_dir.empty()) {
@@ -257,9 +406,17 @@ int main(int argc, char** argv) {
   std::cerr << " (" << std::thread::hardware_concurrency()
             << " hardware threads)\n";
 
-  server.serve();
+  {
+    std::unique_ptr<MetricsDumper> dumper;
+    if (!metrics_out.empty()) {
+      dumper = std::make_unique<MetricsDumper>(argv[0], metrics_out,
+                                               metrics_interval_s);
+    }
+    server.serve();
+  }
+  g_server = nullptr;
   if (!metrics_out.empty()) {
-    write_metrics(argv[0], metrics_out, server.metrics_text());
+    write_metrics(argv[0], metrics_out, server.metrics_exposition());
   }
   std::cerr << "pncd: stopped after " << server.requests_served()
             << " request(s)\n";
